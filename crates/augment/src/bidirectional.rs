@@ -1,0 +1,436 @@
+//! Bi-directional data augmentation (§7).
+//!
+//! *Question-to-SQL*: start from a few genuine annotated (question, SQL)
+//! pairs, then synthesize variants that keep user intent — value swaps,
+//! threshold shifts and paraphrases — exactly the diversity the paper
+//! elicits from GPT-3.5 with shuffled demonstrations and high temperature.
+//!
+//! *SQL-to-question*: instantiate the template catalog on the new database
+//! (the paper's 75 Spider templates) and refine the stiff templated
+//! question with the paraphraser (the GPT-3.5 refinement step).
+
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+
+use codes_datasets::sample::{QPart, Sample};
+use codes_datasets::templates::generate_samples;
+use sqlengine::ast::{Expr, Query, SetExpr, TableFactor};
+use sqlengine::{parse_query, Database, Value};
+
+use crate::paraphrase::Paraphraser;
+
+/// Question-to-SQL augmentation: expand `seeds` into `n` authentic pairs.
+pub fn question_to_sql(db: &Database, seeds: &[Sample], n: usize, seed: u64) -> Vec<Sample> {
+    if seeds.is_empty() || n == 0 {
+        return Vec::new();
+    }
+    let mut rng = StdRng::seed_from_u64(seed);
+    let para = Paraphraser::new(0.9);
+    let mut out: Vec<Sample> = Vec::with_capacity(n);
+    let mut seen_questions = std::collections::HashSet::new();
+    let mut attempts = 0usize;
+    while out.len() < n && attempts < n * 40 {
+        attempts += 1;
+        let seed_sample = &seeds[rng.random_range(0..seeds.len())];
+        let Some((question, sql)) = derive_pair(db, seed_sample, &para, &mut rng) else {
+            continue;
+        };
+        if sqlengine::execute_query(db, &sql).is_err() {
+            continue;
+        }
+        if !seen_questions.insert(question.to_lowercase()) {
+            continue;
+        }
+        let mut s = seed_sample.clone();
+        s.question_parts = vec![QPart::Lit(question.trim_end_matches('?').to_string())];
+        s.question = question;
+        s.sql = sql;
+        out.push(s);
+    }
+    out
+}
+
+/// Derive one (question, SQL) variant from a seed pair.
+fn derive_pair(
+    db: &Database,
+    seed: &Sample,
+    para: &Paraphraser,
+    rng: &mut StdRng,
+) -> Option<(String, String)> {
+    let mut question = seed.question.clone();
+    let mut query = parse_query(&seed.sql).ok()?;
+
+    // 1. Try a value swap (keeps intent, changes the entity asked about).
+    if rng.random_range(0..3) > 0 {
+        if let Some((old_value, new_value)) = swap_one_text_literal(db, &mut query, rng) {
+            // The question must mention the old value for the swap to stay
+            // faithful; otherwise undo by reparsing the seed.
+            if question.contains(&old_value) {
+                question = question.replace(&old_value, &new_value);
+            } else {
+                query = parse_query(&seed.sql).ok()?;
+            }
+        }
+    }
+
+    // 2. Try a numeric-threshold shift — only for numbers the question
+    // verbalizes, so the pair stays aligned.
+    if rng.random_range(0..3) == 0 {
+        shift_one_number(&mut query, &mut question, rng);
+    }
+
+    // 3. Paraphrase the (possibly re-slotted) question.
+    let question = para.rewrite(&question, rng);
+    Some((question, query.to_string()))
+}
+
+/// Find a `col = 'text'` predicate and swap the literal with a different
+/// value of the same column. Returns (old, new) text on success.
+fn swap_one_text_literal(db: &Database, query: &mut Query, rng: &mut StdRng) -> Option<(String, String)> {
+    let aliases = collect_aliases(query);
+    // Collect candidate replacements first (immutable pass).
+    let mut candidates: Vec<(String, String)> = Vec::new(); // (old, new)
+    for_each_eq_text(query, &mut |col_table, col_name, old| {
+        let table_name = resolve_table(db, &aliases, col_table, col_name);
+        if let Some(tn) = table_name {
+            if let Some(t) = db.table(&tn) {
+                let values = t.representative_values(col_name, 24);
+                let others: Vec<String> = values
+                    .iter()
+                    .map(|v| v.render().trim().to_string())
+                    .filter(|v| v != old)
+                    .collect();
+                if !others.is_empty() {
+                    candidates.push((old.clone(), others[0].clone()));
+                }
+            }
+        }
+    });
+    if candidates.is_empty() {
+        return None;
+    }
+    let (old, new) = candidates[rng.random_range(0..candidates.len())].clone();
+    // Mutable pass: replace that literal everywhere it appears as equality.
+    replace_eq_text(query, &old, &new);
+    Some((old, new))
+}
+
+/// Shift one numeric comparison literal by a small factor — but only when
+/// the question verbalizes that number, keeping question and SQL aligned.
+fn shift_one_number(query: &mut Query, question: &mut String, rng: &mut StdRng) {
+    let mut nums: Vec<String> = Vec::new();
+    walk_exprs(query, &mut |e| {
+        if let Expr::Binary { op, right, .. } = e {
+            if op.is_comparison() {
+                if let Expr::Literal(v @ (Value::Integer(_) | Value::Real(_))) = right.as_ref() {
+                    nums.push(v.render());
+                }
+            }
+        }
+    });
+    nums.retain(|n| question.contains(n.as_str()));
+    if nums.is_empty() {
+        return;
+    }
+    let old = nums[rng.random_range(0..nums.len())].clone();
+    let delta = [2.0, 0.5, 1.25][rng.random_range(0..3)];
+    let new = if old.contains('.') {
+        match old.parse::<f64>() {
+            Ok(v) => format!("{:.2}", v * delta),
+            Err(_) => return,
+        }
+    } else {
+        match old.parse::<i64>() {
+            Ok(v) => format!("{}", ((v as f64) * delta).round() as i64),
+            Err(_) => return,
+        }
+    };
+    if new == old {
+        return;
+    }
+    walk_exprs(query, &mut |e| {
+        if let Expr::Binary { op, right, .. } = e {
+            if op.is_comparison() {
+                if let Expr::Literal(v @ (Value::Integer(_) | Value::Real(_))) = right.as_mut() {
+                    if v.render() == old {
+                        *v = if new.contains('.') {
+                            Value::Real(new.parse().unwrap())
+                        } else {
+                            Value::Integer(new.parse().unwrap())
+                        };
+                    }
+                }
+            }
+        }
+    });
+    *question = question.replace(&old, &new);
+}
+
+fn collect_aliases(query: &Query) -> Vec<(String, String)> {
+    let mut out = Vec::new();
+    collect_aliases_set(&query.body, &mut out);
+    out
+}
+
+fn collect_aliases_set(se: &SetExpr, out: &mut Vec<(String, String)>) {
+    match se {
+        SetExpr::Select(s) => {
+            if let Some(from) = &s.from {
+                collect_factor(&from.base, out);
+                for j in &from.joins {
+                    collect_factor(&j.factor, out);
+                }
+            }
+        }
+        SetExpr::Nested(q) => collect_aliases_set(&q.body, out),
+        SetExpr::SetOp { left, right, .. } => {
+            collect_aliases_set(left, out);
+            collect_aliases_set(right, out);
+        }
+    }
+}
+
+fn collect_factor(f: &TableFactor, out: &mut Vec<(String, String)>) {
+    if let TableFactor::Table { name, alias } = f {
+        if let Some(a) = alias {
+            out.push((a.to_lowercase(), name.clone()));
+        }
+        out.push((name.to_lowercase(), name.clone()));
+    }
+}
+
+fn resolve_table(
+    db: &Database,
+    aliases: &[(String, String)],
+    qualifier: &Option<String>,
+    col_name: &str,
+) -> Option<String> {
+    if let Some(q) = qualifier {
+        let lq = q.to_lowercase();
+        return aliases.iter().find(|(a, _)| *a == lq).map(|(_, t)| t.clone());
+    }
+    // Unqualified: any FROM table containing the column.
+    for (_, t) in aliases {
+        if db.table(t).and_then(|tb| tb.schema.column(col_name)).is_some() {
+            return Some(t.clone());
+        }
+    }
+    // Fallback: any db table with the column.
+    db.tables
+        .iter()
+        .find(|t| t.schema.column(col_name).is_some())
+        .map(|t| t.schema.name.clone())
+}
+
+/// Visit every `col = 'text'` equality in the query (read-only).
+fn for_each_eq_text(query: &Query, f: &mut impl FnMut(&Option<String>, &str, &String)) {
+    let mut q = query.clone();
+    walk_exprs(&mut q, &mut |e| {
+        if let Expr::Binary { left, op, right } = e {
+            if op.is_comparison() {
+                if let (Expr::Column { table, name }, Expr::Literal(Value::Text(v))) =
+                    (left.as_ref(), right.as_ref())
+                {
+                    f(table, name, v);
+                }
+            }
+        }
+    });
+}
+
+/// Replace `= 'old'` literals with `'new'` in place.
+fn replace_eq_text(query: &mut Query, old: &str, new: &str) {
+    walk_exprs(query, &mut |e| {
+        if let Expr::Binary { left, op, right } = e {
+            if op.is_comparison() && matches!(left.as_ref(), Expr::Column { .. }) {
+                if let Expr::Literal(Value::Text(v)) = right.as_mut() {
+                    if v == old {
+                        *v = new.to_string();
+                    }
+                }
+            }
+        }
+    });
+}
+
+/// Depth-first expression walk over a whole query (mutable).
+fn walk_exprs(q: &mut Query, f: &mut impl FnMut(&mut Expr)) {
+    fn walk_set(se: &mut SetExpr, f: &mut impl FnMut(&mut Expr)) {
+        match se {
+            SetExpr::Select(s) => {
+                for item in &mut s.projection {
+                    if let sqlengine::ast::SelectItem::Expr { expr, .. } = item {
+                        walk(expr, f);
+                    }
+                }
+                if let Some(from) = &mut s.from {
+                    for j in &mut from.joins {
+                        if let Some(on) = &mut j.on {
+                            walk(on, f);
+                        }
+                    }
+                }
+                if let Some(sel) = &mut s.selection {
+                    walk(sel, f);
+                }
+                for g in &mut s.group_by {
+                    walk(g, f);
+                }
+                if let Some(h) = &mut s.having {
+                    walk(h, f);
+                }
+            }
+            SetExpr::Nested(q) => walk_exprs(q, f),
+            SetExpr::SetOp { left, right, .. } => {
+                walk_set(left, f);
+                walk_set(right, f);
+            }
+        }
+    }
+    fn walk(e: &mut Expr, f: &mut impl FnMut(&mut Expr)) {
+        f(e);
+        match e {
+            Expr::Unary { expr, .. } | Expr::IsNull { expr, .. } | Expr::Cast { expr, .. } => walk(expr, f),
+            Expr::Binary { left, right, .. } => {
+                walk(left, f);
+                walk(right, f);
+            }
+            Expr::Function { args, .. } => args.iter_mut().for_each(|a| walk(a, f)),
+            Expr::Case { operand, branches, else_expr } => {
+                if let Some(op) = operand {
+                    walk(op, f);
+                }
+                for (c, r) in branches {
+                    walk(c, f);
+                    walk(r, f);
+                }
+                if let Some(el) = else_expr {
+                    walk(el, f);
+                }
+            }
+            Expr::InList { expr, list, .. } => {
+                walk(expr, f);
+                list.iter_mut().for_each(|i| walk(i, f));
+            }
+            Expr::InSubquery { expr, query, .. } => {
+                walk(expr, f);
+                walk_exprs(query, f);
+            }
+            Expr::ScalarSubquery(q) => walk_exprs(q, f),
+            Expr::Exists { query, .. } => walk_exprs(query, f),
+            Expr::Between { expr, low, high, .. } => {
+                walk(expr, f);
+                walk(low, f);
+                walk(high, f);
+            }
+            Expr::Like { expr, pattern, .. } => {
+                walk(expr, f);
+                walk(pattern, f);
+            }
+            Expr::Column { .. } | Expr::Literal(_) => {}
+        }
+    }
+    walk_set(&mut q.body, f);
+    for item in &mut q.order_by {
+        walk(&mut item.expr, f);
+    }
+}
+
+/// SQL-to-question augmentation: template pairs refined by the paraphraser.
+pub fn sql_to_question(db: &Database, n: usize, seed: u64) -> Vec<Sample> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let para = Paraphraser::new(0.6);
+    let mut samples = generate_samples(db, n, &mut rng, true);
+    for s in &mut samples {
+        let refined = para.rewrite(&s.question, &mut rng);
+        s.question_parts = vec![QPart::Lit(refined.trim_end_matches('?').to_string())];
+        s.question = refined;
+    }
+    samples
+}
+
+/// The full bi-directional pipeline: ~40% question-to-SQL (authenticity) +
+/// ~60% SQL-to-question (coverage), matching §7's design goals.
+pub fn bi_directional(db: &Database, seeds: &[Sample], total: usize, seed: u64) -> Vec<Sample> {
+    let n_q2s = (total * 2) / 5;
+    let mut out = question_to_sql(db, seeds, n_q2s, seed);
+    let remaining = total.saturating_sub(out.len());
+    out.extend(sql_to_question(db, remaining, seed ^ 0x5A5A));
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use codes_datasets::finance::{bank_financials_db, seed_samples};
+
+    #[test]
+    fn question_to_sql_expands_seeds() {
+        let db = bank_financials_db(1);
+        let seeds = seed_samples(&db);
+        let aug = question_to_sql(&db, &seeds, 40, 7);
+        assert!(aug.len() >= 30, "only {} generated", aug.len());
+        for s in &aug {
+            assert!(sqlengine::execute_query(&db, &s.sql).is_ok(), "{}", s.sql);
+        }
+        // Questions are distinct from one another.
+        let set: std::collections::HashSet<_> = aug.iter().map(|s| s.question.to_lowercase()).collect();
+        assert_eq!(set.len(), aug.len());
+    }
+
+    #[test]
+    fn value_swaps_keep_question_sql_aligned() {
+        let db = bank_financials_db(1);
+        let seeds = seed_samples(&db);
+        let aug = question_to_sql(&db, &seeds, 60, 11);
+        // For pairs where the SQL filters on a quoted city/industry value,
+        // the question should mention that value.
+        let mut checked = 0;
+        for s in &aug {
+            for needle in ["'banking'", "'securities'", "'fintech'"] {
+                if s.sql.contains(needle) {
+                    let v = needle.trim_matches('\'');
+                    assert!(
+                        s.question.to_lowercase().contains(v),
+                        "question `{}` lost value {v} of `{}`",
+                        s.question,
+                        s.sql
+                    );
+                    checked += 1;
+                }
+            }
+        }
+        assert!(checked > 0, "no value-bearing pairs to check");
+    }
+
+    #[test]
+    fn sql_to_question_refines_wording() {
+        let db = bank_financials_db(1);
+        let aug = sql_to_question(&db, 30, 3);
+        assert!(aug.len() >= 25);
+        for s in &aug {
+            assert!(sqlengine::execute_query(&db, &s.sql).is_ok());
+            assert!(s.question.ends_with('?'));
+        }
+    }
+
+    #[test]
+    fn bi_directional_mixes_both() {
+        let db = bank_financials_db(1);
+        let seeds = seed_samples(&db);
+        let aug = bi_directional(&db, &seeds, 100, 5);
+        assert!(aug.len() >= 80, "got {}", aug.len());
+    }
+
+    #[test]
+    fn deterministic() {
+        let db = bank_financials_db(1);
+        let seeds = seed_samples(&db);
+        let a = bi_directional(&db, &seeds, 30, 9);
+        let b = bi_directional(&db, &seeds, 30, 9);
+        assert_eq!(
+            a.iter().map(|s| &s.question).collect::<Vec<_>>(),
+            b.iter().map(|s| &s.question).collect::<Vec<_>>()
+        );
+    }
+}

@@ -1,0 +1,14 @@
+#![warn(missing_docs)]
+
+//! # codes-augment
+//!
+//! The bi-directional data-augmentation pipeline of §7 of the CodeS paper:
+//! question-to-SQL expansion of a few annotated seed pairs and
+//! SQL-to-question template instantiation, both refined by a rule-based
+//! paraphraser standing in for GPT-3.5.
+
+pub mod bidirectional;
+pub mod paraphrase;
+
+pub use bidirectional::{bi_directional, question_to_sql, sql_to_question};
+pub use paraphrase::Paraphraser;

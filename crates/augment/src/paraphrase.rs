@@ -1,0 +1,197 @@
+//! A rule-based paraphraser — the GPT-3.5 substitute of §7.
+//!
+//! The paper calls GPT-3.5 twice: to expand a handful of annotated user
+//! questions into many variants (question-to-SQL direction) and to refine
+//! stiff templated questions into natural phrasing (SQL-to-question
+//! direction). Both calls only need *diverse, meaning-preserving surface
+//! rewrites*, which this module produces deterministically. `temperature`
+//! controls how many rewrite operations are applied, mirroring the paper's
+//! "high-temperature hyperparameter for each generation".
+
+use rand::rngs::StdRng;
+use rand::RngExt;
+
+use codes_datasets::lexicon;
+
+/// Lead-in rewrites applied to the start of a question.
+const LEAD_INS: &[(&str, &[&str])] = &[
+    ("show the", &["display the", "give me the", "i need the", "return the"]),
+    ("show", &["display", "give me", "present"]),
+    ("list the", &["enumerate the", "give a list of the", "provide the"]),
+    ("what is the", &["tell me the", "could you give the", "i want to know the"]),
+    ("what are the", &["tell me the", "give me all the"]),
+    ("how many", &["what is the number of", "count how many", "give the count of"]),
+    ("find the", &["look up the", "retrieve the", "get the"]),
+    ("which", &["what"]),
+    ("count the", &["tally the", "compute the number of"]),
+];
+
+/// Tail decorations that keep semantics intact.
+const TAILS: &[&str] = &["", "", "", " please", " for me", " in this database"];
+
+/// A deterministic, seeded paraphraser.
+#[derive(Debug)]
+pub struct Paraphraser {
+    /// 0.0 = identity; 1.0 = aggressive rewriting.
+    pub temperature: f64,
+}
+
+impl Paraphraser {
+    /// A paraphraser with the given temperature in [0, 1].
+    pub fn new(temperature: f64) -> Paraphraser {
+        Paraphraser { temperature: temperature.clamp(0.0, 1.0) }
+    }
+
+    /// Produce one paraphrase of `question`.
+    pub fn rewrite(&self, question: &str, rng: &mut StdRng) -> String {
+        let mut q = question.trim().trim_end_matches(['?', '.']).to_string();
+        let lower = q.to_lowercase();
+
+        // 1. Lead-in swap.
+        if rng.random_range(0.0..1.0) < 0.4 + 0.5 * self.temperature {
+            for (from, tos) in LEAD_INS {
+                if lower.starts_with(from) {
+                    let to = tos[rng.random_range(0..tos.len())];
+                    q = format!("{to}{}", &q[from.len()..]);
+                    break;
+                }
+            }
+        }
+
+        // 2. Word-level synonym swaps (skips quoted spans).
+        if rng.random_range(0.0..1.0) < 0.3 + 0.6 * self.temperature {
+            q = swap_synonyms(&q, rng, 0.3 + 0.4 * self.temperature);
+        }
+
+        // 3. Politeness / tail decoration.
+        if rng.random_range(0.0..1.0) < 0.3 * self.temperature {
+            let tail = TAILS[rng.random_range(0..TAILS.len())];
+            q.push_str(tail);
+        }
+
+        let mut out = q.trim().to_string();
+        if !out.ends_with('?') {
+            out.push('?');
+        }
+        // Re-capitalize.
+        let mut chars = out.chars();
+        match chars.next() {
+            Some(f) => f.to_uppercase().collect::<String>() + chars.as_str(),
+            None => out,
+        }
+    }
+
+    /// Produce up to `n` *distinct* paraphrases.
+    pub fn variants(&self, question: &str, n: usize, rng: &mut StdRng) -> Vec<String> {
+        let mut seen = std::collections::HashSet::new();
+        let mut out = Vec::new();
+        for _ in 0..n * 6 {
+            if out.len() >= n {
+                break;
+            }
+            let v = self.rewrite(question, rng);
+            if v.to_lowercase() != question.to_lowercase() && seen.insert(v.clone()) {
+                out.push(v);
+            }
+        }
+        out
+    }
+}
+
+/// Synonym-swap words outside quoted spans.
+fn swap_synonyms(text: &str, rng: &mut StdRng, p: f64) -> String {
+    let mut out = String::with_capacity(text.len());
+    let mut in_quote = false;
+    let mut word = String::new();
+    let flush = |word: &mut String, out: &mut String, rng: &mut StdRng, in_quote: bool, p: f64| {
+        if word.is_empty() {
+            return;
+        }
+        let lower = word.to_lowercase();
+        let replaced = if !in_quote {
+            match lexicon::synonyms_of(&lower) {
+                Some(syns) if rng.random_range(0.0..1.0) < p => {
+                    Some(syns[rng.random_range(0..syns.len())].to_string())
+                }
+                _ => None,
+            }
+        } else {
+            None
+        };
+        match replaced {
+            Some(r) => out.push_str(&r),
+            None => out.push_str(word),
+        }
+        word.clear();
+    };
+    for c in text.chars() {
+        if c == '\'' {
+            flush(&mut word, &mut out, rng, in_quote, p);
+            in_quote = !in_quote;
+            out.push(c);
+        } else if c.is_alphanumeric() {
+            word.push(c);
+        } else {
+            flush(&mut word, &mut out, rng, in_quote, p);
+            out.push(c);
+        }
+    }
+    flush(&mut word, &mut out, rng, in_quote, p);
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    #[test]
+    fn zero_temperature_changes_little() {
+        let p = Paraphraser::new(0.0);
+        let mut rng = StdRng::seed_from_u64(1);
+        let q = "Show the names of all singers?";
+        // With temperature 0 the only possible change is a lead-in swap.
+        let out = p.rewrite(q, &mut rng);
+        assert!(out.to_lowercase().contains("names of all singers"));
+    }
+
+    #[test]
+    fn high_temperature_produces_distinct_variants() {
+        let p = Paraphraser::new(1.0);
+        let mut rng = StdRng::seed_from_u64(2);
+        let vs = p.variants("Show the name of all singers", 5, &mut rng);
+        assert!(vs.len() >= 3, "got {vs:?}");
+        let set: std::collections::HashSet<_> = vs.iter().collect();
+        assert_eq!(set.len(), vs.len());
+    }
+
+    #[test]
+    fn quoted_values_survive() {
+        let p = Paraphraser::new(1.0);
+        let mut rng = StdRng::seed_from_u64(3);
+        for _ in 0..20 {
+            let out = p.rewrite("Find the singer whose name is 'Joe Sharp'", &mut rng);
+            assert!(out.contains("'Joe Sharp'"), "{out}");
+        }
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let p = Paraphraser::new(0.8);
+        let mut a = StdRng::seed_from_u64(9);
+        let mut b = StdRng::seed_from_u64(9);
+        assert_eq!(
+            p.rewrite("How many concerts are there?", &mut a),
+            p.rewrite("How many concerts are there?", &mut b)
+        );
+    }
+
+    #[test]
+    fn always_ends_with_question_mark() {
+        let p = Paraphraser::new(1.0);
+        let mut rng = StdRng::seed_from_u64(4);
+        for q in ["list the cities.", "how many pets", "What is the top score?"] {
+            assert!(p.rewrite(q, &mut rng).ends_with('?'));
+        }
+    }
+}

@@ -1,0 +1,30 @@
+//! §9.7's latency claim: per-sample inference latency grows with model
+//! size (the paper reports 0.6/0.9/1.1/1.5 s for 1B/3B/7B/15B). The
+//! simulated models do more work at larger sizes (wider beams, higher
+//! n-gram order, finer similarity resolution), so the same monotone shape
+//! emerges here at millisecond scale.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+use codes_bench::workbench;
+
+fn bench_inference(c: &mut Criterion) {
+    std::env::set_var("CODES_SCALE", "1");
+    let spider = workbench::spider();
+    let sample = &spider.dev[0];
+    let db = spider.database(&sample.db_id).unwrap();
+
+    let mut group = c.benchmark_group("inference_by_model_size");
+    group.sample_size(30);
+    for name in ["CodeS-1B", "CodeS-3B", "CodeS-7B", "CodeS-15B"] {
+        let sys = workbench::sft_system(name, spider, false);
+        group.bench_with_input(BenchmarkId::from_parameter(name), name, |b, _| {
+            b.iter(|| black_box(sys.infer(db, &sample.question, None)))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_inference);
+criterion_main!(benches);

@@ -1,0 +1,55 @@
+//! §4's complexity discussion: prompt construction is the online stage, so
+//! its latency matters per user query. Benchmarks Algorithm 1 end-to-end
+//! (schema filter + value retriever + metadata serialization) on the
+//! widest database of the suite (Bank-Financials, 65-column table).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+use codes::{build_prompt, PromptOptions};
+use codes_datasets::finance::bank_financials_db;
+use codes_linker::SchemaClassifier;
+use codes_retrieval::ValueIndex;
+
+fn bench_prompt(c: &mut Criterion) {
+    let db = bank_financials_db(1);
+    let index = ValueIndex::build(&db);
+    // Train the classifier on the Spider-like benchmark (transfers by
+    // features, as the paper does for new domains).
+    let mut cfg = codes_datasets::BenchmarkConfig::spider(5);
+    cfg.train_samples_per_db = 10;
+    cfg.dev_samples_per_db = 2;
+    let bench = codes_datasets::build_benchmark("clf", &cfg);
+    let clf = SchemaClassifier::train(&bench, false, 1);
+    let q = "How many clients opened their accounts in Jesenik branch were women?";
+
+    let mut group = c.benchmark_group("prompt_construction");
+    group.bench_function("full_algorithm1", |b| {
+        b.iter(|| {
+            black_box(build_prompt(
+                &db,
+                q,
+                None,
+                Some(&clf),
+                Some(&index),
+                &PromptOptions::sft(),
+            ))
+        })
+    });
+    group.bench_function("without_schema_filter", |b| {
+        let opts = PromptOptions::sft().without_schema_filter();
+        b.iter(|| black_box(build_prompt(&db, q, None, Some(&clf), Some(&index), &opts)))
+    });
+    group.bench_function("without_value_retriever", |b| {
+        let opts = PromptOptions::sft().without_value_retriever();
+        b.iter(|| black_box(build_prompt(&db, q, None, Some(&clf), Some(&index), &opts)))
+    });
+    group.bench_function("serialize_only", |b| {
+        let prompt = build_prompt(&db, q, None, Some(&clf), Some(&index), &PromptOptions::sft());
+        b.iter(|| black_box(prompt.serialize()))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_prompt);
+criterion_main!(benches);

@@ -1,0 +1,127 @@
+//! Micro-benchmarks of the SQL engine substrate: tokenize/parse, scans,
+//! filters, hash vs nested-loop joins, aggregation and set operations.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+use sqlengine::{execute_query, parse_query, Column, Database, DataType, TableSchema, Value};
+
+fn orders_db(customers: usize, orders: usize) -> Database {
+    let mut db = Database::new("bench");
+    db.create_table(TableSchema::new(
+        "customer",
+        vec![
+            Column::new("customer_id", DataType::Integer).primary_key(),
+            Column::new("name", DataType::Text),
+            Column::new("city", DataType::Text),
+        ],
+    ))
+    .unwrap();
+    db.create_table(
+        TableSchema::new(
+            "orders",
+            vec![
+                Column::new("order_id", DataType::Integer).primary_key(),
+                Column::new("customer_id", DataType::Integer),
+                Column::new("amount", DataType::Real),
+            ],
+        )
+        .with_foreign_key("customer_id", "customer", "customer_id"),
+    )
+    .unwrap();
+    let mut rng = StdRng::seed_from_u64(9);
+    let cities = ["Praha", "Brno", "Jesenik", "Zlin", "Ostrava"];
+    for i in 0..customers {
+        db.table_mut("customer")
+            .unwrap()
+            .insert(vec![
+                Value::Integer(i as i64),
+                Value::Text(format!("customer {i}")),
+                Value::Text(cities[rng.random_range(0..cities.len())].into()),
+            ])
+            .unwrap();
+    }
+    for i in 0..orders {
+        db.table_mut("orders")
+            .unwrap()
+            .insert(vec![
+                Value::Integer(i as i64),
+                Value::Integer(rng.random_range(0..customers as i64)),
+                Value::Real(rng.random_range(1.0..500.0)),
+            ])
+            .unwrap();
+    }
+    db
+}
+
+fn bench_engine(c: &mut Criterion) {
+    let db = orders_db(2_000, 10_000);
+    let mut group = c.benchmark_group("sqlengine");
+
+    group.bench_function("parse_complex_query", |b| {
+        let sql = "SELECT T2.city, COUNT(*), AVG(T1.amount) FROM orders AS T1 \
+                   JOIN customer AS T2 ON T1.customer_id = T2.customer_id \
+                   WHERE T1.amount BETWEEN 10 AND 400 GROUP BY T2.city \
+                   HAVING COUNT(*) > 5 ORDER BY AVG(T1.amount) DESC LIMIT 3";
+        b.iter(|| black_box(parse_query(sql).unwrap()))
+    });
+
+    group.bench_function("scan_filter_10k", |b| {
+        b.iter(|| black_box(execute_query(&db, "SELECT amount FROM orders WHERE amount > 250").unwrap()))
+    });
+
+    group.bench_function("hash_join_10k_x_2k", |b| {
+        b.iter(|| {
+            black_box(
+                execute_query(
+                    &db,
+                    "SELECT COUNT(*) FROM orders AS T1 JOIN customer AS T2 ON T1.customer_id = T2.customer_id",
+                )
+                .unwrap(),
+            )
+        })
+    });
+
+    group.bench_function("group_aggregate", |b| {
+        b.iter(|| {
+            black_box(
+                execute_query(
+                    &db,
+                    "SELECT T2.city, SUM(T1.amount) FROM orders AS T1 JOIN customer AS T2 \
+                     ON T1.customer_id = T2.customer_id GROUP BY T2.city",
+                )
+                .unwrap(),
+            )
+        })
+    });
+
+    group.bench_function("subquery_above_average", |b| {
+        b.iter(|| {
+            black_box(
+                execute_query(
+                    &db,
+                    "SELECT order_id FROM orders WHERE amount > (SELECT AVG(amount) FROM orders)",
+                )
+                .unwrap(),
+            )
+        })
+    });
+
+    group.bench_function("set_op_except", |b| {
+        b.iter(|| {
+            black_box(
+                execute_query(
+                    &db,
+                    "SELECT customer_id FROM customer EXCEPT SELECT customer_id FROM orders",
+                )
+                .unwrap(),
+            )
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_engine);
+criterion_main!(benches);

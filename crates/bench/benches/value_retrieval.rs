@@ -1,0 +1,74 @@
+//! §6.2's performance claim: the BM25 coarse filter "drastically reduces
+//! the number of LCS algorithm invocations from potentially millions to
+//! just hundreds". Compares coarse-to-fine retrieval against exhaustive
+//! LCS over increasingly large value stores.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+use codes_retrieval::ValueIndex;
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+use sqlengine::{Column, Database, DataType, TableSchema, Value};
+
+/// A database whose `entries` table holds `n` distinct text values.
+fn value_heavy_db(n: usize) -> Database {
+    let mut db = Database::new(format!("values_{n}"));
+    db.create_table(TableSchema::new(
+        "entries",
+        vec![
+            Column::new("id", DataType::Integer).primary_key(),
+            Column::new("label", DataType::Text),
+        ],
+    ))
+    .unwrap();
+    let mut rng = StdRng::seed_from_u64(42);
+    let words = [
+        "north", "south", "east", "west", "upper", "lower", "new", "old", "grand", "little",
+        "river", "lake", "hill", "field", "wood", "stone", "bridge", "harbor", "market", "temple",
+    ];
+    let table = db.table_mut("entries").unwrap();
+    for i in 0..n {
+        let label = format!(
+            "{} {} {}",
+            words[rng.random_range(0..words.len())],
+            words[rng.random_range(0..words.len())],
+            i
+        );
+        table
+            .insert(vec![Value::Integer(i as i64), Value::Text(label)])
+            .unwrap();
+    }
+    // One needle the question will reference.
+    table
+        .insert(vec![Value::Integer(n as i64), Value::Text("Jesenik".into())])
+        .unwrap();
+    db
+}
+
+fn bench_value_retrieval(c: &mut Criterion) {
+    let question = "How many clients opened their accounts in Jesenik branch were women?";
+    let mut group = c.benchmark_group("value_retrieval");
+    group.sample_size(20);
+    for &n in &[1_000usize, 10_000, 50_000] {
+        let db = value_heavy_db(n);
+        let index = ValueIndex::build(&db);
+        group.bench_with_input(BenchmarkId::new("coarse_to_fine_bm25", n), &n, |b, _| {
+            b.iter(|| black_box(index.retrieve(question, 100, 5, 0.5)))
+        });
+        group.bench_with_input(BenchmarkId::new("exhaustive_lcs", n), &n, |b, _| {
+            b.iter(|| black_box(index.retrieve_exhaustive(question, 5, 0.5)))
+        });
+    }
+    group.finish();
+}
+
+fn bench_index_build(c: &mut Criterion) {
+    let db = value_heavy_db(10_000);
+    c.bench_function("value_index_build_10k", |b| {
+        b.iter(|| black_box(ValueIndex::build(&db)))
+    });
+}
+
+criterion_group!(benches, bench_value_retrieval, bench_index_build);
+criterion_main!(benches);

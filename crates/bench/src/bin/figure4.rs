@@ -1,0 +1,36 @@
+//! Figure 4: a complete text-to-SQL training sample — the serialized
+//! database prompt (filtered schema + metadata + matched values), the
+//! question, and the gold SQL.
+
+use codes::{build_prompt, PromptOptions};
+use codes_bench::workbench;
+use codes_retrieval::ValueIndex;
+
+fn main() {
+    let spider = workbench::spider();
+    // Pick a dev sample that references a database value (like the
+    // "Sarah Martinez" example of the paper's Figure 4).
+    let sample = spider
+        .dev
+        .iter()
+        .find(|s| !s.value_mentions.is_empty())
+        .unwrap_or(&spider.dev[0]);
+    let db = spider.database(&sample.db_id).expect("db exists");
+    let clf = workbench::classifier(spider, false);
+    let index = ValueIndex::build(db);
+    let prompt = build_prompt(db, &sample.question, None, Some(&clf), Some(&index), &PromptOptions::sft());
+
+    println!("== Figure 4: a training sample with its constructed database prompt ==\n");
+    println!("--- database prompt ({} tokens) ---", prompt.token_len());
+    println!("{}", prompt.serialize());
+    println!("--- question ---\n{}\n", sample.question);
+    println!("--- gold SQL ---\n{}\n", sample.sql);
+    println!(
+        "(database `{}`: {} tables, {} columns total, {} values; prompt retains {} tables)",
+        db.name,
+        db.tables.len(),
+        db.tables.iter().map(|t| t.schema.columns.len()).sum::<usize>(),
+        db.value_count(),
+        prompt.tables.len(),
+    );
+}

@@ -1,0 +1,71 @@
+//! `inspect`: developer diagnostics for one dev question — intent signals,
+//! template-fill results, matched values, and the ranked beams of the SFT
+//! and ICL systems side by side.
+//!
+//! Usage: `cargo run --release -p codes-bench --bin inspect -- "<question substring>"`
+
+use codes_bench::workbench;
+
+fn main() {
+    let spider = workbench::spider();
+    let needle = std::env::args().nth(1).unwrap_or_else(|| "have no".into());
+    let sample = spider
+        .dev
+        .iter()
+        .find(|s| s.question.contains(&needle))
+        .expect("no dev sample matches");
+    let db = spider.database(&sample.db_id).unwrap();
+    println!("Q: {}\ngold: {}\n", sample.question, sample.sql);
+
+    let intent = codes::extract_intent(&sample.question);
+    println!("intent: {intent:#?}\n");
+    for id in 0..codes_datasets::TEMPLATE_COUNT {
+        let s = codes::intent::template_intent_score(id, &intent);
+        if s > 0.0 {
+            println!("  intent score t{id}: {s:.2}");
+        }
+    }
+
+    // Direct fill probe with the inference prompt.
+    {
+        use codes_retrieval::ValueIndex;
+        let clf = workbench::classifier(spider, false);
+        let idx = ValueIndex::build(db);
+        let prompt = codes::build_prompt(db, &sample.question, None, Some(&clf), Some(&idx), &codes::PromptOptions::sft());
+        println!("matched values: {:?}", prompt.matched_values);
+        println!("prompt tables: {:?}", prompt.tables.iter().map(|t| &t.name).collect::<Vec<_>>());
+        println!("prompt fks: {:?}", prompt.foreign_keys);
+        let mut intent2 = intent.clone();
+        intent2.value_hints = prompt.matched_values.len();
+        let cap = codes::ModelSize::B7.capacity();
+        let ctx = codes::generator::SlotContext::new(&prompt, &sample.question, &intent2, &cap);
+        for id in 0..codes_datasets::TEMPLATE_COUNT {
+            if let Some(c) = codes::generator::fill_template(&ctx, id) { println!("  fill t{id}: slot {:.2} -> {}", c.slot_score, c.sql) }
+        }
+    }
+
+    for (label, sys) in [
+        ("SFT", workbench::sft_system("CodeS-7B", spider, false)),
+        (
+            "ICL",
+            workbench::icl_system(
+                workbench::pretrained("CodeS-7B"),
+                spider,
+                3,
+                codes_retrieval::DemoStrategy::PatternAware,
+                codes::PromptOptions::few_shot(),
+                false,
+            ),
+        ),
+    ] {
+        let out = sys.infer(db, &sample.question, None);
+        println!("\n== {label} beam ==");
+        for c in &out.generation.beam {
+            println!(
+                "  t{:<2} score {:+.3} exec={} {}",
+                c.template_id, c.score, c.executable, c.sql
+            );
+        }
+        println!("  chosen: {}", out.sql);
+    }
+}

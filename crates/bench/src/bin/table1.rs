@@ -1,0 +1,53 @@
+//! Table 1: architectures of the CodeS models, plus the capacity profile
+//! each size maps to in this reproduction.
+
+use codes::ModelSize;
+use codes_eval::TextTable;
+
+fn main() {
+    let mut t = TextTable::new("Table 1: CodeS model architectures").headers(&[
+        "Hyper-parameter",
+        "1B",
+        "3B",
+        "7B",
+        "15B",
+    ]);
+    let arch: Vec<_> = ModelSize::all().iter().map(|s| s.architecture()).collect();
+    t.row_strs(&["Transformer architecture", "decoder-only", "decoder-only", "decoder-only", "decoder-only"]);
+    t.row_strs(&["Position embedding", "learned absolute", "learned absolute", "learned absolute", "learned absolute"]);
+    t.row_strs(&["Attention type", "multi-query", "multi-query", "multi-query", "multi-query"]);
+    t.row_strs(&["FlashAttention-2", "enable", "enable", "enable", "enable"]);
+    let fmt = |f: &dyn Fn(&codes::Architecture) -> u32| -> Vec<String> {
+        arch.iter().map(|a| f(a).to_string()).collect()
+    };
+    let push = |t: &mut TextTable, label: &str, vals: Vec<String>| {
+        let mut row = vec![label.to_string()];
+        row.extend(vals);
+        t.row(row);
+    };
+    push(&mut t, "Vocabulary size", fmt(&|a| a.vocabulary_size));
+    push(
+        &mut t,
+        "#Parameters",
+        ModelSize::all().iter().map(|s| s.label().to_string()).collect(),
+    );
+    push(&mut t, "Maximum context length", fmt(&|a| a.max_context_length));
+    push(&mut t, "Transformer's hidden size", fmt(&|a| a.hidden_size));
+    push(&mut t, "Feed-forward hidden size", fmt(&|a| a.ffn_hidden_size));
+    push(&mut t, "#Attention heads", fmt(&|a| a.attention_heads));
+    push(&mut t, "#Transformer blocks", fmt(&|a| a.transformer_blocks));
+    println!("{}", t.render());
+
+    let mut c = TextTable::new("Simulated capacity profile per size").headers(&[
+        "Knob", "1B", "3B", "7B", "15B",
+    ]);
+    let caps: Vec<_> = ModelSize::all().iter().map(|s| s.capacity()).collect();
+    push(&mut c, "n-gram order", caps.iter().map(|x| x.ngram_order.to_string()).collect());
+    push(&mut c, "BPE vocabulary", caps.iter().map(|x| x.bpe_vocab.to_string()).collect());
+    push(&mut c, "Embedding dim", caps.iter().map(|x| x.embed_dim.to_string()).collect());
+    push(&mut c, "Beam width", caps.iter().map(|x| x.beam_width.to_string()).collect());
+    push(&mut c, "Sketch capacity", caps.iter().map(|x| x.sketch_capacity.to_string()).collect());
+    push(&mut c, "Similarity levels", caps.iter().map(|x| x.similarity_levels.to_string()).collect());
+    push(&mut c, "Decision noise", caps.iter().map(|x| format!("{:.3}", x.decision_noise)).collect());
+    println!("{}", c.render());
+}

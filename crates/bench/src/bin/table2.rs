@@ -1,0 +1,50 @@
+//! Table 2: examples of ambiguous columns in the BIRD-like databases —
+//! cryptic names whose meaning only the attached comment reveals.
+
+use codes_bench::workbench;
+use codes_eval::TextTable;
+
+fn main() {
+    let bird = workbench::bird();
+    let mut t = TextTable::new("Table 2: ambiguous columns in the BIRD-like benchmark").headers(&[
+        "Database",
+        "Column name",
+        "Comment",
+    ]);
+    let mut shown = 0;
+    for db in &bird.databases {
+        for table in &db.tables {
+            for col in &table.schema.columns {
+                if let Some(comment) = &col.comment {
+                    // Only the truly cryptic ones (short names that do not
+                    // resemble their comment).
+                    if col.name.len() <= 8 && !comment.to_lowercase().contains(&col.name.to_lowercase()) {
+                        t.row(vec![db.name.clone(), col.name.clone(), comment.clone()]);
+                        shown += 1;
+                    }
+                }
+                if shown >= 12 {
+                    break;
+                }
+            }
+            if shown >= 12 {
+                break;
+            }
+        }
+        if shown >= 12 {
+            break;
+        }
+    }
+    println!("{}", t.render());
+    println!(
+        "({} databases in the benchmark; {} have at least one commented ambiguous column)",
+        bird.databases.len(),
+        bird.databases
+            .iter()
+            .filter(|db| db
+                .tables
+                .iter()
+                .any(|t| t.schema.columns.iter().any(|c| c.comment.is_some())))
+            .count()
+    );
+}

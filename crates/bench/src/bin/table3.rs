@@ -1,0 +1,52 @@
+//! Table 3: table and column AUC of the trained schema-item classifiers on
+//! Spider, BIRD and BIRD with external knowledge.
+
+use codes_bench::workbench;
+use codes_eval::TextTable;
+
+fn main() {
+    let spider = workbench::spider();
+    let bird = workbench::bird();
+
+    let spider_clf = workbench::classifier(spider, false);
+    let bird_clf = workbench::classifier(bird, false);
+    let bird_ek_clf = workbench::classifier(bird, true);
+
+    let (sp_t, sp_c) = spider_clf.evaluate_auc(&spider.dev, spider);
+    let (b_t, b_c) = bird_clf.evaluate_auc(&bird.dev, bird);
+    let (be_t, be_c) = bird_ek_clf.evaluate_auc(&bird.dev, bird);
+
+    let mut t = TextTable::new("Table 3: schema item classifier AUC").headers(&[
+        "",
+        "Spider",
+        "BIRD",
+        "BIRD w/ EK",
+    ]);
+    t.row(vec![
+        "Table AUC".into(),
+        format!("{sp_t:.3}"),
+        format!("{b_t:.3}"),
+        format!("{be_t:.3}"),
+    ]);
+    t.row(vec![
+        "Column AUC".into(),
+        format!("{sp_c:.3}"),
+        format!("{b_c:.3}"),
+        format!("{be_c:.3}"),
+    ]);
+    println!("{}", t.render());
+    println!("paper (Table 3): Spider 0.991/0.993, BIRD ~0.95/0.943, BIRD w/ EK 0.976/0.957");
+    println!("expected shape: Spider > BIRD (ambiguous schemas), EK improves BIRD.");
+
+    workbench::save_records(
+        "table3",
+        &[
+            workbench::record("table3", "classifier", "spider", "table_auc", sp_t, spider.dev.len()),
+            workbench::record("table3", "classifier", "spider", "column_auc", sp_c, spider.dev.len()),
+            workbench::record("table3", "classifier", "bird", "table_auc", b_t, bird.dev.len()),
+            workbench::record("table3", "classifier", "bird", "column_auc", b_c, bird.dev.len()),
+            workbench::record("table3", "classifier", "bird_ek", "table_auc", be_t, bird.dev.len()),
+            workbench::record("table3", "classifier", "bird_ek", "column_auc", be_c, bird.dev.len()),
+        ],
+    );
+}

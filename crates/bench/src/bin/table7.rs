@@ -1,0 +1,61 @@
+//! Table 7: robustness on the Spider variants — Spider-Syn,
+//! Spider-Realistic and Spider-DK. Systems are trained on Spider and
+//! evaluated on the perturbed dev sets (distribution shift).
+
+use codes_bench::workbench;
+use codes_datasets::{build_variant, SpiderVariant};
+use codes_eval::{pct, TextTable};
+
+fn main() {
+    let spider = workbench::spider();
+    let syn = build_variant(spider, SpiderVariant::Syn, 0x51);
+    let realistic = build_variant(spider, SpiderVariant::Realistic, 0x52);
+    let dk = build_variant(spider, SpiderVariant::DomainKnowledge, 0x53);
+
+    let mut t = TextTable::new("Table 7: Spider variants (trained on Spider)").headers(&[
+        "Method",
+        "Syn EX%",
+        "Syn TS%",
+        "Realistic EX%",
+        "Realistic TS%",
+        "DK EX%",
+    ]);
+    let mut records = Vec::new();
+
+    for name in ["Llama2-13B", "CodeS-1B", "CodeS-3B", "CodeS-7B", "CodeS-15B"] {
+        let sys = workbench::sft_system(name, spider, false);
+        let o_syn = workbench::run_eval(&sys, &syn, &spider.databases, true);
+        let o_real = workbench::run_eval(&sys, &realistic, &spider.databases, true);
+        let o_dk = workbench::run_eval(&sys, &dk, &spider.databases, false);
+        t.row(vec![
+            format!("SFT {name}"),
+            pct(o_syn.ex),
+            pct(o_syn.ts),
+            pct(o_real.ex),
+            pct(o_real.ts),
+            pct(o_dk.ex),
+        ]);
+        records.push(workbench::record("table7", &format!("SFT {name}"), "spider-syn", "ex", o_syn.ex_pct(), o_syn.n));
+        records.push(workbench::record("table7", &format!("SFT {name}"), "spider-syn", "ts", o_syn.ts_pct(), o_syn.n));
+        records.push(workbench::record("table7", &format!("SFT {name}"), "spider-realistic", "ex", o_real.ex_pct(), o_real.n));
+        records.push(workbench::record("table7", &format!("SFT {name}"), "spider-realistic", "ts", o_real.ts_pct(), o_real.n));
+        records.push(workbench::record("table7", &format!("SFT {name}"), "spider-dk", "ex", o_dk.ex_pct(), o_dk.n));
+        eprintln!("done: SFT {name}");
+    }
+    // Un-perturbed reference row (for the drop magnitude).
+    let sys = workbench::sft_system("CodeS-7B", spider, false);
+    let base = workbench::run_eval(&sys, &spider.dev, &spider.databases, true);
+    t.separator();
+    t.row(vec![
+        "SFT CodeS-7B (unperturbed dev)".into(),
+        pct(base.ex),
+        pct(base.ts),
+        pct(base.ex),
+        pct(base.ts),
+        pct(base.ex),
+    ]);
+    println!("{}", t.render());
+    println!("paper reference (Table 7): SFT CodeS-7B Syn 76.9/70.0, Realistic 82.9/77.2, DK 72.0;");
+    println!("expected shape: all variants drop below the unperturbed dev; CodeS sizes 3B+ stay robust.");
+    workbench::save_records("table7", &records);
+}

@@ -1,0 +1,97 @@
+//! Table 8: Dr.Spider — 17 perturbation test sets (3 DB-side, 9
+//! question-side, 5 SQL-side) with per-category and global averages.
+
+use std::collections::HashMap;
+
+use codes_bench::workbench;
+use codes_datasets::{build_drspider_set, Category, DrSpiderSet};
+use codes_eval::{pct, TextTable};
+
+fn main() {
+    let spider = workbench::spider();
+    let models = ["CodeS-1B", "CodeS-3B", "CodeS-7B", "CodeS-15B"];
+
+    let mut t = TextTable::new("Table 8: Dr.Spider perturbation sets (EX%)").headers(&[
+        "Type",
+        "Perturbation",
+        "#Samples",
+        "CodeS-1B",
+        "CodeS-3B",
+        "CodeS-7B",
+        "CodeS-15B",
+    ]);
+    let mut records = Vec::new();
+
+    // Build the systems once; DB-side sets replace databases, so value
+    // indexes for the perturbed databases are installed per set.
+    let systems: Vec<_> = models
+        .iter()
+        .map(|name| workbench::sft_system(name, spider, false))
+        .collect();
+
+    let mut per_category: HashMap<(Category, usize), Vec<f64>> = HashMap::new();
+    let mut global: HashMap<usize, Vec<f64>> = HashMap::new();
+    let mut last_category: Option<Category> = None;
+
+    for set in DrSpiderSet::all() {
+        let built = build_drspider_set(spider, set, 0xD5);
+        if last_category != Some(set.category()) {
+            if last_category.is_some() {
+                t.separator();
+            }
+            last_category = Some(set.category());
+        }
+        let mut row = vec![
+            set.category().label().to_string(),
+            set.name().to_string(),
+            built.samples.len().to_string(),
+        ];
+        for (mi, sys) in systems.iter().enumerate() {
+            // DB-side sets changed database contents/schemas: fresh value
+            // indexes are required (cloned system state would be stale).
+            let mut sys_for_set = codes::CodesSystem::new(sys.model.fork(), sys.options)
+                .with_classifier(workbench::classifier(spider, false));
+            sys_for_set.model.finetuned = sys.model.finetuned.clone();
+            sys_for_set.prepare_databases(built.databases.iter());
+            let out = workbench::run_eval(&sys_for_set, &built.samples, &built.databases, false);
+            row.push(pct(out.ex));
+            per_category
+                .entry((set.category(), mi))
+                .or_default()
+                .push(out.ex);
+            global.entry(mi).or_default().push(out.ex);
+            records.push(workbench::record(
+                "table8",
+                &format!("SFT {}", models[mi]),
+                set.name(),
+                "ex",
+                out.ex_pct(),
+                out.n,
+            ));
+        }
+        eprintln!("done: {}", set.name());
+        t.row(row);
+    }
+
+    t.separator();
+    for cat in [Category::Db, Category::Nlq, Category::Sql] {
+        let mut row = vec![cat.label().to_string(), "Average".to_string(), "-".to_string()];
+        for mi in 0..models.len() {
+            let scores = &per_category[&(cat, mi)];
+            row.push(pct(scores.iter().sum::<f64>() / scores.len() as f64));
+        }
+        t.row(row);
+    }
+    let mut row = vec!["All".to_string(), "Global average".to_string(), "-".to_string()];
+    for mi in 0..models.len() {
+        let scores = &global[&mi];
+        row.push(pct(scores.iter().sum::<f64>() / scores.len() as f64));
+    }
+    t.row(row);
+
+    println!("{}", t.render());
+    println!("paper reference (Table 8): SFT CodeS-7B averages DB 63.6 / NLQ 74.3 / SQL 83.0 / global 75.0;");
+    println!("expected shape: DB-side perturbations hurt most (esp. DBcontent-equivalence with the");
+    println!("sparse retriever); larger CodeS degrades less; SQL-side sets are the easiest.");
+    workbench::save_records("table8", &records);
+}

@@ -1,0 +1,8 @@
+//! # codes-bench
+//!
+//! The experiment harness: one binary per table/figure of the CodeS paper
+//! (see DESIGN.md's per-experiment index) plus Criterion micro-benchmarks
+//! for the performance claims (§6.2 value-retriever speedup, prompt
+//! construction latency, engine throughput, per-size inference latency).
+
+pub mod workbench;

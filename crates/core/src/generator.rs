@@ -1,0 +1,980 @@
+//! Grammar-constrained SQL candidate generation.
+//!
+//! The generator reads ONLY the database prompt — the filtered schema with
+//! its metadata and the retrieved values — plus the question's intent
+//! signals. For each SQL sketch the model knows, it greedily fills slots
+//! (tables, columns, values, thresholds) using linking scores quantized to
+//! the model's similarity resolution. Prompt ablations therefore degrade
+//! generation exactly the way Table 9 describes: no value retriever → no
+//! reliable predicates, no comments → ambiguous columns mislink, no keys →
+//! guessed join paths, no types → arithmetic on text columns.
+
+use codes_nlp::similarity::{dice_char_bigrams, word_coverage};
+use codes_nlp::words;
+
+use crate::config::Capacity;
+use crate::intent::{AggHint, Intent, OpHint};
+use crate::prompt::{DbPrompt, PromptColumn, PromptTable};
+
+/// A generated candidate query.
+#[derive(Debug, Clone)]
+pub struct Candidate {
+    /// The generated SQL text.
+    pub sql: String,
+    /// The sketch/template that produced it.
+    pub template_id: usize,
+    /// Mean linking quality of the filled slots, in [0, 1].
+    pub slot_score: f64,
+}
+
+/// Slot-filling context over one prompt.
+pub struct SlotContext<'a> {
+    /// The model's view of the database.
+    pub prompt: &'a DbPrompt,
+    /// The question being answered.
+    pub question: &'a str,
+    /// Extracted intent signals.
+    pub intent: &'a Intent,
+    /// Capacity of the generating model (quantization, beam...).
+    pub capacity: &'a Capacity,
+}
+
+impl<'a> SlotContext<'a> {
+    /// Bundle the inputs of one generation call.
+    pub fn new(prompt: &'a DbPrompt, question: &'a str, intent: &'a Intent, capacity: &'a Capacity) -> Self {
+        SlotContext { prompt, question, intent, capacity }
+    }
+
+    /// Linking score of a column NL surface against the question.
+    fn link(&self, nl: &str) -> f64 {
+        let cov = word_coverage(self.question, nl);
+        let mut best_dice = 0.0f64;
+        let qwords = words(self.question);
+        for nw in words(nl) {
+            for qw in &qwords {
+                let d = dice_char_bigrams(&nw, qw);
+                if d > best_dice {
+                    best_dice = d;
+                }
+            }
+        }
+        self.capacity.quantize(cov.max(best_dice * 0.9))
+    }
+
+    fn column_score(&self, col: &PromptColumn) -> f64 {
+        self.link(&col.nl())
+    }
+
+    /// Linking score of a table against the question (name or best column).
+    pub fn table_score(&self, t: &PromptTable) -> f64 {
+        let name_score = self.link(&t.nl());
+        let best_col = t
+            .columns
+            .iter()
+            .map(|c| self.column_score(c))
+            .fold(0.0f64, f64::max);
+        self.capacity.quantize(name_score.max(0.8 * best_col))
+    }
+
+    /// Whether a column is numeric, judged from the prompt alone.
+    fn is_numeric(&self, col: &PromptColumn) -> Option<bool> {
+        if let Some(dt) = col.data_type {
+            return Some(dt.is_numeric());
+        }
+        if !col.representative.is_empty() {
+            return Some(col.representative.iter().all(|v| v.parse::<f64>().is_ok()));
+        }
+        None
+    }
+
+    /// Best table for the query, biased toward the table holding the best
+    /// value match.
+    fn main_table(&self) -> Option<(&PromptTable, f64)> {
+        if let Some(m) = self.prompt.matched_values.first() {
+            if let Some(t) = self.prompt.table(&m.table) {
+                return Some((t, self.capacity.quantize(0.6 + 0.4 * m.degree)));
+            }
+        }
+        self.prompt
+            .tables
+            .iter()
+            .map(|t| (t, self.table_score(t)))
+            .max_by(|a, b| {
+                a.1.partial_cmp(&b.1)
+                    .unwrap()
+                    .then(self.table_mention_position(b.0).cmp(&self.table_mention_position(a.0)))
+            })
+    }
+
+    /// Best non-PK "content" column of a table (optionally excluding one).
+    /// Ties break toward the column mentioned earliest in the question.
+    fn content_col<'t>(&self, t: &'t PromptTable, exclude: &[&str]) -> Option<(&'t PromptColumn, f64)> {
+        t.columns
+            .iter()
+            .filter(|c| !c.is_primary_key && !exclude.iter().any(|e| e.eq_ignore_ascii_case(&c.name)))
+            .filter(|c| !c.name.to_lowercase().ends_with("_id"))
+            .map(|c| (c, self.column_score(c)))
+            .max_by(|a, b| {
+                a.1.partial_cmp(&b.1)
+                    .unwrap()
+                    .then(self.mention_position(b.0).cmp(&self.mention_position(a.0)))
+            })
+    }
+
+    /// Best numeric column of a table by linking score.
+    fn numeric_col<'t>(&self, t: &'t PromptTable, exclude: &[&str]) -> Option<(&'t PromptColumn, f64)> {
+        t.columns
+            .iter()
+            .filter(|c| !c.is_primary_key && !exclude.iter().any(|e| e.eq_ignore_ascii_case(&c.name)))
+            .filter(|c| !c.name.to_lowercase().ends_with("_id"))
+            .filter_map(|c| match self.is_numeric(c) {
+                Some(true) => Some((c, self.column_score(c))),
+                Some(false) => None,
+                // Type unknown (types + values ablated): usable but risky.
+                None => Some((c, self.column_score(c) * 0.5)),
+            })
+            .max_by(|a, b| {
+                a.1.partial_cmp(&b.1)
+                    .unwrap()
+                    .then(self.mention_position(b.0).cmp(&self.mention_position(a.0)))
+            })
+    }
+
+    /// Best text-valued filter: (table, column, value literal, score).
+    /// Primary source is the value retriever; the fallback pairs a quoted
+    /// question span with the best-linked text column (weaker).
+    fn text_filter(&self) -> Option<(String, String, String, f64)> {
+        if let Some(m) = self.prompt.matched_values.first() {
+            return Some((
+                m.table.clone(),
+                m.column.clone(),
+                m.value.clone(),
+                self.capacity.quantize(0.55 + 0.45 * m.degree),
+            ));
+        }
+        let quoted = self.intent.quoted.first()?;
+        // Guess the column: best text column across the prompt.
+        let mut best: Option<(String, String, f64)> = None;
+        for t in &self.prompt.tables {
+            for c in &t.columns {
+                if self.is_numeric(c) == Some(true) || c.is_primary_key {
+                    continue;
+                }
+                let s = self.column_score(c) * 0.55;
+                if best.as_ref().map(|(_, _, bs)| s > *bs).unwrap_or(true) {
+                    best = Some((t.name.clone(), c.name.clone(), s));
+                }
+            }
+        }
+        let (t, c, s) = best?;
+        Some((t, c, quoted.clone(), s))
+    }
+
+    /// A second value for disjunction templates, from the question text.
+    fn second_value(&self, first: &str) -> Option<String> {
+        self.intent.quoted.iter().find(|q| *q != first).cloned()
+    }
+
+    /// FK edges among prompt tables: (child, fk, parent, pk). When keys are
+    /// ablated from the prompt, joins are guessed from identical column
+    /// names — the realistic failure mode of `-w/o primary and foreign keys`.
+    fn join_edges(&self) -> Vec<(String, String, String, String)> {
+        if !self.prompt.foreign_keys.is_empty() {
+            return self.prompt.foreign_keys.clone();
+        }
+        let mut out = Vec::new();
+        for (i, a) in self.prompt.tables.iter().enumerate() {
+            for b in self.prompt.tables.iter().skip(i + 1) {
+                for ca in &a.columns {
+                    if ca.name.to_lowercase().ends_with("_id") {
+                        if let Some(cb) = b.column(&ca.name) {
+                            out.push((a.name.clone(), ca.name.clone(), b.name.clone(), cb.name.clone()));
+                        }
+                    }
+                }
+            }
+        }
+        out
+    }
+
+    /// Byte offset of the column's first mention in the question
+    /// (usize::MAX when unmentioned) — used to order projections.
+    fn mention_position(&self, col: &PromptColumn) -> usize {
+        let lower_q = self.question.to_lowercase();
+        codes_nlp::words(&col.nl())
+            .into_iter()
+            .filter_map(|w| lower_q.find(&w))
+            .min()
+            .unwrap_or(usize::MAX)
+    }
+
+    /// Byte offset of the table's first mention in the question.
+    fn table_mention_position(&self, t: &PromptTable) -> usize {
+        let lower_q = self.question.to_lowercase();
+        codes_nlp::words(&t.nl())
+            .into_iter()
+            .filter_map(|w| lower_q.find(&w))
+            .min()
+            .unwrap_or(usize::MAX)
+    }
+
+    /// Join edge whose parent table holds the value filter.
+    fn edge_to_value_table(&self, value_table: &str) -> Option<(String, String, String, String)> {
+        self.join_edges()
+            .into_iter()
+            .find(|(child, _, parent, _)| {
+                parent.eq_ignore_ascii_case(value_table) && !child.eq_ignore_ascii_case(value_table)
+            })
+    }
+
+    fn first_number(&self) -> Option<&String> {
+        self.intent.numbers.first()
+    }
+
+    fn two_numbers(&self) -> Option<(&String, &String)> {
+        if self.intent.numbers.len() >= 2 {
+            Some((&self.intent.numbers[0], &self.intent.numbers[1]))
+        } else {
+            None
+        }
+    }
+
+    fn agg(&self) -> &'static str {
+        match self.intent.agg {
+            Some(AggHint::Avg) => "AVG",
+            Some(AggHint::Sum) => "SUM",
+            Some(AggHint::Max) => "MAX",
+            Some(AggHint::Min) => "MIN",
+            None => "AVG",
+        }
+    }
+
+    fn op(&self) -> &'static str {
+        match self.intent.op {
+            Some(OpHint::Gt) | None => ">",
+            Some(OpHint::Lt) => "<",
+            Some(OpHint::Ge) => ">=",
+            Some(OpHint::Le) => "<=",
+        }
+    }
+
+    fn direction(&self) -> &'static str {
+        if self.intent.superlative_asc || self.intent.agg == Some(AggHint::Min) {
+            "ASC"
+        } else {
+            "DESC"
+        }
+    }
+}
+
+fn esc(v: &str) -> String {
+    v.replace('\'', "''")
+}
+
+/// Generate the best slot assignment for one template. `None` when the
+/// prompt cannot satisfy the template's requirements.
+pub fn fill_template(ctx: &SlotContext, template_id: usize) -> Option<Candidate> {
+    let mut scores: Vec<f64> = Vec::new();
+    let push = |s: f64, scores: &mut Vec<f64>| scores.push(s.clamp(0.0, 1.0));
+
+    let sql = match template_id {
+        0 => {
+            let (t, s) = ctx.main_table()?;
+            push(s, &mut scores);
+            format!("SELECT COUNT(*) FROM {}", t.name)
+        }
+        1 | 30 => {
+            let (t, ts) = ctx.main_table()?;
+            push(ts, &mut scores);
+            if template_id == 30 {
+                // Pick the sort column first so a numeric best-linked column
+                // is not consumed by the projection slot.
+                let (cn, ns) = ctx.numeric_col(t, &[])?;
+                let (c, cs) = ctx.content_col(t, &[&cn.name])?;
+                push(cs, &mut scores);
+                push(ns, &mut scores);
+                let (first, second) = if ctx.mention_position(cn) < ctx.mention_position(c) {
+                    (cn, c)
+                } else {
+                    (c, cn)
+                };
+                format!(
+                    "SELECT {}, {} FROM {} ORDER BY {} {}",
+                    first.name, second.name, t.name, cn.name, ctx.direction()
+                )
+            } else {
+                let (c, cs) = ctx.content_col(t, &[])?;
+                push(cs, &mut scores);
+                format!("SELECT {} FROM {}", c.name, t.name)
+            }
+        }
+        2 => {
+            let (t, ts) = ctx.main_table()?;
+            let (c1, s1) = ctx.content_col(t, &[])?;
+            let (c2, s2) = ctx.content_col(t, &[&c1.name])?;
+            push(ts, &mut scores);
+            push(s1, &mut scores);
+            push(s2, &mut scores);
+            // Project in the order the question mentions the columns.
+            let (first, second) = if ctx.mention_position(c2) < ctx.mention_position(c1) {
+                (c2, c1)
+            } else {
+                (c1, c2)
+            };
+            format!("SELECT {}, {} FROM {}", first.name, second.name, t.name)
+        }
+        3 => {
+            let (t, s) = ctx.main_table()?;
+            push(s, &mut scores);
+            format!("SELECT * FROM {}", t.name)
+        }
+        4 => {
+            let (t, ts) = ctx.main_table()?;
+            let (c, cs) = ctx.content_col(t, &[])?;
+            push(ts, &mut scores);
+            push(cs, &mut scores);
+            format!("SELECT DISTINCT {} FROM {}", c.name, t.name)
+        }
+        5 => {
+            let (vt, vc, value, vs) = ctx.text_filter()?;
+            let t = ctx.prompt.table(&vt)?;
+            let (c, cs) = ctx.content_col(t, &[&vc])?;
+            push(vs, &mut scores);
+            push(cs, &mut scores);
+            format!("SELECT {} FROM {} WHERE {} = '{}'", c.name, vt, vc, esc(&value))
+        }
+        6 => {
+            let (t, ts) = ctx.main_table()?;
+            let (cn, ns) = ctx.numeric_col(t, &[])?;
+            let (c, cs) = ctx.content_col(t, &[&cn.name])?;
+            let n = ctx.first_number()?;
+            push(ts, &mut scores);
+            push(ns, &mut scores);
+            push(cs, &mut scores);
+            format!("SELECT {} FROM {} WHERE {} {} {}", c.name, t.name, cn.name, ctx.op(), n)
+        }
+        7 => {
+            let (vt, vc, value, vs) = ctx.text_filter()?;
+            push(vs, &mut scores);
+            format!("SELECT COUNT(*) FROM {} WHERE {} = '{}'", vt, vc, esc(&value))
+        }
+        8 => {
+            let (t, ts) = ctx.main_table()?;
+            let (cn, ns) = ctx.numeric_col(t, &[])?;
+            push(ts, &mut scores);
+            push(ns, &mut scores);
+            format!("SELECT {}({}) FROM {}", ctx.agg(), cn.name, t.name)
+        }
+        9 => {
+            let (t, ts) = ctx.main_table()?;
+            let (cn, ns) = ctx.numeric_col(t, &[])?;
+            let (c, cs) = ctx.content_col(t, &[&cn.name])?;
+            push(ts, &mut scores);
+            push(ns, &mut scores);
+            push(cs, &mut scores);
+            // Templates 9 and 16 share a sketch; the question's number (if
+            // any) parametrizes the LIMIT.
+            let limit = ctx.first_number().cloned().unwrap_or_else(|| "1".to_string());
+            format!(
+                "SELECT {} FROM {} ORDER BY {} {} LIMIT {}",
+                c.name, t.name, cn.name, ctx.direction(), limit
+            )
+        }
+        10 => {
+            let (vt, vc, value, vs) = ctx.text_filter()?;
+            let t = ctx.prompt.table(&vt)?;
+            let (cn, ns) = ctx.numeric_col(t, &[&vc])?;
+            push(vs, &mut scores);
+            push(ns, &mut scores);
+            format!(
+                "SELECT {}({}) FROM {} WHERE {} = '{}'",
+                ctx.agg(),
+                cn.name,
+                vt,
+                vc,
+                esc(&value)
+            )
+        }
+        11 => {
+            let (vt, vc, value, vs) = ctx.text_filter()?;
+            let t = ctx.prompt.table(&vt)?;
+            let (cn, ns) = ctx.numeric_col(t, &[&vc])?;
+            let (c, cs) = ctx.content_col(t, &[])?;
+            let n = ctx.first_number()?;
+            push(vs, &mut scores);
+            push(ns, &mut scores);
+            push(cs, &mut scores);
+            format!(
+                "SELECT {} FROM {} WHERE {} = '{}' AND {} {} {}",
+                c.name,
+                vt,
+                vc,
+                esc(&value),
+                cn.name,
+                ctx.op(),
+                n
+            )
+        }
+        12 | 32 => {
+            let (t, ts) = ctx.main_table()?;
+            let (c, cs) = ctx.group_col(t)?;
+            push(ts, &mut scores);
+            push(cs, &mut scores);
+            // One-table grouping loses credibility when a second table is
+            // strongly mentioned (the join-group templates should win then).
+            let other = ctx
+                .prompt
+                .tables
+                .iter()
+                .filter(|o| !o.name.eq_ignore_ascii_case(&t.name))
+                .map(|o| ctx.table_score(o))
+                .fold(0.0f64, f64::max);
+            push(1.0 - 0.8 * other, &mut scores);
+            let tail = if template_id == 32 { " ORDER BY COUNT(*) DESC" } else { "" };
+            format!(
+                "SELECT {}, COUNT(*) FROM {} GROUP BY {}{tail}",
+                c.name, t.name, c.name
+            )
+        }
+        13 => {
+            let (t, ts) = ctx.main_table()?;
+            let (c, cs) = ctx.group_col(t)?;
+            let (cn, ns) = ctx.numeric_col(t, &[&c.name])?;
+            push(ts, &mut scores);
+            push(cs, &mut scores);
+            push(ns, &mut scores);
+            format!(
+                "SELECT {}, {}({}) FROM {} GROUP BY {}",
+                c.name,
+                ctx.agg(),
+                cn.name,
+                t.name,
+                c.name
+            )
+        }
+        14 => {
+            let (t, ts) = ctx.main_table()?;
+            let (c, cs) = ctx.group_col(t)?;
+            let n = ctx.first_number()?;
+            push(ts, &mut scores);
+            push(cs, &mut scores);
+            format!(
+                "SELECT {} FROM {} GROUP BY {} HAVING COUNT(*) >= {}",
+                c.name, t.name, c.name, n
+            )
+        }
+        15 => {
+            let (t, ts) = ctx.main_table()?;
+            let (c, cs) = ctx.group_col(t)?;
+            push(ts, &mut scores);
+            push(cs, &mut scores);
+            format!(
+                "SELECT {} FROM {} GROUP BY {} ORDER BY COUNT(*) DESC LIMIT 1",
+                c.name, t.name, c.name
+            )
+        }
+        16 => {
+            let (t, ts) = ctx.main_table()?;
+            let (cn, ns) = ctx.numeric_col(t, &[])?;
+            let (c, cs) = ctx.content_col(t, &[&cn.name])?;
+            let n = ctx.first_number()?;
+            push(ts, &mut scores);
+            push(ns, &mut scores);
+            push(cs, &mut scores);
+            format!(
+                "SELECT {} FROM {} ORDER BY {} {} LIMIT {}",
+                c.name,
+                t.name,
+                cn.name,
+                ctx.direction(),
+                n
+            )
+        }
+        17 => {
+            let (t, ts) = ctx.main_table()?;
+            let (c, cs) = ctx.content_col(t, &[])?;
+            push(ts, &mut scores);
+            push(cs, &mut scores);
+            format!("SELECT COUNT(DISTINCT {}) FROM {}", c.name, t.name)
+        }
+        18 => {
+            let (t, ts) = ctx.main_table()?;
+            let (cn, ns) = ctx.numeric_col(t, &[])?;
+            let (c, cs) = ctx.content_col(t, &[&cn.name])?;
+            let (lo, hi) = ctx.two_numbers()?;
+            push(ts, &mut scores);
+            push(ns, &mut scores);
+            push(cs, &mut scores);
+            format!(
+                "SELECT {} FROM {} WHERE {} BETWEEN {} AND {}",
+                c.name, t.name, cn.name, lo, hi
+            )
+        }
+        19 => {
+            let (vt, vc, value, vs) = ctx.text_filter()?;
+            let t = ctx.prompt.table(&vt)?;
+            let (c, cs) = ctx.content_col(t, &[&vc])?;
+            push(vs, &mut scores);
+            push(cs, &mut scores);
+            // LIKE uses the first word of the matched value as the needle.
+            let needle = value.split_whitespace().next().unwrap_or(&value);
+            format!(
+                "SELECT {} FROM {} WHERE {} LIKE '%{}%'",
+                c.name,
+                vt,
+                vc,
+                esc(needle)
+            )
+        }
+        20 => {
+            let (t, ts) = ctx.main_table()?;
+            let (c, cs) = ctx.content_col(t, &[])?;
+            push(ts, &mut scores);
+            push(cs, &mut scores);
+            let negated = ctx.question.to_lowercase().contains("known");
+            format!(
+                "SELECT COUNT(*) FROM {} WHERE {} IS {}NULL",
+                t.name,
+                c.name,
+                if negated { "NOT " } else { "" }
+            )
+        }
+        21 => {
+            let (vt, vc, value, vs) = ctx.text_filter()?;
+            let (child, fk, parent, pk) = ctx.edge_to_value_table(&vt)?;
+            let child_t = ctx.prompt.table(&child)?;
+            let (c, cs) = ctx.content_col(child_t, &[&fk])?;
+            push(vs, &mut scores);
+            push(cs, &mut scores);
+            format!(
+                "SELECT T1.{} FROM {} AS T1 JOIN {} AS T2 ON T1.{} = T2.{} WHERE T2.{} = '{}'",
+                c.name,
+                child,
+                parent,
+                fk,
+                pk,
+                vc,
+                esc(&value)
+            )
+        }
+        22 => {
+            let (vt, vc, value, vs) = ctx.text_filter()?;
+            let (child, fk, parent, pk) = ctx.edge_to_value_table(&vt)?;
+            push(vs, &mut scores);
+            format!(
+                "SELECT COUNT(*) FROM {} AS T1 JOIN {} AS T2 ON T1.{} = T2.{} WHERE T2.{} = '{}'",
+                child,
+                parent,
+                fk,
+                pk,
+                vc,
+                esc(&value)
+            )
+        }
+        23 | 24 => {
+            // join group (count | argmax) over the best edge by table link.
+            let (child, fk, parent, pk) = ctx.best_edge()?;
+            let parent_t = ctx.prompt.table(&parent)?;
+            let (label, ls) = ctx.content_col(parent_t, &[&pk])?;
+            push(ls, &mut scores);
+            // The counted noun is the child table: require evidence that
+            // the question mentions it, or this is really a one-table group.
+            if let Some(child_t) = ctx.prompt.table(&child) {
+                push(ctx.table_score(child_t), &mut scores);
+            }
+            if template_id == 23 {
+                format!(
+                    "SELECT T2.{}, COUNT(*) FROM {} AS T1 JOIN {} AS T2 ON T1.{} = T2.{} GROUP BY T2.{}",
+                    label.name, child, parent, fk, pk, label.name
+                )
+            } else {
+                format!(
+                    "SELECT T2.{} FROM {} AS T1 JOIN {} AS T2 ON T1.{} = T2.{} GROUP BY T2.{} ORDER BY COUNT(*) DESC LIMIT 1",
+                    label.name, child, parent, fk, pk, label.name
+                )
+            }
+        }
+        25 => {
+            let (vt, vc, value, vs) = ctx.text_filter()?;
+            let (child, fk, parent, pk) = ctx.edge_to_value_table(&vt)?;
+            let child_t = ctx.prompt.table(&child)?;
+            let (cn, ns) = ctx.numeric_col(child_t, &[&fk])?;
+            push(vs, &mut scores);
+            push(ns, &mut scores);
+            format!(
+                "SELECT {}(T1.{}) FROM {} AS T1 JOIN {} AS T2 ON T1.{} = T2.{} WHERE T2.{} = '{}'",
+                ctx.agg(),
+                cn.name,
+                child,
+                parent,
+                fk,
+                pk,
+                vc,
+                esc(&value)
+            )
+        }
+        26 => {
+            let (t, ts) = ctx.main_table()?;
+            let (cn, ns) = ctx.numeric_col(t, &[])?;
+            let (c, cs) = ctx.content_col(t, &[&cn.name])?;
+            push(ts, &mut scores);
+            push(ns, &mut scores);
+            push(cs, &mut scores);
+            format!(
+                "SELECT {} FROM {} WHERE {} > (SELECT AVG({}) FROM {})",
+                c.name, t.name, cn.name, cn.name, t.name
+            )
+        }
+        27 => {
+            let (child, fk, parent, pk) = ctx.best_edge()?;
+            let parent_t = ctx.prompt.table(&parent)?;
+            let child_t = ctx.prompt.table(&child)?;
+            let (label, ls) = ctx.content_col(parent_t, &[&pk])?;
+            let (cn, ns) = ctx.numeric_col(child_t, &[&fk])?;
+            let n = ctx.first_number()?;
+            push(ls, &mut scores);
+            push(ns, &mut scores);
+            format!(
+                "SELECT {} FROM {} WHERE {} IN (SELECT {} FROM {} WHERE {} {} {})",
+                label.name,
+                parent,
+                pk,
+                fk,
+                child,
+                cn.name,
+                ctx.op(),
+                n
+            )
+        }
+        28 => {
+            let (child, fk, parent, pk) = ctx.best_edge()?;
+            let parent_t = ctx.prompt.table(&parent)?;
+            let (label, ls) = ctx.content_col(parent_t, &[&pk])?;
+            push(ls, &mut scores);
+            format!(
+                "SELECT {} FROM {} WHERE {} NOT IN (SELECT {} FROM {} WHERE {} IS NOT NULL)",
+                label.name, parent, pk, fk, child, fk
+            )
+        }
+        29 => {
+            let (vt, vc, v1, vs) = ctx.text_filter()?;
+            let v2 = ctx.second_value(&v1)?;
+            let t = ctx.prompt.table(&vt)?;
+            let (c, cs) = ctx.content_col(t, &[&vc])?;
+            push(vs, &mut scores);
+            push(cs, &mut scores);
+            format!(
+                "SELECT {} FROM {} WHERE {} = '{}' OR {} = '{}'",
+                c.name,
+                vt,
+                vc,
+                esc(&v1),
+                vc,
+                esc(&v2)
+            )
+        }
+        31 => {
+            let (t, ts) = ctx.main_table()?;
+            let (c, cs) = ctx.group_col(t)?;
+            let (cn, ns) = ctx.numeric_col(t, &[&c.name])?;
+            let n = ctx.first_number()?;
+            push(ts, &mut scores);
+            push(cs, &mut scores);
+            push(ns, &mut scores);
+            format!(
+                "SELECT {} FROM {} GROUP BY {} HAVING AVG({}) {} {}",
+                c.name,
+                t.name,
+                c.name,
+                cn.name,
+                ctx.op(),
+                n
+            )
+        }
+        33 => {
+            let (vt, vc, value, vs) = ctx.text_filter()?;
+            let t = ctx.prompt.table(&vt)?;
+            let (c, cs) = ctx.content_col(t, &[&vc])?;
+            let (cn, ns) = ctx.numeric_col(t, &[&vc, &c.name])?;
+            let n = ctx.first_number()?;
+            push(vs, &mut scores);
+            push(cs, &mut scores);
+            push(ns, &mut scores);
+            format!(
+                "SELECT {} FROM {} WHERE {} = '{}' UNION SELECT {} FROM {} WHERE {} {} {}",
+                c.name,
+                vt,
+                vc,
+                esc(&value),
+                c.name,
+                vt,
+                cn.name,
+                ctx.op(),
+                n
+            )
+        }
+        34 => {
+            let (t, ts) = ctx.main_table()?;
+            let (cn, ns) = ctx.numeric_col(t, &[])?;
+            let (c, cs) = ctx.content_col(t, &[&cn.name])?;
+            let (lo, hi) = ctx.two_numbers()?;
+            push(ts, &mut scores);
+            push(ns, &mut scores);
+            push(cs, &mut scores);
+            format!(
+                "SELECT {} FROM {} WHERE {} > {} INTERSECT SELECT {} FROM {} WHERE {} < {}",
+                c.name, t.name, cn.name, lo, c.name, t.name, cn.name, hi
+            )
+        }
+        35 => {
+            let (child, fk, parent, pk) = ctx.best_edge()?;
+            push(0.6, &mut scores);
+            format!("SELECT {} FROM {} EXCEPT SELECT {} FROM {}", pk, parent, fk, child)
+        }
+        36 => {
+            let (child, fk, parent, pk) = ctx.best_edge()?;
+            let parent_t = ctx.prompt.table(&parent)?;
+            let (label, ls) = ctx.content_col(parent_t, &[&pk])?;
+            let n = ctx.first_number()?;
+            push(ls, &mut scores);
+            format!(
+                "SELECT {} FROM {} WHERE {} IN (SELECT {} FROM {} GROUP BY {} HAVING COUNT(*) > {})",
+                label.name,
+                parent,
+                pk,
+                fk,
+                child,
+                fk,
+                n
+            )
+        }
+        37 => {
+            let (vt, vc, value, vs) = ctx.text_filter()?;
+            // Find a link table with edges to both the value table and a
+            // second parent.
+            let edges = ctx.join_edges();
+            let mut found = None;
+            for (c1, fk1, p1, pk1) in &edges {
+                if !p1.eq_ignore_ascii_case(&vt) {
+                    continue;
+                }
+                for (c2, fk2, p2, pk2) in &edges {
+                    if c2 == c1 && !p2.eq_ignore_ascii_case(&vt) {
+                        found = Some((
+                            c1.clone(),
+                            (fk2.clone(), p2.clone(), pk2.clone()),
+                            (fk1.clone(), p1.clone(), pk1.clone()),
+                        ));
+                    }
+                }
+            }
+            let (link, (fk_a, parent_a, pk_a), (fk_b, parent_b, pk_b)) = found?;
+            let pa = ctx.prompt.table(&parent_a)?;
+            let (label, ls) = ctx.content_col(pa, &[&pk_a])?;
+            push(vs, &mut scores);
+            push(ls, &mut scores);
+            format!(
+                "SELECT DISTINCT T2.{} FROM {} AS T1 JOIN {} AS T2 ON T1.{} = T2.{} JOIN {} AS T3 ON T1.{} = T3.{} WHERE T3.{} = '{}'",
+                label.name,
+                link,
+                parent_a,
+                fk_a,
+                pk_a,
+                parent_b,
+                fk_b,
+                pk_b,
+                vc,
+                esc(&value)
+            )
+        }
+        38 => {
+            let (t, ts) = ctx.main_table()?;
+            let (cn, ns) = ctx.numeric_col(t, &[])?;
+            let (c, cs) = ctx.content_col(t, &[&cn.name])?;
+            push(ts, &mut scores);
+            push(ns, &mut scores);
+            push(cs, &mut scores);
+            let f = if ctx.direction() == "ASC" { "MIN" } else { "MAX" };
+            format!(
+                "SELECT {} FROM {} WHERE {} = (SELECT {f}({}) FROM {})",
+                c.name, t.name, cn.name, cn.name, t.name
+            )
+        }
+        39 => {
+            let (t, ts) = ctx.main_table()?;
+            let (c, cs) = ctx.group_col(t)?;
+            let (cn, ns) = ctx.numeric_col(t, &[&c.name])?;
+            let n = ctx.first_number()?;
+            push(ts, &mut scores);
+            push(cs, &mut scores);
+            push(ns, &mut scores);
+            format!(
+                "SELECT {}, COUNT(*) FROM {} WHERE {} {} {} GROUP BY {} ORDER BY COUNT(*) DESC",
+                c.name,
+                t.name,
+                cn.name,
+                ctx.op(),
+                n,
+                c.name
+            )
+        }
+        40 => {
+            let (t, ts) = ctx.main_table()?;
+            let (cn, ns) = ctx.numeric_col(t, &[])?;
+            let n = ctx.first_number()?;
+            push(ts, &mut scores);
+            push(ns, &mut scores);
+            format!(
+                "SELECT COUNT(*) FROM {} WHERE {} {} {}",
+                t.name,
+                cn.name,
+                ctx.op(),
+                n
+            )
+        }
+        _ => return None,
+    };
+
+    let slot_score = if scores.is_empty() {
+        0.4
+    } else {
+        scores.iter().sum::<f64>() / scores.len() as f64
+    };
+    Some(Candidate { sql, template_id, slot_score })
+}
+
+impl<'a> SlotContext<'a> {
+    /// Grouping column: prefer low-cardinality text columns that the
+    /// question links to.
+    fn group_col(&self, t: &'a PromptTable) -> Option<(&'a PromptColumn, f64)> {
+        t.columns
+            .iter()
+            .filter(|c| !c.is_primary_key && !c.name.to_lowercase().ends_with("_id"))
+            .filter(|c| self.is_numeric(c) != Some(true))
+            .map(|c| (c, self.column_score(c)))
+            .max_by(|a, b| {
+                a.1.partial_cmp(&b.1)
+                    .unwrap()
+                    .then(self.mention_position(b.0).cmp(&self.mention_position(a.0)))
+            })
+    }
+
+    /// The join edge whose endpoints the question links to best.
+    fn best_edge(&self) -> Option<(String, String, String, String)> {
+        self.join_edges()
+            .into_iter()
+            .map(|e| {
+                let child_score = self.prompt.table(&e.0).map(|t| self.table_score(t)).unwrap_or(0.0);
+                let parent_score = self.prompt.table(&e.2).map(|t| self.table_score(t)).unwrap_or(0.0);
+                (e, child_score + parent_score)
+            })
+            .max_by(|a, b| a.1.partial_cmp(&b.1).unwrap())
+            .map(|(e, _)| e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::ModelSize;
+    use crate::intent::extract_intent;
+    use crate::prompt::{build_prompt, PromptOptions};
+    use codes_datasets::finance::bank_financials_db;
+    use codes_retrieval::ValueIndex;
+
+    fn ctx_fixture(question: &str) -> (DbPrompt, Intent) {
+        let db = bank_financials_db(1);
+        let idx = ValueIndex::build(&db);
+        let prompt = build_prompt(&db, question, None, None, Some(&idx), &PromptOptions::sft());
+        let intent = extract_intent(question);
+        (prompt, intent)
+    }
+
+    #[test]
+    fn count_template_picks_right_table() {
+        let (prompt, intent) = ctx_fixture("How many clients do we have?");
+        let cap = ModelSize::B15.capacity();
+        let ctx = SlotContext::new(&prompt, "How many clients do we have?", &intent, &cap);
+        let c = fill_template(&ctx, 0).unwrap();
+        assert_eq!(c.sql, "SELECT COUNT(*) FROM client");
+    }
+
+    #[test]
+    fn value_filter_uses_retrieved_value() {
+        let q = "How many accounts were opened in the Jesenik branch?";
+        let (prompt, intent) = ctx_fixture(q);
+        let cap = ModelSize::B15.capacity();
+        let ctx = SlotContext::new(&prompt, q, &intent, &cap);
+        let c = fill_template(&ctx, 7).unwrap();
+        assert!(c.sql.contains("'Jesenik'"), "{}", c.sql);
+        assert!(c.sql.contains("branch"), "{}", c.sql);
+    }
+
+    #[test]
+    fn join_template_uses_fk() {
+        let q = "How many clients opened their accounts in Jesenik branch were women?";
+        let (prompt, intent) = ctx_fixture(q);
+        let cap = ModelSize::B15.capacity();
+        let ctx = SlotContext::new(&prompt, q, &intent, &cap);
+        if let Some(c) = fill_template(&ctx, 22) {
+            assert!(c.sql.contains("JOIN"), "{}", c.sql);
+            assert!(c.sql.to_lowercase().contains("account"), "{}", c.sql);
+        }
+    }
+
+    #[test]
+    fn all_templates_generate_valid_sql_when_filled() {
+        let db = bank_financials_db(1);
+        let idx = ValueIndex::build(&db);
+        let questions = [
+            "How many clients are there with balance more than 50000 and 2 accounts between 10 and 20?",
+            "Show the average balance of accounts in 'Jesenik' or 'Praha' with at least 3 clients?",
+        ];
+        let cap = ModelSize::B15.capacity();
+        let mut filled = 0;
+        for q in questions {
+            let prompt = build_prompt(&db, q, None, None, Some(&idx), &PromptOptions::sft());
+            let intent = extract_intent(q);
+            let ctx = SlotContext::new(&prompt, q, &intent, &cap);
+            for id in 0..codes_datasets::TEMPLATE_COUNT {
+                if let Some(c) = fill_template(&ctx, id) {
+                    filled += 1;
+                    sqlengine::parse_query(&c.sql)
+                        .unwrap_or_else(|e| panic!("template {id} invalid SQL `{}`: {e}", c.sql));
+                    assert!((0.0..=1.0).contains(&c.slot_score));
+                }
+            }
+        }
+        assert!(filled >= 30, "only {filled} template fills across fixtures");
+    }
+
+    #[test]
+    fn generated_sql_executes() {
+        let db = bank_financials_db(1);
+        let idx = ValueIndex::build(&db);
+        let q = "What is the average balance of accounts in the Jesenik branch?";
+        let prompt = build_prompt(&db, q, None, None, Some(&idx), &PromptOptions::sft());
+        let intent = extract_intent(q);
+        let cap = ModelSize::B7.capacity();
+        let ctx = SlotContext::new(&prompt, q, &intent, &cap);
+        let c = fill_template(&ctx, 10).unwrap();
+        let r = sqlengine::execute_query(&db, &c.sql);
+        assert!(r.is_ok(), "{} -> {:?}", c.sql, r.err());
+    }
+
+    #[test]
+    fn no_value_retriever_degrades_filter_quality() {
+        let db = bank_financials_db(1);
+        let idx = ValueIndex::build(&db);
+        let q = "How many clients have gender 'F'?";
+        let intent = extract_intent(q);
+        let cap = ModelSize::B15.capacity();
+        let with = build_prompt(&db, q, None, None, Some(&idx), &PromptOptions::sft());
+        let without = build_prompt(&db, q, None, None, Some(&idx), &PromptOptions::sft().without_value_retriever());
+        let ctx_with = SlotContext::new(&with, q, &intent, &cap);
+        let ctx_without = SlotContext::new(&without, q, &intent, &cap);
+        let c_with = fill_template(&ctx_with, 7).unwrap();
+        let c_without = fill_template(&ctx_without, 7).unwrap();
+        assert!(c_with.slot_score >= c_without.slot_score);
+    }
+}

@@ -1,0 +1,401 @@
+//! Question-intent extraction: the cues the generation grammar consults
+//! when ranking SQL sketches and filling slots.
+
+use codes_nlp::words;
+
+/// Aggregate hint detected in the question.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AggHint {
+    /// "average"/"mean".
+    Avg,
+    /// "total"/"sum".
+    Sum,
+    /// "maximum"/"highest".
+    Max,
+    /// "minimum"/"lowest".
+    Min,
+}
+
+impl AggHint {
+    /// The SQL aggregate function name.
+    pub fn sql(&self) -> &'static str {
+        match self {
+            AggHint::Avg => "AVG",
+            AggHint::Sum => "SUM",
+            AggHint::Max => "MAX",
+            AggHint::Min => "MIN",
+        }
+    }
+}
+
+/// Comparison hint.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum OpHint {
+    /// "more than".
+    Gt,
+    /// "less than".
+    Lt,
+    /// "at least".
+    Ge,
+    /// "at most".
+    Le,
+}
+
+impl OpHint {
+    /// The SQL comparison operator.
+    pub fn sql(&self) -> &'static str {
+        match self {
+            OpHint::Gt => ">",
+            OpHint::Lt => "<",
+            OpHint::Ge => ">=",
+            OpHint::Le => "<=",
+        }
+    }
+}
+
+/// All intent signals mined from a question.
+#[derive(Debug, Clone, Default, PartialEq)]
+#[allow(missing_docs)] // boolean cue flags named after their trigger phrases
+pub struct Intent {
+    pub wants_count: bool,
+    pub agg: Option<AggHint>,
+    pub op: Option<OpHint>,
+    /// "highest"/"most" — descending superlative.
+    pub superlative_desc: bool,
+    /// "lowest"/"least" — ascending superlative.
+    pub superlative_asc: bool,
+    pub group_by: bool,
+    pub distinct: bool,
+    pub negation: bool,
+    pub disjunction: bool,
+    pub between: bool,
+    pub contains_like: bool,
+    pub null_check: bool,
+    pub sorted_listing: bool,
+    pub above_average: bool,
+    /// Numbers verbalized in the question (as written).
+    pub numbers: Vec<String>,
+    /// Quoted spans in the question.
+    pub quoted: Vec<String>,
+    /// Multiple entities joined by "and" in the selection ("X and Y of").
+    pub pair_projection: bool,
+    pub wants_all_info: bool,
+    pub most_common: bool,
+    pub per_group_count_phrases: bool,
+    /// "with the highest X" — asks for a row at an extremum.
+    pub argmax_phrase: bool,
+    /// "equals the minimum" / "equal to the maximum" — extremum subquery.
+    pub extremum_equality: bool,
+    /// "values appear in ..." — group-frequency phrasing.
+    pub appears: bool,
+    /// "belong to" — child-of-parent counting.
+    pub belongs: bool,
+    /// "that have" — parents filtered by child properties.
+    pub that_have: bool,
+    /// "has the most" — join argmax phrasing.
+    pub has_the_most: bool,
+    /// "do not appear" — anti-join phrasing.
+    pub not_appear: bool,
+    /// "and also" — conjunctive double condition (intersect phrasing).
+    pub also: bool,
+    /// "linked through" — explicit two-hop phrasing.
+    pub linked_through: bool,
+    /// Value hints available outside the question text (retrieved values,
+    /// EK aliases) — set by the model after prompt enrichment.
+    pub value_hints: usize,
+}
+
+impl Intent {
+    /// Whether the question is anchored to a concrete database value.
+    pub fn has_value(&self) -> bool {
+        !self.quoted.is_empty() || self.value_hints > 0
+    }
+
+    /// A "plain listing" question: no aggregation/filter/sort signals.
+    pub fn plain(&self) -> bool {
+        !self.wants_count
+            && self.agg.is_none()
+            && self.op.is_none()
+            && !self.has_value()
+            && self.numbers.is_empty()
+            && !self.group_by
+            && !self.distinct
+            && !self.negation
+            && !self.between
+            && !self.contains_like
+            && !self.null_check
+            && !self.sorted_listing
+            && !self.above_average
+            && !self.most_common
+            && !self.superlative_desc
+            && !self.superlative_asc
+            && !self.wants_all_info
+            && !self.argmax_phrase
+    }
+}
+
+/// Extract intent signals from a question (and optional EK text).
+pub fn extract_intent(question: &str) -> Intent {
+    let lower = question.to_lowercase();
+    let ws = words(&lower);
+    let has = |needle: &str| lower.contains(needle);
+    let word = |w: &str| ws.iter().any(|x| x == w);
+
+    let mut intent = Intent {
+        // Word-level where substrings would misfire ("count" in "country").
+        wants_count: has("how many")
+            || word("count")
+            || word("counts")
+            || has("number of")
+            || has("what number of"),
+        ..Intent::default()
+    };
+
+    intent.agg = if word("average") || word("mean") || word("typical") {
+        Some(AggHint::Avg)
+    } else if word("total") || word("sum") || word("overall") {
+        Some(AggHint::Sum)
+    } else if word("maximum") || word("highest") || word("greatest") || word("top") || word("largest") {
+        Some(AggHint::Max)
+    } else if word("minimum") || word("lowest") || word("smallest") || word("least") {
+        Some(AggHint::Min)
+    } else {
+        None
+    };
+
+    intent.op = if has("more than")
+        || has("greater than")
+        || word("over")
+        || word("above")
+        || word("exceeding")
+    {
+        Some(OpHint::Gt)
+    } else if has("less than") || word("below") || word("under") || word("beneath") || has("lower than") {
+        Some(OpHint::Lt)
+    } else if has("at least") || has("no less than") || has("a minimum of") {
+        Some(OpHint::Ge)
+    } else if has("at most") || has("no more than") || has("a maximum of") {
+        Some(OpHint::Le)
+    } else if word("after") || word("since") {
+        // Temporal comparisons over year-like columns.
+        Some(OpHint::Gt)
+    } else if word("before") {
+        Some(OpHint::Lt)
+    } else {
+        None
+    };
+
+    intent.superlative_desc = word("highest") || has("the most") || word("largest") || word("greatest") || word("top");
+    intent.superlative_asc = has("lowest") || has("the least") || has("smallest") || has("fewest");
+    // "per" signals grouping, except in unit phrases ("miles per gallon").
+    let per_unit = has("per gallon") || has("per share") || has("percent") || has("per cent") || has("per capita");
+    intent.group_by = has("for each") || (has("per ") && !per_unit) || has(" each ") || has("groups of") || has("per,");
+    intent.distinct = word("distinct") || word("different") || word("unique");
+    intent.negation = has(" no ") || has("not ") || has("without") || has("do not") || has(" missing");
+    intent.disjunction = has(" either ") || has(" or ");
+    intent.between = word("between");
+    intent.contains_like = word("containing") || word("contains") || has("include");
+    intent.null_check = has("missing a") || has("have a known") || has("unknown");
+    intent.sorted_listing = word("sorted") || has("descending order") || has("ascending order")
+        || has("most to least") || has("most numerous first") || has("most recent first");
+    intent.above_average = has("above-average") || has("above average") || has("below average");
+    intent.most_common = has("most common") || has("most numerous");
+    intent.per_group_count_phrases = has("how many") && intent.group_by;
+    intent.wants_all_info = has("all information") || has("every detail");
+    intent.pair_projection = has(" and ");
+    intent.argmax_phrase = has("with the highest")
+        || has("with the lowest")
+        || has("that has the")
+        || has("has the highest")
+        || has("has the lowest")
+        || has("with the largest")
+        || has("with the smallest");
+    intent.extremum_equality = has("equals the minimum") || has("equal to the maximum");
+    intent.appears = word("appear") || word("appears");
+    intent.belongs = has("belong to");
+    intent.that_have = has("that have");
+    intent.has_the_most = has("has the most") || has("have the most") || has("has written the most") || has("has published the most");
+    intent.not_appear = has("do not appear") || has("not appear");
+    intent.also = has("also");
+    intent.linked_through = has("linked through");
+
+    // Numbers: bare numeric tokens (with decimals).
+    let mut chars = lower.chars().peekable();
+    let mut current = String::new();
+    while let Some(c) = chars.next() {
+        if c.is_ascii_digit() || (c == '.' && !current.is_empty() && chars.peek().is_some_and(|n| n.is_ascii_digit())) {
+            current.push(c);
+        } else if !current.is_empty() {
+            intent.numbers.push(std::mem::take(&mut current));
+        }
+    }
+    if !current.is_empty() {
+        intent.numbers.push(current);
+    }
+
+    // Quoted spans.
+    let mut rest = question;
+    while let Some(start) = rest.find('\'') {
+        let after = &rest[start + 1..];
+        match after.find('\'') {
+            Some(end) => {
+                intent.quoted.push(after[..end].to_string());
+                rest = &after[end + 1..];
+            }
+            None => break,
+        }
+    }
+
+    intent
+}
+
+/// How compatible each generation template is with the intent. The base
+/// compatibility is the simulated model's "pre-trained reasoning": learned
+/// priors (SFT) and demonstrations (ICL) are layered on top by the model.
+///
+/// Design: each template scores through a *characteristic conjunction* of
+/// signals, so templates compete on distinguishing cues rather than on
+/// accumulated generic bonuses. Near-miss templates score in the same
+/// range; slot quality, LM fluency and (for small models) noise decide
+/// between them — which is where the benchmark error rates come from.
+pub fn template_intent_score(template_id: usize, intent: &Intent) -> f64 {
+    let val = intent.has_value();
+    let num = !intent.numbers.is_empty();
+    let two_nums = intent.numbers.len() >= 2;
+    let agg = intent.agg.is_some();
+    let op = intent.op.is_some();
+    let cnt = intent.wants_count;
+    let sup = intent.superlative_desc || intent.superlative_asc;
+    let b = |cond: bool| if cond { 1.0 } else { 0.0 };
+    let raw: f64 = match template_id {
+        // -- easy
+        0 => 2.2 * b(cnt && !val && !agg && !intent.group_by && !intent.distinct && !intent.null_check && !intent.negation && !op && !num),
+        1 => 1.3 * b(intent.plain() && !intent.pair_projection),
+        2 => 1.6 * b(intent.plain() && intent.pair_projection),
+        3 => 2.5 * b(intent.wants_all_info),
+        4 => 2.0 * b(intent.distinct && !cnt),
+        5 => 1.7 * b(val && !cnt && !agg && !num && !intent.disjunction && !intent.group_by && !intent.contains_like && !sup),
+        6 => 1.7 * b(op && num && !val && !cnt && !agg && !intent.group_by && !intent.between && !intent.appears && !intent.that_have && !intent.sorted_listing),
+        7 => 1.9 * b(cnt && val && !intent.belongs && !intent.group_by && !intent.distinct && !intent.null_check),
+        8 => 1.8 * b(agg && !val && !cnt && !num && !intent.group_by && !intent.argmax_phrase && !intent.above_average && !intent.extremum_equality),
+        9 => 2.0 * b(intent.argmax_phrase && !num && !cnt && !intent.group_by && !intent.extremum_equality),
+        // -- medium
+        10 => 1.9 * b(agg && val && !cnt && !intent.group_by),
+        11 => 1.9 * b(val && op && num && !cnt && !agg && !intent.disjunction),
+        12 => 1.9 * b(cnt && intent.group_by && !intent.sorted_listing && !val && !num),
+        13 => 1.9 * b(agg && intent.group_by && !cnt && !num),
+        14 => 2.0 * b(intent.appears && op && num),
+        15 => 2.2 * b(intent.most_common),
+        16 => 2.0 * b(intent.argmax_phrase && num && !cnt),
+        17 => 2.2 * b(cnt && intent.distinct),
+        18 => 2.1 * b(intent.between && num),
+        19 => 2.1 * b(intent.contains_like),
+        20 => 2.1 * b(intent.null_check && cnt),
+        21 => 1.5 * b(val && !cnt && !agg && !intent.group_by && !intent.disjunction && !num),
+        22 => 1.6 * b(cnt && val) + 0.8 * b(intent.belongs),
+        // -- hard
+        23 => 1.7 * b(cnt && intent.group_by && !intent.sorted_listing),
+        24 => 2.1 * b(intent.has_the_most && !intent.most_common),
+        25 => 1.7 * b(agg && val && !cnt),
+        26 => 2.4 * b(intent.above_average),
+        27 => 1.9 * b(intent.that_have && op && num),
+        28 => 2.0 * b(intent.negation && !val && !intent.not_appear && !op),
+        29 => 2.1 * b(intent.disjunction && val && !op),
+        30 => 1.9 * b(intent.sorted_listing && !cnt && !intent.group_by),
+        31 => 1.9 * b(intent.group_by && agg && op && num),
+        32 => 2.0 * b(cnt && intent.group_by && intent.sorted_listing && !op),
+        // -- extra
+        33 => 1.9 * b(intent.disjunction && val && op && num),
+        34 => 1.9 * b(op && two_nums && !intent.between && intent.also),
+        35 => 2.2 * b(intent.not_appear),
+        36 => 1.5 * b(op && num && !val && !intent.that_have && !intent.appears && !cnt && !agg && !intent.group_by),
+        37 => 2.0 * b(intent.linked_through) + 0.2 * b(val),
+        38 => 2.3 * b(intent.extremum_equality),
+        39 => 2.1 * b(cnt && intent.sorted_listing && op && num),
+        40 => 2.0 * b(cnt && op && num && !val && !intent.group_by && !intent.distinct && !intent.appears && !intent.sorted_listing),
+        _ => 0.0,
+    };
+    raw / 2.5 // squash into [0, 1]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn count_questions() {
+        let i = extract_intent("How many singers are there?");
+        assert!(i.wants_count);
+        assert!(i.agg.is_none());
+        assert!(template_intent_score(0, &i) > template_intent_score(1, &i));
+    }
+
+    #[test]
+    fn aggregate_detection() {
+        assert_eq!(extract_intent("What is the average age of singers?").agg, Some(AggHint::Avg));
+        assert_eq!(extract_intent("What is the total capacity?").agg, Some(AggHint::Sum));
+        assert_eq!(extract_intent("the maximum salary").agg, Some(AggHint::Max));
+        assert_eq!(extract_intent("the lowest price").agg, Some(AggHint::Min));
+    }
+
+    #[test]
+    fn operator_detection() {
+        assert_eq!(extract_intent("singers with age more than 30").op, Some(OpHint::Gt));
+        assert_eq!(extract_intent("price less than 10").op, Some(OpHint::Lt));
+        assert_eq!(extract_intent("at least 3 concerts").op, Some(OpHint::Ge));
+        assert_eq!(extract_intent("at most 5 pets").op, Some(OpHint::Le));
+    }
+
+    #[test]
+    fn numbers_and_quotes_extracted() {
+        let i = extract_intent("Singers born in 1948 or 1949 named 'Joe Sharp'");
+        assert_eq!(i.numbers, vec!["1948", "1949"]);
+        assert_eq!(i.quoted, vec!["Joe Sharp"]);
+        assert!(i.disjunction);
+    }
+
+    #[test]
+    fn decimal_numbers() {
+        let i = extract_intent("rated above 7.5 stars");
+        assert_eq!(i.numbers, vec!["7.5"]);
+    }
+
+    #[test]
+    fn superlative_and_group() {
+        let i = extract_intent("Which country is most common among singers?");
+        assert!(i.most_common);
+        assert!(template_intent_score(15, &i) > template_intent_score(9, &i));
+        let i2 = extract_intent("For each country, how many singers are there?");
+        assert!(i2.group_by && i2.wants_count);
+        assert!(template_intent_score(12, &i2) > template_intent_score(0, &i2));
+    }
+
+    #[test]
+    fn between_and_like() {
+        assert!(extract_intent("ages between 20 and 30").between);
+        assert!(extract_intent("names containing 'smith'").contains_like);
+    }
+
+    #[test]
+    fn above_average_routes_to_template_26() {
+        let i = extract_intent("Show singers with above-average age");
+        assert!(i.above_average);
+        let best = (0..codes_datasets::TEMPLATE_COUNT)
+            .max_by(|&a, &b| {
+                template_intent_score(a, &i)
+                    .partial_cmp(&template_intent_score(b, &i))
+                    .unwrap()
+            })
+            .unwrap();
+        assert_eq!(best, 26);
+    }
+
+    #[test]
+    fn scores_are_bounded() {
+        let i = extract_intent("show the names of all singers sorted by age in descending order");
+        for id in 0..codes_datasets::TEMPLATE_COUNT {
+            let s = template_intent_score(id, &i);
+            assert!((0.0..=1.0).contains(&s), "template {id}: {s}");
+        }
+    }
+}

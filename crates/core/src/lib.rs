@@ -1,0 +1,31 @@
+#![warn(missing_docs)]
+
+//! # codes
+//!
+//! The core of the CodeS reproduction: capacity-profiled simulated language
+//! models, incremental pre-training over SQL-centric corpora, database
+//! prompt construction (Algorithm 1 / Figure 4), grammar-constrained beam
+//! generation, supervised fine-tuning and few-shot in-context learning.
+//!
+//! The published system fine-tunes billion-parameter transformers; this
+//! reproduction substitutes a statistical model whose accuracy depends on
+//! the same experimental variables (corpus mix, model capacity, prompt
+//! content, SFT vs ICL) through real code paths — see DESIGN.md for the
+//! substitution argument.
+
+pub mod config;
+pub mod generator;
+pub mod intent;
+pub mod model;
+pub mod pretrain;
+pub mod prompt;
+pub mod sketch;
+pub mod system;
+
+pub use config::{table4_models, Architecture, Capacity, CorpusLineage, LmSpec, ModelSize};
+pub use intent::{extract_intent, Intent};
+pub use model::{finetune, intent_bucket, parse_knowledge, CodesModel, FineTuned, Generation};
+pub use pretrain::{pretrain, pretrain_with_capacity, PretrainConfig, PretrainedLm};
+pub use prompt::{build_prompt, build_training_prompt, DbPrompt, PromptOptions};
+pub use sketch::{sketch_of, SketchCatalog, SketchLibrary};
+pub use system::{CodesSystem, FewShot, Inference};

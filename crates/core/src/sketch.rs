@@ -1,0 +1,397 @@
+//! SQL sketches: anonymized query skeletons.
+//!
+//! The simulated model's "knowledge of SQL shapes" is a sketch library
+//! mined from its pre-training corpus. A sketch abstracts a query down to
+//! its clause structure (identifiers → `t`/`c`, literals → `v`, aggregates
+//! → `agg`, comparisons → `cmp`), so two queries generated from the same
+//! template share a sketch. A model can only generate queries whose sketch
+//! it has seen, and its capacity caps how many sketches it retains — the
+//! mechanism behind the pre-training and scale effects of Table 4.
+
+use std::collections::HashMap;
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use sqlengine::ast::{
+    BinaryOp, Expr, Query, Select, SelectItem, SetExpr, SetOpKind, TableFactor,
+};
+use sqlengine::parse_query;
+
+/// Extract the sketch of a SQL query; `None` if it does not parse.
+pub fn sketch_of(sql: &str) -> Option<String> {
+    let q = parse_query(sql).ok()?;
+    Some(sketch_query(&q))
+}
+
+fn sketch_query(q: &Query) -> String {
+    let mut s = sketch_set(&q.body);
+    if !q.order_by.is_empty() {
+        s.push_str(" order by ");
+        let keys: Vec<String> = q.order_by.iter().map(|o| format!("{} dir", sketch_expr(&o.expr))).collect();
+        s.push_str(&keys.join(" , "));
+    }
+    if q.limit.is_some() {
+        s.push_str(" limit v");
+    }
+    if q.offset.is_some() {
+        s.push_str(" offset v");
+    }
+    s
+}
+
+fn sketch_set(se: &SetExpr) -> String {
+    match se {
+        SetExpr::Select(sel) => sketch_select(sel),
+        SetExpr::Nested(q) => format!("( {} )", sketch_query(q)),
+        SetExpr::SetOp { op, left, right, .. } => {
+            let kw = match op {
+                SetOpKind::Union => "union",
+                SetOpKind::Intersect => "intersect",
+                SetOpKind::Except => "except",
+            };
+            format!("{} {kw} {}", sketch_set(left), sketch_set(right))
+        }
+    }
+}
+
+fn sketch_select(s: &Select) -> String {
+    let mut out = String::from("select ");
+    if s.distinct {
+        out.push_str("distinct ");
+    }
+    let proj: Vec<String> = s
+        .projection
+        .iter()
+        .map(|item| match item {
+            SelectItem::Wildcard | SelectItem::QualifiedWildcard(_) => "*".to_string(),
+            SelectItem::Expr { expr, .. } => sketch_expr(expr),
+        })
+        .collect();
+    out.push_str(&proj.join(" , "));
+    if let Some(from) = &s.from {
+        out.push_str(" from ");
+        out.push_str(&sketch_factor(&from.base));
+        for j in &from.joins {
+            out.push_str(" join ");
+            out.push_str(&sketch_factor(&j.factor));
+            if let Some(on) = &j.on {
+                out.push_str(" on ");
+                out.push_str(&sketch_expr(on));
+            }
+        }
+    }
+    if let Some(sel) = &s.selection {
+        out.push_str(" where ");
+        out.push_str(&sketch_expr(sel));
+    }
+    if !s.group_by.is_empty() {
+        out.push_str(" group by ");
+        let keys: Vec<String> = s.group_by.iter().map(sketch_expr).collect();
+        out.push_str(&keys.join(" , "));
+    }
+    if let Some(h) = &s.having {
+        out.push_str(" having ");
+        out.push_str(&sketch_expr(h));
+    }
+    out
+}
+
+fn sketch_factor(f: &TableFactor) -> String {
+    match f {
+        TableFactor::Table { .. } => "t".to_string(),
+        TableFactor::Derived { subquery, .. } => format!("( {} )", sketch_query(subquery)),
+    }
+}
+
+fn sketch_expr(e: &Expr) -> String {
+    match e {
+        Expr::Column { .. } => "c".to_string(),
+        Expr::Literal(_) => "v".to_string(),
+        Expr::Unary { expr, .. } => format!("not {}", sketch_expr(expr)),
+        Expr::Binary { left, op, right } => {
+            let op_str = match op {
+                BinaryOp::Eq => "=",
+                BinaryOp::NotEq => "!=",
+                BinaryOp::Lt | BinaryOp::LtEq | BinaryOp::Gt | BinaryOp::GtEq => "cmp",
+                BinaryOp::And => "and",
+                BinaryOp::Or => "or",
+                BinaryOp::Add | BinaryOp::Sub | BinaryOp::Mul | BinaryOp::Div | BinaryOp::Mod => "arith",
+                BinaryOp::Concat => "concat",
+            };
+            format!("{} {op_str} {}", sketch_expr(left), sketch_expr(right))
+        }
+        Expr::Function { name, args, distinct, star } => {
+            if *star {
+                return "count ( * )".to_string();
+            }
+            let fname = match name.as_str() {
+                "AVG" | "SUM" | "MAX" | "MIN" | "TOTAL" => "agg",
+                "COUNT" => "count",
+                _ => "fn",
+            };
+            let inner: Vec<String> = args.iter().map(sketch_expr).collect();
+            format!(
+                "{fname} ( {}{} )",
+                if *distinct { "distinct " } else { "" },
+                inner.join(" , ")
+            )
+        }
+        Expr::Case { .. } => "case".to_string(),
+        Expr::InList { expr, negated, .. } => {
+            format!("{} {}in ( v )", sketch_expr(expr), if *negated { "not " } else { "" })
+        }
+        Expr::InSubquery { expr, query, negated } => format!(
+            "{} {}in ( {} )",
+            sketch_expr(expr),
+            if *negated { "not " } else { "" },
+            sketch_query(query)
+        ),
+        Expr::ScalarSubquery(q) => format!("( {} )", sketch_query(q)),
+        Expr::Exists { query, negated } => format!(
+            "{}exists ( {} )",
+            if *negated { "not " } else { "" },
+            sketch_query(query)
+        ),
+        Expr::Between { expr, negated, .. } => {
+            format!("{} {}between v and v", sketch_expr(expr), if *negated { "not " } else { "" })
+        }
+        Expr::Like { expr, negated, .. } => {
+            format!("{} {}like v", sketch_expr(expr), if *negated { "not " } else { "" })
+        }
+        Expr::IsNull { expr, negated } => {
+            format!("{} is {}null", sketch_expr(expr), if *negated { "not " } else { "" })
+        }
+        Expr::Cast { expr, .. } => format!("cast ( {} )", sketch_expr(expr)),
+    }
+}
+
+/// Maps sketches to the template ids of the generation grammar.
+#[derive(Debug, Clone)]
+pub struct SketchCatalog {
+    by_sketch: HashMap<String, usize>,
+}
+
+impl SketchCatalog {
+    /// Build the catalog by instantiating every template on reference
+    /// databases and recording its sketches. Deterministic.
+    pub fn build() -> SketchCatalog {
+        let mut by_sketch = HashMap::new();
+        let specs = codes_datasets::domains();
+        let dbs: Vec<sqlengine::Database> = specs
+            .iter()
+            .take(6)
+            .enumerate()
+            .map(|(i, spec)| {
+                codes_datasets::generate_database(spec, &codes_datasets::DbGenConfig::spider(), 7_000 + i as u64)
+            })
+            .collect();
+        let mut rng = StdRng::seed_from_u64(424_242);
+        for id in 0..codes_datasets::TEMPLATE_COUNT {
+            for db in &dbs {
+                for _ in 0..6 {
+                    if let Some(s) = codes_datasets::instantiate(id, db, &mut rng, false) {
+                        if let Some(sketch) = sketch_of(&s.sql) {
+                            by_sketch.entry(sketch).or_insert(id);
+                        }
+                    }
+                }
+            }
+        }
+        SketchCatalog { by_sketch }
+    }
+
+    /// The template id a sketch belongs to (sketches colliding between
+    /// templates map to the first-registered template).
+    pub fn template_of(&self, sketch: &str) -> Option<usize> {
+        self.by_sketch.get(sketch).copied()
+    }
+
+    /// Template id of a SQL string.
+    pub fn template_of_sql(&self, sql: &str) -> Option<usize> {
+        self.template_of(&sketch_of(sql)?)
+    }
+
+    /// Number of distinct sketches registered.
+    pub fn len(&self) -> usize {
+        self.by_sketch.len()
+    }
+
+    /// True when no sketches are registered.
+    pub fn is_empty(&self) -> bool {
+        self.by_sketch.is_empty()
+    }
+}
+
+/// A model's retained sketch knowledge: template-id frequencies mined from
+/// its pre-training corpus, truncated to capacity.
+#[derive(Debug, Clone, Default)]
+pub struct SketchLibrary {
+    /// template id -> observation count
+    counts: HashMap<usize, u64>,
+    total: u64,
+}
+
+impl SketchLibrary {
+    /// Mine sketches from corpus documents; keep the `capacity` most
+    /// frequent templates.
+    pub fn mine(catalog: &SketchCatalog, documents: &[&str], capacity: usize) -> SketchLibrary {
+        let mut counts: HashMap<usize, u64> = HashMap::new();
+        for doc in documents {
+            for sql in extract_sql(doc) {
+                if let Some(id) = catalog.template_of_sql(&sql) {
+                    *counts.entry(id).or_insert(0) += 1;
+                }
+            }
+        }
+        let mut ranked: Vec<(usize, u64)> = counts.into_iter().collect();
+        ranked.sort_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(&b.0)));
+        ranked.truncate(capacity);
+        let total = ranked.iter().map(|(_, c)| c).sum();
+        SketchLibrary { counts: ranked.into_iter().collect(), total }
+    }
+
+    /// Whether the library retained this template's sketch.
+    pub fn knows(&self, template_id: usize) -> bool {
+        self.counts.contains_key(&template_id)
+    }
+
+    /// Smoothed prior probability of a template.
+    pub fn prior(&self, template_id: usize) -> f64 {
+        let c = self.counts.get(&template_id).copied().unwrap_or(0) as f64;
+        (c + 0.1) / (self.total as f64 + 0.1 * codes_datasets::TEMPLATE_COUNT as f64)
+    }
+
+    /// The retained template ids, ascending.
+    pub fn known_templates(&self) -> Vec<usize> {
+        let mut ids: Vec<usize> = self.counts.keys().copied().collect();
+        ids.sort_unstable();
+        ids
+    }
+
+    /// Number of retained templates.
+    pub fn len(&self) -> usize {
+        self.counts.len()
+    }
+
+    /// True when nothing was retained.
+    pub fn is_empty(&self) -> bool {
+        self.counts.is_empty()
+    }
+
+    /// Merge another library (incremental pre-training) then re-truncate.
+    pub fn absorb(&mut self, other: &SketchLibrary, capacity: usize) {
+        for (id, c) in &other.counts {
+            *self.counts.entry(*id).or_insert(0) += c;
+        }
+        let mut ranked: Vec<(usize, u64)> = self.counts.drain().collect();
+        ranked.sort_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(&b.0)));
+        ranked.truncate(capacity);
+        self.total = ranked.iter().map(|(_, c)| c).sum();
+        self.counts = ranked.into_iter().collect();
+    }
+}
+
+/// Pull SQL statements out of a pre-training document (documents are
+/// either bare SQL, `-- question:` + SQL pairs, or non-SQL).
+pub fn extract_sql(doc: &str) -> Vec<String> {
+    let mut out = Vec::new();
+    for line in doc.lines() {
+        let trimmed = line.trim();
+        if trimmed.to_lowercase().starts_with("select") {
+            out.push(trimmed.to_string());
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn same_template_same_sketch() {
+        let a = sketch_of("SELECT name FROM singer WHERE age > 30").unwrap();
+        let b = sketch_of("SELECT title FROM movie WHERE rating > 7.5").unwrap();
+        assert_eq!(a, b);
+        let c = sketch_of("SELECT name FROM singer WHERE country = 'France'").unwrap();
+        assert_ne!(a, c); // cmp vs '='
+    }
+
+    #[test]
+    fn sketches_anonymize_but_keep_structure() {
+        let s = sketch_of(
+            "SELECT T2.name, COUNT(*) FROM concert AS T1 JOIN stadium AS T2 ON T1.sid = T2.sid GROUP BY T2.name ORDER BY COUNT(*) DESC LIMIT 1",
+        )
+        .unwrap();
+        assert_eq!(
+            s,
+            "select c , count ( * ) from t join t on c = c group by c order by count ( * ) dir limit v"
+        );
+    }
+
+    #[test]
+    fn catalog_covers_most_templates() {
+        let catalog = SketchCatalog::build();
+        let covered: std::collections::HashSet<usize> =
+            catalog.by_sketch.values().copied().collect();
+        assert!(
+            covered.len() >= codes_datasets::TEMPLATE_COUNT - 4,
+            "only {} templates covered",
+            covered.len()
+        );
+    }
+
+    #[test]
+    fn library_mining_respects_capacity() {
+        let catalog = SketchCatalog::build();
+        let docs = codes_corpus::sql_documents(150, 5);
+        let refs: Vec<&str> = docs.iter().map(String::as_str).collect();
+        let big = SketchLibrary::mine(&catalog, &refs, 40);
+        let small = SketchLibrary::mine(&catalog, &refs, 8);
+        assert!(big.len() > small.len());
+        assert!(small.len() <= 8);
+        // The small library keeps the most frequent templates.
+        for id in small.known_templates() {
+            assert!(big.knows(id));
+        }
+    }
+
+    #[test]
+    fn priors_sum_below_one_and_favor_frequent() {
+        let catalog = SketchCatalog::build();
+        let docs = codes_corpus::sql_documents(200, 6);
+        let refs: Vec<&str> = docs.iter().map(String::as_str).collect();
+        let lib = SketchLibrary::mine(&catalog, &refs, 40);
+        let total: f64 = (0..codes_datasets::TEMPLATE_COUNT).map(|id| lib.prior(id)).sum();
+        assert!(total <= 1.05);
+        let known = lib.known_templates();
+        if let Some(&k) = known.first() {
+            let unknown = (0..codes_datasets::TEMPLATE_COUNT).find(|id| !lib.knows(*id));
+            if let Some(u) = unknown {
+                assert!(lib.prior(k) > lib.prior(u));
+            }
+        }
+    }
+
+    #[test]
+    fn absorb_models_incremental_pretraining() {
+        let catalog = SketchCatalog::build();
+        let base_docs = codes_corpus::sql_documents(20, 7);
+        let sql_docs = codes_corpus::sql_documents(200, 8);
+        let base_refs: Vec<&str> = base_docs.iter().map(String::as_str).collect();
+        let sql_refs: Vec<&str> = sql_docs.iter().map(String::as_str).collect();
+        let mut base = SketchLibrary::mine(&catalog, &base_refs, 40);
+        let before = base.len();
+        let increment = SketchLibrary::mine(&catalog, &sql_refs, 40);
+        base.absorb(&increment, 40);
+        assert!(base.len() >= before);
+    }
+
+    #[test]
+    fn extract_sql_finds_queries_in_pairs() {
+        let doc = "-- question : how many users\nselect count ( * ) from users";
+        assert_eq!(extract_sql(doc).len(), 1);
+        assert!(extract_sql("def foo(): pass").is_empty());
+    }
+}

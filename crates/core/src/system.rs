@@ -1,0 +1,262 @@
+//! The end-to-end text-to-SQL system: schema classifier + value indexes +
+//! demonstration retriever + model, wired per Figure 3 (d)/(e).
+
+use std::collections::HashMap;
+use std::sync::Arc;
+use std::time::Instant;
+
+use codes_datasets::{Benchmark, Sample};
+use codes_linker::SchemaClassifier;
+use codes_retrieval::{DemoRetriever, DemoStrategy, ValueIndex};
+use sqlengine::Database;
+
+use crate::model::{finetune, CodesModel, Generation};
+use crate::prompt::{build_prompt, PromptOptions};
+
+/// Few-shot configuration.
+#[derive(Debug, Clone, Copy)]
+pub struct FewShot {
+    /// Number of demonstrations per question.
+    pub k: usize,
+    /// Retrieval strategy (Eq. 4 / ablations).
+    pub strategy: DemoStrategy,
+}
+
+/// A ready-to-serve text-to-SQL system.
+pub struct CodesSystem {
+    /// The generation model.
+    pub model: CodesModel,
+    /// Schema-item classifier powering the schema filter.
+    pub classifier: Option<SchemaClassifier>,
+    /// Prompt-construction options (incl. ablation switches).
+    pub options: PromptOptions,
+    /// Pre-built BM25 value indexes keyed by database id (shared between
+    /// systems — building them is the offline cost of §6.2).
+    value_indexes: HashMap<String, Arc<ValueIndex>>,
+    /// Demonstration pool + retriever (ICL mode).
+    demo_pool: Arc<Vec<Sample>>,
+    demo_retriever: Option<Arc<DemoRetriever>>,
+    /// Few-shot configuration (None = SFT/zero-shot mode).
+    pub few_shot: Option<FewShot>,
+}
+
+/// One inference outcome.
+#[derive(Debug, Clone)]
+pub struct Inference {
+    /// The chosen SQL.
+    pub sql: String,
+    /// Full generation output (beam with scores).
+    pub generation: Generation,
+    /// Wall-clock latency of the full online pipeline (prompt construction
+    /// + generation), in seconds.
+    pub latency_seconds: f64,
+    /// Prompt length in whitespace tokens.
+    pub prompt_tokens: usize,
+}
+
+impl CodesSystem {
+    /// A system with no classifier, indexes or demonstrations yet.
+    pub fn new(model: CodesModel, options: PromptOptions) -> CodesSystem {
+        CodesSystem {
+            model,
+            classifier: None,
+            options,
+            value_indexes: HashMap::new(),
+            demo_pool: Arc::new(Vec::new()),
+            demo_retriever: None,
+            few_shot: None,
+        }
+    }
+
+    /// Attach a trained schema-item classifier (enables the schema filter).
+    pub fn with_classifier(mut self, clf: SchemaClassifier) -> CodesSystem {
+        self.classifier = Some(clf);
+        self
+    }
+
+    /// Pre-build the BM25 value index of every database (the offline part
+    /// of §6.2; `prepare_database` can be called lazily too).
+    pub fn prepare_databases<'a>(&mut self, dbs: impl Iterator<Item = &'a Database>) {
+        for db in dbs {
+            self.prepare_database(db);
+        }
+    }
+
+    /// Build (or reuse) the BM25 value index of one database.
+    pub fn prepare_database(&mut self, db: &Database) {
+        self.value_indexes
+            .entry(db.name.clone())
+            .or_insert_with(|| Arc::new(ValueIndex::build(db)));
+    }
+
+    /// Install already-built value indexes (shared across systems).
+    pub fn install_value_indexes(&mut self, indexes: &HashMap<String, Arc<ValueIndex>>) {
+        for (k, v) in indexes {
+            self.value_indexes.insert(k.clone(), Arc::clone(v));
+        }
+    }
+
+    /// Install a demonstration pool for few-shot in-context learning.
+    pub fn with_demonstrations(mut self, pool: Vec<Sample>, few_shot: FewShot) -> CodesSystem {
+        let questions: Vec<String> = pool.iter().map(|s| s.question.clone()).collect();
+        self.demo_retriever = Some(Arc::new(DemoRetriever::new(
+            self.model.pretrained.embedder.clone(),
+            &questions,
+        )));
+        self.demo_pool = Arc::new(pool);
+        self.few_shot = Some(few_shot);
+        self
+    }
+
+    /// Install an already-built retriever + pool (shared across systems).
+    pub fn with_shared_demonstrations(
+        mut self,
+        pool: Arc<Vec<Sample>>,
+        retriever: Arc<DemoRetriever>,
+        few_shot: FewShot,
+    ) -> CodesSystem {
+        self.demo_retriever = Some(retriever);
+        self.demo_pool = pool;
+        self.few_shot = Some(few_shot);
+        self
+    }
+
+    /// Fine-tune the model on a benchmark's training split (Figure 3(d)).
+    pub fn finetune_on(&mut self, benchmark: &Benchmark) {
+        let pairs = benchmark
+            .train
+            .iter()
+            .filter_map(|s| benchmark.database(&s.db_id).map(|db| (s, db)));
+        finetune(&mut self.model, pairs);
+    }
+
+    /// Fine-tune on explicit (sample, database) pairs (e.g. augmented or
+    /// merged data, Table 10).
+    pub fn finetune_pairs<'a>(&mut self, pairs: impl Iterator<Item = (&'a Sample, &'a Database)>) {
+        finetune(&mut self.model, pairs);
+    }
+
+    /// Answer a question over a database.
+    pub fn infer(&self, db: &Database, question: &str, external_knowledge: Option<&str>) -> Inference {
+        let start = Instant::now();
+        let value_index = self.value_indexes.get(&db.name).map(Arc::as_ref);
+        let prompt = build_prompt(
+            db,
+            question,
+            external_knowledge,
+            self.classifier.as_ref(),
+            value_index,
+            &self.options,
+        );
+        let demo_refs: Vec<&Sample> = match (&self.demo_retriever, self.few_shot) {
+            (Some(retriever), Some(fs)) => retriever
+                .retrieve(question, fs.k, fs.strategy)
+                .into_iter()
+                .map(|i| &self.demo_pool[i])
+                .collect(),
+            _ => Vec::new(),
+        };
+        let generation = self.model.generate(db, &prompt, question, external_knowledge, &demo_refs);
+        Inference {
+            sql: generation.sql.clone(),
+            generation,
+            latency_seconds: start.elapsed().as_secs_f64(),
+            prompt_tokens: prompt.token_len(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::table4_models;
+    use crate::pretrain::{pretrain, PretrainConfig};
+    use crate::sketch::SketchCatalog;
+    use std::sync::Arc;
+
+    fn mini_benchmark() -> Benchmark {
+        let mut cfg = codes_datasets::BenchmarkConfig::spider(51);
+        cfg.train_samples_per_db = 10;
+        cfg.dev_samples_per_db = 4;
+        codes_datasets::build_benchmark("mini", &cfg)
+    }
+
+    fn system(name: &str) -> CodesSystem {
+        let catalog = Arc::new(SketchCatalog::build());
+        let spec = table4_models().into_iter().find(|m| m.name == name).unwrap();
+        let lm = pretrain(&catalog, &spec, &PretrainConfig { scale: 10, seed: 3 });
+        CodesSystem::new(CodesModel::new(lm, catalog), PromptOptions::sft())
+    }
+
+    #[test]
+    fn end_to_end_sft_inference() {
+        let bench = mini_benchmark();
+        let clf = SchemaClassifier::train(&bench, false, 7);
+        let mut sys = system("CodeS-7B").with_classifier(clf);
+        sys.prepare_databases(bench.databases.iter());
+        sys.finetune_on(&bench);
+        let mut executable = 0usize;
+        let n = bench.dev.len().min(20);
+        for s in bench.dev.iter().take(n) {
+            let db = bench.database(&s.db_id).unwrap();
+            let out = sys.infer(db, &s.question, None);
+            if sqlengine::execute_query(db, &out.sql).is_ok() {
+                executable += 1;
+            }
+            assert!(out.latency_seconds < 5.0);
+            assert!(out.prompt_tokens > 0);
+        }
+        assert!(
+            executable as f64 / n as f64 > 0.8,
+            "only {executable}/{n} outputs executable"
+        );
+    }
+
+    #[test]
+    fn sft_beats_zero_shot_on_dev_accuracy() {
+        let bench = mini_benchmark();
+        let clf = SchemaClassifier::train(&bench, false, 7);
+        let mut sft = system("CodeS-7B").with_classifier(clf.clone());
+        sft.prepare_databases(bench.databases.iter());
+        let mut zero = system("CodeS-7B").with_classifier(clf);
+        zero.prepare_databases(bench.databases.iter());
+        sft.finetune_on(&bench);
+
+        let n = bench.dev.len().min(30);
+        let acc = |sys: &CodesSystem| {
+            let mut correct = 0usize;
+            for s in bench.dev.iter().take(n) {
+                let db = bench.database(&s.db_id).unwrap();
+                let out = sys.infer(db, &s.question, None);
+                let gold = sqlengine::execute_query(db, &s.sql).unwrap();
+                if let Ok(pred) = sqlengine::execute_query(db, &out.sql) {
+                    if pred.same_result(&gold) {
+                        correct += 1;
+                    }
+                }
+            }
+            correct as f64 / n as f64
+        };
+        let a_sft = acc(&sft);
+        let a_zero = acc(&zero);
+        assert!(
+            a_sft >= a_zero,
+            "SFT ({a_sft:.2}) should not be worse than zero-shot ({a_zero:.2})"
+        );
+        assert!(a_sft > 0.3, "SFT accuracy suspiciously low: {a_sft:.2}");
+    }
+
+    #[test]
+    fn few_shot_retrieval_feeds_demonstrations() {
+        let bench = mini_benchmark();
+        let mut sys = system("CodeS-3B").with_demonstrations(
+            bench.train.clone(),
+            FewShot { k: 3, strategy: DemoStrategy::PatternAware },
+        );
+        sys.prepare_databases(bench.databases.iter());
+        let s = &bench.dev[0];
+        let db = bench.database(&s.db_id).unwrap();
+        let out = sys.infer(db, &s.question, None);
+        assert!(!out.sql.is_empty());
+    }
+}

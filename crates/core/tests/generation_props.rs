@@ -1,0 +1,120 @@
+//! Property-style tests over the generation pipeline: every candidate the
+//! grammar emits parses, scores stay bounded, and generation is
+//! deterministic.
+
+use std::sync::Arc;
+
+use codes::generator::{fill_template, SlotContext};
+use codes::{
+    build_prompt, extract_intent, pretrain, table4_models, CodesModel, ModelSize, PretrainConfig,
+    PromptOptions, SketchCatalog,
+};
+use codes_retrieval::ValueIndex;
+use proptest::prelude::*;
+
+fn fixture() -> (codes_datasets::Benchmark, Arc<SketchCatalog>) {
+    let mut cfg = codes_datasets::BenchmarkConfig::spider(401);
+    cfg.train_samples_per_db = 8;
+    cfg.dev_samples_per_db = 6;
+    (codes_datasets::build_benchmark("props", &cfg), Arc::new(SketchCatalog::build()))
+}
+
+#[test]
+fn every_filled_template_parses_and_scores_in_bounds() {
+    let (bench, _) = fixture();
+    let cap = ModelSize::B15.capacity();
+    let mut filled_total = 0usize;
+    for s in bench.dev.iter().take(30) {
+        let db = bench.database(&s.db_id).unwrap();
+        let index = ValueIndex::build(db);
+        let prompt = build_prompt(db, &s.question, None, None, Some(&index), &PromptOptions::sft());
+        let mut intent = extract_intent(&s.question);
+        intent.value_hints = prompt.matched_values.len();
+        let ctx = SlotContext::new(&prompt, &s.question, &intent, &cap);
+        for id in 0..codes_datasets::TEMPLATE_COUNT {
+            if let Some(c) = fill_template(&ctx, id) {
+                filled_total += 1;
+                sqlengine::parse_query(&c.sql)
+                    .unwrap_or_else(|e| panic!("template {id} emitted unparseable SQL `{}`: {e}", c.sql));
+                assert!(
+                    (0.0..=1.0).contains(&c.slot_score),
+                    "slot score out of bounds: {} for {}",
+                    c.slot_score,
+                    c.sql
+                );
+                assert_eq!(c.template_id, id);
+            }
+        }
+    }
+    assert!(filled_total > 150, "too few template fills: {filled_total}");
+}
+
+#[test]
+fn generation_is_deterministic() {
+    let (bench, catalog) = fixture();
+    let spec = table4_models().into_iter().find(|m| m.name == "CodeS-3B").unwrap();
+    let lm = Arc::new(pretrain(&catalog, &spec, &PretrainConfig { scale: 8, seed: 2 }));
+    let model = CodesModel::new(Arc::clone(&lm), Arc::clone(&catalog));
+    let s = &bench.dev[0];
+    let db = bench.database(&s.db_id).unwrap();
+    let index = ValueIndex::build(db);
+    let prompt = build_prompt(db, &s.question, None, None, Some(&index), &PromptOptions::sft());
+    let a = model.generate(db, &prompt, &s.question, None, &[]);
+    let b = model.generate(db, &prompt, &s.question, None, &[]);
+    assert_eq!(a.sql, b.sql);
+    assert_eq!(a.beam.len(), b.beam.len());
+    for (x, y) in a.beam.iter().zip(&b.beam) {
+        assert_eq!(x.sql, y.sql);
+        assert_eq!(x.score, y.score);
+    }
+}
+
+#[test]
+fn beam_respects_capacity_width() {
+    let (bench, catalog) = fixture();
+    for (name, size) in [("CodeS-1B", ModelSize::B1), ("CodeS-15B", ModelSize::B15)] {
+        let spec = table4_models().into_iter().find(|m| m.name == name).unwrap();
+        let lm = Arc::new(pretrain(&catalog, &spec, &PretrainConfig { scale: 8, seed: 2 }));
+        let model = CodesModel::new(lm, Arc::clone(&catalog));
+        let s = &bench.dev[1];
+        let db = bench.database(&s.db_id).unwrap();
+        let prompt = build_prompt(db, &s.question, None, None, None, &PromptOptions::sft());
+        let g = model.generate(db, &prompt, &s.question, None, &[]);
+        assert!(g.beam.len() <= size.capacity().beam_width);
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Intent extraction never panics and template scores stay bounded for
+    /// arbitrary question-like text.
+    #[test]
+    fn intent_extraction_is_total(q in "[ a-zA-Z0-9'?.,]{0,80}") {
+        let intent = extract_intent(&q);
+        for id in 0..codes_datasets::TEMPLATE_COUNT {
+            let s = codes::intent::template_intent_score(id, &intent);
+            prop_assert!((0.0..=1.2).contains(&s), "template {} score {} for {:?}", id, s, q);
+        }
+    }
+
+    /// Quoted-span extraction returns spans actually present in the text.
+    #[test]
+    fn quoted_spans_are_substrings(a in "[a-z]{1,8}", b in "[a-z]{1,8}") {
+        let q = format!("show items named '{a}' or '{b}' today");
+        let intent = extract_intent(&q);
+        prop_assert_eq!(intent.quoted.len(), 2);
+        for span in &intent.quoted {
+            prop_assert!(q.contains(span.as_str()));
+        }
+    }
+
+    /// Numbers extracted from a question parse back to numbers.
+    #[test]
+    fn extracted_numbers_parse(n in 0u32..1_000_000, m in 0u32..100) {
+        let q = format!("items with value over {n} and at most {m} pieces");
+        let intent = extract_intent(&q);
+        prop_assert!(intent.numbers.iter().all(|x| x.parse::<f64>().is_ok()));
+        prop_assert!(intent.numbers.contains(&n.to_string()));
+    }
+}

@@ -1,0 +1,375 @@
+#![warn(missing_docs)]
+
+//! # codes-corpus
+//!
+//! Synthetic pre-training corpora reproducing the *mix* of §5.1 of the
+//! CodeS paper: SQL-related data, NL-related data and NL-to-code data in
+//! the paper's 11 : 4.5 : 6 ratio. The paper's corpora are web-scale
+//! downloads (The Stack, Alpaca, UltraChat, NL-SQL-458K); what its
+//! experiments manipulate is the *fraction of SQL-centric content* a model
+//! was exposed to, and that is exactly what these generators control. A
+//! fourth slice of generic (non-SQL) code lets us pre-train the baseline
+//! models (StarCoder-sim, CodeGen-sim, Llama2-sim) on their corpora.
+
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+
+use codes_datasets::{domains, generate_database, generate_samples, DbGenConfig};
+
+/// The corpus slices of §5.1 (plus generic code for baselines).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Slice {
+    /// SQL queries and DDL (the paper's 11 GB SQL segment).
+    SqlRelated,
+    /// Dialog/instruction text (the paper's 4.5 GB NL segment).
+    NlRelated,
+    /// Paired natural language and code, dominated by (question, SQL)
+    /// pairs — the NL-SQL-458K analogue (6 GB in the paper).
+    NlToCode,
+    /// Generic non-SQL code, used only by baseline corpus profiles.
+    GenericCode,
+}
+
+/// One pre-training document.
+#[derive(Debug, Clone)]
+pub struct Document {
+    /// Which corpus slice the document belongs to.
+    pub slice: Slice,
+    /// Document text.
+    pub text: String,
+}
+
+/// A pre-training corpus.
+#[derive(Debug, Clone, Default)]
+pub struct Corpus {
+    /// All documents, in generation order.
+    pub documents: Vec<Document>,
+}
+
+impl Corpus {
+    /// Number of documents.
+    pub fn len(&self) -> usize {
+        self.documents.len()
+    }
+
+    /// True when the corpus has no documents.
+    pub fn is_empty(&self) -> bool {
+        self.documents.is_empty()
+    }
+
+    /// Document count per slice.
+    pub fn slice_count(&self, slice: Slice) -> usize {
+        self.documents.iter().filter(|d| d.slice == slice).count()
+    }
+
+    /// Fraction of documents that contain SQL (SQL-related + NL-to-code).
+    pub fn sql_fraction(&self) -> f64 {
+        if self.documents.is_empty() {
+            return 0.0;
+        }
+        let sql = self
+            .documents
+            .iter()
+            .filter(|d| matches!(d.slice, Slice::SqlRelated | Slice::NlToCode))
+            .count();
+        sql as f64 / self.documents.len() as f64
+    }
+
+    /// Borrow all document texts (for tokenizer training).
+    pub fn texts(&self) -> Vec<&str> {
+        self.documents.iter().map(|d| d.text.as_str()).collect()
+    }
+
+    /// Append another corpus's documents (incremental pre-training).
+    pub fn merge(&mut self, other: Corpus) {
+        self.documents.extend(other.documents);
+    }
+}
+
+/// Document counts per slice. The CodeS profile keeps the paper's
+/// 11 : 4.5 : 6 ratio.
+#[derive(Debug, Clone, Copy)]
+pub struct CorpusConfig {
+    /// SQL-related documents (the 11 GB slice).
+    pub sql_docs: usize,
+    /// NL dialog documents (the 4.5 GB slice).
+    pub nl_docs: usize,
+    /// NL-to-code documents (the 6 GB slice).
+    pub nl_code_docs: usize,
+    /// Generic non-SQL code (baseline profiles only).
+    pub generic_code_docs: usize,
+    /// Generation seed.
+    pub seed: u64,
+}
+
+impl CorpusConfig {
+    /// The SQL-centric incremental pre-training corpus of CodeS (§5.1):
+    /// ratios 11 : 4.5 : 6, no generic code.
+    pub fn codes(scale: usize, seed: u64) -> CorpusConfig {
+        CorpusConfig {
+            sql_docs: 11 * scale,
+            nl_docs: (9 * scale) / 2,
+            nl_code_docs: 6 * scale,
+            generic_code_docs: 0,
+            seed,
+        }
+    }
+
+    /// StarCoder-like base mix: mostly generic code, a small SQL segment.
+    pub fn starcoder(scale: usize, seed: u64) -> CorpusConfig {
+        CorpusConfig {
+            sql_docs: 2 * scale,
+            nl_docs: scale,
+            nl_code_docs: scale,
+            generic_code_docs: 17 * scale,
+            seed,
+        }
+    }
+
+    /// CodeGen-like mix: generic code only, almost no SQL.
+    pub fn codegen(scale: usize, seed: u64) -> CorpusConfig {
+        CorpusConfig {
+            sql_docs: scale / 2,
+            nl_docs: scale,
+            nl_code_docs: scale / 2,
+            generic_code_docs: 19 * scale,
+            seed,
+        }
+    }
+
+    /// Llama2-like mix: mostly natural language.
+    pub fn llama(scale: usize, seed: u64) -> CorpusConfig {
+        CorpusConfig {
+            sql_docs: scale / 4,
+            nl_docs: 18 * scale,
+            nl_code_docs: scale / 2,
+            generic_code_docs: 2 * scale,
+            seed,
+        }
+    }
+}
+
+/// Build a corpus from the config.
+pub fn build_corpus(cfg: &CorpusConfig) -> Corpus {
+    let mut corpus = Corpus::default();
+    corpus.documents.extend(
+        sql_documents(cfg.sql_docs, cfg.seed)
+            .into_iter()
+            .map(|text| Document { slice: Slice::SqlRelated, text }),
+    );
+    corpus.documents.extend(
+        nl_documents(cfg.nl_docs, cfg.seed ^ 0x1111)
+            .into_iter()
+            .map(|text| Document { slice: Slice::NlRelated, text }),
+    );
+    corpus.documents.extend(
+        nl_code_documents(cfg.nl_code_docs, cfg.seed ^ 0x2222)
+            .into_iter()
+            .map(|text| Document { slice: Slice::NlToCode, text }),
+    );
+    corpus.documents.extend(
+        generic_code_documents(cfg.generic_code_docs, cfg.seed ^ 0x3333)
+            .into_iter()
+            .map(|text| Document { slice: Slice::GenericCode, text }),
+    );
+    corpus
+}
+
+/// SQL-related documents: template SQL over the domain library plus DDL.
+pub fn sql_documents(n: usize, seed: u64) -> Vec<String> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let specs = domains();
+    let mut out = Vec::with_capacity(n);
+    let mut db_cache: Vec<Option<sqlengine::Database>> = vec![None; specs.len()];
+    while out.len() < n {
+        let di = rng.random_range(0..specs.len());
+        let db = db_cache[di]
+            .get_or_insert_with(|| generate_database(&specs[di], &DbGenConfig::spider(), seed ^ di as u64));
+        if rng.random_range(0..8) == 0 {
+            // DDL document.
+            out.push(sqlengine::schema_to_ddl(db));
+            continue;
+        }
+        let samples = generate_samples(db, 1, &mut rng, false);
+        if let Some(s) = samples.into_iter().next() {
+            out.push(normalize_sql(&s.sql));
+        }
+    }
+    out.truncate(n);
+    out
+}
+
+/// NL-related documents: instruction-style dialog sentences.
+pub fn nl_documents(n: usize, seed: u64) -> Vec<String> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let openers = [
+        "please explain how to",
+        "can you describe the way to",
+        "i would like to understand how to",
+        "write a short note about how to",
+        "summarize the steps needed to",
+    ];
+    let actions = [
+        "organize a dataset",
+        "clean missing values",
+        "plan a travel itinerary",
+        "prepare a budget report",
+        "compare two products",
+        "review a research paper",
+        "schedule a team meeting",
+        "learn a new language",
+    ];
+    let replies = [
+        "sure , here is a concise answer :",
+        "of course , the key idea is simple :",
+        "happy to help , consider the following :",
+    ];
+    let details = [
+        "start with the most important items and proceed step by step .",
+        "gather the relevant information first , then verify each part .",
+        "break the task into smaller pieces and check the results often .",
+        "focus on clarity and keep the structure consistent throughout .",
+    ];
+    (0..n)
+        .map(|_| {
+            format!(
+                "{} {} ? {} {}",
+                openers[rng.random_range(0..openers.len())],
+                actions[rng.random_range(0..actions.len())],
+                replies[rng.random_range(0..replies.len())],
+                details[rng.random_range(0..details.len())]
+            )
+        })
+        .collect()
+}
+
+/// NL-to-code documents: NL-SQL pairs (NL-SQL-458K analogue) with a
+/// sprinkle of NL-to-Python (CoNaLa analogue).
+pub fn nl_code_documents(n: usize, seed: u64) -> Vec<String> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let specs = domains();
+    let mut out = Vec::with_capacity(n);
+    let mut db_cache: Vec<Option<sqlengine::Database>> = vec![None; specs.len()];
+    while out.len() < n {
+        if rng.random_range(0..5) == 0 {
+            out.push(python_snippet(&mut rng));
+            continue;
+        }
+        let di = rng.random_range(0..specs.len());
+        let db = db_cache[di]
+            .get_or_insert_with(|| generate_database(&specs[di], &DbGenConfig::spider(), seed ^ ((di as u64) << 1)));
+        let samples = generate_samples(db, 1, &mut rng, false);
+        if let Some(s) = samples.into_iter().next() {
+            out.push(format!("-- question : {}\n{}", s.question.to_lowercase(), normalize_sql(&s.sql)));
+        }
+    }
+    out.truncate(n);
+    out
+}
+
+/// Generic (non-SQL) code documents for baseline corpus profiles.
+pub fn generic_code_documents(n: usize, seed: u64) -> Vec<String> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    (0..n).map(|_| python_snippet(&mut rng)).collect()
+}
+
+fn python_snippet(rng: &mut StdRng) -> String {
+    let names = ["items", "values", "records", "scores", "rows", "users"];
+    let funcs = ["total", "largest", "smallest", "mean", "filtered"];
+    let name = names[rng.random_range(0..names.len())];
+    let func = funcs[rng.random_range(0..funcs.len())];
+    match rng.random_range(0..4) {
+        0 => format!("def {func}_{name} ( {name} ) :\n    return sum ( {name} ) / len ( {name} )"),
+        1 => format!("def {func}_{name} ( {name} ) :\n    return max ( {name} )"),
+        2 => format!("for item in {name} :\n    print ( item . {func} )"),
+        _ => format!("{name} = [ x for x in {name} if x . {func} > 0 ]"),
+    }
+}
+
+/// Lower-case and space-normalize SQL for LM training (keeps the token
+/// stream consistent between pre-training and generation scoring).
+pub fn normalize_sql(sql: &str) -> String {
+    let mut out = String::with_capacity(sql.len() + 16);
+    let mut prev_space = false;
+    for c in sql.chars() {
+        // Surround punctuation with spaces so tokens split cleanly.
+        if "(),=<>!*".contains(c) {
+            if !prev_space {
+                out.push(' ');
+            }
+            out.push(c);
+            out.push(' ');
+            prev_space = true;
+        } else if c.is_whitespace() {
+            if !prev_space {
+                out.push(' ');
+            }
+            prev_space = true;
+        } else {
+            out.extend(c.to_lowercase());
+            prev_space = false;
+        }
+    }
+    out.trim().to_string()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn codes_profile_keeps_paper_ratio() {
+        let cfg = CorpusConfig::codes(20, 1);
+        let c = build_corpus(&cfg);
+        assert_eq!(c.slice_count(Slice::SqlRelated), 220);
+        assert_eq!(c.slice_count(Slice::NlRelated), 90);
+        assert_eq!(c.slice_count(Slice::NlToCode), 120);
+        assert_eq!(c.slice_count(Slice::GenericCode), 0);
+        // 11 : 4.5 : 6 -> SQL-bearing fraction (11+6)/21.5
+        assert!((c.sql_fraction() - (220.0 + 120.0) / 430.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn baseline_profiles_have_lower_sql_fraction() {
+        let codes = build_corpus(&CorpusConfig::codes(10, 2));
+        let star = build_corpus(&CorpusConfig::starcoder(10, 2));
+        let gen = build_corpus(&CorpusConfig::codegen(10, 2));
+        let llama = build_corpus(&CorpusConfig::llama(10, 2));
+        assert!(codes.sql_fraction() > star.sql_fraction());
+        assert!(star.sql_fraction() > gen.sql_fraction());
+        assert!(star.sql_fraction() > llama.sql_fraction());
+    }
+
+    #[test]
+    fn sql_documents_are_sql() {
+        let docs = sql_documents(30, 3);
+        assert_eq!(docs.len(), 30);
+        assert!(docs.iter().filter(|d| d.starts_with("select")).count() >= 20);
+    }
+
+    #[test]
+    fn nl_code_documents_pair_question_and_query() {
+        let docs = nl_code_documents(20, 4);
+        let paired = docs.iter().filter(|d| d.starts_with("-- question")).count();
+        assert!(paired >= 10);
+        for d in docs.iter().filter(|d| d.starts_with("-- question")) {
+            assert!(d.contains("select"), "{d}");
+        }
+    }
+
+    #[test]
+    fn normalize_sql_is_stable() {
+        let sql = "SELECT COUNT(*) FROM t WHERE a = 'X'";
+        let norm = normalize_sql(sql);
+        assert_eq!(norm, "select count ( * ) from t where a = 'x'");
+        assert_eq!(normalize_sql(&norm), norm);
+    }
+
+    #[test]
+    fn deterministic() {
+        let a = build_corpus(&CorpusConfig::codes(5, 7));
+        let b = build_corpus(&CorpusConfig::codes(5, 7));
+        assert_eq!(a.documents.len(), b.documents.len());
+        assert_eq!(a.documents[0].text, b.documents[0].text);
+    }
+}

@@ -1,0 +1,275 @@
+//! Aminer-Simplified: the paper's academic-domain dataset (§9.1.1),
+//! sampled from an AMiner-like academic graph. Its difficulty comes from
+//! the intricate join relationships (author ↔ paper ↔ venue ↔ affiliation).
+
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+
+use sqlengine::{Column, Database, DataType, TableSchema, Value};
+
+use crate::finance::manual_sample;
+use crate::lexicon;
+use crate::sample::Sample;
+use crate::templates::generate_samples;
+
+/// Build the Aminer-Simplified database (deterministic in `seed`).
+pub fn aminer_db(seed: u64) -> Database {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut db = Database::new("aminer_simplified");
+
+    db.create_table(TableSchema::new(
+        "affiliation",
+        vec![
+            Column::new("affiliation_id", DataType::Integer).primary_key(),
+            Column::new("name", DataType::Text),
+            Column::new("country", DataType::Text),
+        ],
+    ))
+    .unwrap();
+
+    db.create_table(TableSchema::new(
+        "venue",
+        vec![
+            Column::new("venue_id", DataType::Integer).primary_key(),
+            Column::new("name", DataType::Text),
+            Column::new("field", DataType::Text).with_comment("research field of the venue"),
+            Column::new("h_index", DataType::Integer).with_comment("venue h-index"),
+        ],
+    ))
+    .unwrap();
+
+    db.create_table(
+        TableSchema::new(
+            "author",
+            vec![
+                Column::new("author_id", DataType::Integer).primary_key(),
+                Column::new("name", DataType::Text),
+                Column::new("affiliation_id", DataType::Integer),
+                Column::new("n_citation", DataType::Integer).with_comment("total citation count of the author"),
+            ],
+        )
+        .with_foreign_key("affiliation_id", "affiliation", "affiliation_id"),
+    )
+    .unwrap();
+
+    db.create_table(
+        TableSchema::new(
+            "paper",
+            vec![
+                Column::new("paper_id", DataType::Integer).primary_key(),
+                Column::new("title", DataType::Text),
+                Column::new("abstract", DataType::Text).with_comment("paper abstract text"),
+                Column::new("year", DataType::Integer),
+                Column::new("venue_id", DataType::Integer),
+                Column::new("n_citation", DataType::Integer).with_comment("citation count of the paper"),
+            ],
+        )
+        .with_foreign_key("venue_id", "venue", "venue_id"),
+    )
+    .unwrap();
+
+    db.create_table(
+        TableSchema::new(
+            "author_paper",
+            vec![
+                Column::new("ap_id", DataType::Integer).primary_key(),
+                Column::new("author_id", DataType::Integer),
+                Column::new("paper_id", DataType::Integer),
+                Column::new("author_order", DataType::Integer).with_comment("position in the author list, 1 = first author"),
+            ],
+        )
+        .with_foreign_key("author_id", "author", "author_id")
+        .with_foreign_key("paper_id", "paper", "paper_id"),
+    )
+    .unwrap();
+
+    // Populate.
+    let pick = |list: &[&str], rng: &mut StdRng| -> String { list[rng.random_range(0..list.len())].to_string() };
+    let n_affil = 30;
+    for i in 0..n_affil {
+        let row = vec![
+            Value::Integer(i as i64 + 1),
+            Value::Text(format!("{} University", pick(lexicon::CITIES, &mut rng))),
+            Value::Text(pick(lexicon::COUNTRIES, &mut rng)),
+        ];
+        db.table_mut("affiliation").unwrap().insert(row).unwrap();
+    }
+    let n_venues = 25;
+    for i in 0..n_venues {
+        let row = vec![
+            Value::Integer(i as i64 + 1),
+            Value::Text(format!(
+                "Conference on {}",
+                title_case(&pick(lexicon::FIELDS, &mut rng))
+            )),
+            Value::Text(pick(lexicon::FIELDS, &mut rng)),
+            Value::Integer(rng.random_range(10..200)),
+        ];
+        db.table_mut("venue").unwrap().insert(row).unwrap();
+    }
+    let n_authors = 250;
+    for i in 0..n_authors {
+        let row = vec![
+            Value::Integer(i as i64 + 1),
+            Value::Text(format!(
+                "{} {}",
+                pick(lexicon::FIRST_NAMES, &mut rng),
+                pick(lexicon::LAST_NAMES, &mut rng)
+            )),
+            Value::Integer(rng.random_range(1..=n_affil as i64)),
+            Value::Integer(rng.random_range(0..30_000)),
+        ];
+        db.table_mut("author").unwrap().insert(row).unwrap();
+    }
+    let n_papers = 500;
+    for i in 0..n_papers {
+        let topic = pick(lexicon::FIELDS, &mut rng);
+        let adj = pick(lexicon::NAME_ADJECTIVES, &mut rng);
+        let row = vec![
+            Value::Integer(i as i64 + 1),
+            Value::Text(format!("{adj} methods for {topic}")),
+            Value::Text(format!(
+                "We study {topic} and present a {} approach with strong results.",
+                adj.to_lowercase()
+            )),
+            Value::Integer(rng.random_range(1995..=2023)),
+            Value::Integer(rng.random_range(1..=n_venues as i64)),
+            Value::Integer(rng.random_range(0..2_000)),
+        ];
+        db.table_mut("paper").unwrap().insert(row).unwrap();
+    }
+    for i in 0..1_200 {
+        let row = vec![
+            Value::Integer(i as i64 + 1),
+            Value::Integer(rng.random_range(1..=n_authors as i64)),
+            Value::Integer(rng.random_range(1..=n_papers as i64)),
+            Value::Integer(rng.random_range(1..=6)),
+        ];
+        db.table_mut("author_paper").unwrap().insert(row).unwrap();
+    }
+    db
+}
+
+fn title_case(s: &str) -> String {
+    s.split_whitespace()
+        .map(|w| {
+            let mut c = w.chars();
+            match c.next() {
+                Some(f) => f.to_uppercase().collect::<String>() + c.as_str(),
+                None => String::new(),
+            }
+        })
+        .collect::<Vec<_>>()
+        .join(" ")
+}
+
+/// Hand-written seed questions for the academic domain.
+pub fn seed_samples(db: &Database) -> Vec<Sample> {
+    let pairs: &[(&str, &str)] = &[
+        ("How many papers are in the database?", "SELECT COUNT(*) FROM paper"),
+        (
+            "What is the abstract of 'Golden methods for databases'?",
+            "SELECT abstract FROM paper WHERE title = 'Golden methods for databases'",
+        ),
+        (
+            "Who are the authors affiliated with institutions in Japan?",
+            "SELECT name FROM author WHERE affiliation_id IN (SELECT affiliation_id FROM affiliation WHERE country = 'Japan')",
+        ),
+        (
+            "Which venue has published the most papers?",
+            "SELECT T2.name FROM paper AS T1 JOIN venue AS T2 ON T1.venue_id = T2.venue_id GROUP BY T2.name ORDER BY COUNT(*) DESC LIMIT 1",
+        ),
+        (
+            "List the titles of papers published after 2020.",
+            "SELECT title FROM paper WHERE year > 2020",
+        ),
+        (
+            "What is the average citation count of papers in machine learning venues?",
+            "SELECT AVG(T1.n_citation) FROM paper AS T1 JOIN venue AS T2 ON T1.venue_id = T2.venue_id WHERE T2.field = 'machine learning'",
+        ),
+        (
+            "Find the names of first authors of papers with more than 1000 citations.",
+            "SELECT DISTINCT T3.name FROM author_paper AS T1 JOIN paper AS T2 ON T1.paper_id = T2.paper_id JOIN author AS T3 ON T1.author_id = T3.author_id WHERE T1.author_order = 1 AND T2.n_citation > 1000",
+        ),
+        (
+            "How many authors does each affiliation have?",
+            "SELECT T2.name, COUNT(*) FROM author AS T1 JOIN affiliation AS T2 ON T1.affiliation_id = T2.affiliation_id GROUP BY T2.name",
+        ),
+        (
+            "Which author has written the most papers?",
+            "SELECT T2.name FROM author_paper AS T1 JOIN author AS T2 ON T1.author_id = T2.author_id GROUP BY T2.name ORDER BY COUNT(*) DESC LIMIT 1",
+        ),
+        (
+            "What is the highest h-index among venues in the databases field?",
+            "SELECT MAX(h_index) FROM venue WHERE field = 'databases'",
+        ),
+        (
+            "Count the papers published per year since 2018, most recent first.",
+            "SELECT year, COUNT(*) FROM paper WHERE year >= 2018 GROUP BY year ORDER BY year DESC",
+        ),
+        (
+            "List the venues that have published no papers.",
+            "SELECT name FROM venue WHERE venue_id NOT IN (SELECT venue_id FROM paper WHERE venue_id IS NOT NULL)",
+        ),
+        (
+            "Show the titles of papers written by authors from 'Praha University'.",
+            "SELECT DISTINCT T3.title FROM author_paper AS T1 JOIN author AS T2 ON T1.author_id = T2.author_id JOIN paper AS T3 ON T1.paper_id = T3.paper_id WHERE T2.affiliation_id IN (SELECT affiliation_id FROM affiliation WHERE name = 'Praha University')",
+        ),
+        (
+            "What is the total citation count of all computer vision papers?",
+            "SELECT SUM(T1.n_citation) FROM paper AS T1 JOIN venue AS T2 ON T1.venue_id = T2.venue_id WHERE T2.field = 'computer vision'",
+        ),
+        (
+            "Which country hosts the affiliation with the most cited author?",
+            "SELECT T2.country FROM author AS T1 JOIN affiliation AS T2 ON T1.affiliation_id = T2.affiliation_id ORDER BY T1.n_citation DESC LIMIT 1",
+        ),
+    ];
+    pairs
+        .iter()
+        .map(|(q, sql)| manual_sample(db, q, sql))
+        .collect()
+}
+
+/// Template-generated test set (stands in for the 97 annotated questions).
+pub fn test_samples(db: &Database, n: usize, seed: u64) -> Vec<Sample> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    generate_samples(db, n, &mut rng, true)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn schema_shape() {
+        let db = aminer_db(1);
+        assert_eq!(db.tables.len(), 5);
+        // Deep join graph: author_paper links two parents.
+        let ap = db.table("author_paper").unwrap();
+        assert_eq!(ap.schema.foreign_keys.len(), 2);
+    }
+
+    #[test]
+    fn seed_samples_execute() {
+        let db = aminer_db(1);
+        for s in seed_samples(&db) {
+            let r = sqlengine::execute_query(&db, &s.sql);
+            assert!(r.is_ok(), "{} -> {:?}", s.sql, r.err());
+        }
+    }
+
+    #[test]
+    fn test_set_generates_joins() {
+        let db = aminer_db(1);
+        let tests = test_samples(&db, 50, 2);
+        assert!(tests.len() >= 45);
+        assert!(tests.iter().any(|s| s.sql.contains("JOIN")));
+    }
+
+    #[test]
+    fn deterministic() {
+        let a = aminer_db(4);
+        let b = aminer_db(4);
+        assert_eq!(a.table("paper").unwrap().rows, b.table("paper").unwrap().rows);
+    }
+}

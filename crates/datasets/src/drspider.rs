@@ -1,0 +1,574 @@
+//! Dr.Spider: 17 perturbation test sets across three categories —
+//! 3 database-side, 9 question-side and 5 SQL-side (Table 8 of the paper).
+//!
+//! DB perturbations rename schemas or re-encode values and rewrite the
+//! gold SQL to stay aligned. NLQ perturbations rewrite question parts.
+//! SQL perturbations select dev samples whose gold SQL exercises a given
+//! construct and paraphrase the construct's surface wording.
+
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+
+use sqlengine::Database;
+
+use crate::benchmark::Benchmark;
+use crate::lexicon;
+use crate::perturb::{realistic_paraphrase, synonymize_words};
+use crate::rename::{
+    rename_database, rewrite_sql, transform_sql_text_literals, transform_text_values, RenameMap,
+};
+use crate::sample::{QPart, Sample};
+
+/// The 17 Dr.Spider test sets.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[allow(missing_docs)] // variant names mirror the paper's set names (Table 8)
+pub enum DrSpiderSet {
+    // DB side
+    SchemaSynonym,
+    SchemaAbbreviation,
+    DbContentEquivalence,
+    // NLQ side
+    KeywordSynonym,
+    KeywordCarrier,
+    ColumnSynonym,
+    ColumnCarrier,
+    ColumnAttribute,
+    ColumnValue,
+    ValueSynonym,
+    Multitype,
+    Others,
+    // SQL side
+    Comparison,
+    SortOrder,
+    NonDbNumber,
+    DbText,
+    DbNumber,
+}
+
+/// Perturbation category, matching Table 8's grouping.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Category {
+    /// Database-side perturbations (schema renames, value re-encoding).
+    Db,
+    /// Question-side perturbations (paraphrases).
+    Nlq,
+    /// SQL-side construct-focused test sets.
+    Sql,
+}
+
+impl Category {
+    /// Table 8's row label for the category.
+    pub fn label(&self) -> &'static str {
+        match self {
+            Category::Db => "DB",
+            Category::Nlq => "NLQ",
+            Category::Sql => "SQL",
+        }
+    }
+}
+
+impl DrSpiderSet {
+    /// All 17 sets, in Table 8's order.
+    pub fn all() -> [DrSpiderSet; 17] {
+        use DrSpiderSet::*;
+        [
+            SchemaSynonym,
+            SchemaAbbreviation,
+            DbContentEquivalence,
+            KeywordSynonym,
+            KeywordCarrier,
+            ColumnSynonym,
+            ColumnCarrier,
+            ColumnAttribute,
+            ColumnValue,
+            ValueSynonym,
+            Multitype,
+            Others,
+            Comparison,
+            SortOrder,
+            NonDbNumber,
+            DbText,
+            DbNumber,
+        ]
+    }
+
+    /// The paper's name for the set.
+    pub fn name(&self) -> &'static str {
+        use DrSpiderSet::*;
+        match self {
+            SchemaSynonym => "schema-synonym",
+            SchemaAbbreviation => "schema-abbreviation",
+            DbContentEquivalence => "DBcontent-equivalence",
+            KeywordSynonym => "keyword-synonym",
+            KeywordCarrier => "keyword-carrier",
+            ColumnSynonym => "column-synonym",
+            ColumnCarrier => "column-carrier",
+            ColumnAttribute => "column-attribute",
+            ColumnValue => "column-value",
+            ValueSynonym => "value-synonym",
+            Multitype => "multitype",
+            Others => "others",
+            Comparison => "comparison",
+            SortOrder => "sort-order",
+            NonDbNumber => "nonDB-number",
+            DbText => "DB-text",
+            DbNumber => "DB-number",
+        }
+    }
+
+    /// Which of the three perturbation categories the set belongs to.
+    pub fn category(&self) -> Category {
+        use DrSpiderSet::*;
+        match self {
+            SchemaSynonym | SchemaAbbreviation | DbContentEquivalence => Category::Db,
+            KeywordSynonym | KeywordCarrier | ColumnSynonym | ColumnCarrier | ColumnAttribute
+            | ColumnValue | ValueSynonym | Multitype | Others => Category::Nlq,
+            Comparison | SortOrder | NonDbNumber | DbText | DbNumber => Category::Sql,
+        }
+    }
+}
+
+/// One built Dr.Spider test set: (possibly transformed) databases plus
+/// samples aligned to them.
+#[derive(Debug, Clone)]
+pub struct PerturbedSet {
+    /// Which Dr.Spider set this is.
+    pub set: DrSpiderSet,
+    /// The (possibly transformed) databases.
+    pub databases: Vec<Database>,
+    /// Samples aligned to those databases.
+    pub samples: Vec<Sample>,
+}
+
+/// Build one of the 17 sets from the base benchmark's dev split.
+pub fn build_drspider_set(base: &Benchmark, set: DrSpiderSet, seed: u64) -> PerturbedSet {
+    let mut rng = StdRng::seed_from_u64(seed ^ (set as u64).wrapping_mul(0x9E37));
+    match set.category() {
+        Category::Db => build_db_side(base, set, &mut rng),
+        Category::Nlq => build_nlq_side(base, set, &mut rng),
+        Category::Sql => build_sql_side(base, set, &mut rng),
+    }
+}
+
+// ---------------------------------------------------------------------------
+// DB-side
+// ---------------------------------------------------------------------------
+
+fn build_db_side(base: &Benchmark, set: DrSpiderSet, rng: &mut StdRng) -> PerturbedSet {
+    let mut databases = Vec::with_capacity(base.databases.len());
+    let mut maps: std::collections::HashMap<String, RenameMap> = std::collections::HashMap::new();
+    for db in &base.databases {
+        match set {
+            DrSpiderSet::SchemaSynonym => {
+                let map = synonym_rename_map(db, rng);
+                databases.push(rename_database(db, &map));
+                maps.insert(db.name.clone(), map);
+            }
+            DrSpiderSet::SchemaAbbreviation => {
+                let map = abbreviation_rename_map(db);
+                databases.push(rename_database(db, &map));
+                maps.insert(db.name.clone(), map);
+            }
+            DrSpiderSet::DbContentEquivalence => {
+                databases.push(transform_text_values(db, |s| s.to_uppercase()));
+            }
+            _ => unreachable!(),
+        }
+    }
+    let samples = base
+        .dev
+        .iter()
+        .filter_map(|s| {
+            let mut out = s.clone();
+            out.sql = match set {
+                DrSpiderSet::DbContentEquivalence => {
+                    transform_sql_text_literals(&s.sql, |t| t.to_uppercase()).ok()?
+                }
+                _ => rewrite_sql(&s.sql, maps.get(&s.db_id)?).ok()?,
+            };
+            Some(out)
+        })
+        .collect();
+    PerturbedSet { set, databases, samples }
+}
+
+/// Rename schema identifiers to synonyms, avoiding collisions.
+fn synonym_rename_map(db: &Database, rng: &mut StdRng) -> RenameMap {
+    let mut map = RenameMap::default();
+    let mut used_tables: std::collections::HashSet<String> =
+        db.tables.iter().map(|t| t.schema.name.to_lowercase()).collect();
+    let mut used_columns: std::collections::HashSet<String> = db
+        .tables
+        .iter()
+        .flat_map(|t| t.schema.columns.iter().map(|c| c.name.to_lowercase()))
+        .collect();
+    for t in &db.tables {
+        let old = t.schema.name.to_lowercase();
+        if let Some(new) = rename_words(&old, rng) {
+            if used_tables.insert(new.clone()) {
+                map.tables.insert(old, new);
+            }
+        }
+        for c in &t.schema.columns {
+            let old = c.name.to_lowercase();
+            if map.columns.contains_key(&old) {
+                continue;
+            }
+            if let Some(new) = rename_words(&old, rng) {
+                if used_columns.insert(new.clone()) {
+                    map.columns.insert(old, new);
+                }
+            }
+        }
+    }
+    map
+}
+
+/// Underscore-joined synonym replacement of an identifier's words.
+fn rename_words(ident: &str, rng: &mut StdRng) -> Option<String> {
+    let words: Vec<&str> = ident.split('_').collect();
+    let mut any = false;
+    let renamed: Vec<String> = words
+        .iter()
+        .map(|w| match lexicon::synonyms_of(w) {
+            Some(syns) => {
+                any = true;
+                syns[rng.random_range(0..syns.len())].replace(' ', "_")
+            }
+            None => w.to_string(),
+        })
+        .collect();
+    if any {
+        Some(renamed.join("_"))
+    } else {
+        None
+    }
+}
+
+/// Abbreviate identifier words (lexicon table, falling back to prefixes).
+fn abbreviation_rename_map(db: &Database) -> RenameMap {
+    let mut map = RenameMap::default();
+    let mut used_tables: std::collections::HashSet<String> =
+        db.tables.iter().map(|t| t.schema.name.to_lowercase()).collect();
+    let mut used_columns: std::collections::HashSet<String> = db
+        .tables
+        .iter()
+        .flat_map(|t| t.schema.columns.iter().map(|c| c.name.to_lowercase()))
+        .collect();
+    let abbreviate = |ident: &str| -> Option<String> {
+        let words: Vec<&str> = ident.split('_').collect();
+        let mut any = false;
+        let out: Vec<String> = words
+            .iter()
+            .map(|w| {
+                if let Some(a) = lexicon::abbreviation_of(w) {
+                    any = true;
+                    a.to_string()
+                } else if w.len() > 5 {
+                    any = true;
+                    w[..3].to_string()
+                } else {
+                    w.to_string()
+                }
+            })
+            .collect();
+        if any {
+            Some(out.join("_"))
+        } else {
+            None
+        }
+    };
+    for t in &db.tables {
+        let old = t.schema.name.to_lowercase();
+        if let Some(new) = abbreviate(&old) {
+            if used_tables.insert(new.clone()) {
+                map.tables.insert(old, new);
+            }
+        }
+        for c in &t.schema.columns {
+            let old = c.name.to_lowercase();
+            if map.columns.contains_key(&old) {
+                continue;
+            }
+            if let Some(new) = abbreviate(&old) {
+                if used_columns.insert(new.clone()) {
+                    map.columns.insert(old, new);
+                }
+            }
+        }
+    }
+    map
+}
+
+// ---------------------------------------------------------------------------
+// NLQ-side
+// ---------------------------------------------------------------------------
+
+fn build_nlq_side(base: &Benchmark, set: DrSpiderSet, rng: &mut StdRng) -> PerturbedSet {
+    let samples = base
+        .dev
+        .iter()
+        .map(|s| {
+            let mut out = s.clone();
+            apply_nlq(&mut out, set, base, rng);
+            out.refresh_question();
+            out
+        })
+        .collect();
+    PerturbedSet { set, databases: base.databases.clone(), samples }
+}
+
+fn apply_nlq(sample: &mut Sample, set: DrSpiderSet, base: &Benchmark, rng: &mut StdRng) {
+    match set {
+        DrSpiderSet::KeywordSynonym => {
+            for part in &mut sample.question_parts {
+                match part {
+                    QPart::AggWord { nl, .. } => *nl = agg_synonym(nl, rng),
+                    QPart::OpWord { nl, .. } => *nl = op_synonym(nl, rng),
+                    QPart::Lit(s) if s == "how many" => *s = "what is the count of".into(),
+                    _ => {}
+                }
+            }
+        }
+        DrSpiderSet::KeywordCarrier => {
+            sample
+                .question_parts
+                .insert(0, QPart::lit(["could you tell me", "i would like to know", "please show me"][rng.random_range(0..3)]));
+        }
+        DrSpiderSet::ColumnSynonym => {
+            for part in &mut sample.question_parts {
+                if let QPart::Column { nl, .. } = part {
+                    *nl = synonymize_words(nl, rng, 1.0);
+                }
+            }
+        }
+        DrSpiderSet::ColumnCarrier => {
+            for part in &mut sample.question_parts {
+                if let QPart::Column { nl, .. } = part {
+                    *nl = format!("the value of {nl}");
+                }
+            }
+        }
+        DrSpiderSet::ColumnAttribute => {
+            for part in &mut sample.question_parts {
+                if let QPart::Column { nl, .. } = part {
+                    *nl = realistic_paraphrase(nl, rng);
+                }
+            }
+        }
+        DrSpiderSet::ColumnValue => {
+            // Refer to a column through an example value instead of its name.
+            let db = base.database(&sample.db_id).cloned();
+            for part in &mut sample.question_parts {
+                if let QPart::Column { table, column, nl } = part {
+                    if let Some(db) = &db {
+                        if let Some(t) = db.table(table) {
+                            let vals = t.representative_values(column, 1);
+                            if let Some(v) = vals.first() {
+                                *nl = format!("the field with values like '{}'", v.render().trim());
+                                continue;
+                            }
+                        }
+                    }
+                    *nl = format!("that {nl} field");
+                }
+            }
+        }
+        DrSpiderSet::ValueSynonym => {
+            for part in &mut sample.question_parts {
+                if let QPart::ValueRef { text, .. } = part {
+                    let bare = text.trim_matches('\'').to_string();
+                    *text = match lexicon::value_alias(&bare) {
+                        Some(alias) => alias.to_string(),
+                        None => bare.to_lowercase(),
+                    };
+                }
+            }
+        }
+        DrSpiderSet::Multitype => {
+            apply_nlq(sample, DrSpiderSet::ColumnSynonym, base, rng);
+            apply_nlq(sample, DrSpiderSet::ValueSynonym, base, rng);
+            apply_nlq(sample, DrSpiderSet::KeywordSynonym, base, rng);
+        }
+        DrSpiderSet::Others => {
+            // Generic lead-in paraphrase plus a trailing qualifier.
+            if let Some(QPart::Lit(first)) = sample.question_parts.first_mut() {
+                *first = match first.as_str() {
+                    "show the" | "list the" => "i want to see the".into(),
+                    "what is the" => "tell me the".into(),
+                    "how many" => "what number of".into(),
+                    other => format!("regarding our records, {other}"),
+                };
+            }
+            sample.question_parts.push(QPart::lit("in the database"));
+        }
+        _ => unreachable!(),
+    }
+}
+
+fn agg_synonym(nl: &str, rng: &mut StdRng) -> String {
+    let options: &[&str] = match nl {
+        "average" => &["mean", "typical"],
+        "total" => &["sum of", "overall"],
+        "maximum" => &["highest", "top", "greatest"],
+        "minimum" => &["lowest", "smallest"],
+        _ => return nl.to_string(),
+    };
+    options[rng.random_range(0..options.len())].to_string()
+}
+
+fn op_synonym(nl: &str, rng: &mut StdRng) -> String {
+    let options: &[&str] = match nl {
+        "more than" | "greater than" | "over" => &["exceeding", "above"],
+        "less than" | "below" | "under" => &["beneath", "lower than"],
+        "at least" | "no less than" => &["a minimum of"],
+        "at most" | "no more than" => &["a maximum of"],
+        _ => return nl.to_string(),
+    };
+    options[rng.random_range(0..options.len())].to_string()
+}
+
+// ---------------------------------------------------------------------------
+// SQL-side
+// ---------------------------------------------------------------------------
+
+/// Template ids exercising each SQL-side construct (see templates.rs).
+fn sql_side_templates(set: DrSpiderSet) -> &'static [usize] {
+    match set {
+        DrSpiderSet::Comparison => &[6, 11, 18, 31, 34, 39],
+        DrSpiderSet::SortOrder => &[9, 15, 16, 24, 30, 32],
+        DrSpiderSet::NonDbNumber => &[14, 16, 36],
+        DrSpiderSet::DbText => &[5, 7, 10, 11, 19, 21, 22, 25, 29, 33, 37],
+        DrSpiderSet::DbNumber => &[6, 18, 26, 27, 31, 38],
+        _ => unreachable!(),
+    }
+}
+
+fn build_sql_side(base: &Benchmark, set: DrSpiderSet, rng: &mut StdRng) -> PerturbedSet {
+    let wanted = sql_side_templates(set);
+    let mut samples: Vec<Sample> = base
+        .dev
+        .iter()
+        .filter(|s| wanted.contains(&s.template_id))
+        .cloned()
+        .collect();
+    if samples.is_empty() {
+        samples = base.dev.clone();
+    }
+    // Light question paraphrase so the set is a perturbation, not a copy.
+    for s in &mut samples {
+        for part in &mut s.question_parts {
+            match part {
+                QPart::OpWord { nl, .. } => *nl = op_synonym(nl, rng),
+                QPart::AggWord { nl, .. } => *nl = agg_synonym(nl, rng),
+                _ => {}
+            }
+        }
+        s.refresh_question();
+    }
+    PerturbedSet { set, databases: base.databases.clone(), samples }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::benchmark::spider_benchmark;
+
+    #[test]
+    fn all_seventeen_sets_build() {
+        let base = spider_benchmark(21);
+        for set in DrSpiderSet::all() {
+            let built = build_drspider_set(&base, set, 3);
+            assert!(!built.samples.is_empty(), "{} is empty", set.name());
+            // Every sample's gold SQL must execute on the set's databases.
+            for s in &built.samples {
+                let db = built
+                    .databases
+                    .iter()
+                    .find(|d| d.name == s.db_id)
+                    .unwrap_or_else(|| panic!("{}: missing db {}", set.name(), s.db_id));
+                sqlengine::execute_query(db, &s.sql)
+                    .unwrap_or_else(|e| panic!("{}: gold fails `{}`: {e}", set.name(), s.sql));
+            }
+        }
+    }
+
+    #[test]
+    fn categories_partition_3_9_5() {
+        let mut counts = std::collections::HashMap::new();
+        for s in DrSpiderSet::all() {
+            *counts.entry(s.category()).or_insert(0) += 1;
+        }
+        assert_eq!(counts[&Category::Db], 3);
+        assert_eq!(counts[&Category::Nlq], 9);
+        assert_eq!(counts[&Category::Sql], 5);
+    }
+
+    #[test]
+    fn schema_synonym_renames_schema() {
+        let base = spider_benchmark(22);
+        let built = build_drspider_set(&base, DrSpiderSet::SchemaSynonym, 3);
+        // At least one database has a renamed table or column.
+        let changed = built.databases.iter().zip(&base.databases).any(|(new, old)| {
+            new.table_names() != old.table_names()
+                || new.tables.iter().zip(&old.tables).any(|(a, b)| {
+                    a.schema.columns.iter().map(|c| &c.name).ne(b.schema.columns.iter().map(|c| &c.name))
+                })
+        });
+        assert!(changed);
+    }
+
+    #[test]
+    fn content_equivalence_uppercases_values() {
+        let base = spider_benchmark(23);
+        let built = build_drspider_set(&base, DrSpiderSet::DbContentEquivalence, 3);
+        let any_upper = built.databases.iter().any(|db| {
+            db.text_values()
+                .iter()
+                .any(|(_, _, v)| v.chars().any(|c| c.is_alphabetic()) && *v == v.to_uppercase())
+        });
+        assert!(any_upper);
+        // Questions keep their original casing.
+        assert_eq!(built.samples[0].question, base.dev[0].question);
+    }
+
+    #[test]
+    fn nlq_sets_change_questions_only() {
+        let base = spider_benchmark(24);
+        for set in [
+            DrSpiderSet::KeywordCarrier,
+            DrSpiderSet::ColumnCarrier,
+            DrSpiderSet::Others,
+        ] {
+            let built = build_drspider_set(&base, set, 3);
+            let changed = built
+                .samples
+                .iter()
+                .zip(&base.dev)
+                .filter(|(p, o)| p.question != o.question)
+                .count();
+            // KeywordCarrier/Others always inject text; ColumnCarrier only
+            // touches samples that actually mention a column.
+            let minimum = if set == DrSpiderSet::ColumnCarrier {
+                base.dev.len() * 3 / 4
+            } else {
+                base.dev.len()
+            };
+            assert!(changed >= minimum, "{}: only {changed} changed", set.name());
+            for (p, o) in built.samples.iter().zip(&base.dev) {
+                assert_eq!(p.sql, o.sql);
+            }
+        }
+    }
+
+    #[test]
+    fn sql_side_sets_filter_by_template() {
+        let base = spider_benchmark(25);
+        let built = build_drspider_set(&base, DrSpiderSet::SortOrder, 3);
+        let allowed = sql_side_templates(DrSpiderSet::SortOrder);
+        // Either properly filtered, or the fallback (full dev) was used.
+        if built.samples.len() != base.dev.len() {
+            assert!(built.samples.iter().all(|s| allowed.contains(&s.template_id)));
+        }
+    }
+}

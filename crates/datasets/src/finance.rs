@@ -1,0 +1,373 @@
+//! Bank-Financials: the paper's finance-domain dataset (§9.1.1).
+//!
+//! Four tables, the largest with 65 columns of abbreviated financial
+//! metrics (each carrying an explanatory comment), mirroring the schema
+//! ambiguity challenge Figure 2 illustrates. A small pool of hand-written
+//! seed (question, SQL) pairs plays the role of the 30 manually annotated
+//! real-user samples that the bi-directional augmentation starts from, and
+//! a template-generated test set stands in for the 91 annotated real
+//! questions.
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use sqlengine::{Column, Database, DataType, TableSchema, Value};
+
+use crate::sample::{render_question, Hardness, QPart, Sample, ValueMention};
+use crate::templates::generate_samples;
+
+/// Abbreviated financial-metric columns of the wide `corp_info` table:
+/// (column name, comment). 60 metrics + 5 identity columns = 65 columns.
+pub const METRICS: &[(&str, &str)] = &[
+    ("roa", "return on assets"),
+    ("roe", "return on equity"),
+    ("nim", "net interest margin"),
+    ("npl_ratio", "non-performing loan ratio"),
+    ("car", "capital adequacy ratio"),
+    ("ldr", "loan to deposit ratio"),
+    ("cir", "cost to income ratio"),
+    ("eps", "earnings per share"),
+    ("bvps", "book value per share"),
+    ("dps", "dividend per share"),
+    ("rev_yoy", "revenue year-over-year growth percent"),
+    ("np_yoy", "net profit year-over-year growth percent"),
+    ("ta", "total assets in millions"),
+    ("tl", "total liabilities in millions"),
+    ("te", "total equity in millions"),
+    ("ti", "total income in millions"),
+    ("nii", "net interest income in millions"),
+    ("nfi", "net fee income in millions"),
+    ("opex", "operating expenses in millions"),
+    ("ppop", "pre-provision operating profit in millions"),
+    ("llp", "loan loss provisions in millions"),
+    ("npat", "net profit after tax in millions"),
+    ("gl", "gross loans in millions"),
+    ("td", "total deposits in millions"),
+    ("cash_ta", "cash to total assets percent"),
+    ("liq_ratio", "liquidity ratio"),
+    ("lev_ratio", "leverage ratio"),
+    ("t1_ratio", "tier one capital ratio"),
+    ("rwa", "risk weighted assets in millions"),
+    ("cost_risk", "cost of risk percent"),
+    ("cov_ratio", "npl coverage ratio"),
+    ("casa", "current and savings account ratio"),
+    ("yoa", "yield on assets"),
+    ("cof", "cost of funds"),
+    ("spread", "interest rate spread"),
+    ("fee_ratio", "fee income ratio"),
+    ("trade_inc", "trading income in millions"),
+    ("fx_inc", "foreign exchange income in millions"),
+    ("staff_cnt", "number of staff"),
+    ("branch_cnt", "number of branches"),
+    ("atm_cnt", "number of ATMs"),
+    ("cust_cnt", "number of customers in thousands"),
+    ("mcap", "market capitalization in millions"),
+    ("pe", "price to earnings ratio"),
+    ("pb", "price to book ratio"),
+    ("div_yield", "dividend yield percent"),
+    ("payout", "dividend payout ratio"),
+    ("beta", "stock beta"),
+    ("vol_30d", "30-day stock volatility"),
+    ("ret_1y", "one-year stock return percent"),
+    ("esg", "ESG score"),
+    ("cred_rat", "credit rating score"),
+    ("audit_fee", "annual audit fee in thousands"),
+    ("tax_rate", "effective tax rate percent"),
+    ("rnd_exp", "research and development expense in millions"),
+    ("it_exp", "information technology expense in millions"),
+    ("mkt_exp", "marketing expense in millions"),
+    ("sub_cnt", "number of subsidiaries"),
+    ("ovs_ratio", "overseas revenue ratio percent"),
+    ("grn_loans", "green loans in millions"),
+];
+
+/// Build the Bank-Financials database (deterministic in `seed`).
+pub fn bank_financials_db(seed: u64) -> Database {
+    use rand::RngExt;
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut db = Database::new("bank_financials");
+
+    // corp_info: 5 identity columns + 60 metric columns = 65.
+    let mut cols = vec![
+        Column::new("corp_id", DataType::Integer).primary_key(),
+        Column::new("corp_name", DataType::Text),
+        Column::new("industry", DataType::Text),
+        Column::new("city", DataType::Text),
+        Column::new("listed_year", DataType::Integer),
+    ];
+    for (name, comment) in METRICS {
+        cols.push(Column::new(*name, DataType::Real).with_comment(*comment));
+    }
+    assert_eq!(cols.len(), 65);
+    db.create_table(TableSchema::new("corp_info", cols)).unwrap();
+
+    db.create_table(
+        TableSchema::new(
+            "client",
+            vec![
+                Column::new("client_id", DataType::Integer).primary_key(),
+                Column::new("name", DataType::Text),
+                Column::new("gender", DataType::Text).with_comment("client gender, F for female and M for male"),
+                Column::new("city", DataType::Text),
+                Column::new("corp_id", DataType::Integer),
+            ],
+        )
+        .with_foreign_key("corp_id", "corp_info", "corp_id"),
+    )
+    .unwrap();
+
+    db.create_table(
+        TableSchema::new(
+            "account",
+            vec![
+                Column::new("account_id", DataType::Integer).primary_key(),
+                Column::new("client_id", DataType::Integer),
+                Column::new("balance", DataType::Real),
+                Column::new("open_date", DataType::Text).with_comment("account opening date, YYYY-MM-DD"),
+                Column::new("branch", DataType::Text).with_comment("branch city where the account was opened"),
+            ],
+        )
+        .with_foreign_key("client_id", "client", "client_id"),
+    )
+    .unwrap();
+
+    db.create_table(
+        TableSchema::new(
+            "txn",
+            vec![
+                Column::new("txn_id", DataType::Integer).primary_key(),
+                Column::new("account_id", DataType::Integer),
+                Column::new("amount", DataType::Real),
+                Column::new("txn_date", DataType::Text).with_comment("transaction date, YYYY-MM-DD"),
+                Column::new("txn_type", DataType::Text).with_comment("transaction type: deposit, withdrawal or transfer"),
+            ],
+        )
+        .with_foreign_key("account_id", "account", "account_id"),
+    )
+    .unwrap();
+
+    // Populate.
+    let industries = ["banking", "insurance", "securities", "asset management", "fintech"];
+    let n_corps = 40;
+    for i in 0..n_corps {
+        let mut row: Vec<Value> = vec![
+            Value::Integer(i as i64 + 1),
+            Value::Text(format!(
+                "{} {}",
+                crate::lexicon::ORG_WORDS[rng.random_range(0..crate::lexicon::ORG_WORDS.len())],
+                ["Bank", "Financial", "Holdings", "Capital"][rng.random_range(0..4)]
+            )),
+            Value::Text(industries[rng.random_range(0..industries.len())].to_string()),
+            Value::Text(crate::lexicon::CITIES[rng.random_range(0..crate::lexicon::CITIES.len())].to_string()),
+            Value::Integer(rng.random_range(1980..=2020)),
+        ];
+        for _ in METRICS {
+            row.push(Value::Real((rng.random_range(0.0..5_000.0f64) * 100.0).round() / 100.0));
+        }
+        db.table_mut("corp_info").unwrap().insert(row).unwrap();
+    }
+    let n_clients = 300;
+    for i in 0..n_clients {
+        let row = vec![
+            Value::Integer(i as i64 + 1),
+            Value::Text(format!(
+                "{} {}",
+                crate::lexicon::FIRST_NAMES[rng.random_range(0..crate::lexicon::FIRST_NAMES.len())],
+                crate::lexicon::LAST_NAMES[rng.random_range(0..crate::lexicon::LAST_NAMES.len())]
+            )),
+            Value::Text(if rng.random_range(0..2) == 0 { "F" } else { "M" }.to_string()),
+            Value::Text(crate::lexicon::CITIES[rng.random_range(0..crate::lexicon::CITIES.len())].to_string()),
+            Value::Integer(rng.random_range(1..=n_corps as i64)),
+        ];
+        db.table_mut("client").unwrap().insert(row).unwrap();
+    }
+    let n_accounts = 500;
+    for i in 0..n_accounts {
+        let row = vec![
+            Value::Integer(i as i64 + 1),
+            Value::Integer(rng.random_range(1..=n_clients as i64)),
+            Value::Real((rng.random_range(0.0..250_000.0f64) * 100.0).round() / 100.0),
+            Value::Text(format!(
+                "{:04}-{:02}-{:02}",
+                rng.random_range(2000..=2023),
+                rng.random_range(1..=12),
+                rng.random_range(1..=28)
+            )),
+            Value::Text(crate::lexicon::CITIES[rng.random_range(0..crate::lexicon::CITIES.len())].to_string()),
+        ];
+        db.table_mut("account").unwrap().insert(row).unwrap();
+    }
+    for i in 0..1_500 {
+        let row = vec![
+            Value::Integer(i as i64 + 1),
+            Value::Integer(rng.random_range(1..=n_accounts as i64)),
+            Value::Real((rng.random_range(1.0..50_000.0f64) * 100.0).round() / 100.0),
+            Value::Text(format!(
+                "{:04}-{:02}-{:02}",
+                rng.random_range(2015..=2023),
+                rng.random_range(1..=12),
+                rng.random_range(1..=28)
+            )),
+            Value::Text(["deposit", "withdrawal", "transfer"][rng.random_range(0..3)].to_string()),
+        ];
+        db.table_mut("txn").unwrap().insert(row).unwrap();
+    }
+    db
+}
+
+/// Hand-written seed questions — the "few genuine user queries" that §7's
+/// question-to-SQL augmentation direction starts from.
+pub fn seed_samples(db: &Database) -> Vec<Sample> {
+    let pairs: &[(&str, &str)] = &[
+        ("How many clients do we have?", "SELECT COUNT(*) FROM client"),
+        (
+            "How many clients opened their accounts in Jesenik branch were women?",
+            "SELECT COUNT(*) FROM client AS T1 JOIN account AS T2 ON T1.client_id = T2.client_id WHERE T2.branch = 'Jesenik' AND T1.gender = 'F'",
+        ),
+        (
+            "What is the average balance across all accounts?",
+            "SELECT AVG(balance) FROM account",
+        ),
+        (
+            "Which company has the highest return on assets?",
+            "SELECT corp_name FROM corp_info ORDER BY roa DESC LIMIT 1",
+        ),
+        (
+            "List the names of companies in the banking industry.",
+            "SELECT corp_name FROM corp_info WHERE industry = 'banking'",
+        ),
+        (
+            "What is the total deposit amount recorded in transactions?",
+            "SELECT SUM(amount) FROM txn WHERE txn_type = 'deposit'",
+        ),
+        (
+            "Show the name of each client with an account balance above 100000.",
+            "SELECT DISTINCT T1.name FROM client AS T1 JOIN account AS T2 ON T1.client_id = T2.client_id WHERE T2.balance > 100000",
+        ),
+        (
+            "How many companies are listed after 2010?",
+            "SELECT COUNT(*) FROM corp_info WHERE listed_year > 2010",
+        ),
+        (
+            "What is the average net interest margin of securities companies?",
+            "SELECT AVG(nim) FROM corp_info WHERE industry = 'securities'",
+        ),
+        (
+            "Which branch has the most accounts?",
+            "SELECT branch FROM account GROUP BY branch ORDER BY COUNT(*) DESC LIMIT 1",
+        ),
+        (
+            "Count the transactions per transaction type.",
+            "SELECT txn_type, COUNT(*) FROM txn GROUP BY txn_type",
+        ),
+        (
+            "What is the capital adequacy ratio of the company with the largest total assets?",
+            "SELECT car FROM corp_info ORDER BY ta DESC LIMIT 1",
+        ),
+        (
+            "List the cities of clients whose company is in the fintech industry.",
+            "SELECT DISTINCT T1.city FROM client AS T1 JOIN corp_info AS T2 ON T1.corp_id = T2.corp_id WHERE T2.industry = 'fintech'",
+        ),
+        (
+            "Find clients who have no account.",
+            "SELECT name FROM client WHERE client_id NOT IN (SELECT client_id FROM account WHERE client_id IS NOT NULL)",
+        ),
+        (
+            "What is the maximum single withdrawal amount?",
+            "SELECT MAX(amount) FROM txn WHERE txn_type = 'withdrawal'",
+        ),
+    ];
+    pairs
+        .iter()
+        .map(|(q, sql)| manual_sample(db, q, sql))
+        .collect()
+}
+
+/// A manually annotated sample (question parts are a single literal).
+pub fn manual_sample(db: &Database, question: &str, sql: &str) -> Sample {
+    debug_assert!(
+        sqlengine::execute_query(db, sql).is_ok(),
+        "seed SQL must execute: {sql}"
+    );
+    let parts = vec![QPart::lit(question.trim_end_matches(['?', '.']))];
+    Sample {
+        db_id: db.name.clone(),
+        question: render_question(&parts),
+        question_parts: parts,
+        sql: sql.to_string(),
+        template_id: usize::MAX, // not template-generated
+        hardness: Hardness::Medium,
+        used_tables: Vec::new(),
+        used_columns: Vec::new(),
+        value_mentions: Vec::<ValueMention>::new(),
+        external_knowledge: None,
+    }
+}
+
+/// The held-out test set: template questions standing in for the 91
+/// manually annotated real-user questions.
+pub fn test_samples(db: &Database, n: usize, seed: u64) -> Vec<Sample> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    generate_samples(db, n, &mut rng, true)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn corp_info_has_65_columns() {
+        let db = bank_financials_db(1);
+        assert_eq!(db.table("corp_info").unwrap().schema.columns.len(), 65);
+        assert_eq!(db.tables.len(), 4);
+    }
+
+    #[test]
+    fn metric_columns_are_commented() {
+        let db = bank_financials_db(1);
+        let t = db.table("corp_info").unwrap();
+        let c = t.schema.column("roa").unwrap();
+        assert_eq!(c.comment.as_deref(), Some("return on assets"));
+    }
+
+    #[test]
+    fn seed_samples_execute() {
+        let db = bank_financials_db(1);
+        let seeds = seed_samples(&db);
+        assert!(seeds.len() >= 15);
+        for s in &seeds {
+            let r = sqlengine::execute_query(&db, &s.sql);
+            assert!(r.is_ok(), "{} -> {:?}", s.sql, r.err());
+        }
+    }
+
+    #[test]
+    fn jesenik_example_finds_women() {
+        // The paper's §6.2 running example must be answerable.
+        let db = bank_financials_db(1);
+        let r = sqlengine::execute_query(
+            &db,
+            "SELECT COUNT(*) FROM client AS T1 JOIN account AS T2 ON T1.client_id = T2.client_id \
+             WHERE T2.branch = 'Jesenik' AND T1.gender = 'F'",
+        )
+        .unwrap();
+        assert_eq!(r.rows.len(), 1);
+    }
+
+    #[test]
+    fn test_set_generates() {
+        let db = bank_financials_db(1);
+        let tests = test_samples(&db, 40, 9);
+        assert!(tests.len() >= 35);
+        for s in &tests {
+            assert!(sqlengine::execute_query(&db, &s.sql).is_ok());
+        }
+    }
+
+    #[test]
+    fn deterministic() {
+        let a = bank_financials_db(3);
+        let b = bank_financials_db(3);
+        assert_eq!(a.table("client").unwrap().rows, b.table("client").unwrap().rows);
+    }
+}

@@ -1,0 +1,194 @@
+//! NLQ-side perturbations: Spider-Syn, Spider-Realistic and Spider-DK.
+//!
+//! All three variants keep the database and the gold SQL fixed and rewrite
+//! the *question* so that its surface diverges from the schema vocabulary,
+//! mimicking real users. Because our questions carry structured
+//! [`QPart`]s, the rewrites are exact rather than heuristic.
+
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+
+use crate::benchmark::Benchmark;
+use crate::lexicon;
+use crate::sample::{QPart, Sample};
+
+/// Which Spider variant to synthesize.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SpiderVariant {
+    /// Synonym substitution over schema-linked words (Spider-Syn).
+    Syn,
+    /// Drop explicit column mentions (Spider-Realistic).
+    Realistic,
+    /// Require domain knowledge: values and columns referenced by aliases
+    /// and paraphrases, with no external-knowledge hints (Spider-DK).
+    DomainKnowledge,
+}
+
+impl SpiderVariant {
+    /// Dataset name of the variant.
+    pub fn name(&self) -> &'static str {
+        match self {
+            SpiderVariant::Syn => "spider-syn",
+            SpiderVariant::Realistic => "spider-realistic",
+            SpiderVariant::DomainKnowledge => "spider-dk",
+        }
+    }
+}
+
+/// Build the perturbed dev set of a base benchmark.
+pub fn build_variant(base: &Benchmark, variant: SpiderVariant, seed: u64) -> Vec<Sample> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    base.dev
+        .iter()
+        .map(|s| perturb_sample(s, variant, &mut rng))
+        .collect()
+}
+
+/// Perturb a single sample's question.
+pub fn perturb_sample(sample: &Sample, variant: SpiderVariant, rng: &mut StdRng) -> Sample {
+    let mut out = sample.clone();
+    match variant {
+        SpiderVariant::Syn => {
+            for part in &mut out.question_parts {
+                match part {
+                    QPart::Column { nl, .. } | QPart::Table { nl, .. } => {
+                        *nl = synonymize_words(nl, rng, 1.0);
+                    }
+                    _ => {}
+                }
+            }
+        }
+        SpiderVariant::Realistic => {
+            // Remove explicit column mentions: each column NL is replaced by
+            // a paraphrase when one exists, otherwise by a vague carrier.
+            for part in &mut out.question_parts {
+                if let QPart::Column { nl, .. } = part {
+                    *nl = realistic_paraphrase(nl, rng);
+                }
+            }
+        }
+        SpiderVariant::DomainKnowledge => {
+            for part in &mut out.question_parts {
+                match part {
+                    // Values referenced through domain aliases; the model
+                    // must know that "female" is stored as 'F'.
+                    QPart::ValueRef { text, .. } => {
+                        let bare = text.trim_matches('\'');
+                        if let Some(alias) = lexicon::value_alias(bare) {
+                            *text = alias.to_string();
+                        }
+                    }
+                    QPart::Column { nl, .. } => {
+                        *nl = synonymize_words(nl, rng, 0.5);
+                    }
+                    _ => {}
+                }
+            }
+            // Domain knowledge means no EK hints are available.
+            out.external_knowledge = None;
+        }
+    }
+    out.refresh_question();
+    out
+}
+
+/// Replace each word that has a synonym with one, with probability `p`.
+pub fn synonymize_words(text: &str, rng: &mut StdRng, p: f64) -> String {
+    let replaced: Vec<String> = text
+        .split_whitespace()
+        .map(|w| {
+            let lower = w.to_lowercase();
+            match lexicon::synonyms_of(&lower) {
+                Some(syns) if rng.random_range(0.0..1.0) < p => {
+                    syns[rng.random_range(0..syns.len())].to_string()
+                }
+                _ => w.to_string(),
+            }
+        })
+        .collect();
+    replaced.join(" ")
+}
+
+/// A "realistic" paraphrase of a column mention: attribute phrasing when
+/// known, synonym otherwise, vague fallback last.
+pub fn realistic_paraphrase(nl: &str, rng: &mut StdRng) -> String {
+    const ATTRIBUTES: &[(&str, &str)] = &[
+        ("age", "how old they are"),
+        ("weight", "how heavy they are"),
+        ("height", "how tall they are"),
+        ("capacity", "how many people fit"),
+        ("price", "how much it costs"),
+        ("salary", "how much they earn"),
+        ("rating", "how well rated it is"),
+        ("population", "how many people live there"),
+        ("distance", "how far it goes"),
+    ];
+    let lower = nl.to_lowercase();
+    for (word, phrase) in ATTRIBUTES {
+        if lower.contains(word) {
+            return phrase.to_string();
+        }
+    }
+    let with_syn = synonymize_words(nl, rng, 1.0);
+    if with_syn != nl {
+        with_syn
+    } else {
+        // No paraphrase available: keep the last word only (dropping the
+        // qualifying part of multi-word names).
+        nl.split_whitespace().last().unwrap_or(nl).to_string()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::benchmark::spider_benchmark;
+
+    #[test]
+    fn variants_preserve_sql_and_dbs() {
+        let base = spider_benchmark(11);
+        for v in [SpiderVariant::Syn, SpiderVariant::Realistic, SpiderVariant::DomainKnowledge] {
+            let perturbed = build_variant(&base, v, 7);
+            assert_eq!(perturbed.len(), base.dev.len());
+            for (p, o) in perturbed.iter().zip(&base.dev) {
+                assert_eq!(p.sql, o.sql, "{} must not change gold SQL", v.name());
+                assert_eq!(p.db_id, o.db_id);
+            }
+        }
+    }
+
+    #[test]
+    fn syn_changes_some_questions() {
+        let base = spider_benchmark(12);
+        let perturbed = build_variant(&base, SpiderVariant::Syn, 5);
+        let changed = perturbed
+            .iter()
+            .zip(&base.dev)
+            .filter(|(p, o)| p.question != o.question)
+            .count();
+        assert!(changed > base.dev.len() / 4, "only {changed} questions changed");
+    }
+
+    #[test]
+    fn dk_strips_external_knowledge() {
+        let base = spider_benchmark(13);
+        let perturbed = build_variant(&base, SpiderVariant::DomainKnowledge, 5);
+        assert!(perturbed.iter().all(|s| s.external_knowledge.is_none()));
+    }
+
+    #[test]
+    fn synonymize_replaces_known_words() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let out = synonymize_words("name", &mut rng, 1.0);
+        assert_ne!(out, "name");
+        let out = synonymize_words("zorglub", &mut rng, 1.0);
+        assert_eq!(out, "zorglub");
+    }
+
+    #[test]
+    fn realistic_uses_attribute_phrases() {
+        let mut rng = StdRng::seed_from_u64(2);
+        assert_eq!(realistic_paraphrase("age", &mut rng), "how old they are");
+        assert_eq!(realistic_paraphrase("total price", &mut rng), "how much it costs");
+    }
+}

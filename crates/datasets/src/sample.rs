@@ -1,0 +1,204 @@
+//! Text-to-SQL samples with structured question parts.
+//!
+//! Questions are not stored as opaque strings: they are sequences of
+//! [`QPart`]s recording which spans refer to tables, columns and values.
+//! The robustness perturbations (Spider-Syn, Dr.Spider, ...) rewrite these
+//! parts precisely instead of guessing at the surface text.
+
+/// One building block of a question.
+#[derive(Debug, Clone, PartialEq)]
+pub enum QPart {
+    /// Literal carrier text ("show the", "of all").
+    Lit(String),
+    /// A reference to a table, rendered by its NL surface.
+    Table {
+        /// Schema table name.
+        name: String,
+        /// Natural-language surface used in the question.
+        nl: String,
+    },
+    /// A reference to a column.
+    Column {
+        /// Owning table.
+        table: String,
+        /// Schema column name.
+        column: String,
+        /// Natural-language surface used in the question.
+        nl: String,
+    },
+    /// A value mentioned in the question that exists in the database.
+    ValueRef {
+        /// Table holding the value.
+        table: String,
+        /// Column holding the value.
+        column: String,
+        /// Surface form as it appears in the question.
+        text: String,
+    },
+    /// A number that does NOT come from the database (LIMIT k, thresholds).
+    Number {
+        /// The number as written.
+        text: String,
+    },
+    /// An aggregation keyword ("average", "total number of").
+    AggWord {
+        /// SQL aggregate name (`AVG`, ...).
+        agg: String,
+        /// Surface wording.
+        nl: String,
+    },
+    /// A comparison keyword ("more than", "at most").
+    OpWord {
+        /// SQL operator (`>`, `<=`, ...).
+        op: String,
+        /// Surface wording.
+        nl: String,
+    },
+}
+
+impl QPart {
+    /// A literal carrier-text part.
+    pub fn lit(s: &str) -> QPart {
+        QPart::Lit(s.to_string())
+    }
+
+    /// The rendered surface of this part.
+    pub fn surface(&self) -> &str {
+        match self {
+            QPart::Lit(s) => s,
+            QPart::Table { nl, .. } => nl,
+            QPart::Column { nl, .. } => nl,
+            QPart::ValueRef { text, .. } => text,
+            QPart::Number { text } => text,
+            QPart::AggWord { nl, .. } => nl,
+            QPart::OpWord { nl, .. } => nl,
+        }
+    }
+}
+
+/// Render parts into a question sentence.
+pub fn render_question(parts: &[QPart]) -> String {
+    let mut out = String::new();
+    for p in parts {
+        let s = p.surface();
+        if s.is_empty() {
+            continue;
+        }
+        if !out.is_empty() && !s.starts_with(['?', ',', '.']) {
+            out.push(' ');
+        }
+        out.push_str(s);
+    }
+    let mut q = out.trim().to_string();
+    if !q.ends_with('?') && !q.ends_with('.') {
+        q.push('?');
+    }
+    // Capitalize the first letter.
+    let mut chars = q.chars();
+    match chars.next() {
+        Some(f) => f.to_uppercase().collect::<String>() + chars.as_str(),
+        None => q,
+    }
+}
+
+/// SQL hardness following Spider's 4-level convention.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Hardness {
+    /// Single-table, no aggregation tricks.
+    Easy,
+    /// Grouping, single joins, simple predicates.
+    Medium,
+    /// Joins with grouping, subqueries.
+    Hard,
+    /// Set operations, nested subqueries, multi-hop joins.
+    Extra,
+}
+
+impl Hardness {
+    /// Lower-case label used in reports.
+    pub fn label(&self) -> &'static str {
+        match self {
+            Hardness::Easy => "easy",
+            Hardness::Medium => "medium",
+            Hardness::Hard => "hard",
+            Hardness::Extra => "extra",
+        }
+    }
+}
+
+/// A database value mentioned by the question.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ValueMention {
+    /// Table holding the value.
+    pub table: String,
+    /// Column holding the value.
+    pub column: String,
+    /// Surface form in the question.
+    pub text: String,
+}
+
+/// One text-to-SQL sample.
+#[derive(Debug, Clone)]
+pub struct Sample {
+    /// Database this sample is asked over.
+    pub db_id: String,
+    /// Rendered question text.
+    pub question: String,
+    /// Structured question parts (basis of `question` and perturbations).
+    pub question_parts: Vec<QPart>,
+    /// Gold SQL text.
+    pub sql: String,
+    /// Which template generated the sample.
+    pub template_id: usize,
+    /// Spider hardness level of the gold SQL.
+    pub hardness: Hardness,
+    /// Ground-truth schema items (for schema-classifier supervision).
+    pub used_tables: Vec<String>,
+    /// Ground-truth `(table, column)` pairs the gold SQL touches.
+    pub used_columns: Vec<(String, String)>,
+    /// Values the question mentions (for value-retriever diagnostics).
+    pub value_mentions: Vec<ValueMention>,
+    /// BIRD-style external knowledge, when available.
+    pub external_knowledge: Option<String>,
+}
+
+impl Sample {
+    /// Re-render `question` from `question_parts` (after perturbation).
+    pub fn refresh_question(&mut self) {
+        self.question = render_question(&self.question_parts);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn render_basics() {
+        let parts = vec![
+            QPart::lit("show the"),
+            QPart::Column { table: "singer".into(), column: "name".into(), nl: "name".into() },
+            QPart::lit("of all"),
+            QPart::Table { name: "singer".into(), nl: "singers".into() },
+        ];
+        assert_eq!(render_question(&parts), "Show the name of all singers?");
+    }
+
+    #[test]
+    fn punctuation_attaches_without_space() {
+        let parts = vec![QPart::lit("how many"), QPart::lit("?")];
+        assert_eq!(render_question(&parts), "How many?");
+    }
+
+    #[test]
+    fn empty_parts_skipped() {
+        let parts = vec![QPart::lit(""), QPart::lit("list"), QPart::lit("")];
+        assert_eq!(render_question(&parts), "List?");
+    }
+
+    #[test]
+    fn hardness_labels() {
+        assert_eq!(Hardness::Extra.label(), "extra");
+        assert!(Hardness::Easy < Hardness::Extra);
+    }
+}

@@ -1,0 +1,1000 @@
+//! Domain-schema specifications and seeded database generation.
+//!
+//! The Spider benchmark spans 138 domains with small clean databases; BIRD
+//! has fewer but wider, dirtier databases with ambiguous column names and
+//! comments. This module provides the shared machinery: a library of
+//! hand-written domain schemas plus a configurable generator that
+//! instantiates them as populated [`Database`]s.
+
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+
+use sqlengine::{Column, Database, DataType, TableSchema, Value};
+
+use crate::lexicon;
+
+/// How values of a column are synthesized.
+#[derive(Debug, Clone, Copy, PartialEq)]
+#[allow(missing_docs)] // role names describe the generated value kind
+pub enum ValueRole {
+    /// Sequential primary key.
+    Pk,
+    /// Foreign key into the table at the given index of the domain spec.
+    Fk(usize),
+    PersonName,
+    City,
+    Country,
+    OrgName,
+    /// "Golden Lion"-style made-up proper names.
+    ThingName,
+    Genre,
+    AcademicField,
+    /// Calendar year.
+    Year,
+    /// Uniform integer in [lo, hi].
+    IntRange(i64, i64),
+    /// Uniform real in [lo, hi] with 2 decimals.
+    RealRange(f64, f64),
+    /// Categorical flag drawn from the listed values.
+    Flag(&'static [&'static str]),
+    /// ISO-ish date string "YYYY-MM-DD".
+    DateText,
+    /// Short free text built from lexicon words.
+    FreeText,
+}
+
+/// One column of a domain spec.
+#[derive(Debug, Clone, Copy)]
+pub struct ColumnSpec {
+    /// Clean column name.
+    pub name: &'static str,
+    /// Storage class.
+    pub data_type: DataType,
+    /// How values are generated.
+    pub role: ValueRole,
+    /// Comment attached in BIRD mode (where the column name is replaced by
+    /// an ambiguous abbreviation) — mirrors Table 2 of the paper.
+    pub ambiguous: Option<AmbiguousName>,
+}
+
+/// A cryptic column name plus the explanatory comment.
+#[derive(Debug, Clone, Copy)]
+pub struct AmbiguousName {
+    /// The cryptic short name used in BIRD mode.
+    pub short: &'static str,
+    /// The explanatory comment attached to it.
+    pub comment: &'static str,
+}
+
+/// One table of a domain spec.
+#[derive(Debug, Clone)]
+pub struct TableSpec {
+    /// Table name.
+    pub name: &'static str,
+    /// Column specs (parents listed before FK users).
+    pub columns: Vec<ColumnSpec>,
+}
+
+/// A full domain schema.
+#[derive(Debug, Clone)]
+pub struct DomainSpec {
+    /// Domain / database name.
+    pub name: &'static str,
+    /// Tables, parents before children.
+    pub tables: Vec<TableSpec>,
+}
+
+fn col(name: &'static str, data_type: DataType, role: ValueRole) -> ColumnSpec {
+    ColumnSpec { name, data_type, role, ambiguous: None }
+}
+
+fn acol(
+    name: &'static str,
+    data_type: DataType,
+    role: ValueRole,
+    short: &'static str,
+    comment: &'static str,
+) -> ColumnSpec {
+    ColumnSpec { name, data_type, role, ambiguous: Some(AmbiguousName { short, comment }) }
+}
+
+use DataType::{Integer as I, Real as R, Text as T};
+use ValueRole::*;
+
+/// The library of hand-written domain schemas. Each appears in Spider-like
+/// benchmarks with clean names and in BIRD-like benchmarks with ambiguous
+/// names + comments.
+pub fn domains() -> Vec<DomainSpec> {
+    vec![
+        DomainSpec {
+            name: "concert_singer",
+            tables: vec![
+                TableSpec {
+                    name: "stadium",
+                    columns: vec![
+                        col("stadium_id", I, Pk),
+                        col("name", T, ThingName),
+                        col("location", T, City),
+                        col("capacity", I, IntRange(1_000, 90_000)),
+                        acol("average_attendance", I, IntRange(200, 60_000), "avg_att", "average attendance per event"),
+                    ],
+                },
+                TableSpec {
+                    name: "singer",
+                    columns: vec![
+                        col("singer_id", I, Pk),
+                        col("name", T, PersonName),
+                        col("country", T, Country),
+                        col("age", I, IntRange(18, 75)),
+                        acol("is_male", T, Flag(&["T", "F"]), "im", "whether the singer is male, T or F"),
+                    ],
+                },
+                TableSpec {
+                    name: "concert",
+                    columns: vec![
+                        col("concert_id", I, Pk),
+                        col("concert_name", T, ThingName),
+                        col("theme", T, FreeText),
+                        col("stadium_id", I, Fk(0)),
+                        col("year", I, Year),
+                    ],
+                },
+                TableSpec {
+                    name: "singer_in_concert",
+                    columns: vec![
+                        col("record_id", I, Pk),
+                        col("concert_id", I, Fk(2)),
+                        col("singer_id", I, Fk(1)),
+                    ],
+                },
+            ],
+        },
+        DomainSpec {
+            name: "employee_hire",
+            tables: vec![
+                TableSpec {
+                    name: "department",
+                    columns: vec![
+                        col("department_id", I, Pk),
+                        col("name", T, OrgName),
+                        col("budget", R, RealRange(50_000.0, 5_000_000.0)),
+                        col("city", T, City),
+                    ],
+                },
+                TableSpec {
+                    name: "employee",
+                    columns: vec![
+                        col("employee_id", I, Pk),
+                        col("name", T, PersonName),
+                        col("department_id", I, Fk(0)),
+                        col("salary", R, RealRange(25_000.0, 180_000.0)),
+                        acol("hire_date", T, DateText, "hd", "hire date in YYYY-MM-DD format"),
+                        col("age", I, IntRange(20, 66)),
+                    ],
+                },
+                TableSpec {
+                    name: "evaluation",
+                    columns: vec![
+                        col("evaluation_id", I, Pk),
+                        col("employee_id", I, Fk(1)),
+                        col("year", I, Year),
+                        acol("bonus_percent", R, RealRange(0.0, 30.0), "bp", "bonus as percent of salary"),
+                    ],
+                },
+            ],
+        },
+        DomainSpec {
+            name: "school_enrollment",
+            tables: vec![
+                TableSpec {
+                    name: "school",
+                    columns: vec![
+                        col("school_id", I, Pk),
+                        col("name", T, ThingName),
+                        col("city", T, City),
+                        acol("enrollment", I, IntRange(100, 8_000), "enr", "number of enrolled students"),
+                    ],
+                },
+                TableSpec {
+                    name: "student",
+                    columns: vec![
+                        col("student_id", I, Pk),
+                        col("name", T, PersonName),
+                        col("school_id", I, Fk(0)),
+                        col("age", I, IntRange(10, 19)),
+                        col("gpa", R, RealRange(1.0, 4.0)),
+                        col("gender", T, Flag(&["F", "M"])),
+                    ],
+                },
+                TableSpec {
+                    name: "course",
+                    columns: vec![
+                        col("course_id", I, Pk),
+                        col("title", T, FreeText),
+                        col("credits", I, IntRange(1, 6)),
+                        col("school_id", I, Fk(0)),
+                    ],
+                },
+                TableSpec {
+                    name: "enrollment",
+                    columns: vec![
+                        col("enrollment_id", I, Pk),
+                        col("student_id", I, Fk(1)),
+                        col("course_id", I, Fk(2)),
+                        col("grade", R, RealRange(0.0, 100.0)),
+                    ],
+                },
+            ],
+        },
+        DomainSpec {
+            name: "pet_owners",
+            tables: vec![
+                TableSpec {
+                    name: "owner",
+                    columns: vec![
+                        col("owner_id", I, Pk),
+                        col("name", T, PersonName),
+                        col("city", T, City),
+                    ],
+                },
+                TableSpec {
+                    name: "pet",
+                    columns: vec![
+                        col("pet_id", I, Pk),
+                        col("owner_id", I, Fk(0)),
+                        col("pet_type", T, Flag(&["dog", "cat", "bird", "fish", "rabbit"])),
+                        col("weight", R, RealRange(0.2, 80.0)),
+                        col("age", I, IntRange(0, 20)),
+                    ],
+                },
+            ],
+        },
+        DomainSpec {
+            name: "flight_company",
+            tables: vec![
+                TableSpec {
+                    name: "airport",
+                    columns: vec![
+                        col("airport_id", I, Pk),
+                        col("name", T, ThingName),
+                        col("city", T, City),
+                        col("country", T, Country),
+                    ],
+                },
+                TableSpec {
+                    name: "airline",
+                    columns: vec![
+                        col("airline_id", I, Pk),
+                        col("name", T, OrgName),
+                        col("country", T, Country),
+                        acol("fleet_size", I, IntRange(3, 900), "fs", "number of aircraft operated"),
+                    ],
+                },
+                TableSpec {
+                    name: "flight",
+                    columns: vec![
+                        col("flight_id", I, Pk),
+                        col("airline_id", I, Fk(1)),
+                        col("source_airport_id", I, Fk(0)),
+                        col("destination_airport_id", I, Fk(0)),
+                        col("distance", I, IntRange(80, 12_000)),
+                        col("price", R, RealRange(40.0, 3_000.0)),
+                    ],
+                },
+            ],
+        },
+        DomainSpec {
+            name: "orders_retail",
+            tables: vec![
+                TableSpec {
+                    name: "customer",
+                    columns: vec![
+                        col("customer_id", I, Pk),
+                        col("name", T, PersonName),
+                        col("city", T, City),
+                        acol("loyalty_points", I, IntRange(0, 20_000), "lp", "accumulated loyalty points"),
+                    ],
+                },
+                TableSpec {
+                    name: "product",
+                    columns: vec![
+                        col("product_id", I, Pk),
+                        col("name", T, ThingName),
+                        col("category", T, Flag(&["electronics", "grocery", "clothing", "toys", "garden"])),
+                        col("price", R, RealRange(1.0, 2_500.0)),
+                    ],
+                },
+                TableSpec {
+                    name: "orders",
+                    columns: vec![
+                        col("order_id", I, Pk),
+                        col("customer_id", I, Fk(0)),
+                        col("order_date", T, DateText),
+                        col("total_amount", R, RealRange(5.0, 5_000.0)),
+                    ],
+                },
+                TableSpec {
+                    name: "order_item",
+                    columns: vec![
+                        col("order_item_id", I, Pk),
+                        col("order_id", I, Fk(2)),
+                        col("product_id", I, Fk(1)),
+                        col("quantity", I, IntRange(1, 12)),
+                    ],
+                },
+            ],
+        },
+        DomainSpec {
+            name: "library_loans",
+            tables: vec![
+                TableSpec {
+                    name: "author",
+                    columns: vec![
+                        col("author_id", I, Pk),
+                        col("name", T, PersonName),
+                        col("country", T, Country),
+                    ],
+                },
+                TableSpec {
+                    name: "book",
+                    columns: vec![
+                        col("book_id", I, Pk),
+                        col("title", T, ThingName),
+                        col("author_id", I, Fk(0)),
+                        col("publication_year", I, Year),
+                        col("pages", I, IntRange(60, 1_400)),
+                    ],
+                },
+                TableSpec {
+                    name: "member",
+                    columns: vec![
+                        col("member_id", I, Pk),
+                        col("name", T, PersonName),
+                        col("join_year", I, Year),
+                    ],
+                },
+                TableSpec {
+                    name: "loan",
+                    columns: vec![
+                        col("loan_id", I, Pk),
+                        col("book_id", I, Fk(1)),
+                        col("member_id", I, Fk(2)),
+                        col("loan_date", T, DateText),
+                    ],
+                },
+            ],
+        },
+        DomainSpec {
+            name: "movie_platform",
+            tables: vec![
+                TableSpec {
+                    name: "director",
+                    columns: vec![
+                        col("director_id", I, Pk),
+                        col("name", T, PersonName),
+                        col("country", T, Country),
+                    ],
+                },
+                TableSpec {
+                    name: "movie",
+                    columns: vec![
+                        col("movie_id", I, Pk),
+                        col("title", T, ThingName),
+                        col("director_id", I, Fk(0)),
+                        col("release_year", I, Year),
+                        acol("runtime_minutes", I, IntRange(60, 220), "rt", "runtime in minutes"),
+                        col("rating", R, RealRange(1.0, 10.0)),
+                    ],
+                },
+                TableSpec {
+                    name: "viewer",
+                    columns: vec![
+                        col("viewer_id", I, Pk),
+                        col("name", T, PersonName),
+                        col("country", T, Country),
+                    ],
+                },
+                TableSpec {
+                    name: "review",
+                    columns: vec![
+                        col("review_id", I, Pk),
+                        col("movie_id", I, Fk(1)),
+                        col("viewer_id", I, Fk(2)),
+                        col("stars", I, IntRange(1, 5)),
+                    ],
+                },
+            ],
+        },
+        DomainSpec {
+            name: "hospital_care",
+            tables: vec![
+                TableSpec {
+                    name: "physician",
+                    columns: vec![
+                        col("physician_id", I, Pk),
+                        col("name", T, PersonName),
+                        col("specialty", T, Flag(&["cardiology", "neurology", "oncology", "pediatrics", "surgery"])),
+                        col("salary", R, RealRange(90_000.0, 400_000.0)),
+                    ],
+                },
+                TableSpec {
+                    name: "patient",
+                    columns: vec![
+                        col("patient_id", I, Pk),
+                        col("name", T, PersonName),
+                        col("age", I, IntRange(0, 99)),
+                        col("city", T, City),
+                    ],
+                },
+                TableSpec {
+                    name: "appointment",
+                    columns: vec![
+                        col("appointment_id", I, Pk),
+                        col("physician_id", I, Fk(0)),
+                        col("patient_id", I, Fk(1)),
+                        col("appointment_date", T, DateText),
+                        acol("duration_minutes", I, IntRange(10, 120), "dm", "appointment duration in minutes"),
+                    ],
+                },
+            ],
+        },
+        DomainSpec {
+            name: "sports_league",
+            tables: vec![
+                TableSpec {
+                    name: "team",
+                    columns: vec![
+                        col("team_id", I, Pk),
+                        col("name", T, ThingName),
+                        col("city", T, City),
+                        acol("road_overtime_losses", I, IntRange(0, 20), "rotl", "road overtime loses"),
+                        acol("penalty_minutes", I, IntRange(0, 900), "pim", "penalty minutes"),
+                    ],
+                },
+                TableSpec {
+                    name: "player",
+                    columns: vec![
+                        col("player_id", I, Pk),
+                        col("name", T, PersonName),
+                        col("team_id", I, Fk(0)),
+                        col("goals", I, IntRange(0, 60)),
+                        col("age", I, IntRange(17, 42)),
+                    ],
+                },
+                TableSpec {
+                    name: "match_game",
+                    columns: vec![
+                        col("match_id", I, Pk),
+                        col("home_team_id", I, Fk(0)),
+                        col("away_team_id", I, Fk(0)),
+                        col("home_score", I, IntRange(0, 9)),
+                        col("away_score", I, IntRange(0, 9)),
+                        col("season", I, Year),
+                    ],
+                },
+            ],
+        },
+        DomainSpec {
+            name: "real_estate",
+            tables: vec![
+                TableSpec {
+                    name: "agent",
+                    columns: vec![
+                        col("agent_id", I, Pk),
+                        col("name", T, PersonName),
+                        acol("commission_rate", R, RealRange(0.5, 6.0), "cr", "commission rate percent"),
+                    ],
+                },
+                TableSpec {
+                    name: "property",
+                    columns: vec![
+                        col("property_id", I, Pk),
+                        col("address", T, FreeText),
+                        col("city", T, City),
+                        col("price", R, RealRange(40_000.0, 3_000_000.0)),
+                        col("bedrooms", I, IntRange(1, 8)),
+                        col("agent_id", I, Fk(0)),
+                    ],
+                },
+                TableSpec {
+                    name: "sale",
+                    columns: vec![
+                        col("sale_id", I, Pk),
+                        col("property_id", I, Fk(1)),
+                        col("sale_date", T, DateText),
+                        col("sale_price", R, RealRange(35_000.0, 3_200_000.0)),
+                    ],
+                },
+            ],
+        },
+        DomainSpec {
+            name: "restaurant_guide",
+            tables: vec![
+                TableSpec {
+                    name: "restaurant",
+                    columns: vec![
+                        col("restaurant_id", I, Pk),
+                        col("name", T, ThingName),
+                        col("city", T, City),
+                        col("cuisine", T, Flag(&["italian", "japanese", "mexican", "indian", "french", "thai"])),
+                        col("rating", R, RealRange(1.0, 5.0)),
+                    ],
+                },
+                TableSpec {
+                    name: "dish",
+                    columns: vec![
+                        col("dish_id", I, Pk),
+                        col("restaurant_id", I, Fk(0)),
+                        col("name", T, FreeText),
+                        col("price", R, RealRange(3.0, 90.0)),
+                        acol("calories", I, IntRange(50, 2_000), "cal", "energy in kilocalories"),
+                    ],
+                },
+            ],
+        },
+        DomainSpec {
+            name: "music_catalog",
+            tables: vec![
+                TableSpec {
+                    name: "artist",
+                    columns: vec![
+                        col("artist_id", I, Pk),
+                        col("name", T, PersonName),
+                        col("country", T, Country),
+                        col("genre", T, Genre),
+                    ],
+                },
+                TableSpec {
+                    name: "album",
+                    columns: vec![
+                        col("album_id", I, Pk),
+                        col("title", T, ThingName),
+                        col("artist_id", I, Fk(0)),
+                        col("release_year", I, Year),
+                    ],
+                },
+                TableSpec {
+                    name: "song",
+                    columns: vec![
+                        col("song_id", I, Pk),
+                        col("title", T, FreeText),
+                        col("album_id", I, Fk(1)),
+                        acol("duration_seconds", I, IntRange(60, 600), "dur", "duration in seconds"),
+                        col("plays", I, IntRange(0, 10_000_000)),
+                    ],
+                },
+            ],
+        },
+        DomainSpec {
+            name: "car_dealership",
+            tables: vec![
+                TableSpec {
+                    name: "manufacturer",
+                    columns: vec![
+                        col("manufacturer_id", I, Pk),
+                        col("name", T, OrgName),
+                        col("country", T, Country),
+                        col("founded_year", I, Year),
+                    ],
+                },
+                TableSpec {
+                    name: "car_model",
+                    columns: vec![
+                        col("model_id", I, Pk),
+                        col("name", T, ThingName),
+                        col("manufacturer_id", I, Fk(0)),
+                        acol("horsepower", I, IntRange(60, 900), "hp", "engine horsepower"),
+                        acol("miles_per_gallon", R, RealRange(8.0, 60.0), "mpg", "fuel efficiency in miles per gallon"),
+                        col("price", R, RealRange(9_000.0, 250_000.0)),
+                    ],
+                },
+            ],
+        },
+        DomainSpec {
+            name: "hotel_booking",
+            tables: vec![
+                TableSpec {
+                    name: "hotel",
+                    columns: vec![
+                        col("hotel_id", I, Pk),
+                        col("name", T, ThingName),
+                        col("city", T, City),
+                        col("stars", I, IntRange(1, 5)),
+                    ],
+                },
+                TableSpec {
+                    name: "guest",
+                    columns: vec![
+                        col("guest_id", I, Pk),
+                        col("name", T, PersonName),
+                        col("country", T, Country),
+                    ],
+                },
+                TableSpec {
+                    name: "booking",
+                    columns: vec![
+                        col("booking_id", I, Pk),
+                        col("hotel_id", I, Fk(0)),
+                        col("guest_id", I, Fk(1)),
+                        col("check_in", T, DateText),
+                        col("nights", I, IntRange(1, 21)),
+                        col("total_price", R, RealRange(50.0, 9_000.0)),
+                    ],
+                },
+            ],
+        },
+        DomainSpec {
+            name: "museum_visits",
+            tables: vec![
+                TableSpec {
+                    name: "museum",
+                    columns: vec![
+                        col("museum_id", I, Pk),
+                        col("name", T, ThingName),
+                        col("city", T, City),
+                        acol("annual_visitors", I, IntRange(5_000, 5_000_000), "av", "annual visitor count"),
+                    ],
+                },
+                TableSpec {
+                    name: "exhibit",
+                    columns: vec![
+                        col("exhibit_id", I, Pk),
+                        col("museum_id", I, Fk(0)),
+                        col("title", T, FreeText),
+                        col("year_opened", I, Year),
+                    ],
+                },
+                TableSpec {
+                    name: "visitor",
+                    columns: vec![
+                        col("visitor_id", I, Pk),
+                        col("name", T, PersonName),
+                        col("age", I, IntRange(5, 90)),
+                    ],
+                },
+                TableSpec {
+                    name: "visit",
+                    columns: vec![
+                        col("visit_id", I, Pk),
+                        col("museum_id", I, Fk(0)),
+                        col("visitor_id", I, Fk(2)),
+                        col("spent", R, RealRange(0.0, 120.0)),
+                    ],
+                },
+            ],
+        },
+    ]
+}
+
+/// Configuration of database instantiation.
+#[derive(Debug, Clone)]
+pub struct DbGenConfig {
+    /// Minimum rows per table.
+    pub min_rows: usize,
+    /// Maximum rows per table (link tables get 2x).
+    pub max_rows: usize,
+    /// BIRD mode: ambiguous column names (comment carries the meaning),
+    /// dirty values, and a share of wide filler columns.
+    pub bird_mode: bool,
+    /// Number of filler columns appended to the first table in BIRD mode.
+    pub wide_filler_columns: usize,
+}
+
+impl Default for DbGenConfig {
+    fn default() -> Self {
+        DbGenConfig { min_rows: 30, max_rows: 120, bird_mode: false, wide_filler_columns: 0 }
+    }
+}
+
+impl DbGenConfig {
+    /// Spider-style: small clean databases.
+    pub fn spider() -> DbGenConfig {
+        DbGenConfig::default()
+    }
+
+    /// BIRD-style: larger, dirty, ambiguous and wide.
+    pub fn bird() -> DbGenConfig {
+        DbGenConfig { min_rows: 150, max_rows: 600, bird_mode: true, wide_filler_columns: 18 }
+    }
+}
+
+/// Generate a populated database from a domain spec.
+///
+/// In BIRD mode columns with an [`AmbiguousName`] are renamed to their
+/// cryptic short form and the explanatory comment is attached; in Spider
+/// mode the clean name is kept and no comment is needed.
+pub fn generate_database(spec: &DomainSpec, cfg: &DbGenConfig, seed: u64) -> Database {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut db = Database::new(spec.name);
+
+    // 1. Schemas.
+    for (ti, tspec) in spec.tables.iter().enumerate() {
+        let mut columns = Vec::new();
+        for cspec in &tspec.columns {
+            let (name, comment) = match (&cspec.ambiguous, cfg.bird_mode) {
+                (Some(a), true) => (a.short.to_string(), Some(a.comment.to_string())),
+                _ => (cspec.name.to_string(), None),
+            };
+            let mut c = Column::new(name, cspec.data_type);
+            c.comment = comment;
+            if matches!(cspec.role, Pk) {
+                c = c.primary_key();
+            }
+            columns.push(c);
+        }
+        let mut schema = TableSchema::new(tspec.name, columns);
+        for (ci, cspec) in tspec.columns.iter().enumerate() {
+            if let Fk(target) = cspec.role {
+                let target_spec = &spec.tables[target];
+                let target_pk = target_spec
+                    .columns
+                    .iter()
+                    .find(|c| matches!(c.role, Pk))
+                    .expect("FK target table must have a PK");
+                let this_name = schema.columns[ci].name.clone();
+                schema = schema.with_foreign_key(this_name, target_spec.name, resolved_name(target_pk, cfg));
+            }
+        }
+        if ti == 0 && cfg.bird_mode && cfg.wide_filler_columns > 0 {
+            // Filler columns carry varied comments (real BIRD comments are
+            // individually descriptive, not boilerplate).
+            const FILLER_COMMENTS: &[&str] = &[
+                "vendor reported quality indicator",
+                "sensor reading from the telemetry feed",
+                "legacy field imported from the old system",
+                "quarterly adjustment factor",
+                "normalized percentile score",
+                "running total since onboarding",
+                "weighted moving average of activity",
+                "compliance checklist position",
+                "external audit reference code",
+                "seasonal correction coefficient",
+                "partner channel contribution share",
+                "historical baseline measurement",
+                "forecast deviation margin",
+                "internal risk weighting",
+                "cumulative service credits",
+                "peak load watermark",
+                "maintenance cycle counter",
+                "regional calibration offset",
+            ];
+            for k in 0..cfg.wide_filler_columns {
+                let mut c = Column::new(format!("m{k}"), if k % 2 == 0 { I } else { R });
+                let base = FILLER_COMMENTS[k % FILLER_COMMENTS.len()];
+                c.comment = Some(if k < FILLER_COMMENTS.len() {
+                    base.to_string()
+                } else {
+                    format!("{base} {k}")
+                });
+                schema.columns.push(c);
+            }
+        }
+        db.create_table(schema).expect("domain specs have unique table names");
+    }
+
+    // 2. Rows (parents before children — specs list parents first).
+    let mut pk_counts: Vec<usize> = vec![0; spec.tables.len()];
+    for (ti, tspec) in spec.tables.iter().enumerate() {
+        let base_rows = rng.random_range(cfg.min_rows..=cfg.max_rows);
+        // Link tables (mostly FKs) get more rows; small dimension tables fewer.
+        let fk_share = tspec.columns.iter().filter(|c| matches!(c.role, Fk(_))).count() as f64
+            / tspec.columns.len() as f64;
+        let rows = if fk_share > 0.4 { base_rows * 2 } else { base_rows.max(8) };
+        pk_counts[ti] = rows;
+        let wide_extra = if ti == 0 && cfg.bird_mode { cfg.wide_filler_columns } else { 0 };
+        for pk in 0..rows {
+            let mut row = Vec::with_capacity(tspec.columns.len() + wide_extra);
+            for cspec in &tspec.columns {
+                row.push(generate_value(cspec, pk, &pk_counts, cfg, &mut rng));
+            }
+            for k in 0..wide_extra {
+                row.push(if k % 2 == 0 {
+                    Value::Integer(rng.random_range(0..10_000))
+                } else {
+                    Value::Real((rng.random_range(0.0..1_000.0f64) * 100.0).round() / 100.0)
+                });
+            }
+            db.table_mut(tspec.name).unwrap().insert(row).expect("generated row must satisfy schema");
+        }
+    }
+    db
+}
+
+fn resolved_name(cspec: &ColumnSpec, cfg: &DbGenConfig) -> String {
+    match (&cspec.ambiguous, cfg.bird_mode) {
+        (Some(a), true) => a.short.to_string(),
+        _ => cspec.name.to_string(),
+    }
+}
+
+fn generate_value(cspec: &ColumnSpec, pk: usize, pk_counts: &[usize], cfg: &DbGenConfig, rng: &mut StdRng) -> Value {
+    let pick = |list: &[&str], rng: &mut StdRng| -> String { list[rng.random_range(0..list.len())].to_string() };
+    let raw = match cspec.role {
+        Pk => return Value::Integer(pk as i64 + 1),
+        Fk(target) => {
+            let n = pk_counts[target].max(1);
+            return Value::Integer(rng.random_range(0..n) as i64 + 1);
+        }
+        PersonName => Value::Text(format!(
+            "{} {}",
+            pick(lexicon::FIRST_NAMES, rng),
+            pick(lexicon::LAST_NAMES, rng)
+        )),
+        City => Value::Text(pick(lexicon::CITIES, rng)),
+        Country => Value::Text(pick(lexicon::COUNTRIES, rng)),
+        OrgName => Value::Text(format!("{} {}", pick(lexicon::ORG_WORDS, rng), pick(&["Corp", "Group", "Labs", "Inc"], rng))),
+        ThingName => Value::Text(format!(
+            "{} {}",
+            pick(lexicon::NAME_ADJECTIVES, rng),
+            pick(lexicon::NAME_NOUNS, rng)
+        )),
+        Genre => Value::Text(pick(lexicon::GENRES, rng)),
+        AcademicField => Value::Text(pick(lexicon::FIELDS, rng)),
+        Year => Value::Integer(rng.random_range(1960..=2023)),
+        IntRange(lo, hi) => Value::Integer(rng.random_range(lo..=hi)),
+        RealRange(lo, hi) => Value::Real((rng.random_range(lo..=hi) * 100.0).round() / 100.0),
+        Flag(options) => Value::Text(pick(options, rng)),
+        DateText => Value::Text(format!(
+            "{:04}-{:02}-{:02}",
+            rng.random_range(1990..=2023),
+            rng.random_range(1..=12),
+            rng.random_range(1..=28)
+        )),
+        FreeText => Value::Text(format!(
+            "{} {} {}",
+            pick(lexicon::NAME_ADJECTIVES, rng),
+            pick(lexicon::NAME_NOUNS, rng),
+            pick(&["plan", "story", "project", "route", "series", "report"], rng)
+        )),
+    };
+    // Dirty values in BIRD mode: random casing / stray whitespace on ~10%.
+    if cfg.bird_mode {
+        if let Value::Text(s) = &raw {
+            let roll = rng.random_range(0..10);
+            if roll == 0 {
+                return Value::Text(s.to_uppercase());
+            } else if roll == 1 {
+                return Value::Text(format!(" {s}"));
+            }
+        }
+        // ~3% NULLs in nullable text/real columns (dirty data).
+        if !matches!(cspec.role, Pk | Fk(_)) && rng.random_range(0..33) == 0 {
+            return Value::Null;
+        }
+    }
+    raw
+}
+
+/// The natural-language surface of a column: its comment when present
+/// (BIRD), otherwise the normalized identifier.
+pub fn column_nl(db: &Database, table: &str, column: &str) -> String {
+    if let Some(t) = db.table(table) {
+        if let Some(c) = t.schema.column(column) {
+            if let Some(comment) = &c.comment {
+                return comment.clone();
+            }
+            return codes_nlp::normalize_identifier(&c.name);
+        }
+    }
+    codes_nlp::normalize_identifier(column)
+}
+
+/// The natural-language surface of a table name.
+pub fn table_nl(table: &str) -> String {
+    codes_nlp::normalize_identifier(table)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn domain_library_is_large_and_unique() {
+        let ds = domains();
+        assert!(ds.len() >= 15);
+        let names: std::collections::HashSet<_> = ds.iter().map(|d| d.name).collect();
+        assert_eq!(names.len(), ds.len());
+        for d in &ds {
+            assert!(d.tables.len() >= 2, "{} too small", d.name);
+            for t in &d.tables {
+                assert!(t.columns.iter().filter(|c| matches!(c.role, Pk)).count() <= 1);
+            }
+        }
+    }
+
+    #[test]
+    fn fk_targets_are_valid_and_acyclic_forward() {
+        for d in domains() {
+            for (ti, t) in d.tables.iter().enumerate() {
+                for c in &t.columns {
+                    if let Fk(target) = c.role {
+                        assert!(target < d.tables.len());
+                        assert!(target != ti || t.name == "match_game" || target < ti,
+                            "{}.{} FK must point to an earlier table", t.name, c.name);
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn generation_is_deterministic() {
+        let spec = &domains()[0];
+        let a = generate_database(spec, &DbGenConfig::spider(), 42);
+        let b = generate_database(spec, &DbGenConfig::spider(), 42);
+        assert_eq!(a.table("singer").unwrap().rows, b.table("singer").unwrap().rows);
+        let c = generate_database(spec, &DbGenConfig::spider(), 43);
+        assert_ne!(a.table("singer").unwrap().rows, c.table("singer").unwrap().rows);
+    }
+
+    #[test]
+    fn spider_mode_keeps_clean_names() {
+        let spec = &domains()[0];
+        let db = generate_database(spec, &DbGenConfig::spider(), 1);
+        let t = db.table("stadium").unwrap();
+        assert!(t.schema.column("average_attendance").is_some());
+        assert!(t.schema.column("avg_att").is_none());
+    }
+
+    #[test]
+    fn bird_mode_uses_ambiguous_names_with_comments() {
+        let spec = &domains()[0];
+        let db = generate_database(spec, &DbGenConfig::bird(), 1);
+        let t = db.table("stadium").unwrap();
+        let c = t.schema.column("avg_att").expect("ambiguous name should be used");
+        assert_eq!(c.comment.as_deref(), Some("average attendance per event"));
+        // Wide filler columns on the first table.
+        assert!(t.schema.columns.len() >= 5 + 18);
+    }
+
+    #[test]
+    fn fks_resolve_to_existing_rows() {
+        let spec = &domains()[0];
+        let db = generate_database(spec, &DbGenConfig::spider(), 7);
+        let concerts = db.table("concert").unwrap();
+        let stadiums = db.table("stadium").unwrap().rows.len() as i64;
+        let fk_idx = concerts.schema.column_index("stadium_id").unwrap();
+        for row in &concerts.rows {
+            if let Value::Integer(v) = row[fk_idx] {
+                assert!(v >= 1 && v <= stadiums);
+            }
+        }
+    }
+
+    #[test]
+    fn executable_against_engine() {
+        let spec = &domains()[1];
+        let db = generate_database(spec, &DbGenConfig::spider(), 3);
+        let r = sqlengine::execute_query(&db, "SELECT COUNT(*) FROM employee").unwrap();
+        assert!(r.rows[0][0].as_f64().unwrap() > 0.0);
+        let r = sqlengine::execute_query(
+            &db,
+            "SELECT T1.name FROM department AS T1 JOIN employee AS T2 ON T1.department_id = T2.department_id LIMIT 5",
+        )
+        .unwrap();
+        assert!(!r.rows.is_empty());
+    }
+
+    #[test]
+    fn column_nl_prefers_comment() {
+        let spec = &domains()[0];
+        let bird = generate_database(spec, &DbGenConfig::bird(), 1);
+        assert_eq!(column_nl(&bird, "stadium", "avg_att"), "average attendance per event");
+        let spider = generate_database(spec, &DbGenConfig::spider(), 1);
+        assert_eq!(column_nl(&spider, "stadium", "average_attendance"), "average attendance");
+    }
+
+    #[test]
+    fn bird_mode_has_dirty_values() {
+        let spec = &domains()[0];
+        let db = generate_database(spec, &DbGenConfig::bird(), 5);
+        let singer = db.table("singer").unwrap();
+        let name_idx = singer.schema.column_index("name").unwrap();
+        let dirty = singer.rows.iter().any(|r| match &r[name_idx] {
+            Value::Text(s) => s.starts_with(' ') || (!s.is_empty() && *s == s.to_uppercase() && s.chars().any(|c| c.is_alphabetic())),
+            Value::Null => true,
+            _ => false,
+        });
+        assert!(dirty, "BIRD mode should produce some dirty values");
+    }
+}

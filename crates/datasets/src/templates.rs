@@ -1,0 +1,1406 @@
+//! The SQL/question template catalog.
+//!
+//! §7 of the paper extracts 75 common SQL templates from Spider and pairs
+//! each with several question templates. This module implements that
+//! catalog as executable generators: 40 SQL shapes, each with 2–3 question
+//! phrasings (≈90 question templates), spanning Spider's four hardness
+//! levels. Every instantiation is validated by executing the gold SQL
+//! against the database.
+
+use rand::rngs::StdRng;
+use rand::RngExt;
+
+use sqlengine::{Column, Database, Table, Value};
+
+use crate::lexicon;
+use crate::sample::{render_question, Hardness, QPart, Sample, ValueMention};
+use crate::synth::column_nl;
+
+/// Number of SQL templates in the catalog.
+pub const TEMPLATE_COUNT: usize = 41;
+
+/// Hardness of each template id.
+pub fn template_hardness(id: usize) -> Hardness {
+    match id {
+        0..=9 | 40 => Hardness::Easy,
+        10..=22 => Hardness::Medium,
+        23..=32 => Hardness::Hard,
+        _ => Hardness::Extra,
+    }
+}
+
+/// Generate `n` validated samples over `db`, drawing templates uniformly.
+/// `bird` switches on alias-coded value mentions and external knowledge.
+pub fn generate_samples(db: &Database, n: usize, rng: &mut StdRng, bird: bool) -> Vec<Sample> {
+    let mut out = Vec::with_capacity(n);
+    let mut attempts = 0usize;
+    while out.len() < n && attempts < n * 30 {
+        attempts += 1;
+        let id = rng.random_range(0..TEMPLATE_COUNT);
+        if let Some(sample) = instantiate(id, db, rng, bird) {
+            if sqlengine::execute_query(db, &sample.sql).is_ok() {
+                out.push(sample);
+            }
+        }
+    }
+    out
+}
+
+/// Instantiate one template against a database. Returns `None` when the
+/// schema cannot satisfy the template's needs (no FK pair, no numeric
+/// column, ...).
+pub fn instantiate(id: usize, db: &Database, rng: &mut StdRng, bird: bool) -> Option<Sample> {
+    let mut b = Builder::new(db, rng, id, bird);
+    let ok = b.build(id)?;
+    debug_assert!(ok);
+    Some(b.finish())
+}
+
+// ---------------------------------------------------------------------------
+// Builder
+// ---------------------------------------------------------------------------
+
+struct Builder<'a> {
+    db: &'a Database,
+    rng: &'a mut StdRng,
+    template_id: usize,
+    bird: bool,
+    parts: Vec<QPart>,
+    sql: String,
+    used_tables: Vec<String>,
+    used_columns: Vec<(String, String)>,
+    value_mentions: Vec<ValueMention>,
+    knowledge: Vec<String>,
+}
+
+impl<'a> Builder<'a> {
+    fn new(db: &'a Database, rng: &'a mut StdRng, template_id: usize, bird: bool) -> Builder<'a> {
+        Builder {
+            db,
+            rng,
+            template_id,
+            bird,
+            parts: Vec::new(),
+            sql: String::new(),
+            used_tables: Vec::new(),
+            used_columns: Vec::new(),
+            value_mentions: Vec::new(),
+            knowledge: Vec::new(),
+        }
+    }
+
+    fn finish(self) -> Sample {
+        let question = render_question(&self.parts);
+        let external_knowledge = if self.knowledge.is_empty() {
+            None
+        } else {
+            Some(self.knowledge.join("; "))
+        };
+        Sample {
+            db_id: self.db.name.clone(),
+            question,
+            question_parts: self.parts,
+            sql: self.sql,
+            template_id: self.template_id,
+            hardness: template_hardness(self.template_id),
+            used_tables: self.used_tables,
+            used_columns: self.used_columns,
+            value_mentions: self.value_mentions,
+            external_knowledge,
+        }
+    }
+
+    // -- bookkeeping ---------------------------------------------------------
+
+    fn use_table(&mut self, t: &str) {
+        if !self.used_tables.iter().any(|x| x == t) {
+            self.used_tables.push(t.to_string());
+        }
+    }
+
+    fn use_column(&mut self, t: &str, c: &str) {
+        self.use_table(t);
+        if !self.used_columns.iter().any(|(a, b)| a == t && b == c) {
+            self.used_columns.push((t.to_string(), c.to_string()));
+        }
+    }
+
+    // -- random pickers -------------------------------------------------------
+
+    fn pick<'t, T>(&mut self, items: &'t [T]) -> Option<&'t T> {
+        if items.is_empty() {
+            None
+        } else {
+            Some(&items[self.rng.random_range(0..items.len())])
+        }
+    }
+
+    fn coin(&mut self, k: usize) -> usize {
+        self.rng.random_range(0..k)
+    }
+
+    fn any_table(&mut self) -> Option<&'a Table> {
+        let candidates: Vec<&Table> = self.db.tables.iter().filter(|t| !t.rows.is_empty()).collect();
+        self.pick(&candidates).copied()
+    }
+
+    /// A non-key numeric column of `t` (not PK, not FK).
+    fn numeric_col(&mut self, t: &'a Table) -> Option<&'a Column> {
+        let fk_cols: Vec<&str> = t.schema.foreign_keys.iter().map(|f| f.column.as_str()).collect();
+        let candidates: Vec<&Column> = t
+            .schema
+            .columns
+            .iter()
+            .filter(|c| c.data_type.is_numeric() && !c.primary_key && !fk_cols.contains(&c.name.as_str()))
+            .collect();
+        self.pick(&candidates).copied()
+    }
+
+    /// A text column of `t` with at least one non-null value.
+    fn text_col(&mut self, t: &'a Table) -> Option<&'a Column> {
+        let candidates: Vec<&Column> = t
+            .schema
+            .columns
+            .iter()
+            .filter(|c| {
+                c.data_type == sqlengine::DataType::Text
+                    && !t.representative_values(&c.name, 1).is_empty()
+            })
+            .collect();
+        self.pick(&candidates).copied()
+    }
+
+    /// Any non-PK "content" column (text or numeric, not a key).
+    fn content_col(&mut self, t: &'a Table) -> Option<&'a Column> {
+        let fk_cols: Vec<&str> = t.schema.foreign_keys.iter().map(|f| f.column.as_str()).collect();
+        let candidates: Vec<&Column> = t
+            .schema
+            .columns
+            .iter()
+            .filter(|c| !c.primary_key && !fk_cols.contains(&c.name.as_str()))
+            .collect();
+        self.pick(&candidates).copied()
+    }
+
+    /// A second content column different from `other`.
+    fn content_col_not(&mut self, t: &'a Table, other: &str) -> Option<&'a Column> {
+        let fk_cols: Vec<&str> = t.schema.foreign_keys.iter().map(|f| f.column.as_str()).collect();
+        let candidates: Vec<&Column> = t
+            .schema
+            .columns
+            .iter()
+            .filter(|c| !c.primary_key && !fk_cols.contains(&c.name.as_str()) && c.name != other)
+            .collect();
+        self.pick(&candidates).copied()
+    }
+
+    /// A random FK edge: (child table, fk column, parent table, parent pk).
+    fn fk_edge(&mut self) -> Option<(String, String, String, String)> {
+        let edges = self.db.foreign_keys();
+        let (child, fk) = self.pick(&edges)?.clone();
+        // Child must have rows for joins to be interesting.
+        if self.db.table(&child).map(|t| t.rows.is_empty()).unwrap_or(true) {
+            return None;
+        }
+        Some((child, fk.column, fk.ref_table, fk.ref_column))
+    }
+
+    /// Sample a concrete text value of `t.c`.
+    fn text_value(&mut self, t: &Table, c: &str) -> Option<String> {
+        let values = t.representative_values(c, 50);
+        let v = self.pick(&values)?;
+        match v {
+            Value::Text(s) => Some(s.trim().to_string()),
+            other => Some(other.render()),
+        }
+    }
+
+    /// Sample a numeric threshold near the column's median.
+    fn numeric_threshold(&mut self, t: &Table, c: &str) -> Option<Value> {
+        let idx = t.schema.column_index(c)?;
+        let mut vals: Vec<f64> = t.rows.iter().filter_map(|r| r[idx].as_f64()).collect();
+        if vals.is_empty() {
+            return None;
+        }
+        vals.sort_by(|a, b| a.total_cmp(b));
+        let pos = self.rng.random_range(vals.len() / 4..=(3 * vals.len() / 4).min(vals.len() - 1));
+        let v = vals[pos];
+        Some(match t.schema.columns[idx].data_type {
+            sqlengine::DataType::Integer => Value::Integer(v as i64),
+            _ => Value::Real((v * 100.0).round() / 100.0),
+        })
+    }
+
+    // -- question-part helpers -------------------------------------------------
+
+    fn lit(&mut self, s: &str) {
+        self.parts.push(QPart::lit(s));
+    }
+
+    fn table_part(&mut self, t: &str, plural: bool) {
+        let base = crate::synth::table_nl(t);
+        let mut nl = if plural { pluralize(&base) } else { base };
+        // See column_part: BIRD questions drift far from schema vocabulary,
+        // Spider questions only occasionally.
+        let p = if self.bird { 0.35 } else { 0.10 };
+        nl = crate::perturb::synonymize_words(&nl, self.rng, p);
+        self.parts.push(QPart::Table { name: t.to_string(), nl });
+        self.use_table(t);
+    }
+
+    fn column_part(&mut self, t: &str, c: &str) {
+        let mut nl = column_nl(self.db, t, c);
+        // BIRD users phrase questions freely rather than quoting the column
+        // comment: paraphrase the surface (synonyms, dropped qualifiers) so
+        // schema linking is genuinely ambiguous, as in the real benchmark.
+        if self.bird {
+            nl = crate::perturb::synonymize_words(&nl, self.rng, 0.5);
+        } else {
+            // Even clean-benchmark users drift from schema vocabulary
+            // occasionally (Spider annotators paraphrase).
+            nl = crate::perturb::synonymize_words(&nl, self.rng, 0.12);
+        }
+        if self.bird {
+            let word_count = nl.split_whitespace().count();
+            if word_count > 2 && self.rng.random_range(0..2) == 0 {
+                let drop = self.rng.random_range(0..word_count);
+                nl = nl
+                    .split_whitespace()
+                    .enumerate()
+                    .filter(|(i, _)| *i != drop)
+                    .map(|(_, w)| w)
+                    .collect::<Vec<_>>()
+                    .join(" ");
+            }
+        }
+        self.parts.push(QPart::Column { table: t.to_string(), column: c.to_string(), nl });
+        self.use_column(t, c);
+        self.maybe_column_knowledge(t, c);
+    }
+
+    /// Mention a text value; in BIRD mode, often by a form that needs
+    /// external knowledge to resolve — a natural-language alias ("women"
+    /// for 'F') or a degraded partial mention ("praha" for 'Praha
+    /// University'). The EK records the exact stored value, reproducing
+    /// BIRD's dirty-value/knowledge-gap characteristic.
+    fn value_part(&mut self, t: &str, c: &str, value: &str) {
+        let mut text = format!("'{value}'");
+        if self.bird {
+            if let Some(alias) = lexicon::value_alias(value) {
+                if self.coin(3) != 0 {
+                    text = alias.to_string();
+                    self.knowledge
+                        .push(format!("{alias} refers to {t}.{c} = '{value}'"));
+                }
+            } else if value.split_whitespace().count() > 1 && self.coin(2) == 0 {
+                let first = value.split_whitespace().next().unwrap().to_lowercase();
+                if first.len() >= 4 {
+                    text = first.clone();
+                    self.knowledge
+                        .push(format!("{first} refers to {t}.{c} = '{value}'"));
+                }
+            }
+        }
+        self.parts.push(QPart::ValueRef {
+            table: t.to_string(),
+            column: c.to_string(),
+            text: text.clone(),
+        });
+        self.value_mentions.push(ValueMention {
+            table: t.to_string(),
+            column: c.to_string(),
+            text,
+        });
+        self.use_column(t, c);
+    }
+
+    fn number_part(&mut self, v: &Value) {
+        self.parts.push(QPart::Number { text: v.render() });
+    }
+
+    fn agg_part(&mut self, agg: &str) {
+        let nl = match agg {
+            "AVG" => "average",
+            "SUM" => "total",
+            "MAX" => "maximum",
+            "MIN" => "minimum",
+            _ => "number of",
+        };
+        self.parts.push(QPart::AggWord { agg: agg.to_string(), nl: nl.to_string() });
+    }
+
+    fn op_part(&mut self, op: &str) {
+        let choices: &[&str] = match op {
+            ">" => &["more than", "greater than", "over"],
+            "<" => &["less than", "below", "under"],
+            ">=" => &["at least", "no less than"],
+            "<=" => &["at most", "no more than"],
+            _ => &["equal to"],
+        };
+        let nl = choices[self.coin(choices.len())].to_string();
+        self.parts.push(QPart::OpWord { op: op.to_string(), nl });
+    }
+
+    /// Record external knowledge explaining an ambiguous (commented) column
+    /// when in BIRD mode. BIRD attaches EK to a large share of its samples,
+    /// so most uses of a commented column come with the hint.
+    fn maybe_column_knowledge(&mut self, t: &str, c: &str) {
+        if !self.bird {
+            return;
+        }
+        if let Some(col) = self.db.table(t).and_then(|tb| tb.schema.column(c)) {
+            if let Some(comment) = &col.comment {
+                if self.coin(4) != 0 {
+                    self.knowledge.push(format!("{comment} is stored in {t}.{c}"));
+                }
+            }
+        }
+    }
+
+    // -- the catalog -----------------------------------------------------------
+
+    /// Build the question parts and SQL for template `id`. Returns `None`
+    /// when the database cannot satisfy the template.
+    fn build(&mut self, id: usize) -> Option<bool> {
+        match id {
+            // -------------------------------------------------- easy
+            0 => {
+                // SELECT COUNT(*) FROM T
+                let t = self.any_table()?;
+                match self.coin(3) {
+                    0 => self.lit("how many"),
+                    1 => self.lit("count the number of"),
+                    _ => self.lit("what is the total number of"),
+                }
+                self.table_part(&t.schema.name, true);
+                if self.parts[0].surface() == "how many" {
+                    self.lit("are there");
+                }
+                self.sql = format!("SELECT COUNT(*) FROM {}", t.schema.name);
+            }
+            1 => {
+                // SELECT C FROM T
+                let t = self.any_table()?;
+                let c = self.content_col(t)?;
+                match self.coin(3) {
+                    0 => self.lit("show the"),
+                    1 => self.lit("list the"),
+                    _ => self.lit("what is the"),
+                }
+                self.column_part(&t.schema.name, &c.name);
+                self.lit("of all");
+                self.table_part(&t.schema.name, true);
+                self.maybe_column_knowledge(&t.schema.name, &c.name);
+                self.sql = format!("SELECT {} FROM {}", c.name, t.schema.name);
+            }
+            2 => {
+                // SELECT C1, C2 FROM T
+                let t = self.any_table()?;
+                let c1 = self.content_col(t)?;
+                let c2 = self.content_col_not(t, &c1.name)?;
+                match self.coin(2) {
+                    0 => self.lit("what are the"),
+                    _ => self.lit("give the"),
+                }
+                self.column_part(&t.schema.name, &c1.name);
+                self.lit("and");
+                self.column_part(&t.schema.name, &c2.name);
+                self.lit("of every");
+                self.table_part(&t.schema.name, false);
+                self.sql = format!("SELECT {}, {} FROM {}", c1.name, c2.name, t.schema.name);
+            }
+            3 => {
+                // SELECT * FROM T
+                let t = self.any_table()?;
+                match self.coin(2) {
+                    0 => self.lit("show all information about each"),
+                    _ => self.lit("return every detail of the"),
+                }
+                self.table_part(&t.schema.name, false);
+                self.sql = format!("SELECT * FROM {}", t.schema.name);
+            }
+            4 => {
+                // SELECT DISTINCT C FROM T
+                let t = self.any_table()?;
+                let c = self.text_col(t)?;
+                match self.coin(2) {
+                    0 => self.lit("list the distinct"),
+                    _ => self.lit("what are the different"),
+                }
+                self.column_part(&t.schema.name, &c.name);
+                self.lit("of the");
+                self.table_part(&t.schema.name, true);
+                self.sql = format!("SELECT DISTINCT {} FROM {}", c.name, t.schema.name);
+            }
+            5 => {
+                // SELECT C FROM T WHERE Cv = 'V'
+                let t = self.any_table()?;
+                let cv = self.text_col(t)?;
+                let c = self.content_col_not(t, &cv.name)?;
+                let v = self.text_value(t, &cv.name)?;
+                match self.coin(2) {
+                    0 => self.lit("what is the"),
+                    _ => self.lit("find the"),
+                }
+                self.column_part(&t.schema.name, &c.name);
+                self.lit("of the");
+                self.table_part(&t.schema.name, false);
+                self.lit("whose");
+                self.column_part(&t.schema.name, &cv.name);
+                self.lit("is");
+                self.value_part(&t.schema.name, &cv.name, &v);
+                self.sql = format!(
+                    "SELECT {} FROM {} WHERE {} = '{}'",
+                    c.name,
+                    t.schema.name,
+                    cv.name,
+                    v.replace('\'', "''")
+                );
+            }
+            6 => {
+                // SELECT C FROM T WHERE Cn > V
+                let t = self.any_table()?;
+                let cn = self.numeric_col(t)?;
+                let c = self.content_col_not(t, &cn.name)?;
+                let v = self.numeric_threshold(t, &cn.name)?;
+                let op = *["<", ">"].get(self.coin(2)).unwrap();
+                self.lit("show the");
+                self.column_part(&t.schema.name, &c.name);
+                self.lit("of");
+                self.table_part(&t.schema.name, true);
+                self.lit("with");
+                self.column_part(&t.schema.name, &cn.name);
+                self.op_part(op);
+                self.number_part(&v);
+                self.maybe_column_knowledge(&t.schema.name, &cn.name);
+                self.sql = format!(
+                    "SELECT {} FROM {} WHERE {} {} {}",
+                    c.name,
+                    t.schema.name,
+                    cn.name,
+                    op,
+                    v.render()
+                );
+            }
+            7 => {
+                // SELECT COUNT(*) FROM T WHERE Cv = 'V'
+                let t = self.any_table()?;
+                let cv = self.text_col(t)?;
+                let v = self.text_value(t, &cv.name)?;
+                self.lit("how many");
+                self.table_part(&t.schema.name, true);
+                self.lit("have");
+                self.column_part(&t.schema.name, &cv.name);
+                self.value_part(&t.schema.name, &cv.name, &v);
+                self.sql = format!(
+                    "SELECT COUNT(*) FROM {} WHERE {} = '{}'",
+                    t.schema.name,
+                    cv.name,
+                    v.replace('\'', "''")
+                );
+            }
+            8 => {
+                // SELECT AGG(Cn) FROM T
+                let t = self.any_table()?;
+                let cn = self.numeric_col(t)?;
+                let agg = *["AVG", "SUM", "MAX", "MIN"].get(self.coin(4)).unwrap();
+                self.lit("what is the");
+                self.agg_part(agg);
+                self.column_part(&t.schema.name, &cn.name);
+                self.lit("of all");
+                self.table_part(&t.schema.name, true);
+                self.maybe_column_knowledge(&t.schema.name, &cn.name);
+                self.sql = format!("SELECT {agg}({}) FROM {}", cn.name, t.schema.name);
+            }
+            9 => {
+                // SELECT C FROM T ORDER BY Cn DESC LIMIT 1 (argmax)
+                let t = self.any_table()?;
+                let cn = self.numeric_col(t)?;
+                let c = self.content_col_not(t, &cn.name)?;
+                let desc = self.coin(2) == 0;
+                self.lit("what is the");
+                self.column_part(&t.schema.name, &c.name);
+                self.lit("of the");
+                self.table_part(&t.schema.name, false);
+                self.lit(if desc { "with the highest" } else { "with the lowest" });
+                self.column_part(&t.schema.name, &cn.name);
+                self.sql = format!(
+                    "SELECT {} FROM {} ORDER BY {} {} LIMIT 1",
+                    c.name,
+                    t.schema.name,
+                    cn.name,
+                    if desc { "DESC" } else { "ASC" }
+                );
+            }
+            // -------------------------------------------------- medium
+            10 => {
+                // SELECT AGG(Cn) FROM T WHERE Cv = 'V'
+                let t = self.any_table()?;
+                let cn = self.numeric_col(t)?;
+                let cv = self.text_col(t)?;
+                if cv.name == cn.name {
+                    return None;
+                }
+                let v = self.text_value(t, &cv.name)?;
+                let agg = *["AVG", "SUM", "MAX", "MIN"].get(self.coin(4)).unwrap();
+                self.lit("what is the");
+                self.agg_part(agg);
+                self.column_part(&t.schema.name, &cn.name);
+                self.lit("of");
+                self.table_part(&t.schema.name, true);
+                self.lit("whose");
+                self.column_part(&t.schema.name, &cv.name);
+                self.lit("is");
+                self.value_part(&t.schema.name, &cv.name, &v);
+                self.sql = format!(
+                    "SELECT {agg}({}) FROM {} WHERE {} = '{}'",
+                    cn.name,
+                    t.schema.name,
+                    cv.name,
+                    v.replace('\'', "''")
+                );
+            }
+            11 => {
+                // SELECT C FROM T WHERE Cv = 'V' AND Cn > V2
+                let t = self.any_table()?;
+                let cv = self.text_col(t)?;
+                let cn = self.numeric_col(t)?;
+                let c = self.content_col(t)?;
+                let v = self.text_value(t, &cv.name)?;
+                let v2 = self.numeric_threshold(t, &cn.name)?;
+                let op = *["<", ">"].get(self.coin(2)).unwrap();
+                self.lit("find the");
+                self.column_part(&t.schema.name, &c.name);
+                self.lit("of");
+                self.table_part(&t.schema.name, true);
+                self.lit("whose");
+                self.column_part(&t.schema.name, &cv.name);
+                self.lit("is");
+                self.value_part(&t.schema.name, &cv.name, &v);
+                self.lit("and whose");
+                self.column_part(&t.schema.name, &cn.name);
+                self.lit("is");
+                self.op_part(op);
+                self.number_part(&v2);
+                self.sql = format!(
+                    "SELECT {} FROM {} WHERE {} = '{}' AND {} {} {}",
+                    c.name,
+                    t.schema.name,
+                    cv.name,
+                    v.replace('\'', "''"),
+                    cn.name,
+                    op,
+                    v2.render()
+                );
+            }
+            12 => {
+                // SELECT C, COUNT(*) FROM T GROUP BY C
+                let t = self.any_table()?;
+                let c = self.text_col(t)?;
+                match self.coin(2) {
+                    0 => self.lit("for each"),
+                    _ => self.lit("per"),
+                }
+                self.column_part(&t.schema.name, &c.name);
+                self.lit(", how many");
+                self.table_part(&t.schema.name, true);
+                self.lit("are there");
+                self.sql = format!(
+                    "SELECT {}, COUNT(*) FROM {} GROUP BY {}",
+                    c.name, t.schema.name, c.name
+                );
+            }
+            13 => {
+                // SELECT C, AGG(Cn) FROM T GROUP BY C
+                let t = self.any_table()?;
+                let c = self.text_col(t)?;
+                let cn = self.numeric_col(t)?;
+                if c.name == cn.name {
+                    return None;
+                }
+                let agg = *["AVG", "SUM", "MAX", "MIN"].get(self.coin(4)).unwrap();
+                self.lit("show each");
+                self.column_part(&t.schema.name, &c.name);
+                self.lit("and the");
+                self.agg_part(agg);
+                self.column_part(&t.schema.name, &cn.name);
+                self.lit("of its");
+                self.table_part(&t.schema.name, true);
+                self.sql = format!(
+                    "SELECT {}, {agg}({}) FROM {} GROUP BY {}",
+                    c.name, cn.name, t.schema.name, c.name
+                );
+            }
+            14 => {
+                // SELECT C FROM T GROUP BY C HAVING COUNT(*) >= N
+                let t = self.any_table()?;
+                let c = self.text_col(t)?;
+                let n = Value::Integer(self.rng.random_range(2..=4));
+                self.lit("which");
+                self.column_part(&t.schema.name, &c.name);
+                self.lit("values appear in");
+                self.op_part(">=");
+                self.number_part(&n);
+                self.table_part(&t.schema.name, true);
+                self.sql = format!(
+                    "SELECT {} FROM {} GROUP BY {} HAVING COUNT(*) >= {}",
+                    c.name,
+                    t.schema.name,
+                    c.name,
+                    n.render()
+                );
+            }
+            15 => {
+                // argmax group: SELECT C FROM T GROUP BY C ORDER BY COUNT(*) DESC LIMIT 1
+                let t = self.any_table()?;
+                let c = self.text_col(t)?;
+                match self.coin(2) {
+                    0 => self.lit("which"),
+                    _ => self.lit("what"),
+                }
+                self.column_part(&t.schema.name, &c.name);
+                self.lit("is most common among");
+                self.table_part(&t.schema.name, true);
+                self.sql = format!(
+                    "SELECT {} FROM {} GROUP BY {} ORDER BY COUNT(*) DESC LIMIT 1",
+                    c.name, t.schema.name, c.name
+                );
+            }
+            16 => {
+                // SELECT C FROM T ORDER BY Cn ASC LIMIT N
+                let t = self.any_table()?;
+                let cn = self.numeric_col(t)?;
+                let c = self.content_col_not(t, &cn.name)?;
+                let n = Value::Integer(self.rng.random_range(2..=5));
+                let desc = self.coin(2) == 0;
+                self.lit("list the");
+                self.column_part(&t.schema.name, &c.name);
+                self.lit("of the");
+                self.number_part(&n);
+                self.table_part(&t.schema.name, true);
+                self.lit(if desc { "with the highest" } else { "with the lowest" });
+                self.column_part(&t.schema.name, &cn.name);
+                self.sql = format!(
+                    "SELECT {} FROM {} ORDER BY {} {} LIMIT {}",
+                    c.name,
+                    t.schema.name,
+                    cn.name,
+                    if desc { "DESC" } else { "ASC" },
+                    n.render()
+                );
+            }
+            17 => {
+                // SELECT COUNT(DISTINCT C) FROM T
+                let t = self.any_table()?;
+                let c = self.text_col(t)?;
+                self.lit("how many different");
+                self.column_part(&t.schema.name, &c.name);
+                self.lit("values are present among");
+                self.table_part(&t.schema.name, true);
+                self.sql = format!("SELECT COUNT(DISTINCT {}) FROM {}", c.name, t.schema.name);
+            }
+            18 => {
+                // BETWEEN
+                let t = self.any_table()?;
+                let cn = self.numeric_col(t)?;
+                let c = self.content_col_not(t, &cn.name)?;
+                let lo = self.numeric_threshold(t, &cn.name)?;
+                let hi = lo.add(&Value::Integer(self.rng.random_range(2..=20))).ok()?;
+                self.lit("show the");
+                self.column_part(&t.schema.name, &c.name);
+                self.lit("of");
+                self.table_part(&t.schema.name, true);
+                self.lit("whose");
+                self.column_part(&t.schema.name, &cn.name);
+                self.lit("is between");
+                self.number_part(&lo);
+                self.lit("and");
+                self.number_part(&hi);
+                self.sql = format!(
+                    "SELECT {} FROM {} WHERE {} BETWEEN {} AND {}",
+                    c.name,
+                    t.schema.name,
+                    cn.name,
+                    lo.render(),
+                    hi.render()
+                );
+            }
+            19 => {
+                // LIKE
+                let t = self.any_table()?;
+                let cv = self.text_col(t)?;
+                let c = self.content_col(t)?;
+                let v = self.text_value(t, &cv.name)?;
+                let needle: String = v.split_whitespace().next()?.to_string();
+                if needle.len() < 3 {
+                    return None;
+                }
+                self.lit("which");
+                self.column_part(&t.schema.name, &c.name);
+                self.lit("of");
+                self.table_part(&t.schema.name, true);
+                self.lit("have a");
+                self.column_part(&t.schema.name, &cv.name);
+                self.lit("containing");
+                self.value_part(&t.schema.name, &cv.name, &needle);
+                self.sql = format!(
+                    "SELECT {} FROM {} WHERE {} LIKE '%{}%'",
+                    c.name,
+                    t.schema.name,
+                    cv.name,
+                    needle.replace('\'', "''")
+                );
+            }
+            20 => {
+                // IS NULL / IS NOT NULL count
+                let t = self.any_table()?;
+                let c = self.content_col(t)?;
+                let negated = self.coin(2) == 0;
+                self.lit("how many");
+                self.table_part(&t.schema.name, true);
+                self.lit(if negated { "have a known" } else { "are missing a" });
+                self.column_part(&t.schema.name, &c.name);
+                self.sql = format!(
+                    "SELECT COUNT(*) FROM {} WHERE {} IS {}NULL",
+                    t.schema.name,
+                    c.name,
+                    if negated { "NOT " } else { "" }
+                );
+            }
+            21 => {
+                // join select: SELECT child.C FROM child JOIN parent ON fk WHERE parent.Cv = 'V'
+                let (child, fk, parent, ppk) = self.fk_edge()?;
+                let child_t = self.db.table(&child)?;
+                let parent_t = self.db.table(&parent)?;
+                let c = self.content_col(child_t)?;
+                let cv = self.text_col(parent_t)?;
+                let v = self.text_value(parent_t, &cv.name)?;
+                self.lit("show the");
+                self.column_part(&child, &c.name);
+                self.lit("of");
+                self.table_part(&child, true);
+                self.lit("whose");
+                self.table_part(&parent, false);
+                self.lit("has");
+                self.column_part(&parent, &cv.name);
+                self.value_part(&parent, &cv.name, &v);
+                self.use_column(&child, &fk);
+                self.use_column(&parent, &ppk);
+                self.sql = format!(
+                    "SELECT T1.{} FROM {} AS T1 JOIN {} AS T2 ON T1.{} = T2.{} WHERE T2.{} = '{}'",
+                    c.name,
+                    child,
+                    parent,
+                    fk,
+                    ppk,
+                    cv.name,
+                    v.replace('\'', "''")
+                );
+            }
+            22 => {
+                // join count
+                let (child, fk, parent, ppk) = self.fk_edge()?;
+                let parent_t = self.db.table(&parent)?;
+                let cv = self.text_col(parent_t)?;
+                let v = self.text_value(parent_t, &cv.name)?;
+                self.lit("how many");
+                self.table_part(&child, true);
+                self.lit("belong to the");
+                self.table_part(&parent, false);
+                self.lit("whose");
+                self.column_part(&parent, &cv.name);
+                self.lit("is");
+                self.value_part(&parent, &cv.name, &v);
+                self.use_column(&child, &fk);
+                self.use_column(&parent, &ppk);
+                self.sql = format!(
+                    "SELECT COUNT(*) FROM {} AS T1 JOIN {} AS T2 ON T1.{} = T2.{} WHERE T2.{} = '{}'",
+                    child,
+                    parent,
+                    fk,
+                    ppk,
+                    cv.name,
+                    v.replace('\'', "''")
+                );
+            }
+            // -------------------------------------------------- hard
+            23 => {
+                // join group count: per parent label, count children
+                let (child, fk, parent, ppk) = self.fk_edge()?;
+                let parent_t = self.db.table(&parent)?;
+                let label = self.text_col(parent_t)?;
+                self.lit("for each");
+                self.column_part(&parent, &label.name);
+                self.lit("of the");
+                self.table_part(&parent, true);
+                self.lit(", count the");
+                self.table_part(&child, true);
+                self.use_column(&child, &fk);
+                self.use_column(&parent, &ppk);
+                self.sql = format!(
+                    "SELECT T2.{}, COUNT(*) FROM {} AS T1 JOIN {} AS T2 ON T1.{} = T2.{} GROUP BY T2.{}",
+                    label.name, child, parent, fk, ppk, label.name
+                );
+            }
+            24 => {
+                // join group argmax
+                let (child, fk, parent, ppk) = self.fk_edge()?;
+                let parent_t = self.db.table(&parent)?;
+                let label = self.text_col(parent_t)?;
+                self.lit("which");
+                self.column_part(&parent, &label.name);
+                self.lit("of the");
+                self.table_part(&parent, true);
+                self.lit("has the most");
+                self.table_part(&child, true);
+                self.use_column(&child, &fk);
+                self.use_column(&parent, &ppk);
+                self.sql = format!(
+                    "SELECT T2.{} FROM {} AS T1 JOIN {} AS T2 ON T1.{} = T2.{} GROUP BY T2.{} ORDER BY COUNT(*) DESC LIMIT 1",
+                    label.name, child, parent, fk, ppk, label.name
+                );
+            }
+            25 => {
+                // join agg with filter
+                let (child, fk, parent, ppk) = self.fk_edge()?;
+                let child_t = self.db.table(&child)?;
+                let parent_t = self.db.table(&parent)?;
+                let cn = self.numeric_col(child_t)?;
+                let cv = self.text_col(parent_t)?;
+                let v = self.text_value(parent_t, &cv.name)?;
+                let agg = *["AVG", "SUM", "MAX"].get(self.coin(3)).unwrap();
+                self.lit("what is the");
+                self.agg_part(agg);
+                self.column_part(&child, &cn.name);
+                self.lit("of");
+                self.table_part(&child, true);
+                self.lit("in the");
+                self.table_part(&parent, false);
+                self.lit("whose");
+                self.column_part(&parent, &cv.name);
+                self.lit("is");
+                self.value_part(&parent, &cv.name, &v);
+                self.use_column(&child, &fk);
+                self.use_column(&parent, &ppk);
+                self.sql = format!(
+                    "SELECT {agg}(T1.{}) FROM {} AS T1 JOIN {} AS T2 ON T1.{} = T2.{} WHERE T2.{} = '{}'",
+                    cn.name,
+                    child,
+                    parent,
+                    fk,
+                    ppk,
+                    cv.name,
+                    v.replace('\'', "''")
+                );
+            }
+            26 => {
+                // WHERE Cn > (SELECT AVG(Cn) FROM T)
+                let t = self.any_table()?;
+                let cn = self.numeric_col(t)?;
+                let c = self.content_col_not(t, &cn.name)?;
+                self.lit("show the");
+                self.column_part(&t.schema.name, &c.name);
+                self.lit("of");
+                self.table_part(&t.schema.name, true);
+                self.lit("with above-average");
+                self.column_part(&t.schema.name, &cn.name);
+                self.sql = format!(
+                    "SELECT {} FROM {} WHERE {} > (SELECT AVG({}) FROM {})",
+                    c.name, t.schema.name, cn.name, cn.name, t.schema.name
+                );
+            }
+            27 => {
+                // IN subquery
+                let (child, fk, parent, ppk) = self.fk_edge()?;
+                let child_t = self.db.table(&child)?;
+                let parent_t = self.db.table(&parent)?;
+                let label = self.content_col(parent_t)?;
+                let cn = self.numeric_col(child_t)?;
+                let v = self.numeric_threshold(child_t, &cn.name)?;
+                self.lit("find the");
+                self.column_part(&parent, &label.name);
+                self.lit("of");
+                self.table_part(&parent, true);
+                self.lit("that have");
+                self.table_part(&child, true);
+                self.lit("with");
+                self.column_part(&child, &cn.name);
+                self.op_part(">");
+                self.number_part(&v);
+                self.use_column(&child, &fk);
+                self.use_column(&parent, &ppk);
+                self.sql = format!(
+                    "SELECT {} FROM {} WHERE {} IN (SELECT {} FROM {} WHERE {} > {})",
+                    label.name,
+                    parent,
+                    ppk,
+                    fk,
+                    child,
+                    cn.name,
+                    v.render()
+                );
+            }
+            28 => {
+                // NOT IN subquery
+                let (child, fk, parent, ppk) = self.fk_edge()?;
+                let parent_t = self.db.table(&parent)?;
+                let label = self.content_col(parent_t)?;
+                self.lit("which");
+                self.column_part(&parent, &label.name);
+                self.lit("of");
+                self.table_part(&parent, true);
+                self.lit("have no");
+                self.table_part(&child, true);
+                self.use_column(&child, &fk);
+                self.use_column(&parent, &ppk);
+                self.sql = format!(
+                    "SELECT {} FROM {} WHERE {} NOT IN (SELECT {} FROM {} WHERE {} IS NOT NULL)",
+                    label.name, parent, ppk, fk, child, fk
+                );
+            }
+            29 => {
+                // OR condition over two values
+                let t = self.any_table()?;
+                let cv = self.text_col(t)?;
+                let c = self.content_col_not(t, &cv.name)?;
+                let values = t.representative_values(&cv.name, 10);
+                if values.len() < 2 {
+                    return None;
+                }
+                let v1 = values[self.coin(values.len())].render();
+                let v2 = values
+                    .iter()
+                    .map(|v| v.render())
+                    .find(|v| *v != v1)?;
+                self.lit("show the");
+                self.column_part(&t.schema.name, &c.name);
+                self.lit("of");
+                self.table_part(&t.schema.name, true);
+                self.lit("whose");
+                self.column_part(&t.schema.name, &cv.name);
+                self.lit("is either");
+                self.value_part(&t.schema.name, &cv.name, v1.trim());
+                self.lit("or");
+                self.value_part(&t.schema.name, &cv.name, v2.trim());
+                self.sql = format!(
+                    "SELECT {} FROM {} WHERE {} = '{}' OR {} = '{}'",
+                    c.name,
+                    t.schema.name,
+                    cv.name,
+                    v1.trim().replace('\'', "''"),
+                    cv.name,
+                    v2.trim().replace('\'', "''")
+                );
+            }
+            30 => {
+                // two columns ordered by numeric desc
+                let t = self.any_table()?;
+                let cn = self.numeric_col(t)?;
+                let c = self.content_col_not(t, &cn.name)?;
+                self.lit("list the");
+                self.column_part(&t.schema.name, &c.name);
+                self.lit("and");
+                self.column_part(&t.schema.name, &cn.name);
+                self.lit("of all");
+                self.table_part(&t.schema.name, true);
+                self.lit("sorted by");
+                self.column_part(&t.schema.name, &cn.name);
+                self.lit("in descending order");
+                self.sql = format!(
+                    "SELECT {}, {} FROM {} ORDER BY {} DESC",
+                    c.name, cn.name, t.schema.name, cn.name
+                );
+            }
+            31 => {
+                // HAVING over aggregate of numeric
+                let t = self.any_table()?;
+                let c = self.text_col(t)?;
+                let cn = self.numeric_col(t)?;
+                if c.name == cn.name {
+                    return None;
+                }
+                let v = self.numeric_threshold(t, &cn.name)?;
+                self.lit("which");
+                self.column_part(&t.schema.name, &c.name);
+                self.lit("groups of");
+                self.table_part(&t.schema.name, true);
+                self.lit("have an average");
+                self.column_part(&t.schema.name, &cn.name);
+                self.op_part(">");
+                self.number_part(&v);
+                self.sql = format!(
+                    "SELECT {} FROM {} GROUP BY {} HAVING AVG({}) > {}",
+                    c.name,
+                    t.schema.name,
+                    c.name,
+                    cn.name,
+                    v.render()
+                );
+            }
+            32 => {
+                // count + group + order full
+                let t = self.any_table()?;
+                let c = self.text_col(t)?;
+                self.lit("count the");
+                self.table_part(&t.schema.name, true);
+                self.lit("per");
+                self.column_part(&t.schema.name, &c.name);
+                self.lit(", most numerous first");
+                self.sql = format!(
+                    "SELECT {}, COUNT(*) FROM {} GROUP BY {} ORDER BY COUNT(*) DESC",
+                    c.name, t.schema.name, c.name
+                );
+            }
+            // -------------------------------------------------- extra
+            33 => {
+                // UNION of two value filters
+                let t = self.any_table()?;
+                let cv = self.text_col(t)?;
+                let c = self.content_col_not(t, &cv.name)?;
+                let cn = self.numeric_col(t)?;
+                let v = self.text_value(t, &cv.name)?;
+                let thr = self.numeric_threshold(t, &cn.name)?;
+                self.lit("show the");
+                self.column_part(&t.schema.name, &c.name);
+                self.lit("of");
+                self.table_part(&t.schema.name, true);
+                self.lit("whose");
+                self.column_part(&t.schema.name, &cv.name);
+                self.lit("is");
+                self.value_part(&t.schema.name, &cv.name, &v);
+                self.lit("or whose");
+                self.column_part(&t.schema.name, &cn.name);
+                self.lit("is");
+                self.op_part(">");
+                self.number_part(&thr);
+                self.sql = format!(
+                    "SELECT {} FROM {} WHERE {} = '{}' UNION SELECT {} FROM {} WHERE {} > {}",
+                    c.name,
+                    t.schema.name,
+                    cv.name,
+                    v.replace('\'', "''"),
+                    c.name,
+                    t.schema.name,
+                    cn.name,
+                    thr.render()
+                );
+            }
+            34 => {
+                // INTERSECT of two numeric filters
+                let t = self.any_table()?;
+                let cn = self.numeric_col(t)?;
+                let c = self.content_col_not(t, &cn.name)?;
+                let lo = self.numeric_threshold(t, &cn.name)?;
+                let hi = lo.add(&Value::Integer(self.rng.random_range(3..=25))).ok()?;
+                self.lit("which");
+                self.column_part(&t.schema.name, &c.name);
+                self.lit("values belong to");
+                self.table_part(&t.schema.name, true);
+                self.lit("with");
+                self.column_part(&t.schema.name, &cn.name);
+                self.lit("above");
+                self.number_part(&lo);
+                self.lit("and also below");
+                self.number_part(&hi);
+                self.sql = format!(
+                    "SELECT {} FROM {} WHERE {} > {} INTERSECT SELECT {} FROM {} WHERE {} < {}",
+                    c.name,
+                    t.schema.name,
+                    cn.name,
+                    lo.render(),
+                    c.name,
+                    t.schema.name,
+                    cn.name,
+                    hi.render()
+                );
+            }
+            35 => {
+                // EXCEPT: parents without children
+                let (child, fk, parent, ppk) = self.fk_edge()?;
+                self.lit("list the");
+                self.column_part(&parent, &ppk);
+                self.lit("of");
+                self.table_part(&parent, true);
+                self.lit("that do not appear in any");
+                self.table_part(&child, false);
+                self.use_column(&child, &fk);
+                self.sql = format!(
+                    "SELECT {} FROM {} EXCEPT SELECT {} FROM {}",
+                    ppk, parent, fk, child
+                );
+            }
+            36 => {
+                // IN subquery with GROUP BY/HAVING
+                let (child, fk, parent, ppk) = self.fk_edge()?;
+                let parent_t = self.db.table(&parent)?;
+                let label = self.content_col(parent_t)?;
+                let n = Value::Integer(self.rng.random_range(2..=3));
+                self.lit("find the");
+                self.column_part(&parent, &label.name);
+                self.lit("of");
+                self.table_part(&parent, true);
+                self.lit("with");
+                self.op_part(">");
+                self.number_part(&n);
+                self.table_part(&child, true);
+                self.use_column(&child, &fk);
+                self.use_column(&parent, &ppk);
+                self.sql = format!(
+                    "SELECT {} FROM {} WHERE {} IN (SELECT {} FROM {} GROUP BY {} HAVING COUNT(*) > {})",
+                    label.name,
+                    parent,
+                    ppk,
+                    fk,
+                    child,
+                    fk,
+                    n.render()
+                );
+            }
+            37 => {
+                // two-hop join (3 tables) when available
+                let edges = self.db.foreign_keys();
+                // Find child with two FKs to different parents (a link table).
+                // (link table, (fk1, parent1), (fk2, parent2), (pk1, pk2))
+                type TwoHop = (String, (String, String), (String, String), (String, String));
+                let mut link: Option<TwoHop> = None;
+                for t in &self.db.tables {
+                    let fks = &t.schema.foreign_keys;
+                    if fks.len() >= 2 && fks[0].ref_table != fks[1].ref_table {
+                        link = Some((
+                            t.schema.name.clone(),
+                            (fks[0].column.clone(), fks[0].ref_table.clone()),
+                            (fks[1].column.clone(), fks[1].ref_table.clone()),
+                            (fks[0].ref_column.clone(), fks[1].ref_column.clone()),
+                        ));
+                        break;
+                    }
+                }
+                let _ = edges;
+                let (link_t, (fk1, p1), (fk2, p2), (pk1, pk2)) = link?;
+                let p2_t = self.db.table(&p2)?;
+                let label1 = self.content_col(self.db.table(&p1)?)?;
+                let cv = self.text_col(p2_t)?;
+                let v = self.text_value(p2_t, &cv.name)?;
+                self.lit("show the");
+                self.column_part(&p1, &label1.name);
+                self.lit("of");
+                self.table_part(&p1, true);
+                self.lit("linked through");
+                self.table_part(&link_t, true);
+                self.lit("to the");
+                self.table_part(&p2, false);
+                self.lit("whose");
+                self.column_part(&p2, &cv.name);
+                self.lit("is");
+                self.value_part(&p2, &cv.name, &v);
+                self.use_column(&link_t, &fk1);
+                self.use_column(&link_t, &fk2);
+                self.use_column(&p1, &pk1);
+                self.use_column(&p2, &pk2);
+                self.sql = format!(
+                    "SELECT DISTINCT T2.{} FROM {} AS T1 JOIN {} AS T2 ON T1.{} = T2.{} JOIN {} AS T3 ON T1.{} = T3.{} WHERE T3.{} = '{}'",
+                    label1.name,
+                    link_t,
+                    p1,
+                    fk1,
+                    pk1,
+                    p2,
+                    fk2,
+                    pk2,
+                    cv.name,
+                    v.replace('\'', "''")
+                );
+            }
+            38 => {
+                // argmin via scalar subquery
+                let t = self.any_table()?;
+                let cn = self.numeric_col(t)?;
+                let c = self.content_col_not(t, &cn.name)?;
+                let use_min = self.coin(2) == 0;
+                self.lit("what is the");
+                self.column_part(&t.schema.name, &c.name);
+                self.lit("of the");
+                self.table_part(&t.schema.name, false);
+                self.lit(if use_min { "whose" } else { "that has the" });
+                self.column_part(&t.schema.name, &cn.name);
+                self.lit(if use_min { "equals the minimum" } else { "equal to the maximum" });
+                let f = if use_min { "MIN" } else { "MAX" };
+                self.sql = format!(
+                    "SELECT {} FROM {} WHERE {} = (SELECT {f}({}) FROM {})",
+                    c.name, t.schema.name, cn.name, cn.name, t.schema.name
+                );
+            }
+            39 => {
+                // filtered group argmax
+                let t = self.any_table()?;
+                let c = self.text_col(t)?;
+                let cn = self.numeric_col(t)?;
+                if c.name == cn.name {
+                    return None;
+                }
+                let v = self.numeric_threshold(t, &cn.name)?;
+                self.lit("among");
+                self.table_part(&t.schema.name, true);
+                self.lit("with");
+                self.column_part(&t.schema.name, &cn.name);
+                self.op_part(">");
+                self.number_part(&v);
+                self.lit(", count them per");
+                self.column_part(&t.schema.name, &c.name);
+                self.lit("from most to least");
+                self.sql = format!(
+                    "SELECT {}, COUNT(*) FROM {} WHERE {} > {} GROUP BY {} ORDER BY COUNT(*) DESC",
+                    c.name,
+                    t.schema.name,
+                    cn.name,
+                    v.render(),
+                    c.name
+                );
+            }
+            40 => {
+                // SELECT COUNT(*) FROM T WHERE Cn op V
+                let t = self.any_table()?;
+                let cn = self.numeric_col(t)?;
+                let v = self.numeric_threshold(t, &cn.name)?;
+                let op = *["<", ">"].get(self.coin(2)).unwrap();
+                match self.coin(2) {
+                    0 => self.lit("how many"),
+                    _ => self.lit("count the"),
+                }
+                self.table_part(&t.schema.name, true);
+                self.lit("have");
+                self.column_part(&t.schema.name, &cn.name);
+                self.op_part(op);
+                self.number_part(&v);
+                self.sql = format!(
+                    "SELECT COUNT(*) FROM {} WHERE {} {} {}",
+                    t.schema.name,
+                    cn.name,
+                    op,
+                    v.render()
+                );
+            }
+            _ => return None,
+        }
+        Some(true)
+    }
+}
+
+/// Naive pluralization for NL table surfaces.
+pub fn pluralize(word: &str) -> String {
+    if word.ends_with('s') || word.ends_with("sh") || word.ends_with("ch") {
+        format!("{word}es")
+    } else if let Some(stem) = word.strip_suffix('y') {
+        if stem.ends_with(|c: char| "aeiou".contains(c)) {
+            format!("{word}s")
+        } else {
+            format!("{stem}ies")
+        }
+    } else {
+        format!("{word}s")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::synth::{domains, generate_database, DbGenConfig};
+    use rand::SeedableRng;
+
+    fn spider_db(idx: usize) -> Database {
+        generate_database(&domains()[idx], &DbGenConfig::spider(), 11)
+    }
+
+    #[test]
+    fn pluralize_rules() {
+        assert_eq!(pluralize("singer"), "singers");
+        assert_eq!(pluralize("city"), "cities");
+        assert_eq!(pluralize("boy"), "boys");
+        assert_eq!(pluralize("match"), "matches");
+        assert_eq!(pluralize("orders"), "orderses"); // degenerate but harmless
+    }
+
+    #[test]
+    fn every_template_instantiates_on_some_domain() {
+        let dbs: Vec<Database> = (0..domains().len()).map(spider_db).collect();
+        let mut rng = StdRng::seed_from_u64(7);
+        for id in 0..TEMPLATE_COUNT {
+            let mut ok = false;
+            'outer: for db in &dbs {
+                for _ in 0..25 {
+                    if let Some(s) = instantiate(id, db, &mut rng, false) {
+                        sqlengine::execute_query(db, &s.sql)
+                            .unwrap_or_else(|e| panic!("template {id} produced invalid SQL `{}`: {e}", s.sql));
+                        ok = true;
+                        break 'outer;
+                    }
+                }
+            }
+            assert!(ok, "template {id} never instantiated");
+        }
+    }
+
+    #[test]
+    fn generated_samples_execute_and_have_metadata() {
+        let db = spider_db(0);
+        let mut rng = StdRng::seed_from_u64(3);
+        let samples = generate_samples(&db, 60, &mut rng, false);
+        assert!(samples.len() >= 55, "only {} samples generated", samples.len());
+        for s in &samples {
+            assert!(!s.question.is_empty());
+            assert!(!s.used_tables.is_empty(), "no used tables for {}", s.sql);
+            assert!(sqlengine::execute_query(&db, &s.sql).is_ok());
+            // every used column names a real column
+            for (t, c) in &s.used_columns {
+                let table = db.table(t).unwrap_or_else(|| panic!("bad table {t} in {}", s.sql));
+                assert!(table.schema.column(c).is_some(), "bad column {t}.{c} in {}", s.sql);
+            }
+        }
+    }
+
+    #[test]
+    fn hardness_distribution_covers_all_levels() {
+        let db = spider_db(0);
+        let mut rng = StdRng::seed_from_u64(5);
+        let samples = generate_samples(&db, 150, &mut rng, false);
+        let levels: std::collections::HashSet<_> = samples.iter().map(|s| s.hardness).collect();
+        assert!(levels.len() >= 3, "expected varied hardness, got {levels:?}");
+    }
+
+    #[test]
+    fn bird_mode_produces_external_knowledge_sometimes() {
+        let spec = &domains()[0];
+        let db = generate_database(spec, &DbGenConfig::bird(), 11);
+        let mut rng = StdRng::seed_from_u64(9);
+        let samples = generate_samples(&db, 120, &mut rng, true);
+        let with_ek = samples.iter().filter(|s| s.external_knowledge.is_some()).count();
+        assert!(with_ek > 0, "no EK generated across {} samples", samples.len());
+    }
+
+    #[test]
+    fn question_mentions_values_it_filters_on() {
+        let db = spider_db(0);
+        let mut rng = StdRng::seed_from_u64(13);
+        for _ in 0..10 {
+            if let Some(s) = instantiate(5, &db, &mut rng, false) {
+                assert_eq!(s.value_mentions.len(), 1);
+                assert!(s.question.contains(s.value_mentions[0].text.trim_matches('\'')));
+                return;
+            }
+        }
+        panic!("template 5 never instantiated");
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let db = spider_db(1);
+        let mut r1 = StdRng::seed_from_u64(21);
+        let mut r2 = StdRng::seed_from_u64(21);
+        let a = generate_samples(&db, 20, &mut r1, false);
+        let b = generate_samples(&db, 20, &mut r2, false);
+        assert_eq!(
+            a.iter().map(|s| &s.sql).collect::<Vec<_>>(),
+            b.iter().map(|s| &s.sql).collect::<Vec<_>>()
+        );
+    }
+}

@@ -1,0 +1,84 @@
+//! Property tests over benchmark generation: every generated sample is
+//! internally consistent, and every perturbation keeps gold SQL executable
+//! on its databases.
+
+use proptest::prelude::*;
+
+use codes_datasets::{
+    build_drspider_set, build_variant, spider_benchmark, DrSpiderSet, SpiderVariant,
+};
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    /// Any seed yields a structurally sound benchmark.
+    #[test]
+    fn benchmarks_are_consistent_for_any_seed(seed in 0u64..10_000) {
+        let mut cfg = codes_datasets::BenchmarkConfig::spider(seed);
+        cfg.train_samples_per_db = 4;
+        cfg.dev_samples_per_db = 3;
+        let b = codes_datasets::build_benchmark("prop", &cfg);
+        prop_assert!(!b.train.is_empty());
+        prop_assert!(!b.dev.is_empty());
+        for s in b.train.iter().chain(&b.dev) {
+            let db = b.database(&s.db_id).expect("sample db exists");
+            // Gold executes.
+            prop_assert!(sqlengine::execute_query(db, &s.sql).is_ok(), "gold fails: {}", s.sql);
+            // Metadata refers to real schema items.
+            for t in &s.used_tables {
+                prop_assert!(db.table(t).is_some(), "bad used_table {t}");
+            }
+            for (t, c) in &s.used_columns {
+                prop_assert!(
+                    db.table(t).map(|tb| tb.schema.column(c).is_some()).unwrap_or(false),
+                    "bad used_column {t}.{c}"
+                );
+            }
+            // Question renders from its parts.
+            let mut s2 = s.clone();
+            s2.refresh_question();
+            prop_assert_eq!(&s2.question, &s.question);
+        }
+    }
+
+    /// Spider variants keep gold SQL fixed and executable.
+    #[test]
+    fn variants_preserve_gold(seed in 0u64..1_000) {
+        let base = spider_benchmark(seed % 7 + 1);
+        for v in [SpiderVariant::Syn, SpiderVariant::Realistic, SpiderVariant::DomainKnowledge] {
+            let out = build_variant(&base, v, seed);
+            prop_assert_eq!(out.len(), base.dev.len());
+            for (p, o) in out.iter().zip(&base.dev) {
+                prop_assert_eq!(&p.sql, &o.sql);
+            }
+        }
+    }
+}
+
+#[test]
+fn drspider_sets_stay_aligned_across_seeds() {
+    let base = spider_benchmark(3);
+    for seed in [1u64, 99, 12345] {
+        for set in [
+            DrSpiderSet::SchemaSynonym,
+            DrSpiderSet::SchemaAbbreviation,
+            DrSpiderSet::DbContentEquivalence,
+            DrSpiderSet::Multitype,
+        ] {
+            let built = build_drspider_set(&base, set, seed);
+            for s in &built.samples {
+                let db = built
+                    .databases
+                    .iter()
+                    .find(|d| d.name == s.db_id)
+                    .expect("db present");
+                assert!(
+                    sqlengine::execute_query(db, &s.sql).is_ok(),
+                    "{} seed {seed}: gold `{}` fails",
+                    set.name(),
+                    s.sql
+                );
+            }
+        }
+    }
+}

@@ -1,0 +1,18 @@
+#![warn(missing_docs)]
+
+//! # codes-eval
+//!
+//! Evaluation metrics and harness for the CodeS reproduction: execution
+//! accuracy (EX), test-suite accuracy (TS, multi-instance), valid
+//! efficiency score (VES, deterministic cost model), a human-evaluation
+//! proxy (HE), a parallel evaluation runner, and table/record reporting.
+
+pub mod metrics;
+pub mod report;
+pub mod runner;
+
+pub use metrics::{
+    execution_match, human_equivalent, test_suite_match, test_suite_variants, ves_component,
+};
+pub use report::{pct, pct2, records_to_json, ExperimentRecord, TextTable};
+pub use runner::{evaluate, EvalConfig, EvalOutcome, SampleResult};

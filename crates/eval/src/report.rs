@@ -1,0 +1,165 @@
+//! Plain-text table rendering for the experiment harness, plus JSON
+//! serialization of experiment records for EXPERIMENTS.md artifacts.
+
+use serde::Serialize;
+
+/// A simple aligned-text table builder.
+#[derive(Debug, Clone, Default)]
+pub struct TextTable {
+    title: String,
+    headers: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl TextTable {
+    /// A titled empty table.
+    pub fn new(title: &str) -> TextTable {
+        TextTable { title: title.to_string(), ..Default::default() }
+    }
+
+    /// Set the header row.
+    pub fn headers(mut self, headers: &[&str]) -> TextTable {
+        self.headers = headers.iter().map(|s| s.to_string()).collect();
+        self
+    }
+
+    /// Append a data row.
+    pub fn row(&mut self, cells: Vec<String>) -> &mut Self {
+        self.rows.push(cells);
+        self
+    }
+
+    /// A row of string slices (convenience).
+    pub fn row_strs(&mut self, cells: &[&str]) -> &mut Self {
+        self.row(cells.iter().map(|s| s.to_string()).collect())
+    }
+
+    /// Horizontal separator row.
+    pub fn separator(&mut self) -> &mut Self {
+        self.rows.push(vec!["--".to_string()]);
+        self
+    }
+
+    /// Render the aligned table.
+    pub fn render(&self) -> String {
+        let ncols = self
+            .headers
+            .len()
+            .max(self.rows.iter().map(Vec::len).max().unwrap_or(0));
+        let mut widths = vec![0usize; ncols];
+        let measure = |cells: &[String], widths: &mut Vec<usize>| {
+            for (i, c) in cells.iter().enumerate() {
+                widths[i] = widths[i].max(c.chars().count());
+            }
+        };
+        measure(&self.headers, &mut widths);
+        for r in &self.rows {
+            if r.len() > 1 || r.first().map(String::as_str) != Some("--") {
+                measure(r, &mut widths);
+            }
+        }
+        let total: usize = widths.iter().sum::<usize>() + 3 * ncols.saturating_sub(1);
+        let mut out = String::new();
+        if !self.title.is_empty() {
+            out.push_str(&format!("== {} ==\n", self.title));
+        }
+        let fmt_row = |cells: &[String], widths: &[usize]| -> String {
+            let padded: Vec<String> = (0..widths.len())
+                .map(|i| {
+                    let cell = cells.get(i).map(String::as_str).unwrap_or("");
+                    format!("{:<width$}", cell, width = widths[i])
+                })
+                .collect();
+            padded.join(" | ").trim_end().to_string()
+        };
+        if !self.headers.is_empty() {
+            out.push_str(&fmt_row(&self.headers, &widths));
+            out.push('\n');
+            out.push_str(&"-".repeat(total));
+            out.push('\n');
+        }
+        for r in &self.rows {
+            if r.len() == 1 && r[0] == "--" {
+                out.push_str(&"-".repeat(total));
+            } else {
+                out.push_str(&fmt_row(r, &widths));
+            }
+            out.push('\n');
+        }
+        out
+    }
+}
+
+/// Format a percentage with one decimal (the paper's table style).
+pub fn pct(fraction: f64) -> String {
+    format!("{:.1}", fraction * 100.0)
+}
+
+/// Format a percentage with two decimals (BIRD style).
+pub fn pct2(fraction: f64) -> String {
+    format!("{:.2}", fraction * 100.0)
+}
+
+/// A serializable experiment record (one table cell / series point).
+#[derive(Debug, Clone, Serialize)]
+pub struct ExperimentRecord {
+    /// Experiment id (e.g. `table5`).
+    pub experiment: String,
+    /// The evaluated system's label.
+    pub system: String,
+    /// Dataset/split label.
+    pub dataset: String,
+    /// Metric name (`ex`, `ts`, `ves`, `he`, `auc`...).
+    pub metric: String,
+    /// Metric value (percent for accuracy metrics).
+    pub value: f64,
+    /// Number of evaluated samples.
+    pub n: usize,
+}
+
+/// Serialize records as pretty JSON (written next to EXPERIMENTS.md).
+pub fn records_to_json(records: &[ExperimentRecord]) -> String {
+    serde_json::to_string_pretty(records).expect("records serialize")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_renders_aligned() {
+        let mut t = TextTable::new("Demo").headers(&["model", "EX%", "TS%"]);
+        t.row_strs(&["CodeS-1B", "77.9", "72.2"]);
+        t.separator();
+        t.row_strs(&["CodeS-15B", "84.9", "79.4"]);
+        let s = t.render();
+        assert!(s.contains("== Demo =="));
+        assert!(s.contains("model     | EX%  | TS%"));
+        assert!(s.lines().count() >= 5);
+        // Alignment: both data rows have the separator at the same column.
+        let lines: Vec<&str> = s.lines().filter(|l| l.contains('|')).collect();
+        let pipe_pos: Vec<usize> = lines.iter().map(|l| l.find('|').unwrap()).collect();
+        assert!(pipe_pos.windows(2).all(|w| w[0] == w[1]));
+    }
+
+    #[test]
+    fn pct_formats() {
+        assert_eq!(pct(0.7234), "72.3");
+        assert_eq!(pct2(0.7234), "72.34");
+    }
+
+    #[test]
+    fn records_serialize() {
+        let records = vec![ExperimentRecord {
+            experiment: "table5".into(),
+            system: "SFT CodeS-7B".into(),
+            dataset: "spider-dev".into(),
+            metric: "EX".into(),
+            value: 85.4,
+            n: 1034,
+        }];
+        let json = records_to_json(&records);
+        assert!(json.contains("\"table5\""));
+        assert!(json.contains("85.4"));
+    }
+}

@@ -1,0 +1,277 @@
+//! Evaluation harness: run a [`CodesSystem`] over a sample set and compute
+//! EX / TS / VES / HE with per-hardness breakdowns, in parallel.
+
+use std::collections::HashMap;
+
+use codes::CodesSystem;
+use codes_datasets::{Hardness, Sample};
+use sqlengine::Database;
+
+use crate::metrics::{
+    execution_match, human_equivalent, test_suite_match, test_suite_variants, ves_component,
+};
+
+/// Which metrics to compute.
+#[derive(Debug, Clone, Copy)]
+pub struct EvalConfig {
+    /// Compute test-suite accuracy (multi-instance EX).
+    pub compute_ts: bool,
+    /// Number of database variants for TS.
+    pub ts_variants: usize,
+    /// Compute the valid efficiency score.
+    pub compute_ves: bool,
+    /// Compute the human-evaluation proxy.
+    pub compute_he: bool,
+    /// Cap on evaluated samples (None = all).
+    pub limit: Option<usize>,
+    /// Worker threads.
+    pub threads: usize,
+}
+
+impl Default for EvalConfig {
+    fn default() -> Self {
+        EvalConfig {
+            compute_ts: true,
+            ts_variants: 4,
+            compute_ves: true,
+            compute_he: false,
+            limit: None,
+            threads: num_threads(),
+        }
+    }
+}
+
+fn num_threads() -> usize {
+    std::thread::available_parallelism().map(|n| n.get()).unwrap_or(4).min(16)
+}
+
+/// Aggregate outcome of one evaluation run.
+#[derive(Debug, Clone, Default)]
+pub struct EvalOutcome {
+    /// Number of evaluated samples.
+    pub n: usize,
+    /// Execution accuracy in [0, 1].
+    pub ex: f64,
+    /// Test-suite accuracy in [0, 1].
+    pub ts: f64,
+    /// Mean valid efficiency score.
+    pub ves: f64,
+    /// Human-equivalence proxy in [0, 1].
+    pub he: f64,
+    /// Mean online latency per sample.
+    pub avg_latency_seconds: f64,
+    /// Mean prompt length (whitespace tokens).
+    pub avg_prompt_tokens: f64,
+    /// `(hardness, sample count, EX)` per Spider hardness level.
+    pub per_hardness: Vec<(Hardness, usize, f64)>,
+}
+
+impl EvalOutcome {
+    /// EX as a percentage.
+    pub fn ex_pct(&self) -> f64 {
+        self.ex * 100.0
+    }
+
+    /// TS as a percentage.
+    pub fn ts_pct(&self) -> f64 {
+        self.ts * 100.0
+    }
+
+    /// VES as a percentage.
+    pub fn ves_pct(&self) -> f64 {
+        self.ves * 100.0
+    }
+
+    /// HE as a percentage.
+    pub fn he_pct(&self) -> f64 {
+        self.he * 100.0
+    }
+}
+
+/// Per-sample evaluation record (also consumed by the bench harness for
+/// error analysis).
+#[derive(Debug, Clone)]
+pub struct SampleResult {
+    /// The evaluated question.
+    pub question: String,
+    /// Gold SQL.
+    pub gold: String,
+    /// Predicted SQL.
+    pub predicted: String,
+    /// Spider hardness of the gold query.
+    pub hardness: Hardness,
+    /// Execution match.
+    pub ex: bool,
+    /// Test-suite match (EX across all variants).
+    pub ts: bool,
+    /// Valid efficiency score (0 when wrong).
+    pub ves: f64,
+    /// Human-equivalence proxy.
+    pub he: bool,
+    /// Online latency of this inference.
+    pub latency_seconds: f64,
+    /// Prompt length (whitespace tokens).
+    pub prompt_tokens: usize,
+}
+
+/// Evaluate `system` on `samples` over the databases in `dbs`.
+pub fn evaluate(
+    system: &CodesSystem,
+    samples: &[Sample],
+    dbs: &[Database],
+    cfg: &EvalConfig,
+) -> (EvalOutcome, Vec<SampleResult>) {
+    let by_name: HashMap<&str, &Database> = dbs.iter().map(|d| (d.name.as_str(), d)).collect();
+    let limit = cfg.limit.unwrap_or(samples.len()).min(samples.len());
+    let samples = &samples[..limit];
+
+    // TS variants built once per database.
+    let variants: HashMap<&str, Vec<Database>> = if cfg.compute_ts {
+        by_name
+            .iter()
+            .map(|(name, db)| (*name, test_suite_variants(db, cfg.ts_variants, 0x7575)))
+            .collect()
+    } else {
+        HashMap::new()
+    };
+
+    let threads = cfg.threads.max(1);
+    let chunk = samples.len().div_ceil(threads).max(1);
+    let mut results: Vec<SampleResult> = Vec::with_capacity(samples.len());
+    crossbeam::thread::scope(|scope| {
+        let mut handles = Vec::new();
+        for part in samples.chunks(chunk) {
+            let by_name = &by_name;
+            let variants = &variants;
+            handles.push(scope.spawn(move |_| {
+                part.iter()
+                    .filter_map(|s| {
+                        let db = by_name.get(s.db_id.as_str())?;
+                        Some(eval_one(system, s, db, variants.get(s.db_id.as_str()), cfg))
+                    })
+                    .collect::<Vec<SampleResult>>()
+            }));
+        }
+        for h in handles {
+            results.extend(h.join().expect("eval worker panicked"));
+        }
+    })
+    .expect("eval scope failed");
+
+    (summarize(&results), results)
+}
+
+fn eval_one(
+    system: &CodesSystem,
+    sample: &Sample,
+    db: &Database,
+    variants: Option<&Vec<Database>>,
+    cfg: &EvalConfig,
+) -> SampleResult {
+    let inference = system.infer(db, &sample.question, sample.external_knowledge.as_deref());
+    let ex = execution_match(db, &inference.sql, &sample.sql);
+    let ts = match (cfg.compute_ts, variants) {
+        (true, Some(vs)) => ex && test_suite_match(db, vs, &inference.sql, &sample.sql),
+        _ => ex,
+    };
+    let ves = if cfg.compute_ves {
+        ves_component(db, &inference.sql, &sample.sql)
+    } else {
+        f64::from(ex)
+    };
+    let he = if cfg.compute_he {
+        human_equivalent(db, &inference.sql, &sample.sql)
+    } else {
+        ex
+    };
+    SampleResult {
+        question: sample.question.clone(),
+        gold: sample.sql.clone(),
+        predicted: inference.sql,
+        hardness: sample.hardness,
+        ex,
+        ts,
+        ves,
+        he,
+        latency_seconds: inference.latency_seconds,
+        prompt_tokens: inference.prompt_tokens,
+    }
+}
+
+fn summarize(results: &[SampleResult]) -> EvalOutcome {
+    let n = results.len();
+    if n == 0 {
+        return EvalOutcome::default();
+    }
+    let frac = |f: &dyn Fn(&SampleResult) -> f64| results.iter().map(f).sum::<f64>() / n as f64;
+    let mut per_hardness: HashMap<Hardness, (usize, usize)> = HashMap::new();
+    for r in results {
+        let e = per_hardness.entry(r.hardness).or_insert((0, 0));
+        e.0 += 1;
+        e.1 += usize::from(r.ex);
+    }
+    let mut per_hardness: Vec<(Hardness, usize, f64)> = per_hardness
+        .into_iter()
+        .map(|(h, (count, correct))| (h, count, correct as f64 / count as f64))
+        .collect();
+    per_hardness.sort_by_key(|(h, _, _)| *h);
+    EvalOutcome {
+        n,
+        ex: frac(&|r| f64::from(r.ex)),
+        ts: frac(&|r| f64::from(r.ts)),
+        ves: frac(&|r| r.ves),
+        he: frac(&|r| f64::from(r.he)),
+        avg_latency_seconds: frac(&|r| r.latency_seconds),
+        avg_prompt_tokens: frac(&|r| r.prompt_tokens as f64),
+        per_hardness,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use codes::{pretrain, CodesModel, PretrainConfig, PromptOptions, SketchCatalog};
+    use std::sync::Arc;
+
+    fn mini_system_and_bench() -> (CodesSystem, codes_datasets::Benchmark) {
+        let mut cfg = codes_datasets::BenchmarkConfig::spider(61);
+        cfg.train_samples_per_db = 10;
+        cfg.dev_samples_per_db = 4;
+        let bench = codes_datasets::build_benchmark("mini", &cfg);
+        let catalog = Arc::new(SketchCatalog::build());
+        let spec = codes::table4_models()
+            .into_iter()
+            .find(|m| m.name == "CodeS-7B")
+            .unwrap();
+        let lm = pretrain(&catalog, &spec, &PretrainConfig { scale: 10, seed: 3 });
+        let mut sys = CodesSystem::new(CodesModel::new(lm, catalog), PromptOptions::sft());
+        sys.prepare_databases(bench.databases.iter());
+        sys.finetune_on(&bench);
+        (sys, bench)
+    }
+
+    #[test]
+    fn evaluation_produces_consistent_summary() {
+        let (sys, bench) = mini_system_and_bench();
+        let cfg = EvalConfig { limit: Some(16), ts_variants: 2, compute_he: true, ..Default::default() };
+        let (outcome, results) = evaluate(&sys, &bench.dev, &bench.databases, &cfg);
+        assert_eq!(outcome.n, results.len());
+        assert!(outcome.n >= 12);
+        // Invariants: TS <= EX <= HE (TS is stricter, HE is looser).
+        assert!(outcome.ts <= outcome.ex + 1e-12, "ts {} ex {}", outcome.ts, outcome.ex);
+        assert!(outcome.ex <= outcome.he + 1e-12, "ex {} he {}", outcome.ex, outcome.he);
+        assert!((0.0..=1.0).contains(&outcome.ex));
+        let hard_n: usize = outcome.per_hardness.iter().map(|(_, c, _)| c).sum();
+        assert_eq!(hard_n, outcome.n);
+    }
+
+    #[test]
+    fn deterministic_across_runs() {
+        let (sys, bench) = mini_system_and_bench();
+        let cfg = EvalConfig { limit: Some(10), compute_ts: false, ..Default::default() };
+        let (a, _) = evaluate(&sys, &bench.dev, &bench.databases, &cfg);
+        let (b, _) = evaluate(&sys, &bench.dev, &bench.databases, &cfg);
+        assert_eq!(a.ex, b.ex);
+        assert_eq!(a.ves, b.ves);
+    }
+}

@@ -1,0 +1,190 @@
+//! Feature extraction for the schema-item classifier.
+//!
+//! The paper trains a compact neural classifier (following RESDSQL) that
+//! scores every table and column of a database against the question. Our
+//! substitute is a logistic-regression model over hand-crafted similarity
+//! features; the features read the same signals the neural encoder would:
+//! name overlap, comment overlap (§6.3(2)), value hits and key structure.
+
+use codes_nlp::similarity::{dice_char_bigrams, jaccard_words, word_coverage};
+use codes_nlp::{match_degree, normalize_identifier, words};
+use sqlengine::{Column, Database, Table};
+
+/// Number of features per column candidate.
+pub const COLUMN_FEATURES: usize = 10;
+/// Number of features per table candidate.
+pub const TABLE_FEATURES: usize = 8;
+
+/// Best per-word dice similarity between question words and a name's words.
+fn best_word_dice(question_words: &[String], name: &str) -> f64 {
+    let name_words = words(name);
+    let mut best = 0.0f64;
+    for nw in &name_words {
+        for qw in question_words {
+            let d = dice_char_bigrams(nw, qw);
+            if d > best {
+                best = d;
+            }
+        }
+    }
+    best
+}
+
+/// Features of one column against a question (optionally question + EK).
+pub fn column_features(question: &str, table: &Table, column: &Column) -> [f64; COLUMN_FEATURES] {
+    let qwords = words(question);
+    let name_nl = normalize_identifier(&column.name);
+    let comment = column.comment.as_deref().unwrap_or("");
+    let is_fk = table
+        .schema
+        .foreign_keys
+        .iter()
+        .any(|fk| fk.column.eq_ignore_ascii_case(&column.name));
+    // Value hit: strongest LCS matching degree of any representative value
+    // of this column against the question. The expensive LCS only runs for
+    // values whose 3-char prefix occurs in the question — a sound shortcut
+    // because a full-degree match always contains the prefix.
+    let lower_q = question.to_lowercase();
+    let value_hit = table
+        .representative_values_capped(&column.name, 16, 400)
+        .iter()
+        .map(|v| {
+            let text = v.render();
+            let text = text.trim();
+            let prefix: String = text.chars().take(3).flat_map(char::to_lowercase).collect();
+            if prefix.is_empty() || !lower_q.contains(&prefix) {
+                0.0
+            } else {
+                match_degree(question, text)
+            }
+        })
+        .fold(0.0f64, f64::max);
+    [
+        jaccard_words(question, &name_nl),
+        word_coverage(question, &name_nl),
+        best_word_dice(&qwords, &name_nl),
+        if comment.is_empty() { 0.0 } else { jaccard_words(question, comment) },
+        if comment.is_empty() { 0.0 } else { word_coverage(question, comment) },
+        if comment.is_empty() { 0.0 } else { best_word_dice(&qwords, comment) },
+        value_hit,
+        f64::from(column.primary_key),
+        f64::from(is_fk),
+        f64::from(column.data_type.is_numeric()),
+    ]
+}
+
+/// Features of one table against a question.
+pub fn table_features(question: &str, db: &Database, table: &Table) -> [f64; TABLE_FEATURES] {
+    let qwords = words(question);
+    let name_nl = normalize_identifier(&table.schema.name);
+    // Aggregate the column signals: the best column similarity is strong
+    // evidence the table is needed.
+    let mut best_col_name = 0.0f64;
+    let mut best_col_comment = 0.0f64;
+    let mut best_value_hit = 0.0f64;
+    for c in &table.schema.columns {
+        let f = column_features(question, table, c);
+        best_col_name = best_col_name.max(f[2]);
+        best_col_comment = best_col_comment.max(f[5]);
+        best_value_hit = best_value_hit.max(f[6]);
+    }
+    // Is this table referenced by / referencing other question-similar
+    // tables? Cheap proxy: FK degree normalized.
+    let fk_degree = (table.schema.foreign_keys.len()
+        + db
+            .foreign_keys()
+            .iter()
+            .filter(|(_, fk)| fk.ref_table.eq_ignore_ascii_case(&table.schema.name))
+            .count()) as f64;
+    [
+        jaccard_words(question, &name_nl),
+        word_coverage(question, &name_nl),
+        best_word_dice(&qwords, &name_nl),
+        best_col_name,
+        best_col_comment,
+        best_value_hit,
+        (fk_degree / 4.0).min(1.0),
+        (table.schema.columns.len() as f64 / 32.0).min(1.0),
+    ]
+}
+
+/// The classifier input text: question, with external knowledge appended
+/// when available (the paper's "BIRD w/ EK" condition).
+pub fn classifier_input(question: &str, external_knowledge: Option<&str>) -> String {
+    match external_knowledge {
+        Some(ek) if !ek.is_empty() => format!("{question} {ek}"),
+        _ => question.to_string(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sqlengine::database_from_script;
+
+    fn db() -> Database {
+        database_from_script(
+            "d",
+            "CREATE TABLE singer (singer_id INTEGER PRIMARY KEY, name TEXT, country TEXT, im TEXT COMMENT 'whether the singer is male');
+             CREATE TABLE concert (concert_id INTEGER PRIMARY KEY, singer_id INTEGER REFERENCES singer(singer_id), year INTEGER);
+             INSERT INTO singer VALUES (1, 'Joe', 'France', 'T');
+             INSERT INTO concert VALUES (1, 1, 2014);",
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn name_match_raises_column_features() {
+        let db = db();
+        let t = db.table("singer").unwrap();
+        let country = t.schema.column("country").unwrap();
+        let hit = column_features("singers from which country", t, country);
+        let miss = column_features("how many concerts in 2014", t, country);
+        assert!(hit[0] > miss[0] || hit[2] > miss[2]);
+    }
+
+    #[test]
+    fn comment_features_fire_for_ambiguous_columns() {
+        let db = db();
+        let t = db.table("singer").unwrap();
+        let im = t.schema.column("im").unwrap();
+        let f = column_features("is the singer male", t, im);
+        assert!(f[4] > 0.5, "comment coverage should be high: {f:?}");
+        // Name-only features are near zero for the cryptic name.
+        assert!(f[0] < 0.2);
+    }
+
+    #[test]
+    fn value_hit_feature() {
+        let db = db();
+        let t = db.table("singer").unwrap();
+        let country = t.schema.column("country").unwrap();
+        let f = column_features("singers from France", t, country);
+        assert!((f[6] - 1.0).abs() < 1e-9, "France should fully match: {f:?}");
+    }
+
+    #[test]
+    fn table_features_reflect_question() {
+        let db = db();
+        let singer = table_features("how many singers", &db, db.table("singer").unwrap());
+        let concert = table_features("how many singers", &db, db.table("concert").unwrap());
+        assert!(singer[2] > concert[2]);
+    }
+
+    #[test]
+    fn ek_appends_to_input() {
+        assert_eq!(classifier_input("q", None), "q");
+        assert_eq!(classifier_input("q", Some("k")), "q k");
+        assert_eq!(classifier_input("q", Some("")), "q");
+    }
+
+    #[test]
+    fn structural_flags() {
+        let db = db();
+        let concert = db.table("concert").unwrap();
+        let f_pk = column_features("x", concert, concert.schema.column("concert_id").unwrap());
+        assert_eq!(f_pk[7], 1.0);
+        let f_fk = column_features("x", concert, concert.schema.column("singer_id").unwrap());
+        assert_eq!(f_fk[8], 1.0);
+    }
+}

@@ -1,0 +1,15 @@
+#![warn(missing_docs)]
+
+//! # codes-linker
+//!
+//! Schema linking for the CodeS reproduction: a trainable schema-item
+//! classifier (features + logistic regression + AUC evaluation, Table 3 of
+//! the paper) and the §6.1 schema filter with train-time padding.
+
+pub mod classifier;
+pub mod features;
+pub mod filter;
+
+pub use classifier::{auc, train_logreg, LogReg, SchemaClassifier};
+pub use features::{classifier_input, column_features, table_features};
+pub use filter::{filter_schema, filter_schema_gold, FilterConfig, FilteredSchema, FilteredTable};

@@ -1,0 +1,228 @@
+//! A trainable byte-pair-encoding tokenizer.
+//!
+//! CodeS inherits StarCoder's 49,152-token BPE vocabulary; this module is
+//! the corresponding substrate: it learns merges from a corpus and encodes
+//! text into subword ids that the n-gram language model consumes. Vocabulary
+//! size is one of the capacity knobs of the simulated model sizes.
+
+use std::collections::HashMap;
+
+/// Token id type.
+pub type TokenId = u32;
+
+/// A trained BPE tokenizer.
+#[derive(Debug, Clone)]
+pub struct Bpe {
+    /// token string -> id
+    vocab: HashMap<String, TokenId>,
+    /// id -> token string
+    tokens: Vec<String>,
+    /// Ordered merge rules: (left, right) -> merged id, rank = position.
+    merges: HashMap<(TokenId, TokenId), (TokenId, usize)>,
+    /// Id reserved for unknown bytes.
+    unk: TokenId,
+}
+
+impl Bpe {
+    /// Train a tokenizer on `corpus` with at most `vocab_size` entries.
+    /// Training operates on whitespace-delimited words with a `</w>` end
+    /// marker so merges never cross word boundaries.
+    pub fn train(corpus: &[&str], vocab_size: usize) -> Bpe {
+        // 1. Base vocabulary: every character observed plus <unk>.
+        let mut tokens: Vec<String> = vec!["<unk>".to_string()];
+        let mut vocab: HashMap<String, TokenId> = HashMap::new();
+        vocab.insert("<unk>".into(), 0);
+        let mut word_counts: HashMap<Vec<TokenId>, u64> = HashMap::new();
+        let intern = |s: String, tokens: &mut Vec<String>, vocab: &mut HashMap<String, TokenId>| -> TokenId {
+            if let Some(&id) = vocab.get(&s) {
+                return id;
+            }
+            let id = tokens.len() as TokenId;
+            vocab.insert(s.clone(), id);
+            tokens.push(s);
+            id
+        };
+        for text in corpus {
+            for word in text.split_whitespace() {
+                let mut seq: Vec<TokenId> = Vec::with_capacity(word.len() + 1);
+                for ch in word.chars() {
+                    seq.push(intern(ch.to_string(), &mut tokens, &mut vocab));
+                }
+                seq.push(intern("</w>".into(), &mut tokens, &mut vocab));
+                *word_counts.entry(seq).or_insert(0) += 1;
+            }
+        }
+
+        // 2. Iteratively merge the most frequent adjacent pair.
+        let mut merges: HashMap<(TokenId, TokenId), (TokenId, usize)> = HashMap::new();
+        let mut rank = 0usize;
+        while tokens.len() < vocab_size {
+            let mut pair_counts: HashMap<(TokenId, TokenId), u64> = HashMap::new();
+            for (seq, count) in &word_counts {
+                for w in seq.windows(2) {
+                    *pair_counts.entry((w[0], w[1])).or_insert(0) += count;
+                }
+            }
+            // Deterministic tie-break: highest count, then smallest ids.
+            let Some((&best_pair, &best_count)) = pair_counts
+                .iter()
+                .max_by_key(|(pair, count)| (*count, std::cmp::Reverse(**pair)))
+            else {
+                break;
+            };
+            if best_count < 2 {
+                break;
+            }
+            let merged_str = format!("{}{}", tokens[best_pair.0 as usize], tokens[best_pair.1 as usize]);
+            let merged_id = intern(merged_str, &mut tokens, &mut vocab);
+            merges.insert(best_pair, (merged_id, rank));
+            rank += 1;
+            // Apply the merge to every word.
+            let old: Vec<(Vec<TokenId>, u64)> = word_counts.drain().collect();
+            for (seq, count) in old {
+                let merged = apply_merge(&seq, best_pair, merged_id);
+                *word_counts.entry(merged).or_insert(0) += count;
+            }
+        }
+
+        Bpe { vocab, tokens, merges, unk: 0 }
+    }
+
+    /// Encode text into token ids.
+    pub fn encode(&self, text: &str) -> Vec<TokenId> {
+        let mut out = Vec::new();
+        for word in text.split_whitespace() {
+            let mut seq: Vec<TokenId> = word
+                .chars()
+                .map(|c| self.vocab.get(&c.to_string()).copied().unwrap_or(self.unk))
+                .collect();
+            if let Some(&end) = self.vocab.get("</w>") {
+                seq.push(end);
+            }
+            // Repeatedly apply the lowest-rank applicable merge.
+            loop {
+                let mut best: Option<(usize, (TokenId, usize))> = None; // (pos, (merged, rank))
+                for (i, w) in seq.windows(2).enumerate() {
+                    if let Some(&m) = self.merges.get(&(w[0], w[1])) {
+                        if best.map(|(_, (_, r))| m.1 < r).unwrap_or(true) {
+                            best = Some((i, m));
+                        }
+                    }
+                }
+                match best {
+                    Some((pos, (merged, _))) => {
+                        seq[pos] = merged;
+                        seq.remove(pos + 1);
+                    }
+                    None => break,
+                }
+            }
+            out.extend(seq);
+        }
+        out
+    }
+
+    /// Decode ids back to a string (lossy for unknown tokens).
+    pub fn decode(&self, ids: &[TokenId]) -> String {
+        let mut s = String::new();
+        for &id in ids {
+            match self.tokens.get(id as usize) {
+                Some(t) if t == "<unk>" => s.push('\u{FFFD}'),
+                // `</w>` markers may be embedded in merged tokens.
+                Some(t) => s.push_str(&t.replace("</w>", " ")),
+                None => s.push('\u{FFFD}'),
+            }
+        }
+        s.trim_end().to_string()
+    }
+
+    /// Number of tokens in the vocabulary (chars + merges + <unk>).
+    pub fn vocab_size(&self) -> usize {
+        self.tokens.len()
+    }
+
+    /// The surface string of a token id.
+    pub fn token_str(&self, id: TokenId) -> Option<&str> {
+        self.tokens.get(id as usize).map(String::as_str)
+    }
+}
+
+fn apply_merge(seq: &[TokenId], pair: (TokenId, TokenId), merged: TokenId) -> Vec<TokenId> {
+    let mut out = Vec::with_capacity(seq.len());
+    let mut i = 0;
+    while i < seq.len() {
+        if i + 1 < seq.len() && seq[i] == pair.0 && seq[i + 1] == pair.1 {
+            out.push(merged);
+            i += 2;
+        } else {
+            out.push(seq[i]);
+            i += 1;
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_corpus() -> Vec<&'static str> {
+        vec![
+            "select name from users where age > 10",
+            "select count ( * ) from users",
+            "select name from orders where total > 10",
+            "select avg ( age ) from users group by name",
+        ]
+    }
+
+    #[test]
+    fn training_grows_vocabulary_with_merges() {
+        let corpus = sample_corpus();
+        let small = Bpe::train(&corpus, 30);
+        let large = Bpe::train(&corpus, 120);
+        assert!(large.vocab_size() > small.vocab_size());
+        assert!(large.vocab_size() <= 120);
+    }
+
+    #[test]
+    fn frequent_words_become_single_tokens() {
+        let corpus = sample_corpus();
+        let bpe = Bpe::train(&corpus, 200);
+        let ids = bpe.encode("select");
+        assert_eq!(ids.len(), 1, "'select' should be one token, got {ids:?}");
+    }
+
+    #[test]
+    fn encode_decode_roundtrip() {
+        let corpus = sample_corpus();
+        let bpe = Bpe::train(&corpus, 150);
+        for text in ["select name from users", "avg age group by name"] {
+            assert_eq!(bpe.decode(&bpe.encode(text)), text);
+        }
+    }
+
+    #[test]
+    fn unknown_characters_map_to_unk() {
+        let corpus = sample_corpus();
+        let bpe = Bpe::train(&corpus, 100);
+        let ids = bpe.encode("日本");
+        assert!(ids.contains(&0));
+    }
+
+    #[test]
+    fn larger_vocab_produces_shorter_encodings() {
+        let corpus = sample_corpus();
+        let small = Bpe::train(&corpus, 40);
+        let large = Bpe::train(&corpus, 300);
+        let text = "select count ( * ) from users where age > 10";
+        assert!(large.encode(text).len() <= small.encode(text).len());
+    }
+
+    #[test]
+    fn training_is_deterministic() {
+        let corpus = sample_corpus();
+        let a = Bpe::train(&corpus, 100);
+        let b = Bpe::train(&corpus, 100);
+        assert_eq!(a.encode("select name from users"), b.encode("select name from users"));
+    }
+}

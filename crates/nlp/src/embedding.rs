@@ -1,0 +1,203 @@
+//! Hashed TF-IDF sentence embeddings — the SimCSE substitute.
+//!
+//! The demonstration retriever (§8.2) needs a sentence-similarity function
+//! `sentsim(a, b)`. We embed sentences into a fixed-dimension vector via
+//! feature hashing of word unigrams, word bigrams and character trigrams,
+//! weighted by inverse document frequency learned with [`EmbedderBuilder`].
+//! Cosine similarity of these vectors ranks paraphrases far above unrelated
+//! sentences, which is the only property the pipeline relies on. The
+//! embedding dimension is a capacity knob of the simulated model sizes.
+
+use std::collections::HashMap;
+
+use crate::tokenize::{char_ngrams, words};
+
+/// Learns document frequencies, then produces an [`Embedder`].
+#[derive(Debug, Default)]
+pub struct EmbedderBuilder {
+    doc_freq: HashMap<String, u32>,
+    docs: u32,
+}
+
+impl EmbedderBuilder {
+    /// An empty builder with no observed documents.
+    pub fn new() -> EmbedderBuilder {
+        EmbedderBuilder::default()
+    }
+
+    /// Observe one document for IDF statistics.
+    pub fn observe(&mut self, text: &str) {
+        self.docs += 1;
+        let mut seen = std::collections::HashSet::new();
+        for f in features(text) {
+            if seen.insert(f.clone()) {
+                *self.doc_freq.entry(f).or_insert(0) += 1;
+            }
+        }
+    }
+
+    /// Finish training; `dim` is the embedding dimensionality.
+    pub fn build(self, dim: usize) -> Embedder {
+        Embedder {
+            dim: dim.max(8),
+            doc_freq: self.doc_freq,
+            docs: self.docs.max(1),
+        }
+    }
+}
+
+/// A fitted sentence embedder.
+#[derive(Debug, Clone)]
+pub struct Embedder {
+    dim: usize,
+    doc_freq: HashMap<String, u32>,
+    docs: u32,
+}
+
+impl Embedder {
+    /// An untrained embedder (uniform IDF); useful in tests.
+    pub fn untrained(dim: usize) -> Embedder {
+        Embedder { dim: dim.max(8), doc_freq: HashMap::new(), docs: 1 }
+    }
+
+    /// The embedding dimensionality.
+    pub fn dim(&self) -> usize {
+        self.dim
+    }
+
+    /// Embed a sentence into an L2-normalized vector.
+    pub fn embed(&self, text: &str) -> Vec<f32> {
+        let mut v = vec![0f32; self.dim];
+        for f in features(text) {
+            let idf = self.idf(&f);
+            let h = fxhash(&f);
+            let idx = (h as usize) % self.dim;
+            // Second hash decides the sign, reducing collision bias.
+            let sign = if (h >> 32) & 1 == 0 { 1.0 } else { -1.0 };
+            v[idx] += sign * idf;
+        }
+        let norm: f32 = v.iter().map(|x| x * x).sum::<f32>().sqrt();
+        if norm > 0.0 {
+            for x in &mut v {
+                *x /= norm;
+            }
+        }
+        v
+    }
+
+    /// Cosine similarity of two sentences in [-1, 1].
+    pub fn similarity(&self, a: &str, b: &str) -> f32 {
+        cosine(&self.embed(a), &self.embed(b))
+    }
+
+    fn idf(&self, feature: &str) -> f32 {
+        let df = self.doc_freq.get(feature).copied().unwrap_or(0) as f32;
+        ((self.docs as f32 + 1.0) / (df + 1.0)).ln() + 1.0
+    }
+}
+
+/// Cosine similarity of two equal-length vectors.
+pub fn cosine(a: &[f32], b: &[f32]) -> f32 {
+    debug_assert_eq!(a.len(), b.len());
+    let dot: f32 = a.iter().zip(b).map(|(x, y)| x * y).sum();
+    let na: f32 = a.iter().map(|x| x * x).sum::<f32>().sqrt();
+    let nb: f32 = b.iter().map(|x| x * x).sum::<f32>().sqrt();
+    if na == 0.0 || nb == 0.0 {
+        0.0
+    } else {
+        dot / (na * nb)
+    }
+}
+
+fn features(text: &str) -> Vec<String> {
+    let ws = words(text);
+    let mut out = Vec::with_capacity(ws.len() * 3);
+    for w in &ws {
+        out.push(format!("w:{w}"));
+        for g in char_ngrams(w, 3) {
+            out.push(format!("c:{g}"));
+        }
+    }
+    for pair in ws.windows(2) {
+        out.push(format!("b:{} {}", pair[0], pair[1]));
+    }
+    out
+}
+
+/// FxHash-style 64-bit string hash (deterministic across runs).
+fn fxhash(s: &str) -> u64 {
+    const SEED: u64 = 0x51_7c_c1_b7_27_22_0a_95;
+    let mut h: u64 = 0;
+    for b in s.as_bytes() {
+        h = (h.rotate_left(5) ^ (*b as u64)).wrapping_mul(SEED);
+    }
+    h
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn trained() -> Embedder {
+        let mut b = EmbedderBuilder::new();
+        for doc in [
+            "how many singers do we have",
+            "show the name of all singers",
+            "what is the average age of students",
+            "list the capacity of each stadium",
+            "count the number of concerts in 2014",
+        ] {
+            b.observe(doc);
+        }
+        b.build(256)
+    }
+
+    #[test]
+    fn identical_sentences_have_similarity_one() {
+        let e = trained();
+        let s = e.similarity("how many singers do we have", "how many singers do we have");
+        assert!((s - 1.0).abs() < 1e-5);
+    }
+
+    #[test]
+    fn paraphrases_beat_unrelated() {
+        let e = trained();
+        let para = e.similarity("how many singers do we have", "count the number of singers");
+        let unrelated = e.similarity("how many singers do we have", "list the capacity of each stadium");
+        assert!(para > unrelated, "para={para} unrelated={unrelated}");
+    }
+
+    #[test]
+    fn embeddings_are_normalized() {
+        let e = trained();
+        let v = e.embed("show all stadium names");
+        let norm: f32 = v.iter().map(|x| x * x).sum::<f32>().sqrt();
+        assert!((norm - 1.0).abs() < 1e-5);
+    }
+
+    #[test]
+    fn empty_text_yields_zero_vector() {
+        let e = Embedder::untrained(64);
+        let v = e.embed("");
+        assert!(v.iter().all(|&x| x == 0.0));
+        assert_eq!(e.similarity("", "anything"), 0.0);
+    }
+
+    #[test]
+    fn cosine_basics() {
+        assert!((cosine(&[1.0, 0.0], &[1.0, 0.0]) - 1.0).abs() < 1e-6);
+        assert!(cosine(&[1.0, 0.0], &[0.0, 1.0]).abs() < 1e-6);
+        assert!((cosine(&[1.0, 0.0], &[-1.0, 0.0]) + 1.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn larger_dimension_reduces_collisions() {
+        // With a tiny dimension, two different sentences are more likely to
+        // collide; check that a large dimension keeps them further apart.
+        let small = Embedder::untrained(8);
+        let large = Embedder::untrained(1024);
+        let a = "singers from france";
+        let b = "maximum stadium capacity";
+        assert!(large.similarity(a, b).abs() <= small.similarity(a, b).abs() + 0.2);
+    }
+}

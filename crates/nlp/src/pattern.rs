@@ -1,0 +1,134 @@
+//! Question-pattern extraction: the entity stripper behind the
+//! question-pattern-aware demonstration retriever (§8.2, Eq. 4).
+//!
+//! The paper uses nltk to remove entities so that "singers born in 1948 or
+//! 1949" retrieves structurally similar demonstrations like "members from
+//! either 'United States' or 'Canada'". We replicate the behaviour with
+//! deterministic heuristics: quoted spans, numbers, and capitalized tokens
+//! that are not sentence-initial are treated as entities.
+
+use crate::tokenize::words_cased;
+
+/// Extract the entity-free pattern of a question. Entities are replaced by
+/// a `_` placeholder; adjacent placeholders collapse.
+pub fn question_pattern(question: &str) -> String {
+    // 1. Mask quoted spans wholesale.
+    let masked = mask_quoted(question);
+    // 2. Token-level decisions.
+    let tokens = words_cased(&masked);
+    let mut out: Vec<String> = Vec::with_capacity(tokens.len());
+    let mut sentence_start = true;
+    for tok in &tokens {
+        let is_entity = tok == QUOTE_SENTINEL || is_number(tok) || (is_capitalized(tok) && !sentence_start);
+        if is_entity {
+            if out.last().map(String::as_str) != Some("_") {
+                out.push("_".to_string());
+            }
+        } else {
+            out.push(tok.to_lowercase());
+        }
+        sentence_start = false;
+    }
+    out.join(" ")
+}
+
+/// Token standing in for a masked quoted span; chosen so `words_cased`
+/// keeps it intact and no natural question contains it.
+const QUOTE_SENTINEL: &str = "QUOTEDSPAN0";
+
+fn mask_quoted(text: &str) -> String {
+    let mut out = String::with_capacity(text.len());
+    let mut in_quote: Option<char> = None;
+    for c in text.chars() {
+        match in_quote {
+            Some(q) if c == q => {
+                in_quote = None;
+                out.push(' ');
+                out.push_str(QUOTE_SENTINEL);
+                out.push(' ');
+            }
+            Some(_) => {}
+            None => {
+                if c == '"' || c == '\u{2018}' || c == '\u{201C}' {
+                    in_quote = Some(match c {
+                        '"' => '"',
+                        '\u{2018}' => '\u{2019}',
+                        _ => '\u{201D}',
+                    });
+                } else if c == '\'' && (out.is_empty() || out.ends_with(|p: char| !p.is_alphanumeric())) {
+                    // Opening single quote only when not an apostrophe.
+                    in_quote = Some('\'');
+                } else {
+                    out.push(c);
+                }
+            }
+        }
+    }
+    out
+}
+
+fn is_number(tok: &str) -> bool {
+    !tok.is_empty() && tok.chars().all(|c| c.is_ascii_digit() || c == '.' || c == ',')
+        && tok.chars().any(|c| c.is_ascii_digit())
+}
+
+fn is_capitalized(tok: &str) -> bool {
+    tok.chars().next().is_some_and(char::is_uppercase)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn numbers_become_placeholders() {
+        assert_eq!(
+            question_pattern("Show singers born in 1948 or 1949"),
+            "show singers born in _ or _"
+        );
+    }
+
+    #[test]
+    fn quoted_entities_masked() {
+        assert_eq!(
+            question_pattern("Show the names of members from either 'United States' or 'Canada'"),
+            "show the names of members from either _ or _"
+        );
+    }
+
+    #[test]
+    fn mid_sentence_capitals_are_entities() {
+        assert_eq!(
+            question_pattern("How many clients opened accounts in Jesenik branch?"),
+            "how many clients opened accounts in _ branch"
+        );
+    }
+
+    #[test]
+    fn sentence_initial_capital_kept() {
+        assert_eq!(question_pattern("What is the average age?"), "what is the average age");
+    }
+
+    #[test]
+    fn paraphrases_share_patterns() {
+        let a = question_pattern("Find singers born in 1948 or 1949");
+        let b = question_pattern("Find members from either 'US' or 'Canada'");
+        // Same tail structure after the verb.
+        assert!(a.ends_with("_ or _"));
+        assert!(b.ends_with("_ or _"));
+    }
+
+    #[test]
+    fn adjacent_entities_collapse() {
+        assert_eq!(
+            question_pattern("List concerts in 2014 2015"),
+            "list concerts in _"
+        );
+    }
+
+    #[test]
+    fn decimal_and_grouped_numbers() {
+        assert_eq!(question_pattern("price above 10.5"), "price above _");
+        assert_eq!(question_pattern("population above 1,000,000"), "population above _");
+    }
+}

@@ -1,0 +1,129 @@
+//! Word- and character-level tokenization utilities shared by the
+//! retrieval, linking and modeling crates.
+
+/// Lower-cased word tokens: maximal runs of alphanumeric characters.
+/// Underscored identifiers are additionally split on `_` so that schema
+/// names like `singer_in_concert` align with question words.
+pub fn words(text: &str) -> Vec<String> {
+    let mut out = Vec::new();
+    let mut current = String::new();
+    for c in text.chars() {
+        if c.is_alphanumeric() {
+            current.extend(c.to_lowercase());
+        } else if !current.is_empty() {
+            push_split_camel(&mut out, &current);
+            current.clear();
+        }
+    }
+    if !current.is_empty() {
+        push_split_camel(&mut out, &current);
+    }
+    out
+}
+
+fn push_split_camel(out: &mut Vec<String>, token: &str) {
+    // The input is already lower-cased; we only split digit/letter
+    // boundaries here ("top5" -> "top", "5").
+    let mut cur = String::new();
+    let mut last_digit = None;
+    for c in token.chars() {
+        let is_digit = c.is_ascii_digit();
+        if let Some(prev) = last_digit {
+            if prev != is_digit && !cur.is_empty() {
+                out.push(std::mem::take(&mut cur));
+            }
+        }
+        cur.push(c);
+        last_digit = Some(is_digit);
+    }
+    if !cur.is_empty() {
+        out.push(cur);
+    }
+}
+
+/// Tokens including the original casing, used by entity detection.
+pub fn words_cased(text: &str) -> Vec<String> {
+    let mut out = Vec::new();
+    let mut current = String::new();
+    for c in text.chars() {
+        if c.is_alphanumeric() || c == '\'' {
+            current.push(c);
+        } else if !current.is_empty() {
+            out.push(std::mem::take(&mut current));
+        }
+    }
+    if !current.is_empty() {
+        out.push(current);
+    }
+    out
+}
+
+/// Normalize an identifier (table/column name) to space-separated words:
+/// `stuName` / `stu_name` / `STU NAME` all become `stu name`.
+pub fn normalize_identifier(name: &str) -> String {
+    let mut parts: Vec<String> = Vec::new();
+    let mut cur = String::new();
+    let mut prev_lower = false;
+    for c in name.chars() {
+        if c == '_' || c == ' ' || c == '-' || c == '.' {
+            if !cur.is_empty() {
+                parts.push(std::mem::take(&mut cur));
+            }
+            prev_lower = false;
+            continue;
+        }
+        if c.is_uppercase() && prev_lower {
+            parts.push(std::mem::take(&mut cur));
+        }
+        prev_lower = c.is_lowercase() || c.is_ascii_digit();
+        cur.extend(c.to_lowercase());
+    }
+    if !cur.is_empty() {
+        parts.push(cur);
+    }
+    parts.join(" ")
+}
+
+/// Character n-grams of the lower-cased text (with boundary padding `#`).
+pub fn char_ngrams(text: &str, n: usize) -> Vec<String> {
+    let padded: Vec<char> = std::iter::once('#')
+        .chain(text.to_lowercase().chars())
+        .chain(std::iter::once('#'))
+        .collect();
+    if padded.len() < n {
+        return vec![padded.iter().collect()];
+    }
+    padded.windows(n).map(|w| w.iter().collect()).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn words_lowercase_and_split() {
+        assert_eq!(words("How many singers do we have?"), vec!["how", "many", "singers", "do", "we", "have"]);
+        assert_eq!(words("singer_in_concert"), vec!["singer", "in", "concert"]);
+        assert_eq!(words("top5 results"), vec!["top", "5", "results"]);
+    }
+
+    #[test]
+    fn cased_words_keep_apostrophes() {
+        assert_eq!(words_cased("O'Brien went"), vec!["O'Brien", "went"]);
+    }
+
+    #[test]
+    fn identifier_normalization() {
+        assert_eq!(normalize_identifier("stuName"), "stu name");
+        assert_eq!(normalize_identifier("stu_name"), "stu name");
+        assert_eq!(normalize_identifier("STU-NAME"), "stu name");
+        assert_eq!(normalize_identifier("hireDate2009"), "hire date2009");
+    }
+
+    #[test]
+    fn char_ngrams_padded() {
+        let grams = char_ngrams("ab", 3);
+        assert_eq!(grams, vec!["#ab", "ab#"]);
+        assert_eq!(char_ngrams("", 3), vec!["##"]);
+    }
+}

@@ -1,0 +1,20 @@
+#![warn(missing_docs)]
+
+//! # codes-retrieval
+//!
+//! Retrieval substrates for the CodeS reproduction:
+//!
+//! * [`bm25`] — a from-scratch inverted-index BM25 engine (the Lucene
+//!   substitute of §6.2);
+//! * [`value_index`] — the coarse-to-fine (BM25 → LCS) database value
+//!   retriever that feeds `table.column = 'value'` hints into prompts;
+//! * [`demo`] — the question-pattern-aware demonstration retriever used by
+//!   few-shot in-context learning (§8.2, Eq. 4).
+
+pub mod bm25;
+pub mod demo;
+pub mod value_index;
+
+pub use bm25::{Bm25Index, SearchHit};
+pub use demo::{DemoRetriever, DemoStrategy};
+pub use value_index::{ValueIndex, ValueMatch};

@@ -1,0 +1,84 @@
+//! Error types shared across the engine.
+
+use std::fmt;
+
+/// Convenient result alias used throughout the engine.
+pub type Result<T> = std::result::Result<T, Error>;
+
+/// All the ways a statement can fail, from tokenization to execution.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Error {
+    /// The raw SQL text could not be tokenized.
+    Lex(String),
+    /// The token stream did not form a valid statement.
+    Parse(String),
+    /// Name resolution failed (unknown table/column, ambiguous reference...).
+    Bind(String),
+    /// A schema operation was invalid (duplicate table, arity mismatch...).
+    Catalog(String),
+    /// A type error surfaced while evaluating an expression.
+    Type(String),
+    /// Runtime failure while executing a bound plan.
+    Exec(String),
+    /// The statement is valid SQL but uses a feature the engine does not support.
+    Unsupported(String),
+}
+
+impl Error {
+    /// Short machine-readable category, used by tests and the evaluation
+    /// harness to bucket failures.
+    pub fn kind(&self) -> &'static str {
+        match self {
+            Error::Lex(_) => "lex",
+            Error::Parse(_) => "parse",
+            Error::Bind(_) => "bind",
+            Error::Catalog(_) => "catalog",
+            Error::Type(_) => "type",
+            Error::Exec(_) => "exec",
+            Error::Unsupported(_) => "unsupported",
+        }
+    }
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Error::Lex(m) => write!(f, "lex error: {m}"),
+            Error::Parse(m) => write!(f, "parse error: {m}"),
+            Error::Bind(m) => write!(f, "bind error: {m}"),
+            Error::Catalog(m) => write!(f, "catalog error: {m}"),
+            Error::Type(m) => write!(f, "type error: {m}"),
+            Error::Exec(m) => write!(f, "execution error: {m}"),
+            Error::Unsupported(m) => write!(f, "unsupported: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for Error {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_includes_category_and_message() {
+        let e = Error::Parse("expected FROM".into());
+        assert_eq!(e.to_string(), "parse error: expected FROM");
+        assert_eq!(e.kind(), "parse");
+    }
+
+    #[test]
+    fn kinds_are_distinct() {
+        let kinds = [
+            Error::Lex(String::new()).kind(),
+            Error::Parse(String::new()).kind(),
+            Error::Bind(String::new()).kind(),
+            Error::Catalog(String::new()).kind(),
+            Error::Type(String::new()).kind(),
+            Error::Exec(String::new()).kind(),
+            Error::Unsupported(String::new()).kind(),
+        ];
+        let unique: std::collections::HashSet<_> = kinds.iter().collect();
+        assert_eq!(unique.len(), kinds.len());
+    }
+}

@@ -1,0 +1,976 @@
+//! Tree-walking query executor with deterministic cost accounting.
+//!
+//! Working rows are `Cow<[Value]>`: base-table scans borrow rows from the
+//! catalog and only join matches / derived results are materialized, so
+//! scan-filter-project queries never copy the table.
+
+use std::borrow::Cow;
+use std::collections::HashMap;
+
+use crate::ast::*;
+use crate::catalog::Database;
+use crate::cost::ExecStats;
+use crate::error::{Error, Result};
+use crate::functions::{concat_text, eval_scalar, like_match};
+use crate::result::QueryResult;
+use crate::types::DataType;
+use crate::value::{Row, Value};
+
+/// Threshold above which an inner equi-join switches from nested loops to a
+/// hash join (pairs examined = left*right).
+const HASH_JOIN_THRESHOLD: u64 = 1_000;
+
+/// Executes queries against one database, accumulating [`ExecStats`].
+pub struct Executor<'a> {
+    db: &'a Database,
+    /// Counters accumulated across every statement this executor ran.
+    pub stats: ExecStats,
+    /// Uncorrelated subqueries are evaluated once and memoized (keyed by
+    /// AST address, which is stable for the duration of one execution).
+    scalar_cache: HashMap<usize, Value>,
+    in_cache: HashMap<usize, (std::collections::HashSet<Value>, bool)>,
+    exists_cache: HashMap<usize, bool>,
+}
+
+/// One column visible inside a SELECT core.
+#[derive(Debug, Clone)]
+struct ScopeCol {
+    /// Lower-cased binding name (table alias or table name).
+    binding: String,
+    /// Lower-cased column name.
+    name: String,
+    /// Original display name used for `*` expansion and output naming.
+    display: String,
+}
+
+#[derive(Debug, Clone, Default)]
+struct Scope {
+    cols: Vec<ScopeCol>,
+}
+
+impl Scope {
+    fn resolve(&self, table: Option<&str>, name: &str) -> Result<usize> {
+        let lname = name.to_lowercase();
+        match table {
+            Some(t) => {
+                let lt = t.to_lowercase();
+                self.cols
+                    .iter()
+                    .position(|c| c.binding == lt && c.name == lname)
+                    .ok_or_else(|| Error::Bind(format!("no such column: {t}.{name}")))
+            }
+            None => {
+                let mut it = self.cols.iter().enumerate().filter(|(_, c)| c.name == lname);
+                match (it.next(), it.next()) {
+                    (Some((i, _)), None) => Ok(i),
+                    (Some(_), Some(_)) => Err(Error::Bind(format!("ambiguous column: {name}"))),
+                    (None, _) => Err(Error::Bind(format!("no such column: {name}"))),
+                }
+            }
+        }
+    }
+}
+
+/// A working row: borrowed from a base table or owned (join outputs,
+/// derived tables).
+type CowRow<'a> = Cow<'a, [Value]>;
+
+/// Evaluation context: a single row, an un-materialized join pair, or a
+/// group of rows (aggregate queries). In group context, bare columns read
+/// from the group's first row (SQLite semantics).
+enum Ctx<'r, 'a> {
+    Row(&'r [Value]),
+    /// A candidate join row: left part + right part (not yet concatenated).
+    Pair(&'r [Value], &'r [Value]),
+    Group(&'r [CowRow<'a>]),
+}
+
+impl<'r, 'a> Ctx<'r, 'a> {
+    fn cell(&self, idx: usize) -> Option<&Value> {
+        match self {
+            Ctx::Row(r) => r.get(idx),
+            Ctx::Pair(l, r) => {
+                if idx < l.len() {
+                    l.get(idx)
+                } else {
+                    r.get(idx - l.len())
+                }
+            }
+            Ctx::Group(rows) => rows.first().and_then(|r| r.as_ref().get(idx)),
+        }
+    }
+}
+
+impl<'a> Executor<'a> {
+    /// An executor over one database with fresh counters and caches.
+    pub fn new(db: &'a Database) -> Executor<'a> {
+        Executor {
+            db,
+            stats: ExecStats::default(),
+            scalar_cache: HashMap::new(),
+            in_cache: HashMap::new(),
+            exists_cache: HashMap::new(),
+        }
+    }
+
+    /// Execute a full query.
+    pub fn query(&mut self, q: &Query) -> Result<QueryResult> {
+        match &q.body {
+            SetExpr::Select(s) => self.select_full(s, &q.order_by, q.limit.as_ref(), q.offset.as_ref()),
+            _ => {
+                let base = self.set_expr(&q.body)?;
+                self.apply_output_order(base, &q.order_by, q.limit.as_ref(), q.offset.as_ref())
+            }
+        }
+    }
+
+    fn set_expr(&mut self, se: &SetExpr) -> Result<QueryResult> {
+        match se {
+            SetExpr::Select(s) => self.select_full(s, &[], None, None),
+            SetExpr::Nested(q) => self.query(q),
+            SetExpr::SetOp { op, all, left, right } => {
+                let l = self.set_expr(left)?;
+                let r = self.set_expr(right)?;
+                if !l.rows.is_empty() && !r.rows.is_empty() && l.rows[0].len() != r.rows[0].len() {
+                    return Err(Error::Exec(format!(
+                        "set operands have different column counts ({} vs {})",
+                        l.rows[0].len(),
+                        r.rows[0].len()
+                    )));
+                }
+                self.stats.rows_grouped += (l.rows.len() + r.rows.len()) as u64;
+                let rows = match (op, all) {
+                    (SetOpKind::Union, true) => {
+                        let mut rows = l.rows;
+                        rows.extend(r.rows);
+                        rows
+                    }
+                    (SetOpKind::Union, false) => {
+                        let mut rows = l.rows;
+                        rows.extend(r.rows);
+                        dedup_rows(rows)
+                    }
+                    (SetOpKind::Intersect, _) => {
+                        let rset: std::collections::HashSet<Row> = r.rows.into_iter().collect();
+                        dedup_rows(l.rows.into_iter().filter(|row| rset.contains(row)).collect())
+                    }
+                    (SetOpKind::Except, _) => {
+                        let rset: std::collections::HashSet<Row> = r.rows.into_iter().collect();
+                        dedup_rows(l.rows.into_iter().filter(|row| !rset.contains(row)).collect())
+                    }
+                };
+                Ok(QueryResult::new(l.columns, rows, false))
+            }
+        }
+    }
+
+    /// ORDER BY / LIMIT over an already-materialized result: order terms
+    /// must be output columns or 1-based positions.
+    fn apply_output_order(
+        &mut self,
+        mut result: QueryResult,
+        order_by: &[OrderItem],
+        limit: Option<&Expr>,
+        offset: Option<&Expr>,
+    ) -> Result<QueryResult> {
+        if !order_by.is_empty() {
+            let mut keys = Vec::with_capacity(order_by.len());
+            for item in order_by {
+                let idx = match &item.expr {
+                    Expr::Literal(Value::Integer(k)) => {
+                        let k = *k as usize;
+                        if k == 0 || k > result.columns.len() {
+                            return Err(Error::Bind(format!("ORDER BY position {k} out of range")));
+                        }
+                        k - 1
+                    }
+                    Expr::Column { table: None, name } => result
+                        .columns
+                        .iter()
+                        .position(|c| c.eq_ignore_ascii_case(name))
+                        .ok_or_else(|| Error::Bind(format!("ORDER BY column {name} not in output")))?,
+                    other => {
+                        return Err(Error::Unsupported(format!(
+                            "ORDER BY over a set operation supports output columns only, got {other}"
+                        )))
+                    }
+                };
+                keys.push((idx, item.desc));
+            }
+            self.stats.record_sort(result.rows.len());
+            result.rows.sort_by(|a, b| {
+                for (idx, desc) in &keys {
+                    let ord = a[*idx].total_cmp(&b[*idx]);
+                    if ord != std::cmp::Ordering::Equal {
+                        return if *desc { ord.reverse() } else { ord };
+                    }
+                }
+                std::cmp::Ordering::Equal
+            });
+            result.ordered = true;
+        }
+        self.apply_limit(&mut result, limit, offset)?;
+        Ok(result)
+    }
+
+    fn apply_limit(&mut self, result: &mut QueryResult, limit: Option<&Expr>, offset: Option<&Expr>) -> Result<()> {
+        let scope = Scope::default();
+        let empty: Row = Vec::new();
+        if let Some(off) = offset {
+            let v = self.eval(off, &scope, &Ctx::Row(&empty))?;
+            let n = v.as_f64().unwrap_or(0.0).max(0.0) as usize;
+            if n < result.rows.len() {
+                result.rows.drain(..n);
+            } else {
+                result.rows.clear();
+            }
+        }
+        if let Some(lim) = limit {
+            let v = self.eval(lim, &scope, &Ctx::Row(&empty))?;
+            let n = v.as_f64().unwrap_or(0.0).max(0.0) as usize;
+            result.rows.truncate(n);
+        }
+        Ok(())
+    }
+
+    /// Execute one SELECT core together with (query-level) ORDER BY/LIMIT,
+    /// which may reference aggregates and source columns.
+    fn select_full(
+        &mut self,
+        s: &Select,
+        order_by: &[OrderItem],
+        limit: Option<&Expr>,
+        offset: Option<&Expr>,
+    ) -> Result<QueryResult> {
+        let (scope, rows) = self.build_from(s.from.as_ref())?;
+
+        // WHERE (rows stay borrowed; only survivors flow on)
+        let rows = match &s.selection {
+            Some(pred) => {
+                let mut kept = Vec::new();
+                for row in rows {
+                    if self.eval(pred, &scope, &Ctx::Row(row.as_ref()))?.truthiness() == Some(true) {
+                        kept.push(row);
+                    }
+                }
+                kept
+            }
+            None => rows,
+        };
+
+        let has_aggregate = s
+            .projection
+            .iter()
+            .any(|item| matches!(item, SelectItem::Expr { expr, .. } if expr.contains_aggregate()))
+            || s.having.as_ref().is_some_and(Expr::contains_aggregate);
+        let aggregate_mode = !s.group_by.is_empty() || has_aggregate;
+
+        // Alias map for ORDER BY / HAVING fallback resolution.
+        let aliases: Vec<(String, usize)> = s
+            .projection
+            .iter()
+            .enumerate()
+            .filter_map(|(i, item)| match item {
+                SelectItem::Expr { alias: Some(a), .. } => Some((a.to_lowercase(), i)),
+                _ => None,
+            })
+            .collect();
+
+        // Materialize output units (each evaluated in its own context).
+        let mut projected: Vec<(Row, Vec<Value>)> = Vec::new(); // (projection, sort keys)
+        let out_columns = self.output_columns(&s.projection, &scope)?;
+
+        let project_unit = |exec: &mut Executor<'a>, ctx: &Ctx<'_, 'a>| -> Result<(Row, Vec<Value>)> {
+            let mut out = Vec::with_capacity(s.projection.len());
+            for item in &s.projection {
+                match item {
+                    SelectItem::Wildcard => {
+                        for i in 0..scope.cols.len() {
+                            out.push(ctx.cell(i).cloned().unwrap_or(Value::Null));
+                        }
+                    }
+                    SelectItem::QualifiedWildcard(t) => {
+                        let lt = t.to_lowercase();
+                        let mut any = false;
+                        for (i, c) in scope.cols.iter().enumerate() {
+                            if c.binding == lt {
+                                any = true;
+                                out.push(ctx.cell(i).cloned().unwrap_or(Value::Null));
+                            }
+                        }
+                        if !any {
+                            return Err(Error::Bind(format!("no such table in wildcard: {t}")));
+                        }
+                    }
+                    SelectItem::Expr { expr, .. } => out.push(exec.eval(expr, &scope, ctx)?),
+                }
+            }
+            let mut keys = Vec::with_capacity(order_by.len());
+            for item in order_by {
+                let v = match &item.expr {
+                    Expr::Literal(Value::Integer(k)) if (*k as usize) >= 1 && (*k as usize) <= out.len() => {
+                        out[(*k - 1) as usize].clone()
+                    }
+                    Expr::Column { table: None, name } => {
+                        // Alias first when it is not a source column.
+                        match scope.resolve(None, name) {
+                            Ok(_) => exec.eval(&item.expr, &scope, ctx)?,
+                            Err(_) => {
+                                let lname = name.to_lowercase();
+                                match aliases.iter().find(|(a, _)| *a == lname) {
+                                    Some((_, i)) => out[*i].clone(),
+                                    None => exec.eval(&item.expr, &scope, ctx)?,
+                                }
+                            }
+                        }
+                    }
+                    e => exec.eval(e, &scope, ctx)?,
+                };
+                keys.push(v);
+            }
+            Ok((out, keys))
+        };
+
+        if aggregate_mode {
+            // Group rows.
+            self.stats.rows_grouped += rows.len() as u64;
+            let mut order: Vec<Vec<Value>> = Vec::new();
+            let mut groups: HashMap<Vec<Value>, Vec<CowRow<'a>>> = HashMap::new();
+            if s.group_by.is_empty() {
+                order.push(Vec::new());
+                groups.insert(Vec::new(), rows);
+            } else {
+                for row in rows {
+                    let mut key = Vec::with_capacity(s.group_by.len());
+                    for g in &s.group_by {
+                        key.push(self.eval_group_key(g, &scope, row.as_ref(), &aliases, &s.projection)?);
+                    }
+                    match groups.get_mut(&key) {
+                        Some(bucket) => bucket.push(row),
+                        None => {
+                            order.push(key.clone());
+                            groups.insert(key, vec![row]);
+                        }
+                    }
+                }
+            }
+            for key in order {
+                let bucket = groups.remove(&key).unwrap();
+                let ctx = Ctx::Group(&bucket);
+                if let Some(h) = &s.having {
+                    if self.eval(h, &scope, &ctx)?.truthiness() != Some(true) {
+                        continue;
+                    }
+                }
+                projected.push(project_unit(self, &ctx)?);
+            }
+        } else {
+            for row in &rows {
+                projected.push(project_unit(self, &Ctx::Row(row.as_ref()))?);
+            }
+        }
+
+        // DISTINCT before ordering (first occurrence wins).
+        if s.distinct {
+            self.stats.rows_grouped += projected.len() as u64;
+            let mut seen = std::collections::HashSet::new();
+            projected.retain(|(row, _)| seen.insert(row.clone()));
+        }
+
+        let ordered = !order_by.is_empty();
+        if ordered {
+            self.stats.record_sort(projected.len());
+            let desc_flags: Vec<bool> = order_by.iter().map(|o| o.desc).collect();
+            projected.sort_by(|(_, ka), (_, kb)| {
+                for (i, desc) in desc_flags.iter().enumerate() {
+                    let ord = ka[i].total_cmp(&kb[i]);
+                    if ord != std::cmp::Ordering::Equal {
+                        return if *desc { ord.reverse() } else { ord };
+                    }
+                }
+                std::cmp::Ordering::Equal
+            });
+        }
+
+        let rows: Vec<Row> = projected.into_iter().map(|(r, _)| r).collect();
+        self.stats.rows_output += rows.len() as u64;
+        let mut result = QueryResult::new(out_columns, rows, ordered);
+        self.apply_limit(&mut result, limit, offset)?;
+        Ok(result)
+    }
+
+    /// GROUP BY terms may be plain expressions, projection aliases, or
+    /// 1-based output positions.
+    fn eval_group_key(
+        &mut self,
+        g: &Expr,
+        scope: &Scope,
+        row: &[Value],
+        aliases: &[(String, usize)],
+        projection: &[SelectItem],
+    ) -> Result<Value> {
+        let resolve_alias = |name: &str| -> Option<&Expr> {
+            let lname = name.to_lowercase();
+            aliases.iter().find(|(a, _)| *a == lname).and_then(|(_, i)| match &projection[*i] {
+                SelectItem::Expr { expr, .. } => Some(expr),
+                _ => None,
+            })
+        };
+        match g {
+            Expr::Column { table: None, name } if scope.resolve(None, name).is_err() => {
+                match resolve_alias(name) {
+                    Some(expr) => self.eval(expr, scope, &Ctx::Row(row)),
+                    None => self.eval(g, scope, &Ctx::Row(row)), // surface the bind error
+                }
+            }
+            Expr::Literal(Value::Integer(k)) => {
+                let idx = (*k - 1) as usize;
+                match projection.get(idx) {
+                    Some(SelectItem::Expr { expr, .. }) => self.eval(expr, scope, &Ctx::Row(row)),
+                    _ => Err(Error::Bind(format!("GROUP BY position {k} out of range"))),
+                }
+            }
+            _ => self.eval(g, scope, &Ctx::Row(row)),
+        }
+    }
+
+    fn output_columns(&mut self, projection: &[SelectItem], scope: &Scope) -> Result<Vec<String>> {
+        let mut out = Vec::new();
+        for item in projection {
+            match item {
+                SelectItem::Wildcard => out.extend(scope.cols.iter().map(|c| c.display.clone())),
+                SelectItem::QualifiedWildcard(t) => {
+                    let lt = t.to_lowercase();
+                    out.extend(scope.cols.iter().filter(|c| c.binding == lt).map(|c| c.display.clone()));
+                }
+                SelectItem::Expr { expr, alias } => out.push(match alias {
+                    Some(a) => a.clone(),
+                    None => match expr {
+                        Expr::Column { name, .. } => name.clone(),
+                        other => other.to_string(),
+                    },
+                }),
+            }
+        }
+        Ok(out)
+    }
+
+    // -- FROM clause ---------------------------------------------------------
+
+    fn build_from(&mut self, from: Option<&FromClause>) -> Result<(Scope, Vec<CowRow<'a>>)> {
+        let Some(from) = from else {
+            // SELECT without FROM evaluates over a single empty row.
+            return Ok((Scope::default(), vec![Cow::Owned(Vec::new())]));
+        };
+        let (mut scope, mut rows) = self.factor(&from.base)?;
+        for join in &from.joins {
+            let (right_scope, right_rows) = self.factor(&join.factor)?;
+            let left_len = scope.cols.len();
+            let mut combined = scope.clone();
+            combined.cols.extend(right_scope.cols.iter().cloned());
+
+            match join.kind {
+                JoinKind::Cross => {
+                    rows = self.nested_loop(rows, &right_rows, None, &combined, false)?;
+                }
+                JoinKind::Inner => {
+                    if let Some(on) = &join.on {
+                        if let Some((li, ri)) = self.equi_join_cols(on, &scope, &right_scope) {
+                            if (rows.len() as u64) * (right_rows.len() as u64) > HASH_JOIN_THRESHOLD {
+                                rows = self.hash_join(rows, &right_rows, li, ri)?;
+                            } else {
+                                rows = self.nested_loop(rows, &right_rows, Some(on), &combined, false)?;
+                            }
+                        } else {
+                            rows = self.nested_loop(rows, &right_rows, Some(on), &combined, false)?;
+                        }
+                    } else {
+                        rows = self.nested_loop(rows, &right_rows, None, &combined, false)?;
+                    }
+                }
+                JoinKind::Left => {
+                    rows = self.nested_loop(rows, &right_rows, join.on.as_ref(), &combined, true)?;
+                }
+            }
+            let _ = left_len;
+            scope = combined;
+        }
+        Ok((scope, rows))
+    }
+
+    fn factor(&mut self, f: &TableFactor) -> Result<(Scope, Vec<CowRow<'a>>)> {
+        match f {
+            TableFactor::Table { name, alias } => {
+                let table = self
+                    .db
+                    .table(name)
+                    .ok_or_else(|| Error::Bind(format!("no such table: {name}")))?;
+                let binding = alias.as_deref().unwrap_or(name).to_lowercase();
+                let scope = Scope {
+                    cols: table
+                        .schema
+                        .columns
+                        .iter()
+                        .map(|c| ScopeCol {
+                            binding: binding.clone(),
+                            name: c.name.to_lowercase(),
+                            display: c.name.clone(),
+                        })
+                        .collect(),
+                };
+                self.stats.rows_scanned += table.rows.len() as u64;
+                Ok((scope, table.rows.iter().map(|r| Cow::Borrowed(r.as_slice())).collect()))
+            }
+            TableFactor::Derived { subquery, alias } => {
+                self.stats.subqueries += 1;
+                let result = self.query(subquery)?;
+                let binding = alias.to_lowercase();
+                let scope = Scope {
+                    cols: result
+                        .columns
+                        .iter()
+                        .map(|c| ScopeCol {
+                            binding: binding.clone(),
+                            name: c.to_lowercase(),
+                            display: c.clone(),
+                        })
+                        .collect(),
+                };
+                Ok((scope, result.rows.into_iter().map(Cow::Owned).collect()))
+            }
+        }
+    }
+
+    fn nested_loop(
+        &mut self,
+        left: Vec<CowRow<'a>>,
+        right: &[CowRow<'a>],
+        on: Option<&Expr>,
+        combined: &Scope,
+        left_outer: bool,
+    ) -> Result<Vec<CowRow<'a>>> {
+        let right_width = combined.cols.len().saturating_sub(left.first().map(|r| r.len()).unwrap_or(0));
+        let mut out: Vec<CowRow<'a>> = Vec::new();
+        for lrow in left {
+            let mut matched = false;
+            for rrow in right {
+                self.stats.join_pairs += 1;
+                let keep = match on {
+                    Some(pred) => self
+                        .eval(pred, combined, &Ctx::Pair(lrow.as_ref(), rrow.as_ref()))?
+                        .truthiness()
+                        == Some(true),
+                    None => true,
+                };
+                if keep {
+                    matched = true;
+                    let mut candidate = lrow.as_ref().to_vec();
+                    candidate.extend(rrow.iter().cloned());
+                    out.push(Cow::Owned(candidate));
+                }
+            }
+            if left_outer && !matched {
+                let mut padded = lrow.into_owned();
+                padded.extend(std::iter::repeat_n(Value::Null, right_width.max(right.first().map(|r| r.len()).unwrap_or(0))));
+                out.push(Cow::Owned(padded));
+            }
+        }
+        Ok(out)
+    }
+
+    /// Detect `left.col = right.col` (either direction) for hash joins.
+    fn equi_join_cols(&self, on: &Expr, left: &Scope, right: &Scope) -> Option<(usize, usize)> {
+        let Expr::Binary { left: a, op: BinaryOp::Eq, right: b } = on else {
+            return None;
+        };
+        let col = |e: &Expr, scope: &Scope| -> Option<usize> {
+            if let Expr::Column { table, name } = e {
+                scope.resolve(table.as_deref(), name).ok()
+            } else {
+                None
+            }
+        };
+        match (col(a, left), col(b, right)) {
+            (Some(li), Some(ri)) => Some((li, ri)),
+            _ => match (col(b, left), col(a, right)) {
+                (Some(li), Some(ri)) => Some((li, ri)),
+                _ => None,
+            },
+        }
+    }
+
+    fn hash_join(
+        &mut self,
+        left: Vec<CowRow<'a>>,
+        right: &[CowRow<'a>],
+        li: usize,
+        ri: usize,
+    ) -> Result<Vec<CowRow<'a>>> {
+        let mut index: HashMap<Value, Vec<usize>> = HashMap::with_capacity(right.len());
+        for (i, row) in right.iter().enumerate() {
+            let key = &row[ri];
+            if key.is_null() {
+                continue;
+            }
+            index.entry(key.clone()).or_default().push(i);
+        }
+        let mut out: Vec<CowRow<'a>> = Vec::new();
+        for lrow in left {
+            self.stats.join_pairs += 1; // one probe per left row
+            let key = &lrow[li];
+            if key.is_null() {
+                continue;
+            }
+            if let Some(matches) = index.get(key) {
+                self.stats.join_pairs += matches.len() as u64;
+                for &i in matches {
+                    let mut candidate = lrow.as_ref().to_vec();
+                    candidate.extend(right[i].iter().cloned());
+                    out.push(Cow::Owned(candidate));
+                }
+            }
+        }
+        Ok(out)
+    }
+
+    // -- expressions ---------------------------------------------------------
+
+    fn eval(&mut self, e: &Expr, scope: &Scope, ctx: &Ctx<'_, 'a>) -> Result<Value> {
+        match e {
+            Expr::Literal(v) => Ok(v.clone()),
+            Expr::Column { table, name } => {
+                let idx = scope.resolve(table.as_deref(), name)?;
+                Ok(ctx.cell(idx).cloned().unwrap_or(Value::Null))
+            }
+            Expr::Unary { op, expr } => {
+                let v = self.eval(expr, scope, ctx)?;
+                match op {
+                    UnaryOp::Neg => v.neg(),
+                    UnaryOp::Not => Ok(match v.truthiness() {
+                        None => Value::Null,
+                        Some(b) => Value::Integer((!b) as i64),
+                    }),
+                }
+            }
+            Expr::Binary { left, op, right } => self.eval_binary(left, *op, right, scope, ctx),
+            Expr::Function { name, args, distinct, star } => {
+                self.eval_function(name, args, *distinct, *star, scope, ctx)
+            }
+            Expr::Case { operand, branches, else_expr } => {
+                let op_val = match operand {
+                    Some(op) => Some(self.eval(op, scope, ctx)?),
+                    None => None,
+                };
+                for (cond, result) in branches {
+                    let hit = match &op_val {
+                        Some(v) => {
+                            let c = self.eval(cond, scope, ctx)?;
+                            v.sql_eq(&c) == Some(true)
+                        }
+                        None => self.eval(cond, scope, ctx)?.truthiness() == Some(true),
+                    };
+                    if hit {
+                        return self.eval(result, scope, ctx);
+                    }
+                }
+                match else_expr {
+                    Some(e) => self.eval(e, scope, ctx),
+                    None => Ok(Value::Null),
+                }
+            }
+            Expr::InList { expr, list, negated } => {
+                let needle = self.eval(expr, scope, ctx)?;
+                if needle.is_null() {
+                    return Ok(Value::Null);
+                }
+                let mut saw_null = false;
+                for item in list {
+                    let v = self.eval(item, scope, ctx)?;
+                    match needle.sql_eq(&v) {
+                        Some(true) => return Ok(Value::Integer(!negated as i64)),
+                        Some(false) => {}
+                        None => saw_null = true,
+                    }
+                }
+                if saw_null {
+                    Ok(Value::Null)
+                } else {
+                    Ok(Value::Integer(*negated as i64))
+                }
+            }
+            Expr::InSubquery { expr, query, negated } => {
+                let needle = self.eval(expr, scope, ctx)?;
+                if needle.is_null() {
+                    return Ok(Value::Null);
+                }
+                let key = query.as_ref() as *const Query as usize;
+                if !self.in_cache.contains_key(&key) {
+                    self.stats.subqueries += 1;
+                    let sub = self.query(query)?;
+                    if !sub.rows.is_empty() && sub.rows[0].len() != 1 {
+                        return Err(Error::Exec("IN subquery must return one column".into()));
+                    }
+                    let mut set = std::collections::HashSet::with_capacity(sub.rows.len());
+                    let mut saw_null = false;
+                    for row in sub.rows {
+                        let v = row.into_iter().next().unwrap_or(Value::Null);
+                        if v.is_null() {
+                            saw_null = true;
+                        } else {
+                            set.insert(v);
+                        }
+                    }
+                    self.in_cache.insert(key, (set, saw_null));
+                }
+                let (set, saw_null) = &self.in_cache[&key];
+                if set.contains(&needle) {
+                    Ok(Value::Integer(!negated as i64))
+                } else if *saw_null {
+                    Ok(Value::Null)
+                } else {
+                    Ok(Value::Integer(*negated as i64))
+                }
+            }
+            Expr::ScalarSubquery(q) => {
+                let key = q.as_ref() as *const Query as usize;
+                if let Some(v) = self.scalar_cache.get(&key) {
+                    return Ok(v.clone());
+                }
+                self.stats.subqueries += 1;
+                let sub = self.query(q)?;
+                let value = match sub.rows.first() {
+                    None => Value::Null,
+                    Some(row) => {
+                        if row.len() != 1 {
+                            return Err(Error::Exec("scalar subquery must return one column".into()));
+                        }
+                        row[0].clone()
+                    }
+                };
+                self.scalar_cache.insert(key, value.clone());
+                Ok(value)
+            }
+            Expr::Exists { query, negated } => {
+                let key = query.as_ref() as *const Query as usize;
+                if let Some(&has_rows) = self.exists_cache.get(&key) {
+                    return Ok(Value::Integer((has_rows != *negated) as i64));
+                }
+                self.stats.subqueries += 1;
+                let sub = self.query(query)?;
+                let has_rows = !sub.rows.is_empty();
+                self.exists_cache.insert(key, has_rows);
+                Ok(Value::Integer((has_rows != *negated) as i64))
+            }
+            Expr::Between { expr, low, high, negated } => {
+                let v = self.eval(expr, scope, ctx)?;
+                let lo = self.eval(low, scope, ctx)?;
+                let hi = self.eval(high, scope, ctx)?;
+                let ge = v.sql_cmp(&lo).map(|o| o != std::cmp::Ordering::Less);
+                let le = v.sql_cmp(&hi).map(|o| o != std::cmp::Ordering::Greater);
+                Ok(match and3(ge, le) {
+                    None => Value::Null,
+                    Some(b) => Value::Integer((b != *negated) as i64),
+                })
+            }
+            Expr::Like { expr, pattern, negated } => {
+                let v = self.eval(expr, scope, ctx)?;
+                let p = self.eval(pattern, scope, ctx)?;
+                if v.is_null() || p.is_null() {
+                    return Ok(Value::Null);
+                }
+                let hit = like_match(&v.render(), &p.render());
+                Ok(Value::Integer((hit != *negated) as i64))
+            }
+            Expr::IsNull { expr, negated } => {
+                let v = self.eval(expr, scope, ctx)?;
+                Ok(Value::Integer((v.is_null() != *negated) as i64))
+            }
+            Expr::Cast { expr, type_name } => {
+                let v = self.eval(expr, scope, ctx)?;
+                Ok(v.cast(DataType::from_sql_name(type_name)))
+            }
+        }
+    }
+
+    fn eval_binary(&mut self, left: &Expr, op: BinaryOp, right: &Expr, scope: &Scope, ctx: &Ctx<'_, 'a>) -> Result<Value> {
+        // Short-circuiting three-valued AND/OR.
+        match op {
+            BinaryOp::And => {
+                let l = self.eval(left, scope, ctx)?.truthiness();
+                if l == Some(false) {
+                    return Ok(Value::Integer(0));
+                }
+                let r = self.eval(right, scope, ctx)?.truthiness();
+                return Ok(match and3(l, r) {
+                    None => Value::Null,
+                    Some(b) => Value::Integer(b as i64),
+                });
+            }
+            BinaryOp::Or => {
+                let l = self.eval(left, scope, ctx)?.truthiness();
+                if l == Some(true) {
+                    return Ok(Value::Integer(1));
+                }
+                let r = self.eval(right, scope, ctx)?.truthiness();
+                return Ok(match or3(l, r) {
+                    None => Value::Null,
+                    Some(b) => Value::Integer(b as i64),
+                });
+            }
+            _ => {}
+        }
+        let l = self.eval(left, scope, ctx)?;
+        let r = self.eval(right, scope, ctx)?;
+        match op {
+            BinaryOp::Add => l.add(&r),
+            BinaryOp::Sub => l.sub(&r),
+            BinaryOp::Mul => l.mul(&r),
+            BinaryOp::Div => l.div(&r),
+            BinaryOp::Mod => l.rem(&r),
+            BinaryOp::Concat => Ok(concat_text(&l, &r)),
+            BinaryOp::Eq | BinaryOp::NotEq | BinaryOp::Lt | BinaryOp::LtEq | BinaryOp::Gt | BinaryOp::GtEq => {
+                Ok(match l.sql_cmp(&r) {
+                    None => Value::Null,
+                    Some(ord) => {
+                        use std::cmp::Ordering::*;
+                        let b = match op {
+                            BinaryOp::Eq => ord == Equal,
+                            BinaryOp::NotEq => ord != Equal,
+                            BinaryOp::Lt => ord == Less,
+                            BinaryOp::LtEq => ord != Greater,
+                            BinaryOp::Gt => ord == Greater,
+                            BinaryOp::GtEq => ord != Less,
+                            _ => unreachable!(),
+                        };
+                        Value::Integer(b as i64)
+                    }
+                })
+            }
+            BinaryOp::And | BinaryOp::Or => unreachable!("handled above"),
+        }
+    }
+
+    fn eval_function(
+        &mut self,
+        name: &str,
+        args: &[Expr],
+        distinct: bool,
+        star: bool,
+        scope: &Scope,
+        ctx: &Ctx<'_, 'a>,
+    ) -> Result<Value> {
+        let upper = name.to_ascii_uppercase();
+        let aggregate_call = star || (is_aggregate_name(&upper) && !(matches!(upper.as_str(), "MIN" | "MAX") && args.len() >= 2));
+        if aggregate_call {
+            let rows = match ctx {
+                Ctx::Group(rows) => *rows,
+                Ctx::Row(_) | Ctx::Pair(..) => {
+                    return Err(Error::Bind(format!("misuse of aggregate function {upper}")));
+                }
+            };
+            return self.eval_aggregate(&upper, args, distinct, star, scope, rows);
+        }
+        let mut vals = Vec::with_capacity(args.len());
+        for a in args {
+            vals.push(self.eval(a, scope, ctx)?);
+        }
+        eval_scalar(&upper, &vals)
+    }
+
+    fn eval_aggregate(
+        &mut self,
+        name: &str,
+        args: &[Expr],
+        distinct: bool,
+        star: bool,
+        scope: &Scope,
+        rows: &[CowRow<'a>],
+    ) -> Result<Value> {
+        if star {
+            return Ok(Value::Integer(rows.len() as i64));
+        }
+        if args.len() != 1 {
+            return Err(Error::Type(format!("aggregate {name} expects one argument")));
+        }
+        // Evaluate the argument once per row.
+        let mut vals = Vec::with_capacity(rows.len());
+        for row in rows {
+            let v = self.eval(&args[0], scope, &Ctx::Row(row.as_ref()))?;
+            if !v.is_null() {
+                vals.push(v);
+            }
+        }
+        if distinct {
+            let mut seen = std::collections::HashSet::new();
+            vals.retain(|v| seen.insert(v.clone()));
+        }
+        match name {
+            "COUNT" => Ok(Value::Integer(vals.len() as i64)),
+            "SUM" | "TOTAL" => {
+                if vals.is_empty() {
+                    return Ok(if name == "TOTAL" { Value::Real(0.0) } else { Value::Null });
+                }
+                let all_int = vals.iter().all(|v| matches!(v, Value::Integer(_)));
+                if all_int && name == "SUM" {
+                    let mut acc: i64 = 0;
+                    let mut overflowed = false;
+                    for v in &vals {
+                        if let Value::Integer(i) = v {
+                            match acc.checked_add(*i) {
+                                Some(n) => acc = n,
+                                None => {
+                                    overflowed = true;
+                                    break;
+                                }
+                            }
+                        }
+                    }
+                    if !overflowed {
+                        return Ok(Value::Integer(acc));
+                    }
+                }
+                let sum: f64 = vals.iter().filter_map(Value::as_f64).sum();
+                Ok(Value::Real(sum))
+            }
+            "AVG" => {
+                if vals.is_empty() {
+                    return Ok(Value::Null);
+                }
+                let sum: f64 = vals.iter().filter_map(Value::as_f64).sum();
+                Ok(Value::Real(sum / vals.len() as f64))
+            }
+            "MIN" => Ok(vals.into_iter().min().unwrap_or(Value::Null)),
+            "MAX" => Ok(vals.into_iter().max().unwrap_or(Value::Null)),
+            "GROUP_CONCAT" => {
+                if vals.is_empty() {
+                    return Ok(Value::Null);
+                }
+                Ok(Value::Text(
+                    vals.iter().map(Value::render).collect::<Vec<_>>().join(","),
+                ))
+            }
+            other => Err(Error::Unsupported(format!("aggregate {other}"))),
+        }
+    }
+}
+
+fn and3(a: Option<bool>, b: Option<bool>) -> Option<bool> {
+    match (a, b) {
+        (Some(false), _) | (_, Some(false)) => Some(false),
+        (Some(true), Some(true)) => Some(true),
+        _ => None,
+    }
+}
+
+fn or3(a: Option<bool>, b: Option<bool>) -> Option<bool> {
+    match (a, b) {
+        (Some(true), _) | (_, Some(true)) => Some(true),
+        (Some(false), Some(false)) => Some(false),
+        _ => None,
+    }
+}
+
+fn dedup_rows(rows: Vec<Row>) -> Vec<Row> {
+    let mut seen = std::collections::HashSet::new();
+    rows.into_iter().filter(|r| seen.insert(r.clone())).collect()
+}

@@ -1,0 +1,316 @@
+//! SQL tokenizer.
+
+use crate::error::{Error, Result};
+
+/// A lexical token. Keywords are recognized case-insensitively but the
+/// original spelling of identifiers is preserved.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Token {
+    /// Keyword, normalized to upper case (`SELECT`, `FROM`, ...).
+    Keyword(String),
+    /// Bare or quoted identifier.
+    Ident(String),
+    /// String literal with quotes stripped and escapes resolved.
+    StringLit(String),
+    /// Integer literal.
+    IntLit(i64),
+    /// Floating-point literal.
+    FloatLit(f64),
+    /// Operator or punctuation (`=`, `<=`, `(`, `,`, `*`, ...).
+    Symbol(&'static str),
+    /// End of input sentinel.
+    Eof,
+}
+
+impl Token {
+    /// Human-readable description used in parse-error messages.
+    pub fn describe(&self) -> String {
+        match self {
+            Token::Keyword(k) => format!("keyword {k}"),
+            Token::Ident(i) => format!("identifier {i}"),
+            Token::StringLit(s) => format!("string '{s}'"),
+            Token::IntLit(i) => format!("integer {i}"),
+            Token::FloatLit(f) => format!("float {f}"),
+            Token::Symbol(s) => format!("'{s}'"),
+            Token::Eof => "end of input".to_string(),
+        }
+    }
+}
+
+const KEYWORDS: &[&str] = &[
+    "SELECT", "FROM", "WHERE", "GROUP", "BY", "HAVING", "ORDER", "LIMIT", "OFFSET", "AS",
+    "AND", "OR", "NOT", "IN", "LIKE", "BETWEEN", "IS", "NULL", "DISTINCT", "JOIN", "INNER",
+    "LEFT", "RIGHT", "OUTER", "CROSS", "ON", "ASC", "DESC", "UNION", "INTERSECT", "EXCEPT",
+    "ALL", "EXISTS", "CASE", "WHEN", "THEN", "ELSE", "END", "CAST", "CREATE", "TABLE",
+    "PRIMARY", "KEY", "FOREIGN", "REFERENCES", "INSERT", "INTO", "VALUES", "COMMENT",
+    "UNIQUE", "DEFAULT", "GLOB",
+];
+
+fn keyword(word: &str) -> Option<String> {
+    let up = word.to_ascii_uppercase();
+    if KEYWORDS.contains(&up.as_str()) {
+        Some(up)
+    } else {
+        None
+    }
+}
+
+/// Tokenize a SQL string.
+pub fn tokenize(sql: &str) -> Result<Vec<Token>> {
+    let mut tokens = Vec::new();
+    let chars: Vec<char> = sql.chars().collect();
+    let mut i = 0usize;
+    let n = chars.len();
+    while i < n {
+        let c = chars[i];
+        match c {
+            c if c.is_whitespace() => i += 1,
+            '-' if i + 1 < n && chars[i + 1] == '-' => {
+                // line comment
+                while i < n && chars[i] != '\n' {
+                    i += 1;
+                }
+            }
+            '/' if i + 1 < n && chars[i + 1] == '*' => {
+                i += 2;
+                while i + 1 < n && !(chars[i] == '*' && chars[i + 1] == '/') {
+                    i += 1;
+                }
+                if i + 1 >= n {
+                    return Err(Error::Lex("unterminated block comment".into()));
+                }
+                i += 2;
+            }
+            '\'' => {
+                let (s, next) = read_quoted(&chars, i, '\'')?;
+                tokens.push(Token::StringLit(s));
+                i = next;
+            }
+            '"' => {
+                let (s, next) = read_quoted(&chars, i, '"')?;
+                tokens.push(Token::Ident(s));
+                i = next;
+            }
+            '`' => {
+                let (s, next) = read_quoted(&chars, i, '`')?;
+                tokens.push(Token::Ident(s));
+                i = next;
+            }
+            '[' => {
+                // MSSQL-style bracketed identifier; also appears in Spider.
+                let mut j = i + 1;
+                let mut s = String::new();
+                while j < n && chars[j] != ']' {
+                    s.push(chars[j]);
+                    j += 1;
+                }
+                if j >= n {
+                    return Err(Error::Lex("unterminated [identifier]".into()));
+                }
+                tokens.push(Token::Ident(s));
+                i = j + 1;
+            }
+            '0'..='9' => {
+                let (tok, next) = read_number(&chars, i)?;
+                tokens.push(tok);
+                i = next;
+            }
+            '.' if i + 1 < n && chars[i + 1].is_ascii_digit() => {
+                let (tok, next) = read_number(&chars, i)?;
+                tokens.push(tok);
+                i = next;
+            }
+            c if c.is_alphabetic() || c == '_' => {
+                let mut j = i;
+                while j < n && (chars[j].is_alphanumeric() || chars[j] == '_') {
+                    j += 1;
+                }
+                let word: String = chars[i..j].iter().collect();
+                match keyword(&word) {
+                    Some(k) => tokens.push(Token::Keyword(k)),
+                    None => tokens.push(Token::Ident(word)),
+                }
+                i = j;
+            }
+            _ => {
+                let (sym, len) = read_symbol(&chars, i)?;
+                tokens.push(Token::Symbol(sym));
+                i += len;
+            }
+        }
+    }
+    tokens.push(Token::Eof);
+    Ok(tokens)
+}
+
+fn read_quoted(chars: &[char], start: usize, quote: char) -> Result<(String, usize)> {
+    let mut s = String::new();
+    let mut i = start + 1;
+    let n = chars.len();
+    while i < n {
+        if chars[i] == quote {
+            // doubled quote = escaped quote
+            if i + 1 < n && chars[i + 1] == quote {
+                s.push(quote);
+                i += 2;
+                continue;
+            }
+            return Ok((s, i + 1));
+        }
+        s.push(chars[i]);
+        i += 1;
+    }
+    Err(Error::Lex(format!("unterminated {quote}-quoted token")))
+}
+
+fn read_number(chars: &[char], start: usize) -> Result<(Token, usize)> {
+    let n = chars.len();
+    let mut i = start;
+    let mut is_float = false;
+    while i < n {
+        match chars[i] {
+            '0'..='9' => i += 1,
+            '.' if !is_float => {
+                is_float = true;
+                i += 1;
+            }
+            'e' | 'E' if i > start => {
+                is_float = true;
+                i += 1;
+                if i < n && (chars[i] == '+' || chars[i] == '-') {
+                    i += 1;
+                }
+            }
+            _ => break,
+        }
+    }
+    let text: String = chars[start..i].iter().collect();
+    if is_float {
+        text.parse::<f64>()
+            .map(|f| (Token::FloatLit(f), i))
+            .map_err(|_| Error::Lex(format!("bad float literal {text}")))
+    } else {
+        match text.parse::<i64>() {
+            Ok(v) => Ok((Token::IntLit(v), i)),
+            // Too large for i64 — degrade to float like SQLite.
+            Err(_) => text
+                .parse::<f64>()
+                .map(|f| (Token::FloatLit(f), i))
+                .map_err(|_| Error::Lex(format!("bad numeric literal {text}"))),
+        }
+    }
+}
+
+fn read_symbol(chars: &[char], i: usize) -> Result<(&'static str, usize)> {
+    let n = chars.len();
+    let two = if i + 1 < n {
+        Some((chars[i], chars[i + 1]))
+    } else {
+        None
+    };
+    if let Some(pair) = two {
+        let sym = match pair {
+            ('<', '=') => Some("<="),
+            ('>', '=') => Some(">="),
+            ('<', '>') => Some("!="),
+            ('!', '=') => Some("!="),
+            ('|', '|') => Some("||"),
+            _ => None,
+        };
+        if let Some(s) = sym {
+            return Ok((s, 2));
+        }
+    }
+    let sym = match chars[i] {
+        '(' => "(",
+        ')' => ")",
+        ',' => ",",
+        ';' => ";",
+        '*' => "*",
+        '+' => "+",
+        '-' => "-",
+        '/' => "/",
+        '%' => "%",
+        '=' => "=",
+        '<' => "<",
+        '>' => ">",
+        '.' => ".",
+        c => return Err(Error::Lex(format!("unexpected character '{c}'"))),
+    };
+    Ok((sym, 1))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn toks(sql: &str) -> Vec<Token> {
+        tokenize(sql).unwrap()
+    }
+
+    #[test]
+    fn keywords_and_identifiers() {
+        let t = toks("SELECT name FROM users");
+        assert_eq!(t[0], Token::Keyword("SELECT".into()));
+        assert_eq!(t[1], Token::Ident("name".into()));
+        assert_eq!(t[2], Token::Keyword("FROM".into()));
+        assert_eq!(t[3], Token::Ident("users".into()));
+        assert_eq!(t[4], Token::Eof);
+    }
+
+    #[test]
+    fn keywords_case_insensitive() {
+        let t = toks("select * from T");
+        assert_eq!(t[0], Token::Keyword("SELECT".into()));
+        assert_eq!(t[1], Token::Symbol("*"));
+    }
+
+    #[test]
+    fn string_literals_with_escapes() {
+        let t = toks("'O''Brien'");
+        assert_eq!(t[0], Token::StringLit("O'Brien".into()));
+    }
+
+    #[test]
+    fn quoted_identifiers() {
+        assert_eq!(toks("\"weird col\"")[0], Token::Ident("weird col".into()));
+        assert_eq!(toks("`tick`")[0], Token::Ident("tick".into()));
+        assert_eq!(toks("[bracket id]")[0], Token::Ident("bracket id".into()));
+    }
+
+    #[test]
+    fn numbers() {
+        assert_eq!(toks("42")[0], Token::IntLit(42));
+        assert_eq!(toks("3.25")[0], Token::FloatLit(3.25));
+        assert_eq!(toks("1e2")[0], Token::FloatLit(100.0));
+        assert_eq!(toks(".5")[0], Token::FloatLit(0.5));
+        // i64 overflow degrades to float
+        assert!(matches!(toks("99999999999999999999")[0], Token::FloatLit(_)));
+    }
+
+    #[test]
+    fn multi_char_operators() {
+        let t = toks("a <= b <> c != d || e");
+        let syms: Vec<_> = t
+            .iter()
+            .filter_map(|t| match t {
+                Token::Symbol(s) => Some(*s),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(syms, vec!["<=", "!=", "!=", "||"]);
+    }
+
+    #[test]
+    fn comments_skipped() {
+        let t = toks("SELECT 1 -- trailing\n/* block */ + 2");
+        assert_eq!(t.len(), 5); // SELECT 1 + 2 EOF
+    }
+
+    #[test]
+    fn errors_are_reported() {
+        assert!(tokenize("'unterminated").is_err());
+        assert!(tokenize("/* open").is_err());
+        assert!(tokenize("SELECT @x").is_err());
+    }
+}

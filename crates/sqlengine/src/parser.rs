@@ -1,0 +1,957 @@
+//! Recursive-descent parser producing the AST of [`crate::ast`].
+
+use crate::ast::*;
+use crate::error::{Error, Result};
+use crate::lexer::{tokenize, Token};
+use crate::value::Value;
+
+/// Parse a single SQL statement.
+pub fn parse_statement(sql: &str) -> Result<Statement> {
+    let mut p = Parser::new(sql)?;
+    let stmt = p.statement()?;
+    p.expect_end()?;
+    Ok(stmt)
+}
+
+/// Parse a query (SELECT-only entry point used by the text-to-SQL pipeline).
+pub fn parse_query(sql: &str) -> Result<Query> {
+    match parse_statement(sql)? {
+        Statement::Query(q) => Ok(q),
+        other => Err(Error::Parse(format!("expected a SELECT query, got {other:?}"))),
+    }
+}
+
+/// Parse a semicolon-separated script into statements.
+pub fn parse_script(sql: &str) -> Result<Vec<Statement>> {
+    let mut p = Parser::new(sql)?;
+    let mut stmts = Vec::new();
+    loop {
+        while p.eat_symbol(";") {}
+        if p.at_end() {
+            break;
+        }
+        stmts.push(p.statement()?);
+        if !p.eat_symbol(";") && !p.at_end() {
+            return Err(p.unexpected("';' or end of script"));
+        }
+    }
+    Ok(stmts)
+}
+
+struct Parser {
+    tokens: Vec<Token>,
+    pos: usize,
+}
+
+impl Parser {
+    fn new(sql: &str) -> Result<Parser> {
+        Ok(Parser { tokens: tokenize(sql)?, pos: 0 })
+    }
+
+    fn peek(&self) -> &Token {
+        self.tokens.get(self.pos).unwrap_or(&Token::Eof)
+    }
+
+    fn peek_at(&self, offset: usize) -> &Token {
+        self.tokens.get(self.pos + offset).unwrap_or(&Token::Eof)
+    }
+
+    fn advance(&mut self) -> Token {
+        let t = self.peek().clone();
+        if self.pos < self.tokens.len() {
+            self.pos += 1;
+        }
+        t
+    }
+
+    fn at_end(&self) -> bool {
+        matches!(self.peek(), Token::Eof)
+    }
+
+    fn unexpected(&self, expected: &str) -> Error {
+        Error::Parse(format!("expected {expected}, found {}", self.peek().describe()))
+    }
+
+    fn expect_end(&mut self) -> Result<()> {
+        self.eat_symbol(";");
+        if self.at_end() {
+            Ok(())
+        } else {
+            Err(self.unexpected("end of statement"))
+        }
+    }
+
+    fn peek_keyword(&self, kw: &str) -> bool {
+        matches!(self.peek(), Token::Keyword(k) if k == kw)
+    }
+
+    fn eat_keyword(&mut self, kw: &str) -> bool {
+        if self.peek_keyword(kw) {
+            self.pos += 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    fn expect_keyword(&mut self, kw: &str) -> Result<()> {
+        if self.eat_keyword(kw) {
+            Ok(())
+        } else {
+            Err(self.unexpected(kw))
+        }
+    }
+
+    fn eat_symbol(&mut self, sym: &str) -> bool {
+        if matches!(self.peek(), Token::Symbol(s) if *s == sym) {
+            self.pos += 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    fn expect_symbol(&mut self, sym: &str) -> Result<()> {
+        if self.eat_symbol(sym) {
+            Ok(())
+        } else {
+            Err(self.unexpected(&format!("'{sym}'")))
+        }
+    }
+
+    fn expect_ident(&mut self) -> Result<String> {
+        match self.advance() {
+            Token::Ident(s) => Ok(s),
+            // Allow a handful of non-reserved keywords as identifiers.
+            Token::Keyword(k) if matches!(k.as_str(), "KEY" | "COMMENT" | "VALUES" | "LEFT" | "RIGHT") => Ok(k),
+            other => Err(Error::Parse(format!("expected identifier, found {}", other.describe()))),
+        }
+    }
+
+    // -- statements ---------------------------------------------------------
+
+    fn statement(&mut self) -> Result<Statement> {
+        if self.peek_keyword("CREATE") {
+            self.create_table().map(Statement::CreateTable)
+        } else if self.peek_keyword("INSERT") {
+            self.insert().map(Statement::Insert)
+        } else if self.peek_keyword("SELECT") || matches!(self.peek(), Token::Symbol("(")) {
+            self.query().map(Statement::Query)
+        } else {
+            Err(self.unexpected("CREATE, INSERT or SELECT"))
+        }
+    }
+
+    fn create_table(&mut self) -> Result<CreateTable> {
+        self.expect_keyword("CREATE")?;
+        self.expect_keyword("TABLE")?;
+        let name = self.expect_ident()?;
+        self.expect_symbol("(")?;
+        let mut columns = Vec::new();
+        let mut primary_key = Vec::new();
+        let mut foreign_keys = Vec::new();
+        loop {
+            if self.eat_keyword("PRIMARY") {
+                self.expect_keyword("KEY")?;
+                self.expect_symbol("(")?;
+                loop {
+                    primary_key.push(self.expect_ident()?);
+                    if !self.eat_symbol(",") {
+                        break;
+                    }
+                }
+                self.expect_symbol(")")?;
+            } else if self.eat_keyword("FOREIGN") {
+                self.expect_keyword("KEY")?;
+                self.expect_symbol("(")?;
+                let column = self.expect_ident()?;
+                self.expect_symbol(")")?;
+                self.expect_keyword("REFERENCES")?;
+                let ref_table = self.expect_ident()?;
+                self.expect_symbol("(")?;
+                let ref_column = self.expect_ident()?;
+                self.expect_symbol(")")?;
+                foreign_keys.push(ForeignKeyDef { column, ref_table, ref_column });
+            } else if self.eat_keyword("UNIQUE") {
+                // Table-level UNIQUE constraint: parsed and ignored.
+                self.expect_symbol("(")?;
+                loop {
+                    self.expect_ident()?;
+                    if !self.eat_symbol(",") {
+                        break;
+                    }
+                }
+                self.expect_symbol(")")?;
+            } else {
+                columns.push(self.column_def(&mut foreign_keys)?);
+            }
+            if !self.eat_symbol(",") {
+                break;
+            }
+        }
+        self.expect_symbol(")")?;
+        Ok(CreateTable { name, columns, primary_key, foreign_keys })
+    }
+
+    fn column_def(&mut self, fks: &mut Vec<ForeignKeyDef>) -> Result<ColumnDef> {
+        let name = self.expect_ident()?;
+        let mut type_name = self.expect_ident()?;
+        // Multi-word type names ("double precision") and parameterized
+        // types ("varchar(255)").
+        if matches!(self.peek(), Token::Ident(w) if w.eq_ignore_ascii_case("precision")) {
+            let w = self.expect_ident()?;
+            type_name.push(' ');
+            type_name.push_str(&w);
+        }
+        if self.eat_symbol("(") {
+            type_name.push('(');
+            loop {
+                match self.advance() {
+                    Token::IntLit(i) => type_name.push_str(&i.to_string()),
+                    other => return Err(Error::Parse(format!("bad type parameter: {}", other.describe()))),
+                }
+                if self.eat_symbol(",") {
+                    type_name.push(',');
+                } else {
+                    break;
+                }
+            }
+            self.expect_symbol(")")?;
+            type_name.push(')');
+        }
+        let mut def = ColumnDef {
+            name,
+            type_name,
+            primary_key: false,
+            not_null: false,
+            comment: None,
+        };
+        loop {
+            if self.eat_keyword("PRIMARY") {
+                self.expect_keyword("KEY")?;
+                def.primary_key = true;
+                def.not_null = true;
+            } else if self.eat_keyword("NOT") {
+                self.expect_keyword("NULL")?;
+                def.not_null = true;
+            } else if self.eat_keyword("UNIQUE") {
+                // ignored
+            } else if self.eat_keyword("DEFAULT") {
+                // Consume a signed literal default and ignore it.
+                self.eat_symbol("-");
+                self.advance();
+            } else if self.eat_keyword("COMMENT") {
+                match self.advance() {
+                    Token::StringLit(s) => def.comment = Some(s),
+                    other => return Err(Error::Parse(format!("COMMENT expects a string, found {}", other.describe()))),
+                }
+            } else if self.eat_keyword("REFERENCES") {
+                let ref_table = self.expect_ident()?;
+                self.expect_symbol("(")?;
+                let ref_column = self.expect_ident()?;
+                self.expect_symbol(")")?;
+                fks.push(ForeignKeyDef { column: def.name.clone(), ref_table, ref_column });
+            } else {
+                break;
+            }
+        }
+        Ok(def)
+    }
+
+    fn insert(&mut self) -> Result<Insert> {
+        self.expect_keyword("INSERT")?;
+        self.expect_keyword("INTO")?;
+        let table = self.expect_ident()?;
+        let columns = if self.eat_symbol("(") {
+            let mut cols = Vec::new();
+            loop {
+                cols.push(self.expect_ident()?);
+                if !self.eat_symbol(",") {
+                    break;
+                }
+            }
+            self.expect_symbol(")")?;
+            Some(cols)
+        } else {
+            None
+        };
+        self.expect_keyword("VALUES")?;
+        let mut rows = Vec::new();
+        loop {
+            self.expect_symbol("(")?;
+            let mut row = Vec::new();
+            loop {
+                row.push(self.expr()?);
+                if !self.eat_symbol(",") {
+                    break;
+                }
+            }
+            self.expect_symbol(")")?;
+            rows.push(row);
+            if !self.eat_symbol(",") {
+                break;
+            }
+        }
+        Ok(Insert { table, columns, rows })
+    }
+
+    // -- queries ------------------------------------------------------------
+
+    fn query(&mut self) -> Result<Query> {
+        let body = self.set_expr()?;
+        let mut order_by = Vec::new();
+        if self.eat_keyword("ORDER") {
+            self.expect_keyword("BY")?;
+            loop {
+                let expr = self.expr()?;
+                let desc = if self.eat_keyword("DESC") {
+                    true
+                } else {
+                    self.eat_keyword("ASC");
+                    false
+                };
+                order_by.push(OrderItem { expr, desc });
+                if !self.eat_symbol(",") {
+                    break;
+                }
+            }
+        }
+        let mut limit = None;
+        let mut offset = None;
+        if self.eat_keyword("LIMIT") {
+            limit = Some(self.expr()?);
+            if self.eat_keyword("OFFSET") {
+                offset = Some(self.expr()?);
+            } else if self.eat_symbol(",") {
+                // `LIMIT offset, count` MySQL form.
+                offset = limit.take();
+                limit = Some(self.expr()?);
+            }
+        }
+        Ok(Query { body, order_by, limit, offset })
+    }
+
+    fn set_expr(&mut self) -> Result<SetExpr> {
+        let mut left = self.set_term()?;
+        loop {
+            let op = if self.eat_keyword("UNION") {
+                SetOpKind::Union
+            } else if self.eat_keyword("INTERSECT") {
+                SetOpKind::Intersect
+            } else if self.eat_keyword("EXCEPT") {
+                SetOpKind::Except
+            } else {
+                break;
+            };
+            let all = self.eat_keyword("ALL");
+            let right = self.set_term()?;
+            left = SetExpr::SetOp {
+                op,
+                all,
+                left: Box::new(left),
+                right: Box::new(right),
+            };
+        }
+        Ok(left)
+    }
+
+    fn set_term(&mut self) -> Result<SetExpr> {
+        if self.eat_symbol("(") {
+            let q = self.query()?;
+            self.expect_symbol(")")?;
+            return Ok(SetExpr::Nested(Box::new(q)));
+        }
+        self.select_core().map(|s| SetExpr::Select(Box::new(s)))
+    }
+
+    fn select_core(&mut self) -> Result<Select> {
+        self.expect_keyword("SELECT")?;
+        let distinct = if self.eat_keyword("DISTINCT") {
+            true
+        } else {
+            self.eat_keyword("ALL");
+            false
+        };
+        let mut projection = Vec::new();
+        loop {
+            projection.push(self.select_item()?);
+            if !self.eat_symbol(",") {
+                break;
+            }
+        }
+        let from = if self.eat_keyword("FROM") {
+            Some(self.parse_from()?)
+        } else {
+            None
+        };
+        let selection = if self.eat_keyword("WHERE") {
+            Some(self.expr()?)
+        } else {
+            None
+        };
+        let mut group_by = Vec::new();
+        if self.eat_keyword("GROUP") {
+            self.expect_keyword("BY")?;
+            loop {
+                group_by.push(self.expr()?);
+                if !self.eat_symbol(",") {
+                    break;
+                }
+            }
+        }
+        let having = if self.eat_keyword("HAVING") {
+            Some(self.expr()?)
+        } else {
+            None
+        };
+        Ok(Select { distinct, projection, from, selection, group_by, having })
+    }
+
+    fn select_item(&mut self) -> Result<SelectItem> {
+        if self.eat_symbol("*") {
+            return Ok(SelectItem::Wildcard);
+        }
+        // `table.*`
+        if let (Token::Ident(t), Token::Symbol("."), Token::Symbol("*")) =
+            (self.peek().clone(), self.peek_at(1).clone(), self.peek_at(2).clone())
+        {
+            self.pos += 3;
+            return Ok(SelectItem::QualifiedWildcard(t));
+        }
+        let expr = self.expr()?;
+        let alias = if self.eat_keyword("AS") {
+            Some(self.expect_ident()?)
+        } else if let Token::Ident(name) = self.peek() {
+            let name = name.clone();
+            self.pos += 1;
+            Some(name)
+        } else {
+            None
+        };
+        Ok(SelectItem::Expr { expr, alias })
+    }
+
+    fn parse_from(&mut self) -> Result<FromClause> {
+        let base = self.table_factor()?;
+        let mut joins = Vec::new();
+        loop {
+            let kind = if self.eat_symbol(",") {
+                JoinKind::Cross
+            } else if self.eat_keyword("CROSS") {
+                self.expect_keyword("JOIN")?;
+                JoinKind::Cross
+            } else if self.eat_keyword("LEFT") {
+                self.eat_keyword("OUTER");
+                self.expect_keyword("JOIN")?;
+                JoinKind::Left
+            } else if self.eat_keyword("INNER") {
+                self.expect_keyword("JOIN")?;
+                JoinKind::Inner
+            } else if self.eat_keyword("JOIN") {
+                JoinKind::Inner
+            } else {
+                break;
+            };
+            let factor = self.table_factor()?;
+            let on = if self.eat_keyword("ON") {
+                Some(self.expr()?)
+            } else {
+                None
+            };
+            joins.push(Join { kind, factor, on });
+        }
+        Ok(FromClause { base, joins })
+    }
+
+    fn table_factor(&mut self) -> Result<TableFactor> {
+        if self.eat_symbol("(") {
+            let q = self.query()?;
+            self.expect_symbol(")")?;
+            self.eat_keyword("AS");
+            let alias = self.expect_ident()?;
+            return Ok(TableFactor::Derived { subquery: Box::new(q), alias });
+        }
+        let name = self.expect_ident()?;
+        let alias = if self.eat_keyword("AS") {
+            Some(self.expect_ident()?)
+        } else if let Token::Ident(a) = self.peek() {
+            let a = a.clone();
+            self.pos += 1;
+            Some(a)
+        } else {
+            None
+        };
+        Ok(TableFactor::Table { name, alias })
+    }
+
+    // -- expressions ---------------------------------------------------------
+
+    fn expr(&mut self) -> Result<Expr> {
+        self.or_expr()
+    }
+
+    fn or_expr(&mut self) -> Result<Expr> {
+        let mut left = self.and_expr()?;
+        while self.eat_keyword("OR") {
+            let right = self.and_expr()?;
+            left = Expr::binary(left, BinaryOp::Or, right);
+        }
+        Ok(left)
+    }
+
+    fn and_expr(&mut self) -> Result<Expr> {
+        let mut left = self.not_expr()?;
+        while self.eat_keyword("AND") {
+            let right = self.not_expr()?;
+            left = Expr::binary(left, BinaryOp::And, right);
+        }
+        Ok(left)
+    }
+
+    fn not_expr(&mut self) -> Result<Expr> {
+        if self.eat_keyword("NOT") {
+            // `NOT EXISTS (...)` folds into the Exists node.
+            if self.peek_keyword("EXISTS") {
+                let e = self.predicate()?;
+                if let Expr::Exists { query, negated } = e {
+                    return Ok(Expr::Exists { query, negated: !negated });
+                }
+                unreachable!("EXISTS predicate expected");
+            }
+            let inner = self.not_expr()?;
+            return Ok(Expr::Unary { op: UnaryOp::Not, expr: Box::new(inner) });
+        }
+        self.predicate()
+    }
+
+    fn predicate(&mut self) -> Result<Expr> {
+        if self.eat_keyword("EXISTS") {
+            self.expect_symbol("(")?;
+            let q = self.query()?;
+            self.expect_symbol(")")?;
+            return Ok(Expr::Exists { query: Box::new(q), negated: false });
+        }
+        let left = self.concat_expr()?;
+        let negated = self.eat_keyword("NOT");
+        if self.eat_keyword("IN") {
+            self.expect_symbol("(")?;
+            if self.peek_keyword("SELECT") {
+                let q = self.query()?;
+                self.expect_symbol(")")?;
+                return Ok(Expr::InSubquery { expr: Box::new(left), query: Box::new(q), negated });
+            }
+            let mut list = Vec::new();
+            loop {
+                list.push(self.expr()?);
+                if !self.eat_symbol(",") {
+                    break;
+                }
+            }
+            self.expect_symbol(")")?;
+            return Ok(Expr::InList { expr: Box::new(left), list, negated });
+        }
+        if self.eat_keyword("BETWEEN") {
+            let low = self.concat_expr()?;
+            self.expect_keyword("AND")?;
+            let high = self.concat_expr()?;
+            return Ok(Expr::Between {
+                expr: Box::new(left),
+                low: Box::new(low),
+                high: Box::new(high),
+                negated,
+            });
+        }
+        if self.eat_keyword("LIKE") || self.eat_keyword("GLOB") {
+            let pattern = self.concat_expr()?;
+            return Ok(Expr::Like { expr: Box::new(left), pattern: Box::new(pattern), negated });
+        }
+        if self.eat_keyword("IS") {
+            let negated = self.eat_keyword("NOT");
+            self.expect_keyword("NULL")?;
+            return Ok(Expr::IsNull { expr: Box::new(left), negated });
+        }
+        if negated {
+            return Err(self.unexpected("IN, BETWEEN or LIKE after NOT"));
+        }
+        let op = match self.peek() {
+            Token::Symbol("=") => Some(BinaryOp::Eq),
+            Token::Symbol("!=") => Some(BinaryOp::NotEq),
+            Token::Symbol("<") => Some(BinaryOp::Lt),
+            Token::Symbol("<=") => Some(BinaryOp::LtEq),
+            Token::Symbol(">") => Some(BinaryOp::Gt),
+            Token::Symbol(">=") => Some(BinaryOp::GtEq),
+            _ => None,
+        };
+        if let Some(op) = op {
+            self.pos += 1;
+            let right = self.concat_expr()?;
+            return Ok(Expr::binary(left, op, right));
+        }
+        Ok(left)
+    }
+
+    fn concat_expr(&mut self) -> Result<Expr> {
+        let mut left = self.additive()?;
+        while self.eat_symbol("||") {
+            let right = self.additive()?;
+            left = Expr::binary(left, BinaryOp::Concat, right);
+        }
+        Ok(left)
+    }
+
+    fn additive(&mut self) -> Result<Expr> {
+        let mut left = self.multiplicative()?;
+        loop {
+            let op = match self.peek() {
+                Token::Symbol("+") => BinaryOp::Add,
+                Token::Symbol("-") => BinaryOp::Sub,
+                _ => break,
+            };
+            self.pos += 1;
+            let right = self.multiplicative()?;
+            left = Expr::binary(left, op, right);
+        }
+        Ok(left)
+    }
+
+    fn multiplicative(&mut self) -> Result<Expr> {
+        let mut left = self.unary()?;
+        loop {
+            let op = match self.peek() {
+                Token::Symbol("*") => BinaryOp::Mul,
+                Token::Symbol("/") => BinaryOp::Div,
+                Token::Symbol("%") => BinaryOp::Mod,
+                _ => break,
+            };
+            self.pos += 1;
+            let right = self.unary()?;
+            left = Expr::binary(left, op, right);
+        }
+        Ok(left)
+    }
+
+    fn unary(&mut self) -> Result<Expr> {
+        if self.eat_symbol("-") {
+            let inner = self.unary()?;
+            // Fold negation into numeric literals.
+            return Ok(match inner {
+                Expr::Literal(Value::Integer(i)) => Expr::Literal(Value::Integer(-i)),
+                Expr::Literal(Value::Real(r)) => Expr::Literal(Value::Real(-r)),
+                other => Expr::Unary { op: UnaryOp::Neg, expr: Box::new(other) },
+            });
+        }
+        if self.eat_symbol("+") {
+            return self.unary();
+        }
+        self.primary()
+    }
+
+    fn primary(&mut self) -> Result<Expr> {
+        match self.peek().clone() {
+            Token::IntLit(i) => {
+                self.pos += 1;
+                Ok(Expr::Literal(Value::Integer(i)))
+            }
+            Token::FloatLit(f) => {
+                self.pos += 1;
+                Ok(Expr::Literal(Value::Real(f)))
+            }
+            Token::StringLit(s) => {
+                self.pos += 1;
+                Ok(Expr::Literal(Value::Text(s)))
+            }
+            Token::Keyword(k) if k == "NULL" => {
+                self.pos += 1;
+                Ok(Expr::Literal(Value::Null))
+            }
+            Token::Keyword(k) if k == "CAST" => {
+                self.pos += 1;
+                self.expect_symbol("(")?;
+                let expr = self.expr()?;
+                self.expect_keyword("AS")?;
+                let mut type_name = self.expect_ident()?;
+                if self.eat_symbol("(") {
+                    type_name.push('(');
+                    while !self.eat_symbol(")") {
+                        match self.advance() {
+                            Token::IntLit(i) => type_name.push_str(&i.to_string()),
+                            Token::Symbol(",") => type_name.push(','),
+                            other => {
+                                return Err(Error::Parse(format!(
+                                    "bad CAST type parameter: {}",
+                                    other.describe()
+                                )))
+                            }
+                        }
+                    }
+                    type_name.push(')');
+                }
+                self.expect_symbol(")")?;
+                Ok(Expr::Cast { expr: Box::new(expr), type_name })
+            }
+            Token::Keyword(k) if k == "CASE" => {
+                self.pos += 1;
+                let operand = if !self.peek_keyword("WHEN") {
+                    Some(Box::new(self.expr()?))
+                } else {
+                    None
+                };
+                let mut branches = Vec::new();
+                while self.eat_keyword("WHEN") {
+                    let cond = self.expr()?;
+                    self.expect_keyword("THEN")?;
+                    let result = self.expr()?;
+                    branches.push((cond, result));
+                }
+                if branches.is_empty() {
+                    return Err(self.unexpected("WHEN"));
+                }
+                let else_expr = if self.eat_keyword("ELSE") {
+                    Some(Box::new(self.expr()?))
+                } else {
+                    None
+                };
+                self.expect_keyword("END")?;
+                Ok(Expr::Case { operand, branches, else_expr })
+            }
+            Token::Symbol("(") => {
+                self.pos += 1;
+                if self.peek_keyword("SELECT") {
+                    let q = self.query()?;
+                    self.expect_symbol(")")?;
+                    return Ok(Expr::ScalarSubquery(Box::new(q)));
+                }
+                let e = self.expr()?;
+                self.expect_symbol(")")?;
+                Ok(e)
+            }
+            Token::Ident(name) => {
+                // Function call?
+                if matches!(self.peek_at(1), Token::Symbol("(")) {
+                    self.pos += 2;
+                    let fname = name.to_uppercase();
+                    if self.eat_symbol("*") {
+                        self.expect_symbol(")")?;
+                        return Ok(Expr::Function { name: fname, args: vec![], distinct: false, star: true });
+                    }
+                    let distinct = self.eat_keyword("DISTINCT");
+                    let mut args = Vec::new();
+                    if !self.eat_symbol(")") {
+                        loop {
+                            args.push(self.expr()?);
+                            if !self.eat_symbol(",") {
+                                break;
+                            }
+                        }
+                        self.expect_symbol(")")?;
+                    }
+                    return Ok(Expr::Function { name: fname, args, distinct, star: false });
+                }
+                // Qualified or bare column.
+                self.pos += 1;
+                if self.eat_symbol(".") {
+                    let col = self.expect_ident()?;
+                    Ok(Expr::Column { table: Some(name), name: col })
+                } else {
+                    Ok(Expr::Column { table: None, name })
+                }
+            }
+            other => Err(Error::Parse(format!("unexpected {}", other.describe()))),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn q(sql: &str) -> Query {
+        parse_query(sql).unwrap()
+    }
+
+    fn roundtrip(sql: &str) {
+        let first = q(sql);
+        let rendered = first.to_string();
+        let second = parse_query(&rendered).unwrap_or_else(|e| panic!("re-parse of `{rendered}` failed: {e}"));
+        assert_eq!(first, second, "round-trip mismatch for {sql}");
+    }
+
+    #[test]
+    fn simple_select() {
+        let query = q("SELECT name, age FROM users WHERE age >= 21");
+        let sel = query.leftmost_select();
+        assert_eq!(sel.projection.len(), 2);
+        assert!(sel.selection.is_some());
+    }
+
+    #[test]
+    fn join_with_aliases() {
+        let query = q("SELECT T1.name FROM users AS T1 JOIN orders T2 ON T1.id = T2.user_id");
+        let sel = query.leftmost_select();
+        let from = sel.from.as_ref().unwrap();
+        assert_eq!(from.base.binding_name(), "T1");
+        assert_eq!(from.joins.len(), 1);
+        assert!(from.joins[0].on.is_some());
+    }
+
+    #[test]
+    fn group_having_order_limit() {
+        let query = q(
+            "SELECT dept, COUNT(*) FROM emp GROUP BY dept HAVING COUNT(*) > 2 ORDER BY COUNT(*) DESC LIMIT 3",
+        );
+        let sel = query.leftmost_select();
+        assert_eq!(sel.group_by.len(), 1);
+        assert!(sel.having.is_some());
+        assert_eq!(query.order_by.len(), 1);
+        assert!(query.order_by[0].desc);
+        assert_eq!(query.limit, Some(Expr::lit(3)));
+    }
+
+    #[test]
+    fn set_operations_chain_left_assoc() {
+        let query = q("SELECT a FROM t UNION SELECT b FROM u INTERSECT SELECT c FROM v");
+        match &query.body {
+            SetExpr::SetOp { op, left, .. } => {
+                assert_eq!(*op, SetOpKind::Intersect);
+                assert!(matches!(**left, SetExpr::SetOp { op: SetOpKind::Union, .. }));
+            }
+            other => panic!("expected set op, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn nested_ordered_term() {
+        let query = q("(SELECT a FROM t ORDER BY a LIMIT 1) UNION SELECT b FROM u");
+        assert!(matches!(
+            &query.body,
+            SetExpr::SetOp { left, .. } if matches!(**left, SetExpr::Nested(_))
+        ));
+    }
+
+    #[test]
+    fn subqueries() {
+        let query = q("SELECT name FROM t WHERE id IN (SELECT tid FROM u WHERE x = 1)");
+        let sel = query.leftmost_select();
+        assert!(matches!(sel.selection, Some(Expr::InSubquery { .. })));
+        let query = q("SELECT name FROM t WHERE sal > (SELECT AVG(sal) FROM t)");
+        assert!(matches!(
+            query.leftmost_select().selection,
+            Some(Expr::Binary { .. })
+        ));
+        let query = q("SELECT 1 WHERE EXISTS (SELECT 1 FROM t)");
+        assert!(matches!(query.leftmost_select().selection, Some(Expr::Exists { negated: false, .. })));
+        let query = q("SELECT 1 WHERE NOT EXISTS (SELECT 1 FROM t)");
+        assert!(matches!(query.leftmost_select().selection, Some(Expr::Exists { negated: true, .. })));
+    }
+
+    #[test]
+    fn derived_table() {
+        let query = q("SELECT s.n FROM (SELECT COUNT(*) AS n FROM t) AS s");
+        let sel = query.leftmost_select();
+        assert!(matches!(sel.from.as_ref().unwrap().base, TableFactor::Derived { .. }));
+    }
+
+    #[test]
+    fn predicates() {
+        assert!(matches!(
+            q("SELECT 1 FROM t WHERE a BETWEEN 1 AND 5").leftmost_select().selection,
+            Some(Expr::Between { negated: false, .. })
+        ));
+        assert!(matches!(
+            q("SELECT 1 FROM t WHERE a NOT LIKE '%x%'").leftmost_select().selection,
+            Some(Expr::Like { negated: true, .. })
+        ));
+        assert!(matches!(
+            q("SELECT 1 FROM t WHERE a IS NOT NULL").leftmost_select().selection,
+            Some(Expr::IsNull { negated: true, .. })
+        ));
+        assert!(matches!(
+            q("SELECT 1 FROM t WHERE a IN (1, 2, 3)").leftmost_select().selection,
+            Some(Expr::InList { .. })
+        ));
+    }
+
+    #[test]
+    fn operator_precedence() {
+        // a = 1 OR b = 2 AND c = 3  parses as  a = 1 OR (b = 2 AND c = 3)
+        let query = q("SELECT 1 FROM t WHERE a = 1 OR b = 2 AND c = 3");
+        match query.leftmost_select().selection.as_ref().unwrap() {
+            Expr::Binary { op: BinaryOp::Or, right, .. } => {
+                assert!(matches!(**right, Expr::Binary { op: BinaryOp::And, .. }));
+            }
+            other => panic!("wrong tree: {other:?}"),
+        }
+        // 1 + 2 * 3 parses multiplication first.
+        let query = q("SELECT 1 + 2 * 3");
+        match &query.leftmost_select().projection[0] {
+            SelectItem::Expr { expr: Expr::Binary { op: BinaryOp::Add, right, .. }, .. } => {
+                assert!(matches!(**right, Expr::Binary { op: BinaryOp::Mul, .. }));
+            }
+            other => panic!("wrong tree: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn negative_literals_fold() {
+        let query = q("SELECT -5, -2.5");
+        let items = &query.leftmost_select().projection;
+        assert!(matches!(items[0], SelectItem::Expr { expr: Expr::Literal(Value::Integer(-5)), .. }));
+        assert!(matches!(items[1], SelectItem::Expr { expr: Expr::Literal(Value::Real(r)), .. } if r == -2.5));
+    }
+
+    #[test]
+    fn create_table_full() {
+        let stmt = parse_statement(
+            "CREATE TABLE t (id INTEGER PRIMARY KEY, name VARCHAR(30) NOT NULL COMMENT 'person name', \
+             score REAL DEFAULT 0, dept_id INT REFERENCES dept(id), \
+             FOREIGN KEY (name) REFERENCES people(name))",
+        )
+        .unwrap();
+        let Statement::CreateTable(ct) = stmt else { panic!() };
+        assert_eq!(ct.columns.len(), 4);
+        assert!(ct.columns[0].primary_key);
+        assert_eq!(ct.columns[1].comment.as_deref(), Some("person name"));
+        assert_eq!(ct.foreign_keys.len(), 2); // inline + table-level
+    }
+
+    #[test]
+    fn insert_rows() {
+        let stmt = parse_statement("INSERT INTO t (a, b) VALUES (1, 'x'), (2, NULL)").unwrap();
+        let Statement::Insert(ins) = stmt else { panic!() };
+        assert_eq!(ins.rows.len(), 2);
+        assert_eq!(ins.columns.as_ref().unwrap().len(), 2);
+    }
+
+    #[test]
+    fn script_parsing() {
+        let stmts = parse_script("CREATE TABLE t (a INT); INSERT INTO t VALUES (1); SELECT a FROM t;").unwrap();
+        assert_eq!(stmts.len(), 3);
+    }
+
+    #[test]
+    fn roundtrips() {
+        for sql in [
+            "SELECT DISTINCT name FROM users WHERE age > 18",
+            "SELECT dept, COUNT(*) AS n FROM emp GROUP BY dept HAVING COUNT(*) > 2 ORDER BY n DESC LIMIT 5",
+            "SELECT T1.a FROM t AS T1 JOIN u AS T2 ON T1.id = T2.tid WHERE T2.x BETWEEN 1 AND 3",
+            "SELECT a FROM t WHERE b IN (SELECT c FROM u) AND d IS NOT NULL",
+            "SELECT a FROM t UNION SELECT b FROM u",
+            "SELECT CAST(a AS REAL) FROM t WHERE name LIKE '%smith%'",
+            "SELECT MAX(x), MIN(y) FROM t WHERE z = 'O''Brien'",
+            "SELECT CASE WHEN a > 0 THEN 'pos' ELSE 'neg' END FROM t",
+            "SELECT a FROM (SELECT a FROM t LIMIT 3) AS s ORDER BY a ASC",
+            "SELECT COUNT(DISTINCT a) FROM t",
+        ] {
+            roundtrip(sql);
+        }
+    }
+
+    #[test]
+    fn errors() {
+        assert!(parse_query("SELECT FROM t").is_err());
+        assert!(parse_query("SELECT a FROM").is_err());
+        assert!(parse_query("SELECT a t WHERE").is_err());
+        assert!(parse_statement("DELETE FROM t").is_err());
+        assert!(parse_query("SELECT a FROM t WHERE a NOT > 3").is_err());
+    }
+}

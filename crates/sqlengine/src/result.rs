@@ -1,0 +1,186 @@
+//! Query results and result comparison (the basis of the EX metric).
+
+use std::collections::HashMap;
+
+use crate::value::{Row, Value};
+
+/// The output of executing a query.
+#[derive(Debug, Clone, PartialEq)]
+pub struct QueryResult {
+    /// Output column names (post-aliasing).
+    pub columns: Vec<String>,
+    /// Result rows.
+    pub rows: Vec<Row>,
+    /// Whether the query imposed an output order (top-level ORDER BY).
+    pub ordered: bool,
+}
+
+impl QueryResult {
+    /// Assemble a result.
+    pub fn new(columns: Vec<String>, rows: Vec<Row>, ordered: bool) -> QueryResult {
+        QueryResult { columns, rows, ordered }
+    }
+
+    /// The empty, unordered result.
+    pub fn empty() -> QueryResult {
+        QueryResult { columns: Vec::new(), rows: Vec::new(), ordered: false }
+    }
+
+    /// Number of rows.
+    pub fn row_count(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// Execution-accuracy comparison: results match when they contain the
+    /// same rows — as a sequence when *both* queries are ordered, as a
+    /// multiset otherwise. Floats compare with a small relative tolerance,
+    /// mirroring the official Spider/BIRD evaluation scripts.
+    pub fn same_result(&self, other: &QueryResult) -> bool {
+        if self.rows.len() != other.rows.len() {
+            return false;
+        }
+        if !self.rows.is_empty() && self.rows[0].len() != other.rows[0].len() {
+            return false;
+        }
+        if self.ordered && other.ordered {
+            self.rows
+                .iter()
+                .zip(&other.rows)
+                .all(|(a, b)| rows_equal(a, b))
+        } else {
+            multiset_equal(&self.rows, &other.rows)
+        }
+    }
+
+    /// Render as a compact table; used in examples and error reports.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        out.push_str(&self.columns.join(" | "));
+        out.push('\n');
+        out.push_str(&"-".repeat(out.len().saturating_sub(1).max(4)));
+        out.push('\n');
+        for row in &self.rows {
+            let cells: Vec<String> = row.iter().map(Value::render).collect();
+            out.push_str(&cells.join(" | "));
+            out.push('\n');
+        }
+        out
+    }
+}
+
+fn values_equal(a: &Value, b: &Value) -> bool {
+    match (a, b) {
+        (Value::Real(_) | Value::Integer(_), Value::Real(_) | Value::Integer(_)) => {
+            let (x, y) = (a.as_f64().unwrap(), b.as_f64().unwrap());
+            if x == y {
+                return true;
+            }
+            let scale = x.abs().max(y.abs());
+            (x - y).abs() <= 1e-6 * scale.max(1.0)
+        }
+        _ => a == b,
+    }
+}
+
+fn rows_equal(a: &Row, b: &Row) -> bool {
+    a.len() == b.len() && a.iter().zip(b).all(|(x, y)| values_equal(x, y))
+}
+
+/// Multiset equality over rows. Uses a canonical-key map: float cells are
+/// bucketed at 1e-6 resolution so the tolerance of `values_equal` carries
+/// over in the common case.
+fn multiset_equal(a: &[Row], b: &[Row]) -> bool {
+    fn key(row: &Row) -> String {
+        let mut s = String::new();
+        for v in row {
+            match v {
+                Value::Null => s.push_str("\u{1}N"),
+                Value::Integer(i) => s.push_str(&format!("\u{1}F{:.6}", *i as f64)),
+                Value::Real(r) => s.push_str(&format!("\u{1}F{:.6}", r)),
+                Value::Text(t) => {
+                    s.push_str("\u{1}T");
+                    s.push_str(t);
+                }
+            }
+        }
+        s
+    }
+    let mut counts: HashMap<String, i64> = HashMap::with_capacity(a.len());
+    for row in a {
+        *counts.entry(key(row)).or_insert(0) += 1;
+    }
+    for row in b {
+        match counts.get_mut(&key(row)) {
+            Some(c) => *c -= 1,
+            None => return false,
+        }
+    }
+    counts.values().all(|&c| c == 0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn res(rows: Vec<Row>, ordered: bool) -> QueryResult {
+        QueryResult::new(vec!["c".into()], rows, ordered)
+    }
+
+    #[test]
+    fn unordered_comparison_is_multiset() {
+        let a = res(vec![vec![1.into()], vec![2.into()], vec![2.into()]], false);
+        let b = res(vec![vec![2.into()], vec![1.into()], vec![2.into()]], false);
+        assert!(a.same_result(&b));
+        let c = res(vec![vec![2.into()], vec![1.into()], vec![1.into()]], false);
+        assert!(!a.same_result(&c));
+    }
+
+    #[test]
+    fn ordered_comparison_respects_sequence() {
+        let a = res(vec![vec![1.into()], vec![2.into()]], true);
+        let b = res(vec![vec![2.into()], vec![1.into()]], true);
+        assert!(!a.same_result(&b));
+        // If either side is unordered, fall back to multiset.
+        let b2 = res(vec![vec![2.into()], vec![1.into()]], false);
+        assert!(a.same_result(&b2));
+    }
+
+    #[test]
+    fn float_tolerance() {
+        let a = res(vec![vec![Value::Real(0.3333333333)]], false);
+        let b = res(vec![vec![Value::Real(0.3333333330)]], false);
+        assert!(a.same_result(&b));
+        let c = res(vec![vec![Value::Real(0.34)]], false);
+        assert!(!a.same_result(&c));
+    }
+
+    #[test]
+    fn integer_and_real_compare_equal() {
+        let a = res(vec![vec![Value::Integer(3)]], false);
+        let b = res(vec![vec![Value::Real(3.0)]], false);
+        assert!(a.same_result(&b));
+    }
+
+    #[test]
+    fn arity_mismatch_fails() {
+        let a = QueryResult::new(vec!["a".into()], vec![vec![1.into()]], false);
+        let b = QueryResult::new(
+            vec!["a".into(), "b".into()],
+            vec![vec![1.into(), 2.into()]],
+            false,
+        );
+        assert!(!a.same_result(&b));
+    }
+
+    #[test]
+    fn render_is_readable() {
+        let r = QueryResult::new(
+            vec!["name".into(), "n".into()],
+            vec![vec!["x".into(), 3.into()]],
+            false,
+        );
+        let s = r.render();
+        assert!(s.contains("name | n"));
+        assert!(s.contains("x | 3"));
+    }
+}

@@ -1,0 +1,82 @@
+//! Column data types (storage classes).
+
+use std::fmt;
+
+/// The three storage classes the engine supports, matching what the CodeS
+/// benchmarks use (SQLite's NUMERIC/BLOB affinities are folded away).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum DataType {
+    /// 64-bit signed integers.
+    Integer,
+    /// 64-bit floats.
+    Real,
+    /// UTF-8 text.
+    Text,
+}
+
+impl DataType {
+    /// Map a SQL type name to a storage class using SQLite-like affinity
+    /// rules: anything containing INT is an integer, CHAR/CLOB/TEXT is text,
+    /// REAL/FLOA/DOUB/NUM/DEC is real; unknown names default to text.
+    pub fn from_sql_name(name: &str) -> DataType {
+        let up = name.to_ascii_uppercase();
+        if up.contains("INT") || up == "BOOL" || up == "BOOLEAN" {
+            DataType::Integer
+        } else if up.contains("CHAR") || up.contains("CLOB") || up.contains("TEXT") || up.contains("DATE") || up.contains("TIME") {
+            DataType::Text
+        } else if up.contains("REAL")
+            || up.contains("FLOA")
+            || up.contains("DOUB")
+            || up.contains("NUM")
+            || up.contains("DEC")
+        {
+            DataType::Real
+        } else {
+            DataType::Text
+        }
+    }
+
+    /// Canonical SQL spelling used when serializing schemas into prompts.
+    pub fn sql_name(&self) -> &'static str {
+        match self {
+            DataType::Integer => "INTEGER",
+            DataType::Real => "REAL",
+            DataType::Text => "TEXT",
+        }
+    }
+
+    /// Whether arithmetic is meaningful without a CAST. The paper's §6.3
+    /// metadata discussion hinges on this distinction.
+    pub fn is_numeric(&self) -> bool {
+        matches!(self, DataType::Integer | DataType::Real)
+    }
+}
+
+impl fmt::Display for DataType {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.sql_name())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn affinity_rules() {
+        assert_eq!(DataType::from_sql_name("INTEGER"), DataType::Integer);
+        assert_eq!(DataType::from_sql_name("bigint"), DataType::Integer);
+        assert_eq!(DataType::from_sql_name("VARCHAR(255)"), DataType::Text);
+        assert_eq!(DataType::from_sql_name("double precision"), DataType::Real);
+        assert_eq!(DataType::from_sql_name("DECIMAL(10,2)"), DataType::Real);
+        assert_eq!(DataType::from_sql_name("DATE"), DataType::Text);
+        assert_eq!(DataType::from_sql_name("mystery"), DataType::Text);
+    }
+
+    #[test]
+    fn numeric_flag() {
+        assert!(DataType::Integer.is_numeric());
+        assert!(DataType::Real.is_numeric());
+        assert!(!DataType::Text.is_numeric());
+    }
+}

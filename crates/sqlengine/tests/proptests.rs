@@ -1,0 +1,168 @@
+//! Property-based tests over the engine's core invariants.
+
+use proptest::prelude::*;
+use sqlengine::functions::like_match;
+use sqlengine::value::format_real;
+use sqlengine::{database_from_script, execute_query, parse_query, Database, Value};
+
+fn db_with_ints(xs: &[i64]) -> Database {
+    let mut script = String::from("CREATE TABLE t (x INTEGER, tag TEXT);");
+    for (i, x) in xs.iter().enumerate() {
+        script.push_str(&format!("INSERT INTO t VALUES ({x}, 'r{}');", i % 3));
+    }
+    database_from_script("prop", &script).unwrap()
+}
+
+proptest! {
+    #[test]
+    fn total_order_is_transitive_and_antisymmetric(a in any::<i64>(), b in any::<i64>(), c in any::<f64>()) {
+        let va = Value::Integer(a);
+        let vb = Value::Integer(b);
+        let vc = Value::Real(c);
+        // antisymmetry
+        prop_assert_eq!(va.total_cmp(&vb), vb.total_cmp(&va).reverse());
+        // transitivity over a chain of three
+        let mut vals = [va, vb, vc];
+        vals.sort();
+        prop_assert!(vals[0] <= vals[1] && vals[1] <= vals[2] && vals[0] <= vals[2]);
+    }
+
+    #[test]
+    fn equal_values_hash_equal(a in -1_000_000i64..1_000_000) {
+        use std::collections::hash_map::DefaultHasher;
+        use std::hash::{Hash, Hasher};
+        let i = Value::Integer(a);
+        let r = Value::Real(a as f64);
+        prop_assert_eq!(&i, &r);
+        let mut h1 = DefaultHasher::new();
+        let mut h2 = DefaultHasher::new();
+        i.hash(&mut h1);
+        r.hash(&mut h2);
+        prop_assert_eq!(h1.finish(), h2.finish());
+    }
+
+    #[test]
+    fn count_matches_vector_length(xs in prop::collection::vec(-1000i64..1000, 0..40)) {
+        let db = db_with_ints(&xs);
+        let r = execute_query(&db, "SELECT COUNT(*) FROM t").unwrap();
+        prop_assert_eq!(&r.rows[0][0], &Value::Integer(xs.len() as i64));
+    }
+
+    #[test]
+    fn sum_and_avg_agree_with_reference(xs in prop::collection::vec(-1000i64..1000, 1..40)) {
+        let db = db_with_ints(&xs);
+        let r = execute_query(&db, "SELECT SUM(x), AVG(x), MIN(x), MAX(x) FROM t").unwrap();
+        let sum: i64 = xs.iter().sum();
+        prop_assert_eq!(&r.rows[0][0], &Value::Integer(sum));
+        let avg = r.rows[0][1].as_f64().unwrap();
+        prop_assert!((avg - sum as f64 / xs.len() as f64).abs() < 1e-9);
+        prop_assert_eq!(&r.rows[0][2], &Value::Integer(*xs.iter().min().unwrap()));
+        prop_assert_eq!(&r.rows[0][3], &Value::Integer(*xs.iter().max().unwrap()));
+    }
+
+    #[test]
+    fn where_partition_is_complete(xs in prop::collection::vec(-1000i64..1000, 0..40), pivot in -1000i64..1000) {
+        // |x <= p| + |x > p| == |t| when x is never NULL.
+        let db = db_with_ints(&xs);
+        let le = execute_query(&db, &format!("SELECT COUNT(*) FROM t WHERE x <= {pivot}")).unwrap();
+        let gt = execute_query(&db, &format!("SELECT COUNT(*) FROM t WHERE x > {pivot}")).unwrap();
+        let (a, b) = (le.rows[0][0].as_f64().unwrap(), gt.rows[0][0].as_f64().unwrap());
+        prop_assert_eq!((a + b) as usize, xs.len());
+    }
+
+    #[test]
+    fn order_by_produces_sorted_rows(xs in prop::collection::vec(-1000i64..1000, 0..40)) {
+        let db = db_with_ints(&xs);
+        let r = execute_query(&db, "SELECT x FROM t ORDER BY x ASC").unwrap();
+        let got: Vec<i64> = r.rows.iter().map(|row| match row[0] { Value::Integer(i) => i, _ => unreachable!() }).collect();
+        let mut want = xs.clone();
+        want.sort_unstable();
+        prop_assert_eq!(got, want);
+    }
+
+    #[test]
+    fn distinct_removes_exactly_duplicates(xs in prop::collection::vec(-20i64..20, 0..60)) {
+        let db = db_with_ints(&xs);
+        let r = execute_query(&db, "SELECT DISTINCT x FROM t").unwrap();
+        let unique: std::collections::HashSet<i64> = xs.iter().copied().collect();
+        prop_assert_eq!(r.rows.len(), unique.len());
+    }
+
+    #[test]
+    fn union_is_commutative_as_multiset(xs in prop::collection::vec(-50i64..50, 0..30), ys in prop::collection::vec(-50i64..50, 0..30)) {
+        let db = db_with_ints(&xs);
+        let _ = ys; // second operand drawn from same table with different predicates
+        let a = execute_query(&db, "SELECT x FROM t WHERE x < 0 UNION SELECT x FROM t WHERE x >= 0").unwrap();
+        let b = execute_query(&db, "SELECT x FROM t WHERE x >= 0 UNION SELECT x FROM t WHERE x < 0").unwrap();
+        prop_assert!(a.same_result(&b));
+    }
+
+    #[test]
+    fn limit_truncates(xs in prop::collection::vec(-1000i64..1000, 0..40), k in 0usize..50) {
+        let db = db_with_ints(&xs);
+        let r = execute_query(&db, &format!("SELECT x FROM t LIMIT {k}")).unwrap();
+        prop_assert_eq!(r.rows.len(), xs.len().min(k));
+    }
+
+    #[test]
+    fn group_by_counts_sum_to_total(xs in prop::collection::vec(-1000i64..1000, 0..40)) {
+        let db = db_with_ints(&xs);
+        let r = execute_query(&db, "SELECT tag, COUNT(*) FROM t GROUP BY tag").unwrap();
+        let total: f64 = r.rows.iter().map(|row| row[1].as_f64().unwrap()).sum();
+        prop_assert_eq!(total as usize, xs.len());
+        prop_assert!(r.rows.len() <= 3);
+    }
+
+    #[test]
+    fn query_rendering_roundtrips(limit in 1i64..100, pivot in -100i64..100) {
+        let sql = format!(
+            "SELECT tag, COUNT(*) AS n FROM t WHERE x > {pivot} GROUP BY tag HAVING COUNT(*) > 1 ORDER BY n DESC LIMIT {limit}"
+        );
+        let q1 = parse_query(&sql).unwrap();
+        let q2 = parse_query(&q1.to_string()).unwrap();
+        prop_assert_eq!(q1, q2);
+    }
+
+    #[test]
+    fn rendered_query_executes_identically(xs in prop::collection::vec(-100i64..100, 0..30)) {
+        let db = db_with_ints(&xs);
+        let sql = "SELECT tag, SUM(x) FROM t GROUP BY tag ORDER BY tag";
+        let q = parse_query(sql).unwrap();
+        let direct = execute_query(&db, sql).unwrap();
+        let roundtripped = execute_query(&db, &q.to_string()).unwrap();
+        prop_assert!(direct.same_result(&roundtripped));
+    }
+
+    #[test]
+    fn like_underscore_matches_len(text in "[a-z]{0,12}") {
+        let pattern: String = std::iter::repeat_n('_', text.chars().count()).collect();
+        prop_assert!(like_match(&text, &pattern));
+        prop_assert!(like_match(&text, "%"));
+        if !text.is_empty() {
+            // One fewer underscore must not match.
+            let short: String = std::iter::repeat_n('_', text.chars().count() - 1).collect();
+            prop_assert!(!like_match(&text, &short));
+        }
+    }
+
+    #[test]
+    fn like_contains_agrees_with_str_contains(hay in "[a-c]{0,10}", needle in "[a-c]{1,3}") {
+        let pattern = format!("%{needle}%");
+        prop_assert_eq!(like_match(&hay, &pattern), hay.contains(&needle));
+    }
+
+    #[test]
+    fn format_real_parses_back(r in -1.0e12f64..1.0e12) {
+        let s = format_real(r);
+        let back: f64 = s.parse().unwrap();
+        prop_assert!((back - r).abs() <= r.abs() * 1e-12 + 1e-12);
+    }
+
+    #[test]
+    fn cast_to_text_and_back_preserves_integers(i in -1_000_000i64..1_000_000) {
+        let v = Value::Integer(i);
+        let as_text = v.cast(sqlengine::DataType::Text);
+        let back = as_text.cast(sqlengine::DataType::Integer);
+        prop_assert_eq!(back, v);
+    }
+}

@@ -1,0 +1,480 @@
+//! End-to-end query tests against a small "concert" database shaped like a
+//! Spider schema.
+
+use sqlengine::{database_from_script, execute_query, execute_query_with_stats, Database, Value};
+
+fn concert_db() -> Database {
+    database_from_script(
+        "concert_singer",
+        r#"
+        CREATE TABLE stadium (
+            stadium_id INTEGER PRIMARY KEY,
+            location TEXT,
+            name TEXT,
+            capacity INTEGER,
+            average INTEGER
+        );
+        CREATE TABLE singer (
+            singer_id INTEGER PRIMARY KEY,
+            name TEXT,
+            country TEXT,
+            age INTEGER,
+            is_male TEXT
+        );
+        CREATE TABLE concert (
+            concert_id INTEGER PRIMARY KEY,
+            concert_name TEXT,
+            theme TEXT,
+            stadium_id INTEGER REFERENCES stadium(stadium_id),
+            year INTEGER
+        );
+        CREATE TABLE singer_in_concert (
+            concert_id INTEGER REFERENCES concert(concert_id),
+            singer_id INTEGER REFERENCES singer(singer_id)
+        );
+        INSERT INTO stadium VALUES
+            (1, 'East', 'Stark Arena', 52500, 1200),
+            (2, 'West', 'Balmoor', 10104, 900),
+            (3, 'North', 'Hive Stadium', 4000, 700),
+            (4, 'South', 'Recreation Park', 2000, NULL);
+        INSERT INTO singer VALUES
+            (1, 'Joe Sharp', 'Netherlands', 52, 'F'),
+            (2, 'Timbaland', 'United States', 32, 'T'),
+            (3, 'Justin Brown', 'France', 29, 'T'),
+            (4, 'Rose White', 'France', 41, 'F'),
+            (5, 'John Nizinik', 'France', 43, 'T');
+        INSERT INTO concert VALUES
+            (1, 'Auditions', 'Free choice', 1, 2014),
+            (2, 'Super bootcamp', 'Free choice 2', 2, 2014),
+            (3, 'Home Visits', 'Bleeding Love', 2, 2015),
+            (4, 'Week 1', 'Wide Awake', 3, 2014),
+            (5, 'Week 2', 'Party All Night', 1, 2015);
+        INSERT INTO singer_in_concert VALUES
+            (1, 2), (1, 3), (2, 3), (2, 4), (3, 5), (4, 1), (5, 1), (5, 2);
+        "#,
+    )
+    .unwrap()
+}
+
+fn rows(db: &Database, sql: &str) -> Vec<Vec<Value>> {
+    execute_query(db, sql)
+        .unwrap_or_else(|e| panic!("query `{sql}` failed: {e}"))
+        .rows
+}
+
+fn scalar(db: &Database, sql: &str) -> Value {
+    let r = rows(db, sql);
+    assert_eq!(r.len(), 1, "expected one row from {sql}");
+    assert_eq!(r[0].len(), 1, "expected one column from {sql}");
+    r[0][0].clone()
+}
+
+#[test]
+fn count_star() {
+    let db = concert_db();
+    assert_eq!(scalar(&db, "SELECT COUNT(*) FROM singer"), Value::Integer(5));
+}
+
+#[test]
+fn where_filtering_with_and_or() {
+    let db = concert_db();
+    let r = rows(&db, "SELECT name FROM singer WHERE country = 'France' AND age > 30");
+    assert_eq!(r.len(), 2);
+    let r = rows(&db, "SELECT name FROM singer WHERE age < 30 OR age > 50");
+    assert_eq!(r.len(), 2);
+}
+
+#[test]
+fn aggregates_over_groups() {
+    let db = concert_db();
+    let r = rows(
+        &db,
+        "SELECT country, COUNT(*), AVG(age) FROM singer GROUP BY country ORDER BY COUNT(*) DESC",
+    );
+    assert_eq!(r[0][0], Value::Text("France".into()));
+    assert_eq!(r[0][1], Value::Integer(3));
+    let avg = r[0][2].as_f64().unwrap();
+    assert!((avg - (29.0 + 41.0 + 43.0) / 3.0).abs() < 1e-9);
+}
+
+#[test]
+fn group_by_having() {
+    let db = concert_db();
+    let r = rows(
+        &db,
+        "SELECT country FROM singer GROUP BY country HAVING COUNT(*) >= 2",
+    );
+    assert_eq!(r, vec![vec![Value::Text("France".into())]]);
+}
+
+#[test]
+fn order_by_agg_with_limit_pattern() {
+    // The classic Spider template: argmax via ORDER BY COUNT(*) DESC LIMIT 1
+    let db = concert_db();
+    let v = scalar(
+        &db,
+        "SELECT country FROM singer GROUP BY country ORDER BY COUNT(*) DESC LIMIT 1",
+    );
+    assert_eq!(v, Value::Text("France".into()));
+}
+
+#[test]
+fn join_two_tables() {
+    let db = concert_db();
+    let r = rows(
+        &db,
+        "SELECT T2.name FROM concert AS T1 JOIN stadium AS T2 ON T1.stadium_id = T2.stadium_id WHERE T1.year = 2014",
+    );
+    assert_eq!(r.len(), 3);
+}
+
+#[test]
+fn three_way_join() {
+    let db = concert_db();
+    let r = rows(
+        &db,
+        "SELECT DISTINCT T3.name FROM singer_in_concert AS T1 \
+         JOIN concert AS T2 ON T1.concert_id = T2.concert_id \
+         JOIN singer AS T3 ON T1.singer_id = T3.singer_id \
+         WHERE T2.year = 2014",
+    );
+    // concerts 1,2,4 in 2014 -> singers 2,3,4,1
+    assert_eq!(r.len(), 4);
+}
+
+#[test]
+fn left_join_pads_nulls() {
+    let db = concert_db();
+    let r = rows(
+        &db,
+        "SELECT T1.name, T2.concert_id FROM stadium AS T1 LEFT JOIN concert AS T2 ON T1.stadium_id = T2.stadium_id \
+         WHERE T2.concert_id IS NULL",
+    );
+    assert_eq!(r.len(), 1);
+    assert_eq!(r[0][0], Value::Text("Recreation Park".into()));
+}
+
+#[test]
+fn distinct_projection() {
+    let db = concert_db();
+    let r = rows(&db, "SELECT DISTINCT country FROM singer");
+    assert_eq!(r.len(), 3);
+}
+
+#[test]
+fn in_subquery() {
+    let db = concert_db();
+    let r = rows(
+        &db,
+        "SELECT name FROM stadium WHERE stadium_id IN (SELECT stadium_id FROM concert WHERE year = 2015)",
+    );
+    assert_eq!(r.len(), 2);
+}
+
+#[test]
+fn not_in_subquery() {
+    let db = concert_db();
+    let r = rows(
+        &db,
+        "SELECT name FROM stadium WHERE stadium_id NOT IN (SELECT stadium_id FROM concert)",
+    );
+    assert_eq!(r, vec![vec![Value::Text("Recreation Park".into())]]);
+}
+
+#[test]
+fn scalar_subquery_comparison() {
+    let db = concert_db();
+    let r = rows(&db, "SELECT name FROM singer WHERE age > (SELECT AVG(age) FROM singer)");
+    assert_eq!(r.len(), 3); // 52, 41, 43 vs avg 39.4
+}
+
+#[test]
+fn exists_subquery() {
+    let db = concert_db();
+    assert_eq!(
+        scalar(&db, "SELECT COUNT(*) FROM stadium WHERE EXISTS (SELECT 1 FROM concert)"),
+        Value::Integer(4)
+    );
+    assert_eq!(
+        scalar(
+            &db,
+            "SELECT COUNT(*) FROM stadium WHERE NOT EXISTS (SELECT 1 FROM concert WHERE year = 1999)"
+        ),
+        Value::Integer(4)
+    );
+}
+
+#[test]
+fn union_intersect_except() {
+    let db = concert_db();
+    let r = rows(
+        &db,
+        "SELECT stadium_id FROM concert WHERE year = 2014 UNION SELECT stadium_id FROM concert WHERE year = 2015",
+    );
+    assert_eq!(r.len(), 3); // dedup across {1,2,3} ∪ {2,1}
+    let r = rows(
+        &db,
+        "SELECT stadium_id FROM concert WHERE year = 2014 INTERSECT SELECT stadium_id FROM concert WHERE year = 2015",
+    );
+    assert_eq!(r.len(), 2);
+    let r = rows(
+        &db,
+        "SELECT stadium_id FROM concert WHERE year = 2014 EXCEPT SELECT stadium_id FROM concert WHERE year = 2015",
+    );
+    assert_eq!(r, vec![vec![Value::Integer(3)]]);
+}
+
+#[test]
+fn union_all_keeps_duplicates() {
+    let db = concert_db();
+    let r = rows(&db, "SELECT country FROM singer UNION ALL SELECT country FROM singer");
+    assert_eq!(r.len(), 10);
+}
+
+#[test]
+fn set_op_with_order_and_limit() {
+    let db = concert_db();
+    let r = rows(
+        &db,
+        "SELECT name FROM singer WHERE age > 40 UNION SELECT name FROM singer WHERE country = 'France' \
+         ORDER BY name LIMIT 2",
+    );
+    assert_eq!(r.len(), 2);
+    assert!(r[0][0] <= r[1][0]);
+}
+
+#[test]
+fn between_and_like() {
+    let db = concert_db();
+    assert_eq!(
+        scalar(&db, "SELECT COUNT(*) FROM singer WHERE age BETWEEN 29 AND 41"),
+        Value::Integer(3)
+    );
+    let r = rows(&db, "SELECT name FROM singer WHERE name LIKE '%John%'");
+    assert_eq!(r.len(), 1);
+    let r = rows(&db, "SELECT name FROM singer WHERE name NOT LIKE 'J%'");
+    assert_eq!(r.len(), 2);
+}
+
+#[test]
+fn null_semantics_in_filters() {
+    let db = concert_db();
+    // average is NULL for one stadium: neither > nor <= matches it.
+    assert_eq!(
+        scalar(&db, "SELECT COUNT(*) FROM stadium WHERE average > 0"),
+        Value::Integer(3)
+    );
+    assert_eq!(
+        scalar(&db, "SELECT COUNT(*) FROM stadium WHERE average IS NULL"),
+        Value::Integer(1)
+    );
+    // COUNT(col) skips NULLs; COUNT(*) does not.
+    assert_eq!(scalar(&db, "SELECT COUNT(average) FROM stadium"), Value::Integer(3));
+    assert_eq!(scalar(&db, "SELECT COUNT(*) FROM stadium"), Value::Integer(4));
+}
+
+#[test]
+fn arithmetic_and_aliases() {
+    let db = concert_db();
+    let r = rows(
+        &db,
+        "SELECT name, capacity - average AS spare FROM stadium WHERE average IS NOT NULL ORDER BY spare DESC LIMIT 1",
+    );
+    assert_eq!(r[0][0], Value::Text("Stark Arena".into()));
+    assert_eq!(r[0][1], Value::Integer(51300));
+}
+
+#[test]
+fn min_max_sum() {
+    let db = concert_db();
+    let r = rows(&db, "SELECT MIN(age), MAX(age), SUM(age) FROM singer");
+    assert_eq!(r[0], vec![Value::Integer(29), Value::Integer(52), Value::Integer(197)]);
+}
+
+#[test]
+fn count_distinct() {
+    let db = concert_db();
+    assert_eq!(
+        scalar(&db, "SELECT COUNT(DISTINCT country) FROM singer"),
+        Value::Integer(3)
+    );
+}
+
+#[test]
+fn aggregates_on_empty_input() {
+    let db = concert_db();
+    let r = rows(&db, "SELECT COUNT(*), SUM(age), AVG(age), MAX(age) FROM singer WHERE age > 99");
+    assert_eq!(r.len(), 1);
+    assert_eq!(r[0][0], Value::Integer(0));
+    assert!(r[0][1].is_null());
+    assert!(r[0][2].is_null());
+    assert!(r[0][3].is_null());
+}
+
+#[test]
+fn derived_table_in_from() {
+    let db = concert_db();
+    let v = scalar(
+        &db,
+        "SELECT MAX(n) FROM (SELECT stadium_id, COUNT(*) AS n FROM concert GROUP BY stadium_id) AS t",
+    );
+    assert_eq!(v, Value::Integer(2));
+}
+
+#[test]
+fn case_expression() {
+    let db = concert_db();
+    let r = rows(
+        &db,
+        "SELECT name, CASE WHEN age >= 40 THEN 'senior' ELSE 'junior' END FROM singer ORDER BY singer_id",
+    );
+    assert_eq!(r[0][1], Value::Text("senior".into()));
+    assert_eq!(r[1][1], Value::Text("junior".into()));
+}
+
+#[test]
+fn cast_and_substr() {
+    let db = concert_db();
+    let v = scalar(&db, "SELECT CAST(SUBSTR('2009-03-04', 1, 4) AS INTEGER)");
+    assert_eq!(v, Value::Integer(2009));
+}
+
+#[test]
+fn order_by_multiple_keys() {
+    let db = concert_db();
+    let r = rows(&db, "SELECT country, name FROM singer ORDER BY country ASC, age DESC");
+    assert_eq!(r[0][0], Value::Text("France".into()));
+    assert_eq!(r[0][1], Value::Text("John Nizinik".into())); // oldest French singer first
+}
+
+#[test]
+fn limit_and_offset() {
+    let db = concert_db();
+    let r = rows(&db, "SELECT singer_id FROM singer ORDER BY singer_id LIMIT 2 OFFSET 1");
+    assert_eq!(r, vec![vec![Value::Integer(2)], vec![Value::Integer(3)]]);
+    let r = rows(&db, "SELECT singer_id FROM singer ORDER BY singer_id LIMIT 1, 2");
+    assert_eq!(r, vec![vec![Value::Integer(2)], vec![Value::Integer(3)]]);
+}
+
+#[test]
+fn wildcard_projection() {
+    let db = concert_db();
+    let result = execute_query(&db, "SELECT * FROM stadium WHERE stadium_id = 1").unwrap();
+    assert_eq!(result.columns, vec!["stadium_id", "location", "name", "capacity", "average"]);
+    assert_eq!(result.rows.len(), 1);
+    let result = execute_query(
+        &db,
+        "SELECT T1.* FROM concert AS T1 JOIN stadium AS T2 ON T1.stadium_id = T2.stadium_id WHERE T2.name = 'Balmoor'",
+    )
+    .unwrap();
+    assert_eq!(result.columns.len(), 5);
+    assert_eq!(result.rows.len(), 2);
+}
+
+#[test]
+fn ambiguous_column_is_an_error() {
+    let db = concert_db();
+    let err = execute_query(&db, "SELECT name FROM singer JOIN stadium ON singer_id = stadium_id");
+    assert!(err.is_err());
+}
+
+#[test]
+fn unknown_identifiers_error() {
+    let db = concert_db();
+    assert!(execute_query(&db, "SELECT nope FROM singer").is_err());
+    assert!(execute_query(&db, "SELECT 1 FROM ghost_table").is_err());
+    assert!(execute_query(&db, "SELECT singer.ghost FROM singer").is_err());
+}
+
+#[test]
+fn group_by_alias_and_position() {
+    let db = concert_db();
+    let r = rows(&db, "SELECT country AS c, COUNT(*) FROM singer GROUP BY c ORDER BY c");
+    assert_eq!(r.len(), 3);
+    let r2 = rows(&db, "SELECT country, COUNT(*) FROM singer GROUP BY 1 ORDER BY 1");
+    assert_eq!(r, r2);
+}
+
+#[test]
+fn stats_track_execution_effort() {
+    let db = concert_db();
+    let (_, cheap) = execute_query_with_stats(&db, "SELECT name FROM singer").unwrap();
+    let (_, pricey) = execute_query_with_stats(
+        &db,
+        "SELECT T3.name FROM singer_in_concert AS T1 \
+         JOIN concert AS T2 ON T1.concert_id = T2.concert_id \
+         JOIN singer AS T3 ON T1.singer_id = T3.singer_id ORDER BY T3.name",
+    )
+    .unwrap();
+    assert!(pricey.cost() > cheap.cost());
+    assert!(pricey.join_pairs > 0);
+    assert!(pricey.sort_steps > 0);
+}
+
+#[test]
+fn select_without_from() {
+    let db = concert_db();
+    assert_eq!(scalar(&db, "SELECT 1 + 2 * 3"), Value::Integer(7));
+    assert_eq!(scalar(&db, "SELECT UPPER('abc')"), Value::Text("ABC".into()));
+}
+
+#[test]
+fn nested_ordered_set_term() {
+    let db = concert_db();
+    let r = rows(
+        &db,
+        "(SELECT name FROM singer ORDER BY age DESC LIMIT 1) UNION SELECT name FROM singer WHERE age < 30",
+    );
+    assert_eq!(r.len(), 2);
+}
+
+#[test]
+fn in_list_predicate() {
+    let db = concert_db();
+    assert_eq!(
+        scalar(&db, "SELECT COUNT(*) FROM singer WHERE country IN ('France', 'Netherlands')"),
+        Value::Integer(4)
+    );
+    assert_eq!(
+        scalar(&db, "SELECT COUNT(*) FROM singer WHERE country NOT IN ('France')"),
+        Value::Integer(2)
+    );
+}
+
+#[test]
+fn group_concat() {
+    let db = concert_db();
+    let v = scalar(&db, "SELECT GROUP_CONCAT(name) FROM singer WHERE country = 'Netherlands'");
+    assert_eq!(v, Value::Text("Joe Sharp".into()));
+}
+
+#[test]
+fn string_concat_operator() {
+    let db = concert_db();
+    let v = scalar(&db, "SELECT 'a' || 'b' || 'c'");
+    assert_eq!(v, Value::Text("abc".into()));
+}
+
+#[test]
+fn ordered_results_flag() {
+    let db = concert_db();
+    assert!(execute_query(&db, "SELECT name FROM singer ORDER BY name").unwrap().ordered);
+    assert!(!execute_query(&db, "SELECT name FROM singer").unwrap().ordered);
+}
+
+#[test]
+fn hash_join_matches_nested_loop_semantics() {
+    // Build a database big enough to cross the hash-join threshold and
+    // verify against the aggregate computed directly.
+    let mut script = String::from(
+        "CREATE TABLE a (id INTEGER PRIMARY KEY, k INTEGER); CREATE TABLE b (id INTEGER PRIMARY KEY, k INTEGER);",
+    );
+    for i in 0..120 {
+        script.push_str(&format!("INSERT INTO a VALUES ({i}, {});", i % 10));
+        script.push_str(&format!("INSERT INTO b VALUES ({i}, {});", i % 10));
+    }
+    let db = database_from_script("big", &script).unwrap();
+    let v = execute_query(&db, "SELECT COUNT(*) FROM a JOIN b ON a.k = b.k").unwrap();
+    // each of 10 buckets has 12x12 matches
+    assert_eq!(v.rows[0][0], Value::Integer(10 * 12 * 12));
+}

@@ -1,0 +1,79 @@
+//! Robustness lab: measure how a fine-tuned model degrades under
+//! Dr.Spider-style perturbations — schema renamed to synonyms, questions
+//! paraphrased, database contents re-encoded.
+//!
+//! Run with: `cargo run --release --example robustness_lab`
+
+use std::sync::Arc;
+
+use codes::{
+    pretrain, table4_models, CodesModel, CodesSystem, PretrainConfig, PromptOptions, SketchCatalog,
+};
+use codes_datasets::{build_drspider_set, DrSpiderSet};
+use codes_eval::execution_match;
+use codes_linker::SchemaClassifier;
+
+fn main() {
+    let mut cfg = codes_datasets::BenchmarkConfig::spider(77);
+    cfg.train_samples_per_db = 25;
+    cfg.dev_samples_per_db = 8;
+    let bench = codes_datasets::build_benchmark("lab", &cfg);
+
+    let catalog = Arc::new(SketchCatalog::build());
+    let spec = table4_models().into_iter().find(|m| m.name == "CodeS-7B").unwrap();
+    let lm = Arc::new(pretrain(&catalog, &spec, &PretrainConfig { scale: 12, seed: 4 }));
+    let classifier = SchemaClassifier::train(&bench, false, 9);
+
+    // Baseline accuracy on the unperturbed dev set.
+    let mut base_sys = CodesSystem::new(
+        CodesModel::new(Arc::clone(&lm), Arc::clone(&catalog)),
+        PromptOptions::sft(),
+    )
+    .with_classifier(classifier.clone());
+    base_sys.prepare_databases(bench.databases.iter());
+    base_sys.finetune_on(&bench);
+    let finetuned_state = base_sys.model.finetuned.clone();
+
+    let accuracy = |sys: &CodesSystem, samples: &[codes_datasets::Sample], dbs: &[sqlengine::Database]| {
+        let mut correct = 0usize;
+        for s in samples {
+            let db = dbs.iter().find(|d| d.name == s.db_id).unwrap();
+            let out = sys.infer(db, &s.question, None);
+            if execution_match(db, &out.sql, &s.sql) {
+                correct += 1;
+            }
+        }
+        100.0 * correct as f64 / samples.len() as f64
+    };
+    let base_acc = accuracy(&base_sys, &bench.dev, &bench.databases);
+    println!("unperturbed dev EX: {base_acc:.1}%  ({} samples)\n", bench.dev.len());
+
+    // A representative perturbation per Dr.Spider category.
+    for set in [
+        DrSpiderSet::SchemaSynonym,        // DB side
+        DrSpiderSet::DbContentEquivalence, // DB side (content)
+        DrSpiderSet::ColumnSynonym,        // NLQ side
+        DrSpiderSet::KeywordCarrier,       // NLQ side
+        DrSpiderSet::SortOrder,            // SQL side
+    ] {
+        let built = build_drspider_set(&bench, set, 5);
+        // Perturbed databases need fresh value indexes.
+        let mut sys = CodesSystem::new(
+            CodesModel::new(Arc::clone(&lm), Arc::clone(&catalog)),
+            PromptOptions::sft(),
+        )
+        .with_classifier(classifier.clone());
+        sys.model.finetuned = finetuned_state.clone();
+        sys.prepare_databases(built.databases.iter());
+        let acc = accuracy(&sys, &built.samples, &built.databases);
+        println!(
+            "{:<22} ({:>3} samples)  EX {:>5.1}%   drop {:+.1}",
+            set.name(),
+            built.samples.len(),
+            acc,
+            acc - base_acc
+        );
+    }
+    println!("\n(the paper's Table 8 finds DB-side perturbations the most damaging —");
+    println!("especially DBcontent-equivalence with a sparse value retriever)");
+}

@@ -1,0 +1,20 @@
+//! # codes-suite
+//!
+//! Umbrella crate of the CodeS text-to-SQL reproduction. Re-exports the
+//! workspace crates so the examples and cross-crate integration tests have
+//! a single dependency surface. See the individual crates for the APIs:
+//!
+//! * [`sqlengine`] — the embedded SQL engine substrate;
+//! * [`codes`] — the model, prompts, pre-training, SFT and ICL;
+//! * [`codes_datasets`] — benchmark generators;
+//! * [`codes_eval`] — EX/TS/VES/HE metrics and the evaluation runner.
+
+pub use codes;
+pub use codes_augment;
+pub use codes_corpus;
+pub use codes_datasets;
+pub use codes_eval;
+pub use codes_linker;
+pub use codes_nlp;
+pub use codes_retrieval;
+pub use sqlengine;

@@ -1,0 +1,122 @@
+//! Cross-crate integration: the full pipeline from corpus to evaluated SQL.
+
+use std::sync::Arc;
+
+use codes::{
+    pretrain, table4_models, CodesModel, CodesSystem, FewShot, PretrainConfig, PromptOptions,
+    SketchCatalog,
+};
+use codes_datasets::{Benchmark, BenchmarkConfig};
+use codes_eval::{evaluate, EvalConfig};
+use codes_linker::SchemaClassifier;
+use codes_retrieval::DemoStrategy;
+
+fn mini_bench(seed: u64, bird: bool) -> Benchmark {
+    let mut cfg = if bird { BenchmarkConfig::bird(seed) } else { BenchmarkConfig::spider(seed) };
+    cfg.train_samples_per_db = 14;
+    cfg.dev_samples_per_db = 5;
+    codes_datasets::build_benchmark(if bird { "bird-mini" } else { "spider-mini" }, &cfg)
+}
+
+fn lm(name: &str, catalog: &Arc<SketchCatalog>) -> Arc<codes::PretrainedLm> {
+    let spec = table4_models().into_iter().find(|m| m.name == name).unwrap();
+    Arc::new(pretrain(catalog, &spec, &PretrainConfig { scale: 10, seed: 5 }))
+}
+
+#[test]
+fn sft_pipeline_reaches_reasonable_accuracy() {
+    let bench = mini_bench(101, false);
+    let catalog = Arc::new(SketchCatalog::build());
+    let mut sys = CodesSystem::new(CodesModel::new(lm("CodeS-7B", &catalog), catalog.clone()), PromptOptions::sft())
+        .with_classifier(SchemaClassifier::train(&bench, false, 1));
+    sys.prepare_databases(bench.databases.iter());
+    sys.finetune_on(&bench);
+    let cfg = EvalConfig { limit: Some(40), ts_variants: 2, ..Default::default() };
+    let (out, results) = evaluate(&sys, &bench.dev, &bench.databases, &cfg);
+    assert!(out.ex > 0.6, "SFT CodeS-7B EX too low: {:.2}", out.ex);
+    assert!(out.ts <= out.ex + 1e-12);
+    // VES of correct predictions must be positive; wrong ones zero.
+    for r in &results {
+        if r.ex {
+            assert!(r.ves > 0.0);
+        } else {
+            assert_eq!(r.ves, 0.0);
+        }
+    }
+}
+
+#[test]
+fn icl_pipeline_runs_without_finetuning() {
+    let bench = mini_bench(102, false);
+    let catalog = Arc::new(SketchCatalog::build());
+    let mut sys = CodesSystem::new(
+        CodesModel::new(lm("CodeS-7B", &catalog), catalog.clone()),
+        PromptOptions::few_shot(),
+    )
+    .with_classifier(SchemaClassifier::train(&bench, false, 1))
+    .with_demonstrations(bench.train.clone(), FewShot { k: 3, strategy: DemoStrategy::PatternAware });
+    sys.prepare_databases(bench.databases.iter());
+    let cfg = EvalConfig { limit: Some(30), compute_ts: false, ..Default::default() };
+    let (out, _) = evaluate(&sys, &bench.dev, &bench.databases, &cfg);
+    assert!(out.ex > 0.4, "3-shot CodeS-7B EX too low: {:.2}", out.ex);
+}
+
+#[test]
+fn external_knowledge_helps_on_bird() {
+    let bench = mini_bench(103, true);
+    let catalog = Arc::new(SketchCatalog::build());
+    let model = lm("CodeS-7B", &catalog);
+    let build = |use_ek: bool| {
+        let mut sys = CodesSystem::new(
+            CodesModel::new(Arc::clone(&model), catalog.clone()),
+            PromptOptions::sft(),
+        )
+        .with_classifier(SchemaClassifier::train(&bench, use_ek, 1));
+        sys.prepare_databases(bench.databases.iter());
+        sys.finetune_on(&bench);
+        sys
+    };
+    let with_ek = build(true);
+    let without_ek = build(false);
+    let stripped: Vec<_> = bench
+        .dev
+        .iter()
+        .map(|s| {
+            let mut s = s.clone();
+            s.external_knowledge = None;
+            s
+        })
+        .collect();
+    let cfg = EvalConfig { compute_ts: false, limit: Some(60), ..Default::default() };
+    let (ek_out, _) = evaluate(&with_ek, &bench.dev, &bench.databases, &cfg);
+    let (plain_out, _) = evaluate(&without_ek, &stripped, &bench.databases, &cfg);
+    assert!(
+        ek_out.ex >= plain_out.ex,
+        "EK should not hurt: with {:.2} vs without {:.2}",
+        ek_out.ex,
+        plain_out.ex
+    );
+}
+
+#[test]
+fn generated_sql_is_almost_always_executable() {
+    let bench = mini_bench(104, true);
+    let catalog = Arc::new(SketchCatalog::build());
+    let mut sys = CodesSystem::new(CodesModel::new(lm("CodeS-3B", &catalog), catalog.clone()), PromptOptions::sft())
+        .with_classifier(SchemaClassifier::train(&bench, false, 1));
+    sys.prepare_databases(bench.databases.iter());
+    sys.finetune_on(&bench);
+    let mut executable = 0usize;
+    let n = bench.dev.len().min(30);
+    for s in bench.dev.iter().take(n) {
+        let db = bench.database(&s.db_id).unwrap();
+        let out = sys.infer(db, &s.question, None);
+        if sqlengine::execute_query(db, &out.sql).is_ok() {
+            executable += 1;
+        }
+    }
+    assert!(
+        executable as f64 / n as f64 >= 0.9,
+        "only {executable}/{n} executable (beam should pick executable candidates)"
+    );
+}
