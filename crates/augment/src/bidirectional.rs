@@ -133,7 +133,7 @@ fn shift_one_number(query: &mut Query, question: &mut String, rng: &mut StdRng) 
         return;
     }
     let old = nums[rng.random_range(0..nums.len())].clone();
-    let delta = [2.0, 0.5, 1.25][rng.random_range(0..3)];
+    let delta = [2.0, 0.5, 1.25][rng.random_range(0..3usize)];
     let new = if old.contains('.') {
         match old.parse::<f64>() {
             Ok(v) => format!("{:.2}", v * delta),

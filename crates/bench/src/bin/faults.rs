@@ -1,0 +1,192 @@
+//! Fault-injection stress run for the execution governor and the fault
+//! boundaries around it (DESIGN.md "Execution limits & failure semantics").
+//!
+//! Four sections, each exercising one robustness claim end to end:
+//!
+//! 1. **Budget kills** — pathological statements (cross-join blowups, deep
+//!    nesting, oversized scans) against a real benchmark database must
+//!    return `BudgetExceeded` quickly instead of wedging.
+//! 2. **Retry semantics** — transient failures retry under halved budgets
+//!    with bounded total cost; permanent failures never retry.
+//! 3. **Run survival** — an evaluation run whose dev set is poisoned with
+//!    `__FAULT_PANIC()` gold queries completes, recording per-sample
+//!    failures instead of aborting.
+//! 4. **Graceful degradation** — a system missing its classifier and value
+//!    indexes under a serving deadline still answers, and reports exactly
+//!    which degradations it took.
+
+use std::time::Instant;
+
+use codes::{CodesModel, CodesSystem, Config, PromptOptions};
+use codes_bench::workbench;
+use codes_eval::{evaluate, EvalConfig, TextTable};
+use sqlengine::{execute_query_governed, with_retry, Error, ExecLimits};
+
+fn main() {
+    let spider = workbench::spider();
+    budget_kills(spider);
+    retry_semantics();
+    run_survival(spider);
+    degradation(spider);
+}
+
+/// Adversarial statements that must be killed by the evaluation budgets.
+fn budget_kills(spider: &codes_datasets::Benchmark) {
+    let db = &spider.databases[0];
+    let t = &db.tables[0].schema.name;
+    let adversarial = [
+        ("cross-join blowup", format!("SELECT * FROM {t} a, {t} b, {t} c, {t} d, {t} e")),
+        ("self-join square", format!("SELECT a.* FROM {t} a, {t} b")),
+        ("deep nesting", {
+            let mut q = format!("SELECT * FROM {t}");
+            for i in 0..64 {
+                q = format!("SELECT * FROM ({q}) AS d{i}");
+            }
+            q
+        }),
+    ];
+    let limits = ExecLimits {
+        max_rows: Some(10_000),
+        max_intermediate_rows: Some(50_000),
+        ..ExecLimits::evaluation()
+    };
+    let mut table = TextTable::new("Budget kills (evaluation limits, tightened rows)")
+        .headers(&["Statement", "Outcome", "Elapsed (ms)"]);
+    for (name, sql) in &adversarial {
+        let started = Instant::now();
+        let outcome = match execute_query_governed(db, sql, &limits) {
+            Ok((result, _)) => format!("completed: {} rows", result.rows.len()),
+            Err(Error::BudgetExceeded { resource, spent, limit }) => {
+                format!("killed: {} {spent}/{limit}", resource.label())
+            }
+            Err(other) => format!("error: {other}"),
+        };
+        let elapsed = started.elapsed().as_secs_f64() * 1_000.0;
+        assert!(
+            elapsed < 10_000.0,
+            "'{name}' ran past the deadline backstop: {elapsed:.0}ms"
+        );
+        table.row(vec![(*name).to_string(), outcome, format!("{elapsed:.2}")]);
+    }
+    println!("{}", table.render());
+}
+
+/// Transient failures retry under halved budgets; permanent ones do not.
+fn retry_semantics() {
+    let mut table =
+        TextTable::new("Retry semantics").headers(&["Scenario", "Attempts", "Final outcome"]);
+
+    // Transient: every attempt trips a budget; with_retry halves and
+    // re-runs until attempts are exhausted.
+    let mut attempts = 0u32;
+    let limits = ExecLimits { max_rows: Some(64), ..ExecLimits::unlimited() };
+    let result: Result<(), Error> = with_retry(&limits, 2, |attempt_limits| {
+        attempts += 1;
+        Err(Error::BudgetExceeded {
+            resource: sqlengine::Resource::Rows,
+            spent: attempt_limits.max_rows.unwrap_or(0),
+            limit: attempt_limits.max_rows.unwrap_or(0),
+        })
+    });
+    table.row(vec![
+        "all attempts budget-killed".to_string(),
+        attempts.to_string(),
+        format!("{result:?}"),
+    ]);
+    assert_eq!(attempts, 3, "2 retries = 3 attempts");
+
+    // Permanent: a parse-class failure must not burn retries.
+    let mut attempts = 0u32;
+    let result: Result<(), Error> = with_retry(&limits, 2, |_| {
+        attempts += 1;
+        Err(Error::UnknownTable("no_such_table".to_string()))
+    });
+    table.row(vec![
+        "permanent (unknown table)".to_string(),
+        attempts.to_string(),
+        format!("{result:?}"),
+    ]);
+    assert_eq!(attempts, 1, "permanent failures must not retry");
+    println!("{}", table.render());
+}
+
+/// An evaluation run over a dev set poisoned with panicking gold queries
+/// completes and reports the failures per sample.
+fn run_survival(spider: &codes_datasets::Benchmark) {
+    let sys = workbench::sft_system("CodeS-1B", spider, false);
+    let mut dev = spider.dev.clone();
+    let n = dev.len().min(12);
+    dev.truncate(n);
+    // Poison every third sample's gold with an injected engine panic.
+    let mut poisoned = 0usize;
+    for s in dev.iter_mut().step_by(3) {
+        s.sql = "SELECT __FAULT_PANIC()".to_string();
+        poisoned += 1;
+    }
+    let cfg = EvalConfig { compute_ts: false, compute_ves: false, ..Default::default() };
+    let started = Instant::now();
+    // The injected panics are caught at the fault boundaries; silence the
+    // global panic hook so they don't spray backtraces over the report.
+    let hook = std::panic::take_hook();
+    std::panic::set_hook(Box::new(|_| {}));
+    let (outcome, results) = evaluate(&sys, &dev, &spider.databases, &cfg);
+    std::panic::set_hook(hook);
+    let recorded = results.iter().filter(|r| r.failure.is_some()).count();
+    let poisoned_misses = results
+        .iter()
+        .filter(|r| r.gold.contains("__FAULT_PANIC") && !r.ex)
+        .count();
+    let mut table = TextTable::new("Run survival under injected panics").headers(&[
+        "Samples",
+        "Poisoned",
+        "Poisoned misses",
+        "Sample failures",
+        "EX",
+        "Elapsed (ms)",
+    ]);
+    table.row(vec![
+        outcome.n.to_string(),
+        poisoned.to_string(),
+        poisoned_misses.to_string(),
+        recorded.to_string(),
+        format!("{:.2}", outcome.ex),
+        format!("{:.0}", started.elapsed().as_secs_f64() * 1_000.0),
+    ]);
+    println!("{}", table.render());
+    assert_eq!(outcome.n, n, "run must complete every sample");
+    // A panicking gold is caught at the innermost fault boundary it crosses:
+    // either the metric layer converts it into a scoring miss, or the
+    // per-sample boundary records it on `failure`. Both keep the run alive,
+    // and in neither case may the sample score an execution match.
+    assert_eq!(
+        poisoned_misses, poisoned,
+        "every panicking gold must score a miss (or a recorded failure)"
+    );
+}
+
+/// A half-provisioned system under serving deadlines degrades instead of
+/// failing, and reports what it gave up.
+fn degradation(spider: &codes_datasets::Benchmark) {
+    let model = CodesModel::new(workbench::pretrained("CodeS-1B"), workbench::catalog());
+    // No classifier, no pre-built value indexes, tight serving budgets.
+    let sys = CodesSystem::new(model, PromptOptions::sft()).with_config(Config::serving());
+    let s = &spider.dev[0];
+    let db = spider.database(&s.db_id).expect("dev sample references a known db");
+    let out = sys.infer(db, &s.question, None);
+    let mut table =
+        TextTable::new("Graceful degradation (no classifier, no indexes, serving config)")
+            .headers(&["Degradations taken", "SQL produced"]);
+    let notes = if out.degradations.is_empty() {
+        "(none)".to_string()
+    } else {
+        out.degradations.join("; ")
+    };
+    table.row(vec![notes, out.sql.clone()]);
+    println!("{}", table.render());
+    assert!(!out.sql.is_empty(), "degraded inference must still answer");
+    assert!(
+        out.degradations.iter().any(|d| d.contains("classifier missing")),
+        "missing classifier must be reported: {:?}",
+        out.degradations
+    );
+}

@@ -1,4 +1,4 @@
-//! Model sizes and capacity profiles.
+//! Model sizes, capacity profiles, and the runtime robustness [`Config`].
 //!
 //! Table 1 of the paper fixes the transformer architecture of each CodeS
 //! size; §9.7 reports deployment footprints. Our simulated model maps each
@@ -6,8 +6,99 @@
 //! measurably stronger (higher n-gram order, larger BPE vocabulary and
 //! sketch library, wider beam, finer similarity resolution, less decision
 //! noise). The architecture numbers are carried verbatim for reporting.
+//!
+//! [`Config`] is orthogonal to capacity: it bounds what one inference may
+//! *consume* (execution budgets, an inference deadline, retry policy)
+//! rather than how strong the model is.
 
 use std::fmt;
+use std::time::Duration;
+
+use sqlengine::ExecLimits;
+
+/// Runtime robustness configuration of a [`crate::CodesSystem`].
+///
+/// Every knob bounds failure, not quality: what a candidate statement may
+/// consume during beam selection, how long one inference may take before
+/// the system degrades, and how transient failures are retried.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Config {
+    /// Budgets for executing candidate SQL during generation and for any
+    /// lazy index work charged to the inference.
+    pub exec_limits: ExecLimits,
+    /// Wall-clock budget for one full inference (prompt construction +
+    /// generation). When three quarters of it are spent before candidate
+    /// selection, the beam degrades to greedy (first candidate only).
+    pub inference_deadline: Option<Duration>,
+    /// Extra attempts for transient (budget) failures during candidate
+    /// execution; each retry runs under halved budgets.
+    pub retry_attempts: u32,
+    /// Build a missing value index on first use at inference time (within
+    /// the inference deadline) instead of skipping value retrieval.
+    pub lazy_value_index: bool,
+}
+
+impl Config {
+    /// No budgets, no deadline, no retries: the pre-governor behaviour.
+    /// Tests and offline experiments that want raw model behaviour use
+    /// this; serving and evaluation should not.
+    pub fn unlimited() -> Config {
+        Config {
+            exec_limits: ExecLimits::unlimited(),
+            inference_deadline: None,
+            retry_attempts: 0,
+            lazy_value_index: true,
+        }
+    }
+
+    /// Generous bounds for evaluation runs: budgets deterministic enough
+    /// that EX/TS/VES verdicts are reproducible, a deadline loose enough
+    /// that only pathological statements hit it.
+    pub fn evaluation() -> Config {
+        Config {
+            exec_limits: ExecLimits::evaluation(),
+            inference_deadline: Some(Duration::from_secs(30)),
+            retry_attempts: 0,
+            lazy_value_index: true,
+        }
+    }
+
+    /// Tight bounds for interactive serving.
+    pub fn serving() -> Config {
+        Config {
+            exec_limits: ExecLimits::serving(),
+            inference_deadline: Some(Duration::from_secs(2)),
+            retry_attempts: 1,
+            lazy_value_index: true,
+        }
+    }
+
+    /// True when at least three quarters of the inference deadline are
+    /// gone — the trigger for degrading beam selection to greedy.
+    pub fn nearly_spent(&self, elapsed: Duration) -> bool {
+        match self.inference_deadline {
+            Some(deadline) => elapsed >= deadline.mul_f64(0.75),
+            None => false,
+        }
+    }
+
+    /// Whether a lazy value-index build may still start `elapsed` into the
+    /// inference: allowed only while under half the deadline, so the build
+    /// cannot eat the whole budget before generation runs.
+    pub fn allow_lazy_index_build(&self, elapsed: Duration) -> bool {
+        self.lazy_value_index
+            && match self.inference_deadline {
+                Some(deadline) => elapsed < deadline.mul_f64(0.5),
+                None => true,
+            }
+    }
+}
+
+impl Default for Config {
+    fn default() -> Config {
+        Config::evaluation()
+    }
+}
 
 /// The four CodeS sizes.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
@@ -278,6 +369,21 @@ mod tests {
         let names: std::collections::HashSet<_> = models.iter().map(|m| m.name).collect();
         assert_eq!(names.len(), 16);
         assert_eq!(models.iter().filter(|m| m.lineage == CorpusLineage::Codes).count(), 4);
+    }
+
+    #[test]
+    fn config_deadline_predicates() {
+        let cfg = Config {
+            inference_deadline: Some(Duration::from_secs(4)),
+            ..Config::evaluation()
+        };
+        assert!(!cfg.nearly_spent(Duration::from_secs(2)));
+        assert!(cfg.nearly_spent(Duration::from_secs(3)));
+        assert!(cfg.allow_lazy_index_build(Duration::from_secs(1)));
+        assert!(!cfg.allow_lazy_index_build(Duration::from_secs(2)));
+        let unlimited = Config::unlimited();
+        assert!(!unlimited.nearly_spent(Duration::from_secs(3600)));
+        assert!(unlimited.allow_lazy_index_build(Duration::from_secs(3600)));
     }
 
     #[test]

@@ -22,9 +22,12 @@ pub mod prompt;
 pub mod sketch;
 pub mod system;
 
-pub use config::{table4_models, Architecture, Capacity, CorpusLineage, LmSpec, ModelSize};
+pub use config::{table4_models, Architecture, Capacity, Config, CorpusLineage, LmSpec, ModelSize};
 pub use intent::{extract_intent, Intent};
-pub use model::{finetune, intent_bucket, parse_knowledge, CodesModel, FineTuned, Generation};
+pub use model::{
+    finetune, intent_bucket, parse_knowledge, select_first_executable, CodesModel, FineTuned,
+    Generation,
+};
 pub use pretrain::{pretrain, pretrain_with_capacity, PretrainConfig, PretrainedLm};
 pub use prompt::{build_prompt, build_training_prompt, DbPrompt, PromptOptions};
 pub use sketch::{sketch_of, SketchCatalog, SketchLibrary};

@@ -4,12 +4,13 @@
 
 use std::collections::HashMap;
 use std::sync::Arc;
+use std::time::Instant;
 
 use codes_datasets::Sample;
 use codes_retrieval::ValueMatch;
-use sqlengine::Database;
+use sqlengine::{catch_panics, execute_query_governed, with_retry, Database, ExecLimits};
 
-use crate::config::Capacity;
+use crate::config::{Capacity, Config};
 use crate::generator::{fill_template, Candidate, SlotContext};
 use crate::intent::{extract_intent, template_intent_score, Intent};
 use crate::pretrain::PretrainedLm;
@@ -122,6 +123,9 @@ impl CodesModel {
 
     /// Generate SQL for a question over a prompt. `demos` are few-shot
     /// demonstrations (ICL mode); SFT state is used when present.
+    /// Ungoverned: candidate execution runs without budgets (panics are
+    /// still isolated). Serving and evaluation paths should prefer
+    /// [`CodesModel::generate_governed`].
     pub fn generate(
         &self,
         db: &Database,
@@ -129,6 +133,50 @@ impl CodesModel {
         question: &str,
         external_knowledge: Option<&str>,
         demos: &[&Sample],
+    ) -> Generation {
+        self.generate_with(db, prompt, question, external_knowledge, demos, &ExecLimits::unlimited(), 0, None)
+    }
+
+    /// Generate SQL under a runtime [`Config`]. Candidate execution is
+    /// budgeted (`config.exec_limits`) with transient-failure retries, and
+    /// when three quarters of the inference deadline are already gone by
+    /// the time candidates are scored, the beam degrades to greedy — only
+    /// the top candidate is executed, bounding the tail latency of a
+    /// nearly-blown inference.
+    pub fn generate_governed(
+        &self,
+        db: &Database,
+        prompt: &DbPrompt,
+        question: &str,
+        external_knowledge: Option<&str>,
+        demos: &[&Sample],
+        config: &Config,
+        started: Instant,
+    ) -> Generation {
+        let beam_cap = if config.nearly_spent(started.elapsed()) { Some(1) } else { None };
+        self.generate_with(
+            db,
+            prompt,
+            question,
+            external_knowledge,
+            demos,
+            &config.exec_limits,
+            config.retry_attempts,
+            beam_cap,
+        )
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn generate_with(
+        &self,
+        db: &Database,
+        prompt: &DbPrompt,
+        question: &str,
+        external_knowledge: Option<&str>,
+        demos: &[&Sample],
+        limits: &ExecLimits,
+        retries: u32,
+        beam_cap: Option<usize>,
     ) -> Generation {
         let mut intent = extract_intent(question);
         let bucket = intent_bucket(&intent);
@@ -190,7 +238,9 @@ impl CodesModel {
                 (id, s)
             })
             .collect();
-        ranked.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap().then(a.0.cmp(&b.0)));
+        // total_cmp: scores come from model arithmetic over untrusted data;
+        // a NaN must produce an arbitrary-but-stable order, not a panic.
+        ranked.sort_by(|a, b| b.1.total_cmp(&a.1).then(a.0.cmp(&b.0)));
 
         // Fill slots for the most promising templates. External knowledge
         // reaches generation through the enriched value matches and the
@@ -219,18 +269,17 @@ impl CodesModel {
             let score = template_score + W_SLOT * slot_score + W_LM * lm + noise;
             scored.push(ScoredCandidate { sql, template_id, score, executable: false });
         }
-        scored.sort_by(|a, b| b.score.partial_cmp(&a.score).unwrap());
+        scored.sort_by(|a, b| b.score.total_cmp(&a.score));
         scored.truncate(capacity.beam_width);
+        if let Some(cap) = beam_cap {
+            // Deadline degradation: execute only the greedy choice.
+            scored.truncate(cap.max(1));
+        }
 
         // Pick the first executable candidate.
-        for c in &mut scored {
-            c.executable = sqlengine::execute_query(db, &c.sql).is_ok();
-        }
-        let chosen = scored
-            .iter()
-            .find(|c| c.executable)
-            .or_else(|| scored.first())
-            .map(|c| c.sql.clone())
+        let chosen = select_first_executable(db, &mut scored, limits, retries)
+            .map(|i| scored[i].sql.clone())
+            .or_else(|| scored.first().map(|c| c.sql.clone()))
             .unwrap_or_else(|| fallback_sql(&enriched));
         Generation { sql: chosen, beam: scored }
     }
@@ -264,6 +313,33 @@ impl CodesModel {
             }
         }
     }
+}
+
+/// Execute each beam candidate and mark its `executable` flag, returning
+/// the index of the first executable one.
+///
+/// This is the fault boundary of §9.1.4's "pick the first executable
+/// candidate": each candidate runs under `limits` with panic isolation, so
+/// a candidate that panics the engine or exhausts its budget is simply
+/// marked non-executable and selection moves on to the next — one bad
+/// statement can never abort the whole generation.
+pub fn select_first_executable(
+    db: &Database,
+    beam: &mut [ScoredCandidate],
+    limits: &ExecLimits,
+    retries: u32,
+) -> Option<usize> {
+    let mut first = None;
+    for (i, c) in beam.iter_mut().enumerate() {
+        let outcome = with_retry(limits, retries, |attempt_limits| {
+            catch_panics(|| execute_query_governed(db, &c.sql, attempt_limits).map(|_| ()))
+        });
+        c.executable = outcome.is_ok();
+        if c.executable && first.is_none() {
+            first = Some(i);
+        }
+    }
+    first
 }
 
 /// Parse external-knowledge statements of the forms the benchmarks emit:
@@ -618,5 +694,77 @@ mod tests {
         assert_ne!(a, b);
         let a2 = intent_bucket(&extract_intent("How many stadiums are there?"));
         assert_eq!(a, a2);
+    }
+
+    fn candidate(sql: &str, score: f64) -> ScoredCandidate {
+        ScoredCandidate { sql: sql.to_string(), template_id: 0, score, executable: false }
+    }
+
+    #[test]
+    fn budget_killed_candidate_falls_through_to_next() {
+        let db = bank_financials_db(1);
+        // Candidate 0 cross-joins itself into a budget kill; candidate 1 is
+        // cheap and valid. Selection must skip to candidate 1.
+        let mut beam = vec![
+            candidate("SELECT * FROM client AS a, client AS b, client AS c", 0.9),
+            candidate("SELECT COUNT(*) FROM client", 0.8),
+        ];
+        let limits = sqlengine::ExecLimits {
+            max_intermediate_rows: Some(500),
+            ..sqlengine::ExecLimits::unlimited()
+        };
+        let chosen = select_first_executable(&db, &mut beam, &limits, 0);
+        assert_eq!(chosen, Some(1));
+        assert!(!beam[0].executable, "blowup candidate must be marked non-executable");
+        assert!(beam[1].executable);
+        // The kill is a budget verdict, not a semantic one: a two-way join
+        // of the same shape fits unlimited budgets and stays executable.
+        let mut beam2 = vec![candidate("SELECT COUNT(*) FROM client AS a, client AS b", 0.9)];
+        assert_eq!(
+            select_first_executable(&db, &mut beam2, &ExecLimits::unlimited(), 0),
+            Some(0)
+        );
+    }
+
+    #[test]
+    fn panicking_candidate_never_aborts_selection() {
+        let db = bank_financials_db(1);
+        let mut beam = vec![
+            candidate("SELECT __FAULT_PANIC()", 0.9),
+            candidate("SELECT COUNT(*) FROM client", 0.8),
+        ];
+        let chosen = select_first_executable(&db, &mut beam, &ExecLimits::unlimited(), 1);
+        assert_eq!(chosen, Some(1), "selection must survive the panicking candidate");
+        assert!(!beam[0].executable);
+        assert!(beam[1].executable);
+    }
+
+    #[test]
+    fn spent_deadline_truncates_beam_to_greedy() {
+        let m = model("CodeS-7B");
+        let db = bank_financials_db(1);
+        let idx = ValueIndex::build(&db);
+        let q = "How many clients do we have?";
+        let prompt = build_prompt(&db, q, None, None, Some(&idx), &PromptOptions::sft());
+        // A zero deadline is always nearly spent: generation degrades to
+        // the greedy single candidate but still answers.
+        let cfg = Config {
+            inference_deadline: Some(std::time::Duration::ZERO),
+            ..Config::evaluation()
+        };
+        let g = m.generate_governed(&db, &prompt, q, None, &[], &cfg, Instant::now());
+        assert_eq!(g.beam.len(), 1, "beam must degrade to greedy");
+        assert!(sqlengine::execute_query(&db, &g.sql).is_ok(), "{}", g.sql);
+        // With a generous deadline the beam keeps its width.
+        let full = m.generate_governed(
+            &db,
+            &prompt,
+            q,
+            None,
+            &[],
+            &Config::evaluation(),
+            Instant::now(),
+        );
+        assert!(full.beam.len() > 1, "undegraded beam should keep multiple candidates");
     }
 }

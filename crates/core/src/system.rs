@@ -1,5 +1,11 @@
 //! The end-to-end text-to-SQL system: schema classifier + value indexes +
 //! demonstration retriever + model, wired per Figure 3 (d)/(e).
+//!
+//! Inference degrades gracefully instead of failing: a missing classifier
+//! means an unfiltered schema (noted, not fatal), a missing value index is
+//! built lazily while the inference deadline allows it, and a nearly-blown
+//! deadline shrinks the beam to greedy. Every degradation taken is recorded
+//! on the [`Inference`] so callers can audit quality loss.
 
 use std::collections::HashMap;
 use std::sync::Arc;
@@ -8,8 +14,10 @@ use std::time::Instant;
 use codes_datasets::{Benchmark, Sample};
 use codes_linker::SchemaClassifier;
 use codes_retrieval::{DemoRetriever, DemoStrategy, ValueIndex};
+use parking_lot::RwLock;
 use sqlengine::Database;
 
+use crate::config::Config;
 use crate::model::{finetune, CodesModel, Generation};
 use crate::prompt::{build_prompt, PromptOptions};
 
@@ -30,9 +38,13 @@ pub struct CodesSystem {
     pub classifier: Option<SchemaClassifier>,
     /// Prompt-construction options (incl. ablation switches).
     pub options: PromptOptions,
+    /// Runtime robustness configuration (execution budgets, inference
+    /// deadline, retry policy, lazy-index permission).
+    pub config: Config,
     /// Pre-built BM25 value indexes keyed by database id (shared between
-    /// systems — building them is the offline cost of §6.2).
-    value_indexes: HashMap<String, Arc<ValueIndex>>,
+    /// systems — building them is the offline cost of §6.2). Behind a lock
+    /// so `infer(&self)` can fill a missing index lazily.
+    value_indexes: RwLock<HashMap<String, Arc<ValueIndex>>>,
     /// Demonstration pool + retriever (ICL mode).
     demo_pool: Arc<Vec<Sample>>,
     demo_retriever: Option<Arc<DemoRetriever>>,
@@ -52,6 +64,10 @@ pub struct Inference {
     pub latency_seconds: f64,
     /// Prompt length in whitespace tokens.
     pub prompt_tokens: usize,
+    /// Graceful degradations taken during this inference (unfiltered
+    /// schema, lazy/skipped value index, beam shrunk to greedy). Empty on
+    /// a fully-resourced inference.
+    pub degradations: Vec<String>,
 }
 
 impl CodesSystem {
@@ -61,7 +77,8 @@ impl CodesSystem {
             model,
             classifier: None,
             options,
-            value_indexes: HashMap::new(),
+            config: Config::default(),
+            value_indexes: RwLock::new(HashMap::new()),
             demo_pool: Arc::new(Vec::new()),
             demo_retriever: None,
             few_shot: None,
@@ -71,6 +88,12 @@ impl CodesSystem {
     /// Attach a trained schema-item classifier (enables the schema filter).
     pub fn with_classifier(mut self, clf: SchemaClassifier) -> CodesSystem {
         self.classifier = Some(clf);
+        self
+    }
+
+    /// Replace the runtime robustness configuration.
+    pub fn with_config(mut self, config: Config) -> CodesSystem {
+        self.config = config;
         self
     }
 
@@ -85,15 +108,23 @@ impl CodesSystem {
     /// Build (or reuse) the BM25 value index of one database.
     pub fn prepare_database(&mut self, db: &Database) {
         self.value_indexes
+            .get_mut()
             .entry(db.name.clone())
             .or_insert_with(|| Arc::new(ValueIndex::build(db)));
     }
 
     /// Install already-built value indexes (shared across systems).
     pub fn install_value_indexes(&mut self, indexes: &HashMap<String, Arc<ValueIndex>>) {
+        let mine = self.value_indexes.get_mut();
         for (k, v) in indexes {
-            self.value_indexes.insert(k.clone(), Arc::clone(v));
+            mine.insert(k.clone(), Arc::clone(v));
         }
+    }
+
+    /// A snapshot of the currently-built value indexes (for sharing with
+    /// another system via [`CodesSystem::install_value_indexes`]).
+    pub fn value_index_snapshot(&self) -> HashMap<String, Arc<ValueIndex>> {
+        self.value_indexes.read().clone()
     }
 
     /// Install a demonstration pool for few-shot in-context learning.
@@ -137,15 +168,30 @@ impl CodesSystem {
     }
 
     /// Answer a question over a database.
+    ///
+    /// Degrades gracefully instead of failing (each degradation is recorded
+    /// on the returned [`Inference`]):
+    ///
+    /// * classifier missing while the schema filter is on → unfiltered
+    ///   schema in the prompt;
+    /// * value index missing → built lazily if the inference deadline still
+    ///   allows it, otherwise value retrieval is skipped;
+    /// * inference deadline nearly spent → beam truncated to greedy.
     pub fn infer(&self, db: &Database, question: &str, external_knowledge: Option<&str>) -> Inference {
         let start = Instant::now();
-        let value_index = self.value_indexes.get(&db.name).map(Arc::as_ref);
+        let mut degradations = Vec::new();
+
+        if self.options.use_schema_filter && self.classifier.is_none() {
+            degradations.push("classifier missing: unfiltered schema in prompt".to_string());
+        }
+
+        let value_index = self.resolve_value_index(db, start, &mut degradations);
         let prompt = build_prompt(
             db,
             question,
             external_knowledge,
             self.classifier.as_ref(),
-            value_index,
+            value_index.as_deref(),
             &self.options,
         );
         let demo_refs: Vec<&Sample> = match (&self.demo_retriever, self.few_shot) {
@@ -156,12 +202,58 @@ impl CodesSystem {
                 .collect(),
             _ => Vec::new(),
         };
-        let generation = self.model.generate(db, &prompt, question, external_knowledge, &demo_refs);
+        if self.config.nearly_spent(start.elapsed()) {
+            degradations.push("inference deadline nearly spent: beam truncated to greedy".to_string());
+        }
+        let generation = self.model.generate_governed(
+            db,
+            &prompt,
+            question,
+            external_knowledge,
+            &demo_refs,
+            &self.config,
+            start,
+        );
         Inference {
             sql: generation.sql.clone(),
             generation,
             latency_seconds: start.elapsed().as_secs_f64(),
             prompt_tokens: prompt.token_len(),
+            degradations,
+        }
+    }
+
+    /// Look up the value index for `db`, building it lazily when allowed.
+    ///
+    /// Returns `None` (value retrieval skipped) when the index is absent and
+    /// either lazy builds are disabled or the inference deadline no longer
+    /// leaves room for one. No-op when value retrieval is off entirely.
+    fn resolve_value_index(
+        &self,
+        db: &Database,
+        started: Instant,
+        degradations: &mut Vec<String>,
+    ) -> Option<Arc<ValueIndex>> {
+        if !self.options.use_value_retriever {
+            return None;
+        }
+        if let Some(idx) = self.value_indexes.read().get(&db.name) {
+            return Some(Arc::clone(idx));
+        }
+        if self.config.allow_lazy_index_build(started.elapsed()) {
+            let built = Arc::new(ValueIndex::build(db));
+            self.value_indexes
+                .write()
+                .entry(db.name.clone())
+                .or_insert_with(|| Arc::clone(&built));
+            degradations.push(format!("value index for '{}' built lazily", db.name));
+            Some(built)
+        } else {
+            degradations.push(format!(
+                "value index for '{}' unavailable: value retrieval skipped",
+                db.name
+            ));
+            None
         }
     }
 }

@@ -333,7 +333,7 @@ fn apply_nlq(sample: &mut Sample, set: DrSpiderSet, base: &Benchmark, rng: &mut 
         DrSpiderSet::KeywordCarrier => {
             sample
                 .question_parts
-                .insert(0, QPart::lit(["could you tell me", "i would like to know", "please show me"][rng.random_range(0..3)]));
+                .insert(0, QPart::lit(["could you tell me", "i would like to know", "please show me"][rng.random_range(0..3usize)]));
         }
         DrSpiderSet::ColumnSynonym => {
             for part in &mut sample.question_parts {

@@ -155,7 +155,7 @@ pub fn bank_financials_db(seed: u64) -> Database {
             Value::Text(format!(
                 "{} {}",
                 crate::lexicon::ORG_WORDS[rng.random_range(0..crate::lexicon::ORG_WORDS.len())],
-                ["Bank", "Financial", "Holdings", "Capital"][rng.random_range(0..4)]
+                ["Bank", "Financial", "Holdings", "Capital"][rng.random_range(0..4usize)]
             )),
             Value::Text(industries[rng.random_range(0..industries.len())].to_string()),
             Value::Text(crate::lexicon::CITIES[rng.random_range(0..crate::lexicon::CITIES.len())].to_string()),
@@ -208,7 +208,7 @@ pub fn bank_financials_db(seed: u64) -> Database {
                 rng.random_range(1..=12),
                 rng.random_range(1..=28)
             )),
-            Value::Text(["deposit", "withdrawal", "transfer"][rng.random_range(0..3)].to_string()),
+            Value::Text(["deposit", "withdrawal", "transfer"][rng.random_range(0..3usize)].to_string()),
         ];
         db.table_mut("txn").unwrap().insert(row).unwrap();
     }

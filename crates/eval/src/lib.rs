@@ -12,7 +12,9 @@ pub mod report;
 pub mod runner;
 
 pub use metrics::{
-    execution_match, human_equivalent, test_suite_match, test_suite_variants, ves_component,
+    execution_match, execution_match_governed, human_equivalent, human_equivalent_governed,
+    test_suite_match, test_suite_match_governed, test_suite_variants, ves_component,
+    ves_component_governed,
 };
 pub use report::{pct, pct2, records_to_json, ExperimentRecord, TextTable};
 pub use runner::{evaluate, EvalConfig, EvalOutcome, SampleResult};

@@ -1,19 +1,46 @@
 //! Evaluation metrics: execution accuracy (EX), test-suite accuracy (TS),
 //! valid efficiency score (VES) and the human-evaluation proxy (HE).
+//!
+//! Every metric has a `_governed` variant that executes both queries under
+//! an [`ExecLimits`] budget behind a panic-isolation boundary: a predicted
+//! query that blows a budget or panics the engine scores as a miss instead
+//! of wedging (or aborting) the evaluation run. The plain variants are the
+//! governed ones with unlimited budgets.
 
 use rand::rngs::StdRng;
 use rand::{RngExt, SeedableRng};
 
-use sqlengine::{execute_query, execute_query_with_stats, Database, QueryResult};
+use sqlengine::{
+    catch_panics, execute_query_governed, Database, ExecLimits, ExecStats, QueryResult,
+};
+
+/// Execute `sql` under `limits` with panic isolation: budget kills and
+/// engine panics both surface as `Err`, never as a hang or an abort.
+fn governed(db: &Database, sql: &str, limits: &ExecLimits) -> sqlengine::Result<(QueryResult, ExecStats)> {
+    catch_panics(|| execute_query_governed(db, sql, limits))
+}
 
 /// Execution accuracy: do predicted and gold SQL produce the same result
 /// on the database? (§9.1.2(1))
 pub fn execution_match(db: &Database, predicted: &str, gold: &str) -> bool {
-    let Ok(gold_result) = execute_query(db, gold) else {
+    execution_match_governed(db, predicted, gold, &ExecLimits::unlimited())
+}
+
+/// [`execution_match`] under resource budgets. A prediction that exceeds a
+/// budget (or panics the engine) counts as a miss; a gold query that does
+/// is unanswerable and also scores 0, keeping the metric deterministic for
+/// a given `limits`.
+pub fn execution_match_governed(
+    db: &Database,
+    predicted: &str,
+    gold: &str,
+    limits: &ExecLimits,
+) -> bool {
+    let Ok((gold_result, _)) = governed(db, gold, limits) else {
         return false;
     };
-    match execute_query(db, predicted) {
-        Ok(pred_result) => pred_result.same_result(&gold_result),
+    match governed(db, predicted, limits) {
+        Ok((pred_result, _)) => pred_result.same_result(&gold_result),
         Err(_) => false,
     }
 }
@@ -45,10 +72,22 @@ pub fn test_suite_variants(db: &Database, k: usize, seed: u64) -> Vec<Database> 
 /// variant (§9.1.2: "assesses if the generated SQL query consistently
 /// passes the EX evaluations across multiple database instances").
 pub fn test_suite_match(db: &Database, variants: &[Database], predicted: &str, gold: &str) -> bool {
-    if !execution_match(db, predicted, gold) {
+    test_suite_match_governed(db, variants, predicted, gold, &ExecLimits::unlimited())
+}
+
+/// [`test_suite_match`] under resource budgets (each instance execution is
+/// governed independently).
+pub fn test_suite_match_governed(
+    db: &Database,
+    variants: &[Database],
+    predicted: &str,
+    gold: &str,
+    limits: &ExecLimits,
+) -> bool {
+    if !execution_match_governed(db, predicted, gold, limits) {
         return false;
     }
-    variants.iter().all(|v| execution_match(v, predicted, gold))
+    variants.iter().all(|v| execution_match_governed(v, predicted, gold, limits))
 }
 
 /// Valid efficiency score of one sample: 0 when the prediction is wrong;
@@ -58,10 +97,16 @@ pub fn test_suite_match(db: &Database, variants: &[Database], predicted: &str, g
 /// cost model keeps the same semantics (1.0 = parity, >1 = the prediction
 /// is more efficient than the human gold) without the noise.
 pub fn ves_component(db: &Database, predicted: &str, gold: &str) -> f64 {
-    let Ok((gold_result, gold_stats)) = execute_query_with_stats(db, gold) else {
+    ves_component_governed(db, predicted, gold, &ExecLimits::unlimited())
+}
+
+/// [`ves_component`] under resource budgets: a prediction that exceeds a
+/// budget is invalid and scores 0.
+pub fn ves_component_governed(db: &Database, predicted: &str, gold: &str, limits: &ExecLimits) -> f64 {
+    let Ok((gold_result, gold_stats)) = governed(db, gold, limits) else {
         return 0.0;
     };
-    let Ok((pred_result, pred_stats)) = execute_query_with_stats(db, predicted) else {
+    let Ok((pred_result, pred_stats)) = governed(db, predicted, limits) else {
         return 0.0;
     };
     if !pred_result.same_result(&gold_result) {
@@ -75,10 +120,15 @@ pub fn ves_component(db: &Database, predicted: &str, gold: &str) -> f64 {
 /// extra `title` column alongside the requested `abstract` is judged valid
 /// by humans but wrong by EX).
 pub fn human_equivalent(db: &Database, predicted: &str, gold: &str) -> bool {
-    let Ok(gold_result) = execute_query(db, gold) else {
+    human_equivalent_governed(db, predicted, gold, &ExecLimits::unlimited())
+}
+
+/// [`human_equivalent`] under resource budgets.
+pub fn human_equivalent_governed(db: &Database, predicted: &str, gold: &str, limits: &ExecLimits) -> bool {
+    let Ok((gold_result, _)) = governed(db, gold, limits) else {
         return false;
     };
-    let Ok(pred_result) = execute_query(db, predicted) else {
+    let Ok((pred_result, _)) = governed(db, predicted, limits) else {
         return false;
     };
     if pred_result.same_result(&gold_result) {
@@ -214,5 +264,34 @@ mod tests {
         let gold = "SELECT title FROM paper WHERE year = 2021";
         let pred = "SELECT title, year FROM paper";
         assert!(!human_equivalent(&db, pred, gold));
+    }
+
+    #[test]
+    fn budget_killed_prediction_scores_a_miss() {
+        let db = db();
+        let gold = "SELECT COUNT(*) FROM paper";
+        // Correct answer, pathological plan: the 6^4 cross join blows a
+        // tight intermediate-row budget, so the governed metric scores 0
+        // where the unlimited one scores a hit.
+        let blowup =
+            "SELECT COUNT(*) / 216 FROM paper AS a, paper AS b, paper AS c, paper AS d";
+        let tight = ExecLimits {
+            max_intermediate_rows: Some(100),
+            ..ExecLimits::unlimited()
+        };
+        assert!(execution_match(&db, blowup, gold));
+        assert!(!execution_match_governed(&db, blowup, gold, &tight));
+        assert_eq!(ves_component_governed(&db, blowup, gold, &tight), 0.0);
+    }
+
+    #[test]
+    fn panicking_query_scores_a_miss_not_an_abort() {
+        let db = db();
+        let gold = "SELECT COUNT(*) FROM paper";
+        let limits = ExecLimits::evaluation();
+        assert!(!execution_match_governed(&db, "SELECT __FAULT_PANIC()", gold, &limits));
+        assert!(!human_equivalent_governed(&db, "SELECT __FAULT_PANIC()", gold, &limits));
+        // A panicking gold makes the sample unanswerable, not fatal.
+        assert!(!execution_match_governed(&db, gold, "SELECT __FAULT_PANIC()", &limits));
     }
 }

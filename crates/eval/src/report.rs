@@ -1,7 +1,7 @@
 //! Plain-text table rendering for the experiment harness, plus JSON
 //! serialization of experiment records for EXPERIMENTS.md artifacts.
 
-use serde::Serialize;
+use serde::{Json, Serialize};
 
 /// A simple aligned-text table builder.
 #[derive(Debug, Clone, Default)]
@@ -101,7 +101,7 @@ pub fn pct2(fraction: f64) -> String {
 }
 
 /// A serializable experiment record (one table cell / series point).
-#[derive(Debug, Clone, Serialize)]
+#[derive(Debug, Clone)]
 pub struct ExperimentRecord {
     /// Experiment id (e.g. `table5`).
     pub experiment: String,
@@ -115,6 +115,19 @@ pub struct ExperimentRecord {
     pub value: f64,
     /// Number of evaluated samples.
     pub n: usize,
+}
+
+impl Serialize for ExperimentRecord {
+    fn to_json(&self) -> Json {
+        Json::Obj(vec![
+            ("experiment".into(), self.experiment.to_json()),
+            ("system".into(), self.system.to_json()),
+            ("dataset".into(), self.dataset.to_json()),
+            ("metric".into(), self.metric.to_json()),
+            ("value".into(), self.value.to_json()),
+            ("n".into(), self.n.to_json()),
+        ])
+    }
 }
 
 /// Serialize records as pretty JSON (written next to EXPERIMENTS.md).

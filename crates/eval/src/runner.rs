@@ -1,14 +1,22 @@
 //! Evaluation harness: run a [`CodesSystem`] over a sample set and compute
 //! EX / TS / VES / HE with per-hardness breakdowns, in parallel.
+//!
+//! Every sample is evaluated inside a fault boundary: metric executions run
+//! under [`EvalConfig::exec_limits`] budgets, and a panic anywhere in one
+//! sample's inference or scoring is caught and recorded on that sample's
+//! [`SampleResult::failure`] — one poisoned sample never takes down the
+//! run or the other samples sharing its worker thread.
 
 use std::collections::HashMap;
+use std::panic::{catch_unwind, AssertUnwindSafe};
 
 use codes::CodesSystem;
 use codes_datasets::{Hardness, Sample};
-use sqlengine::Database;
+use sqlengine::{Database, ExecLimits};
 
 use crate::metrics::{
-    execution_match, human_equivalent, test_suite_match, test_suite_variants, ves_component,
+    execution_match_governed, human_equivalent_governed, test_suite_match_governed,
+    test_suite_variants, ves_component_governed,
 };
 
 /// Which metrics to compute.
@@ -26,6 +34,10 @@ pub struct EvalConfig {
     pub limit: Option<usize>,
     /// Worker threads.
     pub threads: usize,
+    /// Resource budgets for every metric execution. Defaults to
+    /// [`ExecLimits::evaluation`]: deterministic budgets sized so realistic
+    /// queries pass while cross-join blowups are killed quickly.
+    pub exec_limits: ExecLimits,
 }
 
 impl Default for EvalConfig {
@@ -37,6 +49,7 @@ impl Default for EvalConfig {
             compute_he: false,
             limit: None,
             threads: num_threads(),
+            exec_limits: ExecLimits::evaluation(),
         }
     }
 }
@@ -112,6 +125,9 @@ pub struct SampleResult {
     pub latency_seconds: f64,
     /// Prompt length (whitespace tokens).
     pub prompt_tokens: usize,
+    /// Set when this sample's evaluation was cut short by a caught panic;
+    /// the sample scores 0 on every metric but the run continues.
+    pub failure: Option<String>,
 }
 
 /// Evaluate `system` on `samples` over the databases in `dbs`.
@@ -147,18 +163,59 @@ pub fn evaluate(
                 part.iter()
                     .filter_map(|s| {
                         let db = by_name.get(s.db_id.as_str())?;
-                        Some(eval_one(system, s, db, variants.get(s.db_id.as_str()), cfg))
+                        Some(eval_one_isolated(system, s, db, variants.get(s.db_id.as_str()), cfg))
                     })
                     .collect::<Vec<SampleResult>>()
             }));
         }
         for h in handles {
-            results.extend(h.join().expect("eval worker panicked"));
+            // Per-sample isolation means a worker panic can only come from
+            // outside the fault boundary (harness bug); drop that chunk and
+            // keep the run alive rather than aborting the whole evaluation.
+            if let Ok(part) = h.join() {
+                results.extend(part);
+            }
         }
     })
-    .expect("eval scope failed");
+    .unwrap_or_default();
 
     (summarize(&results), results)
+}
+
+/// Evaluate one sample inside a fault boundary. A panic anywhere in the
+/// sample's inference or scoring is caught and converted into a failed
+/// [`SampleResult`] (all metrics 0, [`SampleResult::failure`] set), so a
+/// single poisoned sample never aborts the evaluation run.
+fn eval_one_isolated(
+    system: &CodesSystem,
+    sample: &Sample,
+    db: &Database,
+    variants: Option<&Vec<Database>>,
+    cfg: &EvalConfig,
+) -> SampleResult {
+    catch_unwind(AssertUnwindSafe(|| eval_one(system, sample, db, variants, cfg)))
+        .unwrap_or_else(|payload| {
+            let message = if let Some(s) = payload.downcast_ref::<&str>() {
+                (*s).to_string()
+            } else if let Some(s) = payload.downcast_ref::<String>() {
+                s.clone()
+            } else {
+                "non-string panic payload".to_string()
+            };
+            SampleResult {
+                question: sample.question.clone(),
+                gold: sample.sql.clone(),
+                predicted: String::new(),
+                hardness: sample.hardness,
+                ex: false,
+                ts: false,
+                ves: 0.0,
+                he: false,
+                latency_seconds: 0.0,
+                prompt_tokens: 0,
+                failure: Some(format!("caught panic: {message}")),
+            }
+        })
 }
 
 fn eval_one(
@@ -168,19 +225,22 @@ fn eval_one(
     variants: Option<&Vec<Database>>,
     cfg: &EvalConfig,
 ) -> SampleResult {
+    let limits = &cfg.exec_limits;
     let inference = system.infer(db, &sample.question, sample.external_knowledge.as_deref());
-    let ex = execution_match(db, &inference.sql, &sample.sql);
+    let ex = execution_match_governed(db, &inference.sql, &sample.sql, limits);
     let ts = match (cfg.compute_ts, variants) {
-        (true, Some(vs)) => ex && test_suite_match(db, vs, &inference.sql, &sample.sql),
+        (true, Some(vs)) => {
+            ex && test_suite_match_governed(db, vs, &inference.sql, &sample.sql, limits)
+        }
         _ => ex,
     };
     let ves = if cfg.compute_ves {
-        ves_component(db, &inference.sql, &sample.sql)
+        ves_component_governed(db, &inference.sql, &sample.sql, limits)
     } else {
         f64::from(ex)
     };
     let he = if cfg.compute_he {
-        human_equivalent(db, &inference.sql, &sample.sql)
+        human_equivalent_governed(db, &inference.sql, &sample.sql, limits)
     } else {
         ex
     };
@@ -195,6 +255,7 @@ fn eval_one(
         he,
         latency_seconds: inference.latency_seconds,
         prompt_tokens: inference.prompt_tokens,
+        failure: None,
     }
 }
 
@@ -274,4 +335,24 @@ mod tests {
         assert_eq!(a.ex, b.ex);
         assert_eq!(a.ves, b.ves);
     }
+
+    #[test]
+    fn panicking_sample_does_not_abort_the_run() {
+        let (sys, bench) = mini_system_and_bench();
+        let mut dev = bench.dev.clone();
+        let n = dev.len().min(8);
+        dev.truncate(n);
+        // Poison one sample's gold query with an injected engine panic.
+        dev[2].sql = "SELECT __FAULT_PANIC()".to_string();
+        let cfg = EvalConfig { compute_ts: false, compute_ves: false, ..Default::default() };
+        let (outcome, results) = evaluate(&sys, &dev, &bench.databases, &cfg);
+        assert_eq!(outcome.n, n, "the run must complete every sample");
+        // The poisoned sample is contained at a fault boundary: it scores
+        // no metric, while the rest of the run is unaffected.
+        let poisoned = &results[2];
+        assert_eq!(poisoned.gold, "SELECT __FAULT_PANIC()");
+        assert!(!poisoned.ex && !poisoned.ts && !poisoned.he);
+        assert_eq!(poisoned.ves, 0.0);
+    }
+
 }

@@ -1,10 +1,15 @@
 //! High-level entry points: execute SQL text against a [`Database`].
 
+// Entry points for model-generated SQL: a panic here escapes into beam
+// search and evaluation workers. Every fallible case must return an Error.
+#![deny(clippy::unwrap_used, clippy::expect_used)]
+
 use crate::ast::{Expr, Statement};
 use crate::catalog::{Column, Database, TableSchema};
 use crate::cost::ExecStats;
 use crate::error::{Error, Result};
 use crate::exec::Executor;
+use crate::governor::ExecLimits;
 use crate::parser::{parse_script, parse_statement};
 use crate::result::QueryResult;
 use crate::types::DataType;
@@ -18,10 +23,21 @@ pub fn execute_query(db: &Database, sql: &str) -> Result<QueryResult> {
 /// Execute a `SELECT` query, returning the result together with the
 /// deterministic execution-cost counters (used by the VES metric).
 pub fn execute_query_with_stats(db: &Database, sql: &str) -> Result<(QueryResult, ExecStats)> {
+    execute_query_governed(db, sql, &ExecLimits::unlimited())
+}
+
+/// Execute a `SELECT` query under resource budgets. This is the entry
+/// point for untrusted (model-generated) SQL: a statement that exhausts a
+/// budget returns [`Error::BudgetExceeded`] instead of running away.
+pub fn execute_query_governed(
+    db: &Database,
+    sql: &str,
+    limits: &ExecLimits,
+) -> Result<(QueryResult, ExecStats)> {
     let stmt = parse_statement(sql)?;
     match stmt {
         Statement::Query(q) => {
-            let mut exec = Executor::new(db);
+            let mut exec = Executor::with_limits(db, limits);
             let result = exec.query(&q)?;
             Ok((result, exec.stats))
         }
@@ -32,7 +48,16 @@ pub fn execute_query_with_stats(db: &Database, sql: &str) -> Result<(QueryResult
 /// Execute a parsed query AST directly (used by the generator, which builds
 /// ASTs and only serializes them for output).
 pub fn execute_ast(db: &Database, query: &crate::ast::Query) -> Result<(QueryResult, ExecStats)> {
-    let mut exec = Executor::new(db);
+    execute_ast_governed(db, query, &ExecLimits::unlimited())
+}
+
+/// Execute a parsed query AST under resource budgets.
+pub fn execute_ast_governed(
+    db: &Database,
+    query: &crate::ast::Query,
+    limits: &ExecLimits,
+) -> Result<(QueryResult, ExecStats)> {
+    let mut exec = Executor::with_limits(db, limits);
     let result = exec.query(query)?;
     Ok((result, exec.stats))
 }
@@ -63,7 +88,7 @@ pub fn apply_statement(db: &mut Database, stmt: &Statement) -> Result<()> {
             {
                 let table = db
                     .table(&ins.table)
-                    .ok_or_else(|| Error::Bind(format!("no such table: {}", ins.table)))?;
+                    .ok_or_else(|| Error::UnknownTable(ins.table.clone()))?;
                 schema_len = table.schema.columns.len();
                 col_indexes = match &ins.columns {
                     None => (0..schema_len).collect(),
@@ -93,7 +118,12 @@ pub fn apply_statement(db: &mut Database, stmt: &Statement) -> Result<()> {
                 }
                 materialized.push(full);
             }
-            let table = db.table_mut(&ins.table).unwrap();
+            // The immutable lookup above proved the table exists, but a
+            // panic on a stale assumption is exactly what this path must
+            // never do — resolve again, fallibly.
+            let table = db
+                .table_mut(&ins.table)
+                .ok_or_else(|| Error::UnknownTable(ins.table.clone()))?;
             for row in materialized {
                 table.insert(row)?;
             }

@@ -3,6 +3,16 @@
 //! Working rows are `Cow<[Value]>`: base-table scans borrow rows from the
 //! catalog and only join matches / derived results are materialized, so
 //! scan-filter-project queries never copy the table.
+//!
+//! Execution is governed: the executor consults its [`Governor`] at every
+//! operator boundary (scan, join pair, grouped row, projected row, nested
+//! query) so runaway statements fail with [`Error::BudgetExceeded`] instead
+//! of wedging the process. `Executor::new` runs ungoverned (unlimited
+//! budgets); untrusted/generated SQL goes through [`Executor::with_limits`].
+
+// This module executes model-generated SQL; a panic here escapes into beam
+// search and evaluation workers. Every fallible case must return an Error.
+#![deny(clippy::unwrap_used, clippy::expect_used)]
 
 use std::borrow::Cow;
 use std::collections::HashMap;
@@ -12,6 +22,7 @@ use crate::catalog::Database;
 use crate::cost::ExecStats;
 use crate::error::{Error, Result};
 use crate::functions::{concat_text, eval_scalar, like_match};
+use crate::governor::{ExecLimits, Governor};
 use crate::result::QueryResult;
 use crate::types::DataType;
 use crate::value::{Row, Value};
@@ -25,6 +36,8 @@ pub struct Executor<'a> {
     db: &'a Database,
     /// Counters accumulated across every statement this executor ran.
     pub stats: ExecStats,
+    /// Resource budgets, consulted at operator boundaries.
+    gov: Governor,
     /// Uncorrelated subqueries are evaluated once and memoized (keyed by
     /// AST address, which is stable for the duration of one execution).
     scalar_cache: HashMap<usize, Value>,
@@ -102,19 +115,38 @@ impl<'r, 'a> Ctx<'r, 'a> {
 }
 
 impl<'a> Executor<'a> {
-    /// An executor over one database with fresh counters and caches.
+    /// An ungoverned executor (unlimited budgets) with fresh counters and
+    /// caches. For untrusted SQL use [`Executor::with_limits`].
     pub fn new(db: &'a Database) -> Executor<'a> {
+        Executor::with_limits(db, &ExecLimits::unlimited())
+    }
+
+    /// An executor whose execution is bounded by `limits`. The deadline
+    /// clock starts here, not at the first `query` call.
+    pub fn with_limits(db: &'a Database, limits: &ExecLimits) -> Executor<'a> {
         Executor {
             db,
             stats: ExecStats::default(),
+            gov: Governor::new(*limits),
             scalar_cache: HashMap::new(),
             in_cache: HashMap::new(),
             exists_cache: HashMap::new(),
         }
     }
 
-    /// Execute a full query.
+    /// Execute a full query. Enters a governed nesting scope: every
+    /// recursive `query` call (subqueries, derived tables, nested set
+    /// operands) counts against the recursion-depth budget.
     pub fn query(&mut self, q: &Query) -> Result<QueryResult> {
+        self.gov.enter_query()?;
+        let result = self.query_body(q);
+        self.gov.exit_query();
+        let result = result?;
+        self.gov.check_output_rows(result.rows.len() as u64)?;
+        Ok(result)
+    }
+
+    fn query_body(&mut self, q: &Query) -> Result<QueryResult> {
         match &q.body {
             SetExpr::Select(s) => self.select_full(s, &q.order_by, q.limit.as_ref(), q.offset.as_ref()),
             _ => {
@@ -139,6 +171,10 @@ impl<'a> Executor<'a> {
                     )));
                 }
                 self.stats.rows_grouped += (l.rows.len() + r.rows.len()) as u64;
+                self.gov.charge_intermediate(
+                    (l.rows.len() + r.rows.len()) as u64,
+                    rows_bytes(&l.rows) + rows_bytes(&r.rows),
+                )?;
                 let rows = match (op, all) {
                     (SetOpKind::Union, true) => {
                         let mut rows = l.rows;
@@ -249,6 +285,7 @@ impl<'a> Executor<'a> {
             Some(pred) => {
                 let mut kept = Vec::new();
                 for row in rows {
+                    self.gov.tick()?;
                     if self.eval(pred, &scope, &Ctx::Row(row.as_ref()))?.truthiness() == Some(true) {
                         kept.push(row);
                     }
@@ -341,6 +378,7 @@ impl<'a> Executor<'a> {
                 groups.insert(Vec::new(), rows);
             } else {
                 for row in rows {
+                    self.gov.tick()?;
                     let mut key = Vec::with_capacity(s.group_by.len());
                     for g in &s.group_by {
                         key.push(self.eval_group_key(g, &scope, row.as_ref(), &aliases, &s.projection)?);
@@ -355,8 +393,11 @@ impl<'a> Executor<'a> {
                 }
             }
             for key in order {
-                let bucket = groups.remove(&key).unwrap();
+                let bucket = groups
+                    .remove(&key)
+                    .ok_or_else(|| Error::Internal("group key vanished between passes".into()))?;
                 let ctx = Ctx::Group(&bucket);
+                self.gov.tick()?;
                 if let Some(h) = &s.having {
                     if self.eval(h, &scope, &ctx)?.truthiness() != Some(true) {
                         continue;
@@ -366,6 +407,7 @@ impl<'a> Executor<'a> {
             }
         } else {
             for row in &rows {
+                self.gov.tick()?;
                 projected.push(project_unit(self, &Ctx::Row(row.as_ref()))?);
             }
         }
@@ -519,11 +561,15 @@ impl<'a> Executor<'a> {
                         .collect(),
                 };
                 self.stats.rows_scanned += table.rows.len() as u64;
+                // Borrowed scan: rows count against the budget, bytes do
+                // not (nothing is copied).
+                self.gov.charge_intermediate(table.rows.len() as u64, 0)?;
                 Ok((scope, table.rows.iter().map(|r| Cow::Borrowed(r.as_slice())).collect()))
             }
             TableFactor::Derived { subquery, alias } => {
                 self.stats.subqueries += 1;
                 let result = self.query(subquery)?;
+                self.gov.charge_intermediate(result.rows.len() as u64, rows_bytes(&result.rows))?;
                 let binding = alias.to_lowercase();
                 let scope = Scope {
                     cols: result
@@ -555,6 +601,7 @@ impl<'a> Executor<'a> {
             let mut matched = false;
             for rrow in right {
                 self.stats.join_pairs += 1;
+                self.gov.tick()?;
                 let keep = match on {
                     Some(pred) => self
                         .eval(pred, combined, &Ctx::Pair(lrow.as_ref(), rrow.as_ref()))?
@@ -566,12 +613,14 @@ impl<'a> Executor<'a> {
                     matched = true;
                     let mut candidate = lrow.as_ref().to_vec();
                     candidate.extend(rrow.iter().cloned());
+                    self.gov.charge_intermediate(1, row_bytes(&candidate))?;
                     out.push(Cow::Owned(candidate));
                 }
             }
             if left_outer && !matched {
                 let mut padded = lrow.into_owned();
                 padded.extend(std::iter::repeat_n(Value::Null, right_width.max(right.first().map(|r| r.len()).unwrap_or(0))));
+                self.gov.charge_intermediate(1, row_bytes(&padded))?;
                 out.push(Cow::Owned(padded));
             }
         }
@@ -617,6 +666,7 @@ impl<'a> Executor<'a> {
         let mut out: Vec<CowRow<'a>> = Vec::new();
         for lrow in left {
             self.stats.join_pairs += 1; // one probe per left row
+            self.gov.tick()?;
             let key = &lrow[li];
             if key.is_null() {
                 continue;
@@ -626,6 +676,7 @@ impl<'a> Executor<'a> {
                 for &i in matches {
                     let mut candidate = lrow.as_ref().to_vec();
                     candidate.extend(right[i].iter().cloned());
+                    self.gov.charge_intermediate(1, row_bytes(&candidate))?;
                     out.push(Cow::Owned(candidate));
                 }
             }
@@ -895,6 +946,7 @@ impl<'a> Executor<'a> {
         // Evaluate the argument once per row.
         let mut vals = Vec::with_capacity(rows.len());
         for row in rows {
+            self.gov.tick()?;
             let v = self.eval(&args[0], scope, &Ctx::Row(row.as_ref()))?;
             if !v.is_null() {
                 vals.push(v);
@@ -973,4 +1025,14 @@ fn or3(a: Option<bool>, b: Option<bool>) -> Option<bool> {
 fn dedup_rows(rows: Vec<Row>) -> Vec<Row> {
     let mut seen = std::collections::HashSet::new();
     rows.into_iter().filter(|r| seen.insert(r.clone())).collect()
+}
+
+/// Approximate footprint of one materialized row.
+fn row_bytes(row: &[Value]) -> u64 {
+    row.iter().map(Value::approx_bytes).sum()
+}
+
+/// Approximate footprint of a materialized row set.
+fn rows_bytes(rows: &[Row]) -> u64 {
+    rows.iter().map(|r| row_bytes(r)).sum()
 }

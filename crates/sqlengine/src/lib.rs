@@ -36,6 +36,7 @@ pub mod engine;
 pub mod error;
 pub mod exec;
 pub mod functions;
+pub mod governor;
 pub mod lexer;
 pub mod parser;
 pub mod result;
@@ -45,10 +46,15 @@ pub mod value;
 pub use catalog::{Column, Database, ForeignKey, Table, TableSchema};
 pub use cost::ExecStats;
 pub use engine::{
-    apply_statement, database_from_script, execute_ast, execute_query, execute_query_with_stats,
-    load_script, schema_to_ddl,
+    apply_statement, database_from_script, execute_ast, execute_ast_governed, execute_query,
+    execute_query_governed, execute_query_with_stats, load_script, schema_to_ddl,
 };
-pub use error::{Error, Result};
+pub use error::{Error, FailureClass, Resource, Result};
+/// Alias emphasizing the execution-failure role of [`Error`] at call sites
+/// that only ever see runtime failures (governed execution, fault
+/// boundaries).
+pub use error::Error as ExecError;
+pub use governor::{catch_panics, with_retry, ExecLimits, Governor};
 pub use parser::{parse_query, parse_script, parse_statement};
 pub use result::QueryResult;
 pub use types::DataType;

@@ -71,7 +71,9 @@ impl QueryResult {
 fn values_equal(a: &Value, b: &Value) -> bool {
     match (a, b) {
         (Value::Real(_) | Value::Integer(_), Value::Real(_) | Value::Integer(_)) => {
-            let (x, y) = (a.as_f64().unwrap(), b.as_f64().unwrap());
+            // The match arm guarantees numeric variants, where `as_f64` is
+            // total; the fallback keeps this comparison panic-free anyway.
+            let (x, y) = (a.as_f64().unwrap_or(0.0), b.as_f64().unwrap_or(0.0));
             if x == y {
                 return true;
             }

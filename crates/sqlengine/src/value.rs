@@ -99,9 +99,20 @@ impl Value {
             (Value::Null, Value::Null) => Ordering::Equal,
             (Value::Text(a), Value::Text(b)) => a.cmp(b),
             (a, b) => {
-                let (x, y) = (a.as_f64().unwrap(), b.as_f64().unwrap());
+                // Both sides are numeric here (rank 1), so as_f64 is total.
+                let (x, y) = (a.as_f64().unwrap_or(0.0), b.as_f64().unwrap_or(0.0));
                 x.total_cmp(&y)
             }
+        }
+    }
+
+    /// Approximate in-memory footprint, used by the execution governor's
+    /// memory budget. A coarse model is fine: enum discriminant + payload,
+    /// with text charged for its heap buffer.
+    pub fn approx_bytes(&self) -> u64 {
+        match self {
+            Value::Text(t) => 32 + t.len() as u64,
+            _ => 16,
         }
     }
 

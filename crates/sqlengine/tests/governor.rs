@@ -1,0 +1,179 @@
+//! Integration tests for the execution governor: budget kills through the
+//! public API, the typed failure taxonomy, fault isolation and retry
+//! semantics (DESIGN.md "Execution limits & failure semantics").
+
+use std::time::{Duration, Instant};
+
+use sqlengine::{
+    apply_statement, catch_panics, database_from_script, execute_query, execute_query_governed,
+    parse_statement, with_retry, Database, Error, ExecLimits, FailureClass, Resource, Value,
+};
+
+/// Two modest tables whose cross product is large enough to trip tightened
+/// budgets but small enough to execute instantly when allowed.
+fn blowup_db() -> Database {
+    let mut script = String::from(
+        "CREATE TABLE a (id INTEGER PRIMARY KEY, name TEXT);
+         CREATE TABLE b (id INTEGER PRIMARY KEY, label TEXT);",
+    );
+    for i in 0..100 {
+        script.push_str(&format!("INSERT INTO a VALUES ({i}, 'a{i}');"));
+        script.push_str(&format!("INSERT INTO b VALUES ({i}, 'b{i}');"));
+    }
+    database_from_script("blowup", &script).unwrap()
+}
+
+#[test]
+fn cross_join_blowup_is_killed_within_deadline() {
+    let db = blowup_db();
+    // 100^3 = 1M cross-join rows against a 100k intermediate-row budget;
+    // the generous wall-clock deadline is a backstop, the deterministic
+    // row budget is what kills the statement.
+    let limits = ExecLimits {
+        deadline: Some(Duration::from_secs(10)),
+        max_intermediate_rows: Some(100_000),
+        ..ExecLimits::unlimited()
+    };
+    let started = Instant::now();
+    let err = execute_query_governed(&db, "SELECT * FROM a, b, a AS a2", &limits).unwrap_err();
+    assert!(started.elapsed() < Duration::from_secs(10), "kill must beat the deadline");
+    match err {
+        Error::BudgetExceeded { resource, spent, limit } => {
+            assert_eq!(resource, Resource::IntermediateRows);
+            assert_eq!(limit, 100_000);
+            assert!(spent > limit, "spent {spent} should exceed limit {limit}");
+        }
+        other => panic!("expected BudgetExceeded, got {other:?}"),
+    }
+}
+
+#[test]
+fn budget_kills_are_deterministic() {
+    let db = blowup_db();
+    let limits = ExecLimits { max_intermediate_rows: Some(5_000), ..ExecLimits::unlimited() };
+    let a = execute_query_governed(&db, "SELECT * FROM a, b", &limits).unwrap_err();
+    let b = execute_query_governed(&db, "SELECT * FROM a, b", &limits).unwrap_err();
+    match (a, b) {
+        (
+            Error::BudgetExceeded { resource: ra, spent: sa, limit: la },
+            Error::BudgetExceeded { resource: rb, spent: sb, limit: lb },
+        ) => {
+            assert_eq!((ra, sa, la), (rb, sb, lb), "same statement must trip identically");
+        }
+        other => panic!("expected two budget kills, got {other:?}"),
+    }
+}
+
+#[test]
+fn output_row_limit_applies_after_limit_clause() {
+    let db = blowup_db();
+    let limits = ExecLimits { max_rows: Some(10), ..ExecLimits::unlimited() };
+    // 100 source rows, but LIMIT 5 keeps the output inside the budget.
+    let ok = execute_query_governed(&db, "SELECT id FROM a LIMIT 5", &limits);
+    assert_eq!(ok.unwrap().0.rows.len(), 5);
+    let err = execute_query_governed(&db, "SELECT id FROM a", &limits).unwrap_err();
+    assert!(
+        matches!(err, Error::BudgetExceeded { resource: Resource::Rows, .. }),
+        "expected output-row kill, got {err:?}"
+    );
+}
+
+#[test]
+fn memory_budget_trips_on_wide_join() {
+    let db = blowup_db();
+    let limits = ExecLimits { max_memory_bytes: Some(8 << 10), ..ExecLimits::unlimited() };
+    let err = execute_query_governed(&db, "SELECT * FROM a, b", &limits).unwrap_err();
+    assert!(
+        matches!(err, Error::BudgetExceeded { resource: Resource::Memory, .. }),
+        "expected memory kill, got {err:?}"
+    );
+}
+
+#[test]
+fn recursion_depth_budget_trips_on_nesting() {
+    let db = blowup_db();
+    let limits = ExecLimits { max_recursion_depth: Some(4), ..ExecLimits::unlimited() };
+    let mut q = String::from("SELECT * FROM a");
+    for i in 0..8 {
+        q = format!("SELECT * FROM ({q}) AS d{i}");
+    }
+    let err = execute_query_governed(&db, &q, &limits).unwrap_err();
+    assert!(
+        matches!(err, Error::BudgetExceeded { resource: Resource::Depth, .. }),
+        "expected depth kill, got {err:?}"
+    );
+    // Within budget, the same shape executes.
+    let shallow = "SELECT * FROM (SELECT * FROM a) AS d0";
+    assert!(execute_query_governed(&db, shallow, &limits).is_ok());
+}
+
+#[test]
+fn realistic_queries_pass_evaluation_budgets() {
+    let db = blowup_db();
+    let limits = ExecLimits::evaluation();
+    for sql in [
+        "SELECT COUNT(*) FROM a",
+        "SELECT a.name, b.label FROM a JOIN b ON a.id = b.id WHERE a.id < 10 ORDER BY a.id",
+        "SELECT name FROM a WHERE id IN (SELECT id FROM b WHERE id < 5)",
+    ] {
+        let ungoverned = execute_query(&db, sql).unwrap();
+        let governed = execute_query_governed(&db, sql, &limits).unwrap().0;
+        assert!(governed.same_result(&ungoverned), "governed result differs for {sql}");
+    }
+}
+
+#[test]
+fn insert_into_unknown_table_is_a_typed_error() {
+    let mut db = blowup_db();
+    let stmt = parse_statement("INSERT INTO no_such_table VALUES (1, 'x')").unwrap();
+    let err = apply_statement(&mut db, &stmt).unwrap_err();
+    match &err {
+        Error::UnknownTable(name) => assert_eq!(name, "no_such_table"),
+        other => panic!("expected UnknownTable, got {other:?}"),
+    }
+    // The failure is permanent: retrying cannot help.
+    assert_eq!(err.class(), FailureClass::Permanent);
+}
+
+#[test]
+fn injected_panic_is_contained_by_catch_panics() {
+    let db = blowup_db();
+    let err = catch_panics(|| {
+        execute_query_governed(&db, "SELECT __FAULT_PANIC()", &ExecLimits::unlimited())
+    })
+    .unwrap_err();
+    match &err {
+        Error::Internal(msg) => assert!(msg.contains("__FAULT_PANIC"), "{msg}"),
+        other => panic!("expected Internal, got {other:?}"),
+    }
+    // Caught panics are permanent — retrying an engine bug cannot help.
+    assert_eq!(err.class(), FailureClass::Permanent);
+}
+
+#[test]
+fn retry_with_halved_budgets_recovers_cheap_statements() {
+    let db = blowup_db();
+    let limits = ExecLimits { max_intermediate_rows: Some(400), ..ExecLimits::unlimited() };
+    // First attempt: a blowup trips the budget (transient). The retry runs
+    // a statement that fits even the halved budget.
+    let mut attempt = 0;
+    let outcome = with_retry(&limits, 1, |attempt_limits| {
+        attempt += 1;
+        let sql = if attempt == 1 { "SELECT * FROM a, b" } else { "SELECT id FROM a LIMIT 3" };
+        execute_query_governed(&db, sql, attempt_limits).map(|(r, _)| r.rows.len())
+    });
+    assert_eq!(attempt, 2);
+    assert_eq!(outcome.unwrap(), 3);
+}
+
+#[test]
+fn governed_execution_matches_ungoverned_values() {
+    let db = blowup_db();
+    let (result, _) = execute_query_governed(
+        &db,
+        "SELECT MAX(id) FROM a",
+        &ExecLimits::evaluation(),
+    )
+    .unwrap();
+    assert_eq!(result.rows[0][0], Value::Integer(99));
+}

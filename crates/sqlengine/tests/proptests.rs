@@ -165,4 +165,56 @@ proptest! {
         let back = as_text.cast(sqlengine::DataType::Integer);
         prop_assert_eq!(back, v);
     }
+
+    /// The governor's no-hang invariant: any generated query — including
+    /// cross-join blowups and deep nesting — either completes, or returns
+    /// a typed error, within the deadline. Never a hang, never a panic.
+    #[test]
+    fn governed_execution_never_hangs_or_panics(
+        factors in 1usize..4,
+        nesting in 0usize..8,
+        threshold in -50i64..150,
+        limit in 0usize..30,
+        rows in 20usize..80,
+        aggregate in 0usize..3,
+    ) {
+        use sqlengine::{catch_panics, execute_query_governed, Error, ExecLimits};
+        use std::time::{Duration, Instant};
+
+        let db = db_with_ints(&(0..rows as i64).collect::<Vec<_>>());
+        let projection = match aggregate {
+            0 => "*".to_string(),
+            1 => "COUNT(*)".to_string(),
+            _ => "MIN(t0.x)".to_string(),
+        };
+        let from: Vec<String> = (0..factors).map(|i| format!("t AS t{i}")).collect();
+        let mut sql = format!(
+            "SELECT {projection} FROM {} WHERE t0.x < {threshold} LIMIT {limit}",
+            from.join(", ")
+        );
+        for i in 0..nesting {
+            sql = format!("SELECT * FROM ({sql}) AS n{i}");
+        }
+
+        let deadline = Duration::from_secs(5);
+        let limits = ExecLimits {
+            deadline: Some(deadline),
+            max_rows: Some(2_000),
+            max_intermediate_rows: Some(20_000),
+            max_memory_bytes: Some(1 << 20),
+            max_recursion_depth: Some(4),
+        };
+        let started = Instant::now();
+        let outcome = catch_panics(|| execute_query_governed(&db, &sql, &limits));
+        // Generous slack over the deadline: budget kills are deterministic
+        // and near-instant; the wall clock only backstops hot loops.
+        prop_assert!(started.elapsed() < deadline * 2, "governed query overran: {}", sql);
+        match outcome {
+            Ok(_) => {}
+            Err(Error::Internal(msg)) => {
+                return Err(format!("governed execution panicked on {sql}: {msg}"));
+            }
+            Err(_) => {} // typed failure (budget, parse, semantic) is fine
+        }
+    }
 }

@@ -1,0 +1,78 @@
+//! Offline stand-in for the `crossbeam` crate.
+//!
+//! Provides `crossbeam::thread::scope` on top of `std::thread::scope`
+//! (std has had scoped threads since 1.63, so the shim is thin). Only the
+//! surface the eval runner uses is implemented: `scope`, `Scope::spawn`,
+//! and `ScopedJoinHandle::join`.
+
+/// Scoped threads.
+pub mod thread {
+    /// A scope in which borrowed-data threads can be spawned.
+    pub struct Scope<'scope, 'env: 'scope> {
+        inner: &'scope std::thread::Scope<'scope, 'env>,
+    }
+
+    /// Handle to a scoped thread; joining returns the closure's result or
+    /// the panic payload, as `std::thread::Result`.
+    pub struct ScopedJoinHandle<'scope, T> {
+        inner: std::thread::ScopedJoinHandle<'scope, T>,
+    }
+
+    impl<'scope, T> ScopedJoinHandle<'scope, T> {
+        /// Wait for the thread to finish.
+        pub fn join(self) -> std::thread::Result<T> {
+            self.inner.join()
+        }
+    }
+
+    impl<'scope, 'env> Scope<'scope, 'env> {
+        /// Spawn a thread inside the scope.
+        pub fn spawn<F, T>(&self, f: F) -> ScopedJoinHandle<'scope, T>
+        where
+            F: FnOnce(&Scope<'scope, 'env>) -> T + Send + 'scope,
+            T: Send + 'scope,
+        {
+            let inner = self.inner;
+            ScopedJoinHandle {
+                inner: inner.spawn(move || f(&Scope { inner })),
+            }
+        }
+    }
+
+    /// Run `f` with a scope; all spawned threads are joined before this
+    /// returns. Unlike crossbeam proper, child panics surface when the
+    /// caller `join()`s the handle (or propagate at scope exit if never
+    /// joined), so the outer `Result` is always `Ok`.
+    pub fn scope<'env, F, R>(f: F) -> std::thread::Result<R>
+    where
+        F: for<'scope> FnOnce(&Scope<'scope, 'env>) -> R,
+    {
+        Ok(std::thread::scope(|s| f(&Scope { inner: s })))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::thread;
+
+    #[test]
+    fn scoped_threads_borrow_and_join() {
+        let data = vec![1, 2, 3];
+        let sum = thread::scope(|s| {
+            let handles: Vec<_> = data.iter().map(|&x| s.spawn(move |_| x * 2)).collect();
+            handles.into_iter().map(|h| h.join().unwrap()).sum::<i32>()
+        })
+        .unwrap();
+        assert_eq!(sum, 12);
+    }
+
+    #[test]
+    fn panicking_child_surfaces_at_join() {
+        let caught = thread::scope(|s| {
+            let h = s.spawn(|_| -> i32 { panic!("child failed") });
+            h.join().is_err()
+        })
+        .unwrap();
+        assert!(caught);
+    }
+}

@@ -1,0 +1,122 @@
+//! Offline stand-in for the `serde` crate.
+//!
+//! Real serde's visitor-based data model is far more than this workspace
+//! needs — the only consumer is JSON report emission. This stub models
+//! serialization as conversion into an owned [`Json`] value tree, which
+//! `serde_json` (the sibling stub) renders. The `derive` feature exists so
+//! `serde = { features = ["derive"] }` specs resolve, but types implement
+//! [`Serialize`] by hand.
+
+/// An owned JSON value.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Json {
+    /// `null`
+    Null,
+    /// `true` / `false`
+    Bool(bool),
+    /// Integer number (rendered without decimal point).
+    Int(i64),
+    /// Floating-point number.
+    Num(f64),
+    /// String.
+    Str(String),
+    /// Array.
+    Arr(Vec<Json>),
+    /// Object (insertion-ordered).
+    Obj(Vec<(String, Json)>),
+}
+
+/// Types convertible to a [`Json`] tree.
+pub trait Serialize {
+    /// Convert `self` into a JSON value.
+    fn to_json(&self) -> Json;
+}
+
+impl Serialize for Json {
+    fn to_json(&self) -> Json {
+        self.clone()
+    }
+}
+
+impl Serialize for bool {
+    fn to_json(&self) -> Json {
+        Json::Bool(*self)
+    }
+}
+
+impl Serialize for String {
+    fn to_json(&self) -> Json {
+        Json::Str(self.clone())
+    }
+}
+
+impl Serialize for &str {
+    fn to_json(&self) -> Json {
+        Json::Str((*self).to_string())
+    }
+}
+
+impl Serialize for f64 {
+    fn to_json(&self) -> Json {
+        Json::Num(*self)
+    }
+}
+
+impl Serialize for f32 {
+    fn to_json(&self) -> Json {
+        Json::Num(*self as f64)
+    }
+}
+
+macro_rules! impl_serialize_int {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_json(&self) -> Json {
+                Json::Int(*self as i64)
+            }
+        }
+    )*};
+}
+
+impl_serialize_int!(i8, i16, i32, i64, isize, u8, u16, u32, u64, usize);
+
+impl<T: Serialize> Serialize for Vec<T> {
+    fn to_json(&self) -> Json {
+        Json::Arr(self.iter().map(Serialize::to_json).collect())
+    }
+}
+
+impl<T: Serialize> Serialize for [T] {
+    fn to_json(&self) -> Json {
+        Json::Arr(self.iter().map(Serialize::to_json).collect())
+    }
+}
+
+impl<T: Serialize> Serialize for &T {
+    fn to_json(&self) -> Json {
+        (*self).to_json()
+    }
+}
+
+impl<T: Serialize> Serialize for Option<T> {
+    fn to_json(&self) -> Json {
+        match self {
+            Some(v) => v.to_json(),
+            None => Json::Null,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::{Json, Serialize};
+
+    #[test]
+    fn primitives_serialize() {
+        assert_eq!(3usize.to_json(), Json::Int(3));
+        assert_eq!(1.5f64.to_json(), Json::Num(1.5));
+        assert_eq!("x".to_json(), Json::Str("x".into()));
+        assert_eq!(None::<i64>.to_json(), Json::Null);
+        assert_eq!(vec![1i64, 2].to_json(), Json::Arr(vec![Json::Int(1), Json::Int(2)]));
+    }
+}

@@ -1,0 +1,140 @@
+//! Offline stand-in for the `serde_json` crate.
+//!
+//! Renders the serde stub's [`serde::Json`] value tree as JSON text.
+//! Only serialization is implemented (the workspace writes reports; it
+//! never parses JSON).
+
+use serde::{Json, Serialize};
+use std::fmt;
+
+/// Serialization error. The stub renderer is total, so this is never
+/// constructed; it exists so call sites keep serde_json's `Result` shape.
+#[derive(Debug)]
+pub struct Error(String);
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "json error: {}", self.0)
+    }
+}
+
+impl std::error::Error for Error {}
+
+/// Serialize `value` as compact JSON.
+pub fn to_string<T: Serialize + ?Sized>(value: &T) -> Result<String, Error> {
+    let mut out = String::new();
+    render(&value.to_json(), 0, false, &mut out);
+    Ok(out)
+}
+
+/// Serialize `value` as pretty-printed JSON (two-space indent).
+pub fn to_string_pretty<T: Serialize + ?Sized>(value: &T) -> Result<String, Error> {
+    let mut out = String::new();
+    render(&value.to_json(), 0, true, &mut out);
+    Ok(out)
+}
+
+fn render(v: &Json, depth: usize, pretty: bool, out: &mut String) {
+    match v {
+        Json::Null => out.push_str("null"),
+        Json::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+        Json::Int(i) => out.push_str(&i.to_string()),
+        Json::Num(n) => {
+            if n.is_finite() {
+                // Round-trippable, and integral floats keep a ".0".
+                if n.fract() == 0.0 && n.abs() < 1e15 {
+                    out.push_str(&format!("{n:.1}"));
+                } else {
+                    out.push_str(&format!("{n}"));
+                }
+            } else {
+                // JSON has no NaN/inf; serde_json emits null.
+                out.push_str("null");
+            }
+        }
+        Json::Str(s) => render_string(s, out),
+        Json::Arr(items) => render_seq('[', ']', items.len(), depth, pretty, out, |i, out| {
+            render(&items[i], depth + 1, pretty, out)
+        }),
+        Json::Obj(fields) => render_seq('{', '}', fields.len(), depth, pretty, out, |i, out| {
+            let (k, val) = &fields[i];
+            render_string(k, out);
+            out.push(':');
+            if pretty {
+                out.push(' ');
+            }
+            render(val, depth + 1, pretty, out)
+        }),
+    }
+}
+
+fn render_seq(
+    open: char,
+    close: char,
+    len: usize,
+    depth: usize,
+    pretty: bool,
+    out: &mut String,
+    mut item: impl FnMut(usize, &mut String),
+) {
+    out.push(open);
+    if len == 0 {
+        out.push(close);
+        return;
+    }
+    for i in 0..len {
+        if i > 0 {
+            out.push(',');
+        }
+        if pretty {
+            out.push('\n');
+            out.push_str(&"  ".repeat(depth + 1));
+        }
+        item(i, out);
+    }
+    if pretty {
+        out.push('\n');
+        out.push_str(&"  ".repeat(depth));
+    }
+    out.push(close);
+}
+
+fn render_string(s: &str, out: &mut String) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use serde::Json;
+
+    #[test]
+    fn renders_compact_and_pretty() {
+        let v = Json::Obj(vec![
+            ("name".into(), Json::Str("a\"b".into())),
+            ("vals".into(), Json::Arr(vec![Json::Int(1), Json::Num(0.5)])),
+            ("none".into(), Json::Null),
+        ]);
+        assert_eq!(to_string(&v).unwrap(), r#"{"name":"a\"b","vals":[1,0.5],"none":null}"#);
+        let pretty = to_string_pretty(&v).unwrap();
+        assert!(pretty.contains("\n  \"name\": \"a\\\"b\""), "{pretty}");
+    }
+
+    #[test]
+    fn integral_floats_keep_decimal_point() {
+        assert_eq!(to_string(&Json::Num(2.0)).unwrap(), "2.0");
+        assert_eq!(to_string(&Json::Num(f64::NAN)).unwrap(), "null");
+    }
+}
