@@ -14,13 +14,21 @@
 //! 4. **Graceful degradation** — a system missing its classifier and value
 //!    indexes under a serving deadline still answers, and reports exactly
 //!    which degradations it took.
+//! 5. **Pool-level chaos** — a real system behind the supervised serving
+//!    pool survives a seeded storm of injected worker panics, stalls and
+//!    budget exhaustion: every request resolves to a typed outcome, dead
+//!    workers are replaced, and the final health snapshot is clean.
 
-use std::time::Instant;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
 
 use codes::{CodesModel, CodesSystem, Config, PromptOptions};
 use codes_bench::workbench;
 use codes_eval::{evaluate, EvalConfig, TextTable};
-use sqlengine::{execute_query_governed, with_retry, Error, ExecLimits};
+use codes_serve::{
+    BreakerConfig, FaultPlan, FaultyBackend, Pool, Request, ServeConfig, ServeError, SystemBackend,
+};
+use sqlengine::{execute_query_governed, with_retry, Backoff, Error, ExecLimits};
 
 fn main() {
     let spider = workbench::spider();
@@ -28,6 +36,7 @@ fn main() {
     retry_semantics();
     run_survival(spider);
     degradation(spider);
+    pool_chaos(spider);
 }
 
 /// Adversarial statements that must be killed by the evaluation budgets.
@@ -188,5 +197,101 @@ fn degradation(spider: &codes_datasets::Benchmark) {
         out.degradations.iter().any(|d| d.contains("classifier missing")),
         "missing classifier must be reported: {:?}",
         out.degradations
+    );
+}
+
+/// A real SFT system behind the supervised pool under a seeded fault storm:
+/// every request resolves, crashed/wedged workers are replaced, and the
+/// queue drains clean on shutdown.
+fn pool_chaos(spider: &codes_datasets::Benchmark) {
+    let sys = workbench::sft_system("CodeS-1B", spider, false);
+    let backend = SystemBackend::new(Arc::new(sys), spider.databases.clone());
+    let plan = FaultPlan {
+        seed: 0xFA0175,
+        panic_prob: 0.15,
+        stall_prob: 0.10,
+        stall: Duration::from_millis(400),
+        budget_prob: 0.10,
+    };
+    let config = ServeConfig {
+        workers: 4,
+        queue_capacity: 24,
+        default_deadline: Duration::from_secs(20),
+        heartbeat_interval: Duration::from_millis(10),
+        wedged_after: Duration::from_millis(150),
+        breaker: BreakerConfig {
+            failure_threshold: 8,
+            backoff: Backoff::new(Duration::from_millis(20), Duration::from_millis(200), 0xB0B),
+        },
+        ..ServeConfig::default()
+    };
+    let pool = Pool::start(FaultyBackend::new(backend, plan), config);
+
+    // Injected panics are expected and typed at the pool boundary; keep
+    // their backtraces out of the report (real panics in other threads are
+    // also silenced for the duration of this section — the asserts below
+    // would still catch a malfunction).
+    let hook = std::panic::take_hook();
+    std::panic::set_hook(Box::new(|_| {}));
+    let started = Instant::now();
+    let total = 120usize;
+    let mut tickets = Vec::new();
+    let mut shed_at_admission = 0usize;
+    for i in 0..total {
+        let sample = &spider.dev[i % spider.dev.len()];
+        match pool.submit(Request::new(sample.db_id.clone(), sample.question.clone())) {
+            Ok(t) => tickets.push(t),
+            Err(ServeError::Overloaded { .. }) => shed_at_admission += 1,
+            Err(e) => panic!("unexpected admission failure: {e}"),
+        }
+        // Offered load ~2x capacity: enough pressure to demonstrate
+        // backpressure without shedding the whole run at admission.
+        std::thread::sleep(Duration::from_millis(2));
+    }
+    let mut served = 0usize;
+    let mut by_kind: std::collections::BTreeMap<&'static str, usize> = Default::default();
+    for ticket in tickets {
+        match ticket.wait_timeout(Duration::from_secs(10)).expect("no request may hang") {
+            Ok(_) => served += 1,
+            Err(e) => *by_kind.entry(e.kind()).or_default() += 1,
+        }
+    }
+    let elapsed_ms = started.elapsed().as_secs_f64() * 1_000.0;
+    let health = pool.shutdown();
+    std::panic::set_hook(hook);
+
+    let mut table = TextTable::new("Pool-level chaos (supervised pool, seeded fault storm)")
+        .headers(&["Outcome", "Requests"]);
+    table.row(vec!["served".to_string(), served.to_string()]);
+    table.row(vec!["overloaded (admission)".to_string(), shed_at_admission.to_string()]);
+    for (kind, n) in &by_kind {
+        table.row(vec![(*kind).to_string(), n.to_string()]);
+    }
+    println!("{}", table.render());
+
+    let mut table = TextTable::new("Pool health after drain").headers(&[
+        "Queue",
+        "In flight",
+        "Workers replaced (panic)",
+        "Workers replaced (wedged)",
+        "Elapsed (ms)",
+    ]);
+    table.row(vec![
+        health.queue_depth.to_string(),
+        health.in_flight.to_string(),
+        health.stats.replaced_panic.to_string(),
+        health.stats.replaced_wedged.to_string(),
+        format!("{elapsed_ms:.0}"),
+    ]);
+    println!("{}", table.render());
+
+    let resolved: usize = served + shed_at_admission + by_kind.values().sum::<usize>();
+    assert_eq!(resolved, total, "every request must resolve to a typed outcome");
+    assert_eq!(health.queue_depth, 0, "shutdown must drain the queue");
+    assert_eq!(health.in_flight, 0, "shutdown must leave nothing in flight");
+    assert!(served > 0, "healthy requests must still be served under chaos");
+    assert!(
+        health.stats.replaced_panic > 0,
+        "the fault plan must have exercised worker replacement"
     );
 }

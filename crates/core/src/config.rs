@@ -73,6 +73,22 @@ impl Config {
         }
     }
 
+    /// Propagate a caller deadline into this configuration: the inference
+    /// deadline and the per-statement execution deadline are both clamped
+    /// to `remaining` (budgets that were already tighter stay tighter).
+    ///
+    /// This is how the serving runtime flows a request's remaining time
+    /// into the whole stack: a request admitted with little time left gets
+    /// a proportionally small inference deadline, so [`Config::nearly_spent`]
+    /// fires early and the beam degrades to greedy instead of the request
+    /// timing out with nothing to show.
+    pub fn clamped_to_deadline(mut self, remaining: Duration) -> Config {
+        let clamp = |d: Option<Duration>| Some(d.map_or(remaining, |x| x.min(remaining)));
+        self.inference_deadline = clamp(self.inference_deadline);
+        self.exec_limits.deadline = clamp(self.exec_limits.deadline);
+        self
+    }
+
     /// True when at least three quarters of the inference deadline are
     /// gone — the trigger for degrading beam selection to greedy.
     pub fn nearly_spent(&self, elapsed: Duration) -> bool {
@@ -384,6 +400,24 @@ mod tests {
         let unlimited = Config::unlimited();
         assert!(!unlimited.nearly_spent(Duration::from_secs(3600)));
         assert!(unlimited.allow_lazy_index_build(Duration::from_secs(3600)));
+    }
+
+    #[test]
+    fn clamping_tightens_but_never_loosens_deadlines() {
+        let cfg = Config::evaluation(); // 30s inference, 10s exec
+        let clamped = cfg.clamped_to_deadline(Duration::from_secs(1));
+        assert_eq!(clamped.inference_deadline, Some(Duration::from_secs(1)));
+        assert_eq!(clamped.exec_limits.deadline, Some(Duration::from_secs(1)));
+        // A budget already tighter than the caller deadline is kept.
+        let loose = cfg.clamped_to_deadline(Duration::from_secs(3600));
+        assert_eq!(loose.inference_deadline, Some(Duration::from_secs(30)));
+        assert_eq!(loose.exec_limits.deadline, Some(Duration::from_secs(10)));
+        // An unlimited config picks up the caller deadline.
+        let unlimited = Config::unlimited().clamped_to_deadline(Duration::from_millis(500));
+        assert_eq!(unlimited.inference_deadline, Some(Duration::from_millis(500)));
+        assert_eq!(unlimited.exec_limits.deadline, Some(Duration::from_millis(500)));
+        // Non-deadline budgets are untouched.
+        assert_eq!(clamped.exec_limits.max_rows, cfg.exec_limits.max_rows);
     }
 
     #[test]

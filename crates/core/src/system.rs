@@ -178,6 +178,20 @@ impl CodesSystem {
     ///   allows it, otherwise value retrieval is skipped;
     /// * inference deadline nearly spent → beam truncated to greedy.
     pub fn infer(&self, db: &Database, question: &str, external_knowledge: Option<&str>) -> Inference {
+        self.infer_with(db, question, external_knowledge, &self.config)
+    }
+
+    /// [`CodesSystem::infer`] under a caller-supplied [`Config`] instead of
+    /// the system-wide one. The serving runtime uses this to propagate each
+    /// request's remaining deadline (via [`Config::clamped_to_deadline`])
+    /// without mutating shared state.
+    pub fn infer_with(
+        &self,
+        db: &Database,
+        question: &str,
+        external_knowledge: Option<&str>,
+        config: &Config,
+    ) -> Inference {
         let start = Instant::now();
         let mut degradations = Vec::new();
 
@@ -185,7 +199,7 @@ impl CodesSystem {
             degradations.push("classifier missing: unfiltered schema in prompt".to_string());
         }
 
-        let value_index = self.resolve_value_index(db, start, &mut degradations);
+        let value_index = self.resolve_value_index(db, start, config, &mut degradations);
         let prompt = build_prompt(
             db,
             question,
@@ -202,7 +216,7 @@ impl CodesSystem {
                 .collect(),
             _ => Vec::new(),
         };
-        if self.config.nearly_spent(start.elapsed()) {
+        if config.nearly_spent(start.elapsed()) {
             degradations.push("inference deadline nearly spent: beam truncated to greedy".to_string());
         }
         let generation = self.model.generate_governed(
@@ -211,7 +225,7 @@ impl CodesSystem {
             question,
             external_knowledge,
             &demo_refs,
-            &self.config,
+            config,
             start,
         );
         Inference {
@@ -232,6 +246,7 @@ impl CodesSystem {
         &self,
         db: &Database,
         started: Instant,
+        config: &Config,
         degradations: &mut Vec<String>,
     ) -> Option<Arc<ValueIndex>> {
         if !self.options.use_value_retriever {
@@ -240,7 +255,7 @@ impl CodesSystem {
         if let Some(idx) = self.value_indexes.read().get(&db.name) {
             return Some(Arc::clone(idx));
         }
-        if self.config.allow_lazy_index_build(started.elapsed()) {
+        if config.allow_lazy_index_build(started.elapsed()) {
             let built = Arc::new(ValueIndex::build(db));
             self.value_indexes
                 .write()
@@ -265,6 +280,7 @@ mod tests {
     use crate::pretrain::{pretrain, PretrainConfig};
     use crate::sketch::SketchCatalog;
     use std::sync::Arc;
+    use std::time::Duration;
 
     fn mini_benchmark() -> Benchmark {
         let mut cfg = codes_datasets::BenchmarkConfig::spider(51);
@@ -336,6 +352,28 @@ mod tests {
             "SFT ({a_sft:.2}) should not be worse than zero-shot ({a_zero:.2})"
         );
         assert!(a_sft > 0.3, "SFT accuracy suspiciously low: {a_sft:.2}");
+    }
+
+    #[test]
+    fn infer_with_propagates_caller_deadline() {
+        let bench = mini_benchmark();
+        let mut sys = system("CodeS-1B");
+        sys.prepare_databases(bench.databases.iter());
+        let s = &bench.dev[0];
+        let db = bench.database(&s.db_id).unwrap();
+        // A request admitted with (effectively) no time left must degrade
+        // to greedy rather than fail — and still answer.
+        let starved = Config::serving().clamped_to_deadline(Duration::from_nanos(1));
+        let out = sys.infer_with(db, &s.question, None, &starved);
+        assert!(!out.sql.is_empty());
+        assert!(
+            out.degradations.iter().any(|d| d.contains("greedy")),
+            "starved deadline must truncate the beam: {:?}",
+            out.degradations
+        );
+        // The override is per-call: the system's own config still applies.
+        let relaxed = sys.infer(db, &s.question, None);
+        assert!(!relaxed.degradations.iter().any(|d| d.contains("greedy")));
     }
 
     #[test]

@@ -124,6 +124,18 @@ impl Hardness {
             Hardness::Extra => "extra",
         }
     }
+
+    /// Inverse of [`Hardness::label`] (used when reloading journaled
+    /// evaluation records).
+    pub fn from_label(label: &str) -> Option<Hardness> {
+        match label {
+            "easy" => Some(Hardness::Easy),
+            "medium" => Some(Hardness::Medium),
+            "hard" => Some(Hardness::Hard),
+            "extra" => Some(Hardness::Extra),
+            _ => None,
+        }
+    }
 }
 
 /// A database value mentioned by the question.

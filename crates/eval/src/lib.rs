@@ -1,20 +1,29 @@
 #![warn(missing_docs)]
+// Non-test code must surface failures as values, not unwrap panics — the
+// harness sits at the fault boundary of every evaluation run (same policy
+// as sqlengine's exec/engine modules and codes-retrieval).
+#![cfg_attr(not(test), deny(clippy::unwrap_used))]
 
 //! # codes-eval
 //!
 //! Evaluation metrics and harness for the CodeS reproduction: execution
 //! accuracy (EX), test-suite accuracy (TS, multi-instance), valid
 //! efficiency score (VES, deterministic cost model), a human-evaluation
-//! proxy (HE), a parallel evaluation runner, and table/record reporting.
+//! proxy (HE), a parallel evaluation runner with a crash-resumable JSONL
+//! journal, and table/record reporting.
 
+pub mod journal;
 pub mod metrics;
 pub mod report;
 pub mod runner;
 
+pub use journal::{sample_fingerprint, EvalError, Journal, JournalEntry};
 pub use metrics::{
     execution_match, execution_match_governed, human_equivalent, human_equivalent_governed,
     test_suite_match, test_suite_match_governed, test_suite_variants, ves_component,
     ves_component_governed,
 };
 pub use report::{pct, pct2, records_to_json, ExperimentRecord, TextTable};
-pub use runner::{evaluate, EvalConfig, EvalOutcome, SampleResult};
+pub use runner::{
+    evaluate, evaluate_resumable, EvalConfig, EvalOutcome, ResumedEvaluation, SampleResult,
+};

@@ -6,14 +6,21 @@
 //! sample's inference or scoring is caught and recorded on that sample's
 //! [`SampleResult::failure`] — one poisoned sample never takes down the
 //! run or the other samples sharing its worker thread.
+//!
+//! [`evaluate_resumable`] layers crash-resumability on top: each finished
+//! sample is journaled to a JSONL file as it completes, and a restarted run
+//! reloads the journal and evaluates only the samples that are missing.
 
 use std::collections::HashMap;
 use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::path::Path;
+use std::sync::Mutex;
 
 use codes::CodesSystem;
 use codes_datasets::{Hardness, Sample};
 use sqlengine::{Database, ExecLimits};
 
+use crate::journal::{sample_fingerprint, EvalError, Journal};
 use crate::metrics::{
     execution_match_governed, human_equivalent_governed, test_suite_match_governed,
     test_suite_variants, ves_component_governed,
@@ -140,32 +147,139 @@ pub fn evaluate(
     let by_name: HashMap<&str, &Database> = dbs.iter().map(|d| (d.name.as_str(), d)).collect();
     let limit = cfg.limit.unwrap_or(samples.len()).min(samples.len());
     let samples = &samples[..limit];
+    let variants = build_variants(&by_name, cfg);
+    let work: Vec<(usize, &Sample)> = samples.iter().enumerate().collect();
+    let mut results = run_indexed(system, &work, &by_name, &variants, cfg, &|_, _| {});
+    results.sort_by_key(|(index, _)| *index);
+    let results: Vec<SampleResult> = results.into_iter().map(|(_, r)| r).collect();
+    (summarize(&results), results)
+}
 
-    // TS variants built once per database.
-    let variants: HashMap<&str, Vec<Database>> = if cfg.compute_ts {
+/// Outcome of a crash-resumable evaluation run (see [`evaluate_resumable`]).
+#[derive(Debug)]
+pub struct ResumedEvaluation {
+    /// Aggregate metrics over journaled + freshly evaluated samples.
+    pub outcome: EvalOutcome,
+    /// Per-sample results in sample order.
+    pub results: Vec<SampleResult>,
+    /// How many samples were reloaded from the journal (not re-executed).
+    pub resumed: usize,
+    /// How many samples this run actually evaluated.
+    pub executed: usize,
+}
+
+/// [`evaluate`] with a per-sample JSONL journal at `journal_path`: every
+/// finished sample is appended and flushed as it completes, and a restart
+/// skips samples the journal already holds. A journal whose entries do not
+/// fingerprint-match the sample set is rejected with
+/// [`EvalError::JournalMismatch`] rather than silently mixing runs.
+pub fn evaluate_resumable(
+    system: &CodesSystem,
+    samples: &[Sample],
+    dbs: &[Database],
+    cfg: &EvalConfig,
+    journal_path: &Path,
+) -> Result<ResumedEvaluation, EvalError> {
+    let by_name: HashMap<&str, &Database> = dbs.iter().map(|d| (d.name.as_str(), d)).collect();
+    let limit = cfg.limit.unwrap_or(samples.len()).min(samples.len());
+    let samples = &samples[..limit];
+
+    let (journal, entries) = Journal::open(journal_path)?;
+    let mut done: HashMap<usize, SampleResult> = HashMap::new();
+    for entry in entries {
+        // Entries past the current limit are fine (a previous, larger run);
+        // they are simply not part of this evaluation.
+        let Some(sample) = samples.get(entry.index) else { continue };
+        let expected = sample_fingerprint(sample);
+        if entry.fingerprint != expected {
+            return Err(EvalError::JournalMismatch {
+                index: entry.index,
+                detail: format!(
+                    "journal fingerprint {:016x} != sample fingerprint {expected:016x} \
+                     (different sample set or ordering?)",
+                    entry.fingerprint
+                ),
+            });
+        }
+        done.entry(entry.index).or_insert(entry.result);
+    }
+    let resumed = done.len();
+
+    let variants = build_variants(&by_name, cfg);
+    let work: Vec<(usize, &Sample)> = samples
+        .iter()
+        .enumerate()
+        .filter(|(i, _)| !done.contains_key(i))
+        .collect();
+
+    // Workers append each finished sample through this sink; the first
+    // journal-write failure is kept and surfaced after the run.
+    let sink_state = Mutex::new((journal, None::<EvalError>));
+    let sink = |index: usize, result: &SampleResult| {
+        let mut guard = sink_state.lock().unwrap_or_else(|poisoned| poisoned.into_inner());
+        let (journal, first_error) = &mut *guard;
+        if first_error.is_none() {
+            if let Err(e) = journal.append(index, sample_fingerprint(&samples[index]), result) {
+                *first_error = Some(e);
+            }
+        }
+    };
+    let fresh = run_indexed(system, &work, &by_name, &variants, cfg, &sink);
+    let executed = fresh.len();
+    let (_, sink_error) = sink_state.into_inner().unwrap_or_else(|poisoned| poisoned.into_inner());
+    if let Some(e) = sink_error {
+        return Err(e);
+    }
+
+    let mut indexed: Vec<(usize, SampleResult)> = done.into_iter().chain(fresh).collect();
+    indexed.sort_by_key(|(index, _)| *index);
+    let results: Vec<SampleResult> = indexed.into_iter().map(|(_, r)| r).collect();
+    Ok(ResumedEvaluation { outcome: summarize(&results), results, resumed, executed })
+}
+
+/// TS variants built once per database.
+fn build_variants<'a>(
+    by_name: &HashMap<&'a str, &Database>,
+    cfg: &EvalConfig,
+) -> HashMap<&'a str, Vec<Database>> {
+    if cfg.compute_ts {
         by_name
             .iter()
             .map(|(name, db)| (*name, test_suite_variants(db, cfg.ts_variants, 0x7575)))
             .collect()
     } else {
         HashMap::new()
-    };
+    }
+}
 
+/// Evaluate `work` (sample-index pairs) across [`EvalConfig::threads`]
+/// worker threads, invoking `sink` for each finished sample from the worker
+/// that produced it. Samples referencing an unknown database are skipped,
+/// matching the non-indexed path. Returned pairs are unordered.
+fn run_indexed(
+    system: &CodesSystem,
+    work: &[(usize, &Sample)],
+    by_name: &HashMap<&str, &Database>,
+    variants: &HashMap<&str, Vec<Database>>,
+    cfg: &EvalConfig,
+    sink: &(dyn Fn(usize, &SampleResult) + Sync),
+) -> Vec<(usize, SampleResult)> {
     let threads = cfg.threads.max(1);
-    let chunk = samples.len().div_ceil(threads).max(1);
-    let mut results: Vec<SampleResult> = Vec::with_capacity(samples.len());
+    let chunk = work.len().div_ceil(threads).max(1);
+    let mut results: Vec<(usize, SampleResult)> = Vec::with_capacity(work.len());
     crossbeam::thread::scope(|scope| {
         let mut handles = Vec::new();
-        for part in samples.chunks(chunk) {
-            let by_name = &by_name;
-            let variants = &variants;
+        for part in work.chunks(chunk) {
             handles.push(scope.spawn(move |_| {
                 part.iter()
-                    .filter_map(|s| {
+                    .filter_map(|&(index, s)| {
                         let db = by_name.get(s.db_id.as_str())?;
-                        Some(eval_one_isolated(system, s, db, variants.get(s.db_id.as_str()), cfg))
+                        let result =
+                            eval_one_isolated(system, s, db, variants.get(s.db_id.as_str()), cfg);
+                        sink(index, &result);
+                        Some((index, result))
                     })
-                    .collect::<Vec<SampleResult>>()
+                    .collect::<Vec<(usize, SampleResult)>>()
             }));
         }
         for h in handles {
@@ -178,8 +292,7 @@ pub fn evaluate(
         }
     })
     .unwrap_or_default();
-
-    (summarize(&results), results)
+    results
 }
 
 /// Evaluate one sample inside a fault boundary. A panic anywhere in the
@@ -303,7 +416,7 @@ mod tests {
         let spec = codes::table4_models()
             .into_iter()
             .find(|m| m.name == "CodeS-7B")
-            .unwrap();
+            .expect("CodeS-7B is a fixed Table 4 row");
         let lm = pretrain(&catalog, &spec, &PretrainConfig { scale: 10, seed: 3 });
         let mut sys = CodesSystem::new(CodesModel::new(lm, catalog), PromptOptions::sft());
         sys.prepare_databases(bench.databases.iter());
@@ -334,6 +447,100 @@ mod tests {
         let (b, _) = evaluate(&sys, &bench.dev, &bench.databases, &cfg);
         assert_eq!(a.ex, b.ex);
         assert_eq!(a.ves, b.ves);
+    }
+
+    fn journal_path(name: &str) -> std::path::PathBuf {
+        let dir = std::env::temp_dir().join("codes-eval-runner-tests");
+        std::fs::create_dir_all(&dir).expect("create temp dir");
+        let path = dir.join(format!("{name}-{}.jsonl", std::process::id()));
+        let _ = std::fs::remove_file(&path);
+        path
+    }
+
+    /// The resume workhorse test: interrupt an eval run mid-stream (here by
+    /// capping the first run's limit — equivalent to the process dying after
+    /// k journaled samples), restart over the full set, and require that
+    /// (a) no already-journaled sample executes twice, (b) the journal
+    /// prefix is untouched, and (c) the final report is byte-identical to
+    /// an uninterrupted run's.
+    #[test]
+    fn interrupted_run_resumes_without_reexecution_and_matches_uninterrupted_report() {
+        let (sys, bench) = mini_system_and_bench();
+        let cfg = EvalConfig { limit: Some(12), ts_variants: 2, ..Default::default() };
+        let path = journal_path("resume");
+
+        // First run dies after 5 samples.
+        let partial_cfg = EvalConfig { limit: Some(5), ..cfg };
+        let partial = evaluate_resumable(&sys, &bench.dev, &bench.databases, &partial_cfg, &path)
+            .expect("partial run");
+        assert_eq!(partial.resumed, 0);
+        assert_eq!(partial.executed, 5);
+        let journal_after_crash = std::fs::read_to_string(&path).expect("journal exists");
+
+        // Restarted run: only the missing 7 samples execute.
+        let resumed = evaluate_resumable(&sys, &bench.dev, &bench.databases, &cfg, &path)
+            .expect("resumed run");
+        assert_eq!(resumed.resumed, 5, "journaled samples must not re-execute");
+        assert_eq!(resumed.executed, 12 - 5);
+        assert_eq!(resumed.outcome.n, 12);
+        let journal_after_resume = std::fs::read_to_string(&path).expect("journal exists");
+        assert!(
+            journal_after_resume.starts_with(&journal_after_crash),
+            "resume must append, never rewrite, the journal prefix"
+        );
+
+        // Uninterrupted reference run (fresh journal).
+        let fresh_path = journal_path("fresh");
+        let fresh = evaluate_resumable(&sys, &bench.dev, &bench.databases, &cfg, &fresh_path)
+            .expect("uninterrupted run");
+        assert_eq!(fresh.resumed, 0);
+        assert_eq!(fresh.executed, 12);
+
+        // Byte-identical report over the deterministic verdict fields.
+        let report = |r: &ResumedEvaluation| {
+            let records: Vec<crate::ExperimentRecord> = [
+                ("ex", r.outcome.ex),
+                ("ts", r.outcome.ts),
+                ("ves", r.outcome.ves),
+                ("he", r.outcome.he),
+            ]
+            .into_iter()
+            .map(|(metric, value)| crate::ExperimentRecord {
+                experiment: "resume-test".into(),
+                system: "CodeS-7B".into(),
+                dataset: "mini-dev".into(),
+                metric: metric.into(),
+                value: value * 100.0,
+                n: r.outcome.n,
+            })
+            .collect();
+            crate::records_to_json(&records)
+        };
+        assert_eq!(report(&resumed), report(&fresh), "resumed report must be byte-identical");
+        // Stronger: the per-sample verdicts agree sample by sample.
+        for (a, b) in resumed.results.iter().zip(fresh.results.iter()) {
+            assert_eq!(a.predicted, b.predicted);
+            assert_eq!((a.ex, a.ts, a.he), (b.ex, b.ts, b.he));
+            assert_eq!(a.ves.to_bits(), b.ves.to_bits());
+        }
+        let _ = std::fs::remove_file(&path);
+        let _ = std::fs::remove_file(&fresh_path);
+    }
+
+    #[test]
+    fn resume_rejects_mismatched_journal() {
+        let (sys, bench) = mini_system_and_bench();
+        let cfg = EvalConfig { limit: Some(4), compute_ts: false, ..Default::default() };
+        let path = journal_path("mismatch");
+        evaluate_resumable(&sys, &bench.dev, &bench.databases, &cfg, &path).expect("first run");
+        // Same journal, shuffled samples: fingerprints no longer line up.
+        let mut shuffled = bench.dev.clone();
+        shuffled.reverse();
+        match evaluate_resumable(&sys, &shuffled, &bench.databases, &cfg, &path) {
+            Err(crate::EvalError::JournalMismatch { .. }) => {}
+            other => panic!("expected JournalMismatch, got {:?}", other.map(|r| r.outcome.n)),
+        }
+        let _ = std::fs::remove_file(&path);
     }
 
     #[test]

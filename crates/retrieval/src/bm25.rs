@@ -90,7 +90,7 @@ impl Bm25Index {
             .into_iter()
             .map(|(doc, score)| SearchHit { doc: doc as usize, score })
             .collect();
-        hits.sort_by(|a, b| b.score.partial_cmp(&a.score).unwrap().then(a.doc.cmp(&b.doc)));
+        hits.sort_by(|a, b| b.score.total_cmp(&a.score).then(a.doc.cmp(&b.doc)));
         hits.truncate(top_k);
         hits
     }

@@ -100,7 +100,9 @@ impl DemoRetriever {
                         (i, score)
                     })
                     .collect();
-                scored.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap().then(a.0.cmp(&b.0)));
+                // total_cmp: cosine over degenerate embeddings can yield
+                // NaN, which must order deterministically, not panic.
+                scored.sort_by(|a, b| b.1.total_cmp(&a.1).then(a.0.cmp(&b.0)));
                 scored.truncate(k);
                 scored.into_iter().map(|(i, _)| i).collect()
             }

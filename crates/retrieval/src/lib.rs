@@ -1,4 +1,8 @@
 #![warn(missing_docs)]
+// Non-test code must surface failures as values, not unwrap panics — the
+// retrieval substrates sit on serving and evaluation hot paths (same policy
+// as sqlengine's exec/engine modules).
+#![cfg_attr(not(test), deny(clippy::unwrap_used))]
 
 //! # codes-retrieval
 //!

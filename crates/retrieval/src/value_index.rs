@@ -107,8 +107,7 @@ impl ValueIndex {
 fn rank_and_dedupe(matches: &mut Vec<ValueMatch>) {
     matches.sort_by(|a, b| {
         b.degree
-            .partial_cmp(&a.degree)
-            .unwrap()
+            .total_cmp(&a.degree)
             .then(b.value.len().cmp(&a.value.len()))
             .then(a.table.cmp(&b.table))
             .then(a.column.cmp(&b.column))

@@ -1,0 +1,305 @@
+//! Per-database circuit breaker.
+//!
+//! The breaker trips a database out of rotation after a run of
+//! permanent/budget failures so a broken or overloaded database cannot
+//! keep burning worker time. State machine:
+//!
+//! ```text
+//! Closed --(N consecutive failures)--> Open --(window elapses)--> HalfOpen
+//!   ^                                   ^                            |
+//!   |                                   +----(probe fails)-----------+
+//!   +--------------------(probe succeeds)----------------------------+
+//! ```
+//!
+//! The open window grows with each consecutive reopen via the engine's
+//! deterministic jittered [`sqlengine::Backoff`], so a persistently
+//! failing database is probed less and less often. All transitions take
+//! explicit [`Instant`]s, which keeps the state machine synchronous and
+//! exactly testable — the pool supplies `Instant::now()`.
+
+use std::time::{Duration, Instant};
+
+use sqlengine::Backoff;
+
+/// Tuning knobs for one database's breaker.
+#[derive(Debug, Clone)]
+pub struct BreakerConfig {
+    /// Consecutive failures (in `Closed`) that trip the breaker open.
+    pub failure_threshold: u32,
+    /// Schedule for the open window: reopen `k` waits `backoff.delay(k)`.
+    pub backoff: Backoff,
+}
+
+impl Default for BreakerConfig {
+    fn default() -> BreakerConfig {
+        BreakerConfig {
+            failure_threshold: 3,
+            backoff: Backoff::new(Duration::from_millis(100), Duration::from_secs(5), 0x5EED),
+        }
+    }
+}
+
+/// Where the breaker currently sits in its state machine.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BreakerState {
+    /// Requests flow freely; tracks the current failure run.
+    Closed {
+        /// Consecutive failures observed since the last success.
+        consecutive_failures: u32,
+    },
+    /// Requests are rejected until the window elapses.
+    Open {
+        /// When the breaker will admit a half-open probe.
+        until: Instant,
+        /// How many times the breaker has (re)opened without an
+        /// intervening success — indexes the backoff schedule.
+        reopened: u32,
+    },
+    /// The window elapsed; exactly one probe request may pass.
+    HalfOpen {
+        /// Whether the single probe slot has been claimed.
+        probing: bool,
+        /// Carried from `Open`, so a failed probe reopens with a longer
+        /// window.
+        reopened: u32,
+    },
+}
+
+/// What `admit` decided for one request.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Admission {
+    /// Breaker closed: run the request normally.
+    Allow,
+    /// Breaker half-open: run the request as the single recovery probe.
+    Probe,
+    /// Breaker open (or a probe is already in flight): shed the request.
+    Reject {
+        /// Time until the open window elapses (zero if a probe holds the
+        /// half-open slot and the caller should retry shortly).
+        retry_after: Duration,
+    },
+}
+
+/// One database's breaker. Not internally synchronised — the pool holds
+/// breakers behind its own lock.
+#[derive(Debug, Clone)]
+pub struct CircuitBreaker {
+    config: BreakerConfig,
+    state: BreakerState,
+}
+
+impl CircuitBreaker {
+    /// A fresh, closed breaker.
+    pub fn new(config: BreakerConfig) -> CircuitBreaker {
+        CircuitBreaker { config, state: BreakerState::Closed { consecutive_failures: 0 } }
+    }
+
+    /// Current state (for health snapshots and tests).
+    pub fn state(&self) -> BreakerState {
+        self.state
+    }
+
+    /// Decide whether a request arriving at `now` may run. Transitions
+    /// `Open → HalfOpen` when the window has elapsed, and claims the
+    /// half-open probe slot when granting [`Admission::Probe`].
+    pub fn admit(&mut self, now: Instant) -> Admission {
+        match self.state {
+            BreakerState::Closed { .. } => Admission::Allow,
+            BreakerState::Open { until, reopened } => {
+                if now < until {
+                    Admission::Reject { retry_after: until - now }
+                } else {
+                    self.state = BreakerState::HalfOpen { probing: true, reopened };
+                    Admission::Probe
+                }
+            }
+            BreakerState::HalfOpen { probing, reopened } => {
+                if probing {
+                    Admission::Reject { retry_after: Duration::ZERO }
+                } else {
+                    self.state = BreakerState::HalfOpen { probing: true, reopened };
+                    Admission::Probe
+                }
+            }
+        }
+    }
+
+    /// A request (normal or probe) finished successfully: close fully and
+    /// forget the failure history.
+    pub fn record_success(&mut self) {
+        self.state = BreakerState::Closed { consecutive_failures: 0 };
+    }
+
+    /// A request (normal or probe) failed in a way that should count
+    /// against the database (permanent failure, or budget exhaustion that
+    /// survived retries).
+    pub fn record_failure(&mut self, now: Instant) {
+        match self.state {
+            BreakerState::Closed { consecutive_failures } => {
+                let failures = consecutive_failures + 1;
+                if failures >= self.config.failure_threshold {
+                    self.trip(now, 0);
+                } else {
+                    self.state = BreakerState::Closed { consecutive_failures: failures };
+                }
+            }
+            // A failure while open (e.g. an in-flight request admitted
+            // before the trip) keeps the breaker open; don't extend the
+            // window so recovery probing is not starved.
+            BreakerState::Open { .. } => {}
+            BreakerState::HalfOpen { reopened, .. } => self.trip(now, reopened + 1),
+        }
+    }
+
+    fn trip(&mut self, now: Instant, reopened: u32) {
+        let window = self.config.backoff.delay(reopened);
+        self.state = BreakerState::Open { until: now + window, reopened };
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn breaker() -> CircuitBreaker {
+        CircuitBreaker::new(BreakerConfig {
+            failure_threshold: 3,
+            // jitter left at the Backoff::new default (0.5)
+            backoff: Backoff::new(Duration::from_millis(100), Duration::from_secs(5), 42),
+        })
+    }
+
+    #[test]
+    fn closed_trips_open_only_at_threshold() {
+        let mut b = breaker();
+        let t0 = Instant::now();
+        for expected in 1..3u32 {
+            b.record_failure(t0);
+            assert_eq!(b.state(), BreakerState::Closed { consecutive_failures: expected });
+            assert_eq!(b.admit(t0), Admission::Allow);
+        }
+        b.record_failure(t0);
+        assert!(matches!(b.state(), BreakerState::Open { reopened: 0, .. }));
+        match b.admit(t0) {
+            Admission::Reject { retry_after } => assert!(retry_after > Duration::ZERO),
+            other => panic!("expected rejection while open, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn success_resets_the_failure_run() {
+        let mut b = breaker();
+        let t0 = Instant::now();
+        b.record_failure(t0);
+        b.record_failure(t0);
+        b.record_success();
+        assert_eq!(b.state(), BreakerState::Closed { consecutive_failures: 0 });
+        // Two more failures must NOT trip: the run restarted at zero.
+        b.record_failure(t0);
+        b.record_failure(t0);
+        assert_eq!(b.admit(t0), Admission::Allow);
+    }
+
+    #[test]
+    fn half_open_admits_exactly_one_probe() {
+        let mut b = breaker();
+        let t0 = Instant::now();
+        for _ in 0..3 {
+            b.record_failure(t0);
+        }
+        let until = match b.state() {
+            BreakerState::Open { until, .. } => until,
+            s => panic!("expected open, got {s:?}"),
+        };
+        // Window elapsed: first arrival becomes the probe...
+        assert_eq!(b.admit(until), Admission::Probe);
+        // ...and everyone else is shed while the probe is in flight.
+        assert_eq!(b.admit(until), Admission::Reject { retry_after: Duration::ZERO });
+        assert_eq!(b.admit(until), Admission::Reject { retry_after: Duration::ZERO });
+    }
+
+    #[test]
+    fn failed_probe_reopens_with_a_longer_backoff_window() {
+        let mut b = breaker();
+        let t0 = Instant::now();
+        for _ in 0..3 {
+            b.record_failure(t0);
+        }
+        let first_until = match b.state() {
+            BreakerState::Open { until, reopened } => {
+                assert_eq!(reopened, 0);
+                until
+            }
+            s => panic!("expected open, got {s:?}"),
+        };
+        let first_window = first_until - t0;
+
+        assert_eq!(b.admit(first_until), Admission::Probe);
+        b.record_failure(first_until);
+        let (second_until, reopened) = match b.state() {
+            BreakerState::Open { until, reopened } => (until, reopened),
+            s => panic!("expected reopened, got {s:?}"),
+        };
+        assert_eq!(reopened, 1);
+        let second_window = second_until - first_until;
+        // Backoff doubles the base between attempts; jitter is ±25%, so
+        // the reopened window is strictly longer than the first.
+        assert!(
+            second_window > first_window,
+            "reopen window {second_window:?} should exceed first {first_window:?}"
+        );
+    }
+
+    #[test]
+    fn successful_probe_closes_fully() {
+        let mut b = breaker();
+        let t0 = Instant::now();
+        for _ in 0..3 {
+            b.record_failure(t0);
+        }
+        let until = match b.state() {
+            BreakerState::Open { until, .. } => until,
+            s => panic!("expected open, got {s:?}"),
+        };
+        assert_eq!(b.admit(until), Admission::Probe);
+        b.record_success();
+        assert_eq!(b.state(), BreakerState::Closed { consecutive_failures: 0 });
+        assert_eq!(b.admit(until), Admission::Allow);
+        // And the backoff schedule restarted: a fresh trip is reopened=0.
+        for _ in 0..3 {
+            b.record_failure(until);
+        }
+        assert!(matches!(b.state(), BreakerState::Open { reopened: 0, .. }));
+    }
+
+    #[test]
+    fn open_windows_follow_the_jittered_backoff_schedule() {
+        let cfg = BreakerConfig {
+            failure_threshold: 1,
+            backoff: Backoff::new(Duration::from_millis(100), Duration::from_secs(60), 7),
+        };
+        let mut b = CircuitBreaker::new(cfg.clone());
+        let mut now = Instant::now();
+        // Trip, then fail every probe: window k must equal backoff.delay(k)
+        // exactly (the same deterministic jittered schedule), and stay
+        // within the ±25% jitter envelope of base·2^k.
+        b.record_failure(now);
+        for k in 0..5u32 {
+            let until = match b.state() {
+                BreakerState::Open { until, reopened } => {
+                    assert_eq!(reopened, k);
+                    until
+                }
+                s => panic!("expected open at reopen {k}, got {s:?}"),
+            };
+            let window = until - now;
+            assert_eq!(window, cfg.backoff.delay(k));
+            let nominal = Duration::from_millis(100 * (1 << k)).as_secs_f64();
+            let ratio = window.as_secs_f64() / nominal;
+            assert!((0.75..1.25).contains(&ratio), "window {window:?} outside jitter bounds at reopen {k}");
+            now = until;
+            assert_eq!(b.admit(now), Admission::Probe);
+            b.record_failure(now);
+        }
+    }
+}

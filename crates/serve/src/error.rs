@@ -1,0 +1,139 @@
+//! The serving runtime's failure taxonomy.
+//!
+//! Every request submitted to the pool resolves to exactly one of: a
+//! successful [`crate::ServedInference`], a [`ServeError`], or — at
+//! admission time — an [`ServeError::Overloaded`] rejection. Nothing
+//! hangs and nothing panics through the API boundary.
+
+use std::fmt;
+use std::time::Duration;
+
+/// Why a request did not produce an inference.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ServeError {
+    /// Load shed at admission: the bounded queue is full. Backpressure is
+    /// explicit — the pool never buffers unboundedly.
+    Overloaded {
+        /// Queue depth observed at rejection.
+        queue_depth: usize,
+        /// Configured queue capacity.
+        capacity: usize,
+    },
+    /// The target database's circuit breaker is open (or a half-open probe
+    /// is already in flight). Retry after the hinted delay.
+    CircuitOpen {
+        /// Database whose breaker rejected the request.
+        db_id: String,
+        /// How long until the breaker will admit a probe.
+        retry_after: Duration,
+    },
+    /// The request's deadline expired while it was still queued; running
+    /// the inference would only return a useless late answer.
+    DeadlineExceeded {
+        /// Time spent in the queue.
+        queued: Duration,
+        /// The request's total time budget.
+        budget: Duration,
+    },
+    /// The inference itself failed with a typed engine/model error
+    /// (transient budget exhaustion after retries, or a permanent
+    /// statement/schema failure). Feeds the circuit breaker.
+    Inference(sqlengine::Error),
+    /// The worker running this request panicked; the supervisor replaced
+    /// the worker and resolved the request with the panic message.
+    WorkerPanic(String),
+    /// The worker running this request stopped heartbeating; the
+    /// supervisor abandoned it and resolved the request.
+    WorkerWedged {
+        /// How long the worker had been silent when declared wedged.
+        stalled: Duration,
+    },
+    /// The pool is shutting down (or the reply channel was lost), so the
+    /// request can no longer be served.
+    ShuttingDown,
+}
+
+impl ServeError {
+    /// Short machine-readable category (mirrors `sqlengine::Error::kind`).
+    pub fn kind(&self) -> &'static str {
+        match self {
+            ServeError::Overloaded { .. } => "overloaded",
+            ServeError::CircuitOpen { .. } => "circuit_open",
+            ServeError::DeadlineExceeded { .. } => "deadline",
+            ServeError::Inference(_) => "inference",
+            ServeError::WorkerPanic(_) => "worker_panic",
+            ServeError::WorkerWedged { .. } => "worker_wedged",
+            ServeError::ShuttingDown => "shutting_down",
+        }
+    }
+
+    /// True for admission-control rejections ([`ServeError::Overloaded`],
+    /// [`ServeError::CircuitOpen`], [`ServeError::DeadlineExceeded`]): the
+    /// request was never run, and a caller-side retry later is reasonable.
+    pub fn is_load_shed(&self) -> bool {
+        matches!(
+            self,
+            ServeError::Overloaded { .. }
+                | ServeError::CircuitOpen { .. }
+                | ServeError::DeadlineExceeded { .. }
+        )
+    }
+}
+
+impl fmt::Display for ServeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ServeError::Overloaded { queue_depth, capacity } => {
+                write!(f, "overloaded: admission queue full ({queue_depth}/{capacity})")
+            }
+            ServeError::CircuitOpen { db_id, retry_after } => {
+                write!(f, "circuit open for '{db_id}': retry in {retry_after:?}")
+            }
+            ServeError::DeadlineExceeded { queued, budget } => {
+                write!(f, "deadline exceeded while queued ({queued:?} of a {budget:?} budget)")
+            }
+            ServeError::Inference(e) => write!(f, "inference failed: {e}"),
+            ServeError::WorkerPanic(msg) => write!(f, "worker panicked: {msg}"),
+            ServeError::WorkerWedged { stalled } => {
+                write!(f, "worker wedged (no heartbeat for {stalled:?})")
+            }
+            ServeError::ShuttingDown => write!(f, "pool shutting down"),
+        }
+    }
+}
+
+impl std::error::Error for ServeError {}
+
+impl From<sqlengine::Error> for ServeError {
+    fn from(e: sqlengine::Error) -> ServeError {
+        ServeError::Inference(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn kinds_are_distinct_and_load_shed_is_admission_only() {
+        let all = [
+            ServeError::Overloaded { queue_depth: 8, capacity: 8 },
+            ServeError::CircuitOpen { db_id: "bank".into(), retry_after: Duration::from_millis(50) },
+            ServeError::DeadlineExceeded {
+                queued: Duration::from_millis(120),
+                budget: Duration::from_millis(100),
+            },
+            ServeError::Inference(sqlengine::Error::Parse("bad".into())),
+            ServeError::WorkerPanic("boom".into()),
+            ServeError::WorkerWedged { stalled: Duration::from_secs(1) },
+            ServeError::ShuttingDown,
+        ];
+        let kinds: std::collections::HashSet<_> = all.iter().map(|e| e.kind()).collect();
+        assert_eq!(kinds.len(), all.len());
+        let shed: Vec<bool> = all.iter().map(|e| e.is_load_shed()).collect();
+        assert_eq!(shed, vec![true, true, true, false, false, false, false]);
+        for e in &all {
+            assert!(!e.to_string().is_empty());
+        }
+    }
+}

@@ -1,0 +1,158 @@
+//! Deterministic fault injection for chaos testing the pool.
+//!
+//! A [`FaultPlan`] decides — purely from its seed and a request id —
+//! whether a given request panics the worker, stalls it past the wedge
+//! threshold, or fails with budget exhaustion. Keying on the request id
+//! (assigned at submission) rather than invocation order makes chaos
+//! outcomes reproducible regardless of how the OS schedules workers.
+
+use std::time::Duration;
+
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+use sqlengine::{Error, Resource};
+
+use crate::pool::{Backend, BackendReply, Request};
+
+/// What the plan injects for one request.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Fault {
+    /// Run normally.
+    None,
+    /// Panic the worker thread mid-request.
+    Panic,
+    /// Sleep long enough to trip the supervisor's wedge detector.
+    Stall,
+    /// Fail with a transient [`Error::BudgetExceeded`].
+    BudgetExhaustion,
+}
+
+/// A seeded probabilistic fault schedule.
+#[derive(Debug, Clone)]
+pub struct FaultPlan {
+    /// Seed decorrelating this plan from others.
+    pub seed: u64,
+    /// Probability a request panics its worker.
+    pub panic_prob: f64,
+    /// Probability a request stalls its worker.
+    pub stall_prob: f64,
+    /// How long a stalled request sleeps.
+    pub stall: Duration,
+    /// Probability a request fails with budget exhaustion.
+    pub budget_prob: f64,
+}
+
+impl FaultPlan {
+    /// A plan that never injects anything.
+    pub fn quiet(seed: u64) -> FaultPlan {
+        FaultPlan { seed, panic_prob: 0.0, stall_prob: 0.0, stall: Duration::ZERO, budget_prob: 0.0 }
+    }
+
+    /// The chaos-suite preset: ≥20% of requests panic or stall their
+    /// worker, plus a budget-exhaustion tail.
+    pub fn chaos(seed: u64) -> FaultPlan {
+        FaultPlan {
+            seed,
+            panic_prob: 0.15,
+            stall_prob: 0.10,
+            stall: Duration::from_millis(250),
+            budget_prob: 0.10,
+        }
+    }
+
+    /// The fault for request `id`. Pure: same plan + same id → same fault,
+    /// independent of call order or thread interleaving.
+    pub fn decide(&self, id: u64) -> Fault {
+        // One uniform roll per request against cumulative probability
+        // bands, from an rng keyed on (seed, id).
+        let mut rng = StdRng::seed_from_u64(self.seed ^ id.wrapping_mul(0x9E37_79B9_7F4A_7C15));
+        let roll: f64 = rng.random_range(0.0..1.0);
+        if roll < self.panic_prob {
+            Fault::Panic
+        } else if roll < self.panic_prob + self.stall_prob {
+            Fault::Stall
+        } else if roll < self.panic_prob + self.stall_prob + self.budget_prob {
+            Fault::BudgetExhaustion
+        } else {
+            Fault::None
+        }
+    }
+}
+
+/// Wraps any [`Backend`] with a [`FaultPlan`]. Injected panics carry the
+/// marker text `"injected fault"` so test panic hooks can stay quiet
+/// without hiding real failures.
+pub struct FaultyBackend<B> {
+    inner: B,
+    plan: FaultPlan,
+}
+
+impl<B> FaultyBackend<B> {
+    /// Wrap `inner` under `plan`.
+    pub fn new(inner: B, plan: FaultPlan) -> FaultyBackend<B> {
+        FaultyBackend { inner, plan }
+    }
+
+    /// The wrapped plan (so tests can predict outcomes per request id).
+    pub fn plan(&self) -> &FaultPlan {
+        &self.plan
+    }
+}
+
+impl<B: Backend> Backend for FaultyBackend<B> {
+    fn infer(
+        &self,
+        request: &Request,
+        id: u64,
+        config: &codes::Config,
+    ) -> Result<BackendReply, Error> {
+        match self.plan.decide(id) {
+            Fault::None => self.inner.infer(request, id, config),
+            Fault::Panic => panic!("injected fault: worker panic for request {id}"),
+            Fault::Stall => {
+                std::thread::sleep(self.plan.stall);
+                self.inner.infer(request, id, config)
+            }
+            Fault::BudgetExhaustion => {
+                Err(Error::BudgetExceeded { resource: Resource::Time, spent: 1_000, limit: 1_000 })
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn decisions_are_deterministic_per_id_and_seed() {
+        let plan = FaultPlan::chaos(11);
+        let again = FaultPlan::chaos(11);
+        for id in 0..500u64 {
+            assert_eq!(plan.decide(id), again.decide(id));
+        }
+        let other = FaultPlan::chaos(12);
+        let diverged = (0..500u64).filter(|&id| plan.decide(id) != other.decide(id)).count();
+        assert!(diverged > 0, "different seeds should yield different schedules");
+    }
+
+    #[test]
+    fn chaos_preset_injects_enough_disruption() {
+        let plan = FaultPlan::chaos(3);
+        let n = 200u64;
+        let disruptive = (0..n)
+            .filter(|&id| matches!(plan.decide(id), Fault::Panic | Fault::Stall))
+            .count();
+        // The acceptance bar: ≥20% of a 200-request run panics or stalls.
+        assert!(
+            disruptive * 100 >= 20 * n as usize,
+            "only {disruptive}/{n} requests disrupted"
+        );
+    }
+
+    #[test]
+    fn quiet_plan_never_injects() {
+        let plan = FaultPlan::quiet(9);
+        assert!((0..200u64).all(|id| plan.decide(id) == Fault::None));
+    }
+}

@@ -1,0 +1,50 @@
+#![warn(missing_docs)]
+// Same policy as sqlengine/eval/retrieval: the serving runtime IS the
+// fault boundary — failures must flow out as typed values, never unwrap
+// panics.
+#![cfg_attr(not(test), deny(clippy::unwrap_used))]
+
+//! # codes-serve
+//!
+//! Resilient concurrent serving runtime for the CodeS reproduction:
+//!
+//! * **Supervised worker pool** ([`Pool`]) — a fixed set of worker threads
+//!   drains a **bounded** admission queue; a full queue is an explicit
+//!   [`ServeError::Overloaded`] rejection (backpressure, never unbounded
+//!   buffering).
+//! * **Deadline propagation** — each request's remaining time budget is
+//!   clamped into the inference [`codes::Config`]
+//!   ([`codes::Config::clamped_to_deadline`]), so nearly-out-of-time
+//!   requests degrade to greedy decoding instead of missing their SLO, and
+//!   requests that expire while queued are shed without running.
+//! * **Per-database circuit breakers** ([`CircuitBreaker`]) — N
+//!   consecutive failures trip a database out of rotation; recovery is
+//!   probed under deterministic jittered exponential backoff
+//!   ([`sqlengine::Backoff`]).
+//! * **Worker supervision** — panicked workers are joined and replaced;
+//!   wedged workers (no heartbeat with a request in flight) are abandoned
+//!   via a generation bump and replaced. In both cases the orphaned
+//!   request resolves to a typed error and queued requests survive.
+//! * **Health/readiness** ([`HealthSnapshot`]) — queue depth, in-flight
+//!   count, per-worker heartbeats/generations, breaker states, lifetime
+//!   counters.
+//! * **Deterministic fault injection** ([`FaultPlan`], [`FaultyBackend`])
+//!   — seeded probabilistic panics/stalls/budget exhaustion keyed on
+//!   request id, powering a reproducible chaos suite.
+//!
+//! Every submitted request resolves to exactly one of: a successful
+//! [`ServedInference`], a typed [`ServeError`], or an immediate
+//! [`ServeError::Overloaded`] rejection at admission. Nothing hangs.
+
+pub mod breaker;
+pub mod error;
+pub mod fault;
+pub mod pool;
+
+pub use breaker::{Admission, BreakerConfig, BreakerState, CircuitBreaker};
+pub use error::ServeError;
+pub use fault::{Fault, FaultPlan, FaultyBackend};
+pub use pool::{
+    Backend, BackendReply, HealthSnapshot, Pool, Request, ServeConfig, ServedInference,
+    StatsSnapshot, SystemBackend, Ticket, WorkerHealth,
+};

@@ -1,0 +1,872 @@
+//! The supervised worker pool.
+//!
+//! Requests enter through a **bounded** admission queue (`try_send`: a full
+//! queue is an explicit [`ServeError::Overloaded`], never unbounded
+//! buffering). A fixed set of worker threads drains the queue; each request
+//! passes a deadline check and the target database's circuit breaker before
+//! its remaining time budget is clamped into the inference [`Config`] and
+//! the backend runs under the engine's retry/backoff policy.
+//!
+//! A supervisor thread watches the workers: a panicked worker is joined,
+//! its orphaned request resolved with [`ServeError::WorkerPanic`], and the
+//! slot respawned; a wedged worker (no heartbeat while a request is in
+//! flight) is abandoned via a per-slot generation bump, its request
+//! resolved with [`ServeError::WorkerWedged`], and the slot respawned.
+//! Queued requests survive both cases because every worker drains the same
+//! shared channel. Every submitted request therefore resolves to exactly
+//! one outcome — nothing hangs.
+
+use std::any::Any;
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+use codes::{CodesSystem, Config};
+use crossbeam::channel::{self, Receiver, Sender, TrySendError};
+use parking_lot::Mutex;
+use sqlengine::{with_retry_paced, Backoff, Database, Error};
+
+use crate::breaker::{Admission, BreakerConfig, BreakerState, CircuitBreaker};
+use crate::error::ServeError;
+
+/// What the pool runs for each admitted request. Implemented by
+/// [`SystemBackend`] for real inference and by test/chaos backends
+/// (e.g. [`crate::FaultyBackend`]).
+///
+/// `config` arrives already clamped to the request's remaining deadline;
+/// `id` is the pool-assigned request id (stable across retries, used by
+/// fault plans). Implementations may panic — the supervisor turns that
+/// into a typed [`ServeError::WorkerPanic`] for the caller.
+pub trait Backend: Send + Sync {
+    /// Run one inference attempt.
+    fn infer(&self, request: &Request, id: u64, config: &Config) -> Result<BackendReply, Error>;
+}
+
+/// A successful backend outcome.
+#[derive(Debug, Clone)]
+pub struct BackendReply {
+    /// The generated SQL.
+    pub sql: String,
+    /// Graceful degradations taken (see [`codes::Inference::degradations`]).
+    pub degradations: Vec<String>,
+    /// Backend-measured inference latency in seconds.
+    pub latency_seconds: f64,
+    /// Prompt length in whitespace tokens.
+    pub prompt_tokens: usize,
+}
+
+/// [`Backend`] over a real [`CodesSystem`] and a set of databases.
+pub struct SystemBackend {
+    system: Arc<CodesSystem>,
+    dbs: HashMap<String, Database>,
+}
+
+impl SystemBackend {
+    /// Serve `system` over `dbs` (keyed by database name).
+    pub fn new(system: Arc<CodesSystem>, dbs: Vec<Database>) -> SystemBackend {
+        let dbs = dbs.into_iter().map(|d| (d.name.clone(), d)).collect();
+        SystemBackend { system, dbs }
+    }
+}
+
+impl Backend for SystemBackend {
+    fn infer(&self, request: &Request, _id: u64, config: &Config) -> Result<BackendReply, Error> {
+        let db = self
+            .dbs
+            .get(&request.db_id)
+            .ok_or_else(|| Error::UnknownTable(request.db_id.clone()))?;
+        let out =
+            self.system.infer_with(db, &request.question, request.external_knowledge.as_deref(), config);
+        Ok(BackendReply {
+            sql: out.sql,
+            degradations: out.degradations,
+            latency_seconds: out.latency_seconds,
+            prompt_tokens: out.prompt_tokens,
+        })
+    }
+}
+
+/// One text-to-SQL request.
+#[derive(Debug, Clone)]
+pub struct Request {
+    /// Target database name.
+    pub db_id: String,
+    /// Natural-language question.
+    pub question: String,
+    /// Optional external knowledge / evidence string (BIRD-style).
+    pub external_knowledge: Option<String>,
+    /// Total time budget for this request (queue wait + inference).
+    /// `None` uses [`ServeConfig::default_deadline`].
+    pub deadline: Option<Duration>,
+}
+
+impl Request {
+    /// A plain request with the pool's default deadline.
+    pub fn new(db_id: impl Into<String>, question: impl Into<String>) -> Request {
+        Request {
+            db_id: db_id.into(),
+            question: question.into(),
+            external_knowledge: None,
+            deadline: None,
+        }
+    }
+}
+
+/// Pool tuning knobs.
+#[derive(Debug, Clone)]
+pub struct ServeConfig {
+    /// Worker threads.
+    pub workers: usize,
+    /// Bounded admission-queue capacity; a full queue rejects with
+    /// [`ServeError::Overloaded`].
+    pub queue_capacity: usize,
+    /// Time budget for requests that don't carry their own deadline.
+    pub default_deadline: Duration,
+    /// Base inference configuration; each request gets a copy clamped to
+    /// its remaining deadline ([`Config::clamped_to_deadline`]).
+    pub base_config: Config,
+    /// Per-database circuit-breaker policy.
+    pub breaker: BreakerConfig,
+    /// How often idle workers stamp their heartbeat and the supervisor
+    /// sweeps for dead/wedged workers.
+    pub heartbeat_interval: Duration,
+    /// A worker with a request in flight and no heartbeat for this long is
+    /// declared wedged: its request is resolved with
+    /// [`ServeError::WorkerWedged`] and its slot respawned. Must exceed the
+    /// worst-case healthy inference latency.
+    pub wedged_after: Duration,
+    /// Pacing for transient-failure retries inside a request (sleeps
+    /// `delay(attempt)`, seed decorrelated per request id).
+    pub retry_backoff: Backoff,
+}
+
+impl Default for ServeConfig {
+    fn default() -> ServeConfig {
+        ServeConfig {
+            workers: 4,
+            queue_capacity: 64,
+            default_deadline: Duration::from_secs(2),
+            base_config: Config::serving(),
+            breaker: BreakerConfig::default(),
+            heartbeat_interval: Duration::from_millis(20),
+            wedged_after: Duration::from_secs(5),
+            retry_backoff: Backoff::new(Duration::from_millis(5), Duration::from_millis(200), 0xC0DE5),
+        }
+    }
+}
+
+/// A successful served inference.
+#[derive(Debug, Clone)]
+pub struct ServedInference {
+    /// Pool-assigned request id.
+    pub request_id: u64,
+    /// The generated SQL.
+    pub sql: String,
+    /// Graceful degradations taken during inference (e.g. `"greedy"` when
+    /// the deadline forced the beam down).
+    pub degradations: Vec<String>,
+    /// Inference latency in seconds (backend-measured).
+    pub latency_seconds: f64,
+    /// Time the request spent queued before a worker picked it up.
+    pub queue_wait_seconds: f64,
+    /// Prompt length in whitespace tokens.
+    pub prompt_tokens: usize,
+    /// Worker slot that served the request.
+    pub worker: usize,
+}
+
+type Outcome = Result<ServedInference, ServeError>;
+
+/// Write-once reply cell. The worker, the supervisor (panic/wedge path)
+/// and shutdown cleanup may all try to resolve the same request; the first
+/// completer wins and the rest are no-ops, so a request can never resolve
+/// twice or race to conflicting outcomes.
+struct ReplySlot {
+    tx: Mutex<Option<Sender<Outcome>>>,
+}
+
+impl ReplySlot {
+    fn new(tx: Sender<Outcome>) -> ReplySlot {
+        ReplySlot { tx: Mutex::new(Some(tx)) }
+    }
+
+    /// Resolve the request if nobody else has; returns whether this call won.
+    fn complete(&self, outcome: Outcome) -> bool {
+        match self.tx.lock().take() {
+            // The caller may have dropped the ticket; a dead letter is fine.
+            Some(tx) => {
+                let _ = tx.try_send(outcome);
+                true
+            }
+            None => false,
+        }
+    }
+}
+
+/// Handle to one submitted request.
+pub struct Ticket {
+    /// Pool-assigned request id (matches fault plans and snapshots).
+    pub id: u64,
+    rx: Receiver<Outcome>,
+}
+
+impl Ticket {
+    /// Block until the request resolves.
+    pub fn wait(self) -> Outcome {
+        self.rx.recv().unwrap_or(Err(ServeError::ShuttingDown))
+    }
+
+    /// Block at most `timeout`; `None` means still pending.
+    pub fn wait_timeout(&self, timeout: Duration) -> Option<Outcome> {
+        match self.rx.recv_timeout(timeout) {
+            Ok(outcome) => Some(outcome),
+            Err(channel::RecvTimeoutError::Timeout) => None,
+            Err(channel::RecvTimeoutError::Disconnected) => Some(Err(ServeError::ShuttingDown)),
+        }
+    }
+}
+
+struct Job {
+    id: u64,
+    request: Request,
+    submitted: Instant,
+    reply: Arc<ReplySlot>,
+}
+
+/// A request currently running on a worker; lets the supervisor resolve it
+/// if the worker dies.
+struct InFlight {
+    job_id: u64,
+    db_id: String,
+    started: Instant,
+    reply: Arc<ReplySlot>,
+}
+
+#[derive(Default)]
+struct Stats {
+    submitted: AtomicU64,
+    completed: AtomicU64,
+    failed: AtomicU64,
+    shed_overloaded: AtomicU64,
+    shed_breaker: AtomicU64,
+    shed_deadline: AtomicU64,
+    replaced_panic: AtomicU64,
+    replaced_wedged: AtomicU64,
+}
+
+/// Counter snapshot for health reporting.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct StatsSnapshot {
+    /// Requests accepted into the queue.
+    pub submitted: u64,
+    /// Requests that produced an inference.
+    pub completed: u64,
+    /// Requests that failed in the backend (typed inference error).
+    pub failed: u64,
+    /// Admission rejections: queue full.
+    pub shed_overloaded: u64,
+    /// Admission rejections: circuit breaker open.
+    pub shed_breaker: u64,
+    /// Requests whose deadline expired while queued.
+    pub shed_deadline: u64,
+    /// Workers replaced after a panic.
+    pub replaced_panic: u64,
+    /// Workers abandoned and replaced after wedging.
+    pub replaced_wedged: u64,
+}
+
+/// Per-worker health row.
+#[derive(Debug, Clone, Copy)]
+pub struct WorkerHealth {
+    /// Worker slot index.
+    pub slot: usize,
+    /// How many times this slot has been respawned.
+    pub generation: u64,
+    /// Time since the slot's last heartbeat.
+    pub last_heartbeat_age: Duration,
+    /// Whether a request is currently in flight on this slot.
+    pub busy: bool,
+}
+
+/// Point-in-time pool health/readiness.
+#[derive(Debug, Clone)]
+pub struct HealthSnapshot {
+    /// Requests waiting in the admission queue.
+    pub queue_depth: usize,
+    /// Configured queue capacity.
+    pub queue_capacity: usize,
+    /// Requests currently running on workers.
+    pub in_flight: usize,
+    /// One row per worker slot.
+    pub workers: Vec<WorkerHealth>,
+    /// Breaker state per database seen so far.
+    pub breakers: Vec<(String, BreakerState)>,
+    /// Lifetime counters.
+    pub stats: StatsSnapshot,
+    /// True when the pool is accepting requests (not shutting down and the
+    /// queue has headroom).
+    pub ready: bool,
+}
+
+struct SlotState {
+    /// Milliseconds since `Inner::epoch` at the last heartbeat.
+    heartbeat_ms: AtomicU64,
+    /// Bumped to abandon the current occupant (wedge path) — a worker
+    /// observing a newer generation than its own exits instead of taking
+    /// more work.
+    generation: AtomicU64,
+}
+
+struct Inner {
+    config: ServeConfig,
+    backend: Arc<dyn Backend>,
+    queue_rx: Receiver<Job>,
+    breakers: Mutex<HashMap<String, CircuitBreaker>>,
+    in_flight: Mutex<HashMap<usize, InFlight>>,
+    slots: Vec<SlotState>,
+    stats: Stats,
+    next_id: AtomicU64,
+    shutdown: AtomicBool,
+    epoch: Instant,
+}
+
+impl Inner {
+    fn stamp_heartbeat(&self, slot: usize) {
+        let ms = self.epoch.elapsed().as_millis() as u64;
+        self.slots[slot].heartbeat_ms.store(ms, Ordering::SeqCst);
+    }
+
+    fn heartbeat_age(&self, slot: usize) -> Duration {
+        let now = self.epoch.elapsed().as_millis() as u64;
+        let then = self.slots[slot].heartbeat_ms.load(Ordering::SeqCst);
+        Duration::from_millis(now.saturating_sub(then))
+    }
+
+    fn with_breaker<R>(&self, db_id: &str, f: impl FnOnce(&mut CircuitBreaker) -> R) -> R {
+        let mut map = self.breakers.lock();
+        let breaker = map
+            .entry(db_id.to_string())
+            .or_insert_with(|| CircuitBreaker::new(self.config.breaker.clone()));
+        f(breaker)
+    }
+
+    /// Run one dequeued job to a resolved outcome.
+    fn process(self: &Arc<Inner>, slot: usize, job: Job) {
+        let now = Instant::now();
+        let budget = job.request.deadline.unwrap_or(self.config.default_deadline);
+        let queued = now.duration_since(job.submitted);
+        if queued >= budget {
+            self.stats.shed_deadline.fetch_add(1, Ordering::Relaxed);
+            job.reply.complete(Err(ServeError::DeadlineExceeded { queued, budget }));
+            return;
+        }
+
+        let db_id = job.request.db_id.clone();
+        let admission = self.with_breaker(&db_id, |b| b.admit(now));
+        if let Admission::Reject { retry_after } = admission {
+            self.stats.shed_breaker.fetch_add(1, Ordering::Relaxed);
+            job.reply.complete(Err(ServeError::CircuitOpen { db_id, retry_after }));
+            return;
+        }
+
+        // Register before touching the backend: if this worker panics or
+        // wedges in there, the supervisor finds the ticket here and
+        // resolves it.
+        self.in_flight.lock().insert(
+            slot,
+            InFlight {
+                job_id: job.id,
+                db_id: db_id.clone(),
+                started: now,
+                reply: Arc::clone(&job.reply),
+            },
+        );
+
+        let config = self.config.base_config.clamped_to_deadline(budget - queued);
+        // Decorrelate retry pacing across requests while keeping each
+        // request's schedule deterministic.
+        let backoff = Backoff { seed: self.config.retry_backoff.seed ^ job.id, ..self.config.retry_backoff };
+        let result = with_retry_paced(
+            &config.exec_limits,
+            config.retry_attempts,
+            |attempt| std::thread::sleep(backoff.delay(attempt)),
+            |limits| {
+                let mut attempt_config = config;
+                attempt_config.exec_limits = *limits;
+                self.backend.infer(&job.request, job.id, &attempt_config)
+            },
+        );
+
+        let outcome = match result {
+            Ok(reply) => {
+                self.with_breaker(&db_id, |b| b.record_success());
+                self.stats.completed.fetch_add(1, Ordering::Relaxed);
+                Ok(ServedInference {
+                    request_id: job.id,
+                    sql: reply.sql,
+                    degradations: reply.degradations,
+                    latency_seconds: reply.latency_seconds,
+                    queue_wait_seconds: queued.as_secs_f64(),
+                    prompt_tokens: reply.prompt_tokens,
+                    worker: slot,
+                })
+            }
+            Err(e) => {
+                self.with_breaker(&db_id, |b| b.record_failure(Instant::now()));
+                self.stats.failed.fetch_add(1, Ordering::Relaxed);
+                Err(ServeError::Inference(e))
+            }
+        };
+
+        // Unregister only our own entry: if the supervisor declared this
+        // worker wedged, the slot may already hold the replacement's job.
+        {
+            let mut in_flight = self.in_flight.lock();
+            if in_flight.get(&slot).is_some_and(|f| f.job_id == job.id) {
+                in_flight.remove(&slot);
+            }
+        }
+        job.reply.complete(outcome);
+    }
+}
+
+fn worker_loop(inner: Arc<Inner>, slot: usize, generation: u64) {
+    loop {
+        inner.stamp_heartbeat(slot);
+        // A newer generation means the supervisor abandoned this worker
+        // (wedge path) and a replacement owns the slot now.
+        if inner.slots[slot].generation.load(Ordering::SeqCst) != generation {
+            return;
+        }
+        match inner.queue_rx.recv_timeout(inner.config.heartbeat_interval) {
+            Ok(job) => {
+                inner.process(slot, job);
+                inner.stamp_heartbeat(slot);
+                if inner.slots[slot].generation.load(Ordering::SeqCst) != generation {
+                    return;
+                }
+            }
+            Err(channel::RecvTimeoutError::Timeout) => continue,
+            // Queue closed and drained: clean shutdown.
+            Err(channel::RecvTimeoutError::Disconnected) => return,
+        }
+    }
+}
+
+fn spawn_worker(inner: &Arc<Inner>, slot: usize, generation: u64) -> JoinHandle<()> {
+    inner.stamp_heartbeat(slot);
+    let inner = Arc::clone(inner);
+    std::thread::Builder::new()
+        .name(format!("serve-worker-{slot}"))
+        .spawn(move || worker_loop(inner, slot, generation))
+        .expect("spawn serve worker thread")
+}
+
+fn panic_message(payload: Box<dyn Any + Send>) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "panic with non-string payload".to_string()
+    }
+}
+
+fn supervisor_loop(inner: Arc<Inner>, mut workers: Vec<Option<JoinHandle<()>>>) {
+    loop {
+        std::thread::sleep(inner.config.heartbeat_interval);
+        let shutting_down = inner.shutdown.load(Ordering::SeqCst);
+        let keep_serving = |inner: &Inner| {
+            !inner.shutdown.load(Ordering::SeqCst) || !inner.queue_rx.is_empty()
+        };
+
+        for slot in 0..workers.len() {
+            let finished = workers[slot].as_ref().is_some_and(|h| h.is_finished());
+            if finished {
+                let handle = workers[slot].take().expect("checked Some above");
+                match handle.join() {
+                    Ok(()) => {
+                        // Clean exit: either shutdown drain finished or the
+                        // worker was superseded after a wedge (slot already
+                        // respawned in that case, so `workers[slot]` was
+                        // re-filled before this handle ran down).
+                        if keep_serving(&inner) {
+                            let generation = inner.slots[slot].generation.load(Ordering::SeqCst);
+                            workers[slot] = Some(spawn_worker(&inner, slot, generation));
+                        }
+                    }
+                    Err(payload) => {
+                        let msg = panic_message(payload);
+                        if let Some(orphan) = inner.in_flight.lock().remove(&slot) {
+                            inner.with_breaker(&orphan.db_id, |b| b.record_failure(Instant::now()));
+                            orphan.reply.complete(Err(ServeError::WorkerPanic(msg)));
+                        }
+                        inner.stats.replaced_panic.fetch_add(1, Ordering::Relaxed);
+                        let generation =
+                            inner.slots[slot].generation.fetch_add(1, Ordering::SeqCst) + 1;
+                        if keep_serving(&inner) || !inner.in_flight.lock().is_empty() {
+                            workers[slot] = Some(spawn_worker(&inner, slot, generation));
+                        }
+                    }
+                }
+                continue;
+            }
+
+            // Wedge detection: only a worker that owns an in-flight request
+            // and has stopped heartbeating is wedged — idle workers always
+            // heartbeat within one interval.
+            if workers[slot].is_some() && inner.heartbeat_age(slot) > inner.config.wedged_after {
+                let orphan = {
+                    let mut in_flight = inner.in_flight.lock();
+                    match in_flight.get(&slot) {
+                        Some(f) if f.started.elapsed() > inner.config.wedged_after => {
+                            in_flight.remove(&slot)
+                        }
+                        _ => None,
+                    }
+                };
+                if let Some(orphan) = orphan {
+                    let stalled = inner.heartbeat_age(slot);
+                    inner.with_breaker(&orphan.db_id, |b| b.record_failure(Instant::now()));
+                    orphan.reply.complete(Err(ServeError::WorkerWedged { stalled }));
+                    inner.stats.replaced_wedged.fetch_add(1, Ordering::Relaxed);
+                    // Abandon (detach) the wedged thread and hand the slot
+                    // to a fresh generation; the old thread exits on its
+                    // own when it notices the bump.
+                    let generation = inner.slots[slot].generation.fetch_add(1, Ordering::SeqCst) + 1;
+                    drop(workers[slot].take());
+                    workers[slot] = Some(spawn_worker(&inner, slot, generation));
+                }
+            }
+        }
+
+        if shutting_down
+            && workers.iter().all(Option::is_none)
+            && inner.queue_rx.is_empty()
+            && inner.in_flight.lock().is_empty()
+        {
+            return;
+        }
+    }
+}
+
+/// The serving pool. Create with [`Pool::start`], submit with
+/// [`Pool::submit`], inspect with [`Pool::health`], and stop with
+/// [`Pool::shutdown`] (drains the queue before returning).
+pub struct Pool {
+    inner: Arc<Inner>,
+    queue_tx: Option<Sender<Job>>,
+    supervisor: Option<JoinHandle<()>>,
+}
+
+impl Pool {
+    /// Spawn workers and the supervisor over `backend`.
+    pub fn start<B: Backend + 'static>(backend: B, config: ServeConfig) -> Pool {
+        assert!(config.workers > 0, "pool needs at least one worker");
+        assert!(config.queue_capacity > 0, "admission queue needs capacity");
+        let (queue_tx, queue_rx) = channel::bounded::<Job>(config.queue_capacity);
+        let slots = (0..config.workers)
+            .map(|_| SlotState { heartbeat_ms: AtomicU64::new(0), generation: AtomicU64::new(0) })
+            .collect();
+        let inner = Arc::new(Inner {
+            config,
+            backend: Arc::new(backend),
+            queue_rx,
+            breakers: Mutex::new(HashMap::new()),
+            in_flight: Mutex::new(HashMap::new()),
+            slots,
+            stats: Stats::default(),
+            next_id: AtomicU64::new(0),
+            shutdown: AtomicBool::new(false),
+            epoch: Instant::now(),
+        });
+        let workers: Vec<Option<JoinHandle<()>>> =
+            (0..inner.config.workers).map(|slot| Some(spawn_worker(&inner, slot, 0))).collect();
+        let supervisor = {
+            let inner = Arc::clone(&inner);
+            std::thread::Builder::new()
+                .name("serve-supervisor".to_string())
+                .spawn(move || supervisor_loop(inner, workers))
+                .expect("spawn serve supervisor thread")
+        };
+        Pool { inner, queue_tx: Some(queue_tx), supervisor: Some(supervisor) }
+    }
+
+    /// Submit a request. Returns a [`Ticket`] on admission, or an immediate
+    /// typed rejection when the queue is full or the pool is stopping.
+    pub fn submit(&self, request: Request) -> Result<Ticket, ServeError> {
+        let Some(queue_tx) = &self.queue_tx else {
+            return Err(ServeError::ShuttingDown);
+        };
+        if self.inner.shutdown.load(Ordering::SeqCst) {
+            return Err(ServeError::ShuttingDown);
+        }
+        let id = self.inner.next_id.fetch_add(1, Ordering::SeqCst);
+        let (reply_tx, reply_rx) = channel::bounded::<Outcome>(1);
+        let job = Job {
+            id,
+            request,
+            submitted: Instant::now(),
+            reply: Arc::new(ReplySlot::new(reply_tx)),
+        };
+        match queue_tx.try_send(job) {
+            Ok(()) => {
+                self.inner.stats.submitted.fetch_add(1, Ordering::Relaxed);
+                Ok(Ticket { id, rx: reply_rx })
+            }
+            Err(TrySendError::Full(_)) => {
+                self.inner.stats.shed_overloaded.fetch_add(1, Ordering::Relaxed);
+                Err(ServeError::Overloaded {
+                    queue_depth: queue_tx.len(),
+                    capacity: self.inner.config.queue_capacity,
+                })
+            }
+            Err(TrySendError::Disconnected(_)) => Err(ServeError::ShuttingDown),
+        }
+    }
+
+    /// Point-in-time health/readiness snapshot.
+    pub fn health(&self) -> HealthSnapshot {
+        let inner = &self.inner;
+        let in_flight = inner.in_flight.lock();
+        let workers = (0..inner.config.workers)
+            .map(|slot| WorkerHealth {
+                slot,
+                generation: inner.slots[slot].generation.load(Ordering::SeqCst),
+                last_heartbeat_age: inner.heartbeat_age(slot),
+                busy: in_flight.contains_key(&slot),
+            })
+            .collect();
+        let queue_depth = inner.queue_rx.len();
+        let stats = StatsSnapshot {
+            submitted: inner.stats.submitted.load(Ordering::Relaxed),
+            completed: inner.stats.completed.load(Ordering::Relaxed),
+            failed: inner.stats.failed.load(Ordering::Relaxed),
+            shed_overloaded: inner.stats.shed_overloaded.load(Ordering::Relaxed),
+            shed_breaker: inner.stats.shed_breaker.load(Ordering::Relaxed),
+            shed_deadline: inner.stats.shed_deadline.load(Ordering::Relaxed),
+            replaced_panic: inner.stats.replaced_panic.load(Ordering::Relaxed),
+            replaced_wedged: inner.stats.replaced_wedged.load(Ordering::Relaxed),
+        };
+        HealthSnapshot {
+            queue_depth,
+            queue_capacity: inner.config.queue_capacity,
+            in_flight: in_flight.len(),
+            workers,
+            breakers: {
+                let map = inner.breakers.lock();
+                let mut rows: Vec<(String, BreakerState)> =
+                    map.iter().map(|(k, v)| (k.clone(), v.state())).collect();
+                rows.sort_by(|a, b| a.0.cmp(&b.0));
+                rows
+            },
+            stats,
+            ready: !inner.shutdown.load(Ordering::SeqCst)
+                && queue_depth < inner.config.queue_capacity,
+        }
+    }
+
+    /// Stop accepting requests, drain everything already queued or in
+    /// flight, stop the workers and supervisor, and return the final
+    /// health snapshot.
+    pub fn shutdown(mut self) -> HealthSnapshot {
+        self.stop();
+        self.health()
+    }
+
+    fn stop(&mut self) {
+        self.inner.shutdown.store(true, Ordering::SeqCst);
+        // Dropping the only sender lets workers drain the queue and then
+        // see Disconnected.
+        drop(self.queue_tx.take());
+        if let Some(supervisor) = self.supervisor.take() {
+            let _ = supervisor.join();
+        }
+    }
+}
+
+impl Drop for Pool {
+    fn drop(&mut self) {
+        self.stop();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Echoes the question back as SQL after an optional fixed delay.
+    struct EchoBackend {
+        delay: Duration,
+    }
+
+    impl Backend for EchoBackend {
+        fn infer(&self, request: &Request, _id: u64, _config: &Config) -> Result<BackendReply, Error> {
+            if !self.delay.is_zero() {
+                std::thread::sleep(self.delay);
+            }
+            Ok(BackendReply {
+                sql: format!("SELECT '{}'", request.question),
+                degradations: vec![],
+                latency_seconds: self.delay.as_secs_f64(),
+                prompt_tokens: request.question.split_whitespace().count(),
+            })
+        }
+    }
+
+    /// Fails permanently until `healthy` flips on.
+    struct SwitchBackend {
+        healthy: Arc<AtomicBool>,
+    }
+
+    impl Backend for SwitchBackend {
+        fn infer(&self, request: &Request, _id: u64, _config: &Config) -> Result<BackendReply, Error> {
+            if self.healthy.load(Ordering::SeqCst) {
+                Ok(BackendReply {
+                    sql: "SELECT 1".to_string(),
+                    degradations: vec![],
+                    latency_seconds: 0.0,
+                    prompt_tokens: request.question.len(),
+                })
+            } else {
+                Err(Error::Exec("database offline".to_string()))
+            }
+        }
+    }
+
+    fn quick_config() -> ServeConfig {
+        ServeConfig {
+            workers: 2,
+            queue_capacity: 16,
+            default_deadline: Duration::from_secs(5),
+            heartbeat_interval: Duration::from_millis(5),
+            ..ServeConfig::default()
+        }
+    }
+
+    #[test]
+    fn requests_round_trip_and_drain_on_shutdown() {
+        let pool = Pool::start(EchoBackend { delay: Duration::ZERO }, quick_config());
+        let tickets: Vec<Ticket> = (0..12)
+            .map(|i| {
+                pool.submit(Request::new("db", format!("q{i}"))).expect("queue has headroom")
+            })
+            .collect();
+        for (i, t) in tickets.into_iter().enumerate() {
+            let served = t.wait().expect("echo backend cannot fail");
+            assert_eq!(served.sql, format!("SELECT 'q{i}'"));
+        }
+        let health = pool.shutdown();
+        assert_eq!(health.stats.completed, 12);
+        assert_eq!(health.stats.submitted, 12);
+        assert_eq!(health.queue_depth, 0);
+        assert_eq!(health.in_flight, 0);
+        assert!(!health.ready);
+    }
+
+    #[test]
+    fn full_queue_sheds_with_overloaded() {
+        let config = ServeConfig {
+            workers: 1,
+            queue_capacity: 1,
+            heartbeat_interval: Duration::from_millis(5),
+            default_deadline: Duration::from_secs(10),
+            ..ServeConfig::default()
+        };
+        let pool = Pool::start(EchoBackend { delay: Duration::from_millis(100) }, config);
+        let mut tickets = Vec::new();
+        let mut overloaded = 0;
+        for i in 0..6 {
+            match pool.submit(Request::new("db", format!("q{i}"))) {
+                Ok(t) => tickets.push(t),
+                Err(ServeError::Overloaded { capacity, .. }) => {
+                    assert_eq!(capacity, 1);
+                    overloaded += 1;
+                }
+                Err(e) => panic!("unexpected rejection: {e}"),
+            }
+        }
+        assert!(overloaded > 0, "six instant submissions must overflow a capacity-1 queue");
+        for t in tickets {
+            t.wait().expect("admitted echo requests succeed");
+        }
+        let health = pool.shutdown();
+        assert_eq!(health.stats.shed_overloaded, overloaded);
+        assert_eq!(health.stats.completed + health.stats.shed_overloaded, 6);
+    }
+
+    #[test]
+    fn expired_deadline_is_shed_without_running() {
+        let pool = Pool::start(EchoBackend { delay: Duration::ZERO }, quick_config());
+        let mut req = Request::new("db", "late question");
+        req.deadline = Some(Duration::ZERO);
+        let outcome = pool.submit(req).expect("queue empty").wait();
+        match outcome {
+            Err(ServeError::DeadlineExceeded { budget, .. }) => assert_eq!(budget, Duration::ZERO),
+            other => panic!("expected deadline shed, got {other:?}"),
+        }
+        let health = pool.shutdown();
+        assert_eq!(health.stats.shed_deadline, 1);
+        assert_eq!(health.stats.completed, 0);
+    }
+
+    #[test]
+    fn breaker_opens_after_failures_and_recovers_via_probe() {
+        let mut config = quick_config();
+        config.workers = 1;
+        config.breaker = BreakerConfig {
+            failure_threshold: 3,
+            // Long window so the open state is observable; zero jitter for
+            // an exact retry_after.
+            backoff: Backoff {
+                base: Duration::from_millis(40),
+                max: Duration::from_secs(1),
+                jitter: 0.0,
+                seed: 1,
+            },
+        };
+        // No engine-level retries: every submission is one backend call.
+        config.base_config.retry_attempts = 0;
+        let healthy = Arc::new(AtomicBool::new(false));
+        let pool = Pool::start(SwitchBackend { healthy: Arc::clone(&healthy) }, config);
+
+        // Three permanent failures trip the breaker...
+        for i in 0..3 {
+            let outcome = pool.submit(Request::new("bank", format!("q{i}"))).expect("admitted").wait();
+            assert!(
+                matches!(outcome, Err(ServeError::Inference(_))),
+                "failure {i} should surface the typed engine error"
+            );
+        }
+        // ...so the next request is shed without touching the backend.
+        let outcome = pool.submit(Request::new("bank", "q3")).expect("admitted").wait();
+        match outcome {
+            Err(ServeError::CircuitOpen { db_id, retry_after }) => {
+                assert_eq!(db_id, "bank");
+                assert!(retry_after <= Duration::from_millis(40));
+            }
+            other => panic!("expected circuit-open shed, got {other:?}"),
+        }
+        let health = pool.health();
+        assert!(matches!(
+            health.breakers.iter().find(|(d, _)| d == "bank").expect("breaker exists").1,
+            BreakerState::Open { .. }
+        ));
+
+        // Heal the backend, wait out the window: the probe closes the
+        // breaker and requests flow again.
+        healthy.store(true, Ordering::SeqCst);
+        std::thread::sleep(Duration::from_millis(60));
+        let served = pool.submit(Request::new("bank", "probe")).expect("admitted").wait();
+        assert!(served.is_ok(), "probe after the window should succeed: {served:?}");
+        let served = pool.submit(Request::new("bank", "after")).expect("admitted").wait();
+        assert!(served.is_ok());
+        assert!(matches!(
+            pool.health().breakers.iter().find(|(d, _)| d == "bank").expect("breaker exists").1,
+            BreakerState::Closed { consecutive_failures: 0 }
+        ));
+        pool.shutdown();
+    }
+}

@@ -275,6 +275,19 @@ pub fn catch_panics<T>(f: impl FnOnce() -> Result<T>) -> Result<T> {
 pub fn with_retry<T>(
     limits: &ExecLimits,
     retries: u32,
+    f: impl FnMut(&ExecLimits) -> Result<T>,
+) -> Result<T> {
+    with_retry_paced(limits, retries, |_| {}, f)
+}
+
+/// [`with_retry`] with a pacing hook: before each retry, `pause` receives
+/// the delay the caller's [`Backoff`] policy chose for that attempt (the
+/// serving runtime sleeps; tests record). The hook runs only between
+/// attempts — never before the first or after the last.
+pub fn with_retry_paced<T>(
+    limits: &ExecLimits,
+    retries: u32,
+    mut pause: impl FnMut(u32),
     mut f: impl FnMut(&ExecLimits) -> Result<T>,
 ) -> Result<T> {
     let mut budget = *limits;
@@ -283,11 +296,62 @@ pub fn with_retry<T>(
         match f(&budget) {
             Ok(v) => return Ok(v),
             Err(e) if e.class() == FailureClass::Transient && attempt < retries => {
+                pause(attempt);
                 attempt += 1;
                 budget = budget.halved();
             }
             Err(e) => return Err(e),
         }
+    }
+}
+
+/// Deterministic jittered exponential backoff policy.
+///
+/// `delay(attempt)` grows as `base * 2^attempt`, capped at `max`, then
+/// spread by a multiplicative jitter drawn from
+/// `[1 - jitter/2, 1 + jitter/2)`. The jitter stream is seeded, so the same
+/// `(seed, attempt)` pair always yields the same delay — retry schedules
+/// and circuit-breaker open windows are reproducible in tests while still
+/// decorrelating real fleets started with different seeds.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Backoff {
+    /// Delay before the first retry (attempt 0).
+    pub base: Duration,
+    /// Upper bound on the un-jittered delay.
+    pub max: Duration,
+    /// Width of the multiplicative jitter band (0 = none, 0.5 = ±25%).
+    pub jitter: f64,
+    /// Seed of the deterministic jitter stream.
+    pub seed: u64,
+}
+
+impl Backoff {
+    /// A policy with ±25% jitter.
+    pub fn new(base: Duration, max: Duration, seed: u64) -> Backoff {
+        Backoff { base, max, jitter: 0.5, seed }
+    }
+
+    /// The delay to wait before retry number `attempt` (0-based).
+    pub fn delay(&self, attempt: u32) -> Duration {
+        let exp = self
+            .base
+            .checked_mul(1u32.checked_shl(attempt.min(20)).unwrap_or(u32::MAX))
+            .unwrap_or(self.max)
+            .min(self.max);
+        if self.jitter <= 0.0 {
+            return exp;
+        }
+        // SplitMix64 over (seed, attempt): cheap, stateless, deterministic.
+        let mut z = self
+            .seed
+            .wrapping_add(u64::from(attempt).wrapping_mul(0x9E37_79B9_7F4A_7C15))
+            .wrapping_add(0x9E37_79B9_7F4A_7C15);
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^= z >> 31;
+        let unit = (z >> 11) as f64 / (1u64 << 53) as f64; // [0, 1)
+        let factor = 1.0 - self.jitter / 2.0 + unit * self.jitter;
+        exp.mul_f64(factor)
     }
 }
 
@@ -408,6 +472,40 @@ mod tests {
         });
         assert_eq!(result.unwrap_err().kind(), "parse");
         assert_eq!(attempts, 1);
+    }
+
+    #[test]
+    fn backoff_grows_within_jitter_bounds_and_caps() {
+        let b = Backoff::new(Duration::from_millis(10), Duration::from_secs(1), 0xFEED);
+        for attempt in 0..12u32 {
+            let nominal = Duration::from_millis(10 * (1u64 << attempt.min(10)))
+                .min(Duration::from_secs(1));
+            let d = b.delay(attempt);
+            assert!(d >= nominal.mul_f64(0.75), "attempt {attempt}: {d:?} < 75% of {nominal:?}");
+            assert!(d <= nominal.mul_f64(1.25), "attempt {attempt}: {d:?} > 125% of {nominal:?}");
+        }
+        // Deterministic: same (seed, attempt) → same delay.
+        assert_eq!(b.delay(3), b.delay(3));
+        // Different seeds decorrelate.
+        let other = Backoff::new(Duration::from_millis(10), Duration::from_secs(1), 0xBEEF);
+        assert_ne!(b.delay(3), other.delay(3));
+        // No jitter → exact exponential.
+        let flat = Backoff { jitter: 0.0, ..b };
+        assert_eq!(flat.delay(2), Duration::from_millis(40));
+    }
+
+    #[test]
+    fn with_retry_paced_pauses_between_attempts_only() {
+        let mut paused = Vec::new();
+        let mut attempts = 0;
+        let result: Result<()> =
+            with_retry_paced(&ExecLimits::evaluation(), 2, |a| paused.push(a), |_| {
+                attempts += 1;
+                Err(Error::BudgetExceeded { resource: Resource::Time, spent: 2, limit: 1 })
+            });
+        assert!(result.is_err());
+        assert_eq!(attempts, 3);
+        assert_eq!(paused, vec![0, 1], "no pause before the first or after the last attempt");
     }
 
     #[test]

@@ -1,0 +1,135 @@
+//! Serving quickstart: put a trained CodeS system behind the resilient
+//! serving pool, submit concurrent questions, inspect pool health, then
+//! turn on deterministic fault injection and watch the runtime absorb
+//! worker panics and stalls without losing a single request.
+//!
+//! Run with: `cargo run --release --example serve_demo`
+
+use std::sync::Arc;
+use std::time::Duration;
+
+use codes::{
+    pretrain, table4_models, CodesModel, CodesSystem, PretrainConfig, PromptOptions, SketchCatalog,
+};
+use codes_linker::SchemaClassifier;
+use codes_serve::{
+    FaultPlan, FaultyBackend, Pool, Request, ServeConfig, ServeError, SystemBackend,
+};
+
+fn main() {
+    // 1. Train a small system (same recipe as examples/quickstart.rs).
+    println!("building benchmark + training CodeS-1B ...");
+    let mut cfg = codes_datasets::BenchmarkConfig::spider(42);
+    cfg.train_samples_per_db = 25;
+    cfg.dev_samples_per_db = 5;
+    let bench = codes_datasets::build_benchmark("serve-demo", &cfg);
+    let catalog = Arc::new(SketchCatalog::build());
+    let spec = table4_models()
+        .into_iter()
+        .find(|m| m.name == "CodeS-1B")
+        .expect("CodeS-1B is a fixed Table 4 row");
+    let lm = pretrain(&catalog, &spec, &PretrainConfig { scale: 10, seed: 1 });
+    let classifier = SchemaClassifier::train(&bench, false, 7);
+    let mut system = CodesSystem::new(CodesModel::new(lm, catalog), PromptOptions::sft())
+        .with_classifier(classifier);
+    system.prepare_databases(bench.databases.iter());
+    system.finetune_on(&bench);
+
+    // 2. Stand the pool up over the system: 4 workers, a bounded queue
+    //    (backpressure is explicit), per-database circuit breakers, and
+    //    deadline propagation into each inference.
+    let system = Arc::new(system);
+    let backend = SystemBackend::new(Arc::clone(&system), bench.databases.clone());
+    let pool = Pool::start(backend, ServeConfig::default());
+
+    println!("\nserving {} dev questions concurrently ...", bench.dev.len().min(10));
+    let tickets: Vec<_> = bench
+        .dev
+        .iter()
+        .take(10)
+        .map(|s| pool.submit(Request::new(s.db_id.clone(), s.question.clone())))
+        .collect();
+    for ticket in tickets {
+        match ticket.expect("queue has headroom for ten requests").wait() {
+            Ok(served) => println!(
+                "  [worker {} | {:>5.1}ms | queued {:>4.1}ms] {}",
+                served.worker,
+                served.latency_seconds * 1e3,
+                served.queue_wait_seconds * 1e3,
+                served.sql
+            ),
+            Err(e) => println!("  error: {e}"),
+        }
+    }
+
+    // 3. Health/readiness snapshot: what a load balancer would scrape.
+    let health = pool.health();
+    println!(
+        "\nhealth: ready={} queue={}/{} in_flight={} served={} failed={}",
+        health.ready,
+        health.queue_depth,
+        health.queue_capacity,
+        health.in_flight,
+        health.stats.completed,
+        health.stats.failed
+    );
+    pool.shutdown();
+
+    // 4. Chaos mode: the same pool shape, but the backend is wrapped in a
+    //    seeded fault plan that panics or stalls a fifth of all requests.
+    //    Deterministic per request id — rerunning reproduces the storm.
+    println!("\nchaos mode: injecting worker panics/stalls (seed 7) ...");
+    let mut plan = FaultPlan::chaos(7);
+    plan.stall = Duration::from_millis(300);
+    let backend =
+        FaultyBackend::new(SystemBackend::new(system, bench.databases.clone()), plan);
+    let config = ServeConfig {
+        heartbeat_interval: Duration::from_millis(10),
+        wedged_after: Duration::from_millis(120),
+        ..ServeConfig::default()
+    };
+    let pool = Pool::start(backend, config);
+    // Injected panics are typed outcomes at the pool boundary; keep their
+    // backtraces out of the demo output.
+    std::panic::set_hook(Box::new(|_| {}));
+
+    let mut outcomes: Vec<(u64, String)> = Vec::new();
+    let tickets: Vec<_> = (0..30)
+        .filter_map(|i| {
+            let s = &bench.dev[i % bench.dev.len()];
+            match pool.submit(Request::new(s.db_id.clone(), s.question.clone())) {
+                Ok(t) => Some(t),
+                Err(e) => {
+                    outcomes.push((u64::MAX, format!("shed at admission: {}", e.kind())));
+                    None
+                }
+            }
+        })
+        .collect();
+    for t in tickets {
+        let id = t.id;
+        let line = match t.wait() {
+            Ok(served) => format!("served by worker {}", served.worker),
+            Err(ServeError::WorkerPanic(_)) => "worker panicked — replaced, error typed".into(),
+            Err(ServeError::WorkerWedged { .. }) => "worker wedged — abandoned, error typed".into(),
+            Err(e) => format!("typed error: {}", e.kind()),
+        };
+        outcomes.push((id, line));
+    }
+    let _ = std::panic::take_hook();
+    for (id, line) in &outcomes {
+        if *id == u64::MAX {
+            println!("  [--] {line}");
+        } else {
+            println!("  [{id:>2}] {line}");
+        }
+    }
+    let health = pool.shutdown();
+    println!(
+        "\nafter the storm: {} served, {} replaced after panic, {} replaced after wedge, queue drained to {}",
+        health.stats.completed,
+        health.stats.replaced_panic,
+        health.stats.replaced_wedged,
+        health.queue_depth
+    );
+}

@@ -1,9 +1,274 @@
 //! Offline stand-in for the `crossbeam` crate.
 //!
 //! Provides `crossbeam::thread::scope` on top of `std::thread::scope`
-//! (std has had scoped threads since 1.63, so the shim is thin). Only the
-//! surface the eval runner uses is implemented: `scope`, `Scope::spawn`,
-//! and `ScopedJoinHandle::join`.
+//! (std has had scoped threads since 1.63, so the shim is thin) and
+//! `crossbeam::channel` — MPMC channels on a `Mutex<VecDeque>` + two
+//! condvars. Only the surface the workspace uses is implemented: `scope`,
+//! `Scope::spawn`, `ScopedJoinHandle::join`, `bounded`, `unbounded`,
+//! `send`/`try_send`, `recv`/`try_recv`/`recv_timeout`, clonable
+//! `Sender`/`Receiver`, and disconnect-on-last-drop semantics.
+
+/// Multi-producer multi-consumer FIFO channels.
+///
+/// Semantics match crossbeam-channel for the implemented surface: a
+/// bounded channel blocks (or `try_send` fails `Full`) at capacity; a
+/// receiver drains remaining messages after all senders drop and only
+/// then reports `Disconnected`; cloning a `Receiver` shares the same
+/// queue (work-stealing consumers, not broadcast). Rendezvous channels
+/// (`bounded(0)`) are not supported.
+pub mod channel {
+    use std::collections::VecDeque;
+    use std::sync::{Arc, Condvar, Mutex};
+    use std::time::{Duration, Instant};
+
+    struct State<T> {
+        queue: VecDeque<T>,
+        senders: usize,
+        receivers: usize,
+    }
+
+    struct Shared<T> {
+        state: Mutex<State<T>>,
+        cap: Option<usize>,
+        not_empty: Condvar,
+        not_full: Condvar,
+    }
+
+    /// The sending half of a channel.
+    pub struct Sender<T> {
+        shared: Arc<Shared<T>>,
+    }
+
+    /// The receiving half of a channel.
+    pub struct Receiver<T> {
+        shared: Arc<Shared<T>>,
+    }
+
+    /// Error returned by [`Sender::try_send`], carrying the message back.
+    #[derive(Debug, PartialEq, Eq)]
+    pub enum TrySendError<T> {
+        /// The channel is at capacity.
+        Full(T),
+        /// Every receiver has been dropped.
+        Disconnected(T),
+    }
+
+    /// Error returned by [`Sender::send`] when every receiver is gone.
+    #[derive(Debug, PartialEq, Eq)]
+    pub struct SendError<T>(pub T);
+
+    /// Error returned by [`Receiver::recv`]: channel empty and every
+    /// sender dropped.
+    #[derive(Debug, PartialEq, Eq)]
+    pub struct RecvError;
+
+    /// Error returned by [`Receiver::try_recv`].
+    #[derive(Debug, PartialEq, Eq)]
+    pub enum TryRecvError {
+        /// No message ready right now.
+        Empty,
+        /// Channel empty and every sender dropped.
+        Disconnected,
+    }
+
+    /// Error returned by [`Receiver::recv_timeout`].
+    #[derive(Debug, PartialEq, Eq)]
+    pub enum RecvTimeoutError {
+        /// No message arrived within the timeout.
+        Timeout,
+        /// Channel empty and every sender dropped.
+        Disconnected,
+    }
+
+    /// A FIFO channel holding at most `cap` in-flight messages
+    /// (backpressure: senders block / `try_send` fails at capacity).
+    pub fn bounded<T>(cap: usize) -> (Sender<T>, Receiver<T>) {
+        assert!(cap > 0, "rendezvous channels (cap 0) are not supported by the stub");
+        make(Some(cap))
+    }
+
+    /// A FIFO channel with no capacity bound.
+    pub fn unbounded<T>() -> (Sender<T>, Receiver<T>) {
+        make(None)
+    }
+
+    fn make<T>(cap: Option<usize>) -> (Sender<T>, Receiver<T>) {
+        let shared = Arc::new(Shared {
+            state: Mutex::new(State { queue: VecDeque::new(), senders: 1, receivers: 1 }),
+            cap,
+            not_empty: Condvar::new(),
+            not_full: Condvar::new(),
+        });
+        (Sender { shared: Arc::clone(&shared) }, Receiver { shared })
+    }
+
+    impl<T> Shared<T> {
+        fn lock(&self) -> std::sync::MutexGuard<'_, State<T>> {
+            // A consumer panicking outside channel methods can never poison
+            // this lock; recover defensively anyway (queue state is a plain
+            // VecDeque and stays consistent across unwinds).
+            self.state.lock().unwrap_or_else(|poisoned| poisoned.into_inner())
+        }
+    }
+
+    impl<T> Sender<T> {
+        /// Send without blocking; at capacity or with no receivers left the
+        /// message comes back in the error.
+        pub fn try_send(&self, value: T) -> Result<(), TrySendError<T>> {
+            let mut state = self.shared.lock();
+            if state.receivers == 0 {
+                return Err(TrySendError::Disconnected(value));
+            }
+            if let Some(cap) = self.shared.cap {
+                if state.queue.len() >= cap {
+                    return Err(TrySendError::Full(value));
+                }
+            }
+            state.queue.push_back(value);
+            self.shared.not_empty.notify_one();
+            Ok(())
+        }
+
+        /// Send, blocking while the channel is at capacity.
+        pub fn send(&self, value: T) -> Result<(), SendError<T>> {
+            let mut state = self.shared.lock();
+            loop {
+                if state.receivers == 0 {
+                    return Err(SendError(value));
+                }
+                match self.shared.cap {
+                    Some(cap) if state.queue.len() >= cap => {
+                        state = self
+                            .shared
+                            .not_full
+                            .wait(state)
+                            .unwrap_or_else(|poisoned| poisoned.into_inner());
+                    }
+                    _ => break,
+                }
+            }
+            state.queue.push_back(value);
+            self.shared.not_empty.notify_one();
+            Ok(())
+        }
+
+        /// Number of messages currently queued.
+        pub fn len(&self) -> usize {
+            self.shared.lock().queue.len()
+        }
+
+        /// True when no message is queued.
+        pub fn is_empty(&self) -> bool {
+            self.len() == 0
+        }
+    }
+
+    impl<T> Receiver<T> {
+        /// Receive, blocking until a message or disconnection.
+        pub fn recv(&self) -> Result<T, RecvError> {
+            let mut state = self.shared.lock();
+            loop {
+                if let Some(v) = state.queue.pop_front() {
+                    self.shared.not_full.notify_one();
+                    return Ok(v);
+                }
+                if state.senders == 0 {
+                    return Err(RecvError);
+                }
+                state = self
+                    .shared
+                    .not_empty
+                    .wait(state)
+                    .unwrap_or_else(|poisoned| poisoned.into_inner());
+            }
+        }
+
+        /// Receive without blocking.
+        pub fn try_recv(&self) -> Result<T, TryRecvError> {
+            let mut state = self.shared.lock();
+            if let Some(v) = state.queue.pop_front() {
+                self.shared.not_full.notify_one();
+                return Ok(v);
+            }
+            if state.senders == 0 {
+                Err(TryRecvError::Disconnected)
+            } else {
+                Err(TryRecvError::Empty)
+            }
+        }
+
+        /// Receive, blocking at most `timeout`.
+        pub fn recv_timeout(&self, timeout: Duration) -> Result<T, RecvTimeoutError> {
+            let deadline = Instant::now() + timeout;
+            let mut state = self.shared.lock();
+            loop {
+                if let Some(v) = state.queue.pop_front() {
+                    self.shared.not_full.notify_one();
+                    return Ok(v);
+                }
+                if state.senders == 0 {
+                    return Err(RecvTimeoutError::Disconnected);
+                }
+                let now = Instant::now();
+                if now >= deadline {
+                    return Err(RecvTimeoutError::Timeout);
+                }
+                let (guard, _timed_out) = self
+                    .shared
+                    .not_empty
+                    .wait_timeout(state, deadline - now)
+                    .unwrap_or_else(|poisoned| poisoned.into_inner());
+                state = guard;
+            }
+        }
+
+        /// Number of messages currently queued.
+        pub fn len(&self) -> usize {
+            self.shared.lock().queue.len()
+        }
+
+        /// True when no message is queued.
+        pub fn is_empty(&self) -> bool {
+            self.len() == 0
+        }
+    }
+
+    impl<T> Clone for Sender<T> {
+        fn clone(&self) -> Sender<T> {
+            self.shared.lock().senders += 1;
+            Sender { shared: Arc::clone(&self.shared) }
+        }
+    }
+
+    impl<T> Clone for Receiver<T> {
+        fn clone(&self) -> Receiver<T> {
+            self.shared.lock().receivers += 1;
+            Receiver { shared: Arc::clone(&self.shared) }
+        }
+    }
+
+    impl<T> Drop for Sender<T> {
+        fn drop(&mut self) {
+            let mut state = self.shared.lock();
+            state.senders -= 1;
+            if state.senders == 0 {
+                drop(state);
+                self.shared.not_empty.notify_all();
+            }
+        }
+    }
+
+    impl<T> Drop for Receiver<T> {
+        fn drop(&mut self) {
+            let mut state = self.shared.lock();
+            state.receivers -= 1;
+            if state.receivers == 0 {
+                drop(state);
+                self.shared.not_full.notify_all();
+            }
+        }
+    }
+}
 
 /// Scoped threads.
 pub mod thread {
@@ -53,7 +318,81 @@ pub mod thread {
 
 #[cfg(test)]
 mod tests {
+    use super::channel;
     use super::thread;
+    use std::time::Duration;
+
+    #[test]
+    fn bounded_backpressure_and_fifo() {
+        let (tx, rx) = channel::bounded::<u32>(2);
+        tx.try_send(1).unwrap();
+        tx.try_send(2).unwrap();
+        assert_eq!(tx.try_send(3), Err(channel::TrySendError::Full(3)));
+        assert_eq!(rx.recv(), Ok(1));
+        tx.try_send(3).unwrap();
+        assert_eq!(rx.recv(), Ok(2));
+        assert_eq!(rx.recv(), Ok(3));
+        assert_eq!(rx.try_recv(), Err(channel::TryRecvError::Empty));
+    }
+
+    #[test]
+    fn receiver_drains_after_senders_drop() {
+        let (tx, rx) = channel::unbounded::<u8>();
+        tx.send(7).unwrap();
+        drop(tx);
+        assert_eq!(rx.recv(), Ok(7));
+        assert_eq!(rx.recv(), Err(channel::RecvError));
+        assert_eq!(
+            rx.recv_timeout(Duration::from_millis(1)),
+            Err(channel::RecvTimeoutError::Disconnected)
+        );
+    }
+
+    #[test]
+    fn send_fails_when_receivers_gone() {
+        let (tx, rx) = channel::bounded::<u8>(1);
+        drop(rx);
+        assert_eq!(tx.try_send(1), Err(channel::TrySendError::Disconnected(1)));
+        assert_eq!(tx.send(2), Err(channel::SendError(2)));
+    }
+
+    #[test]
+    fn cloned_receivers_steal_work() {
+        let (tx, rx) = channel::bounded::<u32>(64);
+        let rx2 = rx.clone();
+        let consumed: u32 = thread::scope(|s| {
+            let a = s.spawn(move |_| {
+                let mut n = 0;
+                while rx.recv().is_ok() {
+                    n += 1;
+                }
+                n
+            });
+            let b = s.spawn(move |_| {
+                let mut n = 0;
+                while rx2.recv().is_ok() {
+                    n += 1;
+                }
+                n
+            });
+            for i in 0..40 {
+                tx.send(i).unwrap();
+            }
+            drop(tx);
+            a.join().unwrap() + b.join().unwrap()
+        })
+        .unwrap();
+        assert_eq!(consumed, 40);
+    }
+
+    #[test]
+    fn recv_timeout_times_out() {
+        let (_tx, rx) = channel::bounded::<u8>(1);
+        assert_eq!(
+            rx.recv_timeout(Duration::from_millis(5)),
+            Err(channel::RecvTimeoutError::Timeout)
+        );
+    }
 
     #[test]
     fn scoped_threads_borrow_and_join() {

@@ -32,6 +32,55 @@ pub trait Serialize {
     fn to_json(&self) -> Json;
 }
 
+impl Json {
+    /// Field lookup on an object (`None` for other variants / missing key).
+    pub fn get(&self, key: &str) -> Option<&Json> {
+        match self {
+            Json::Obj(fields) => fields.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+
+    /// The string value, if this is a [`Json::Str`].
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Json::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// The boolean value, if this is a [`Json::Bool`].
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            Json::Bool(b) => Some(*b),
+            _ => None,
+        }
+    }
+
+    /// The numeric value as f64 ([`Json::Int`] widens losslessly for the
+    /// magnitudes the workspace serializes).
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Json::Num(n) => Some(*n),
+            Json::Int(i) => Some(*i as f64),
+            _ => None,
+        }
+    }
+
+    /// The integer value, if this is a [`Json::Int`].
+    pub fn as_i64(&self) -> Option<i64> {
+        match self {
+            Json::Int(i) => Some(*i),
+            _ => None,
+        }
+    }
+
+    /// True for [`Json::Null`].
+    pub fn is_null(&self) -> bool {
+        matches!(self, Json::Null)
+    }
+}
+
 impl Serialize for Json {
     fn to_json(&self) -> Json {
         self.clone()

@@ -1,8 +1,8 @@
 //! Offline stand-in for the `serde_json` crate.
 //!
-//! Renders the serde stub's [`serde::Json`] value tree as JSON text.
-//! Only serialization is implemented (the workspace writes reports; it
-//! never parses JSON).
+//! Renders the serde stub's [`serde::Json`] value tree as JSON text, and
+//! parses JSON text back into a [`serde::Json`] tree (`from_str`) — the
+//! eval journal reads its own JSONL lines back on crash-resume.
 
 use serde::{Json, Serialize};
 use std::fmt;
@@ -99,6 +99,177 @@ fn render_seq(
     out.push(close);
 }
 
+/// Parse JSON text into a [`Json`] tree.
+///
+/// Numbers without `.`/`e` parse as [`Json::Int`]; everything else numeric
+/// parses as [`Json::Num`] via `str::parse::<f64>`, which round-trips the
+/// renderer's shortest-representation output exactly.
+pub fn from_str(text: &str) -> Result<Json, Error> {
+    let bytes = text.as_bytes();
+    let mut pos = 0usize;
+    let value = parse_value(bytes, &mut pos)?;
+    skip_ws(bytes, &mut pos);
+    if pos != bytes.len() {
+        return Err(Error(format!("trailing characters at byte {pos}")));
+    }
+    Ok(value)
+}
+
+fn skip_ws(bytes: &[u8], pos: &mut usize) {
+    while *pos < bytes.len() && matches!(bytes[*pos], b' ' | b'\t' | b'\n' | b'\r') {
+        *pos += 1;
+    }
+}
+
+fn expect(bytes: &[u8], pos: &mut usize, token: &str) -> Result<(), Error> {
+    if bytes[*pos..].starts_with(token.as_bytes()) {
+        *pos += token.len();
+        Ok(())
+    } else {
+        Err(Error(format!("expected `{token}` at byte {pos}", pos = *pos)))
+    }
+}
+
+fn parse_value(bytes: &[u8], pos: &mut usize) -> Result<Json, Error> {
+    skip_ws(bytes, pos);
+    match bytes.get(*pos) {
+        None => Err(Error("unexpected end of input".into())),
+        Some(b'n') => expect(bytes, pos, "null").map(|()| Json::Null),
+        Some(b't') => expect(bytes, pos, "true").map(|()| Json::Bool(true)),
+        Some(b'f') => expect(bytes, pos, "false").map(|()| Json::Bool(false)),
+        Some(b'"') => parse_string(bytes, pos).map(Json::Str),
+        Some(b'[') => {
+            *pos += 1;
+            let mut items = Vec::new();
+            skip_ws(bytes, pos);
+            if bytes.get(*pos) == Some(&b']') {
+                *pos += 1;
+                return Ok(Json::Arr(items));
+            }
+            loop {
+                items.push(parse_value(bytes, pos)?);
+                skip_ws(bytes, pos);
+                match bytes.get(*pos) {
+                    Some(b',') => *pos += 1,
+                    Some(b']') => {
+                        *pos += 1;
+                        return Ok(Json::Arr(items));
+                    }
+                    _ => return Err(Error(format!("expected `,` or `]` at byte {p}", p = *pos))),
+                }
+            }
+        }
+        Some(b'{') => {
+            *pos += 1;
+            let mut fields = Vec::new();
+            skip_ws(bytes, pos);
+            if bytes.get(*pos) == Some(&b'}') {
+                *pos += 1;
+                return Ok(Json::Obj(fields));
+            }
+            loop {
+                skip_ws(bytes, pos);
+                let key = parse_string(bytes, pos)?;
+                skip_ws(bytes, pos);
+                expect(bytes, pos, ":")?;
+                let value = parse_value(bytes, pos)?;
+                fields.push((key, value));
+                skip_ws(bytes, pos);
+                match bytes.get(*pos) {
+                    Some(b',') => *pos += 1,
+                    Some(b'}') => {
+                        *pos += 1;
+                        return Ok(Json::Obj(fields));
+                    }
+                    _ => return Err(Error(format!("expected `,` or `}}` at byte {p}", p = *pos))),
+                }
+            }
+        }
+        Some(_) => parse_number(bytes, pos),
+    }
+}
+
+fn parse_string(bytes: &[u8], pos: &mut usize) -> Result<String, Error> {
+    if bytes.get(*pos) != Some(&b'"') {
+        return Err(Error(format!("expected string at byte {p}", p = *pos)));
+    }
+    *pos += 1;
+    let mut out = String::new();
+    loop {
+        let start = *pos;
+        while *pos < bytes.len() && bytes[*pos] != b'"' && bytes[*pos] != b'\\' {
+            *pos += 1;
+        }
+        out.push_str(
+            std::str::from_utf8(&bytes[start..*pos])
+                .map_err(|e| Error(format!("invalid utf-8 in string: {e}")))?,
+        );
+        match bytes.get(*pos) {
+            None => return Err(Error("unterminated string".into())),
+            Some(b'"') => {
+                *pos += 1;
+                return Ok(out);
+            }
+            Some(b'\\') => {
+                *pos += 1;
+                match bytes.get(*pos) {
+                    Some(b'"') => out.push('"'),
+                    Some(b'\\') => out.push('\\'),
+                    Some(b'/') => out.push('/'),
+                    Some(b'n') => out.push('\n'),
+                    Some(b'r') => out.push('\r'),
+                    Some(b't') => out.push('\t'),
+                    Some(b'b') => out.push('\u{8}'),
+                    Some(b'f') => out.push('\u{c}'),
+                    Some(b'u') => {
+                        let hex = bytes
+                            .get(*pos + 1..*pos + 5)
+                            .and_then(|h| std::str::from_utf8(h).ok())
+                            .ok_or_else(|| Error("truncated \\u escape".into()))?;
+                        let code = u32::from_str_radix(hex, 16)
+                            .map_err(|_| Error(format!("bad \\u escape `{hex}`")))?;
+                        // Surrogate pairs are not produced by the renderer;
+                        // map lone surrogates to the replacement character.
+                        out.push(char::from_u32(code).unwrap_or('\u{FFFD}'));
+                        *pos += 4;
+                    }
+                    _ => return Err(Error("bad escape in string".into())),
+                }
+                *pos += 1;
+            }
+            Some(_) => unreachable!("scan stops only at quote or backslash"),
+        }
+    }
+}
+
+fn parse_number(bytes: &[u8], pos: &mut usize) -> Result<Json, Error> {
+    let start = *pos;
+    if bytes.get(*pos) == Some(&b'-') {
+        *pos += 1;
+    }
+    let mut is_float = false;
+    while let Some(&b) = bytes.get(*pos) {
+        match b {
+            b'0'..=b'9' => *pos += 1,
+            b'.' | b'e' | b'E' | b'+' | b'-' => {
+                is_float = true;
+                *pos += 1;
+            }
+            _ => break,
+        }
+    }
+    let text = std::str::from_utf8(&bytes[start..*pos])
+        .map_err(|e| Error(format!("invalid utf-8 in number: {e}")))?;
+    if text.is_empty() || text == "-" {
+        return Err(Error(format!("expected value at byte {start}")));
+    }
+    if is_float {
+        text.parse::<f64>().map(Json::Num).map_err(|_| Error(format!("bad number `{text}`")))
+    } else {
+        text.parse::<i64>().map(Json::Int).map_err(|_| Error(format!("bad number `{text}`")))
+    }
+}
+
 fn render_string(s: &str, out: &mut String) {
     out.push('"');
     for c in s.chars() {
@@ -136,5 +307,42 @@ mod tests {
     fn integral_floats_keep_decimal_point() {
         assert_eq!(to_string(&Json::Num(2.0)).unwrap(), "2.0");
         assert_eq!(to_string(&Json::Num(f64::NAN)).unwrap(), "null");
+    }
+
+    #[test]
+    fn parse_round_trips_rendered_values() {
+        let v = Json::Obj(vec![
+            ("s".into(), Json::Str("a\"b\\c\nd".into())),
+            ("i".into(), Json::Int(-42)),
+            ("f".into(), Json::Num(0.30000000000000004)),
+            ("whole".into(), Json::Num(3.0)),
+            ("arr".into(), Json::Arr(vec![Json::Bool(true), Json::Null])),
+            ("empty".into(), Json::Obj(vec![])),
+        ]);
+        let text = to_string(&v).unwrap();
+        let back = from_str(&text).unwrap();
+        // Int(3) vs Num(3.0): rendering writes "3.0", which parses back as
+        // a float — exactly the original.
+        assert_eq!(back, v);
+        // And pretty output parses to the same tree.
+        assert_eq!(from_str(&to_string_pretty(&v).unwrap()).unwrap(), v);
+    }
+
+    #[test]
+    fn parse_rejects_malformed_input() {
+        for bad in ["", "{", "[1,", "\"open", "{\"k\" 1}", "01x", "true false"] {
+            assert!(from_str(bad).is_err(), "`{bad}` should not parse");
+        }
+    }
+
+    #[test]
+    fn parse_handles_escapes_and_unicode() {
+        let v = from_str(r#"{"k":"tab\there é"}"#).unwrap();
+        match v {
+            Json::Obj(fields) => {
+                assert_eq!(fields[0].1, Json::Str("tab\there é".into()));
+            }
+            other => panic!("expected object, got {other:?}"),
+        }
     }
 }
