@@ -29,6 +29,9 @@ pub use model::{
     Generation,
 };
 pub use pretrain::{pretrain, pretrain_with_capacity, PretrainConfig, PretrainedLm};
-pub use prompt::{build_prompt, build_training_prompt, DbPrompt, PromptOptions};
+pub use prompt::{
+    build_prompt, build_training_prompt, stage_assemble, stage_metadata, stage_schema_filter,
+    stage_value_retrieval, DbPrompt, PromptOptions,
+};
 pub use sketch::{sketch_of, SketchCatalog, SketchLibrary};
 pub use system::{CodesSystem, FewShot, Inference};

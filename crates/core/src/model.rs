@@ -7,6 +7,7 @@ use std::sync::Arc;
 use std::time::Instant;
 
 use codes_datasets::Sample;
+use codes_obs::{Span, STAGE_EXECUTION_SELECTION, STAGE_GENERATION};
 use codes_retrieval::ValueMatch;
 use sqlengine::{catch_panics, execute_query_governed, with_retry, Database, ExecLimits};
 
@@ -88,6 +89,12 @@ pub struct Generation {
     pub sql: String,
     /// The full beam, ranked.
     pub beam: Vec<ScoredCandidate>,
+    /// Wall-clock seconds decoding the beam (template ranking + slot
+    /// filling + scoring) — the `generation` pipeline stage.
+    pub generation_seconds: f64,
+    /// Wall-clock seconds executing candidates to pick the first
+    /// executable one — the `execution_selection` pipeline stage.
+    pub selection_seconds: f64,
 }
 
 /// The simulated CodeS model. Pre-trained state is shared (`Arc`) so a
@@ -178,6 +185,7 @@ impl CodesModel {
         retries: u32,
         beam_cap: Option<usize>,
     ) -> Generation {
+        let gen_span = Span::enter(STAGE_GENERATION);
         let mut intent = extract_intent(question);
         let bucket = intent_bucket(&intent);
         // Domain knowledge: extend the matched values with alias-derived
@@ -276,12 +284,16 @@ impl CodesModel {
             scored.truncate(cap.max(1));
         }
 
+        let generation_seconds = gen_span.finish().as_secs_f64();
+
         // Pick the first executable candidate.
+        let sel_span = Span::enter(STAGE_EXECUTION_SELECTION);
         let chosen = select_first_executable(db, &mut scored, limits, retries)
             .map(|i| scored[i].sql.clone())
             .or_else(|| scored.first().map(|c| c.sql.clone()))
             .unwrap_or_else(|| fallback_sql(&enriched));
-        Generation { sql: chosen, beam: scored }
+        let selection_seconds = sel_span.finish().as_secs_f64();
+        Generation { sql: chosen, beam: scored, generation_seconds, selection_seconds }
     }
 
     /// Add alias-derived value matches: EK text like

@@ -231,6 +231,10 @@ impl DbPrompt {
 }
 
 /// Algorithm 1: build the prompt for a question at inference time.
+///
+/// Convenience wrapper running all four prompt stages back to back;
+/// instrumented callers ([`crate::CodesSystem::infer_with`]) invoke the
+/// `stage_*` functions directly so each stage gets its own span.
 pub fn build_prompt(
     db: &Database,
     question: &str,
@@ -239,13 +243,39 @@ pub fn build_prompt(
     value_index: Option<&ValueIndex>,
     opts: &PromptOptions,
 ) -> DbPrompt {
-    // Line 1-2: schema filter.
-    let filtered = match (opts.use_schema_filter, classifier) {
+    let filtered = stage_schema_filter(db, question, external_knowledge, classifier, opts);
+    let matched_values =
+        stage_value_retrieval(&filtered, question, external_knowledge, value_index, opts);
+    let tables = stage_metadata(db, &filtered, opts);
+    stage_assemble(db, tables, matched_values, opts)
+}
+
+/// Algorithm 1 lines 1-2: rank and prune schema items for the question
+/// (falls back to the full schema without a classifier or with the
+/// filter ablated).
+pub fn stage_schema_filter(
+    db: &Database,
+    question: &str,
+    external_knowledge: Option<&str>,
+    classifier: Option<&SchemaClassifier>,
+    opts: &PromptOptions,
+) -> FilteredSchema {
+    match (opts.use_schema_filter, classifier) {
         (true, Some(clf)) => filter_schema(clf, question, external_knowledge, db, opts.filter),
         _ => FilteredSchema::full(db),
-    };
-    // Line 3-4: value retriever (coarse BM25 -> fine LCS).
-    let matched_values = match (opts.use_value_retriever, value_index) {
+    }
+}
+
+/// Algorithm 1 lines 3-4: the coarse-to-fine value retriever (BM25 then
+/// LCS), restricted to columns that survived the schema filter.
+pub fn stage_value_retrieval(
+    filtered: &FilteredSchema,
+    question: &str,
+    external_knowledge: Option<&str>,
+    value_index: Option<&ValueIndex>,
+    opts: &PromptOptions,
+) -> Vec<ValueMatch> {
+    match (opts.use_value_retriever, value_index) {
         (true, Some(idx)) => {
             let query = match external_knowledge {
                 Some(ek) => format!("{question} {ek}"),
@@ -257,8 +287,7 @@ pub fn build_prompt(
                 .collect()
         }
         _ => Vec::new(),
-    };
-    assemble(db, &filtered, matched_values, opts)
+    }
 }
 
 /// Training-time prompt: gold schema items plus random padding (§6.1).
@@ -282,17 +311,19 @@ pub fn build_training_prompt(
             .collect(),
         _ => Vec::new(),
     };
-    assemble(db, &filtered, matched_values, opts)
+    let tables = stage_metadata(db, &filtered, opts);
+    stage_assemble(db, tables, matched_values, opts)
 }
 
-/// Lines 5-7 of Algorithm 1: serialize schema + metadata + values.
-fn assemble(
+/// Algorithm 1 lines 5-6: collect per-column metadata (§6.3 — data
+/// types, comments, representative values, key markers) for every
+/// schema item that survived the filter.
+pub fn stage_metadata(
     db: &Database,
     filtered: &FilteredSchema,
-    matched_values: Vec<ValueMatch>,
     opts: &PromptOptions,
-) -> DbPrompt {
-    let tables = filtered
+) -> Vec<PromptTable> {
+    filtered
         .tables
         .iter()
         .filter_map(|ft| {
@@ -321,8 +352,17 @@ fn assemble(
                 .collect();
             Some(PromptTable { name: table.schema.name.clone(), columns })
         })
-        .collect::<Vec<_>>();
+        .collect()
+}
 
+/// Algorithm 1 line 7: assemble the final prompt — context-window
+/// truncation, surviving foreign keys, matched-value retention.
+pub fn stage_assemble(
+    db: &Database,
+    tables: Vec<PromptTable>,
+    matched_values: Vec<ValueMatch>,
+    opts: &PromptOptions,
+) -> DbPrompt {
     // Context-window truncation: keep whole tables (in the given order —
     // relevance order under the filter, schema order without it) until the
     // serialized budget is exhausted. At least one table always survives.

@@ -13,13 +13,19 @@ use std::time::Instant;
 
 use codes_datasets::{Benchmark, Sample};
 use codes_linker::SchemaClassifier;
+use codes_obs::{
+    Span, StageTimings, STAGE_METADATA, STAGE_PROMPT_BUILD, STAGE_SCHEMA_FILTER,
+    STAGE_VALUE_RETRIEVAL,
+};
 use codes_retrieval::{DemoRetriever, DemoStrategy, ValueIndex};
 use parking_lot::RwLock;
 use sqlengine::Database;
 
 use crate::config::Config;
 use crate::model::{finetune, CodesModel, Generation};
-use crate::prompt::{build_prompt, PromptOptions};
+use crate::prompt::{
+    stage_assemble, stage_metadata, stage_schema_filter, stage_value_retrieval, PromptOptions,
+};
 
 /// Few-shot configuration.
 #[derive(Debug, Clone, Copy)]
@@ -68,6 +74,9 @@ pub struct Inference {
     /// schema, lazy/skipped value index, beam shrunk to greedy). Empty on
     /// a fully-resourced inference.
     pub degradations: Vec<String>,
+    /// Wall-clock seconds per Algorithm-1 stage. The same durations feed
+    /// the global `codes_stage_duration_seconds` histogram via spans.
+    pub stages: StageTimings,
 }
 
 impl CodesSystem {
@@ -194,20 +203,44 @@ impl CodesSystem {
     ) -> Inference {
         let start = Instant::now();
         let mut degradations = Vec::new();
+        let mut stages = StageTimings::zero();
 
         if self.options.use_schema_filter && self.classifier.is_none() {
             degradations.push("classifier missing: unfiltered schema in prompt".to_string());
         }
 
-        let value_index = self.resolve_value_index(db, start, config, &mut degradations);
-        let prompt = build_prompt(
+        // Algorithm 1, one span per stage. Spans feed the global
+        // `codes_stage_duration_seconds` histogram and the trace ring;
+        // their durations also ride along on the returned Inference.
+        let span = Span::enter(STAGE_SCHEMA_FILTER);
+        let filtered = stage_schema_filter(
             db,
             question,
             external_knowledge,
             self.classifier.as_ref(),
+            &self.options,
+        );
+        stages.schema_filter = span.finish().as_secs_f64();
+
+        // Lazy index resolution is part of the retrieval stage: when the
+        // index must be built on demand, that cost IS value retrieval.
+        let span = Span::enter(STAGE_VALUE_RETRIEVAL);
+        let value_index = self.resolve_value_index(db, start, config, &mut degradations);
+        let matched_values = stage_value_retrieval(
+            &filtered,
+            question,
+            external_knowledge,
             value_index.as_deref(),
             &self.options,
         );
+        stages.value_retrieval = span.finish().as_secs_f64();
+
+        let span = Span::enter(STAGE_METADATA);
+        let tables = stage_metadata(db, &filtered, &self.options);
+        stages.metadata = span.finish().as_secs_f64();
+
+        let span = Span::enter(STAGE_PROMPT_BUILD);
+        let prompt = stage_assemble(db, tables, matched_values, &self.options);
         let demo_refs: Vec<&Sample> = match (&self.demo_retriever, self.few_shot) {
             (Some(retriever), Some(fs)) => retriever
                 .retrieve(question, fs.k, fs.strategy)
@@ -216,9 +249,13 @@ impl CodesSystem {
                 .collect(),
             _ => Vec::new(),
         };
+        stages.prompt_build = span.finish().as_secs_f64();
+
         if config.nearly_spent(start.elapsed()) {
             degradations.push("inference deadline nearly spent: beam truncated to greedy".to_string());
         }
+        // Generation and execution selection record their own spans (see
+        // `CodesModel::generate_with`) and report the durations back.
         let generation = self.model.generate_governed(
             db,
             &prompt,
@@ -228,12 +265,15 @@ impl CodesSystem {
             config,
             start,
         );
+        stages.generation = generation.generation_seconds;
+        stages.execution_selection = generation.selection_seconds;
         Inference {
             sql: generation.sql.clone(),
             generation,
             latency_seconds: start.elapsed().as_secs_f64(),
             prompt_tokens: prompt.token_len(),
             degradations,
+            stages,
         }
     }
 
@@ -374,6 +414,23 @@ mod tests {
         // The override is per-call: the system's own config still applies.
         let relaxed = sys.infer(db, &s.question, None);
         assert!(!relaxed.degradations.iter().any(|d| d.contains("greedy")));
+    }
+
+    #[test]
+    fn inference_reports_all_six_stage_timings() {
+        let bench = mini_benchmark();
+        let clf = SchemaClassifier::train(&bench, false, 7);
+        let mut sys = system("CodeS-1B").with_classifier(clf);
+        sys.prepare_databases(bench.databases.iter());
+        let s = &bench.dev[0];
+        let db = bench.database(&s.db_id).unwrap();
+        let out = sys.infer(db, &s.question, None);
+        for (stage, seconds) in out.stages.entries() {
+            assert!(seconds > 0.0, "stage {stage} reported zero seconds");
+        }
+        // Stage work happens inside the measured pipeline: the stage sum
+        // cannot exceed the end-to-end latency.
+        assert!(out.stages.total() <= out.latency_seconds);
     }
 
     #[test]

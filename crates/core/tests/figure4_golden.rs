@@ -1,0 +1,68 @@
+//! Golden snapshot of the Figure-4 prompt serialization.
+//!
+//! The serialized prompt is the model's entire view of the database, so
+//! its exact text is load-bearing: a formatting drift silently changes
+//! every experiment downstream. This test pins the bytes for the §6.2
+//! running example (bank_financials, the Jesenik question) against a
+//! checked-in fixture.
+//!
+//! To regenerate after an *intentional* format change:
+//! `UPDATE_GOLDEN=1 cargo test -p codes --test figure4_golden`
+
+use std::fs;
+use std::path::PathBuf;
+
+use codes::{build_prompt, PromptOptions};
+use codes_datasets::finance::bank_financials_db;
+use codes_retrieval::ValueIndex;
+
+fn fixture_path() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("tests/fixtures/figure4_prompt.txt")
+}
+
+fn rendered_prompt() -> String {
+    let db = bank_financials_db(1);
+    let idx = ValueIndex::build(&db);
+    let question = "How many clients opened their accounts in Jesenik branch were women?";
+    // No classifier: the full-schema path, so the snapshot covers schema
+    // serialization, metadata, matched values, and truncation without
+    // depending on trained classifier weights.
+    build_prompt(&db, question, None, None, Some(&idx), &PromptOptions::sft()).serialize()
+}
+
+#[test]
+fn figure4_prompt_serialization_is_byte_identical_to_fixture() {
+    let text = rendered_prompt();
+    // Sanity-check the content before comparing bytes, so a regenerated
+    // fixture can never pin a degenerate prompt.
+    assert!(text.contains("database schema :"), "prompt lost its schema header:\n{text}");
+    assert!(text.contains("foreign keys :"), "prompt lost its foreign keys section:\n{text}");
+    assert!(
+        text.contains("account.branch = 'Jesenik'"),
+        "prompt lost the retrieved Jesenik value:\n{text}"
+    );
+
+    let path = fixture_path();
+    if std::env::var_os("UPDATE_GOLDEN").is_some() {
+        fs::write(&path, &text).expect("write regenerated fixture");
+    }
+    let golden = fs::read_to_string(&path).unwrap_or_else(|e| {
+        panic!(
+            "missing fixture {} ({e}); regenerate with UPDATE_GOLDEN=1",
+            path.display()
+        )
+    });
+    assert!(
+        text == golden,
+        "Figure-4 prompt drifted from {} — if the change is intentional, regenerate with \
+         UPDATE_GOLDEN=1.\n--- fixture ({} bytes) ---\n{golden}\n--- rendered ({} bytes) ---\n{text}",
+        path.display(),
+        golden.len(),
+        text.len()
+    );
+}
+
+#[test]
+fn figure4_prompt_serialization_is_deterministic_across_rebuilds() {
+    assert_eq!(rendered_prompt(), rendered_prompt());
+}

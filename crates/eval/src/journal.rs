@@ -13,11 +13,12 @@
 
 use std::fmt;
 use std::fs::{File, OpenOptions};
-use std::io::{BufRead, BufReader, Write};
+use std::io::Write;
 use std::path::{Path, PathBuf};
 
 use codes_datasets::{Hardness, Sample};
-use serde::Json;
+use codes_obs::StageTimings;
+use serde::{Json, Serialize};
 
 use crate::runner::SampleResult;
 
@@ -34,8 +35,8 @@ pub enum EvalError {
         message: String,
     },
     /// A journal line that is not valid JSON or lacks required fields.
-    /// (A truncated final line — the signature of a mid-write kill — is
-    /// tolerated and re-evaluated, not reported.)
+    /// (A newline-less final line — the signature of a mid-write kill —
+    /// is tolerated and re-evaluated, not reported.)
     JournalCorrupt {
         /// The journal path involved.
         path: PathBuf,
@@ -106,8 +107,19 @@ pub struct Journal {
 
 impl Journal {
     /// Open `path` for appending (creating it if absent) and reload every
-    /// complete entry already present. A truncated final line is dropped:
-    /// that sample simply re-evaluates.
+    /// complete entry already present.
+    ///
+    /// Torn-write detection keys on the trailing newline, not on whether
+    /// the last line parses: [`Journal::append`] always terminates a
+    /// record with `\n`, so a file that does not end in `\n` was killed
+    /// mid-write and its final partial line is dropped **even if it
+    /// happens to parse as valid JSON** (a record torn between the payload
+    /// write and the newline write is exactly such a line — keeping it
+    /// would let the next append concatenate onto it and corrupt the
+    /// file). The partial line is also truncated away so appends resume on
+    /// a clean boundary. Conversely, every newline-terminated line was
+    /// fully written, so a parse failure there is real corruption
+    /// (`JournalCorrupt`) wherever it sits — including the last line.
     pub fn open(path: &Path) -> Result<(Journal, Vec<JournalEntry>), EvalError> {
         let io_err = |e: std::io::Error| EvalError::Io {
             path: path.to_path_buf(),
@@ -115,21 +127,20 @@ impl Journal {
         };
         let mut entries = Vec::new();
         if path.exists() {
-            let reader = BufReader::new(File::open(path).map_err(io_err)?);
-            let lines: Vec<String> =
-                reader.lines().collect::<Result<_, _>>().map_err(io_err)?;
-            let last = lines.len();
+            let content = std::fs::read_to_string(path).map_err(io_err)?;
+            let mut lines: Vec<&str> = content.split('\n').collect();
+            // `split` yields a final "" for a newline-terminated file; a
+            // non-empty final piece is a torn record.
+            let torn = match lines.pop() {
+                Some("") | None => None,
+                Some(partial) => Some(partial),
+            };
             for (i, line) in lines.iter().enumerate() {
                 if line.trim().is_empty() {
                     continue;
                 }
                 match parse_entry(line) {
                     Ok(entry) => entries.push(entry),
-                    // Mid-write kill leaves exactly one torn line, at the
-                    // end. Anywhere else, corruption is a real error.
-                    Err(message) if i + 1 == last => {
-                        let _ = message;
-                    }
                     Err(message) => {
                         return Err(EvalError::JournalCorrupt {
                             path: path.to_path_buf(),
@@ -138,6 +149,13 @@ impl Journal {
                         })
                     }
                 }
+            }
+            if let Some(partial) = torn {
+                // Heal in place: cut the partial record off so the next
+                // append starts a fresh line instead of extending it.
+                let keep = (content.len() - partial.len()) as u64;
+                let file = OpenOptions::new().write(true).open(path).map_err(io_err)?;
+                file.set_len(keep).map_err(io_err)?;
             }
         }
         let file =
@@ -183,6 +201,7 @@ fn entry_to_json(index: usize, fingerprint: u64, r: &SampleResult) -> Json {
         ("ves".into(), Json::Num(r.ves)),
         ("he".into(), Json::Bool(r.he)),
         ("latency_seconds".into(), Json::Num(r.latency_seconds)),
+        ("stages".into(), r.stages.to_json()),
         ("prompt_tokens".into(), Json::Int(r.prompt_tokens as i64)),
         (
             "failure".into(),
@@ -233,6 +252,9 @@ fn parse_entry(line: &str) -> Result<JournalEntry, String> {
             ves: num_field("ves")?,
             he: bool_field("he")?,
             latency_seconds: num_field("latency_seconds")?,
+            // Tolerant: journals written before stage timings existed have
+            // no `stages` object and read as all-zero.
+            stages: value.get("stages").map(StageTimings::from_json).unwrap_or_default(),
             prompt_tokens: field("prompt_tokens")?
                 .as_i64()
                 .and_then(|i| usize::try_from(i).ok())
@@ -257,6 +279,12 @@ mod tests {
             ves: 0.1 * ix as f64 + 0.30000000000000004,
             he: true,
             latency_seconds: 0.001 * ix as f64,
+            stages: {
+                let mut stages = StageTimings::zero();
+                stages.generation = 0.002 * ix as f64;
+                stages.schema_filter = 0.0001;
+                stages
+            },
             prompt_tokens: 40 + ix,
             failure: if ix == 3 { Some("caught panic: boom".into()) } else { None },
         }
@@ -292,8 +320,26 @@ mod tests {
             // Bit-exact float round-trip is what makes resumed reports
             // byte-identical.
             assert_eq!(entry.result.ves.to_bits(), expect.ves.to_bits());
+            assert_eq!(entry.result.stages, expect.stages);
             assert_eq!(entry.result.failure, expect.failure);
         }
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn entries_without_stage_timings_load_as_zero() {
+        // A journal written before stage timings existed: no `stages` key.
+        let path = tmp("legacy");
+        let mut json = match entry_to_json(0, 7, &result(0)) {
+            Json::Obj(fields) => fields,
+            other => panic!("expected object, got {other:?}"),
+        };
+        json.retain(|(key, _)| key != "stages");
+        std::fs::write(&path, format!("{}\n", serde_json::to_string(&Json::Obj(json)).unwrap()))
+            .expect("write legacy journal");
+        let (_journal, loaded) = Journal::open(&path).expect("legacy journal loads");
+        assert_eq!(loaded.len(), 1);
+        assert_eq!(loaded[0].result.stages, StageTimings::zero());
         let _ = std::fs::remove_file(&path);
     }
 
@@ -315,6 +361,62 @@ mod tests {
         std::fs::write(&path, "not json at all\n{\"index\":0}\n").expect("overwrite");
         match Journal::open(&path) {
             Err(EvalError::JournalCorrupt { line, .. }) => assert_eq!(line, 1),
+            other => panic!("expected JournalCorrupt, got {other:?}"),
+        }
+        let _ = std::fs::remove_file(&path);
+    }
+
+    /// The adversarial torn-write case: the kill lands between the payload
+    /// write and the newline write, so the partial final line is a byte-
+    /// complete record that parses as valid JSON. Treating it as committed
+    /// would let the next append concatenate onto it; it must be dropped
+    /// and re-evaluated like any other torn line.
+    #[test]
+    fn torn_line_that_parses_as_valid_json_is_still_dropped_and_healed() {
+        let path = tmp("torn-valid-json");
+        let (mut journal, _) = Journal::open(&path).expect("open");
+        journal.append(0, 1, &result(0)).expect("append");
+        drop(journal);
+        let committed = std::fs::read_to_string(&path).expect("read");
+
+        // Record 1's payload lands in full, but the trailing newline never
+        // makes it: the tail is valid JSON yet uncommitted.
+        let torn = serde_json::to_string(&entry_to_json(1, 2, &result(1))).unwrap();
+        let mut file = OpenOptions::new().append(true).open(&path).expect("reopen raw");
+        file.write_all(torn.as_bytes()).expect("tear after payload");
+        drop(file);
+
+        let (mut journal, loaded) = Journal::open(&path).expect("open with valid-JSON tail");
+        assert_eq!(loaded.len(), 1, "newline-less tail must be dropped even when it parses");
+        assert_eq!(loaded[0].index, 0);
+        assert_eq!(
+            std::fs::read_to_string(&path).expect("read healed"),
+            committed,
+            "the torn tail must be truncated away, not left to corrupt the next append"
+        );
+
+        // The re-evaluated sample appends onto a clean boundary.
+        journal.append(1, 2, &result(1)).expect("append after heal");
+        drop(journal);
+        let (_journal, loaded) = Journal::open(&path).expect("reopen");
+        assert_eq!(loaded.len(), 2, "healed journal accepts appends on line boundaries");
+        assert_eq!(loaded[1].index, 1);
+        let _ = std::fs::remove_file(&path);
+    }
+
+    /// A garbage line that IS newline-terminated was fully written — it
+    /// cannot be a torn write, so it is corruption even in final position.
+    #[test]
+    fn newline_terminated_garbage_final_line_is_corruption_not_a_torn_write() {
+        let path = tmp("terminated-garbage");
+        let (mut journal, _) = Journal::open(&path).expect("open");
+        journal.append(0, 1, &result(0)).expect("append");
+        drop(journal);
+        let mut file = OpenOptions::new().append(true).open(&path).expect("reopen raw");
+        file.write_all(b"definitely not json\n").expect("write garbage line");
+        drop(file);
+        match Journal::open(&path) {
+            Err(EvalError::JournalCorrupt { line, .. }) => assert_eq!(line, 2),
             other => panic!("expected JournalCorrupt, got {other:?}"),
         }
         let _ = std::fs::remove_file(&path);

@@ -18,6 +18,7 @@ use std::sync::Mutex;
 
 use codes::CodesSystem;
 use codes_datasets::{Hardness, Sample};
+use codes_obs::StageTimings;
 use sqlengine::{Database, ExecLimits};
 
 use crate::journal::{sample_fingerprint, EvalError, Journal};
@@ -82,6 +83,8 @@ pub struct EvalOutcome {
     pub avg_latency_seconds: f64,
     /// Mean prompt length (whitespace tokens).
     pub avg_prompt_tokens: f64,
+    /// Mean wall-clock seconds per Algorithm-1 pipeline stage.
+    pub avg_stages: StageTimings,
     /// `(hardness, sample count, EX)` per Spider hardness level.
     pub per_hardness: Vec<(Hardness, usize, f64)>,
 }
@@ -130,6 +133,10 @@ pub struct SampleResult {
     pub he: bool,
     /// Online latency of this inference.
     pub latency_seconds: f64,
+    /// Per-stage wall-clock breakdown of this inference (zero for samples
+    /// that failed before inference finished, and for journals written
+    /// before stage timings existed).
+    pub stages: StageTimings,
     /// Prompt length (whitespace tokens).
     pub prompt_tokens: usize,
     /// Set when this sample's evaluation was cut short by a caught panic;
@@ -325,6 +332,7 @@ fn eval_one_isolated(
                 ves: 0.0,
                 he: false,
                 latency_seconds: 0.0,
+                stages: StageTimings::zero(),
                 prompt_tokens: 0,
                 failure: Some(format!("caught panic: {message}")),
             }
@@ -367,6 +375,7 @@ fn eval_one(
         ves,
         he,
         latency_seconds: inference.latency_seconds,
+        stages: inference.stages,
         prompt_tokens: inference.prompt_tokens,
         failure: None,
     }
@@ -389,6 +398,10 @@ fn summarize(results: &[SampleResult]) -> EvalOutcome {
         .map(|(h, (count, correct))| (h, count, correct as f64 / count as f64))
         .collect();
     per_hardness.sort_by_key(|(h, _, _)| *h);
+    let mut stage_sum = StageTimings::zero();
+    for r in results {
+        stage_sum.accumulate(&r.stages);
+    }
     EvalOutcome {
         n,
         ex: frac(&|r| f64::from(r.ex)),
@@ -397,6 +410,7 @@ fn summarize(results: &[SampleResult]) -> EvalOutcome {
         he: frac(&|r| f64::from(r.he)),
         avg_latency_seconds: frac(&|r| r.latency_seconds),
         avg_prompt_tokens: frac(&|r| r.prompt_tokens as f64),
+        avg_stages: stage_sum.scaled(1.0 / n as f64),
         per_hardness,
     }
 }

@@ -1,0 +1,494 @@
+//! Counters, gauges, fixed-bucket histograms, and the [`Registry`] that
+//! owns them (plus the Prometheus text encoder).
+
+use parking_lot::RwLock;
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicI64, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+use crate::trace::TraceRing;
+
+/// Histogram bucket upper bounds in nanoseconds: a {1, 2, 5} ladder per
+/// decade from 1 µs to 100 s. Values above the last bound fall into an
+/// implicit overflow bucket whose effective upper bound is the observed
+/// maximum.
+pub const BUCKET_BOUNDS_NS: [u64; 25] = [
+    1_000,
+    2_000,
+    5_000,
+    10_000,
+    20_000,
+    50_000,
+    100_000,
+    200_000,
+    500_000,
+    1_000_000,
+    2_000_000,
+    5_000_000,
+    10_000_000,
+    20_000_000,
+    50_000_000,
+    100_000_000,
+    200_000_000,
+    500_000_000,
+    1_000_000_000,
+    2_000_000_000,
+    5_000_000_000,
+    10_000_000_000,
+    20_000_000_000,
+    50_000_000_000,
+    100_000_000_000,
+];
+
+/// Monotonic counter. Increment-only; wrap-around is not a concern at
+/// `u64` scale.
+#[derive(Debug, Default)]
+pub struct Counter {
+    value: AtomicU64,
+}
+
+impl Counter {
+    /// Add one.
+    pub fn inc(&self) {
+        self.value.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Add `n`.
+    pub fn inc_by(&self, n: u64) {
+        self.value.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Current total.
+    pub fn get(&self) -> u64 {
+        self.value.load(Ordering::Relaxed)
+    }
+}
+
+/// Instantaneous level (may go up and down).
+#[derive(Debug, Default)]
+pub struct Gauge {
+    value: AtomicI64,
+}
+
+impl Gauge {
+    /// Overwrite the level.
+    pub fn set(&self, v: i64) {
+        self.value.store(v, Ordering::Relaxed);
+    }
+
+    /// Add `n` (use a negative `n` to subtract).
+    pub fn add(&self, n: i64) {
+        self.value.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Current level.
+    pub fn get(&self) -> i64 {
+        self.value.load(Ordering::Relaxed)
+    }
+}
+
+/// Fixed-bucket latency histogram over nanosecond samples.
+///
+/// Recording is lock-free: one `fetch_add` on the containing bucket plus
+/// count/sum, and `fetch_min`/`fetch_max` for the extremes — concurrent
+/// recorders never lose samples. `count` and `sum` are exact; quantiles
+/// are estimated from the bucket layout (see
+/// [`HistogramSnapshot::quantile_ns`]).
+#[derive(Debug)]
+pub struct Histogram {
+    // One slot per bound plus the overflow bucket.
+    buckets: Vec<AtomicU64>,
+    count: AtomicU64,
+    sum_ns: AtomicU64,
+    min_ns: AtomicU64,
+    max_ns: AtomicU64,
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Histogram {
+            buckets: (0..=BUCKET_BOUNDS_NS.len()).map(|_| AtomicU64::new(0)).collect(),
+            count: AtomicU64::new(0),
+            sum_ns: AtomicU64::new(0),
+            min_ns: AtomicU64::new(u64::MAX),
+            max_ns: AtomicU64::new(0),
+        }
+    }
+}
+
+impl Histogram {
+    /// Record a raw nanosecond sample.
+    pub fn record_ns(&self, ns: u64) {
+        let idx = BUCKET_BOUNDS_NS.partition_point(|&bound| bound < ns);
+        self.buckets[idx].fetch_add(1, Ordering::Relaxed);
+        self.count.fetch_add(1, Ordering::Relaxed);
+        self.sum_ns.fetch_add(ns, Ordering::Relaxed);
+        self.min_ns.fetch_min(ns, Ordering::Relaxed);
+        self.max_ns.fetch_max(ns, Ordering::Relaxed);
+    }
+
+    /// Record a duration.
+    pub fn record(&self, d: Duration) {
+        self.record_ns(u64::try_from(d.as_nanos()).unwrap_or(u64::MAX));
+    }
+
+    /// Record a duration expressed in seconds (negative values clamp to 0).
+    pub fn record_seconds(&self, secs: f64) {
+        self.record_ns((secs.max(0.0) * 1e9) as u64);
+    }
+
+    /// Point-in-time copy of all bucket state.
+    pub fn snapshot(&self) -> HistogramSnapshot {
+        HistogramSnapshot {
+            counts: self.buckets.iter().map(|b| b.load(Ordering::Relaxed)).collect(),
+            count: self.count.load(Ordering::Relaxed),
+            sum_ns: self.sum_ns.load(Ordering::Relaxed),
+            min_ns: self.min_ns.load(Ordering::Relaxed),
+            max_ns: self.max_ns.load(Ordering::Relaxed),
+        }
+    }
+}
+
+/// Immutable copy of a [`Histogram`]'s state, with quantile estimation.
+#[derive(Debug, Clone, PartialEq)]
+pub struct HistogramSnapshot {
+    /// Per-bucket sample counts; the final slot is the overflow bucket.
+    pub counts: Vec<u64>,
+    /// Exact number of recorded samples.
+    pub count: u64,
+    /// Exact sum of all samples, nanoseconds.
+    pub sum_ns: u64,
+    /// Smallest sample (`u64::MAX` when empty).
+    pub min_ns: u64,
+    /// Largest sample (0 when empty).
+    pub max_ns: u64,
+}
+
+impl HistogramSnapshot {
+    /// Estimate the `q`-quantile (`0.0 < q <= 1.0`) in nanoseconds, or
+    /// `None` when no samples have been recorded.
+    ///
+    /// Walks buckets to the one containing the rank `ceil(q * count)`
+    /// sample, then interpolates linearly inside it. The estimate is
+    /// guaranteed to lie within the containing bucket's `(lower, upper]`
+    /// bounds; for the overflow bucket the upper bound is the observed
+    /// maximum.
+    pub fn quantile_ns(&self, q: f64) -> Option<f64> {
+        if self.count == 0 {
+            return None;
+        }
+        let rank = ((q * self.count as f64).ceil() as u64).clamp(1, self.count);
+        let mut seen = 0u64;
+        for (i, &n) in self.counts.iter().enumerate() {
+            if n == 0 {
+                continue;
+            }
+            if seen + n >= rank {
+                let lower = if i == 0 { 0 } else { BUCKET_BOUNDS_NS[i - 1] };
+                let upper = if i < BUCKET_BOUNDS_NS.len() {
+                    BUCKET_BOUNDS_NS[i]
+                } else {
+                    // Overflow bucket: the observed max bounds it.
+                    self.max_ns.max(lower + 1)
+                };
+                let frac = (rank - seen) as f64 / n as f64;
+                return Some(lower as f64 + (upper - lower) as f64 * frac);
+            }
+            seen += n;
+        }
+        // count > 0 guarantees the walk finds a bucket; keep a total
+        // fallback rather than panicking inside instrumentation.
+        Some(self.max_ns as f64)
+    }
+
+    /// Estimate the `q`-quantile in seconds.
+    pub fn quantile_seconds(&self, q: f64) -> Option<f64> {
+        self.quantile_ns(q).map(|ns| ns / 1e9)
+    }
+
+    /// Mean sample in seconds (`None` when empty).
+    pub fn mean_seconds(&self) -> Option<f64> {
+        if self.count == 0 {
+            None
+        } else {
+            Some(self.sum_ns as f64 / self.count as f64 / 1e9)
+        }
+    }
+}
+
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord)]
+struct MetricKey {
+    name: String,
+    labels: Vec<(String, String)>,
+}
+
+impl MetricKey {
+    fn new(name: &str, labels: &[(&str, &str)]) -> MetricKey {
+        MetricKey {
+            name: name.to_string(),
+            labels: labels.iter().map(|(k, v)| (k.to_string(), v.to_string())).collect(),
+        }
+    }
+
+    fn render_labels(&self) -> String {
+        if self.labels.is_empty() {
+            return String::new();
+        }
+        let inner: Vec<String> = self
+            .labels
+            .iter()
+            .map(|(k, v)| format!("{k}=\"{}\"", escape_label(v)))
+            .collect();
+        format!("{{{}}}", inner.join(","))
+    }
+}
+
+fn escape_label(v: &str) -> String {
+    v.replace('\\', "\\\\").replace('"', "\\\"").replace('\n', "\\n")
+}
+
+/// Owns every metric and the span trace ring. Cheap to share via `Arc`;
+/// registration takes a write lock once per distinct (name, labels) pair,
+/// after which callers hold `Arc`s to the hot atomics directly.
+#[derive(Debug)]
+pub struct Registry {
+    counters: RwLock<BTreeMap<MetricKey, Arc<Counter>>>,
+    gauges: RwLock<BTreeMap<MetricKey, Arc<Gauge>>>,
+    histograms: RwLock<BTreeMap<MetricKey, Arc<Histogram>>>,
+    pub(crate) ring: TraceRing,
+}
+
+impl Default for Registry {
+    fn default() -> Self {
+        Registry::new()
+    }
+}
+
+impl Registry {
+    /// Fresh, empty registry (tests; production uses [`crate::global`]).
+    pub fn new() -> Registry {
+        Registry {
+            counters: RwLock::new(BTreeMap::new()),
+            gauges: RwLock::new(BTreeMap::new()),
+            histograms: RwLock::new(BTreeMap::new()),
+            ring: TraceRing::new(),
+        }
+    }
+
+    /// Get-or-create the counter for `(name, labels)`.
+    pub fn counter(&self, name: &str, labels: &[(&str, &str)]) -> Arc<Counter> {
+        let key = MetricKey::new(name, labels);
+        if let Some(c) = self.counters.read().get(&key) {
+            return Arc::clone(c);
+        }
+        Arc::clone(self.counters.write().entry(key).or_default())
+    }
+
+    /// Get-or-create the gauge for `(name, labels)`.
+    pub fn gauge(&self, name: &str, labels: &[(&str, &str)]) -> Arc<Gauge> {
+        let key = MetricKey::new(name, labels);
+        if let Some(g) = self.gauges.read().get(&key) {
+            return Arc::clone(g);
+        }
+        Arc::clone(self.gauges.write().entry(key).or_default())
+    }
+
+    /// Get-or-create the histogram for `(name, labels)`.
+    pub fn histogram(&self, name: &str, labels: &[(&str, &str)]) -> Arc<Histogram> {
+        let key = MetricKey::new(name, labels);
+        if let Some(h) = self.histograms.read().get(&key) {
+            return Arc::clone(h);
+        }
+        Arc::clone(self.histograms.write().entry(key).or_default())
+    }
+
+    /// Render every metric in Prometheus text exposition format.
+    ///
+    /// Histograms record nanoseconds internally but are exported in
+    /// seconds (bucket `le` bounds included), matching the `_seconds`
+    /// suffix convention.
+    pub fn render_prometheus(&self) -> String {
+        let mut out = String::new();
+        let mut last_name = String::new();
+
+        for (key, counter) in self.counters.read().iter() {
+            if key.name != last_name {
+                out.push_str(&format!("# TYPE {} counter\n", key.name));
+                last_name.clone_from(&key.name);
+            }
+            out.push_str(&format!("{}{} {}\n", key.name, key.render_labels(), counter.get()));
+        }
+        last_name.clear();
+        for (key, gauge) in self.gauges.read().iter() {
+            if key.name != last_name {
+                out.push_str(&format!("# TYPE {} gauge\n", key.name));
+                last_name.clone_from(&key.name);
+            }
+            out.push_str(&format!("{}{} {}\n", key.name, key.render_labels(), gauge.get()));
+        }
+        last_name.clear();
+        for (key, hist) in self.histograms.read().iter() {
+            if key.name != last_name {
+                out.push_str(&format!("# TYPE {} histogram\n", key.name));
+                last_name.clone_from(&key.name);
+            }
+            let snap = hist.snapshot();
+            let mut cumulative = 0u64;
+            for (i, &bucket_count) in snap.counts.iter().enumerate() {
+                cumulative += bucket_count;
+                let le = if i < BUCKET_BOUNDS_NS.len() {
+                    format!("{}", BUCKET_BOUNDS_NS[i] as f64 / 1e9)
+                } else {
+                    "+Inf".to_string()
+                };
+                let mut labels = key.labels.clone();
+                labels.push(("le".to_string(), le));
+                let rendered = MetricKey { name: String::new(), labels }.render_labels();
+                out.push_str(&format!("{}_bucket{} {}\n", key.name, rendered, cumulative));
+            }
+            out.push_str(&format!(
+                "{}_sum{} {}\n",
+                key.name,
+                key.render_labels(),
+                snap.sum_ns as f64 / 1e9
+            ));
+            out.push_str(&format!("{}_count{} {}\n", key.name, key.render_labels(), snap.count));
+        }
+        out
+    }
+
+    /// `(labels, value)` for every counter sharing `name` (label order as
+    /// registered). Lets callers fold a labeled counter family into a
+    /// snapshot without knowing the label values up front.
+    pub fn counters_by_name(&self, name: &str) -> Vec<(Vec<(String, String)>, u64)> {
+        self.counters
+            .read()
+            .iter()
+            .filter(|(key, _)| key.name == name)
+            .map(|(key, counter)| (key.labels.clone(), counter.get()))
+            .collect()
+    }
+
+    /// Snapshots of every histogram sharing `name`, keyed by the value of
+    /// `label` (e.g. all `codes_stage_duration_seconds` broken out by
+    /// `stage`). Missing label values key under `""`.
+    pub fn histograms_by_label(&self, name: &str, label: &str) -> Vec<(String, HistogramSnapshot)> {
+        self.histograms
+            .read()
+            .iter()
+            .filter(|(key, _)| key.name == name)
+            .map(|(key, hist)| {
+                let value = key
+                    .labels
+                    .iter()
+                    .find(|(k, _)| k == label)
+                    .map(|(_, v)| v.clone())
+                    .unwrap_or_default();
+                (value, hist.snapshot())
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counter_and_gauge_roundtrip() {
+        let reg = Registry::new();
+        let c = reg.counter("codes_test_total", &[("kind", "a")]);
+        c.inc();
+        c.inc_by(4);
+        assert_eq!(c.get(), 5);
+        // Same key returns the same underlying counter.
+        assert_eq!(reg.counter("codes_test_total", &[("kind", "a")]).get(), 5);
+        // Different labels are a different series.
+        assert_eq!(reg.counter("codes_test_total", &[("kind", "b")]).get(), 0);
+
+        let g = reg.gauge("codes_test_level", &[]);
+        g.set(7);
+        g.add(-3);
+        assert_eq!(g.get(), 4);
+    }
+
+    #[test]
+    fn histogram_exact_count_sum_and_extremes() {
+        let h = Histogram::default();
+        for ns in [500, 1_000, 1_500, 3_000_000, 250_000_000_000] {
+            h.record_ns(ns);
+        }
+        let snap = h.snapshot();
+        assert_eq!(snap.count, 5);
+        assert_eq!(snap.sum_ns, 500 + 1_000 + 1_500 + 3_000_000 + 250_000_000_000);
+        assert_eq!(snap.min_ns, 500);
+        assert_eq!(snap.max_ns, 250_000_000_000);
+        // 500 and 1000 both land in the first bucket (bound inclusive).
+        assert_eq!(snap.counts[0], 2);
+        // 250s exceeds every bound: overflow bucket.
+        assert_eq!(snap.counts[BUCKET_BOUNDS_NS.len()], 1);
+    }
+
+    #[test]
+    fn quantiles_fall_inside_containing_bucket() {
+        let h = Histogram::default();
+        // 90 fast samples (~10µs bucket), 10 slow (~1s bucket).
+        for _ in 0..90 {
+            h.record_ns(9_000);
+        }
+        for _ in 0..10 {
+            h.record_ns(900_000_000);
+        }
+        let snap = h.snapshot();
+        let p50 = snap.quantile_ns(0.50).expect("non-empty");
+        let p95 = snap.quantile_ns(0.95).expect("non-empty");
+        assert!(p50 > 5_000.0 && p50 <= 10_000.0, "p50 = {p50}");
+        assert!(p95 > 500_000_000.0 && p95 <= 1_000_000_000.0, "p95 = {p95}");
+        assert_eq!(snap.quantile_ns(0.5).is_some(), true);
+        assert!(Histogram::default().snapshot().quantile_ns(0.5).is_none());
+    }
+
+    #[test]
+    fn overflow_quantile_bounded_by_observed_max() {
+        let h = Histogram::default();
+        h.record_ns(150_000_000_000);
+        h.record_ns(400_000_000_000);
+        let snap = h.snapshot();
+        let p99 = snap.quantile_ns(0.99).expect("non-empty");
+        assert!(p99 > 100_000_000_000.0 && p99 <= 400_000_000_000.0, "p99 = {p99}");
+    }
+
+    #[test]
+    fn prometheus_rendering_shape() {
+        let reg = Registry::new();
+        reg.counter("codes_requests_total", &[("outcome", "ok")]).inc_by(3);
+        reg.gauge("codes_in_flight", &[]).set(2);
+        reg.histogram("codes_latency_seconds", &[("stage", "generation")])
+            .record(Duration::from_millis(3));
+        let text = reg.render_prometheus();
+        assert!(text.contains("# TYPE codes_requests_total counter"), "{text}");
+        assert!(text.contains("codes_requests_total{outcome=\"ok\"} 3"), "{text}");
+        assert!(text.contains("# TYPE codes_in_flight gauge"), "{text}");
+        assert!(text.contains("codes_in_flight 2"), "{text}");
+        assert!(text.contains("# TYPE codes_latency_seconds histogram"), "{text}");
+        assert!(
+            text.contains("codes_latency_seconds_bucket{stage=\"generation\",le=\"+Inf\"} 1"),
+            "{text}"
+        );
+        assert!(text.contains("codes_latency_seconds_count{stage=\"generation\"} 1"), "{text}");
+        // 3ms lands at the 5ms bound.
+        assert!(
+            text.contains("codes_latency_seconds_bucket{stage=\"generation\",le=\"0.005\"} 1"),
+            "{text}"
+        );
+    }
+
+    #[test]
+    fn label_values_are_escaped() {
+        let reg = Registry::new();
+        reg.counter("codes_weird_total", &[("db", "a\"b\\c")]).inc();
+        let text = reg.render_prometheus();
+        assert!(text.contains("codes_weird_total{db=\"a\\\"b\\\\c\"} 1"), "{text}");
+    }
+}

@@ -1,0 +1,185 @@
+//! Canonical names for the six Algorithm-1 pipeline stages and the
+//! [`StageTimings`] record that carries one wall-clock figure per stage
+//! through inference results, serve replies, and eval journals.
+
+use serde::{Json, Serialize};
+
+/// Schema filter: rank and prune tables/columns for the question (§5.1).
+pub const STAGE_SCHEMA_FILTER: &str = "schema_filter";
+/// Value retrieval: match question spans against database cell values.
+pub const STAGE_VALUE_RETRIEVAL: &str = "value_retrieval";
+/// Metadata collection: column types, comments, representative values.
+pub const STAGE_METADATA: &str = "metadata";
+/// Prompt build: assemble the Figure-4 prompt text within budget.
+pub const STAGE_PROMPT_BUILD: &str = "prompt_build";
+/// Generation: beam (or degraded greedy) SQL decoding.
+pub const STAGE_GENERATION: &str = "generation";
+/// Execution-guided selection: run beam candidates, keep the first that
+/// executes (§6).
+pub const STAGE_EXECUTION_SELECTION: &str = "execution_selection";
+
+/// The six stages of Algorithm 1, in pipeline order.
+pub const PIPELINE_STAGES: [&str; 6] = [
+    STAGE_SCHEMA_FILTER,
+    STAGE_VALUE_RETRIEVAL,
+    STAGE_METADATA,
+    STAGE_PROMPT_BUILD,
+    STAGE_GENERATION,
+    STAGE_EXECUTION_SELECTION,
+];
+
+/// Wall-clock seconds spent in each pipeline stage for one inference
+/// (or, averaged, for a whole evaluation run).
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct StageTimings {
+    /// Seconds in [`STAGE_SCHEMA_FILTER`].
+    pub schema_filter: f64,
+    /// Seconds in [`STAGE_VALUE_RETRIEVAL`].
+    pub value_retrieval: f64,
+    /// Seconds in [`STAGE_METADATA`].
+    pub metadata: f64,
+    /// Seconds in [`STAGE_PROMPT_BUILD`].
+    pub prompt_build: f64,
+    /// Seconds in [`STAGE_GENERATION`].
+    pub generation: f64,
+    /// Seconds in [`STAGE_EXECUTION_SELECTION`].
+    pub execution_selection: f64,
+}
+
+impl StageTimings {
+    /// All-zero timings.
+    pub fn zero() -> StageTimings {
+        StageTimings::default()
+    }
+
+    /// Seconds for `stage` (0.0 for unknown names).
+    pub fn get(&self, stage: &str) -> f64 {
+        match stage {
+            STAGE_SCHEMA_FILTER => self.schema_filter,
+            STAGE_VALUE_RETRIEVAL => self.value_retrieval,
+            STAGE_METADATA => self.metadata,
+            STAGE_PROMPT_BUILD => self.prompt_build,
+            STAGE_GENERATION => self.generation,
+            STAGE_EXECUTION_SELECTION => self.execution_selection,
+            _ => 0.0,
+        }
+    }
+
+    /// Set the seconds for `stage` (no-op for unknown names).
+    pub fn set(&mut self, stage: &str, seconds: f64) {
+        match stage {
+            STAGE_SCHEMA_FILTER => self.schema_filter = seconds,
+            STAGE_VALUE_RETRIEVAL => self.value_retrieval = seconds,
+            STAGE_METADATA => self.metadata = seconds,
+            STAGE_PROMPT_BUILD => self.prompt_build = seconds,
+            STAGE_GENERATION => self.generation = seconds,
+            STAGE_EXECUTION_SELECTION => self.execution_selection = seconds,
+            _ => {}
+        }
+    }
+
+    /// `(stage name, seconds)` pairs in pipeline order.
+    pub fn entries(&self) -> [(&'static str, f64); 6] {
+        [
+            (STAGE_SCHEMA_FILTER, self.schema_filter),
+            (STAGE_VALUE_RETRIEVAL, self.value_retrieval),
+            (STAGE_METADATA, self.metadata),
+            (STAGE_PROMPT_BUILD, self.prompt_build),
+            (STAGE_GENERATION, self.generation),
+            (STAGE_EXECUTION_SELECTION, self.execution_selection),
+        ]
+    }
+
+    /// Sum across all stages.
+    pub fn total(&self) -> f64 {
+        self.entries().iter().map(|(_, s)| s).sum()
+    }
+
+    /// Element-wise accumulation (building run averages).
+    pub fn accumulate(&mut self, other: &StageTimings) {
+        for (stage, seconds) in other.entries() {
+            self.set(stage, self.get(stage) + seconds);
+        }
+    }
+
+    /// Element-wise scaling (divide an accumulated total by `n`).
+    pub fn scaled(&self, factor: f64) -> StageTimings {
+        let mut out = StageTimings::zero();
+        for (stage, seconds) in self.entries() {
+            out.set(stage, seconds * factor);
+        }
+        out
+    }
+
+    /// Parse from a JSON object of `stage name -> seconds`. Missing or
+    /// malformed fields read as 0.0, so journals written before stage
+    /// timings existed still load.
+    pub fn from_json(value: &Json) -> StageTimings {
+        let mut out = StageTimings::zero();
+        for stage in PIPELINE_STAGES {
+            if let Some(seconds) = value.get(stage).and_then(|v| v.as_f64()) {
+                out.set(stage, seconds);
+            }
+        }
+        out
+    }
+}
+
+impl Serialize for StageTimings {
+    fn to_json(&self) -> Json {
+        Json::Obj(
+            self.entries()
+                .iter()
+                .map(|(stage, seconds)| (stage.to_string(), Json::Num(*seconds)))
+                .collect(),
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn get_set_entries_roundtrip() {
+        let mut t = StageTimings::zero();
+        for (i, stage) in PIPELINE_STAGES.iter().enumerate() {
+            t.set(stage, (i + 1) as f64);
+        }
+        for (i, stage) in PIPELINE_STAGES.iter().enumerate() {
+            assert_eq!(t.get(stage), (i + 1) as f64);
+        }
+        assert_eq!(t.total(), 21.0);
+        t.set("not_a_stage", 99.0);
+        assert_eq!(t.total(), 21.0);
+        assert_eq!(t.get("not_a_stage"), 0.0);
+    }
+
+    #[test]
+    fn accumulate_and_scale() {
+        let mut sum = StageTimings::zero();
+        let mut one = StageTimings::zero();
+        one.generation = 2.0;
+        one.schema_filter = 1.0;
+        sum.accumulate(&one);
+        sum.accumulate(&one);
+        let avg = sum.scaled(0.5);
+        assert_eq!(avg.generation, 2.0);
+        assert_eq!(avg.schema_filter, 1.0);
+        assert_eq!(avg.metadata, 0.0);
+    }
+
+    #[test]
+    fn json_roundtrip_and_tolerant_parse() {
+        let mut t = StageTimings::zero();
+        t.prompt_build = 0.25;
+        t.execution_selection = 1.5;
+        let text = serde_json::to_string(&t).expect("render");
+        let back = StageTimings::from_json(&serde_json::from_str(&text).expect("parse"));
+        assert_eq!(back, t);
+        // Old journals have no stage object at all: everything reads 0.
+        let empty = StageTimings::from_json(&Json::Obj(vec![]));
+        assert_eq!(empty, StageTimings::zero());
+        assert_eq!(StageTimings::from_json(&Json::Null), StageTimings::zero());
+    }
+}

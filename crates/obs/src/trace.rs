@@ -1,0 +1,265 @@
+//! Lightweight span tracing: RAII wall-clock guards per pipeline stage,
+//! parent/child nesting via a thread-local span stack, and a bounded
+//! in-memory ring of finished spans exportable as JSON.
+
+use serde::Json;
+use std::cell::RefCell;
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use crate::metrics::Registry;
+use parking_lot::Mutex;
+
+/// Histogram every finished span feeds, labeled by stage.
+pub const STAGE_HISTOGRAM: &str = "codes_stage_duration_seconds";
+
+/// Finished spans kept in memory before the oldest are evicted.
+pub const TRACE_RING_CAPACITY: usize = 4096;
+
+/// One finished span: which stage ran, when (relative to the registry's
+/// creation), for how long, and under which parent span.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SpanRecord {
+    /// Unique id within the owning registry (1-based, allocation order).
+    pub id: u64,
+    /// Enclosing span's id, if this span was entered inside another.
+    pub parent: Option<u64>,
+    /// Stage name (one of [`crate::PIPELINE_STAGES`] for pipeline spans).
+    pub stage: &'static str,
+    /// Start offset from registry creation, nanoseconds.
+    pub start_ns: u64,
+    /// Wall-clock duration, nanoseconds.
+    pub duration_ns: u64,
+}
+
+/// Bounded ring of finished spans plus the id allocator and time origin.
+#[derive(Debug)]
+pub struct TraceRing {
+    epoch: Instant,
+    next_id: AtomicU64,
+    ring: Mutex<VecDeque<SpanRecord>>,
+}
+
+impl TraceRing {
+    pub(crate) fn new() -> TraceRing {
+        TraceRing {
+            epoch: Instant::now(),
+            next_id: AtomicU64::new(1),
+            ring: Mutex::new(VecDeque::new()),
+        }
+    }
+
+    fn push(&self, record: SpanRecord) {
+        let mut ring = self.ring.lock();
+        if ring.len() == TRACE_RING_CAPACITY {
+            ring.pop_front();
+        }
+        ring.push_back(record);
+    }
+}
+
+thread_local! {
+    // Ids of the spans currently open on this thread, innermost last.
+    static SPAN_STACK: RefCell<Vec<u64>> = const { RefCell::new(Vec::new()) };
+}
+
+/// RAII wall-clock guard for one pipeline stage.
+///
+/// [`Span::enter`] starts the clock; dropping the guard (or calling
+/// [`Span::finish`] to also read the duration) stops it, records the
+/// duration into the registry's per-stage histogram, and appends a
+/// [`SpanRecord`] to the trace ring. Spans entered while another span is
+/// open on the same thread record it as their parent.
+#[derive(Debug)]
+pub struct Span {
+    registry: Arc<Registry>,
+    stage: &'static str,
+    start: Instant,
+    id: u64,
+    parent: Option<u64>,
+    finished: bool,
+}
+
+impl Span {
+    /// Enter a span on the global registry.
+    pub fn enter(stage: &'static str) -> Span {
+        Span::enter_in(&crate::global(), stage)
+    }
+
+    /// Enter a span on a specific registry (tests use private registries).
+    pub fn enter_in(registry: &Arc<Registry>, stage: &'static str) -> Span {
+        let id = registry.ring.next_id.fetch_add(1, Ordering::Relaxed);
+        let parent = SPAN_STACK.with(|stack| {
+            let mut stack = stack.borrow_mut();
+            let parent = stack.last().copied();
+            stack.push(id);
+            parent
+        });
+        Span {
+            registry: Arc::clone(registry),
+            stage,
+            start: Instant::now(),
+            id,
+            parent,
+            finished: false,
+        }
+    }
+
+    /// Stop the clock now and return the measured duration.
+    pub fn finish(mut self) -> Duration {
+        self.complete()
+    }
+
+    fn complete(&mut self) -> Duration {
+        let elapsed = self.start.elapsed();
+        if self.finished {
+            return elapsed;
+        }
+        self.finished = true;
+        SPAN_STACK.with(|stack| {
+            let mut stack = stack.borrow_mut();
+            // Spans are RAII guards, so the innermost entry is ours; be
+            // tolerant of out-of-order drops rather than panicking.
+            if stack.last() == Some(&self.id) {
+                stack.pop();
+            } else if let Some(pos) = stack.iter().position(|&id| id == self.id) {
+                stack.remove(pos);
+            }
+        });
+        let duration_ns = u64::try_from(elapsed.as_nanos()).unwrap_or(u64::MAX);
+        let start_ns = u64::try_from(
+            self.start.saturating_duration_since(self.registry.ring.epoch).as_nanos(),
+        )
+        .unwrap_or(u64::MAX);
+        self.registry
+            .histogram(STAGE_HISTOGRAM, &[("stage", self.stage)])
+            .record_ns(duration_ns);
+        self.registry.ring.push(SpanRecord {
+            id: self.id,
+            parent: self.parent,
+            stage: self.stage,
+            start_ns,
+            duration_ns,
+        });
+        elapsed
+    }
+}
+
+impl Drop for Span {
+    fn drop(&mut self) {
+        self.complete();
+    }
+}
+
+impl Registry {
+    /// Copy of the trace ring, oldest span first.
+    pub fn trace_records(&self) -> Vec<SpanRecord> {
+        self.ring.ring.lock().iter().cloned().collect()
+    }
+
+    /// Export the trace ring as a JSON array (oldest first).
+    pub fn trace_dump(&self) -> String {
+        let spans: Vec<Json> = self
+            .trace_records()
+            .into_iter()
+            .map(|r| {
+                Json::Obj(vec![
+                    ("id".to_string(), Json::Int(r.id as i64)),
+                    (
+                        "parent".to_string(),
+                        r.parent.map_or(Json::Null, |p| Json::Int(p as i64)),
+                    ),
+                    ("stage".to_string(), Json::Str(r.stage.to_string())),
+                    ("start_ns".to_string(), Json::Int(r.start_ns.min(i64::MAX as u64) as i64)),
+                    (
+                        "duration_ns".to_string(),
+                        Json::Int(r.duration_ns.min(i64::MAX as u64) as i64),
+                    ),
+                ])
+            })
+            .collect();
+        serde_json::to_string(&Json::Arr(spans)).unwrap_or_else(|_| "[]".to_string())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn span_records_duration_and_histogram() {
+        let reg = Arc::new(Registry::new());
+        let span = Span::enter_in(&reg, "generation");
+        std::thread::sleep(Duration::from_millis(2));
+        let took = span.finish();
+        assert!(took >= Duration::from_millis(2));
+
+        let records = reg.trace_records();
+        assert_eq!(records.len(), 1);
+        assert_eq!(records[0].stage, "generation");
+        assert!(records[0].duration_ns >= 2_000_000);
+        assert_eq!(records[0].parent, None);
+
+        let snaps = reg.histograms_by_label(STAGE_HISTOGRAM, "stage");
+        assert_eq!(snaps.len(), 1);
+        assert_eq!(snaps[0].0, "generation");
+        assert_eq!(snaps[0].1.count, 1);
+    }
+
+    #[test]
+    fn nested_spans_record_parent_child_edges() {
+        let reg = Arc::new(Registry::new());
+        {
+            let _outer = Span::enter_in(&reg, "pipeline");
+            {
+                let _inner = Span::enter_in(&reg, "schema_filter");
+            }
+            {
+                let _inner = Span::enter_in(&reg, "generation");
+            }
+        }
+        let records = reg.trace_records();
+        // Children finish (and land in the ring) before the parent.
+        assert_eq!(records.len(), 3);
+        let outer = records.iter().find(|r| r.stage == "pipeline").expect("outer span");
+        for child in ["schema_filter", "generation"] {
+            let r = records.iter().find(|r| r.stage == child).expect("child span");
+            assert_eq!(r.parent, Some(outer.id), "{child} should nest under pipeline");
+        }
+        assert_eq!(outer.parent, None);
+    }
+
+    #[test]
+    fn trace_ring_is_bounded() {
+        let reg = Arc::new(Registry::new());
+        for _ in 0..(TRACE_RING_CAPACITY + 10) {
+            let _span = Span::enter_in(&reg, "tick");
+        }
+        let records = reg.trace_records();
+        assert_eq!(records.len(), TRACE_RING_CAPACITY);
+        // Oldest evicted: the first surviving id is 11.
+        assert_eq!(records[0].id, 11);
+    }
+
+    #[test]
+    fn trace_dump_is_valid_json() {
+        let reg = Arc::new(Registry::new());
+        {
+            let _outer = Span::enter_in(&reg, "pipeline");
+            let _inner = Span::enter_in(&reg, "metadata");
+        }
+        let dump = reg.trace_dump();
+        let parsed = serde_json::from_str(&dump).expect("trace dump parses");
+        match parsed {
+            Json::Arr(items) => {
+                assert_eq!(items.len(), 2);
+                let stages: Vec<&str> =
+                    items.iter().filter_map(|i| i.get("stage").and_then(|s| s.as_str())).collect();
+                assert!(stages.contains(&"pipeline") && stages.contains(&"metadata"), "{dump}");
+            }
+            other => panic!("expected array, got {other:?}"),
+        }
+    }
+}

@@ -1,0 +1,100 @@
+//! Property tests for histogram correctness: exact count/sum bookkeeping
+//! for arbitrary sample sets, quantile estimates pinned inside the
+//! containing bucket, and lossless concurrent recording.
+
+use proptest::prelude::*;
+use std::sync::Arc;
+
+use codes_obs::{Histogram, BUCKET_BOUNDS_NS};
+
+/// The bucket index `record_ns` files a sample under (reference model).
+fn expected_bucket(ns: u64) -> usize {
+    BUCKET_BOUNDS_NS.iter().position(|&bound| ns <= bound).unwrap_or(BUCKET_BOUNDS_NS.len())
+}
+
+/// `(lower, upper]` bounds of the bucket containing the rank-`r` sample
+/// of `sorted`, with the overflow bucket capped by the observed maximum.
+fn containing_bucket_bounds(sorted: &[u64], rank: usize) -> (f64, f64) {
+    let sample = sorted[rank - 1];
+    let idx = expected_bucket(sample);
+    let lower = if idx == 0 { 0 } else { BUCKET_BOUNDS_NS[idx - 1] };
+    let upper = if idx < BUCKET_BOUNDS_NS.len() {
+        BUCKET_BOUNDS_NS[idx]
+    } else {
+        (*sorted.last().expect("non-empty")).max(lower + 1)
+    };
+    (lower as f64, upper as f64)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn count_and_sum_are_exact(samples in prop::collection::vec(0u64..200_000_000_000, 1..200)) {
+        let h = Histogram::default();
+        for &ns in &samples {
+            h.record_ns(ns);
+        }
+        let snap = h.snapshot();
+        prop_assert_eq!(snap.count, samples.len() as u64);
+        prop_assert_eq!(snap.sum_ns, samples.iter().sum::<u64>());
+        prop_assert_eq!(snap.min_ns, *samples.iter().min().expect("non-empty"));
+        prop_assert_eq!(snap.max_ns, *samples.iter().max().expect("non-empty"));
+        // Every sample is filed under exactly one bucket.
+        prop_assert_eq!(snap.counts.iter().sum::<u64>(), samples.len() as u64);
+        for &ns in &samples {
+            prop_assert!(snap.counts[expected_bucket(ns)] > 0);
+        }
+    }
+
+    #[test]
+    fn quantile_estimates_stay_inside_containing_bucket(
+        samples in prop::collection::vec(0u64..200_000_000_000, 1..200)
+    ) {
+        let h = Histogram::default();
+        for &ns in &samples {
+            h.record_ns(ns);
+        }
+        let snap = h.snapshot();
+        let mut sorted = samples.clone();
+        sorted.sort_unstable();
+
+        for q in [0.50, 0.95, 0.99] {
+            let rank = ((q * sorted.len() as f64).ceil() as usize).clamp(1, sorted.len());
+            let (lower, upper) = containing_bucket_bounds(&sorted, rank);
+            let est = snap.quantile_ns(q).expect("non-empty histogram");
+            prop_assert!(
+                est > lower && est <= upper,
+                "q={} est={} not in ({}, {}] (rank {} of {:?})",
+                q, est, lower, upper, rank, sorted
+            );
+        }
+    }
+}
+
+#[test]
+fn concurrent_recording_from_8_threads_loses_no_samples() {
+    const THREADS: u64 = 8;
+    const PER_THREAD: u64 = 10_000;
+    let h = Arc::new(Histogram::default());
+    let handles: Vec<_> = (0..THREADS)
+        .map(|t| {
+            let h = Arc::clone(&h);
+            std::thread::spawn(move || {
+                for i in 0..PER_THREAD {
+                    // Spread samples across many buckets, deterministic per thread.
+                    h.record_ns((t * PER_THREAD + i) * 37_003 % 150_000_000_000);
+                }
+            })
+        })
+        .collect();
+    for handle in handles {
+        handle.join().expect("recorder thread never panics");
+    }
+    let snap = h.snapshot();
+    let expected_sum: u64 =
+        (0..THREADS * PER_THREAD).map(|i| i * 37_003 % 150_000_000_000).sum();
+    assert_eq!(snap.count, THREADS * PER_THREAD);
+    assert_eq!(snap.sum_ns, expected_sum);
+    assert_eq!(snap.counts.iter().sum::<u64>(), THREADS * PER_THREAD);
+}

@@ -39,11 +39,13 @@
 pub mod breaker;
 pub mod error;
 pub mod fault;
+pub mod metrics;
 pub mod pool;
 
 pub use breaker::{Admission, BreakerConfig, BreakerState, CircuitBreaker};
 pub use error::ServeError;
 pub use fault::{Fault, FaultPlan, FaultyBackend};
+pub use metrics::MetricsSnapshot;
 pub use pool::{
     Backend, BackendReply, HealthSnapshot, Pool, Request, ServeConfig, ServedInference,
     StatsSnapshot, SystemBackend, Ticket, WorkerHealth,

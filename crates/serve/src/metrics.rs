@@ -1,0 +1,149 @@
+//! Pool-level observability: the runtime counters/gauges/histograms the
+//! pool records into a [`codes_obs::Registry`], and the
+//! [`MetricsSnapshot`] merged into [`crate::HealthSnapshot`].
+
+use std::sync::Arc;
+
+use codes_obs::{Counter, Gauge, Histogram, HistogramSnapshot, Registry};
+
+use crate::breaker::BreakerState;
+
+/// Queue-wait histogram name.
+pub const QUEUE_WAIT: &str = "codes_serve_queue_wait_seconds";
+/// In-flight gauge name.
+pub const IN_FLIGHT: &str = "codes_serve_in_flight";
+/// Accepted-submission counter name.
+pub const SUBMITTED: &str = "codes_serve_submitted_total";
+/// Finished-request counter name (`outcome` label: completed / failed).
+pub const REQUESTS: &str = "codes_serve_requests_total";
+/// Shed counter name (`reason` label: overloaded / breaker / deadline).
+pub const SHED: &str = "codes_serve_shed_total";
+/// Worker-replacement counter name (`cause` label: panic / wedged).
+pub const WORKERS_REPLACED: &str = "codes_serve_workers_replaced_total";
+/// Breaker state-transition counter name (`from` / `to` labels).
+pub const BREAKER_TRANSITIONS: &str = "codes_serve_breaker_transitions_total";
+
+impl BreakerState {
+    /// Short state name for metric labels ("closed" / "open" /
+    /// "half_open").
+    pub fn kind(&self) -> &'static str {
+        match self {
+            BreakerState::Closed { .. } => "closed",
+            BreakerState::Open { .. } => "open",
+            BreakerState::HalfOpen { .. } => "half_open",
+        }
+    }
+}
+
+/// The pool's handles into its metrics registry. Registration happens
+/// once at pool start; the hot paths only touch atomics.
+pub(crate) struct ServeMetrics {
+    registry: Arc<Registry>,
+    pub(crate) queue_wait: Arc<Histogram>,
+    pub(crate) in_flight: Arc<Gauge>,
+    pub(crate) submitted: Arc<Counter>,
+    pub(crate) completed: Arc<Counter>,
+    pub(crate) failed: Arc<Counter>,
+    pub(crate) shed_overloaded: Arc<Counter>,
+    pub(crate) shed_breaker: Arc<Counter>,
+    pub(crate) shed_deadline: Arc<Counter>,
+    pub(crate) replaced_panic: Arc<Counter>,
+    pub(crate) replaced_wedged: Arc<Counter>,
+}
+
+impl ServeMetrics {
+    pub(crate) fn new(registry: Arc<Registry>) -> ServeMetrics {
+        ServeMetrics {
+            queue_wait: registry.histogram(QUEUE_WAIT, &[]),
+            in_flight: registry.gauge(IN_FLIGHT, &[]),
+            submitted: registry.counter(SUBMITTED, &[]),
+            completed: registry.counter(REQUESTS, &[("outcome", "completed")]),
+            failed: registry.counter(REQUESTS, &[("outcome", "failed")]),
+            shed_overloaded: registry.counter(SHED, &[("reason", "overloaded")]),
+            shed_breaker: registry.counter(SHED, &[("reason", "breaker")]),
+            shed_deadline: registry.counter(SHED, &[("reason", "deadline")]),
+            replaced_panic: registry.counter(WORKERS_REPLACED, &[("cause", "panic")]),
+            replaced_wedged: registry.counter(WORKERS_REPLACED, &[("cause", "wedged")]),
+            registry,
+        }
+    }
+
+    /// Count one breaker state transition (`from` ≠ `to`).
+    pub(crate) fn breaker_transition(&self, from: &'static str, to: &'static str) {
+        self.registry.counter(BREAKER_TRANSITIONS, &[("from", from), ("to", to)]).inc();
+    }
+
+    /// Point-in-time copy for health reporting.
+    pub(crate) fn snapshot(&self) -> MetricsSnapshot {
+        let breaker_transitions = self
+            .registry
+            .counters_by_name(BREAKER_TRANSITIONS)
+            .into_iter()
+            .map(|(labels, count)| {
+                let field = |key: &str| {
+                    labels
+                        .iter()
+                        .find(|(k, _)| k == key)
+                        .map(|(_, v)| v.clone())
+                        .unwrap_or_default()
+                };
+                (field("from"), field("to"), count)
+            })
+            .collect();
+        MetricsSnapshot {
+            queue_wait: self.queue_wait.snapshot(),
+            in_flight: self.in_flight.get(),
+            submitted: self.submitted.get(),
+            completed: self.completed.get(),
+            failed: self.failed.get(),
+            shed_overloaded: self.shed_overloaded.get(),
+            shed_breaker: self.shed_breaker.get(),
+            shed_deadline: self.shed_deadline.get(),
+            breaker_transitions,
+        }
+    }
+}
+
+/// Point-in-time copy of the pool's registry-backed metrics, merged into
+/// [`crate::HealthSnapshot`]. The counters mirror
+/// [`crate::StatsSnapshot`] (the two are recorded at the same call
+/// sites); the histogram, gauge, and breaker transition counts exist
+/// only here.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MetricsSnapshot {
+    /// Queue-wait latency distribution (every dequeued request records
+    /// one sample, including requests later shed on deadline/breaker).
+    pub queue_wait: HistogramSnapshot,
+    /// Requests currently running on workers.
+    pub in_flight: i64,
+    /// Requests accepted into the queue.
+    pub submitted: u64,
+    /// Requests that produced an inference.
+    pub completed: u64,
+    /// Requests that failed in the backend.
+    pub failed: u64,
+    /// Admission rejections: queue full.
+    pub shed_overloaded: u64,
+    /// Sheds after dequeue: circuit breaker open.
+    pub shed_breaker: u64,
+    /// Sheds after dequeue: deadline expired while queued.
+    pub shed_deadline: u64,
+    /// `(from, to, count)` per observed breaker state transition.
+    pub breaker_transitions: Vec<(String, String, u64)>,
+}
+
+impl MetricsSnapshot {
+    /// Transition count for one `(from, to)` edge (0 when never seen).
+    pub fn transitions(&self, from: &str, to: &str) -> u64 {
+        self.breaker_transitions
+            .iter()
+            .find(|(f, t, _)| f == from && t == to)
+            .map(|(_, _, c)| *c)
+            .unwrap_or(0)
+    }
+
+    /// Total transitions across all edges.
+    pub fn total_transitions(&self) -> u64 {
+        self.breaker_transitions.iter().map(|(_, _, c)| c).sum()
+    }
+}

@@ -30,6 +30,7 @@ use sqlengine::{with_retry_paced, Backoff, Database, Error};
 
 use crate::breaker::{Admission, BreakerConfig, BreakerState, CircuitBreaker};
 use crate::error::ServeError;
+use crate::metrics::{MetricsSnapshot, ServeMetrics};
 
 /// What the pool runs for each admitted request. Implemented by
 /// [`SystemBackend`] for real inference and by test/chaos backends
@@ -305,6 +306,9 @@ pub struct HealthSnapshot {
     pub breakers: Vec<(String, BreakerState)>,
     /// Lifetime counters.
     pub stats: StatsSnapshot,
+    /// Registry-backed metrics: queue-wait latency distribution,
+    /// in-flight gauge, shed counters, breaker transition counts.
+    pub metrics: MetricsSnapshot,
     /// True when the pool is accepting requests (not shutting down and the
     /// queue has headroom).
     pub ready: bool,
@@ -327,6 +331,7 @@ struct Inner {
     in_flight: Mutex<HashMap<usize, InFlight>>,
     slots: Vec<SlotState>,
     stats: Stats,
+    metrics: ServeMetrics,
     next_id: AtomicU64,
     shutdown: AtomicBool,
     epoch: Instant,
@@ -344,12 +349,26 @@ impl Inner {
         Duration::from_millis(now.saturating_sub(then))
     }
 
+    /// Single chokepoint for breaker access: every state transition an
+    /// operation causes is observed here and counted into the
+    /// `codes_serve_breaker_transitions_total{from,to}` family.
     fn with_breaker<R>(&self, db_id: &str, f: impl FnOnce(&mut CircuitBreaker) -> R) -> R {
         let mut map = self.breakers.lock();
         let breaker = map
             .entry(db_id.to_string())
             .or_insert_with(|| CircuitBreaker::new(self.config.breaker.clone()));
-        f(breaker)
+        let before = breaker.state().kind();
+        let result = f(breaker);
+        let after = breaker.state().kind();
+        if before != after {
+            self.metrics.breaker_transition(before, after);
+        }
+        result
+    }
+
+    /// Keep the in-flight gauge in lockstep with the in-flight map.
+    fn sync_in_flight_gauge(&self, map: &HashMap<usize, InFlight>) {
+        self.metrics.in_flight.set(map.len() as i64);
     }
 
     /// Run one dequeued job to a resolved outcome.
@@ -357,8 +376,12 @@ impl Inner {
         let now = Instant::now();
         let budget = job.request.deadline.unwrap_or(self.config.default_deadline);
         let queued = now.duration_since(job.submitted);
+        // Every dequeued request contributes a queue-wait sample — sheds
+        // included, since their wait is exactly what made them sheddable.
+        self.metrics.queue_wait.record(queued);
         if queued >= budget {
             self.stats.shed_deadline.fetch_add(1, Ordering::Relaxed);
+            self.metrics.shed_deadline.inc();
             job.reply.complete(Err(ServeError::DeadlineExceeded { queued, budget }));
             return;
         }
@@ -367,6 +390,7 @@ impl Inner {
         let admission = self.with_breaker(&db_id, |b| b.admit(now));
         if let Admission::Reject { retry_after } = admission {
             self.stats.shed_breaker.fetch_add(1, Ordering::Relaxed);
+            self.metrics.shed_breaker.inc();
             job.reply.complete(Err(ServeError::CircuitOpen { db_id, retry_after }));
             return;
         }
@@ -374,15 +398,19 @@ impl Inner {
         // Register before touching the backend: if this worker panics or
         // wedges in there, the supervisor finds the ticket here and
         // resolves it.
-        self.in_flight.lock().insert(
-            slot,
-            InFlight {
-                job_id: job.id,
-                db_id: db_id.clone(),
-                started: now,
-                reply: Arc::clone(&job.reply),
-            },
-        );
+        {
+            let mut in_flight = self.in_flight.lock();
+            in_flight.insert(
+                slot,
+                InFlight {
+                    job_id: job.id,
+                    db_id: db_id.clone(),
+                    started: now,
+                    reply: Arc::clone(&job.reply),
+                },
+            );
+            self.sync_in_flight_gauge(&in_flight);
+        }
 
         let config = self.config.base_config.clamped_to_deadline(budget - queued);
         // Decorrelate retry pacing across requests while keeping each
@@ -403,6 +431,7 @@ impl Inner {
             Ok(reply) => {
                 self.with_breaker(&db_id, |b| b.record_success());
                 self.stats.completed.fetch_add(1, Ordering::Relaxed);
+                self.metrics.completed.inc();
                 Ok(ServedInference {
                     request_id: job.id,
                     sql: reply.sql,
@@ -416,6 +445,7 @@ impl Inner {
             Err(e) => {
                 self.with_breaker(&db_id, |b| b.record_failure(Instant::now()));
                 self.stats.failed.fetch_add(1, Ordering::Relaxed);
+                self.metrics.failed.inc();
                 Err(ServeError::Inference(e))
             }
         };
@@ -427,6 +457,7 @@ impl Inner {
             if in_flight.get(&slot).is_some_and(|f| f.job_id == job.id) {
                 in_flight.remove(&slot);
             }
+            self.sync_in_flight_gauge(&in_flight);
         }
         job.reply.complete(outcome);
     }
@@ -499,11 +530,18 @@ fn supervisor_loop(inner: Arc<Inner>, mut workers: Vec<Option<JoinHandle<()>>>) 
                     }
                     Err(payload) => {
                         let msg = panic_message(payload);
-                        if let Some(orphan) = inner.in_flight.lock().remove(&slot) {
+                        let orphan = {
+                            let mut in_flight = inner.in_flight.lock();
+                            let orphan = in_flight.remove(&slot);
+                            inner.sync_in_flight_gauge(&in_flight);
+                            orphan
+                        };
+                        if let Some(orphan) = orphan {
                             inner.with_breaker(&orphan.db_id, |b| b.record_failure(Instant::now()));
                             orphan.reply.complete(Err(ServeError::WorkerPanic(msg)));
                         }
                         inner.stats.replaced_panic.fetch_add(1, Ordering::Relaxed);
+                        inner.metrics.replaced_panic.inc();
                         let generation =
                             inner.slots[slot].generation.fetch_add(1, Ordering::SeqCst) + 1;
                         if keep_serving(&inner) || !inner.in_flight.lock().is_empty() {
@@ -520,18 +558,21 @@ fn supervisor_loop(inner: Arc<Inner>, mut workers: Vec<Option<JoinHandle<()>>>) 
             if workers[slot].is_some() && inner.heartbeat_age(slot) > inner.config.wedged_after {
                 let orphan = {
                     let mut in_flight = inner.in_flight.lock();
-                    match in_flight.get(&slot) {
+                    let orphan = match in_flight.get(&slot) {
                         Some(f) if f.started.elapsed() > inner.config.wedged_after => {
                             in_flight.remove(&slot)
                         }
                         _ => None,
-                    }
+                    };
+                    inner.sync_in_flight_gauge(&in_flight);
+                    orphan
                 };
                 if let Some(orphan) = orphan {
                     let stalled = inner.heartbeat_age(slot);
                     inner.with_breaker(&orphan.db_id, |b| b.record_failure(Instant::now()));
                     orphan.reply.complete(Err(ServeError::WorkerWedged { stalled }));
                     inner.stats.replaced_wedged.fetch_add(1, Ordering::Relaxed);
+                    inner.metrics.replaced_wedged.inc();
                     // Abandon (detach) the wedged thread and hand the slot
                     // to a fresh generation; the old thread exits on its
                     // own when it notices the bump.
@@ -562,8 +603,20 @@ pub struct Pool {
 }
 
 impl Pool {
-    /// Spawn workers and the supervisor over `backend`.
+    /// Spawn workers and the supervisor over `backend`. Metrics go to the
+    /// process-global [`codes_obs`] registry; use
+    /// [`Pool::start_with_registry`] for an isolated one.
     pub fn start<B: Backend + 'static>(backend: B, config: ServeConfig) -> Pool {
+        Pool::start_with_registry(backend, config, codes_obs::global())
+    }
+
+    /// Like [`Pool::start`], but record metrics into `registry` instead of
+    /// the process-global one — lets tests assert counters in isolation.
+    pub fn start_with_registry<B: Backend + 'static>(
+        backend: B,
+        config: ServeConfig,
+        registry: Arc<codes_obs::Registry>,
+    ) -> Pool {
         assert!(config.workers > 0, "pool needs at least one worker");
         assert!(config.queue_capacity > 0, "admission queue needs capacity");
         let (queue_tx, queue_rx) = channel::bounded::<Job>(config.queue_capacity);
@@ -578,6 +631,7 @@ impl Pool {
             in_flight: Mutex::new(HashMap::new()),
             slots,
             stats: Stats::default(),
+            metrics: ServeMetrics::new(registry),
             next_id: AtomicU64::new(0),
             shutdown: AtomicBool::new(false),
             epoch: Instant::now(),
@@ -614,10 +668,12 @@ impl Pool {
         match queue_tx.try_send(job) {
             Ok(()) => {
                 self.inner.stats.submitted.fetch_add(1, Ordering::Relaxed);
+                self.inner.metrics.submitted.inc();
                 Ok(Ticket { id, rx: reply_rx })
             }
             Err(TrySendError::Full(_)) => {
                 self.inner.stats.shed_overloaded.fetch_add(1, Ordering::Relaxed);
+                self.inner.metrics.shed_overloaded.inc();
                 Err(ServeError::Overloaded {
                     queue_depth: queue_tx.len(),
                     capacity: self.inner.config.queue_capacity,
@@ -663,6 +719,7 @@ impl Pool {
                 rows
             },
             stats,
+            metrics: inner.metrics.snapshot(),
             ready: !inner.shutdown.load(Ordering::SeqCst)
                 && queue_depth < inner.config.queue_capacity,
         }

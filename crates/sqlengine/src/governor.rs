@@ -30,6 +30,18 @@ use crate::error::{Error, FailureClass, Resource, Result};
 /// the per-row overhead of governed execution negligible.
 const TIME_CHECK_MASK: u64 = 0xFF;
 
+/// Counter family for budget denials, labeled by the resource that
+/// tripped (`time` / `rows` / `intermediate_rows` / `memory` / `depth`).
+pub const BUDGET_DENIED: &str = "codes_governor_budget_denied_total";
+
+/// Count one budget denial into the process-global metrics registry and
+/// build the error. Only the denial path pays for the registry lookup —
+/// the within-budget hot path stays atomic-free.
+fn deny(resource: Resource, spent: u64, limit: u64) -> Error {
+    codes_obs::global().counter(BUDGET_DENIED, &[("resource", resource.label())]).inc();
+    Error::BudgetExceeded { resource, spent, limit }
+}
+
 /// Resource budgets for one statement execution. `None` means unlimited.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct ExecLimits {
@@ -169,11 +181,11 @@ impl Governor {
         if let Some(deadline) = self.limits.deadline {
             let elapsed = self.started.elapsed();
             if elapsed > deadline {
-                return Err(Error::BudgetExceeded {
-                    resource: Resource::Time,
-                    spent: elapsed.as_millis() as u64,
-                    limit: deadline.as_millis() as u64,
-                });
+                return Err(deny(
+                    Resource::Time,
+                    elapsed.as_millis() as u64,
+                    deadline.as_millis() as u64,
+                ));
             }
         }
         Ok(())
@@ -186,21 +198,13 @@ impl Governor {
         self.intermediate_rows += rows;
         if let Some(limit) = self.limits.max_intermediate_rows {
             if self.intermediate_rows > limit {
-                return Err(Error::BudgetExceeded {
-                    resource: Resource::IntermediateRows,
-                    spent: self.intermediate_rows,
-                    limit,
-                });
+                return Err(deny(Resource::IntermediateRows, self.intermediate_rows, limit));
             }
         }
         self.memory_bytes += bytes;
         if let Some(limit) = self.limits.max_memory_bytes {
             if self.memory_bytes > limit {
-                return Err(Error::BudgetExceeded {
-                    resource: Resource::Memory,
-                    spent: self.memory_bytes,
-                    limit,
-                });
+                return Err(deny(Resource::Memory, self.memory_bytes, limit));
             }
         }
         Ok(())
@@ -212,7 +216,7 @@ impl Governor {
     pub fn check_output_rows(&self, rows: u64) -> Result<()> {
         if let Some(limit) = self.limits.max_rows {
             if rows > limit {
-                return Err(Error::BudgetExceeded { resource: Resource::Rows, spent: rows, limit });
+                return Err(deny(Resource::Rows, rows, limit));
             }
         }
         Ok(())
@@ -225,11 +229,7 @@ impl Governor {
         self.depth += 1;
         if let Some(limit) = self.limits.max_recursion_depth {
             if self.depth > limit {
-                return Err(Error::BudgetExceeded {
-                    resource: Resource::Depth,
-                    spent: self.depth as u64,
-                    limit: limit as u64,
-                });
+                return Err(deny(Resource::Depth, self.depth as u64, limit as u64));
             }
         }
         // Subquery entry is rare relative to row work and a natural place
@@ -406,6 +406,31 @@ mod tests {
         gov.exit_query();
         gov.exit_query();
         gov.enter_query().unwrap();
+    }
+
+    #[test]
+    fn budget_denials_are_counted_by_resource() {
+        // The registry is process-global and shared with parallel tests, so
+        // assert on the delta produced by a known number of denials.
+        let count = |resource: &str| {
+            codes_obs::global().counter(BUDGET_DENIED, &[("resource", resource)]).get()
+        };
+        let rows_before = count("rows");
+        let depth_before = count("depth");
+
+        let limits = ExecLimits { max_rows: Some(5), ..ExecLimits::unlimited() };
+        let gov = Governor::new(limits);
+        assert!(gov.check_output_rows(6).is_err());
+        assert!(gov.check_output_rows(7).is_err());
+        assert!(gov.check_output_rows(5).is_ok(), "within budget must not count");
+
+        let limits = ExecLimits { max_recursion_depth: Some(1), ..ExecLimits::unlimited() };
+        let mut gov = Governor::new(limits);
+        gov.enter_query().unwrap();
+        assert!(gov.enter_query().is_err());
+
+        assert_eq!(count("rows") - rows_before, 2);
+        assert_eq!(count("depth") - depth_before, 1);
     }
 
     #[test]

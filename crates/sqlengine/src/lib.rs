@@ -54,7 +54,9 @@ pub use error::{Error, FailureClass, Resource, Result};
 /// that only ever see runtime failures (governed execution, fault
 /// boundaries).
 pub use error::Error as ExecError;
-pub use governor::{catch_panics, with_retry, with_retry_paced, Backoff, ExecLimits, Governor};
+pub use governor::{
+    catch_panics, with_retry, with_retry_paced, Backoff, ExecLimits, Governor, BUDGET_DENIED,
+};
 pub use parser::{parse_query, parse_script, parse_statement};
 pub use result::QueryResult;
 pub use types::DataType;

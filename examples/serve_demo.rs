@@ -1,5 +1,6 @@
 //! Serving quickstart: put a trained CodeS system behind the resilient
-//! serving pool, submit concurrent questions, inspect pool health, then
+//! serving pool, submit concurrent questions, inspect pool health and the
+//! metrics registry (Prometheus dump + per-stage latency quantiles), then
 //! turn on deterministic fault injection and watch the runtime absorb
 //! worker panics and stalls without losing a single request.
 //!
@@ -75,7 +76,34 @@ fn main() {
     );
     pool.shutdown();
 
-    // 4. Chaos mode: the same pool shape, but the backend is wrapped in a
+    // 4. The observability layer: every inference recorded one span per
+    //    Algorithm-1 stage and the pool recorded queue/shed/breaker
+    //    counters, all into the global registry. First the per-stage
+    //    latency quantiles ...
+    println!("\nper-stage latency (over everything served so far):");
+    println!("  {:<20} {:>7} {:>10} {:>10} {:>10}", "stage", "count", "p50 ms", "p95 ms", "p99 ms");
+    let histograms =
+        codes_obs::global().histograms_by_label(codes_obs::STAGE_HISTOGRAM, "stage");
+    for stage in codes_obs::PIPELINE_STAGES {
+        if let Some((_, snap)) = histograms.iter().find(|(name, _)| name == stage) {
+            let ms = |q: f64| snap.quantile_seconds(q).map_or(0.0, |s| s * 1000.0);
+            println!(
+                "  {:<20} {:>7} {:>10.3} {:>10.3} {:>10.3}",
+                stage,
+                snap.count,
+                ms(0.50),
+                ms(0.95),
+                ms(0.99)
+            );
+        }
+    }
+    // ... then the full text-format dump a Prometheus scrape would see.
+    println!("\nmetrics dump (Prometheus text format):");
+    for line in codes_obs::render_prometheus().lines() {
+        println!("  {line}");
+    }
+
+    // 5. Chaos mode: the same pool shape, but the backend is wrapped in a
     //    seeded fault plan that panics or stalls a fifth of all requests.
     //    Deterministic per request id — rerunning reproduces the storm.
     println!("\nchaos mode: injecting worker panics/stalls (seed 7) ...");
