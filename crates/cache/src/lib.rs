@@ -1,0 +1,40 @@
+//! Sharded in-process cache for the CodeS serving stack.
+//!
+//! Production question streams are highly repetitive per database: the same
+//! schema gets filtered, the same values get retrieved, and frequently the
+//! same question gets answered again. This crate provides the one cache
+//! primitive the rest of the workspace builds its tiers on:
+//!
+//! - [`ShardedCache`] — a thread-safe LRU cache split across independently
+//!   locked shards, with optional per-entry TTL expiry (expired entries die
+//!   lazily on lookup) and *single-flight* deduplication: when N threads miss
+//!   on the same key concurrently, exactly one computes the value and the
+//!   rest wait for it.
+//! - [`GenerationMap`] — monotonically increasing per-database generation
+//!   tokens. Cache keys embed the generation at lookup time, so bumping a
+//!   database's generation makes every entry cached under the old token
+//!   unreachable; the entries themselves are evicted lazily by LRU pressure.
+//! - [`TierMetrics`] / [`CacheStats`] — every cache registers
+//!   `codes_cache_{hits,misses,evictions,expired}_total` counters and a
+//!   `codes_cache_entries` gauge against a [`codes_obs::Registry`], labelled
+//!   by tier, so hit rates are visible in the same Prometheus scrape as the
+//!   serving pool.
+//!
+//! The crate is deliberately generic — keys and values are the caller's
+//! types — and depends only on `codes-obs` and the (vendored) `parking_lot`
+//! locks. The concrete tier wiring (schema filter, value retrieval, full
+//! inference results) lives in `codes::cache`.
+
+#![cfg_attr(not(test), deny(clippy::unwrap_used))]
+
+mod generation;
+mod lru;
+mod metrics;
+mod sharded;
+
+pub use generation::GenerationMap;
+pub use metrics::{
+    CacheStats, TierMetrics, ENTRIES, EVICTIONS_TOTAL, EXPIRED_TOTAL, HITS_TOTAL,
+    INVALIDATIONS_TOTAL, MISSES_TOTAL,
+};
+pub use sharded::{CacheConfig, ShardedCache};

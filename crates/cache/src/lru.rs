@@ -1,0 +1,221 @@
+//! One cache shard: an LRU list with per-entry TTL, backed by a slot vector
+//! with an intrusive doubly-linked recency list and a free list. No
+//! allocation churn in steady state — slots are reused after eviction.
+
+use std::collections::HashMap;
+use std::hash::Hash;
+use std::time::Instant;
+
+const NIL: usize = usize::MAX;
+
+struct Slot<K, V> {
+    key: K,
+    value: V,
+    expires_at: Option<Instant>,
+    prev: usize,
+    next: usize,
+}
+
+/// Outcome of a shard lookup, so the sharded wrapper can count expiry
+/// separately from plain misses.
+pub(crate) enum Lookup<V> {
+    Hit(V),
+    Expired,
+    Miss,
+}
+
+/// What an insert did to occupancy, so the wrapper can keep the entries
+/// gauge and eviction counter in step without re-deriving lengths.
+pub(crate) struct InsertOutcome {
+    pub replaced: bool,
+    pub evicted: bool,
+}
+
+pub(crate) struct Shard<K, V> {
+    map: HashMap<K, usize>,
+    slots: Vec<Option<Slot<K, V>>>,
+    free: Vec<usize>,
+    head: usize,
+    tail: usize,
+    capacity: usize,
+}
+
+impl<K: Hash + Eq + Clone, V: Clone> Shard<K, V> {
+    pub(crate) fn new(capacity: usize) -> Shard<K, V> {
+        let capacity = capacity.max(1);
+        Shard {
+            map: HashMap::with_capacity(capacity),
+            slots: Vec::with_capacity(capacity),
+            free: Vec::new(),
+            head: NIL,
+            tail: NIL,
+            capacity,
+        }
+    }
+
+    pub(crate) fn len(&self) -> usize {
+        self.map.len()
+    }
+
+    fn slot(&self, ix: usize) -> &Slot<K, V> {
+        match &self.slots[ix] {
+            Some(s) => s,
+            // An index held by the map always points at an occupied slot.
+            None => unreachable!("lru slot {ix} indexed by map but empty"),
+        }
+    }
+
+    fn slot_mut(&mut self, ix: usize) -> &mut Slot<K, V> {
+        match &mut self.slots[ix] {
+            Some(s) => s,
+            None => unreachable!("lru slot {ix} indexed by map but empty"),
+        }
+    }
+
+    fn detach(&mut self, ix: usize) {
+        let (prev, next) = {
+            let s = self.slot(ix);
+            (s.prev, s.next)
+        };
+        if prev != NIL {
+            self.slot_mut(prev).next = next;
+        } else {
+            self.head = next;
+        }
+        if next != NIL {
+            self.slot_mut(next).prev = prev;
+        } else {
+            self.tail = prev;
+        }
+    }
+
+    fn push_front(&mut self, ix: usize) {
+        let old_head = self.head;
+        {
+            let s = self.slot_mut(ix);
+            s.prev = NIL;
+            s.next = old_head;
+        }
+        if old_head != NIL {
+            self.slot_mut(old_head).prev = ix;
+        } else {
+            self.tail = ix;
+        }
+        self.head = ix;
+    }
+
+    fn remove_slot(&mut self, ix: usize) -> Slot<K, V> {
+        self.detach(ix);
+        let slot = match self.slots[ix].take() {
+            Some(s) => s,
+            None => unreachable!("lru slot {ix} removed twice"),
+        };
+        self.map.remove(&slot.key);
+        self.free.push(ix);
+        slot
+    }
+
+    pub(crate) fn get(&mut self, key: &K, now: Instant) -> Lookup<V> {
+        let Some(&ix) = self.map.get(key) else {
+            return Lookup::Miss;
+        };
+        if self.slot(ix).expires_at.is_some_and(|at| at <= now) {
+            self.remove_slot(ix);
+            return Lookup::Expired;
+        }
+        self.detach(ix);
+        self.push_front(ix);
+        Lookup::Hit(self.slot(ix).value.clone())
+    }
+
+    pub(crate) fn insert(
+        &mut self,
+        key: K,
+        value: V,
+        expires_at: Option<Instant>,
+    ) -> InsertOutcome {
+        if let Some(&ix) = self.map.get(&key) {
+            let s = self.slot_mut(ix);
+            s.value = value;
+            s.expires_at = expires_at;
+            self.detach(ix);
+            self.push_front(ix);
+            return InsertOutcome { replaced: true, evicted: false };
+        }
+        let ix = match self.free.pop() {
+            Some(ix) => {
+                self.slots[ix] = Some(Slot { key: key.clone(), value, expires_at, prev: NIL, next: NIL });
+                ix
+            }
+            None => {
+                self.slots.push(Some(Slot { key: key.clone(), value, expires_at, prev: NIL, next: NIL }));
+                self.slots.len() - 1
+            }
+        };
+        self.map.insert(key, ix);
+        self.push_front(ix);
+        let mut evicted = false;
+        if self.map.len() > self.capacity {
+            let tail = self.tail;
+            debug_assert_ne!(tail, ix, "capacity >= 1 keeps the fresh entry resident");
+            self.remove_slot(tail);
+            evicted = true;
+        }
+        InsertOutcome { replaced: false, evicted }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::time::Duration;
+
+    #[test]
+    fn evicts_least_recently_used_first() {
+        let mut shard: Shard<&str, u32> = Shard::new(2);
+        let now = Instant::now();
+        shard.insert("a", 1, None);
+        shard.insert("b", 2, None);
+        // Touch "a" so "b" becomes the LRU victim.
+        assert!(matches!(shard.get(&"a", now), Lookup::Hit(1)));
+        let outcome = shard.insert("c", 3, None);
+        assert!(outcome.evicted);
+        assert!(matches!(shard.get(&"b", now), Lookup::Miss));
+        assert!(matches!(shard.get(&"a", now), Lookup::Hit(1)));
+        assert!(matches!(shard.get(&"c", now), Lookup::Hit(3)));
+        assert_eq!(shard.len(), 2);
+    }
+
+    #[test]
+    fn replacing_a_key_does_not_evict() {
+        let mut shard: Shard<&str, u32> = Shard::new(2);
+        shard.insert("a", 1, None);
+        shard.insert("b", 2, None);
+        let outcome = shard.insert("a", 10, None);
+        assert!(outcome.replaced);
+        assert!(!outcome.evicted);
+        assert!(matches!(shard.get(&"a", Instant::now()), Lookup::Hit(10)));
+    }
+
+    #[test]
+    fn expired_entries_are_dropped_on_lookup() {
+        let mut shard: Shard<&str, u32> = Shard::new(4);
+        let now = Instant::now();
+        shard.insert("a", 1, Some(now + Duration::from_millis(5)));
+        assert!(matches!(shard.get(&"a", now), Lookup::Hit(1)));
+        let later = now + Duration::from_millis(6);
+        assert!(matches!(shard.get(&"a", later), Lookup::Expired));
+        assert!(matches!(shard.get(&"a", later), Lookup::Miss));
+        assert_eq!(shard.len(), 0);
+    }
+
+    #[test]
+    fn slots_are_reused_after_eviction() {
+        let mut shard: Shard<u32, u32> = Shard::new(2);
+        for i in 0..100 {
+            shard.insert(i, i, None);
+        }
+        assert_eq!(shard.len(), 2);
+        assert!(shard.slots.len() <= 3, "slot storage stays bounded, got {}", shard.slots.len());
+    }
+}

@@ -1,0 +1,455 @@
+//! The three concrete cache tiers over [`codes_cache::ShardedCache`].
+//!
+//! Production question streams are repetitive per database, so each stage
+//! of Algorithm 1 that is a pure function of (database state, question,
+//! knobs) is cached:
+//!
+//! * **T1 — schema filter** (`tier="schema_filter"`): the
+//!   [`FilteredSchema`] for a question, keyed by (db generation, normalized
+//!   question, top-k1/top-k2). Cached only when a classifier actually ran —
+//!   the unfiltered fallback is too cheap to be worth an entry.
+//! * **T2 — value retrieval** (`tier="value_retrieval"`): the
+//!   [`ValueMatch`] list, keyed by (db generation, normalized question,
+//!   retriever knobs + filter knobs — the matches are filtered against the
+//!   T1 output, so its keying is a prefix of T2's).
+//! * **T3 — full results** (`tier="full_result"`): the final SQL for a
+//!   request, keyed by (db generation, normalized question, [`Config`]
+//!   fingerprint). Checked at pool admission in `codes-serve`, so a hit
+//!   bypasses the worker queue entirely. Degraded or deadline-clamped
+//!   inferences are never admitted.
+//!
+//! Invalidation is generation-based: every key embeds the database's
+//! generation token, [`SystemCache::observe_revision`] auto-bumps it when
+//! the `sqlengine` catalog revision changes, and
+//! [`SystemCache::invalidate_database`] bumps it explicitly. Old-generation
+//! entries become unreachable immediately and are reclaimed lazily by LRU
+//! pressure.
+//!
+//! One [`SystemCache`] belongs to one trained system: keys do not embed the
+//! model or classifier weights, so sharing a cache between systems with
+//! different weights would serve one system the other's answers.
+
+use std::collections::HashMap;
+use std::fmt;
+use std::sync::Arc;
+use std::time::Duration;
+
+use codes_cache::{CacheConfig, CacheStats, GenerationMap, ShardedCache, INVALIDATIONS_TOTAL};
+use codes_linker::FilteredSchema;
+use codes_obs::{Counter, Registry};
+use codes_retrieval::ValueMatch;
+use parking_lot::Mutex;
+use sqlengine::Database;
+
+use crate::config::Config;
+use crate::prompt::PromptOptions;
+
+/// Which pipeline stages of one inference were served from cache.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CacheHits {
+    /// T1: the schema filter output came from cache.
+    pub schema_filter: bool,
+    /// T2: the value-retriever matches came from cache.
+    pub value_retrieval: bool,
+}
+
+/// A cached end-to-end answer (T3). Holds what a served response needs —
+/// not the full [`crate::Inference`], whose generation beam is heavyweight
+/// and irrelevant once a winning SQL exists.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CachedAnswer {
+    /// The winning SQL.
+    pub sql: String,
+    /// Prompt length of the original computation, in whitespace tokens.
+    pub prompt_tokens: usize,
+    /// Wall-clock latency of the original computation, in seconds.
+    pub compute_latency_seconds: f64,
+}
+
+/// Capacity/TTL policy for the three tiers.
+#[derive(Debug, Clone, Copy)]
+pub struct CacheSettings {
+    /// T1 entries (filtered schemas are small: table/column name lists).
+    pub schema_capacity: usize,
+    /// T2 entries (a handful of value matches each).
+    pub value_capacity: usize,
+    /// T3 entries (one SQL string each).
+    pub full_capacity: usize,
+    /// Shards per tier.
+    pub shards: usize,
+    /// Optional TTL applied to every tier; `None` relies on LRU pressure
+    /// and generation bumps alone.
+    pub ttl: Option<Duration>,
+}
+
+impl Default for CacheSettings {
+    fn default() -> CacheSettings {
+        CacheSettings {
+            schema_capacity: 4096,
+            value_capacity: 4096,
+            full_capacity: 8192,
+            shards: 8,
+            ttl: None,
+        }
+    }
+}
+
+/// Per-tier counter snapshots plus the invalidation count, as surfaced in
+/// `HealthSnapshot` and the cache bench.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SystemCacheStats {
+    /// T1 (schema filter) counters.
+    pub schema: CacheStats,
+    /// T2 (value retrieval) counters.
+    pub values: CacheStats,
+    /// T3 (full results) counters.
+    pub full: CacheStats,
+    /// Explicit + revision-triggered generation bumps.
+    pub invalidations: u64,
+}
+
+#[derive(Clone, PartialEq, Eq, Hash)]
+struct SchemaKey {
+    db: String,
+    generation: u64,
+    question: String,
+    top_k1: usize,
+    top_k2: usize,
+}
+
+#[derive(Clone, PartialEq, Eq, Hash)]
+struct ValueKey {
+    db: String,
+    generation: u64,
+    question: String,
+    coarse_k: usize,
+    fine_k: usize,
+    /// `f64` bit pattern — the knob is a constant, not arithmetic output,
+    /// so bit equality is the right notion.
+    min_degree_bits: u64,
+    top_k1: usize,
+    top_k2: usize,
+}
+
+#[derive(Clone, PartialEq, Eq, Hash)]
+struct FullKey {
+    db: String,
+    generation: u64,
+    question: String,
+    config_fingerprint: u64,
+}
+
+/// The multi-tier cache one serving stack shares: `CodesSystem` consults
+/// T1/T2 inside `infer`, the serve pool consults T3 at admission.
+pub struct SystemCache {
+    generations: GenerationMap,
+    /// Last-seen `sqlengine` catalog revision per database, so any mutation
+    /// observed at inference time auto-bumps the generation.
+    revisions: Mutex<HashMap<String, u64>>,
+    schema: ShardedCache<SchemaKey, Arc<FilteredSchema>>,
+    values: ShardedCache<ValueKey, Arc<Vec<ValueMatch>>>,
+    full: ShardedCache<FullKey, CachedAnswer>,
+    invalidations: Arc<Counter>,
+}
+
+impl SystemCache {
+    /// Default-sized cache registering its metrics in the global registry
+    /// (the one `codes_obs::render_prometheus` scrapes).
+    pub fn new() -> SystemCache {
+        SystemCache::with_registry(&codes_obs::global(), CacheSettings::default())
+    }
+
+    /// Cache with explicit sizing, registering metrics in `registry` —
+    /// tests use a private registry for isolation.
+    pub fn with_registry(registry: &Registry, settings: CacheSettings) -> SystemCache {
+        fn tier<K: std::hash::Hash + Eq + Clone, V: Clone>(
+            settings: &CacheSettings,
+            registry: &Registry,
+            capacity: usize,
+            name: &str,
+        ) -> ShardedCache<K, V> {
+            ShardedCache::with_metrics(
+                CacheConfig { capacity, shards: settings.shards, ttl: settings.ttl },
+                registry,
+                name,
+            )
+        }
+        SystemCache {
+            generations: GenerationMap::new(),
+            revisions: Mutex::new(HashMap::new()),
+            schema: tier(&settings, registry, settings.schema_capacity, "schema_filter"),
+            values: tier(&settings, registry, settings.value_capacity, "value_retrieval"),
+            full: tier(&settings, registry, settings.full_capacity, "full_result"),
+            invalidations: registry.counter(INVALIDATIONS_TOTAL, &[]),
+        }
+    }
+
+    /// Current generation token for a database id.
+    pub fn generation(&self, db_id: &str) -> u64 {
+        self.generations.generation(db_id)
+    }
+
+    /// Explicitly invalidate everything cached for `db_id` (all tiers);
+    /// returns the new generation.
+    pub fn invalidate_database(&self, db_id: &str) -> u64 {
+        self.invalidations.inc();
+        self.generations.bump(db_id)
+    }
+
+    /// Reconcile the cache with the database's catalog revision and return
+    /// the current generation. The first sighting of a database records its
+    /// revision; any later revision change (DDL, row mutations) bumps the
+    /// generation so pre-mutation entries can no longer be served.
+    pub fn observe_revision(&self, db: &Database) -> u64 {
+        let mut revisions = self.revisions.lock();
+        match revisions.get_mut(&db.name) {
+            Some(seen) if *seen == db.revision() => {}
+            Some(seen) => {
+                *seen = db.revision();
+                drop(revisions);
+                return self.invalidate_database(&db.name);
+            }
+            None => {
+                revisions.insert(db.name.clone(), db.revision());
+            }
+        }
+        drop(revisions);
+        self.generations.generation(&db.name)
+    }
+
+    /// T1 lookup/compute. `computed` distinguishes a hit from a miss for
+    /// the caller's [`CacheHits`] bookkeeping (the closure runs on miss).
+    pub fn schema_filter(
+        &self,
+        db_id: &str,
+        generation: u64,
+        question_key: &str,
+        options: &PromptOptions,
+        compute: impl FnOnce() -> FilteredSchema,
+    ) -> Arc<FilteredSchema> {
+        let key = SchemaKey {
+            db: db_id.to_string(),
+            generation,
+            question: question_key.to_string(),
+            top_k1: options.filter.top_k1,
+            top_k2: options.filter.top_k2,
+        };
+        self.schema.get_or_compute(key, || Arc::new(compute()))
+    }
+
+    /// T2 lookup/compute. Keyed by both retriever and filter knobs: the
+    /// match list is filtered against the T1 output, so everything that
+    /// shapes T1 shapes T2.
+    pub fn value_matches(
+        &self,
+        db_id: &str,
+        generation: u64,
+        question_key: &str,
+        options: &PromptOptions,
+        compute: impl FnOnce() -> Vec<ValueMatch>,
+    ) -> Arc<Vec<ValueMatch>> {
+        let key = ValueKey {
+            db: db_id.to_string(),
+            generation,
+            question: question_key.to_string(),
+            coarse_k: options.coarse_k,
+            fine_k: options.fine_k,
+            min_degree_bits: options.min_match_degree.to_bits(),
+            top_k1: options.filter.top_k1,
+            top_k2: options.filter.top_k2,
+        };
+        self.values.get_or_compute(key, || Arc::new(compute()))
+    }
+
+    /// T3 admission-path lookup.
+    pub fn lookup_full(
+        &self,
+        db_id: &str,
+        generation: u64,
+        question_key: &str,
+        config_fingerprint: u64,
+    ) -> Option<CachedAnswer> {
+        self.full.get(&FullKey {
+            db: db_id.to_string(),
+            generation,
+            question: question_key.to_string(),
+            config_fingerprint,
+        })
+    }
+
+    /// Admit a clean end-to-end result under the generation that was
+    /// current when the request was *submitted* — a result computed before
+    /// an invalidation must land under the pre-invalidation token, where
+    /// post-invalidation lookups can't reach it. Callers must not admit
+    /// degraded or deadline-clamped inferences.
+    pub fn admit_full(
+        &self,
+        db_id: &str,
+        generation: u64,
+        question_key: &str,
+        config_fingerprint: u64,
+        answer: CachedAnswer,
+    ) {
+        self.full.insert(
+            FullKey {
+                db: db_id.to_string(),
+                generation,
+                question: question_key.to_string(),
+                config_fingerprint,
+            },
+            answer,
+        );
+    }
+
+    /// Point-in-time counters for all tiers.
+    pub fn stats(&self) -> SystemCacheStats {
+        SystemCacheStats {
+            schema: self.schema.stats(),
+            values: self.values.stats(),
+            full: self.full.stats(),
+            invalidations: self.invalidations.get(),
+        }
+    }
+}
+
+impl Default for SystemCache {
+    fn default() -> SystemCache {
+        SystemCache::new()
+    }
+}
+
+impl fmt::Debug for SystemCache {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("SystemCache").field("stats", &self.stats()).finish()
+    }
+}
+
+/// Canonical question key: lowercased, whitespace-collapsed, with the
+/// external knowledge (same treatment) appended under a separator. Trivial
+/// reformattings of the same question share cache entries; distinct
+/// knowledge never collides with the bare question.
+pub fn normalize_question(question: &str, external_knowledge: Option<&str>) -> String {
+    let mut key = String::with_capacity(question.len());
+    for word in question.split_whitespace() {
+        if !key.is_empty() {
+            key.push(' ');
+        }
+        for c in word.chars() {
+            key.extend(c.to_lowercase());
+        }
+    }
+    if let Some(ek) = external_knowledge {
+        key.push('\u{1f}');
+        for word in ek.split_whitespace() {
+            key.push(' ');
+            for c in word.chars() {
+                key.extend(c.to_lowercase());
+            }
+        }
+    }
+    key
+}
+
+/// FNV-1a fingerprint of every [`Config`] field that can change an answer.
+/// Two configs with equal fingerprints produce the same SQL for the same
+/// (database state, question), so T3 entries are keyed on it.
+pub fn config_fingerprint(config: &Config) -> u64 {
+    let mut hash: u64 = 0xCBF2_9CE4_8422_2325;
+    let mut word = |w: u64| {
+        for byte in w.to_le_bytes() {
+            hash ^= u64::from(byte);
+            hash = hash.wrapping_mul(0x0000_0100_0000_01B3);
+        }
+    };
+    let duration = |d: Option<Duration>| d.map_or(u64::MAX, |d| d.as_nanos() as u64);
+    word(duration(config.inference_deadline));
+    word(u64::from(config.retry_attempts));
+    word(u64::from(config.lazy_value_index));
+    word(duration(config.exec_limits.deadline));
+    word(config.exec_limits.max_rows.unwrap_or(u64::MAX));
+    word(config.exec_limits.max_intermediate_rows.unwrap_or(u64::MAX));
+    word(config.exec_limits.max_memory_bytes.unwrap_or(u64::MAX));
+    word(config.exec_limits.max_recursion_depth.map_or(u64::MAX, u64::from));
+    hash
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn normalization_canonicalizes_but_keeps_knowledge_distinct() {
+        assert_eq!(
+            normalize_question("  How many  CLIENTS? ", None),
+            normalize_question("how many clients?", None)
+        );
+        assert_ne!(
+            normalize_question("how many clients?", None),
+            normalize_question("how many clients?", Some("F means female")),
+        );
+        assert_ne!(
+            normalize_question("a b", None),
+            normalize_question("ab", None),
+            "word boundaries survive normalization"
+        );
+    }
+
+    #[test]
+    fn config_fingerprint_tracks_answer_relevant_fields() {
+        let base = Config::serving();
+        assert_eq!(config_fingerprint(&base), config_fingerprint(&base.clone()));
+        let mut tighter = base;
+        tighter.inference_deadline = Some(Duration::from_millis(100));
+        assert_ne!(config_fingerprint(&base), config_fingerprint(&tighter));
+        let mut fewer_rows = base;
+        fewer_rows.exec_limits.max_rows = Some(7);
+        assert_ne!(config_fingerprint(&base), config_fingerprint(&fewer_rows));
+    }
+
+    #[test]
+    fn observe_revision_bumps_generation_on_catalog_change() {
+        let registry = Registry::new();
+        let cache = SystemCache::with_registry(&registry, CacheSettings::default());
+        let mut db = Database::new("shop");
+        db.create_table(sqlengine::TableSchema::new(
+            "t",
+            vec![sqlengine::Column::new("c", sqlengine::DataType::Text)],
+        ))
+        .expect("fresh table");
+
+        let g0 = cache.observe_revision(&db);
+        assert_eq!(g0, 0, "first sighting records the revision without invalidating");
+        assert_eq!(cache.observe_revision(&db), 0, "unchanged catalog keeps the generation");
+
+        db.table_mut("t")
+            .expect("t exists")
+            .insert(vec!["x".into()])
+            .expect("row matches schema");
+        let g1 = cache.observe_revision(&db);
+        assert_eq!(g1, 1, "catalog mutation bumps the generation");
+        assert_eq!(cache.stats().invalidations, 1);
+    }
+
+    #[test]
+    fn full_tier_is_generation_scoped() {
+        let registry = Registry::new();
+        let cache = SystemCache::with_registry(&registry, CacheSettings::default());
+        let fp = config_fingerprint(&Config::serving());
+        let answer = CachedAnswer {
+            sql: "SELECT 1".into(),
+            prompt_tokens: 12,
+            compute_latency_seconds: 0.1,
+        };
+        cache.admit_full("db", 0, "q", fp, answer.clone());
+        assert_eq!(cache.lookup_full("db", 0, "q", fp), Some(answer));
+        let bumped = cache.invalidate_database("db");
+        assert_eq!(bumped, 1);
+        assert_eq!(
+            cache.lookup_full("db", bumped, "q", fp),
+            None,
+            "post-invalidation lookups cannot reach pre-invalidation entries"
+        );
+        // Different config fingerprints never share answers either.
+        assert_eq!(cache.lookup_full("db", 0, "q", fp ^ 1), None);
+    }
+}

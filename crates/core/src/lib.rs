@@ -13,6 +13,7 @@
 //! content, SFT vs ICL) through real code paths — see DESIGN.md for the
 //! substitution argument.
 
+pub mod cache;
 pub mod config;
 pub mod generator;
 pub mod intent;
@@ -22,6 +23,10 @@ pub mod prompt;
 pub mod sketch;
 pub mod system;
 
+pub use cache::{
+    config_fingerprint, normalize_question, CacheHits, CacheSettings, CachedAnswer, SystemCache,
+    SystemCacheStats,
+};
 pub use config::{table4_models, Architecture, Capacity, Config, CorpusLineage, LmSpec, ModelSize};
 pub use intent::{extract_intent, Intent};
 pub use model::{

@@ -12,15 +12,16 @@ use std::sync::Arc;
 use std::time::Instant;
 
 use codes_datasets::{Benchmark, Sample};
-use codes_linker::SchemaClassifier;
+use codes_linker::{FilteredSchema, SchemaClassifier};
 use codes_obs::{
     Span, StageTimings, STAGE_METADATA, STAGE_PROMPT_BUILD, STAGE_SCHEMA_FILTER,
     STAGE_VALUE_RETRIEVAL,
 };
-use codes_retrieval::{DemoRetriever, DemoStrategy, ValueIndex};
+use codes_retrieval::{shared_value_index, DemoRetriever, DemoStrategy, ValueIndex, ValueMatch};
 use parking_lot::RwLock;
 use sqlengine::Database;
 
+use crate::cache::{normalize_question, CacheHits, SystemCache};
 use crate::config::Config;
 use crate::model::{finetune, CodesModel, Generation};
 use crate::prompt::{
@@ -56,6 +57,10 @@ pub struct CodesSystem {
     demo_retriever: Option<Arc<DemoRetriever>>,
     /// Few-shot configuration (None = SFT/zero-shot mode).
     pub few_shot: Option<FewShot>,
+    /// Optional multi-tier cache: T1 (schema filter) and T2 (value
+    /// retrieval) are consulted inside [`CodesSystem::infer`]; the serving
+    /// pool holds the same `Arc` for T3 admission lookups.
+    cache: Option<Arc<SystemCache>>,
 }
 
 /// One inference outcome.
@@ -77,6 +82,9 @@ pub struct Inference {
     /// Wall-clock seconds per Algorithm-1 stage. The same durations feed
     /// the global `codes_stage_duration_seconds` histogram via spans.
     pub stages: StageTimings,
+    /// Which stages were served from the system cache (always false when
+    /// no cache is attached).
+    pub cache_hits: CacheHits,
 }
 
 impl CodesSystem {
@@ -91,6 +99,7 @@ impl CodesSystem {
             demo_pool: Arc::new(Vec::new()),
             demo_retriever: None,
             few_shot: None,
+            cache: None,
         }
     }
 
@@ -98,6 +107,20 @@ impl CodesSystem {
     pub fn with_classifier(mut self, clf: SchemaClassifier) -> CodesSystem {
         self.classifier = Some(clf);
         self
+    }
+
+    /// Attach a multi-tier cache. Shares the `Arc` with the serving pool so
+    /// stage-level (T1/T2) and admission-level (T3) tiers agree on
+    /// generations. A cache must not be shared between systems with
+    /// different weights or classifiers — keys embed neither.
+    pub fn with_cache(mut self, cache: Arc<SystemCache>) -> CodesSystem {
+        self.cache = Some(cache);
+        self
+    }
+
+    /// The attached cache, if any.
+    pub fn cache(&self) -> Option<&Arc<SystemCache>> {
+        self.cache.as_ref()
     }
 
     /// Replace the runtime robustness configuration.
@@ -114,12 +137,17 @@ impl CodesSystem {
         }
     }
 
-    /// Build (or reuse) the BM25 value index of one database.
+    /// Build (or reuse) the BM25 value index of one database. Reuse is
+    /// revision-aware: an index built for an earlier catalog state is
+    /// replaced, an index current for `db.revision()` is kept as-is.
     pub fn prepare_database(&mut self, db: &Database) {
-        self.value_indexes
-            .get_mut()
-            .entry(db.name.clone())
-            .or_insert_with(|| Arc::new(ValueIndex::build(db)));
+        let indexes = self.value_indexes.get_mut();
+        match indexes.get(&db.name) {
+            Some(idx) if idx.built_revision() == db.revision() => {}
+            _ => {
+                indexes.insert(db.name.clone(), shared_value_index(db));
+            }
+        }
     }
 
     /// Install already-built value indexes (shared across systems).
@@ -204,6 +232,13 @@ impl CodesSystem {
         let start = Instant::now();
         let mut degradations = Vec::new();
         let mut stages = StageTimings::zero();
+        let mut cache_hits = CacheHits::default();
+        // Reconcile the catalog revision with the cache *before* any tier
+        // lookup: a mutated database bumps its generation here, so nothing
+        // below can be served a pre-mutation entry.
+        let cache = self.cache.as_ref().map(|c| (c, c.observe_revision(db)));
+        let question_key =
+            cache.as_ref().map(|_| normalize_question(question, external_knowledge));
 
         if self.options.use_schema_filter && self.classifier.is_none() {
             degradations.push("classifier missing: unfiltered schema in prompt".to_string());
@@ -212,27 +247,62 @@ impl CodesSystem {
         // Algorithm 1, one span per stage. Spans feed the global
         // `codes_stage_duration_seconds` histogram and the trace ring;
         // their durations also ride along on the returned Inference.
+        //
+        // T1: cache the filter output only when a classifier actually runs
+        // — the unfiltered fallback is too cheap to be worth entries.
         let span = Span::enter(STAGE_SCHEMA_FILTER);
-        let filtered = stage_schema_filter(
-            db,
-            question,
-            external_knowledge,
-            self.classifier.as_ref(),
-            &self.options,
-        );
+        let run_filter = || {
+            stage_schema_filter(
+                db,
+                question,
+                external_knowledge,
+                self.classifier.as_ref(),
+                &self.options,
+            )
+        };
+        let filtered: Arc<FilteredSchema> = match (&cache, &question_key) {
+            (Some((cache, generation)), Some(key))
+                if self.options.use_schema_filter && self.classifier.is_some() =>
+            {
+                let mut computed = false;
+                let out = cache.schema_filter(&db.name, *generation, key, &self.options, || {
+                    computed = true;
+                    run_filter()
+                });
+                cache_hits.schema_filter = !computed;
+                out
+            }
+            _ => Arc::new(run_filter()),
+        };
         stages.schema_filter = span.finish().as_secs_f64();
 
         // Lazy index resolution is part of the retrieval stage: when the
         // index must be built on demand, that cost IS value retrieval.
+        //
+        // T2: cache only over a cleanly resolved index — a lazily built or
+        // skipped index is itself a degradation, and degraded outputs must
+        // never populate the cache.
         let span = Span::enter(STAGE_VALUE_RETRIEVAL);
+        let degradations_before = degradations.len();
         let value_index = self.resolve_value_index(db, start, config, &mut degradations);
-        let matched_values = stage_value_retrieval(
-            &filtered,
-            question,
-            external_knowledge,
-            value_index.as_deref(),
-            &self.options,
-        );
+        let index_clean = value_index.is_some() && degradations.len() == degradations_before;
+        let run_retrieval = |index: Option<&ValueIndex>| {
+            stage_value_retrieval(&filtered, question, external_knowledge, index, &self.options)
+        };
+        let matched_values: Vec<ValueMatch> = match (&cache, &question_key) {
+            (Some((cache, generation)), Some(key))
+                if self.options.use_value_retriever && index_clean =>
+            {
+                let mut computed = false;
+                let out = cache.value_matches(&db.name, *generation, key, &self.options, || {
+                    computed = true;
+                    run_retrieval(value_index.as_deref())
+                });
+                cache_hits.value_retrieval = !computed;
+                (*out).clone()
+            }
+            _ => run_retrieval(value_index.as_deref()),
+        };
         stages.value_retrieval = span.finish().as_secs_f64();
 
         let span = Span::enter(STAGE_METADATA);
@@ -274,6 +344,7 @@ impl CodesSystem {
             prompt_tokens: prompt.token_len(),
             degradations,
             stages,
+            cache_hits,
         }
     }
 
@@ -292,16 +363,24 @@ impl CodesSystem {
         if !self.options.use_value_retriever {
             return None;
         }
-        if let Some(idx) = self.value_indexes.read().get(&db.name) {
-            return Some(Arc::clone(idx));
-        }
+        let stale = match self.value_indexes.read().get(&db.name) {
+            // Current index: the fast path, no degradation.
+            Some(idx) if idx.built_revision() == db.revision() => {
+                return Some(Arc::clone(idx));
+            }
+            Some(_) => true,
+            None => false,
+        };
         if config.allow_lazy_index_build(started.elapsed()) {
-            let built = Arc::new(ValueIndex::build(db));
-            self.value_indexes
-                .write()
-                .entry(db.name.clone())
-                .or_insert_with(|| Arc::clone(&built));
-            degradations.push(format!("value index for '{}' built lazily", db.name));
+            // The shared, revision-keyed index cache single-flights the
+            // build across threads and systems.
+            let built = shared_value_index(db);
+            self.value_indexes.write().insert(db.name.clone(), Arc::clone(&built));
+            degradations.push(if stale {
+                format!("value index for '{}' rebuilt after database change", db.name)
+            } else {
+                format!("value index for '{}' built lazily", db.name)
+            });
             Some(built)
         } else {
             degradations.push(format!(
@@ -431,6 +510,42 @@ mod tests {
         // Stage work happens inside the measured pipeline: the stage sum
         // cannot exceed the end-to-end latency.
         assert!(out.stages.total() <= out.latency_seconds);
+    }
+
+    #[test]
+    fn cached_inference_hits_t1_t2_and_respects_catalog_mutations() {
+        use crate::cache::CacheSettings;
+
+        let bench = mini_benchmark();
+        let clf = SchemaClassifier::train(&bench, false, 7);
+        let registry = codes_obs::Registry::new();
+        let cache = Arc::new(SystemCache::with_registry(&registry, CacheSettings::default()));
+        let mut sys = system("CodeS-1B").with_classifier(clf).with_cache(Arc::clone(&cache));
+        sys.prepare_databases(bench.databases.iter());
+        let s = &bench.dev[0];
+        let db = bench.database(&s.db_id).unwrap();
+
+        let cold = sys.infer(db, &s.question, None);
+        assert_eq!(cold.cache_hits, CacheHits::default(), "first pass computes everything");
+        let warm = sys.infer(db, &s.question, None);
+        assert!(warm.cache_hits.schema_filter, "second pass hits T1");
+        assert!(warm.cache_hits.value_retrieval, "second pass hits T2");
+        assert_eq!(warm.sql, cold.sql, "cached stages change nothing about the answer");
+        let stats = cache.stats();
+        assert!(stats.schema.hits >= 1 && stats.values.hits >= 1);
+
+        // Mutating the catalog bumps the generation: the same question must
+        // recompute rather than reuse pre-mutation entries.
+        let mut mutated = db.clone();
+        let table = mutated.tables[0].schema.name.clone();
+        mutated.table_mut(&table).expect("table exists");
+        let after = sys.infer(&mutated, &s.question, None);
+        assert!(
+            !after.cache_hits.schema_filter && !after.cache_hits.value_retrieval,
+            "generation bump makes old entries unreachable: {:?}",
+            after.cache_hits
+        );
+        assert!(cache.stats().invalidations >= 1);
     }
 
     #[test]

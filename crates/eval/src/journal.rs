@@ -16,6 +16,7 @@ use std::fs::{File, OpenOptions};
 use std::io::Write;
 use std::path::{Path, PathBuf};
 
+use codes::CacheHits;
 use codes_datasets::{Hardness, Sample};
 use codes_obs::StageTimings;
 use serde::{Json, Serialize};
@@ -204,6 +205,13 @@ fn entry_to_json(index: usize, fingerprint: u64, r: &SampleResult) -> Json {
         ("stages".into(), r.stages.to_json()),
         ("prompt_tokens".into(), Json::Int(r.prompt_tokens as i64)),
         (
+            "cache_hits".into(),
+            Json::Obj(vec![
+                ("schema_filter".into(), Json::Bool(r.cache_hits.schema_filter)),
+                ("value_retrieval".into(), Json::Bool(r.cache_hits.value_retrieval)),
+            ]),
+        ),
+        (
             "failure".into(),
             match &r.failure {
                 Some(msg) => Json::Str(msg.clone()),
@@ -255,6 +263,21 @@ fn parse_entry(line: &str) -> Result<JournalEntry, String> {
             // Tolerant: journals written before stage timings existed have
             // no `stages` object and read as all-zero.
             stages: value.get("stages").map(StageTimings::from_json).unwrap_or_default(),
+            // Same tolerance for pre-cache journals: missing reads as
+            // all-false.
+            cache_hits: value
+                .get("cache_hits")
+                .map(|hits| CacheHits {
+                    schema_filter: hits
+                        .get("schema_filter")
+                        .and_then(Json::as_bool)
+                        .unwrap_or(false),
+                    value_retrieval: hits
+                        .get("value_retrieval")
+                        .and_then(Json::as_bool)
+                        .unwrap_or(false),
+                })
+                .unwrap_or_default(),
             prompt_tokens: field("prompt_tokens")?
                 .as_i64()
                 .and_then(|i| usize::try_from(i).ok())
@@ -286,6 +309,7 @@ mod tests {
                 stages
             },
             prompt_tokens: 40 + ix,
+            cache_hits: CacheHits { schema_filter: ix % 2 == 0, value_retrieval: ix % 3 == 0 },
             failure: if ix == 3 { Some("caught panic: boom".into()) } else { None },
         }
     }
@@ -321,6 +345,7 @@ mod tests {
             // byte-identical.
             assert_eq!(entry.result.ves.to_bits(), expect.ves.to_bits());
             assert_eq!(entry.result.stages, expect.stages);
+            assert_eq!(entry.result.cache_hits, expect.cache_hits);
             assert_eq!(entry.result.failure, expect.failure);
         }
         let _ = std::fs::remove_file(&path);
@@ -328,18 +353,20 @@ mod tests {
 
     #[test]
     fn entries_without_stage_timings_load_as_zero() {
-        // A journal written before stage timings existed: no `stages` key.
+        // A journal written before stage timings (and cache hits) existed:
+        // neither key present.
         let path = tmp("legacy");
         let mut json = match entry_to_json(0, 7, &result(0)) {
             Json::Obj(fields) => fields,
             other => panic!("expected object, got {other:?}"),
         };
-        json.retain(|(key, _)| key != "stages");
+        json.retain(|(key, _)| key != "stages" && key != "cache_hits");
         std::fs::write(&path, format!("{}\n", serde_json::to_string(&Json::Obj(json)).unwrap()))
             .expect("write legacy journal");
         let (_journal, loaded) = Journal::open(&path).expect("legacy journal loads");
         assert_eq!(loaded.len(), 1);
         assert_eq!(loaded[0].result.stages, StageTimings::zero());
+        assert_eq!(loaded[0].result.cache_hits, CacheHits::default());
         let _ = std::fs::remove_file(&path);
     }
 

@@ -16,7 +16,7 @@ use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::path::Path;
 use std::sync::Mutex;
 
-use codes::CodesSystem;
+use codes::{CacheHits, CodesSystem};
 use codes_datasets::{Hardness, Sample};
 use codes_obs::StageTimings;
 use sqlengine::{Database, ExecLimits};
@@ -85,6 +85,11 @@ pub struct EvalOutcome {
     pub avg_prompt_tokens: f64,
     /// Mean wall-clock seconds per Algorithm-1 pipeline stage.
     pub avg_stages: StageTimings,
+    /// Fraction of samples whose schema-filter output came from cache
+    /// (0 when no cache is attached to the system).
+    pub schema_cache_hit_rate: f64,
+    /// Fraction of samples whose value-retriever matches came from cache.
+    pub value_cache_hit_rate: f64,
     /// `(hardness, sample count, EX)` per Spider hardness level.
     pub per_hardness: Vec<(Hardness, usize, f64)>,
 }
@@ -139,6 +144,9 @@ pub struct SampleResult {
     pub stages: StageTimings,
     /// Prompt length (whitespace tokens).
     pub prompt_tokens: usize,
+    /// Which pipeline stages of this inference were served from cache
+    /// (all-false for cacheless systems and pre-cache journals).
+    pub cache_hits: CacheHits,
     /// Set when this sample's evaluation was cut short by a caught panic;
     /// the sample scores 0 on every metric but the run continues.
     pub failure: Option<String>,
@@ -334,6 +342,7 @@ fn eval_one_isolated(
                 latency_seconds: 0.0,
                 stages: StageTimings::zero(),
                 prompt_tokens: 0,
+                cache_hits: CacheHits::default(),
                 failure: Some(format!("caught panic: {message}")),
             }
         })
@@ -377,6 +386,7 @@ fn eval_one(
         latency_seconds: inference.latency_seconds,
         stages: inference.stages,
         prompt_tokens: inference.prompt_tokens,
+        cache_hits: inference.cache_hits,
         failure: None,
     }
 }
@@ -411,6 +421,8 @@ fn summarize(results: &[SampleResult]) -> EvalOutcome {
         avg_latency_seconds: frac(&|r| r.latency_seconds),
         avg_prompt_tokens: frac(&|r| r.prompt_tokens as f64),
         avg_stages: stage_sum.scaled(1.0 / n as f64),
+        schema_cache_hit_rate: frac(&|r| f64::from(r.cache_hits.schema_filter)),
+        value_cache_hit_rate: frac(&|r| f64::from(r.cache_hits.value_retrieval)),
         per_hardness,
     }
 }
@@ -555,6 +567,32 @@ mod tests {
             other => panic!("expected JournalMismatch, got {:?}", other.map(|r| r.outcome.n)),
         }
         let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn cache_hit_rates_surface_in_the_outcome() {
+        let (sys, bench) = mini_system_and_bench();
+        let registry = codes_obs::Registry::new();
+        let cache =
+            Arc::new(codes::SystemCache::with_registry(&registry, codes::CacheSettings::default()));
+        let mut sys = sys.with_cache(cache);
+        // Re-prepare so the shared value indexes are revision-current.
+        sys.prepare_databases(bench.databases.iter());
+        let cfg = EvalConfig { limit: Some(8), compute_ts: false, ..Default::default() };
+
+        let (cold, _) = evaluate(&sys, &bench.dev, &bench.databases, &cfg);
+        assert_eq!(cold.value_cache_hit_rate, 0.0, "first pass computes everything");
+
+        let (warm, results) = evaluate(&sys, &bench.dev, &bench.databases, &cfg);
+        assert_eq!(warm.ex, cold.ex, "caching must not change verdicts");
+        assert!(
+            warm.value_cache_hit_rate > 0.99,
+            "every repeated sample should reuse its value matches: {}",
+            warm.value_cache_hit_rate
+        );
+        assert!(results.iter().all(|r| r.cache_hits.value_retrieval));
+        // No classifier attached, so the T1 tier never engages here.
+        assert_eq!(warm.schema_cache_hit_rate, 0.0);
     }
 
     #[test]

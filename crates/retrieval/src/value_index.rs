@@ -6,6 +6,9 @@
 //! the best matches per column are serialized into the database prompt as
 //! `table.column = 'value'` hints.
 
+use std::sync::{Arc, OnceLock};
+
+use codes_cache::{CacheConfig, ShardedCache};
 use codes_nlp::match_degree;
 use sqlengine::Database;
 
@@ -35,6 +38,7 @@ impl ValueMatch {
 pub struct ValueIndex {
     index: Bm25Index,
     entries: Vec<(String, String, String)>, // (table, column, value)
+    built_revision: u64,
 }
 
 impl ValueIndex {
@@ -45,7 +49,14 @@ impl ValueIndex {
         for (_, _, value) in &entries {
             index.add_document(value);
         }
-        ValueIndex { index, entries }
+        ValueIndex { index, entries, built_revision: db.revision() }
+    }
+
+    /// The catalog revision this index was built from. An index is current
+    /// for `db` iff `built_revision == db.revision()`; any mismatch means
+    /// the database mutated since the build and the index must be rebuilt.
+    pub fn built_revision(&self) -> u64 {
+        self.built_revision
     }
 
     /// Number of indexed values.
@@ -100,6 +111,30 @@ impl ValueIndex {
         matches.truncate(fine_k);
         matches
     }
+}
+
+/// Process-wide BM25 index cache, keyed by catalog revision. Revisions are
+/// globally unique per mutation-state (see [`Database::revision`]), so two
+/// callers asking for the same unchanged database share one build — and a
+/// mutated database misses and rebuilds, because mutation stamped it with a
+/// token nothing has indexed yet.
+fn index_cache() -> &'static ShardedCache<u64, Arc<ValueIndex>> {
+    static CACHE: OnceLock<ShardedCache<u64, Arc<ValueIndex>>> = OnceLock::new();
+    CACHE.get_or_init(|| {
+        ShardedCache::with_metrics(
+            CacheConfig { capacity: 128, shards: 4, ttl: None },
+            &codes_obs::global(),
+            "bm25_index",
+        )
+    })
+}
+
+/// Build — or reuse — the value index for `db`. Concurrent callers asking
+/// for the same revision are single-flighted onto one build; repeat calls
+/// for an unchanged database return the existing `Arc` without touching the
+/// row store.
+pub fn shared_value_index(db: &Database) -> Arc<ValueIndex> {
+    index_cache().get_or_compute(db.revision(), || Arc::new(ValueIndex::build(db)))
 }
 
 /// Sort by degree descending (ties: longer value first — more specific),
@@ -202,6 +237,25 @@ mod tests {
         // district_id values are integers; only text values are indexed:
         // 4 a2 + 4 a3 + 2 gender (F/M distinct)
         assert_eq!(idx.len(), 10);
+    }
+
+    #[test]
+    fn shared_index_reuses_until_the_database_mutates() {
+        let mut db = bank_db();
+        let first = shared_value_index(&db);
+        let again = shared_value_index(&db);
+        assert!(Arc::ptr_eq(&first, &again), "unchanged database shares one build");
+        assert_eq!(first.built_revision(), db.revision());
+
+        // Any catalog mutation stamps a fresh revision; the next request
+        // rebuilds rather than serving the stale index.
+        db.table_mut("client")
+            .unwrap()
+            .insert(vec![4.into(), "F".into(), 3.into()])
+            .unwrap();
+        let rebuilt = shared_value_index(&db);
+        assert!(!Arc::ptr_eq(&first, &rebuilt));
+        assert_eq!(rebuilt.built_revision(), db.revision());
     }
 
     #[test]

@@ -14,6 +14,9 @@ pub const QUEUE_WAIT: &str = "codes_serve_queue_wait_seconds";
 pub const IN_FLIGHT: &str = "codes_serve_in_flight";
 /// Accepted-submission counter name.
 pub const SUBMITTED: &str = "codes_serve_submitted_total";
+/// Cache-resolved-admission counter name (requests served from the
+/// full-result tier without touching the queue).
+pub const SERVED_FROM_CACHE: &str = "codes_serve_served_from_cache_total";
 /// Finished-request counter name (`outcome` label: completed / failed).
 pub const REQUESTS: &str = "codes_serve_requests_total";
 /// Shed counter name (`reason` label: overloaded / breaker / deadline).
@@ -42,6 +45,7 @@ pub(crate) struct ServeMetrics {
     pub(crate) queue_wait: Arc<Histogram>,
     pub(crate) in_flight: Arc<Gauge>,
     pub(crate) submitted: Arc<Counter>,
+    pub(crate) served_from_cache: Arc<Counter>,
     pub(crate) completed: Arc<Counter>,
     pub(crate) failed: Arc<Counter>,
     pub(crate) shed_overloaded: Arc<Counter>,
@@ -57,6 +61,7 @@ impl ServeMetrics {
             queue_wait: registry.histogram(QUEUE_WAIT, &[]),
             in_flight: registry.gauge(IN_FLIGHT, &[]),
             submitted: registry.counter(SUBMITTED, &[]),
+            served_from_cache: registry.counter(SERVED_FROM_CACHE, &[]),
             completed: registry.counter(REQUESTS, &[("outcome", "completed")]),
             failed: registry.counter(REQUESTS, &[("outcome", "failed")]),
             shed_overloaded: registry.counter(SHED, &[("reason", "overloaded")]),
@@ -94,6 +99,7 @@ impl ServeMetrics {
             queue_wait: self.queue_wait.snapshot(),
             in_flight: self.in_flight.get(),
             submitted: self.submitted.get(),
+            served_from_cache: self.served_from_cache.get(),
             completed: self.completed.get(),
             failed: self.failed.get(),
             shed_overloaded: self.shed_overloaded.get(),
@@ -118,6 +124,8 @@ pub struct MetricsSnapshot {
     pub in_flight: i64,
     /// Requests accepted into the queue.
     pub submitted: u64,
+    /// Requests resolved from the full-result cache at admission.
+    pub served_from_cache: u64,
     /// Requests that produced an inference.
     pub completed: u64,
     /// Requests that failed in the backend.

@@ -23,7 +23,10 @@ use std::sync::Arc;
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
-use codes::{CodesSystem, Config};
+use codes::{
+    config_fingerprint, normalize_question, CachedAnswer, CodesSystem, Config, SystemCache,
+    SystemCacheStats,
+};
 use crossbeam::channel::{self, Receiver, Sender, TrySendError};
 use parking_lot::Mutex;
 use sqlengine::{with_retry_paced, Backoff, Database, Error};
@@ -141,6 +144,12 @@ pub struct ServeConfig {
     /// Pacing for transient-failure retries inside a request (sleeps
     /// `delay(attempt)`, seed decorrelated per request id).
     pub retry_backoff: Backoff,
+    /// Optional result cache shared with the backend's [`CodesSystem`].
+    /// When set, [`Pool::submit`] checks the full-result tier (T3) at
+    /// admission — a hit resolves immediately without touching the queue —
+    /// and clean, undegraded successes are admitted back under the
+    /// generation that was current at submit time.
+    pub cache: Option<Arc<SystemCache>>,
 }
 
 impl Default for ServeConfig {
@@ -154,6 +163,7 @@ impl Default for ServeConfig {
             heartbeat_interval: Duration::from_millis(20),
             wedged_after: Duration::from_secs(5),
             retry_backoff: Backoff::new(Duration::from_millis(5), Duration::from_millis(200), 0xC0DE5),
+            cache: None,
         }
     }
 }
@@ -174,8 +184,12 @@ pub struct ServedInference {
     pub queue_wait_seconds: f64,
     /// Prompt length in whitespace tokens.
     pub prompt_tokens: usize,
-    /// Worker slot that served the request.
+    /// Worker slot that served the request (0 when `cached` — no worker
+    /// ran).
     pub worker: usize,
+    /// True when the answer came from the full-result cache tier at
+    /// admission, bypassing the queue and workers entirely.
+    pub cached: bool,
 }
 
 type Outcome = Result<ServedInference, ServeError>;
@@ -234,6 +248,12 @@ struct Job {
     request: Request,
     submitted: Instant,
     reply: Arc<ReplySlot>,
+    /// `(generation, question_key)` captured at submit time when a cache is
+    /// attached. Admitting the result under the *submit-time* generation is
+    /// what makes invalidation race-free: a result computed before a
+    /// generation bump lands under the old token, where post-bump lookups
+    /// can't reach it.
+    cache_slot: Option<(u64, String)>,
 }
 
 /// A request currently running on a worker; lets the supervisor resolve it
@@ -248,6 +268,7 @@ struct InFlight {
 #[derive(Default)]
 struct Stats {
     submitted: AtomicU64,
+    served_from_cache: AtomicU64,
     completed: AtomicU64,
     failed: AtomicU64,
     shed_overloaded: AtomicU64,
@@ -262,6 +283,9 @@ struct Stats {
 pub struct StatsSnapshot {
     /// Requests accepted into the queue.
     pub submitted: u64,
+    /// Requests resolved from the full-result cache at admission (these
+    /// also count as `submitted` and `completed`).
+    pub served_from_cache: u64,
     /// Requests that produced an inference.
     pub completed: u64,
     /// Requests that failed in the backend (typed inference error).
@@ -309,6 +333,9 @@ pub struct HealthSnapshot {
     /// Registry-backed metrics: queue-wait latency distribution,
     /// in-flight gauge, shed counters, breaker transition counts.
     pub metrics: MetricsSnapshot,
+    /// Per-tier cache counters when a [`SystemCache`] is attached
+    /// ([`ServeConfig::cache`]); `None` for cacheless pools.
+    pub cache: Option<SystemCacheStats>,
     /// True when the pool is accepting requests (not shutting down and the
     /// queue has headroom).
     pub ready: bool,
@@ -325,6 +352,9 @@ struct SlotState {
 
 struct Inner {
     config: ServeConfig,
+    /// Fingerprint of `config.base_config`, precomputed once — the T3 key
+    /// component shared by every lookup and admission this pool performs.
+    config_fp: u64,
     backend: Arc<dyn Backend>,
     queue_rx: Receiver<Job>,
     breakers: Mutex<HashMap<String, CircuitBreaker>>,
@@ -432,6 +462,28 @@ impl Inner {
                 self.with_breaker(&db_id, |b| b.record_success());
                 self.stats.completed.fetch_add(1, Ordering::Relaxed);
                 self.metrics.completed.inc();
+                // Admit only clean results: a degradation means the deadline
+                // clamp (or a fault) changed the answer path, and such an
+                // answer must never be replayed to an unclamped request.
+                // The submit-time generation in `cache_slot` keeps this
+                // race-free against concurrent invalidation.
+                if let (Some(cache), Some((generation, question_key))) =
+                    (&self.config.cache, &job.cache_slot)
+                {
+                    if reply.degradations.is_empty() {
+                        cache.admit_full(
+                            &db_id,
+                            *generation,
+                            question_key,
+                            self.config_fp,
+                            CachedAnswer {
+                                sql: reply.sql.clone(),
+                                prompt_tokens: reply.prompt_tokens,
+                                compute_latency_seconds: reply.latency_seconds,
+                            },
+                        );
+                    }
+                }
                 Ok(ServedInference {
                     request_id: job.id,
                     sql: reply.sql,
@@ -440,6 +492,7 @@ impl Inner {
                     queue_wait_seconds: queued.as_secs_f64(),
                     prompt_tokens: reply.prompt_tokens,
                     worker: slot,
+                    cached: false,
                 })
             }
             Err(e) => {
@@ -623,8 +676,10 @@ impl Pool {
         let slots = (0..config.workers)
             .map(|_| SlotState { heartbeat_ms: AtomicU64::new(0), generation: AtomicU64::new(0) })
             .collect();
+        let config_fp = config_fingerprint(&config.base_config);
         let inner = Arc::new(Inner {
             config,
+            config_fp,
             backend: Arc::new(backend),
             queue_rx,
             breakers: Mutex::new(HashMap::new()),
@@ -659,11 +714,49 @@ impl Pool {
         }
         let id = self.inner.next_id.fetch_add(1, Ordering::SeqCst);
         let (reply_tx, reply_rx) = channel::bounded::<Outcome>(1);
+
+        // T3 check at admission: a cached answer resolves the ticket right
+        // here, spending no queue slot and no worker time. The generation
+        // and normalized question are captured now either way, so a fresh
+        // result later admits under the submit-time generation.
+        let cache_slot = self.inner.config.cache.as_ref().map(|cache| {
+            (
+                cache.generation(&request.db_id),
+                normalize_question(&request.question, request.external_knowledge.as_deref()),
+            )
+        });
+        if let (Some(cache), Some((generation, question_key))) =
+            (&self.inner.config.cache, &cache_slot)
+        {
+            if let Some(answer) =
+                cache.lookup_full(&request.db_id, *generation, question_key, self.inner.config_fp)
+            {
+                self.inner.stats.submitted.fetch_add(1, Ordering::Relaxed);
+                self.inner.metrics.submitted.inc();
+                self.inner.stats.served_from_cache.fetch_add(1, Ordering::Relaxed);
+                self.inner.metrics.served_from_cache.inc();
+                self.inner.stats.completed.fetch_add(1, Ordering::Relaxed);
+                self.inner.metrics.completed.inc();
+                let _ = reply_tx.try_send(Ok(ServedInference {
+                    request_id: id,
+                    sql: answer.sql,
+                    degradations: vec![],
+                    latency_seconds: 0.0,
+                    queue_wait_seconds: 0.0,
+                    prompt_tokens: answer.prompt_tokens,
+                    worker: 0,
+                    cached: true,
+                }));
+                return Ok(Ticket { id, rx: reply_rx });
+            }
+        }
+
         let job = Job {
             id,
             request,
             submitted: Instant::now(),
             reply: Arc::new(ReplySlot::new(reply_tx)),
+            cache_slot,
         };
         match queue_tx.try_send(job) {
             Ok(()) => {
@@ -698,6 +791,7 @@ impl Pool {
         let queue_depth = inner.queue_rx.len();
         let stats = StatsSnapshot {
             submitted: inner.stats.submitted.load(Ordering::Relaxed),
+            served_from_cache: inner.stats.served_from_cache.load(Ordering::Relaxed),
             completed: inner.stats.completed.load(Ordering::Relaxed),
             failed: inner.stats.failed.load(Ordering::Relaxed),
             shed_overloaded: inner.stats.shed_overloaded.load(Ordering::Relaxed),
@@ -720,9 +814,20 @@ impl Pool {
             },
             stats,
             metrics: inner.metrics.snapshot(),
+            cache: inner.config.cache.as_ref().map(|c| c.stats()),
             ready: !inner.shutdown.load(Ordering::SeqCst)
                 && queue_depth < inner.config.queue_capacity,
         }
+    }
+
+    /// Invalidate every cached entry for `db_id` (all tiers) by bumping its
+    /// generation; call this after mutating the database out-of-band.
+    /// Returns the new generation, or `None` when the pool has no cache.
+    /// In-flight requests that started before the bump will still admit
+    /// their results — under the old generation, where no future lookup can
+    /// reach them.
+    pub fn invalidate_database(&self, db_id: &str) -> Option<u64> {
+        self.inner.config.cache.as_ref().map(|c| c.invalidate_database(db_id))
     }
 
     /// Stop accepting requests, drain everything already queued or in
@@ -790,6 +895,22 @@ mod tests {
             } else {
                 Err(Error::Exec("database offline".to_string()))
             }
+        }
+    }
+
+    /// Echo backend that reports a fixed degradation list.
+    struct DegradedEchoBackend {
+        degradations: Vec<String>,
+    }
+
+    impl Backend for DegradedEchoBackend {
+        fn infer(&self, request: &Request, _id: u64, _config: &Config) -> Result<BackendReply, Error> {
+            Ok(BackendReply {
+                sql: format!("SELECT '{}'", request.question),
+                degradations: self.degradations.clone(),
+                latency_seconds: 0.0,
+                prompt_tokens: request.question.split_whitespace().count(),
+            })
         }
     }
 
@@ -867,6 +988,73 @@ mod tests {
         let health = pool.shutdown();
         assert_eq!(health.stats.shed_deadline, 1);
         assert_eq!(health.stats.completed, 0);
+    }
+
+    #[test]
+    fn repeated_questions_are_served_from_cache_until_invalidated() {
+        let registry = Arc::new(codes_obs::Registry::new());
+        let cache = Arc::new(codes::SystemCache::with_registry(
+            &registry,
+            codes::CacheSettings::default(),
+        ));
+        let mut config = quick_config();
+        config.cache = Some(Arc::clone(&cache));
+        let pool = Pool::start_with_registry(
+            EchoBackend { delay: Duration::ZERO },
+            config,
+            Arc::clone(&registry),
+        );
+
+        // Cold: computed by a worker and admitted into T3.
+        let cold = pool.submit(Request::new("db", "How many clients?")).expect("admitted");
+        let cold = cold.wait().expect("echo cannot fail");
+        assert!(!cold.cached);
+
+        // Warm: same question (modulo formatting) resolves at admission.
+        let warm = pool.submit(Request::new("db", "  how MANY clients? ")).expect("admitted");
+        let warm = warm.wait().expect("cache hit cannot fail");
+        assert!(warm.cached, "second submission must hit the full-result tier");
+        assert_eq!(warm.sql, cold.sql);
+        assert_eq!(warm.prompt_tokens, cold.prompt_tokens);
+
+        // Invalidation: the generation bump makes the entry unreachable.
+        assert_eq!(pool.invalidate_database("db"), Some(1));
+        let fresh = pool.submit(Request::new("db", "how many clients?")).expect("admitted");
+        assert!(!fresh.wait().expect("recomputed").cached);
+
+        let health = pool.shutdown();
+        assert_eq!(health.stats.served_from_cache, 1);
+        assert_eq!(health.metrics.served_from_cache, 1);
+        assert_eq!(health.stats.submitted, 3);
+        assert_eq!(health.stats.completed, 3);
+        let stats = health.cache.expect("cache attached");
+        assert_eq!(stats.full.hits, 1);
+        assert_eq!(stats.invalidations, 1);
+    }
+
+    #[test]
+    fn degraded_results_are_never_admitted_to_the_cache() {
+        let registry = Arc::new(codes_obs::Registry::new());
+        let cache = Arc::new(codes::SystemCache::with_registry(
+            &registry,
+            codes::CacheSettings::default(),
+        ));
+        let mut config = quick_config();
+        config.cache = Some(Arc::clone(&cache));
+        let pool = Pool::start_with_registry(
+            DegradedEchoBackend { degradations: vec!["greedy".to_string()] },
+            config,
+            registry,
+        );
+        for _ in 0..3 {
+            let served =
+                pool.submit(Request::new("db", "q")).expect("admitted").wait().expect("served");
+            assert!(!served.cached, "a degraded answer must never be replayed from cache");
+            assert_eq!(served.degradations, vec!["greedy".to_string()]);
+        }
+        let health = pool.shutdown();
+        assert_eq!(health.stats.served_from_cache, 0);
+        assert_eq!(health.cache.expect("cache attached").full.entries, 0);
     }
 
     #[test]

@@ -3,7 +3,7 @@
 //! result, a typed error, or an explicit `Overloaded` rejection — zero
 //! hangs, zero lost requests — and drain completely on shutdown.
 
-use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Arc, Once};
 use std::time::{Duration, Instant};
 
@@ -52,6 +52,28 @@ impl Backend for EchoBackend {
             degradations: vec![],
             latency_seconds: 0.0,
             prompt_tokens: request.question.split_whitespace().count(),
+        })
+    }
+}
+
+/// Answers with the current epoch — a stale cache entry served after a
+/// data change is immediately visible as the wrong epoch in the SQL.
+struct EpochBackend {
+    epoch: Arc<AtomicU64>,
+}
+
+impl Backend for EpochBackend {
+    fn infer(
+        &self,
+        _request: &Request,
+        _id: u64,
+        _config: &codes::Config,
+    ) -> Result<BackendReply, sqlengine::Error> {
+        Ok(BackendReply {
+            sql: format!("SELECT {}", self.epoch.load(Ordering::SeqCst)),
+            degradations: vec![],
+            latency_seconds: 0.0,
+            prompt_tokens: 1,
         })
     }
 }
@@ -208,6 +230,88 @@ fn immediate_shutdown_resolves_every_admitted_request() {
         );
     }
     assert_eq!(tickets.len() + shed, 60);
+}
+
+#[test]
+fn generation_bump_mid_storm_prevents_stale_cached_results() {
+    silence_injected_panics();
+    let epoch = Arc::new(AtomicU64::new(0));
+    let registry = Arc::new(codes_obs::Registry::new());
+    let cache = Arc::new(codes::SystemCache::with_registry(
+        &registry,
+        codes::CacheSettings::default(),
+    ));
+    let mut config = chaos_config();
+    config.cache = Some(Arc::clone(&cache));
+    let backend = FaultyBackend::new(EpochBackend { epoch: Arc::clone(&epoch) }, chaos_plan());
+    let pool = Pool::start_with_registry(backend, config, registry);
+
+    let submit_storm = |pool: &Pool| -> Vec<Ticket> {
+        let mut tickets = Vec::new();
+        for i in 0..120 {
+            // Sixteen distinct questions over one database, repeated — the
+            // repeats hit T3 once a clean first computation has admitted.
+            match pool.submit(Request::new("bank", format!("question {}", i % 16))) {
+                Ok(ticket) => tickets.push(ticket),
+                Err(e) => assert!(e.is_load_shed(), "unexpected rejection: {e}"),
+            }
+            if i % 4 == 0 {
+                std::thread::sleep(Duration::from_millis(1));
+            }
+        }
+        tickets
+    };
+
+    // Phase 1: storm under epoch 0, faults and all.
+    let phase1 = submit_storm(&pool);
+
+    // Mid-storm mutation: the data changes, then the operator invalidates.
+    // Phase-1 tickets are deliberately still in flight — any of them that
+    // finish computing after this point admit under the *old* generation,
+    // where phase-2 lookups cannot reach them.
+    epoch.store(1, Ordering::SeqCst);
+    pool.invalidate_database("bank").expect("pool has a cache attached");
+
+    // Phase 2: the same questions again. Every Ok outcome — fresh compute
+    // or cache hit — must reflect the new epoch; a "SELECT 0" here would
+    // mean a post-invalidation request was served a pre-invalidation
+    // result.
+    let phase2 = submit_storm(&pool);
+    for ticket in phase2 {
+        let outcome = ticket
+            .wait_timeout(Duration::from_secs(10))
+            .expect("phase-2 ticket resolved within 10s");
+        if let Ok(served) = outcome {
+            assert_eq!(
+                served.sql, "SELECT 1",
+                "post-invalidation request served a pre-invalidation result \
+                 (cached: {})",
+                served.cached
+            );
+        }
+    }
+    // Phase-1 tickets also all resolve; either epoch is legitimate for
+    // them since they were submitted before the mutation.
+    for ticket in phase1 {
+        let outcome = ticket
+            .wait_timeout(Duration::from_secs(10))
+            .expect("phase-1 ticket resolved within 10s");
+        if let Ok(served) = outcome {
+            assert!(served.sql == "SELECT 0" || served.sql == "SELECT 1");
+        }
+    }
+
+    let health = pool.shutdown();
+    assert_eq!(health.queue_depth, 0);
+    assert_eq!(health.in_flight, 0);
+    assert!(
+        health.stats.served_from_cache > 0,
+        "repeated questions must actually exercise the full-result tier: {:?}",
+        health.stats
+    );
+    let stats = health.cache.expect("cache attached");
+    assert!(stats.invalidations >= 1, "the mid-storm bump is counted: {stats:?}");
+    assert!(stats.full.hits > 0 && stats.full.misses > 0, "warm and cold traffic: {stats:?}");
 }
 
 #[test]

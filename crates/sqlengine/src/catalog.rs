@@ -215,19 +215,55 @@ impl Table {
     }
 }
 
+/// Process-global source of revision tokens: every catalog mutation stamps
+/// the database with a fresh, never-reused value, so two databases (or two
+/// states of one database) never share a revision unless one is an
+/// unmutated clone of the other.
+static REVISION_TOKENS: std::sync::atomic::AtomicU64 = std::sync::atomic::AtomicU64::new(1);
+
+fn next_revision() -> u64 {
+    REVISION_TOKENS.fetch_add(1, std::sync::atomic::Ordering::Relaxed)
+}
+
 /// A database: a named collection of tables.
-#[derive(Debug, Clone, Default)]
+#[derive(Debug, Clone)]
 pub struct Database {
     /// Database id (the benchmark `db_id`).
     pub name: String,
     /// Tables in creation order.
     pub tables: Vec<Table>,
+    /// Mutation token: refreshed by every catalog mutation (DDL or row
+    /// access through [`Database::table_mut`]). Caches key derived state on
+    /// this, so stale entries become unreachable the moment the catalog
+    /// changes. In-process only — not stable across runs.
+    revision: u64,
+}
+
+impl Default for Database {
+    fn default() -> Database {
+        Database::new("")
+    }
 }
 
 impl Database {
     /// An empty database.
     pub fn new(name: impl Into<String>) -> Database {
-        Database { name: name.into(), tables: Vec::new() }
+        Database { name: name.into(), tables: Vec::new(), revision: next_revision() }
+    }
+
+    /// The current mutation token. Equal revisions imply identical catalog
+    /// state (within this process); a differing revision means derived
+    /// state (BM25 indexes, cached schema filters) must be rebuilt.
+    pub fn revision(&self) -> u64 {
+        self.revision
+    }
+
+    /// Stamp a fresh revision. Called by every mutating accessor; public so
+    /// callers that mutate table internals through other routes can mark
+    /// the database dirty themselves.
+    pub fn bump_revision(&mut self) -> u64 {
+        self.revision = next_revision();
+        self.revision
     }
 
     /// Create a table; errors if the name already exists.
@@ -235,6 +271,7 @@ impl Database {
         if self.table(&schema.name).is_some() {
             return Err(Error::Catalog(format!("table {} already exists", schema.name)));
         }
+        self.bump_revision();
         self.tables.push(Table::new(schema));
         Ok(self.tables.last_mut().unwrap())
     }
@@ -244,9 +281,16 @@ impl Database {
         self.tables.iter().find(|t| t.schema.name.eq_ignore_ascii_case(name))
     }
 
-    /// Case-insensitive mutable table access.
+    /// Case-insensitive mutable table access. Conservatively stamps a new
+    /// revision when the table exists: handing out `&mut Table` means rows
+    /// or schema may change.
     pub fn table_mut(&mut self, name: &str) -> Option<&mut Table> {
-        self.tables.iter_mut().find(|t| t.schema.name.eq_ignore_ascii_case(name))
+        let ix = self
+            .tables
+            .iter()
+            .position(|t| t.schema.name.eq_ignore_ascii_case(name))?;
+        self.bump_revision();
+        Some(&mut self.tables[ix])
     }
 
     /// The table names, in creation order.
@@ -385,6 +429,23 @@ mod tests {
         assert_eq!(db.value_count(), 8); // 9 cells minus one NULL
         let texts = db.text_values();
         assert_eq!(texts.len(), 2); // Alice, Bob (distinct)
+    }
+
+    #[test]
+    fn revision_changes_on_mutation_and_is_stable_otherwise() {
+        let mut db = sample_db();
+        let r0 = db.revision();
+        assert!(db.table("customers").is_some());
+        assert_eq!(db.revision(), r0, "read access leaves the revision alone");
+        db.table_mut("customers").unwrap();
+        let r1 = db.revision();
+        assert_ne!(r1, r0);
+        db.create_table(TableSchema::new("t2", vec![Column::new("x", DataType::Integer)]))
+            .unwrap();
+        assert_ne!(db.revision(), r1);
+        // A fresh database never shares a token with an existing one, even
+        // under the same name.
+        assert_ne!(Database::new("shop").revision(), db.revision());
     }
 
     #[test]

@@ -10,7 +10,8 @@ use std::sync::Arc;
 use std::time::Duration;
 
 use codes::{
-    pretrain, table4_models, CodesModel, CodesSystem, PretrainConfig, PromptOptions, SketchCatalog,
+    pretrain, table4_models, CacheSettings, CodesModel, CodesSystem, PretrainConfig,
+    PromptOptions, SketchCatalog, SystemCache,
 };
 use codes_linker::SchemaClassifier;
 use codes_serve::{
@@ -31,17 +32,27 @@ fn main() {
         .expect("CodeS-1B is a fixed Table 4 row");
     let lm = pretrain(&catalog, &spec, &PretrainConfig { scale: 10, seed: 1 });
     let classifier = SchemaClassifier::train(&bench, false, 7);
+    // The three-tier result cache, shared between the system (T1 schema
+    // filter + T2 value retrieval inside each inference) and the pool
+    // (T3 full results, checked at admission). Metrics land in the global
+    // registry, so they show up in the Prometheus dump below.
+    let cache = Arc::new(SystemCache::with_registry(
+        &codes_obs::global(),
+        CacheSettings::default(),
+    ));
     let mut system = CodesSystem::new(CodesModel::new(lm, catalog), PromptOptions::sft())
-        .with_classifier(classifier);
+        .with_classifier(classifier)
+        .with_cache(Arc::clone(&cache));
     system.prepare_databases(bench.databases.iter());
     system.finetune_on(&bench);
 
     // 2. Stand the pool up over the system: 4 workers, a bounded queue
-    //    (backpressure is explicit), per-database circuit breakers, and
-    //    deadline propagation into each inference.
+    //    (backpressure is explicit), per-database circuit breakers,
+    //    deadline propagation into each inference, and the shared cache.
     let system = Arc::new(system);
     let backend = SystemBackend::new(Arc::clone(&system), bench.databases.clone());
-    let pool = Pool::start(backend, ServeConfig::default());
+    let config = ServeConfig { cache: Some(Arc::clone(&cache)), ..ServeConfig::default() };
+    let pool = Pool::start(backend, config);
 
     println!("\nserving {} dev questions concurrently ...", bench.dev.len().min(10));
     let tickets: Vec<_> = bench
@@ -63,20 +74,49 @@ fn main() {
         }
     }
 
-    // 3. Health/readiness snapshot: what a load balancer would scrape.
+    // 3. The same questions again: every one resolves from the full-result
+    //    tier at admission, without touching the queue or a worker.
+    println!("\nsame questions again, now warm ...");
+    let tickets: Vec<_> = bench
+        .dev
+        .iter()
+        .take(10)
+        .map(|s| pool.submit(Request::new(s.db_id.clone(), s.question.clone())))
+        .collect();
+    for ticket in tickets {
+        match ticket.expect("queue has headroom for ten requests").wait() {
+            Ok(served) => println!(
+                "  [{} | {:>5.1}ms] {}",
+                if served.cached { "cache " } else { "worker" },
+                served.latency_seconds * 1e3,
+                served.sql
+            ),
+            Err(e) => println!("  error: {e}"),
+        }
+    }
+
+    // 4. Health/readiness snapshot: what a load balancer would scrape —
+    //    now including the per-tier cache counters.
     let health = pool.health();
     println!(
-        "\nhealth: ready={} queue={}/{} in_flight={} served={} failed={}",
+        "\nhealth: ready={} queue={}/{} in_flight={} served={} failed={} from_cache={}",
         health.ready,
         health.queue_depth,
         health.queue_capacity,
         health.in_flight,
         health.stats.completed,
-        health.stats.failed
+        health.stats.failed,
+        health.stats.served_from_cache
     );
+    if let Some(stats) = &health.cache {
+        println!("cache tiers (hits/misses):");
+        println!("  T1 schema_filter    {:>3} / {:<3}", stats.schema.hits, stats.schema.misses);
+        println!("  T2 value_retrieval  {:>3} / {:<3}", stats.values.hits, stats.values.misses);
+        println!("  T3 full_result      {:>3} / {:<3}", stats.full.hits, stats.full.misses);
+    }
     pool.shutdown();
 
-    // 4. The observability layer: every inference recorded one span per
+    // 5. The observability layer: every inference recorded one span per
     //    Algorithm-1 stage and the pool recorded queue/shed/breaker
     //    counters, all into the global registry. First the per-stage
     //    latency quantiles ...
@@ -103,7 +143,7 @@ fn main() {
         println!("  {line}");
     }
 
-    // 5. Chaos mode: the same pool shape, but the backend is wrapped in a
+    // 6. Chaos mode: the same pool shape, but the backend is wrapped in a
     //    seeded fault plan that panics or stalls a fifth of all requests.
     //    Deterministic per request id — rerunning reproduces the storm.
     println!("\nchaos mode: injecting worker panics/stalls (seed 7) ...");
