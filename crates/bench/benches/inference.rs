@@ -7,6 +7,7 @@
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use std::hint::black_box;
 
+use codes::InferenceRequest;
 use codes_bench::workbench;
 
 fn bench_inference(c: &mut Criterion) {
@@ -20,7 +21,7 @@ fn bench_inference(c: &mut Criterion) {
     for name in ["CodeS-1B", "CodeS-3B", "CodeS-7B", "CodeS-15B"] {
         let sys = workbench::sft_system(name, spider, false);
         group.bench_with_input(BenchmarkId::from_parameter(name), name, |b, _| {
-            b.iter(|| black_box(sys.infer(db, &sample.question, None)))
+            b.iter(|| black_box(sys.infer(db, &InferenceRequest::new(&sample.db_id, &sample.question))))
         });
     }
     group.finish();

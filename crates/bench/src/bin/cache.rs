@@ -13,10 +13,10 @@
 use std::sync::Arc;
 use std::time::Instant;
 
-use codes::{CacheSettings, CodesSystem, SystemCache};
+use codes::{CacheSettings, CodesSystem, InferenceRequest, SystemCache};
 use codes_bench::workbench;
 use codes_eval::TextTable;
-use codes_serve::{Pool, Request, ServeConfig, SystemBackend};
+use codes_serve::{Pool, ServeConfig, SystemBackend};
 
 /// Percentile over a latency set (seconds); `q` in [0, 1].
 fn percentile(sorted: &[f64], q: f64) -> f64 {
@@ -49,7 +49,8 @@ fn pool_pass(label: &'static str, pool: &Pool, work: &[(String, String)]) -> Pas
         .iter()
         .map(|(db_id, question)| {
             let started = Instant::now();
-            let ticket = pool.submit(Request::new(db_id, question)).expect("queue has headroom");
+            let ticket =
+                pool.submit(InferenceRequest::new(db_id, question)).expect("queue has headroom");
             ticket.wait().expect("benchmark inference succeeds");
             started.elapsed().as_secs_f64()
         })
@@ -64,7 +65,7 @@ fn direct_pass(label: &'static str, sys: &CodesSystem, work: &[(String, String)]
         .map(|(db_id, question)| {
             let db = spider.database(db_id).expect("benchmark database exists");
             let started = Instant::now();
-            let _ = sys.infer(db, question, None);
+            let _ = sys.infer(db, &InferenceRequest::new(db_id, question));
             started.elapsed().as_secs_f64()
         })
         .collect();

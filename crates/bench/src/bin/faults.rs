@@ -22,11 +22,11 @@
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
-use codes::{CodesModel, CodesSystem, Config, PromptOptions};
+use codes::{CodesModel, CodesSystem, Config, InferenceRequest, PromptOptions};
 use codes_bench::workbench;
 use codes_eval::{evaluate, EvalConfig, TextTable};
 use codes_serve::{
-    BreakerConfig, FaultPlan, FaultyBackend, Pool, Request, ServeConfig, ServeError, SystemBackend,
+    BreakerConfig, FaultPlan, FaultyBackend, Pool, ServeConfig, ServeError, SystemBackend,
 };
 use sqlengine::{execute_query_governed, with_retry, Backoff, Error, ExecLimits};
 
@@ -181,7 +181,7 @@ fn degradation(spider: &codes_datasets::Benchmark) {
     let sys = CodesSystem::new(model, PromptOptions::sft()).with_config(Config::serving());
     let s = &spider.dev[0];
     let db = spider.database(&s.db_id).expect("dev sample references a known db");
-    let out = sys.infer(db, &s.question, None);
+    let out = sys.infer(db, &InferenceRequest::new(&s.db_id, &s.question));
     let mut table =
         TextTable::new("Graceful degradation (no classifier, no indexes, serving config)")
             .headers(&["Degradations taken", "SQL produced"]);
@@ -239,7 +239,7 @@ fn pool_chaos(spider: &codes_datasets::Benchmark) {
     let mut shed_at_admission = 0usize;
     for i in 0..total {
         let sample = &spider.dev[i % spider.dev.len()];
-        match pool.submit(Request::new(sample.db_id.clone(), sample.question.clone())) {
+        match pool.submit(InferenceRequest::new(&sample.db_id, &sample.question)) {
             Ok(t) => tickets.push(t),
             Err(ServeError::Overloaded { .. }) => shed_at_admission += 1,
             Err(e) => panic!("unexpected admission failure: {e}"),

@@ -4,6 +4,7 @@
 //!
 //! Usage: `cargo run --release -p codes-bench --bin inspect -- "<question substring>"`
 
+use codes::InferenceRequest;
 use codes_bench::workbench;
 
 fn main() {
@@ -58,7 +59,7 @@ fn main() {
             ),
         ),
     ] {
-        let out = sys.infer(db, &sample.question, None);
+        let out = sys.infer(db, &InferenceRequest::new(&sample.db_id, &sample.question));
         println!("\n== {label} beam ==");
         for c in &out.generation.beam {
             println!(

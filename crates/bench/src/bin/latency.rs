@@ -2,7 +2,7 @@
 //! latency of the simulated models alongside the paper's reported
 //! transformer latencies and float16 memory footprints.
 
-use codes::ModelSize;
+use codes::{InferenceRequest, ModelSize};
 use codes_bench::workbench;
 use codes_eval::TextTable;
 
@@ -28,14 +28,14 @@ fn main() {
         let warm = spider.dev.len().min(5);
         for s in spider.dev.iter().take(warm) {
             let db = spider.database(&s.db_id).unwrap();
-            let _ = sys.infer(db, &s.question, None);
+            let _ = sys.infer(db, &InferenceRequest::new(&s.db_id, &s.question));
         }
         let n = spider.dev.len().min(workbench::eval_limit().unwrap_or(100));
         let mut total = 0.0;
         let mut tokens = 0.0;
         for s in spider.dev.iter().take(n) {
             let db = spider.database(&s.db_id).unwrap();
-            let out = sys.infer(db, &s.question, None);
+            let out = sys.infer(db, &InferenceRequest::new(&s.db_id, &s.question));
             total += out.latency_seconds;
             tokens += out.prompt_tokens as f64;
         }

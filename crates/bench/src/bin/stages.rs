@@ -6,6 +6,7 @@
 //! the observability-layer counterpart of the §9.7 end-to-end latency
 //! table, showing *where* inside an inference the time goes.
 
+use codes::InferenceRequest;
 use codes_bench::workbench;
 use codes_eval::TextTable;
 use codes_obs::{StageTimings, PIPELINE_STAGES, STAGE_HISTOGRAM};
@@ -19,7 +20,7 @@ fn main() {
     let mut evaluated = 0usize;
     for s in spider.dev.iter().take(n) {
         let db = spider.database(&s.db_id).expect("dev samples reference generated databases");
-        let out = sys.infer(db, &s.question, None);
+        let out = sys.infer(db, &InferenceRequest::new(&s.db_id, &s.question));
         totals.accumulate(&out.stages);
         evaluated += 1;
     }

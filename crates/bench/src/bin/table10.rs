@@ -70,7 +70,7 @@ fn main() {
     };
 
     let fresh = |lm: std::sync::Arc<codes::PretrainedLm>, opts: PromptOptions, bench: &Benchmark| {
-        let mut sys = CodesSystem::new(CodesModel::new(lm, workbench::catalog()), opts)
+        let sys = CodesSystem::new(CodesModel::new(lm, workbench::catalog()), opts)
             .with_classifier(clf.clone());
         sys.prepare_databases(bench.databases.iter());
         sys
@@ -80,12 +80,10 @@ fn main() {
     for frontier_name in ["GPT-3.5 (sim)", "GPT-4 (sim)"] {
         let lm = workbench::frontier(frontier_name);
         let mk = |bench: &Benchmark| {
-            let mut sys = fresh(lm.clone(), PromptOptions::few_shot(), bench);
-            sys = sys.with_demonstrations(
+            fresh(lm.clone(), PromptOptions::few_shot(), bench).with_demonstrations(
                 bench.train.clone(),
                 FewShot { k: 3, strategy: DemoStrategy::Random },
-            );
-            sys
+            )
         };
         run(
             &format!("3-shot {frontier_name}"),
@@ -103,11 +101,9 @@ fn main() {
         ("SFT CodeS-7B using BIRD w/ EK", bird, true),
     ] {
         let mk = |bench: &Benchmark| {
-            let mut sys = fresh(workbench::pretrained("CodeS-7B"), PromptOptions::sft(), bench);
             // Fine-tune on the source benchmark, then run on the new domain.
             let _ = use_ek;
-            sys.finetune_on(source);
-            sys
+            fresh(workbench::pretrained("CodeS-7B"), PromptOptions::sft(), bench).finetune_on(source)
         };
         run(label, &mk(&bank), &mk(&aminer), &mut t, &mut records);
     }
@@ -128,9 +124,8 @@ fn main() {
     // SFT on augmented data (per-domain models).
     {
         let mk = |bench: &Benchmark, db: &Database, aug: &[Sample]| {
-            let mut sys = fresh(workbench::pretrained("CodeS-7B"), PromptOptions::sft(), bench);
-            sys.finetune_pairs(aug.iter().map(|s| (s, db)));
-            sys
+            fresh(workbench::pretrained("CodeS-7B"), PromptOptions::sft(), bench)
+                .finetune_pairs(aug.iter().map(|s| (s, db)))
         };
         run(
             "SFT CodeS-7B using aug. data",
@@ -143,13 +138,13 @@ fn main() {
 
     // SFT on merged data (one unified model).
     {
-        let mut sys = fresh(workbench::pretrained("CodeS-7B"), PromptOptions::sft(), &bank);
+        let sys = fresh(workbench::pretrained("CodeS-7B"), PromptOptions::sft(), &bank)
+            .finetune_on(spider)
+            .finetune_on(bird)
+            .finetune_pairs(bank_aug.iter().map(|s| (s, &bank_db)))
+            .finetune_pairs(aminer_aug.iter().map(|s| (s, &aminer_db)));
         sys.prepare_databases(aminer.databases.iter());
         sys.install_value_indexes(&workbench::value_indexes(spider));
-        sys.finetune_on(spider);
-        sys.finetune_on(bird);
-        sys.finetune_pairs(bank_aug.iter().map(|s| (s, &bank_db)));
-        sys.finetune_pairs(aminer_aug.iter().map(|s| (s, &aminer_db)));
         run("SFT CodeS-7B using merged data", &sys, &sys, &mut t, &mut records);
     }
 

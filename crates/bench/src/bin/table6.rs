@@ -41,8 +41,6 @@ fn main() {
         let sys_plain = workbench::sft_system(name, bird, false);
         let sys_ek = workbench::sft_system(name, bird, true);
         // Test-split evaluation needs the test databases indexed.
-        let mut sys_plain = sys_plain;
-        let mut sys_ek = sys_ek;
         sys_plain.install_value_indexes(&workbench::value_indexes(bird_test));
         sys_ek.install_value_indexes(&workbench::value_indexes(bird_test));
 

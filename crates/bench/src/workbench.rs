@@ -182,10 +182,10 @@ pub fn classifier(benchmark: &Benchmark, use_ek: bool) -> SchemaClassifier {
 /// Build a supervised fine-tuned system for `model_name` on `benchmark`.
 pub fn sft_system(model_name: &str, benchmark: &Benchmark, use_ek: bool) -> CodesSystem {
     let model = CodesModel::new(pretrained(model_name), catalog());
-    let mut sys = CodesSystem::new(model, PromptOptions::sft())
-        .with_classifier(classifier(benchmark, use_ek));
+    let sys = CodesSystem::new(model, PromptOptions::sft())
+        .with_classifier(classifier(benchmark, use_ek))
+        .finetune_on(benchmark);
     sys.install_value_indexes(&value_indexes(benchmark));
-    sys.finetune_on(benchmark);
     sys
 }
 
@@ -200,7 +200,7 @@ pub fn icl_system(
 ) -> CodesSystem {
     let (pool, retriever) = demo_retriever(&lm, benchmark);
     let model = CodesModel::new(lm, catalog());
-    let mut sys = CodesSystem::new(model, options)
+    let sys = CodesSystem::new(model, options)
         .with_classifier(classifier(benchmark, use_ek))
         .with_shared_demonstrations(pool, retriever, FewShot { k, strategy });
     sys.install_value_indexes(&value_indexes(benchmark));

@@ -1,0 +1,160 @@
+//! The unified error surface of the CodeS stack.
+//!
+//! The engine ([`sqlengine::Error`]) classifies failures as transient vs
+//! permanent; the serving runtime adds its own taxonomy (overload sheds,
+//! breaker rejections, worker deaths). Callers used to match on both
+//! crate-specific enums; [`Error`] bridges them behind two questions every
+//! caller actually asks: *can a retry help?* ([`Error::is_transient`]) and
+//! *was this load shedding rather than a real failure?*
+//! ([`Error::is_overload`]). The serving crate converts its `ServeError`
+//! into this type (`From<ServeError> for codes::Error` lives there); the
+//! full mapping is documented in DESIGN.md §4g.
+
+use std::fmt;
+use std::time::Duration;
+
+/// Why an inference request failed, across every layer of the stack.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Error {
+    /// The engine/model pipeline itself failed (parse error, budget
+    /// exhaustion after retries, caught panic, unknown table…).
+    Engine(sqlengine::Error),
+    /// Load shed at admission: the serving queue is full.
+    Overloaded {
+        /// Queue depth observed at rejection.
+        queue_depth: usize,
+        /// Configured queue capacity.
+        capacity: usize,
+    },
+    /// The target database's circuit breaker is open.
+    CircuitOpen {
+        /// Database whose breaker rejected the request.
+        db_id: String,
+        /// How long until the breaker will admit a probe.
+        retry_after: Duration,
+    },
+    /// The request's deadline expired before it could run.
+    DeadlineExceeded {
+        /// Time spent queued.
+        queued: Duration,
+        /// The request's total time budget.
+        budget: Duration,
+    },
+    /// The worker running the request panicked (and was replaced).
+    WorkerPanic(String),
+    /// The worker running the request stopped heartbeating (and was
+    /// replaced).
+    WorkerWedged {
+        /// How long the worker had been silent when declared wedged.
+        stalled: Duration,
+    },
+    /// The serving runtime is shutting down.
+    ShuttingDown,
+}
+
+impl Error {
+    /// Short machine-readable category, stable across layers.
+    pub fn kind(&self) -> &'static str {
+        match self {
+            Error::Engine(e) => e.kind(),
+            Error::Overloaded { .. } => "overloaded",
+            Error::CircuitOpen { .. } => "circuit_open",
+            Error::DeadlineExceeded { .. } => "deadline",
+            Error::WorkerPanic(_) => "worker_panic",
+            Error::WorkerWedged { .. } => "worker_wedged",
+            Error::ShuttingDown => "shutting_down",
+        }
+    }
+
+    /// True when retrying the same request later may succeed: every
+    /// overload shed (the load will pass), engine budget exhaustion (the
+    /// engine's own transient class), and worker deaths (a property of the
+    /// worker, not the statement — the replacement may serve it fine).
+    /// Permanent statement/schema failures and shutdown are not transient.
+    pub fn is_transient(&self) -> bool {
+        match self {
+            Error::Engine(e) => e.is_transient(),
+            Error::Overloaded { .. }
+            | Error::CircuitOpen { .. }
+            | Error::DeadlineExceeded { .. }
+            | Error::WorkerPanic(_)
+            | Error::WorkerWedged { .. } => true,
+            Error::ShuttingDown => false,
+        }
+    }
+
+    /// True when the request was never really attempted — it was shed by
+    /// admission control to protect the service (queue full, breaker open,
+    /// deadline already blown). Mirrors the serving runtime's load-shed
+    /// classification.
+    pub fn is_overload(&self) -> bool {
+        matches!(
+            self,
+            Error::Overloaded { .. } | Error::CircuitOpen { .. } | Error::DeadlineExceeded { .. }
+        )
+    }
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Error::Engine(e) => write!(f, "inference failed: {e}"),
+            Error::Overloaded { queue_depth, capacity } => {
+                write!(f, "overloaded: admission queue full ({queue_depth}/{capacity})")
+            }
+            Error::CircuitOpen { db_id, retry_after } => {
+                write!(f, "circuit open for '{db_id}': retry in {retry_after:?}")
+            }
+            Error::DeadlineExceeded { queued, budget } => {
+                write!(f, "deadline exceeded while queued ({queued:?} of a {budget:?} budget)")
+            }
+            Error::WorkerPanic(msg) => write!(f, "worker panicked: {msg}"),
+            Error::WorkerWedged { stalled } => {
+                write!(f, "worker wedged (no heartbeat for {stalled:?})")
+            }
+            Error::ShuttingDown => write!(f, "pool shutting down"),
+        }
+    }
+}
+
+impl std::error::Error for Error {}
+
+impl From<sqlengine::Error> for Error {
+    fn from(e: sqlengine::Error) -> Error {
+        Error::Engine(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn transient_and_overload_classification() {
+        let overloads = [
+            Error::Overloaded { queue_depth: 8, capacity: 8 },
+            Error::CircuitOpen { db_id: "bank".into(), retry_after: Duration::from_millis(10) },
+            Error::DeadlineExceeded {
+                queued: Duration::from_millis(120),
+                budget: Duration::from_millis(100),
+            },
+        ];
+        for e in &overloads {
+            assert!(e.is_overload(), "{e}");
+            assert!(e.is_transient(), "overload sheds pass: {e}");
+        }
+        // Worker deaths: transient (infrastructure fault) but not overload.
+        let panic = Error::WorkerPanic("boom".into());
+        assert!(panic.is_transient() && !panic.is_overload());
+        // Engine taxonomy flows through unchanged.
+        let budget = Error::Engine(sqlengine::Error::BudgetExceeded {
+            resource: sqlengine::Resource::Time,
+            spent: 1,
+            limit: 1,
+        });
+        assert!(budget.is_transient() && !budget.is_overload());
+        let parse = Error::Engine(sqlengine::Error::Parse("bad".into()));
+        assert!(!parse.is_transient() && !parse.is_overload());
+        assert!(!Error::ShuttingDown.is_transient());
+    }
+}

@@ -271,6 +271,25 @@ fn esc(v: &str) -> String {
     v.replace('\'', "''")
 }
 
+/// Fill the top `take` entries of a ranked `(template_id, score)` list in
+/// one pass, keeping the candidates that fill. This is the beam step
+/// shared by the solo and batched decode paths: one traversal of the
+/// ranked list per member, yielding each filled [`Candidate`] alongside
+/// its template score for the ranker.
+pub fn fill_ranked(
+    ctx: &SlotContext,
+    ranked: &[(usize, f64)],
+    take: usize,
+) -> Vec<(Candidate, f64)> {
+    let mut out = Vec::with_capacity(take.min(ranked.len()));
+    for &(id, template_score) in ranked.iter().take(take) {
+        if let Some(candidate) = fill_template(ctx, id) {
+            out.push((candidate, template_score));
+        }
+    }
+    out
+}
+
 /// Generate the best slot assignment for one template. `None` when the
 /// prompt cannot satisfy the template's requirements.
 pub fn fill_template(ctx: &SlotContext, template_id: usize) -> Option<Candidate> {

@@ -15,11 +15,13 @@
 
 pub mod cache;
 pub mod config;
+pub mod error;
 pub mod generator;
 pub mod intent;
 pub mod model;
 pub mod pretrain;
 pub mod prompt;
+pub mod request;
 pub mod sketch;
 pub mod system;
 
@@ -28,11 +30,14 @@ pub use cache::{
     SystemCacheStats,
 };
 pub use config::{table4_models, Architecture, Capacity, Config, CorpusLineage, LmSpec, ModelSize};
+pub use error::Error;
 pub use intent::{extract_intent, Intent};
 pub use model::{
-    finetune, intent_bucket, parse_knowledge, select_first_executable, CodesModel, FineTuned,
-    Generation,
+    finetune, intent_bucket, parse_knowledge, select_first_executable,
+    select_first_executable_batch, BatchSelection, CodesModel, FineTuned, Generation,
+    GenerationBatchItem,
 };
+pub use request::InferenceRequest;
 pub use pretrain::{pretrain, pretrain_with_capacity, PretrainConfig, PretrainedLm};
 pub use prompt::{
     build_prompt, build_training_prompt, stage_assemble, stage_metadata, stage_schema_filter,

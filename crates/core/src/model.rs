@@ -12,7 +12,7 @@ use codes_retrieval::ValueMatch;
 use sqlengine::{catch_panics, execute_query_governed, with_retry, Database, ExecLimits};
 
 use crate::config::{Capacity, Config};
-use crate::generator::{fill_template, Candidate, SlotContext};
+use crate::generator::{fill_ranked, Candidate, SlotContext};
 use crate::intent::{extract_intent, template_intent_score, Intent};
 use crate::pretrain::PretrainedLm;
 use crate::prompt::DbPrompt;
@@ -97,6 +97,24 @@ pub struct Generation {
     pub selection_seconds: f64,
 }
 
+/// One member of a batched generation call: the per-member inputs that
+/// [`CodesModel::generate_governed_batch`] needs alongside the shared
+/// database.
+pub struct GenerationBatchItem<'a> {
+    /// Assembled prompt for this member.
+    pub prompt: &'a DbPrompt,
+    /// The member's natural-language question.
+    pub question: &'a str,
+    /// Optional external knowledge (BIRD-style evidence).
+    pub external_knowledge: Option<&'a str>,
+    /// Few-shot demonstrations (ICL mode; empty under SFT).
+    pub demos: &'a [&'a Sample],
+    /// The member's resolved runtime config (budgets, retries, deadline).
+    pub config: &'a Config,
+    /// When the member's inference started, for deadline accounting.
+    pub started: Instant,
+}
+
 /// The simulated CodeS model. Pre-trained state is shared (`Arc`) so a
 /// sweep over prompt configurations does not repeat pre-training.
 pub struct CodesModel {
@@ -173,6 +191,101 @@ impl CodesModel {
         )
     }
 
+    /// Generate for a whole batch of members over one database in a
+    /// single pass, with three batch economies the solo path cannot have.
+    /// The scoring phase shares an LM-likelihood memo across members
+    /// (candidate SQL repeats heavily under real traffic, and the
+    /// likelihood is a pure function of the SQL); duplicate members —
+    /// identical question, external knowledge, and beam cap, which under a
+    /// deterministic pipeline means identical decode inputs — reuse the
+    /// first copy's beam instead of re-decoding (a burst of one hot query
+    /// is in flight together, so the full-result cache cannot catch it
+    /// yet); and first-executable selection runs batched via
+    /// [`select_first_executable_batch`]:
+    /// round-robin across members with per-member early exit and shared
+    /// execution verdicts. Each member's chosen SQL is identical to what a
+    /// solo [`CodesModel::generate_governed`] of the same inputs picks;
+    /// the only observable difference is that beam candidates ranked after
+    /// a member's chosen one keep `executable: false` (they are never run).
+    ///
+    /// One generation span and one selection span cover the whole batch;
+    /// the per-member `generation_seconds`/`selection_seconds` on each
+    /// returned [`Generation`] carry the member's own share.
+    pub fn generate_governed_batch(
+        &self,
+        db: &Database,
+        items: &[GenerationBatchItem<'_>],
+    ) -> Vec<Generation> {
+        let gen_span = Span::enter(STAGE_GENERATION);
+        let mut lm_memo: HashMap<String, f64> = HashMap::new();
+        let mut beams: Vec<Vec<ScoredCandidate>> = Vec::with_capacity(items.len());
+        let mut enriched_prompts: Vec<DbPrompt> = Vec::with_capacity(items.len());
+        let mut generation_seconds: Vec<f64> = Vec::with_capacity(items.len());
+        let mut budgets: Vec<(ExecLimits, u32)> = Vec::with_capacity(items.len());
+        // Duplicate-member collapse: decode output is a pure function of
+        // (question, external knowledge, beam cap) — the prompt and demos
+        // are themselves derived deterministically from the question on
+        // one database — so the first member of each equivalence class
+        // decodes and the rest clone its beam.
+        let mut decoded: HashMap<(String, Option<String>, Option<usize>), usize> = HashMap::new();
+        for (i, item) in items.iter().enumerate() {
+            let member_started = Instant::now();
+            let beam_cap =
+                if item.config.nearly_spent(item.started.elapsed()) { Some(1) } else { None };
+            let key = (
+                item.question.to_string(),
+                item.external_knowledge.map(str::to_string),
+                beam_cap,
+            );
+            match decoded.get(&key) {
+                Some(&first) => {
+                    beams.push(beams[first].clone());
+                    enriched_prompts.push(enriched_prompts[first].clone());
+                }
+                None => {
+                    let (scored, enriched) = self.decode_beam(
+                        item.prompt,
+                        item.question,
+                        item.external_knowledge,
+                        item.demos,
+                        beam_cap,
+                        Some(&mut lm_memo),
+                    );
+                    beams.push(scored);
+                    enriched_prompts.push(enriched);
+                    decoded.insert(key, i);
+                }
+            }
+            generation_seconds.push(member_started.elapsed().as_secs_f64());
+            budgets.push((item.config.exec_limits, item.config.retry_attempts));
+        }
+        gen_span.finish();
+
+        let sel_span = Span::enter(STAGE_EXECUTION_SELECTION);
+        let selections = select_first_executable_batch(db, &mut beams, &budgets);
+        sel_span.finish();
+
+        beams
+            .into_iter()
+            .zip(selections)
+            .zip(enriched_prompts)
+            .zip(generation_seconds)
+            .map(|(((beam, selection), enriched), gen_secs)| {
+                let sql = selection
+                    .chosen
+                    .and_then(|i| beam.get(i).map(|c| c.sql.clone()))
+                    .or_else(|| beam.first().map(|c| c.sql.clone()))
+                    .unwrap_or_else(|| fallback_sql(&enriched));
+                Generation {
+                    sql,
+                    beam,
+                    generation_seconds: gen_secs,
+                    selection_seconds: selection.selection_seconds,
+                }
+            })
+            .collect()
+    }
+
     #[allow(clippy::too_many_arguments)]
     fn generate_with(
         &self,
@@ -186,6 +299,35 @@ impl CodesModel {
         beam_cap: Option<usize>,
     ) -> Generation {
         let gen_span = Span::enter(STAGE_GENERATION);
+        let (mut scored, enriched) =
+            self.decode_beam(prompt, question, external_knowledge, demos, beam_cap, None);
+        let generation_seconds = gen_span.finish().as_secs_f64();
+
+        // Pick the first executable candidate.
+        let sel_span = Span::enter(STAGE_EXECUTION_SELECTION);
+        let chosen = select_first_executable(db, &mut scored, limits, retries)
+            .map(|i| scored[i].sql.clone())
+            .or_else(|| scored.first().map(|c| c.sql.clone()))
+            .unwrap_or_else(|| fallback_sql(&enriched));
+        let selection_seconds = sel_span.finish().as_secs_f64();
+        Generation { sql: chosen, beam: scored, generation_seconds, selection_seconds }
+    }
+
+    /// The beam-decoding core shared by the solo and batched paths:
+    /// template ranking, slot filling and candidate scoring — everything
+    /// up to (but excluding) execution selection. `lm_memo` (batched path
+    /// only) memoizes `sql_log_likelihood` by candidate SQL across the
+    /// batch; the likelihood is deterministic in the SQL, so memoized
+    /// scores are identical to freshly computed ones.
+    fn decode_beam(
+        &self,
+        prompt: &DbPrompt,
+        question: &str,
+        external_knowledge: Option<&str>,
+        demos: &[&Sample],
+        beam_cap: Option<usize>,
+        mut lm_memo: Option<&mut HashMap<String, f64>>,
+    ) -> (Vec<ScoredCandidate>, DbPrompt) {
         let mut intent = extract_intent(question);
         let bucket = intent_bucket(&intent);
         // Domain knowledge: extend the matched values with alias-derived
@@ -268,11 +410,21 @@ impl CodesModel {
         let unfamiliarity = 0.55 / (1.0 + exposure as f64 / 60.0).sqrt();
         let alignment = if self.finetuned.is_some() { 0.6 } else { 1.0 };
         let noise_scale = alignment * (capacity.decision_noise + unfamiliarity);
-        for (id, template_score) in ranked.into_iter().take(12) {
-            let Some(Candidate { sql, template_id, slot_score }) = fill_template(&ctx, id) else {
-                continue;
+        for (Candidate { sql, template_id, slot_score }, template_score) in
+            fill_ranked(&ctx, &ranked, 12)
+        {
+            let raw_ll = match lm_memo.as_deref_mut() {
+                Some(memo) => match memo.get(&sql) {
+                    Some(&ll) => ll,
+                    None => {
+                        let ll = self.pretrained.sql_log_likelihood(&sql);
+                        memo.insert(sql.clone(), ll);
+                        ll
+                    }
+                },
+                None => self.pretrained.sql_log_likelihood(&sql),
             };
-            let lm = normalize_ll(self.pretrained.sql_log_likelihood(&sql));
+            let lm = normalize_ll(raw_ll);
             let noise = noise_scale * deterministic_noise(question, &sql);
             let score = template_score + W_SLOT * slot_score + W_LM * lm + noise;
             scored.push(ScoredCandidate { sql, template_id, score, executable: false });
@@ -283,17 +435,7 @@ impl CodesModel {
             // Deadline degradation: execute only the greedy choice.
             scored.truncate(cap.max(1));
         }
-
-        let generation_seconds = gen_span.finish().as_secs_f64();
-
-        // Pick the first executable candidate.
-        let sel_span = Span::enter(STAGE_EXECUTION_SELECTION);
-        let chosen = select_first_executable(db, &mut scored, limits, retries)
-            .map(|i| scored[i].sql.clone())
-            .or_else(|| scored.first().map(|c| c.sql.clone()))
-            .unwrap_or_else(|| fallback_sql(&enriched));
-        let selection_seconds = sel_span.finish().as_secs_f64();
-        Generation { sql: chosen, beam: scored, generation_seconds, selection_seconds }
+        (scored, enriched)
     }
 
     /// Add alias-derived value matches: EK text like
@@ -352,6 +494,84 @@ pub fn select_first_executable(
         }
     }
     first
+}
+
+/// The verdict of [`select_first_executable_batch`] for one member.
+#[derive(Debug, Clone)]
+pub struct BatchSelection {
+    /// Index of the member's first executable candidate, when any.
+    pub chosen: Option<usize>,
+    /// Wall-clock seconds of candidate execution attributed to this
+    /// member (memo hits cost effectively nothing).
+    pub selection_seconds: f64,
+}
+
+/// Batched first-executable selection: §9.1.4's "pick the first
+/// executable candidate" across a whole batch of beams over one database.
+///
+/// Candidates are walked in rank order, round-robin across members, with
+/// two batch economies the solo path cannot have:
+///
+/// * **per-member early exit** — once a member's first executable
+///   candidate is found, its remaining candidates are never executed
+///   (their `executable` flags stay `false`), so one member with an
+///   expensive tail cannot starve the rest of the batch;
+/// * **shared execution verdicts** — members running under the same
+///   `(ExecLimits, retries)` budget share a verdict memo keyed by SQL.
+///   Execution is deterministic, so a statement one member already tried
+///   is not re-executed for another; budgets must match exactly because a
+///   budget kill under tight limits says nothing about looser ones.
+///
+/// Each member's chosen index is identical to what a per-member
+/// [`select_first_executable`] would return. The same panic-isolation /
+/// budget fault boundary applies per candidate execution.
+pub fn select_first_executable_batch(
+    db: &Database,
+    beams: &mut [Vec<ScoredCandidate>],
+    budgets: &[(ExecLimits, u32)],
+) -> Vec<BatchSelection> {
+    let mut out: Vec<BatchSelection> = beams
+        .iter()
+        .map(|_| BatchSelection { chosen: None, selection_seconds: 0.0 })
+        .collect();
+    // One verdict memo per distinct budget; batches are small, so a linear
+    // scan beats hashing the limits.
+    let mut memos: Vec<(ExecLimits, u32, HashMap<String, bool>)> = Vec::new();
+    let width = beams.iter().map(Vec::len).max().unwrap_or(0);
+    for pos in 0..width {
+        for (m, beam) in beams.iter_mut().enumerate() {
+            if out[m].chosen.is_some() || pos >= beam.len() {
+                continue;
+            }
+            let (limits, retries) = budgets[m];
+            let started = Instant::now();
+            let memo_idx = match memos.iter().position(|(l, r, _)| *l == limits && *r == retries) {
+                Some(i) => i,
+                None => {
+                    memos.push((limits, retries, HashMap::new()));
+                    memos.len() - 1
+                }
+            };
+            let c = &mut beam[pos];
+            let verdict = match memos[memo_idx].2.get(&c.sql) {
+                Some(&v) => v,
+                None => {
+                    let ok = with_retry(&limits, retries, |attempt_limits| {
+                        catch_panics(|| execute_query_governed(db, &c.sql, attempt_limits).map(|_| ()))
+                    })
+                    .is_ok();
+                    memos[memo_idx].2.insert(c.sql.clone(), ok);
+                    ok
+                }
+            };
+            c.executable = verdict;
+            out[m].selection_seconds += started.elapsed().as_secs_f64();
+            if verdict {
+                out[m].chosen = Some(pos);
+            }
+        }
+    }
+    out
 }
 
 /// Parse external-knowledge statements of the forms the benchmarks emit:
@@ -749,6 +969,76 @@ mod tests {
         assert_eq!(chosen, Some(1), "selection must survive the panicking candidate");
         assert!(!beam[0].executable);
         assert!(beam[1].executable);
+    }
+
+    #[test]
+    fn batched_selection_agrees_with_solo_and_early_exits() {
+        let db = bank_financials_db(1);
+        let limits = ExecLimits::unlimited();
+        let beam_a = vec![
+            candidate("SELECT nonsense FROM nowhere", 0.9),
+            candidate("SELECT COUNT(*) FROM client", 0.8),
+            candidate("SELECT city FROM client", 0.7),
+        ];
+        let beam_b = vec![
+            candidate("SELECT COUNT(*) FROM client", 0.9),
+            candidate("SELECT city FROM client", 0.8),
+        ];
+        let solo: Vec<Option<usize>> = [&beam_a, &beam_b]
+            .into_iter()
+            .map(|b| select_first_executable(&db, &mut b.clone(), &limits, 0))
+            .collect();
+
+        let mut beams = vec![beam_a, beam_b];
+        let batched = select_first_executable_batch(&db, &mut beams, &[(limits, 0), (limits, 0)]);
+        for (s, b) in solo.iter().zip(&batched) {
+            assert_eq!(*s, b.chosen, "batched choice must agree with solo");
+        }
+        // Early exit: member A chose index 1, so its index-2 candidate was
+        // never executed and keeps executable=false (solo would mark it).
+        assert_eq!(batched[0].chosen, Some(1));
+        assert!(beams[0][1].executable);
+        assert!(!beams[0][2].executable, "post-chosen candidates must not be executed");
+        assert!(!beams[0][0].executable);
+    }
+
+    #[test]
+    fn batched_generation_matches_solo_sql() {
+        let mut m = model("CodeS-7B");
+        let db = bank_financials_db(1);
+        let train = codes_datasets::finance::test_samples(&db, 60, 77);
+        finetune(&mut m, train.iter().map(|s| (s, &db)));
+        let idx = ValueIndex::build(&db);
+        let questions = [
+            "How many clients do we have?",
+            "What is the average amount of loans?",
+            "List the cities of clients?",
+            "How many clients do we have?", // duplicate: exercises the memos
+        ];
+        let cfg = Config::evaluation();
+        let started = Instant::now();
+        let prompts: Vec<DbPrompt> = questions
+            .iter()
+            .map(|q| build_prompt(&db, q, None, None, Some(&idx), &PromptOptions::sft()))
+            .collect();
+        let items: Vec<GenerationBatchItem> = prompts
+            .iter()
+            .zip(&questions)
+            .map(|(prompt, q)| GenerationBatchItem {
+                prompt,
+                question: q,
+                external_knowledge: None,
+                demos: &[],
+                config: &cfg,
+                started,
+            })
+            .collect();
+        let batched = m.generate_governed_batch(&db, &items);
+        assert_eq!(batched.len(), questions.len());
+        for (i, (prompt, q)) in prompts.iter().zip(&questions).enumerate() {
+            let solo = m.generate_governed(&db, prompt, q, None, &[], &cfg, started);
+            assert_eq!(batched[i].sql, solo.sql, "member {i} ({q}) diverged from solo");
+        }
     }
 
     #[test]

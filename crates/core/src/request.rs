@@ -1,0 +1,115 @@
+//! The unified inference request type.
+//!
+//! [`InferenceRequest`] collapses the three entry points that used to
+//! overlap — `CodesSystem::infer(db, question, ek)`, `infer_with(.., config)`
+//! and the serving runtime's own `Request` struct — into one builder that
+//! [`crate::CodesSystem::infer`], [`crate::CodesSystem::infer_batch`] and
+//! the pool's `submit` all consume. A request carries everything that is a
+//! property of the *request* (question, knowledge, deadline, config
+//! override); the database handle stays a separate argument to the direct
+//! inference calls because only the serving layer routes by `db_id`.
+
+use std::time::Duration;
+
+use crate::config::Config;
+
+/// One text-to-SQL request, shared by direct inference and the serving
+/// runtime.
+#[derive(Debug, Clone)]
+pub struct InferenceRequest {
+    /// Target database name. Used by the serving pool for routing, breaker
+    /// keying and batch formation; informational for direct `infer` calls
+    /// (which receive the `Database` handle explicitly).
+    pub db_id: String,
+    /// Natural-language question.
+    pub question: String,
+    /// Optional external knowledge / evidence string (BIRD-style).
+    pub external_knowledge: Option<String>,
+    /// Total time budget for this request. Under the pool this covers
+    /// queue wait + inference and defaults to `ServeConfig::default_deadline`;
+    /// for direct calls it clamps the resolved [`Config`]'s deadlines.
+    pub deadline: Option<Duration>,
+    /// Per-request [`Config`] override; `None` uses the system's (or the
+    /// pool's) base configuration.
+    pub config: Option<Config>,
+}
+
+impl InferenceRequest {
+    /// A plain request: system/pool default config and deadline.
+    pub fn new(db_id: impl Into<String>, question: impl Into<String>) -> InferenceRequest {
+        InferenceRequest {
+            db_id: db_id.into(),
+            question: question.into(),
+            external_knowledge: None,
+            deadline: None,
+            config: None,
+        }
+    }
+
+    /// Attach an external-knowledge / evidence string.
+    pub fn with_knowledge(mut self, knowledge: impl Into<String>) -> InferenceRequest {
+        self.external_knowledge = Some(knowledge.into());
+        self
+    }
+
+    /// Override the runtime [`Config`] for this request only.
+    pub fn with_config(mut self, config: Config) -> InferenceRequest {
+        self.config = Some(config);
+        self
+    }
+
+    /// Set a total time budget for this request.
+    pub fn with_deadline(mut self, deadline: Duration) -> InferenceRequest {
+        self.deadline = Some(deadline);
+        self
+    }
+
+    /// The external knowledge as a borrowed `Option<&str>`.
+    pub fn knowledge(&self) -> Option<&str> {
+        self.external_knowledge.as_deref()
+    }
+
+    /// The effective [`Config`] for this request: the request's own
+    /// override when present, otherwise `default`, with the request
+    /// deadline (when set) clamped in via [`Config::clamped_to_deadline`].
+    pub fn resolved_config(&self, default: &Config) -> Config {
+        let base = self.config.unwrap_or(*default);
+        match self.deadline {
+            Some(deadline) => base.clamped_to_deadline(deadline),
+            None => base,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builder_sets_every_field() {
+        let req = InferenceRequest::new("bank", "How many clients?")
+            .with_knowledge("women refers to client.gender = 'F'")
+            .with_config(Config::serving())
+            .with_deadline(Duration::from_millis(750));
+        assert_eq!(req.db_id, "bank");
+        assert_eq!(req.question, "How many clients?");
+        assert_eq!(req.knowledge(), Some("women refers to client.gender = 'F'"));
+        assert_eq!(req.config, Some(Config::serving()));
+        assert_eq!(req.deadline, Some(Duration::from_millis(750)));
+    }
+
+    #[test]
+    fn resolved_config_prefers_override_and_clamps_deadline() {
+        let system_default = Config::evaluation();
+        let plain = InferenceRequest::new("db", "q");
+        assert_eq!(plain.resolved_config(&system_default), system_default);
+
+        let overridden = InferenceRequest::new("db", "q").with_config(Config::serving());
+        assert_eq!(overridden.resolved_config(&system_default), Config::serving());
+
+        let tight = InferenceRequest::new("db", "q").with_deadline(Duration::from_millis(100));
+        let resolved = tight.resolved_config(&system_default);
+        assert_eq!(resolved.inference_deadline, Some(Duration::from_millis(100)));
+        assert_eq!(resolved.exec_limits.deadline, Some(Duration::from_millis(100)));
+    }
+}

@@ -23,10 +23,12 @@ use sqlengine::Database;
 
 use crate::cache::{normalize_question, CacheHits, SystemCache};
 use crate::config::Config;
-use crate::model::{finetune, CodesModel, Generation};
+use crate::model::{finetune, CodesModel, Generation, GenerationBatchItem};
 use crate::prompt::{
-    stage_assemble, stage_metadata, stage_schema_filter, stage_value_retrieval, PromptOptions,
+    stage_assemble, stage_metadata, stage_schema_filter, stage_value_retrieval, DbPrompt,
+    PromptOptions,
 };
+use crate::request::InferenceRequest;
 
 /// Few-shot configuration.
 #[derive(Debug, Clone, Copy)]
@@ -130,8 +132,9 @@ impl CodesSystem {
     }
 
     /// Pre-build the BM25 value index of every database (the offline part
-    /// of §6.2; `prepare_database` can be called lazily too).
-    pub fn prepare_databases<'a>(&mut self, dbs: impl Iterator<Item = &'a Database>) {
+    /// of §6.2; `prepare_database` can be called lazily too). Runtime
+    /// method: takes `&self` like every other post-construction operation.
+    pub fn prepare_databases<'a>(&self, dbs: impl Iterator<Item = &'a Database>) {
         for db in dbs {
             self.prepare_database(db);
         }
@@ -140,8 +143,8 @@ impl CodesSystem {
     /// Build (or reuse) the BM25 value index of one database. Reuse is
     /// revision-aware: an index built for an earlier catalog state is
     /// replaced, an index current for `db.revision()` is kept as-is.
-    pub fn prepare_database(&mut self, db: &Database) {
-        let indexes = self.value_indexes.get_mut();
+    pub fn prepare_database(&self, db: &Database) {
+        let mut indexes = self.value_indexes.write();
         match indexes.get(&db.name) {
             Some(idx) if idx.built_revision() == db.revision() => {}
             _ => {
@@ -151,8 +154,8 @@ impl CodesSystem {
     }
 
     /// Install already-built value indexes (shared across systems).
-    pub fn install_value_indexes(&mut self, indexes: &HashMap<String, Arc<ValueIndex>>) {
-        let mine = self.value_indexes.get_mut();
+    pub fn install_value_indexes(&self, indexes: &HashMap<String, Arc<ValueIndex>>) {
+        let mut mine = self.value_indexes.write();
         for (k, v) in indexes {
             mine.insert(k.clone(), Arc::clone(v));
         }
@@ -190,21 +193,34 @@ impl CodesSystem {
     }
 
     /// Fine-tune the model on a benchmark's training split (Figure 3(d)).
-    pub fn finetune_on(&mut self, benchmark: &Benchmark) {
+    /// Build-time operation: consumes and returns the system like the other
+    /// `with_*` builders, so fully-constructed systems can be immutable.
+    pub fn finetune_on(mut self, benchmark: &Benchmark) -> CodesSystem {
         let pairs = benchmark
             .train
             .iter()
             .filter_map(|s| benchmark.database(&s.db_id).map(|db| (s, db)));
         finetune(&mut self.model, pairs);
+        self
     }
 
     /// Fine-tune on explicit (sample, database) pairs (e.g. augmented or
-    /// merged data, Table 10).
-    pub fn finetune_pairs<'a>(&mut self, pairs: impl Iterator<Item = (&'a Sample, &'a Database)>) {
+    /// merged data, Table 10). Consuming builder, like
+    /// [`CodesSystem::finetune_on`].
+    pub fn finetune_pairs<'a>(
+        mut self,
+        pairs: impl Iterator<Item = (&'a Sample, &'a Database)>,
+    ) -> CodesSystem {
         finetune(&mut self.model, pairs);
+        self
     }
 
-    /// Answer a question over a database.
+    /// Answer a request over a database.
+    ///
+    /// The [`InferenceRequest`] carries the question, optional external
+    /// knowledge, and optional per-request [`Config`]/deadline overrides
+    /// (resolved via [`InferenceRequest::resolved_config`]); the same type
+    /// feeds [`CodesSystem::infer_batch`] and the serving pool's `submit`.
     ///
     /// Degrades gracefully instead of failing (each degradation is recorded
     /// on the returned [`Inference`]):
@@ -214,15 +230,38 @@ impl CodesSystem {
     /// * value index missing → built lazily if the inference deadline still
     ///   allows it, otherwise value retrieval is skipped;
     /// * inference deadline nearly spent → beam truncated to greedy.
-    pub fn infer(&self, db: &Database, question: &str, external_knowledge: Option<&str>) -> Inference {
-        self.infer_with(db, question, external_knowledge, &self.config)
+    pub fn infer(&self, db: &Database, request: &InferenceRequest) -> Inference {
+        let config = request.resolved_config(&self.config);
+        self.infer_one(db, &request.question, request.knowledge(), &config)
+    }
+
+    /// The pre-[`InferenceRequest`] entry point (`infer(db, question, ek)`).
+    #[deprecated(note = "build an `InferenceRequest` and call `infer(db, &request)`")]
+    pub fn infer_question(
+        &self,
+        db: &Database,
+        question: &str,
+        external_knowledge: Option<&str>,
+    ) -> Inference {
+        self.infer_one(db, question, external_knowledge, &self.config)
     }
 
     /// [`CodesSystem::infer`] under a caller-supplied [`Config`] instead of
-    /// the system-wide one. The serving runtime uses this to propagate each
-    /// request's remaining deadline (via [`Config::clamped_to_deadline`])
-    /// without mutating shared state.
+    /// the system-wide one.
+    #[deprecated(
+        note = "build an `InferenceRequest` with `.with_config(..)` and call `infer(db, &request)`"
+    )]
     pub fn infer_with(
+        &self,
+        db: &Database,
+        question: &str,
+        external_knowledge: Option<&str>,
+        config: &Config,
+    ) -> Inference {
+        self.infer_one(db, question, external_knowledge, config)
+    }
+
+    fn infer_one(
         &self,
         db: &Database,
         question: &str,
@@ -348,6 +387,172 @@ impl CodesSystem {
         }
     }
 
+    /// Answer a batch of requests over one database in a single batched
+    /// model pass ([`CodesModel::generate_governed_batch`]).
+    ///
+    /// Prompt-side stages (schema filter, value retrieval, metadata,
+    /// prompt assembly) still run per member, so `StageTimings`,
+    /// degradations and cache hits stay per-member; the value index is
+    /// resolved once for the whole batch (the members share the database,
+    /// so they share the index — and any degradation taken resolving it).
+    /// Generation and execution selection run batched, sharing LM scores
+    /// and execution verdicts across members with per-member early exit.
+    /// Each member's chosen SQL is identical to what a solo
+    /// [`CodesSystem::infer`] of the same request would produce.
+    pub fn infer_batch(&self, db: &Database, requests: &[InferenceRequest]) -> Vec<Inference> {
+        if requests.len() <= 1 {
+            return requests.iter().map(|r| self.infer(db, r)).collect();
+        }
+        let start = Instant::now();
+        let configs: Vec<Config> =
+            requests.iter().map(|r| r.resolved_config(&self.config)).collect();
+        let cache = self.cache.as_ref().map(|c| (c, c.observe_revision(db)));
+
+        // One index resolution (and at most one lazy build) per batch,
+        // charged to a single value-retrieval span instead of every
+        // member's. Resolved under the first member's budget — the pool
+        // only batches requests with compatible configs and deadline
+        // classes, so the members agree on whether a lazy build is
+        // affordable. The degradations it takes belong to every member.
+        let span = Span::enter(STAGE_VALUE_RETRIEVAL);
+        let mut shared_degradations: Vec<String> = Vec::new();
+        let value_index = self.resolve_value_index(db, start, &configs[0], &mut shared_degradations);
+        let index_clean = value_index.is_some() && shared_degradations.is_empty();
+        span.finish();
+
+        struct Member<'a> {
+            prompt: DbPrompt,
+            prompt_tokens: usize,
+            demos: Vec<&'a Sample>,
+            degradations: Vec<String>,
+            stages: StageTimings,
+            cache_hits: CacheHits,
+        }
+
+        let mut members: Vec<Member<'_>> = Vec::with_capacity(requests.len());
+        for (request, config) in requests.iter().zip(&configs) {
+            let question = request.question.as_str();
+            let external_knowledge = request.knowledge();
+            let mut degradations = Vec::new();
+            let mut stages = StageTimings::zero();
+            let mut cache_hits = CacheHits::default();
+            let question_key =
+                cache.as_ref().map(|_| normalize_question(question, external_knowledge));
+
+            if self.options.use_schema_filter && self.classifier.is_none() {
+                degradations.push("classifier missing: unfiltered schema in prompt".to_string());
+            }
+            degradations.extend(shared_degradations.iter().cloned());
+
+            let span = Span::enter(STAGE_SCHEMA_FILTER);
+            let run_filter = || {
+                stage_schema_filter(
+                    db,
+                    question,
+                    external_knowledge,
+                    self.classifier.as_ref(),
+                    &self.options,
+                )
+            };
+            let filtered: Arc<FilteredSchema> = match (&cache, &question_key) {
+                (Some((cache, generation)), Some(key))
+                    if self.options.use_schema_filter && self.classifier.is_some() =>
+                {
+                    let mut computed = false;
+                    let out =
+                        cache.schema_filter(&db.name, *generation, key, &self.options, || {
+                            computed = true;
+                            run_filter()
+                        });
+                    cache_hits.schema_filter = !computed;
+                    out
+                }
+                _ => Arc::new(run_filter()),
+            };
+            stages.schema_filter = span.finish().as_secs_f64();
+
+            let span = Span::enter(STAGE_VALUE_RETRIEVAL);
+            let run_retrieval = |index: Option<&ValueIndex>| {
+                stage_value_retrieval(&filtered, question, external_knowledge, index, &self.options)
+            };
+            let matched_values: Vec<ValueMatch> = match (&cache, &question_key) {
+                (Some((cache, generation)), Some(key))
+                    if self.options.use_value_retriever && index_clean =>
+                {
+                    let mut computed = false;
+                    let out =
+                        cache.value_matches(&db.name, *generation, key, &self.options, || {
+                            computed = true;
+                            run_retrieval(value_index.as_deref())
+                        });
+                    cache_hits.value_retrieval = !computed;
+                    (*out).clone()
+                }
+                _ => run_retrieval(value_index.as_deref()),
+            };
+            stages.value_retrieval = span.finish().as_secs_f64();
+
+            let span = Span::enter(STAGE_METADATA);
+            let tables = stage_metadata(db, &filtered, &self.options);
+            stages.metadata = span.finish().as_secs_f64();
+
+            let span = Span::enter(STAGE_PROMPT_BUILD);
+            let prompt = stage_assemble(db, tables, matched_values, &self.options);
+            let demos: Vec<&Sample> = match (&self.demo_retriever, self.few_shot) {
+                (Some(retriever), Some(fs)) => retriever
+                    .retrieve(question, fs.k, fs.strategy)
+                    .into_iter()
+                    .map(|i| &self.demo_pool[i])
+                    .collect(),
+                _ => Vec::new(),
+            };
+            stages.prompt_build = span.finish().as_secs_f64();
+
+            if config.nearly_spent(start.elapsed()) {
+                degradations
+                    .push("inference deadline nearly spent: beam truncated to greedy".to_string());
+            }
+
+            let prompt_tokens = prompt.token_len();
+            members.push(Member { prompt, prompt_tokens, demos, degradations, stages, cache_hits });
+        }
+
+        let items: Vec<GenerationBatchItem<'_>> = members
+            .iter()
+            .zip(requests)
+            .zip(&configs)
+            .map(|((member, request), config)| GenerationBatchItem {
+                prompt: &member.prompt,
+                question: &request.question,
+                external_knowledge: request.knowledge(),
+                demos: &member.demos,
+                config,
+                started: start,
+            })
+            .collect();
+        let generations = self.model.generate_governed_batch(db, &items);
+        drop(items);
+
+        members
+            .into_iter()
+            .zip(generations)
+            .map(|(member, generation)| {
+                let mut stages = member.stages;
+                stages.generation = generation.generation_seconds;
+                stages.execution_selection = generation.selection_seconds;
+                Inference {
+                    sql: generation.sql.clone(),
+                    generation,
+                    latency_seconds: start.elapsed().as_secs_f64(),
+                    prompt_tokens: member.prompt_tokens,
+                    degradations: member.degradations,
+                    stages,
+                    cache_hits: member.cache_hits,
+                }
+            })
+            .collect()
+    }
+
     /// Look up the value index for `db`, building it lazily when allowed.
     ///
     /// Returns `None` (value retrieval skipped) when the index is absent and
@@ -415,18 +620,21 @@ mod tests {
         CodesSystem::new(CodesModel::new(lm, catalog), PromptOptions::sft())
     }
 
+    fn req(s: &Sample) -> InferenceRequest {
+        InferenceRequest::new(&s.db_id, &s.question)
+    }
+
     #[test]
     fn end_to_end_sft_inference() {
         let bench = mini_benchmark();
         let clf = SchemaClassifier::train(&bench, false, 7);
-        let mut sys = system("CodeS-7B").with_classifier(clf);
+        let sys = system("CodeS-7B").with_classifier(clf).finetune_on(&bench);
         sys.prepare_databases(bench.databases.iter());
-        sys.finetune_on(&bench);
         let mut executable = 0usize;
         let n = bench.dev.len().min(20);
         for s in bench.dev.iter().take(n) {
             let db = bench.database(&s.db_id).unwrap();
-            let out = sys.infer(db, &s.question, None);
+            let out = sys.infer(db, &req(s));
             if sqlengine::execute_query(db, &out.sql).is_ok() {
                 executable += 1;
             }
@@ -443,18 +651,17 @@ mod tests {
     fn sft_beats_zero_shot_on_dev_accuracy() {
         let bench = mini_benchmark();
         let clf = SchemaClassifier::train(&bench, false, 7);
-        let mut sft = system("CodeS-7B").with_classifier(clf.clone());
+        let sft = system("CodeS-7B").with_classifier(clf.clone()).finetune_on(&bench);
         sft.prepare_databases(bench.databases.iter());
-        let mut zero = system("CodeS-7B").with_classifier(clf);
+        let zero = system("CodeS-7B").with_classifier(clf);
         zero.prepare_databases(bench.databases.iter());
-        sft.finetune_on(&bench);
 
         let n = bench.dev.len().min(30);
         let acc = |sys: &CodesSystem| {
             let mut correct = 0usize;
             for s in bench.dev.iter().take(n) {
                 let db = bench.database(&s.db_id).unwrap();
-                let out = sys.infer(db, &s.question, None);
+                let out = sys.infer(db, &req(s));
                 let gold = sqlengine::execute_query(db, &s.sql).unwrap();
                 if let Ok(pred) = sqlengine::execute_query(db, &out.sql) {
                     if pred.same_result(&gold) {
@@ -474,24 +681,25 @@ mod tests {
     }
 
     #[test]
-    fn infer_with_propagates_caller_deadline() {
+    fn request_deadline_propagates_to_inference() {
         let bench = mini_benchmark();
-        let mut sys = system("CodeS-1B");
+        let sys = system("CodeS-1B");
         sys.prepare_databases(bench.databases.iter());
         let s = &bench.dev[0];
         let db = bench.database(&s.db_id).unwrap();
         // A request admitted with (effectively) no time left must degrade
         // to greedy rather than fail — and still answer.
-        let starved = Config::serving().clamped_to_deadline(Duration::from_nanos(1));
-        let out = sys.infer_with(db, &s.question, None, &starved);
+        let starved =
+            req(s).with_config(Config::serving()).with_deadline(Duration::from_nanos(1));
+        let out = sys.infer(db, &starved);
         assert!(!out.sql.is_empty());
         assert!(
             out.degradations.iter().any(|d| d.contains("greedy")),
             "starved deadline must truncate the beam: {:?}",
             out.degradations
         );
-        // The override is per-call: the system's own config still applies.
-        let relaxed = sys.infer(db, &s.question, None);
+        // The override is per-request: the system's own config still applies.
+        let relaxed = sys.infer(db, &req(s));
         assert!(!relaxed.degradations.iter().any(|d| d.contains("greedy")));
     }
 
@@ -499,11 +707,11 @@ mod tests {
     fn inference_reports_all_six_stage_timings() {
         let bench = mini_benchmark();
         let clf = SchemaClassifier::train(&bench, false, 7);
-        let mut sys = system("CodeS-1B").with_classifier(clf);
+        let sys = system("CodeS-1B").with_classifier(clf);
         sys.prepare_databases(bench.databases.iter());
         let s = &bench.dev[0];
         let db = bench.database(&s.db_id).unwrap();
-        let out = sys.infer(db, &s.question, None);
+        let out = sys.infer(db, &req(s));
         for (stage, seconds) in out.stages.entries() {
             assert!(seconds > 0.0, "stage {stage} reported zero seconds");
         }
@@ -520,14 +728,14 @@ mod tests {
         let clf = SchemaClassifier::train(&bench, false, 7);
         let registry = codes_obs::Registry::new();
         let cache = Arc::new(SystemCache::with_registry(&registry, CacheSettings::default()));
-        let mut sys = system("CodeS-1B").with_classifier(clf).with_cache(Arc::clone(&cache));
+        let sys = system("CodeS-1B").with_classifier(clf).with_cache(Arc::clone(&cache));
         sys.prepare_databases(bench.databases.iter());
         let s = &bench.dev[0];
         let db = bench.database(&s.db_id).unwrap();
 
-        let cold = sys.infer(db, &s.question, None);
+        let cold = sys.infer(db, &req(s));
         assert_eq!(cold.cache_hits, CacheHits::default(), "first pass computes everything");
-        let warm = sys.infer(db, &s.question, None);
+        let warm = sys.infer(db, &req(s));
         assert!(warm.cache_hits.schema_filter, "second pass hits T1");
         assert!(warm.cache_hits.value_retrieval, "second pass hits T2");
         assert_eq!(warm.sql, cold.sql, "cached stages change nothing about the answer");
@@ -539,7 +747,7 @@ mod tests {
         let mut mutated = db.clone();
         let table = mutated.tables[0].schema.name.clone();
         mutated.table_mut(&table).expect("table exists");
-        let after = sys.infer(&mutated, &s.question, None);
+        let after = sys.infer(&mutated, &req(s));
         assert!(
             !after.cache_hits.schema_filter && !after.cache_hits.value_retrieval,
             "generation bump makes old entries unreachable: {:?}",
@@ -551,14 +759,46 @@ mod tests {
     #[test]
     fn few_shot_retrieval_feeds_demonstrations() {
         let bench = mini_benchmark();
-        let mut sys = system("CodeS-3B").with_demonstrations(
+        let sys = system("CodeS-3B").with_demonstrations(
             bench.train.clone(),
             FewShot { k: 3, strategy: DemoStrategy::PatternAware },
         );
         sys.prepare_databases(bench.databases.iter());
         let s = &bench.dev[0];
         let db = bench.database(&s.db_id).unwrap();
-        let out = sys.infer(db, &s.question, None);
+        let out = sys.infer(db, &req(s));
         assert!(!out.sql.is_empty());
+    }
+
+    #[test]
+    fn batched_inference_matches_solo_sql() {
+        let bench = mini_benchmark();
+        let clf = SchemaClassifier::train(&bench, false, 7);
+        let sys = system("CodeS-7B").with_classifier(clf).finetune_on(&bench);
+        sys.prepare_databases(bench.databases.iter());
+        let db = bench.database(&bench.dev[0].db_id).unwrap();
+        let mut requests: Vec<InferenceRequest> = bench
+            .dev
+            .iter()
+            .filter(|s| s.db_id == db.name)
+            .take(8)
+            .map(req)
+            .collect();
+        assert!(requests.len() >= 2, "need a real batch to test");
+        // Duplicate members exercise the duplicate-decode collapse: the
+        // clones must still answer identically to their solo inference.
+        requests.push(requests[0].clone());
+        requests.push(requests[1].clone());
+        let batched = sys.infer_batch(db, &requests);
+        assert_eq!(batched.len(), requests.len());
+        for (request, out) in requests.iter().zip(&batched) {
+            let solo = sys.infer(db, request);
+            assert_eq!(
+                out.sql, solo.sql,
+                "batched SQL diverged from solo for {:?}",
+                request.question
+            );
+            assert!(out.degradations.is_empty(), "{:?}", out.degradations);
+        }
     }
 }

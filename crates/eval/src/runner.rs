@@ -16,7 +16,7 @@ use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::path::Path;
 use std::sync::Mutex;
 
-use codes::{CacheHits, CodesSystem};
+use codes::{CacheHits, CodesSystem, InferenceRequest};
 use codes_datasets::{Hardness, Sample};
 use codes_obs::StageTimings;
 use sqlengine::{Database, ExecLimits};
@@ -356,7 +356,9 @@ fn eval_one(
     cfg: &EvalConfig,
 ) -> SampleResult {
     let limits = &cfg.exec_limits;
-    let inference = system.infer(db, &sample.question, sample.external_knowledge.as_deref());
+    let mut request = InferenceRequest::new(&sample.db_id, &sample.question);
+    request.external_knowledge = sample.external_knowledge.clone();
+    let inference = system.infer(db, &request);
     let ex = execution_match_governed(db, &inference.sql, &sample.sql, limits);
     let ts = match (cfg.compute_ts, variants) {
         (true, Some(vs)) => {
@@ -444,9 +446,9 @@ mod tests {
             .find(|m| m.name == "CodeS-7B")
             .expect("CodeS-7B is a fixed Table 4 row");
         let lm = pretrain(&catalog, &spec, &PretrainConfig { scale: 10, seed: 3 });
-        let mut sys = CodesSystem::new(CodesModel::new(lm, catalog), PromptOptions::sft());
+        let sys = CodesSystem::new(CodesModel::new(lm, catalog), PromptOptions::sft())
+            .finetune_on(&bench);
         sys.prepare_databases(bench.databases.iter());
-        sys.finetune_on(&bench);
         (sys, bench)
     }
 
@@ -575,7 +577,7 @@ mod tests {
         let registry = codes_obs::Registry::new();
         let cache =
             Arc::new(codes::SystemCache::with_registry(&registry, codes::CacheSettings::default()));
-        let mut sys = sys.with_cache(cache);
+        let sys = sys.with_cache(cache);
         // Re-prepare so the shared value indexes are revision-current.
         sys.prepare_databases(bench.databases.iter());
         let cfg = EvalConfig { limit: Some(8), compute_ts: false, ..Default::default() };

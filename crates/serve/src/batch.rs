@@ -1,0 +1,256 @@
+//! Batch-formation policy for the dynamic micro-batching scheduler.
+//!
+//! This module is pure decision logic — no threads, no channels — so the
+//! batching invariants can be property-tested directly:
+//!
+//! * a batch never mixes databases (one dispatch = one `Database` handle,
+//!   hence one revision);
+//! * a batch never mixes config fingerprints or deadline classes;
+//! * a batch never exceeds `max_batch` members;
+//! * the linger window never pushes a member past its deadline — a seed
+//!   that cannot comfortably afford the linger bypasses batching
+//!   ([`BypassReason::Deadline`]), and a drained candidate that is
+//!   incompatible or too close to its deadline stops formation and seeds
+//!   the next dispatch ([`BypassReason::Mismatch`] / `Deadline`).
+//!
+//! The pool's worker loop drives this state machine against its shared
+//! queue: dequeue a seed, ask [`BatchPolicy::seed_can_linger`], then feed
+//! each further dequeued job through [`Formation::consider`] until the
+//! batch is full, the linger expires, or a verdict says stop.
+
+// The scheduler decides who waits for whom under a deadline — a stray
+// unwrap here would turn a malformed edge case into a hung batch.
+#![cfg_attr(not(test), deny(clippy::unwrap_used))]
+
+use std::time::Duration;
+
+use codes::{config_fingerprint, Config, InferenceRequest};
+
+/// Why a request was dispatched outside a multi-member batch (the
+/// `reason` label of `codes_serve_batch_bypass_total`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BypassReason {
+    /// The member's remaining deadline could not survive the linger
+    /// window, so it was dispatched solo immediately.
+    Deadline,
+    /// A drained job was incompatible with the forming batch (different
+    /// database, config fingerprint, or deadline class); it stops
+    /// formation and becomes the seed of the next batch.
+    Mismatch,
+}
+
+impl BypassReason {
+    /// Metric label value.
+    pub fn as_str(&self) -> &'static str {
+        match self {
+            BypassReason::Deadline => "deadline",
+            BypassReason::Mismatch => "mismatch",
+        }
+    }
+}
+
+/// Batch-compatibility key: two queued requests may share a dispatch only
+/// when every component matches. `db_id` pins the batch to one database
+/// handle (hence one catalog revision at dispatch time), `config_fp`
+/// pins the inference configuration, and `deadline_class` keeps members
+/// whose remaining budgets are within 2× of each other together, so the
+/// batch-wide deadline clamp cannot starve a member that would have run
+/// comfortably solo.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CompatKey {
+    /// Target database name.
+    pub db_id: String,
+    /// Fingerprint of the request's effective (pre-clamp) [`Config`].
+    pub config_fp: u64,
+    /// `floor(log2(remaining_ms))` bucket of the remaining budget.
+    pub deadline_class: u32,
+}
+
+/// The deadline class of a remaining budget: `floor(log2(remaining_ms))`,
+/// with everything below 1ms collapsed into class 0. Members of one class
+/// have remaining budgets within a factor of two of each other.
+pub fn deadline_class(remaining: Duration) -> u32 {
+    let ms = (remaining.as_millis().min(u128::from(u64::MAX)) as u64).max(1);
+    ms.ilog2()
+}
+
+/// The formation-relevant view of one queued job.
+#[derive(Debug, Clone)]
+pub struct MemberInfo {
+    /// Compatibility key.
+    pub key: CompatKey,
+    /// Budget remaining when the job was examined (deadline minus time
+    /// already spent queued).
+    pub remaining: Duration,
+}
+
+impl MemberInfo {
+    /// Build from a request, the pool's base config, and the job's
+    /// remaining budget. The fingerprint covers the request's own config
+    /// override when present, the pool default otherwise — *before* any
+    /// deadline clamp, which is the deadline class's job to capture.
+    pub fn of_request(
+        request: &InferenceRequest,
+        base: &Config,
+        remaining: Duration,
+    ) -> MemberInfo {
+        let effective = request.config.unwrap_or(*base);
+        MemberInfo {
+            key: CompatKey {
+                db_id: request.db_id.clone(),
+                config_fp: config_fingerprint(&effective),
+                deadline_class: deadline_class(remaining),
+            },
+            remaining,
+        }
+    }
+}
+
+/// Batching knobs (mirrors `ServeConfig::{max_batch, batch_linger}`).
+#[derive(Debug, Clone, Copy)]
+pub struct BatchPolicy {
+    /// Largest batch a worker may form; 1 disables batching.
+    pub max_batch: usize,
+    /// How long a worker holding a seed waits for compatible followers.
+    pub linger: Duration,
+}
+
+impl BatchPolicy {
+    /// Whether a freshly dequeued seed can afford to wait out the linger
+    /// window at all. Requires at least double the linger left on the
+    /// seed's budget so the wait can never be the reason it misses its
+    /// deadline. False also when batching is disabled (`max_batch <= 1`).
+    pub fn seed_can_linger(&self, seed: &MemberInfo) -> bool {
+        self.max_batch > 1 && seed.remaining > self.linger.saturating_mul(2)
+    }
+}
+
+/// Verdict of [`Formation::consider`] for one drained candidate.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Verdict {
+    /// The candidate joined the batch; keep draining while room remains.
+    Joined,
+    /// The candidate did not fit: dispatch the batch as formed, count a
+    /// bypass under the given reason, and seed the next dispatch with
+    /// the candidate.
+    Stop(BypassReason),
+}
+
+/// Pure formation state: the compatibility key fixed by the seed plus the
+/// running member count and tightest remaining budget.
+#[derive(Debug, Clone)]
+pub struct Formation {
+    key: CompatKey,
+    len: usize,
+    min_remaining: Duration,
+}
+
+impl Formation {
+    /// Start a batch around its seed.
+    pub fn new(seed: MemberInfo) -> Formation {
+        Formation { key: seed.key, len: 1, min_remaining: seed.remaining }
+    }
+
+    /// Members so far (seed included).
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Always at least the seed.
+    pub fn is_empty(&self) -> bool {
+        false
+    }
+
+    /// Whether the batch reached `max_batch`.
+    pub fn is_full(&self, policy: &BatchPolicy) -> bool {
+        self.len >= policy.max_batch
+    }
+
+    /// Tightest remaining budget across members — the whole batch's
+    /// config is clamped to (at most) this, so no member's deadline can
+    /// be exceeded by the shared dispatch.
+    pub fn min_remaining(&self) -> Duration {
+        self.min_remaining
+    }
+
+    /// Offer a drained candidate to the batch.
+    pub fn consider(&mut self, policy: &BatchPolicy, candidate: &MemberInfo) -> Verdict {
+        if self.is_full(policy) {
+            return Verdict::Stop(BypassReason::Mismatch);
+        }
+        if candidate.key != self.key {
+            return Verdict::Stop(BypassReason::Mismatch);
+        }
+        // A compatible candidate with almost no budget left must not be
+        // held for the rest of the window: stop and dispatch it solo next.
+        if candidate.remaining <= policy.linger {
+            return Verdict::Stop(BypassReason::Deadline);
+        }
+        self.len += 1;
+        self.min_remaining = self.min_remaining.min(candidate.remaining);
+        Verdict::Joined
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn info(db: &str, fp: u64, remaining_ms: u64) -> MemberInfo {
+        MemberInfo {
+            key: CompatKey {
+                db_id: db.to_string(),
+                config_fp: fp,
+                deadline_class: deadline_class(Duration::from_millis(remaining_ms)),
+            },
+            remaining: Duration::from_millis(remaining_ms),
+        }
+    }
+
+    #[test]
+    fn deadline_classes_are_power_of_two_buckets() {
+        assert_eq!(deadline_class(Duration::ZERO), 0);
+        assert_eq!(deadline_class(Duration::from_millis(1)), 0);
+        assert_eq!(deadline_class(Duration::from_millis(2)), 1);
+        assert_eq!(deadline_class(Duration::from_millis(3)), 1);
+        assert_eq!(deadline_class(Duration::from_millis(1000)), 9);
+        assert_eq!(deadline_class(Duration::from_millis(1023)), 9);
+        assert_eq!(deadline_class(Duration::from_millis(1024)), 10);
+        assert_eq!(deadline_class(Duration::from_millis(2000)), 10);
+    }
+
+    #[test]
+    fn seeds_without_linger_headroom_bypass() {
+        let policy = BatchPolicy { max_batch: 4, linger: Duration::from_millis(2) };
+        assert!(policy.seed_can_linger(&info("db", 1, 100)));
+        assert!(!policy.seed_can_linger(&info("db", 1, 4)), "2x linger is not enough");
+        assert!(!policy.seed_can_linger(&info("db", 1, 0)));
+        let disabled = BatchPolicy { max_batch: 1, linger: Duration::from_millis(2) };
+        assert!(!disabled.seed_can_linger(&info("db", 1, 100)));
+    }
+
+    #[test]
+    fn formation_rejects_mismatches_and_respects_capacity() {
+        let policy = BatchPolicy { max_batch: 3, linger: Duration::from_millis(2) };
+        let mut f = Formation::new(info("bank", 7, 900));
+        assert_eq!(f.consider(&policy, &info("retail", 7, 900)), Verdict::Stop(BypassReason::Mismatch));
+        assert_eq!(f.consider(&policy, &info("bank", 8, 900)), Verdict::Stop(BypassReason::Mismatch));
+        assert_eq!(f.consider(&policy, &info("bank", 7, 90)), Verdict::Stop(BypassReason::Mismatch), "deadline class differs");
+        assert_eq!(f.consider(&policy, &info("bank", 7, 800)), Verdict::Joined);
+        assert_eq!(f.consider(&policy, &info("bank", 7, 700)), Verdict::Joined);
+        assert!(f.is_full(&policy));
+        assert_eq!(f.consider(&policy, &info("bank", 7, 600)), Verdict::Stop(BypassReason::Mismatch));
+        assert_eq!(f.len(), 3);
+        assert_eq!(f.min_remaining(), Duration::from_millis(700));
+    }
+
+    #[test]
+    fn starved_candidates_stop_formation_with_deadline_reason() {
+        let policy = BatchPolicy { max_batch: 4, linger: Duration::from_millis(50) };
+        // Same class as the seed but with less than one linger left.
+        let mut f = Formation::new(info("bank", 7, 100));
+        let mut starving = info("bank", 7, 40);
+        starving.key.deadline_class = f.key.deadline_class;
+        assert_eq!(f.consider(&policy, &starving), Verdict::Stop(BypassReason::Deadline));
+    }
+}

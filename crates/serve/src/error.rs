@@ -54,6 +54,22 @@ pub enum ServeError {
 }
 
 impl ServeError {
+    /// True when retrying the same request later may succeed, under the
+    /// unified taxonomy of [`codes::Error`] (overload sheds and worker
+    /// deaths are transient; permanent engine failures and shutdown are
+    /// not). Delegates to the unified error so the two surfaces cannot
+    /// drift apart.
+    pub fn is_transient(&self) -> bool {
+        codes::Error::from(self.clone()).is_transient()
+    }
+
+    /// True when the request was shed by admission control rather than
+    /// actually failing — the unified-taxonomy name for
+    /// [`ServeError::is_load_shed`].
+    pub fn is_overload(&self) -> bool {
+        codes::Error::from(self.clone()).is_overload()
+    }
+
     /// Short machine-readable category (mirrors `sqlengine::Error::kind`).
     pub fn kind(&self) -> &'static str {
         match self {
@@ -110,6 +126,30 @@ impl From<sqlengine::Error> for ServeError {
     }
 }
 
+/// The bridge into the unified error surface: every serving failure maps
+/// onto exactly one [`codes::Error`] variant (the mapping is documented
+/// in DESIGN.md §4g), so callers can match one taxonomy across direct
+/// inference and the pool.
+impl From<ServeError> for codes::Error {
+    fn from(e: ServeError) -> codes::Error {
+        match e {
+            ServeError::Overloaded { queue_depth, capacity } => {
+                codes::Error::Overloaded { queue_depth, capacity }
+            }
+            ServeError::CircuitOpen { db_id, retry_after } => {
+                codes::Error::CircuitOpen { db_id, retry_after }
+            }
+            ServeError::DeadlineExceeded { queued, budget } => {
+                codes::Error::DeadlineExceeded { queued, budget }
+            }
+            ServeError::Inference(e) => codes::Error::Engine(e),
+            ServeError::WorkerPanic(msg) => codes::Error::WorkerPanic(msg),
+            ServeError::WorkerWedged { stalled } => codes::Error::WorkerWedged { stalled },
+            ServeError::ShuttingDown => codes::Error::ShuttingDown,
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -135,5 +175,36 @@ mod tests {
         for e in &all {
             assert!(!e.to_string().is_empty());
         }
+    }
+
+    #[test]
+    fn unified_error_bridge_preserves_kind_and_classification() {
+        let all = [
+            ServeError::Overloaded { queue_depth: 8, capacity: 8 },
+            ServeError::CircuitOpen { db_id: "bank".into(), retry_after: Duration::from_millis(50) },
+            ServeError::DeadlineExceeded {
+                queued: Duration::from_millis(120),
+                budget: Duration::from_millis(100),
+            },
+            ServeError::Inference(sqlengine::Error::Parse("bad".into())),
+            ServeError::WorkerPanic("boom".into()),
+            ServeError::WorkerWedged { stalled: Duration::from_secs(1) },
+            ServeError::ShuttingDown,
+        ];
+        for e in &all {
+            let unified = codes::Error::from(e.clone());
+            // Load sheds map onto is_overload one-for-one.
+            assert_eq!(e.is_load_shed(), unified.is_overload(), "{e}");
+            assert_eq!(e.is_overload(), unified.is_overload());
+            assert_eq!(e.is_transient(), unified.is_transient());
+            // The displayed message carries across the bridge unchanged.
+            assert_eq!(e.to_string(), unified.to_string());
+        }
+        // Spot-check the taxonomy: sheds and worker deaths are transient,
+        // permanent engine failures and shutdown are not.
+        assert!(ServeError::Overloaded { queue_depth: 1, capacity: 1 }.is_transient());
+        assert!(ServeError::WorkerPanic("x".into()).is_transient());
+        assert!(!ServeError::Inference(sqlengine::Error::Parse("bad".into())).is_transient());
+        assert!(!ServeError::ShuttingDown.is_transient());
     }
 }

@@ -12,7 +12,9 @@ use rand::rngs::StdRng;
 use rand::{RngExt, SeedableRng};
 use sqlengine::{Error, Resource};
 
-use crate::pool::{Backend, BackendReply, Request};
+use codes::InferenceRequest;
+
+use crate::pool::{Backend, BackendReply};
 
 /// What the plan injects for one request.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -102,7 +104,7 @@ impl<B> FaultyBackend<B> {
 impl<B: Backend> Backend for FaultyBackend<B> {
     fn infer(
         &self,
-        request: &Request,
+        request: &InferenceRequest,
         id: u64,
         config: &codes::Config,
     ) -> Result<BackendReply, Error> {

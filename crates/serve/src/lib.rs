@@ -17,6 +17,13 @@
 //!   ([`codes::Config::clamped_to_deadline`]), so nearly-out-of-time
 //!   requests degrade to greedy decoding instead of missing their SLO, and
 //!   requests that expire while queued are shed without running.
+//! * **Dynamic micro-batching** ([`crate::batch`]) — a worker that
+//!   dequeues a request with deadline headroom lingers briefly
+//!   (`ServeConfig::batch_linger`) for compatible followers (same
+//!   database, config fingerprint, and deadline class) and dispatches up
+//!   to `ServeConfig::max_batch` of them through the backend's batched
+//!   path in one pass; requests that cannot afford the wait bypass
+//!   batching entirely.
 //! * **Per-database circuit breakers** ([`CircuitBreaker`]) — N
 //!   consecutive failures trip a database out of rotation; recovery is
 //!   probed under deterministic jittered exponential backoff
@@ -36,17 +43,23 @@
 //! [`ServedInference`], a typed [`ServeError`], or an immediate
 //! [`ServeError::Overloaded`] rejection at admission. Nothing hangs.
 
+pub mod batch;
 pub mod breaker;
 pub mod error;
 pub mod fault;
 pub mod metrics;
 pub mod pool;
 
+pub use batch::{deadline_class, BatchPolicy, BypassReason, CompatKey, Formation, MemberInfo, Verdict};
 pub use breaker::{Admission, BreakerConfig, BreakerState, CircuitBreaker};
+// The unified request type consumed by both direct inference and the pool.
+pub use codes::InferenceRequest;
 pub use error::ServeError;
 pub use fault::{Fault, FaultPlan, FaultyBackend};
 pub use metrics::MetricsSnapshot;
+#[allow(deprecated)]
+pub use pool::Request;
 pub use pool::{
-    Backend, BackendReply, HealthSnapshot, Pool, Request, ServeConfig, ServedInference,
-    StatsSnapshot, SystemBackend, Ticket, WorkerHealth,
+    Backend, BackendReply, HealthSnapshot, Pool, ServeConfig, ServedInference, StatsSnapshot,
+    SystemBackend, Ticket, WorkerHealth,
 };

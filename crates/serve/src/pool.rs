@@ -7,6 +7,15 @@
 //! its remaining time budget is clamped into the inference [`Config`] and
 //! the backend runs under the engine's retry/backoff policy.
 //!
+//! A worker that dequeues a request with deadline headroom **lingers**
+//! briefly ([`ServeConfig::batch_linger`]) for compatible followers (same
+//! database, same config fingerprint, same deadline class — see
+//! [`crate::batch`]) and dispatches up to [`ServeConfig::max_batch`] of
+//! them through [`Backend::infer_batch`] in one pass. Requests whose
+//! remaining budget cannot survive the linger bypass batching and run
+//! solo immediately; degradations, stage timings and cache admissions
+//! stay per-member.
+//!
 //! A supervisor thread watches the workers: a panicked worker is joined,
 //! its orphaned request resolved with [`ServeError::WorkerPanic`], and the
 //! slot respawned; a wedged worker (no heartbeat while a request is in
@@ -24,13 +33,14 @@ use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
 use codes::{
-    config_fingerprint, normalize_question, CachedAnswer, CodesSystem, Config, SystemCache,
-    SystemCacheStats,
+    config_fingerprint, normalize_question, CachedAnswer, CodesSystem, Config, InferenceRequest,
+    SystemCache, SystemCacheStats,
 };
 use crossbeam::channel::{self, Receiver, Sender, TrySendError};
 use parking_lot::Mutex;
 use sqlengine::{with_retry_paced, Backoff, Database, Error};
 
+use crate::batch::{BatchPolicy, BypassReason, Formation, MemberInfo, Verdict};
 use crate::breaker::{Admission, BreakerConfig, BreakerState, CircuitBreaker};
 use crate::error::ServeError;
 use crate::metrics::{MetricsSnapshot, ServeMetrics};
@@ -45,7 +55,29 @@ use crate::metrics::{MetricsSnapshot, ServeMetrics};
 /// into a typed [`ServeError::WorkerPanic`] for the caller.
 pub trait Backend: Send + Sync {
     /// Run one inference attempt.
-    fn infer(&self, request: &Request, id: u64, config: &Config) -> Result<BackendReply, Error>;
+    fn infer(
+        &self,
+        request: &InferenceRequest,
+        id: u64,
+        config: &Config,
+    ) -> Result<BackendReply, Error>;
+
+    /// Run one micro-batch of compatible requests (same database, same
+    /// effective config) in a single pass, returning one result per
+    /// member in order. `config` is already clamped to the tightest
+    /// remaining deadline across members.
+    ///
+    /// The default loops [`Backend::infer`], which preserves per-request
+    /// fault-injection semantics for chaos backends: a panic anywhere in
+    /// the loop unwinds the whole dispatch, and the supervisor resolves
+    /// every member's ticket.
+    fn infer_batch(
+        &self,
+        requests: &[(&InferenceRequest, u64)],
+        config: &Config,
+    ) -> Vec<Result<BackendReply, Error>> {
+        requests.iter().map(|(request, id)| self.infer(request, *id, config)).collect()
+    }
 }
 
 /// A successful backend outcome.
@@ -75,14 +107,32 @@ impl SystemBackend {
     }
 }
 
+impl SystemBackend {
+    /// The request as the core system should see it: the pool owns
+    /// deadline accounting, so the clamped `config` it computed replaces
+    /// any request-level override and the deadline is cleared (a second
+    /// clamp against the *original* budget would undo the queue-wait
+    /// accounting).
+    fn resolved(request: &InferenceRequest, config: &Config) -> InferenceRequest {
+        let mut resolved = request.clone();
+        resolved.config = Some(*config);
+        resolved.deadline = None;
+        resolved
+    }
+}
+
 impl Backend for SystemBackend {
-    fn infer(&self, request: &Request, _id: u64, config: &Config) -> Result<BackendReply, Error> {
+    fn infer(
+        &self,
+        request: &InferenceRequest,
+        _id: u64,
+        config: &Config,
+    ) -> Result<BackendReply, Error> {
         let db = self
             .dbs
             .get(&request.db_id)
             .ok_or_else(|| Error::UnknownTable(request.db_id.clone()))?;
-        let out =
-            self.system.infer_with(db, &request.question, request.external_knowledge.as_deref(), config);
+        let out = self.system.infer(db, &SystemBackend::resolved(request, config));
         Ok(BackendReply {
             sql: out.sql,
             degradations: out.degradations,
@@ -90,33 +140,43 @@ impl Backend for SystemBackend {
             prompt_tokens: out.prompt_tokens,
         })
     }
-}
 
-/// One text-to-SQL request.
-#[derive(Debug, Clone)]
-pub struct Request {
-    /// Target database name.
-    pub db_id: String,
-    /// Natural-language question.
-    pub question: String,
-    /// Optional external knowledge / evidence string (BIRD-style).
-    pub external_knowledge: Option<String>,
-    /// Total time budget for this request (queue wait + inference).
-    /// `None` uses [`ServeConfig::default_deadline`].
-    pub deadline: Option<Duration>,
-}
-
-impl Request {
-    /// A plain request with the pool's default deadline.
-    pub fn new(db_id: impl Into<String>, question: impl Into<String>) -> Request {
-        Request {
-            db_id: db_id.into(),
-            question: question.into(),
-            external_knowledge: None,
-            deadline: None,
-        }
+    fn infer_batch(
+        &self,
+        requests: &[(&InferenceRequest, u64)],
+        config: &Config,
+    ) -> Vec<Result<BackendReply, Error>> {
+        let Some((first, _)) = requests.first() else {
+            return Vec::new();
+        };
+        let Some(db) = self.dbs.get(&first.db_id) else {
+            return requests
+                .iter()
+                .map(|(r, _)| Err(Error::UnknownTable(r.db_id.clone())))
+                .collect();
+        };
+        let members: Vec<InferenceRequest> =
+            requests.iter().map(|(r, _)| SystemBackend::resolved(r, config)).collect();
+        self.system
+            .infer_batch(db, &members)
+            .into_iter()
+            .map(|out| {
+                Ok(BackendReply {
+                    sql: out.sql,
+                    degradations: out.degradations,
+                    latency_seconds: out.latency_seconds,
+                    prompt_tokens: out.prompt_tokens,
+                })
+            })
+            .collect()
     }
 }
+
+/// Former pool-specific request type, now unified with the core crate's
+/// builder (the fields line up one-to-one, so existing construction code
+/// keeps compiling).
+#[deprecated(note = "use codes::InferenceRequest (re-exported as serve::InferenceRequest)")]
+pub type Request = InferenceRequest;
 
 /// Pool tuning knobs.
 #[derive(Debug, Clone)]
@@ -129,8 +189,20 @@ pub struct ServeConfig {
     /// Time budget for requests that don't carry their own deadline.
     pub default_deadline: Duration,
     /// Base inference configuration; each request gets a copy clamped to
-    /// its remaining deadline ([`Config::clamped_to_deadline`]).
+    /// its remaining deadline ([`Config::clamped_to_deadline`]). A request
+    /// carrying its own [`InferenceRequest::config`] override uses that
+    /// instead of the base (still deadline-clamped).
     pub base_config: Config,
+    /// Largest micro-batch one worker may form from compatible queued
+    /// requests (same database, config fingerprint, and deadline class).
+    /// `1` disables batching entirely.
+    pub max_batch: usize,
+    /// How long a worker holding a request with deadline headroom waits
+    /// for compatible followers before dispatching. A request without at
+    /// least `2 * batch_linger` of remaining budget bypasses batching
+    /// (counted under `codes_serve_batch_bypass_total{reason="deadline"}`),
+    /// so the linger can never be the reason a deadline is missed.
+    pub batch_linger: Duration,
     /// Per-database circuit-breaker policy.
     pub breaker: BreakerConfig,
     /// How often idle workers stamp their heartbeat and the supervisor
@@ -159,6 +231,8 @@ impl Default for ServeConfig {
             queue_capacity: 64,
             default_deadline: Duration::from_secs(2),
             base_config: Config::serving(),
+            max_batch: 4,
+            batch_linger: Duration::from_millis(2),
             breaker: BreakerConfig::default(),
             heartbeat_interval: Duration::from_millis(20),
             wedged_after: Duration::from_secs(5),
@@ -245,24 +319,28 @@ impl Ticket {
 
 struct Job {
     id: u64,
-    request: Request,
+    request: InferenceRequest,
     submitted: Instant,
     reply: Arc<ReplySlot>,
-    /// `(generation, question_key)` captured at submit time when a cache is
-    /// attached. Admitting the result under the *submit-time* generation is
-    /// what makes invalidation race-free: a result computed before a
-    /// generation bump lands under the old token, where post-bump lookups
-    /// can't reach it.
-    cache_slot: Option<(u64, String)>,
+    /// `(generation, question_key, config_fp)` captured at submit time when
+    /// a cache is attached. Admitting the result under the *submit-time*
+    /// generation is what makes invalidation race-free: a result computed
+    /// before a generation bump lands under the old token, where post-bump
+    /// lookups can't reach it. The fingerprint covers the request's own
+    /// config override when present, so per-request configs never share
+    /// cache entries with the pool default.
+    cache_slot: Option<(u64, String, u64)>,
 }
 
-/// A request currently running on a worker; lets the supervisor resolve it
-/// if the worker dies.
+/// A dispatch currently running on a worker (one solo request or one
+/// micro-batch); lets the supervisor resolve every member if the worker
+/// dies. `job_id` is the first member's id — the key the worker uses to
+/// unregister only its own entry.
 struct InFlight {
     job_id: u64,
     db_id: String,
     started: Instant,
-    reply: Arc<ReplySlot>,
+    replies: Vec<Arc<ReplySlot>>,
 }
 
 #[derive(Default)]
@@ -352,9 +430,6 @@ struct SlotState {
 
 struct Inner {
     config: ServeConfig,
-    /// Fingerprint of `config.base_config`, precomputed once — the T3 key
-    /// component shared by every lookup and admission this pool performs.
-    config_fp: u64,
     backend: Arc<dyn Backend>,
     queue_rx: Receiver<Job>,
     breakers: Mutex<HashMap<String, CircuitBreaker>>,
@@ -401,7 +476,40 @@ impl Inner {
         self.metrics.in_flight.set(map.len() as i64);
     }
 
-    /// Run one dequeued job to a resolved outcome.
+    /// The request's effective (pre-clamp) inference config: its own
+    /// override when present, the pool default otherwise.
+    fn effective_config(&self, request: &InferenceRequest) -> Config {
+        request.config.unwrap_or(self.config.base_config)
+    }
+
+    /// Admit a clean result into the full-result cache tier under the
+    /// job's submit-time `(generation, question_key, config_fp)` slot.
+    fn admit_to_cache(&self, db_id: &str, job: &Job, reply: &BackendReply) {
+        // Admit only clean results: a degradation means the deadline
+        // clamp (or a fault) changed the answer path, and such an
+        // answer must never be replayed to an unclamped request.
+        // The submit-time generation in `cache_slot` keeps this
+        // race-free against concurrent invalidation.
+        if let (Some(cache), Some((generation, question_key, config_fp))) =
+            (&self.config.cache, &job.cache_slot)
+        {
+            if reply.degradations.is_empty() {
+                cache.admit_full(
+                    db_id,
+                    *generation,
+                    question_key,
+                    *config_fp,
+                    CachedAnswer {
+                        sql: reply.sql.clone(),
+                        prompt_tokens: reply.prompt_tokens,
+                        compute_latency_seconds: reply.latency_seconds,
+                    },
+                );
+            }
+        }
+    }
+
+    /// Run one dequeued job, solo, to a resolved outcome.
     fn process(self: &Arc<Inner>, slot: usize, job: Job) {
         let now = Instant::now();
         let budget = job.request.deadline.unwrap_or(self.config.default_deadline);
@@ -436,13 +544,13 @@ impl Inner {
                     job_id: job.id,
                     db_id: db_id.clone(),
                     started: now,
-                    reply: Arc::clone(&job.reply),
+                    replies: vec![Arc::clone(&job.reply)],
                 },
             );
             self.sync_in_flight_gauge(&in_flight);
         }
 
-        let config = self.config.base_config.clamped_to_deadline(budget - queued);
+        let config = self.effective_config(&job.request).clamped_to_deadline(budget - queued);
         // Decorrelate retry pacing across requests while keeping each
         // request's schedule deterministic.
         let backoff = Backoff { seed: self.config.retry_backoff.seed ^ job.id, ..self.config.retry_backoff };
@@ -462,28 +570,7 @@ impl Inner {
                 self.with_breaker(&db_id, |b| b.record_success());
                 self.stats.completed.fetch_add(1, Ordering::Relaxed);
                 self.metrics.completed.inc();
-                // Admit only clean results: a degradation means the deadline
-                // clamp (or a fault) changed the answer path, and such an
-                // answer must never be replayed to an unclamped request.
-                // The submit-time generation in `cache_slot` keeps this
-                // race-free against concurrent invalidation.
-                if let (Some(cache), Some((generation, question_key))) =
-                    (&self.config.cache, &job.cache_slot)
-                {
-                    if reply.degradations.is_empty() {
-                        cache.admit_full(
-                            &db_id,
-                            *generation,
-                            question_key,
-                            self.config_fp,
-                            CachedAnswer {
-                                sql: reply.sql.clone(),
-                                prompt_tokens: reply.prompt_tokens,
-                                compute_latency_seconds: reply.latency_seconds,
-                            },
-                        );
-                    }
-                }
+                self.admit_to_cache(&db_id, &job, &reply);
                 Ok(ServedInference {
                     request_id: job.id,
                     sql: reply.sql,
@@ -514,6 +601,210 @@ impl Inner {
         }
         job.reply.complete(outcome);
     }
+
+    /// The formation-relevant view of a queued job as of `now`.
+    fn member_info(&self, job: &Job, now: Instant) -> MemberInfo {
+        let budget = job.request.deadline.unwrap_or(self.config.default_deadline);
+        let queued = now.saturating_duration_since(job.submitted);
+        MemberInfo::of_request(
+            &job.request,
+            &self.config.base_config,
+            budget.saturating_sub(queued),
+        )
+    }
+
+    /// Drain compatible followers behind `seed` for up to the linger
+    /// window, returning the formed batch plus — when a drained job
+    /// stopped formation — the job that must seed the next dispatch.
+    fn form_batch(&self, seed: Job) -> (Vec<Job>, Option<Job>) {
+        let policy =
+            BatchPolicy { max_batch: self.config.max_batch.max(1), linger: self.config.batch_linger };
+        let seed_info = self.member_info(&seed, Instant::now());
+        if !policy.seed_can_linger(&seed_info) {
+            // Bypass is only meaningful when batching is on at all.
+            if policy.max_batch > 1 {
+                self.metrics.batch_bypass(BypassReason::Deadline).inc();
+            }
+            return (vec![seed], None);
+        }
+        let mut formation = Formation::new(seed_info);
+        let mut batch = vec![seed];
+        let linger_start = Instant::now();
+        let linger_end = linger_start + policy.linger;
+        let mut leftover = None;
+        while !formation.is_full(&policy) {
+            let now = Instant::now();
+            let Some(wait) = linger_end.checked_duration_since(now).filter(|w| !w.is_zero())
+            else {
+                break;
+            };
+            match self.queue_rx.recv_timeout(wait) {
+                Ok(job) => {
+                    let info = self.member_info(&job, Instant::now());
+                    match formation.consider(&policy, &info) {
+                        Verdict::Joined => batch.push(job),
+                        Verdict::Stop(reason) => {
+                            self.metrics.batch_bypass(reason).inc();
+                            leftover = Some(job);
+                            break;
+                        }
+                    }
+                }
+                Err(channel::RecvTimeoutError::Timeout)
+                | Err(channel::RecvTimeoutError::Disconnected) => break,
+            }
+        }
+        self.metrics.batch_linger.record(linger_start.elapsed());
+        (batch, leftover)
+    }
+
+    /// Run one formed dispatch (solo or micro-batch) to a resolved outcome
+    /// for every member. A batch failure resolves every member's
+    /// [`ReplySlot`] exactly once — nothing hangs.
+    fn process_batch(self: &Arc<Inner>, slot: usize, jobs: Vec<Job>) {
+        self.metrics.batch_size.record_ns(jobs.len() as u64);
+        if jobs.len() <= 1 {
+            if let Some(job) = jobs.into_iter().next() {
+                self.process(slot, job);
+            }
+            return;
+        }
+
+        let now = Instant::now();
+        // Per-member deadline sheds first: a member that expired during the
+        // linger must not drag the batch (its class-mates still have time —
+        // classes bound budgets within 2×).
+        let mut live: Vec<(Job, Duration, Duration)> = Vec::with_capacity(jobs.len());
+        for job in jobs {
+            let budget = job.request.deadline.unwrap_or(self.config.default_deadline);
+            let queued = now.saturating_duration_since(job.submitted);
+            self.metrics.queue_wait.record(queued);
+            if queued >= budget {
+                self.stats.shed_deadline.fetch_add(1, Ordering::Relaxed);
+                self.metrics.shed_deadline.inc();
+                job.reply.complete(Err(ServeError::DeadlineExceeded { queued, budget }));
+                continue;
+            }
+            live.push((job, queued, budget));
+        }
+        let Some((first, _, _)) = live.first() else {
+            return;
+        };
+        let db_id = first.request.db_id.clone();
+        let batch_key = first.id;
+
+        // One breaker admission covers the whole batch (members share the
+        // database by construction); success/failure below is still
+        // recorded per member so the failure threshold keeps its meaning.
+        let admission = self.with_breaker(&db_id, |b| b.admit(now));
+        if let Admission::Reject { retry_after } = admission {
+            for (job, _, _) in live {
+                self.stats.shed_breaker.fetch_add(1, Ordering::Relaxed);
+                self.metrics.shed_breaker.inc();
+                job.reply.complete(Err(ServeError::CircuitOpen {
+                    db_id: db_id.clone(),
+                    retry_after,
+                }));
+            }
+            return;
+        }
+
+        // Register every member before touching the backend: if this worker
+        // panics or wedges mid-batch, the supervisor resolves all of them.
+        {
+            let mut in_flight = self.in_flight.lock();
+            in_flight.insert(
+                slot,
+                InFlight {
+                    job_id: batch_key,
+                    db_id: db_id.clone(),
+                    started: now,
+                    replies: live.iter().map(|(j, _, _)| Arc::clone(&j.reply)).collect(),
+                },
+            );
+            self.sync_in_flight_gauge(&in_flight);
+        }
+
+        // One config for the whole dispatch: the members' shared effective
+        // config (formation guarantees one fingerprint) clamped to the
+        // tightest remaining budget, so the batch can never overrun any
+        // member's deadline.
+        let min_remaining = live
+            .iter()
+            .map(|(_, queued, budget)| budget.saturating_sub(*queued))
+            .min()
+            .unwrap_or(Duration::ZERO);
+        let config = self.effective_config(&first.request).clamped_to_deadline(min_remaining);
+        let requests: Vec<(&InferenceRequest, u64)> =
+            live.iter().map(|(j, _, _)| (&j.request, j.id)).collect();
+        let mut results = self.backend.infer_batch(&requests, &config);
+        drop(requests);
+        // A backend returning the wrong arity is a contract violation;
+        // surface it as a typed failure instead of hanging the tail.
+        while results.len() < live.len() {
+            results.push(Err(Error::Exec("backend returned too few batch results".to_string())));
+        }
+
+        let mut outcomes: Vec<Outcome> = Vec::with_capacity(live.len());
+        for ((job, queued, _budget), mut result) in live.iter().zip(results) {
+            // Per-member transient retries: the batch dispatch was attempt
+            // zero at full limits, so retries resume the solo path's halving
+            // schedule from there.
+            if config.retry_attempts > 0 {
+                let backoff =
+                    Backoff { seed: self.config.retry_backoff.seed ^ job.id, ..self.config.retry_backoff };
+                let mut limits = config.exec_limits.halved();
+                let mut attempt = 0u32;
+                while attempt < config.retry_attempts
+                    && result.as_ref().err().is_some_and(|e| e.is_transient())
+                {
+                    std::thread::sleep(backoff.delay(attempt));
+                    let mut attempt_config = config;
+                    attempt_config.exec_limits = limits;
+                    result = self.backend.infer(&job.request, job.id, &attempt_config);
+                    limits = limits.halved();
+                    attempt += 1;
+                }
+            }
+            outcomes.push(match result {
+                Ok(reply) => {
+                    self.with_breaker(&db_id, |b| b.record_success());
+                    self.stats.completed.fetch_add(1, Ordering::Relaxed);
+                    self.metrics.completed.inc();
+                    self.admit_to_cache(&db_id, job, &reply);
+                    Ok(ServedInference {
+                        request_id: job.id,
+                        sql: reply.sql,
+                        degradations: reply.degradations,
+                        latency_seconds: reply.latency_seconds,
+                        queue_wait_seconds: queued.as_secs_f64(),
+                        prompt_tokens: reply.prompt_tokens,
+                        worker: slot,
+                        cached: false,
+                    })
+                }
+                Err(e) => {
+                    self.with_breaker(&db_id, |b| b.record_failure(Instant::now()));
+                    self.stats.failed.fetch_add(1, Ordering::Relaxed);
+                    self.metrics.failed.inc();
+                    Err(ServeError::Inference(e))
+                }
+            });
+        }
+
+        // Unregister only our own entry (the supervisor may have handed the
+        // slot to a replacement after declaring this worker wedged).
+        {
+            let mut in_flight = self.in_flight.lock();
+            if in_flight.get(&slot).is_some_and(|f| f.job_id == batch_key) {
+                in_flight.remove(&slot);
+            }
+            self.sync_in_flight_gauge(&in_flight);
+        }
+        for ((job, _, _), outcome) in live.iter().zip(outcomes) {
+            job.reply.complete(outcome);
+        }
+    }
 }
 
 fn worker_loop(inner: Arc<Inner>, slot: usize, generation: u64) {
@@ -526,7 +817,45 @@ fn worker_loop(inner: Arc<Inner>, slot: usize, generation: u64) {
         }
         match inner.queue_rx.recv_timeout(inner.config.heartbeat_interval) {
             Ok(job) => {
-                inner.process(slot, job);
+                // A drained job that stopped batch formation seeds the next
+                // dispatch, so one recv can chain several dispatches.
+                let mut seed = Some(job);
+                while let Some(job) = seed.take() {
+                    inner.stamp_heartbeat(slot);
+                    let (batch, mut leftover) = inner.form_batch(job);
+                    // Only the dispatched batch is registered in-flight; a
+                    // backend panic would unwind past this frame and drop
+                    // the still-unregistered leftover, hanging its ticket.
+                    // Catch, resolve it as the same worker death, and let
+                    // the panic continue to the supervisor.
+                    let dispatched = std::panic::catch_unwind(std::panic::AssertUnwindSafe(
+                        || inner.process_batch(slot, batch),
+                    ));
+                    if let Err(payload) = dispatched {
+                        if let Some(job) = leftover.take() {
+                            job.reply
+                                .complete(Err(ServeError::WorkerPanic(panic_message(&*payload))));
+                        }
+                        std::panic::resume_unwind(payload);
+                    }
+                    if inner.slots[slot].generation.load(Ordering::SeqCst) != generation {
+                        // Superseded mid-dispatch: the supervisor declared
+                        // this worker wedged while the backend stalled and a
+                        // replacement owns the slot (and the in-flight map
+                        // entry) now. Processing the leftover here would
+                        // register it over the replacement's entry, leaving
+                        // members unresolvable if either thread then dies —
+                        // resolve it with the same verdict its batch got and
+                        // bow out.
+                        if let Some(job) = leftover.take() {
+                            job.reply.complete(Err(ServeError::WorkerWedged {
+                                stalled: inner.config.wedged_after,
+                            }));
+                        }
+                        return;
+                    }
+                    seed = leftover;
+                }
                 inner.stamp_heartbeat(slot);
                 if inner.slots[slot].generation.load(Ordering::SeqCst) != generation {
                     return;
@@ -548,7 +877,7 @@ fn spawn_worker(inner: &Arc<Inner>, slot: usize, generation: u64) -> JoinHandle<
         .expect("spawn serve worker thread")
 }
 
-fn panic_message(payload: Box<dyn Any + Send>) -> String {
+fn panic_message(payload: &(dyn Any + Send)) -> String {
     if let Some(s) = payload.downcast_ref::<&str>() {
         (*s).to_string()
     } else if let Some(s) = payload.downcast_ref::<String>() {
@@ -582,7 +911,7 @@ fn supervisor_loop(inner: Arc<Inner>, mut workers: Vec<Option<JoinHandle<()>>>) 
                         }
                     }
                     Err(payload) => {
-                        let msg = panic_message(payload);
+                        let msg = panic_message(&*payload);
                         let orphan = {
                             let mut in_flight = inner.in_flight.lock();
                             let orphan = in_flight.remove(&slot);
@@ -591,7 +920,12 @@ fn supervisor_loop(inner: Arc<Inner>, mut workers: Vec<Option<JoinHandle<()>>>) 
                         };
                         if let Some(orphan) = orphan {
                             inner.with_breaker(&orphan.db_id, |b| b.record_failure(Instant::now()));
-                            orphan.reply.complete(Err(ServeError::WorkerPanic(msg)));
+                            // A panic mid-batch orphans every member; each
+                            // ticket resolves exactly once (write-once
+                            // slots), never hangs.
+                            for reply in &orphan.replies {
+                                reply.complete(Err(ServeError::WorkerPanic(msg.clone())));
+                            }
                         }
                         inner.stats.replaced_panic.fetch_add(1, Ordering::Relaxed);
                         inner.metrics.replaced_panic.inc();
@@ -623,7 +957,9 @@ fn supervisor_loop(inner: Arc<Inner>, mut workers: Vec<Option<JoinHandle<()>>>) 
                 if let Some(orphan) = orphan {
                     let stalled = inner.heartbeat_age(slot);
                     inner.with_breaker(&orphan.db_id, |b| b.record_failure(Instant::now()));
-                    orphan.reply.complete(Err(ServeError::WorkerWedged { stalled }));
+                    for reply in &orphan.replies {
+                        reply.complete(Err(ServeError::WorkerWedged { stalled }));
+                    }
                     inner.stats.replaced_wedged.fetch_add(1, Ordering::Relaxed);
                     inner.metrics.replaced_wedged.inc();
                     // Abandon (detach) the wedged thread and hand the slot
@@ -676,10 +1012,8 @@ impl Pool {
         let slots = (0..config.workers)
             .map(|_| SlotState { heartbeat_ms: AtomicU64::new(0), generation: AtomicU64::new(0) })
             .collect();
-        let config_fp = config_fingerprint(&config.base_config);
         let inner = Arc::new(Inner {
             config,
-            config_fp,
             backend: Arc::new(backend),
             queue_rx,
             breakers: Mutex::new(HashMap::new()),
@@ -705,7 +1039,7 @@ impl Pool {
 
     /// Submit a request. Returns a [`Ticket`] on admission, or an immediate
     /// typed rejection when the queue is full or the pool is stopping.
-    pub fn submit(&self, request: Request) -> Result<Ticket, ServeError> {
+    pub fn submit(&self, request: InferenceRequest) -> Result<Ticket, ServeError> {
         let Some(queue_tx) = &self.queue_tx else {
             return Err(ServeError::ShuttingDown);
         };
@@ -716,20 +1050,23 @@ impl Pool {
         let (reply_tx, reply_rx) = channel::bounded::<Outcome>(1);
 
         // T3 check at admission: a cached answer resolves the ticket right
-        // here, spending no queue slot and no worker time. The generation
-        // and normalized question are captured now either way, so a fresh
-        // result later admits under the submit-time generation.
+        // here, spending no queue slot and no worker time. The generation,
+        // normalized question and effective-config fingerprint are captured
+        // now either way, so a fresh result later admits under the
+        // submit-time generation (and a per-request config override never
+        // shares entries with the pool default).
         let cache_slot = self.inner.config.cache.as_ref().map(|cache| {
             (
                 cache.generation(&request.db_id),
-                normalize_question(&request.question, request.external_knowledge.as_deref()),
+                normalize_question(&request.question, request.knowledge()),
+                config_fingerprint(&self.inner.effective_config(&request)),
             )
         });
-        if let (Some(cache), Some((generation, question_key))) =
+        if let (Some(cache), Some((generation, question_key, config_fp))) =
             (&self.inner.config.cache, &cache_slot)
         {
             if let Some(answer) =
-                cache.lookup_full(&request.db_id, *generation, question_key, self.inner.config_fp)
+                cache.lookup_full(&request.db_id, *generation, question_key, *config_fp)
             {
                 self.inner.stats.submitted.fetch_add(1, Ordering::Relaxed);
                 self.inner.metrics.submitted.inc();
@@ -865,7 +1202,12 @@ mod tests {
     }
 
     impl Backend for EchoBackend {
-        fn infer(&self, request: &Request, _id: u64, _config: &Config) -> Result<BackendReply, Error> {
+        fn infer(
+            &self,
+            request: &InferenceRequest,
+            _id: u64,
+            _config: &Config,
+        ) -> Result<BackendReply, Error> {
             if !self.delay.is_zero() {
                 std::thread::sleep(self.delay);
             }
@@ -884,7 +1226,12 @@ mod tests {
     }
 
     impl Backend for SwitchBackend {
-        fn infer(&self, request: &Request, _id: u64, _config: &Config) -> Result<BackendReply, Error> {
+        fn infer(
+            &self,
+            request: &InferenceRequest,
+            _id: u64,
+            _config: &Config,
+        ) -> Result<BackendReply, Error> {
             if self.healthy.load(Ordering::SeqCst) {
                 Ok(BackendReply {
                     sql: "SELECT 1".to_string(),
@@ -904,7 +1251,12 @@ mod tests {
     }
 
     impl Backend for DegradedEchoBackend {
-        fn infer(&self, request: &Request, _id: u64, _config: &Config) -> Result<BackendReply, Error> {
+        fn infer(
+            &self,
+            request: &InferenceRequest,
+            _id: u64,
+            _config: &Config,
+        ) -> Result<BackendReply, Error> {
             Ok(BackendReply {
                 sql: format!("SELECT '{}'", request.question),
                 degradations: self.degradations.clone(),
@@ -929,7 +1281,7 @@ mod tests {
         let pool = Pool::start(EchoBackend { delay: Duration::ZERO }, quick_config());
         let tickets: Vec<Ticket> = (0..12)
             .map(|i| {
-                pool.submit(Request::new("db", format!("q{i}"))).expect("queue has headroom")
+                pool.submit(InferenceRequest::new("db", format!("q{i}"))).expect("queue has headroom")
             })
             .collect();
         for (i, t) in tickets.into_iter().enumerate() {
@@ -942,6 +1294,122 @@ mod tests {
         assert_eq!(health.queue_depth, 0);
         assert_eq!(health.in_flight, 0);
         assert!(!health.ready);
+    }
+
+    /// Counts how many members each `infer_batch` dispatch carried.
+    struct BatchCountingBackend {
+        dispatches: Arc<Mutex<Vec<usize>>>,
+    }
+
+    impl Backend for BatchCountingBackend {
+        fn infer(
+            &self,
+            request: &InferenceRequest,
+            _id: u64,
+            _config: &Config,
+        ) -> Result<BackendReply, Error> {
+            Ok(BackendReply {
+                sql: format!("SELECT '{}'", request.question),
+                degradations: vec![],
+                latency_seconds: 0.0,
+                prompt_tokens: 1,
+            })
+        }
+
+        fn infer_batch(
+            &self,
+            requests: &[(&InferenceRequest, u64)],
+            config: &Config,
+        ) -> Vec<Result<BackendReply, Error>> {
+            self.dispatches.lock().push(requests.len());
+            requests.iter().map(|(r, id)| self.infer(r, *id, config)).collect()
+        }
+    }
+
+    #[test]
+    fn compatible_requests_form_a_batch_within_the_linger_window() {
+        let dispatches = Arc::new(Mutex::new(Vec::new()));
+        let registry = Arc::new(codes_obs::Registry::new());
+        let config = ServeConfig {
+            workers: 1,
+            queue_capacity: 16,
+            // A generous linger so all four submissions land inside the
+            // window regardless of scheduling noise.
+            max_batch: 4,
+            batch_linger: Duration::from_millis(250),
+            default_deadline: Duration::from_secs(30),
+            heartbeat_interval: Duration::from_millis(5),
+            ..ServeConfig::default()
+        };
+        let pool = Pool::start_with_registry(
+            BatchCountingBackend { dispatches: Arc::clone(&dispatches) },
+            config,
+            registry,
+        );
+        let tickets: Vec<Ticket> = (0..4)
+            .map(|i| pool.submit(InferenceRequest::new("db", format!("q{i}"))).expect("admitted"))
+            .collect();
+        for (i, t) in tickets.into_iter().enumerate() {
+            let served = t.wait().expect("echo cannot fail");
+            assert_eq!(served.sql, format!("SELECT 'q{i}'"), "batching must not reorder replies");
+        }
+        let health = pool.shutdown();
+        let sizes = dispatches.lock().clone();
+        assert!(
+            sizes.iter().any(|&n| n >= 2),
+            "four compatible submissions inside a 250ms linger must share a dispatch: {sizes:?}"
+        );
+        assert_eq!(health.stats.completed, 4);
+        // Every dispatch (solo or batched) records one size sample; only
+        // multi-member dispatches reach infer_batch.
+        assert!(health.metrics.batch_size.count as usize >= sizes.len());
+        assert!(
+            health.metrics.batch_size.max_ns >= 2,
+            "batch-size histogram must witness a multi-member dispatch"
+        );
+        assert!(health.metrics.batch_linger.count >= 1, "lingering dispatches record their wait");
+    }
+
+    #[test]
+    fn incompatible_requests_never_share_a_dispatch() {
+        let dispatches = Arc::new(Mutex::new(Vec::new()));
+        let registry = Arc::new(codes_obs::Registry::new());
+        let config = ServeConfig {
+            workers: 1,
+            queue_capacity: 16,
+            max_batch: 8,
+            batch_linger: Duration::from_millis(250),
+            default_deadline: Duration::from_secs(30),
+            heartbeat_interval: Duration::from_millis(5),
+            ..ServeConfig::default()
+        };
+        let pool = Pool::start_with_registry(
+            BatchCountingBackend { dispatches: Arc::clone(&dispatches) },
+            config,
+            Arc::clone(&registry),
+        );
+        // Alternate databases: every drained follower mismatches the seed,
+        // stops formation, and seeds the next dispatch itself.
+        let tickets: Vec<Ticket> = (0..4)
+            .map(|i| {
+                let db = if i % 2 == 0 { "alpha" } else { "beta" };
+                pool.submit(InferenceRequest::new(db, format!("q{i}"))).expect("admitted")
+            })
+            .collect();
+        for t in tickets {
+            t.wait().expect("echo cannot fail");
+        }
+        let health = pool.shutdown();
+        let sizes = dispatches.lock().clone();
+        assert!(
+            sizes.iter().all(|&n| n == 1) || sizes.is_empty(),
+            "cross-database requests must never batch: {sizes:?}"
+        );
+        assert!(
+            health.metrics.batch_bypass_mismatch >= 1,
+            "mismatch bypasses must be counted: {:?}",
+            health.metrics
+        );
     }
 
     #[test]
@@ -957,7 +1425,7 @@ mod tests {
         let mut tickets = Vec::new();
         let mut overloaded = 0;
         for i in 0..6 {
-            match pool.submit(Request::new("db", format!("q{i}"))) {
+            match pool.submit(InferenceRequest::new("db", format!("q{i}"))) {
                 Ok(t) => tickets.push(t),
                 Err(ServeError::Overloaded { capacity, .. }) => {
                     assert_eq!(capacity, 1);
@@ -978,7 +1446,7 @@ mod tests {
     #[test]
     fn expired_deadline_is_shed_without_running() {
         let pool = Pool::start(EchoBackend { delay: Duration::ZERO }, quick_config());
-        let mut req = Request::new("db", "late question");
+        let mut req = InferenceRequest::new("db", "late question");
         req.deadline = Some(Duration::ZERO);
         let outcome = pool.submit(req).expect("queue empty").wait();
         match outcome {
@@ -1006,12 +1474,12 @@ mod tests {
         );
 
         // Cold: computed by a worker and admitted into T3.
-        let cold = pool.submit(Request::new("db", "How many clients?")).expect("admitted");
+        let cold = pool.submit(InferenceRequest::new("db", "How many clients?")).expect("admitted");
         let cold = cold.wait().expect("echo cannot fail");
         assert!(!cold.cached);
 
         // Warm: same question (modulo formatting) resolves at admission.
-        let warm = pool.submit(Request::new("db", "  how MANY clients? ")).expect("admitted");
+        let warm = pool.submit(InferenceRequest::new("db", "  how MANY clients? ")).expect("admitted");
         let warm = warm.wait().expect("cache hit cannot fail");
         assert!(warm.cached, "second submission must hit the full-result tier");
         assert_eq!(warm.sql, cold.sql);
@@ -1019,7 +1487,7 @@ mod tests {
 
         // Invalidation: the generation bump makes the entry unreachable.
         assert_eq!(pool.invalidate_database("db"), Some(1));
-        let fresh = pool.submit(Request::new("db", "how many clients?")).expect("admitted");
+        let fresh = pool.submit(InferenceRequest::new("db", "how many clients?")).expect("admitted");
         assert!(!fresh.wait().expect("recomputed").cached);
 
         let health = pool.shutdown();
@@ -1048,7 +1516,7 @@ mod tests {
         );
         for _ in 0..3 {
             let served =
-                pool.submit(Request::new("db", "q")).expect("admitted").wait().expect("served");
+                pool.submit(InferenceRequest::new("db", "q")).expect("admitted").wait().expect("served");
             assert!(!served.cached, "a degraded answer must never be replayed from cache");
             assert_eq!(served.degradations, vec!["greedy".to_string()]);
         }
@@ -1079,14 +1547,14 @@ mod tests {
 
         // Three permanent failures trip the breaker...
         for i in 0..3 {
-            let outcome = pool.submit(Request::new("bank", format!("q{i}"))).expect("admitted").wait();
+            let outcome = pool.submit(InferenceRequest::new("bank", format!("q{i}"))).expect("admitted").wait();
             assert!(
                 matches!(outcome, Err(ServeError::Inference(_))),
                 "failure {i} should surface the typed engine error"
             );
         }
         // ...so the next request is shed without touching the backend.
-        let outcome = pool.submit(Request::new("bank", "q3")).expect("admitted").wait();
+        let outcome = pool.submit(InferenceRequest::new("bank", "q3")).expect("admitted").wait();
         match outcome {
             Err(ServeError::CircuitOpen { db_id, retry_after }) => {
                 assert_eq!(db_id, "bank");
@@ -1104,9 +1572,9 @@ mod tests {
         // breaker and requests flow again.
         healthy.store(true, Ordering::SeqCst);
         std::thread::sleep(Duration::from_millis(60));
-        let served = pool.submit(Request::new("bank", "probe")).expect("admitted").wait();
+        let served = pool.submit(InferenceRequest::new("bank", "probe")).expect("admitted").wait();
         assert!(served.is_ok(), "probe after the window should succeed: {served:?}");
-        let served = pool.submit(Request::new("bank", "after")).expect("admitted").wait();
+        let served = pool.submit(InferenceRequest::new("bank", "after")).expect("admitted").wait();
         assert!(served.is_ok());
         assert!(matches!(
             pool.health().breakers.iter().find(|(d, _)| d == "bank").expect("breaker exists").1,

@@ -1,0 +1,141 @@
+//! Property tests for the batch-formation state machine: whatever the job
+//! stream looks like, a formed batch never mixes compatibility keys (hence
+//! never mixes databases or configs), never exceeds `max_batch`, and the
+//! linger can never push a joined member past its deadline.
+
+use std::time::Duration;
+
+use codes_serve::{BatchPolicy, BypassReason, CompatKey, Formation, MemberInfo, Verdict};
+use proptest::prelude::*;
+
+/// Decode one queued job's formation view from a single generated word
+/// (the vendored proptest has no tuple/`prop_map` combinators): low bits
+/// pick the database and config fingerprint, the rest the remaining
+/// budget in `0..5000` ms.
+fn member(raw: u64) -> MemberInfo {
+    let db = raw % 4;
+    let fp = (raw / 4) % 3;
+    let remaining = Duration::from_millis((raw / 12) % 5_000);
+    MemberInfo {
+        key: CompatKey {
+            db_id: format!("db{db}"),
+            config_fp: fp,
+            deadline_class: codes_serve::deadline_class(remaining),
+        },
+        remaining,
+    }
+}
+
+/// Drive the full worker-side formation loop over a job stream: seed each
+/// batch from the stream head (or the previous stop-candidate), offer the
+/// rest, and collect the batches as the real worker loop would.
+fn form_all(policy: &BatchPolicy, jobs: &[MemberInfo]) -> Vec<Vec<MemberInfo>> {
+    let mut batches = Vec::new();
+    let mut pending = jobs.iter().cloned().collect::<std::collections::VecDeque<_>>();
+    while let Some(seed) = pending.pop_front() {
+        if !policy.seed_can_linger(&seed) {
+            batches.push(vec![seed]);
+            continue;
+        }
+        let mut formation = Formation::new(seed.clone());
+        let mut batch = vec![seed];
+        while !formation.is_full(policy) {
+            let Some(candidate) = pending.pop_front() else {
+                break;
+            };
+            match formation.consider(policy, &candidate) {
+                Verdict::Joined => batch.push(candidate),
+                Verdict::Stop(_) => {
+                    pending.push_front(candidate);
+                    break;
+                }
+            }
+        }
+        batches.push(batch);
+    }
+    batches
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    #[test]
+    fn batches_never_mix_keys_or_exceed_capacity(
+        jobs in prop::collection::vec(0u64..u64::MAX, 1..40),
+        max_batch in 1usize..9,
+        linger_ms in 0u64..60,
+    ) {
+        let policy = BatchPolicy { max_batch, linger: Duration::from_millis(linger_ms) };
+        let members: Vec<MemberInfo> = jobs.iter().map(|&j| member(j)).collect();
+        let batches = form_all(&policy, &members);
+
+        // Every job lands in exactly one batch — formation loses nothing.
+        prop_assert_eq!(batches.iter().map(Vec::len).sum::<usize>(), members.len());
+        for batch in &batches {
+            // Capacity.
+            prop_assert!(batch.len() <= policy.max_batch.max(1));
+            // Homogeneity: one database, one config fingerprint, one
+            // deadline class per dispatch.
+            let key = &batch[0].key;
+            for m in batch {
+                prop_assert_eq!(&m.key, key);
+            }
+            // The linger never pushes a member past its deadline: every
+            // member of a multi-member batch entered with more than one
+            // linger of slack (the seed with more than two).
+            if batch.len() > 1 {
+                prop_assert!(batch[0].remaining > policy.linger.saturating_mul(2));
+                for m in &batch[1..] {
+                    prop_assert!(m.remaining > policy.linger);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn disabled_batching_always_dispatches_solo(
+        jobs in prop::collection::vec(0u64..u64::MAX, 1..20),
+        linger_ms in 0u64..60,
+    ) {
+        let policy = BatchPolicy { max_batch: 1, linger: Duration::from_millis(linger_ms) };
+        let members: Vec<MemberInfo> = jobs.iter().map(|&j| member(j)).collect();
+        for batch in form_all(&policy, &members) {
+            prop_assert_eq!(batch.len(), 1);
+        }
+    }
+
+    #[test]
+    fn verdicts_are_exhaustive_and_deterministic(
+        seed in 0u64..u64::MAX,
+        candidate in 0u64..u64::MAX,
+        max_batch in 2usize..9,
+        linger_ms in 1u64..60,
+    ) {
+        let policy = BatchPolicy { max_batch, linger: Duration::from_millis(linger_ms) };
+        let seed = member(seed);
+        let candidate = member(candidate);
+        let mut a = Formation::new(seed.clone());
+        let mut b = Formation::new(seed.clone());
+        let va = a.consider(&policy, &candidate);
+        let vb = b.consider(&policy, &candidate);
+        // Same inputs, same verdict (formation is pure state).
+        prop_assert_eq!(va, vb);
+        match va {
+            Verdict::Joined => {
+                prop_assert_eq!(&candidate.key, &seed.key);
+                prop_assert!(candidate.remaining > policy.linger);
+                prop_assert_eq!(a.len(), 2);
+                prop_assert_eq!(a.min_remaining(), seed.remaining.min(candidate.remaining));
+            }
+            Verdict::Stop(BypassReason::Mismatch) => {
+                prop_assert_ne!(&candidate.key, &seed.key);
+                prop_assert_eq!(a.len(), 1);
+            }
+            Verdict::Stop(BypassReason::Deadline) => {
+                prop_assert_eq!(&candidate.key, &seed.key);
+                prop_assert!(candidate.remaining <= policy.linger);
+                prop_assert_eq!(a.len(), 1);
+            }
+        }
+    }
+}

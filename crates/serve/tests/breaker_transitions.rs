@@ -10,7 +10,7 @@ use std::time::{Duration, Instant};
 use codes::Config;
 use codes_serve::{
     Admission, Backend, BackendReply, BreakerConfig, BreakerState, CircuitBreaker, FaultPlan,
-    FaultyBackend, Pool, Request, ServeConfig, ServeError,
+    FaultyBackend, InferenceRequest, Pool, ServeConfig, ServeError,
 };
 use sqlengine::{Backoff, Error};
 
@@ -225,7 +225,7 @@ struct SwitchBackend {
 }
 
 impl Backend for SwitchBackend {
-    fn infer(&self, request: &Request, _id: u64, _config: &Config) -> Result<BackendReply, Error> {
+    fn infer(&self, request: &InferenceRequest, _id: u64, _config: &Config) -> Result<BackendReply, Error> {
         if self.healthy.load(Ordering::SeqCst) {
             Ok(BackendReply {
                 sql: "SELECT 1".to_string(),
@@ -275,7 +275,7 @@ fn pool_transition_counters_agree_with_observed_breaker_behavior() {
 
     // Three failures trip the breaker: exactly one closed→open.
     for i in 0..3 {
-        let outcome = pool.submit(Request::new("bank", format!("q{i}"))).expect("admitted").wait();
+        let outcome = pool.submit(InferenceRequest::new("bank", format!("q{i}"))).expect("admitted").wait();
         assert!(matches!(outcome, Err(ServeError::Inference(_))), "failure {i}: {outcome:?}");
     }
     let metrics = pool.health().metrics;
@@ -284,7 +284,7 @@ fn pool_transition_counters_agree_with_observed_breaker_behavior() {
     assert_eq!(metrics.failed, 3);
 
     // Inside the 40ms window: shed, no transition.
-    let outcome = pool.submit(Request::new("bank", "q3")).expect("admitted").wait();
+    let outcome = pool.submit(InferenceRequest::new("bank", "q3")).expect("admitted").wait();
     assert!(matches!(outcome, Err(ServeError::CircuitOpen { .. })), "window shed: {outcome:?}");
     let metrics = pool.health().metrics;
     assert_eq!(metrics.shed_breaker, 1);
@@ -293,7 +293,7 @@ fn pool_transition_counters_agree_with_observed_breaker_behavior() {
     // Past the window: the request becomes the probe (open→half_open) and
     // fails under the plan (half_open→open). Reopened window is 80ms.
     std::thread::sleep(Duration::from_millis(60));
-    let outcome = pool.submit(Request::new("bank", "probe1")).expect("admitted").wait();
+    let outcome = pool.submit(InferenceRequest::new("bank", "probe1")).expect("admitted").wait();
     assert!(matches!(outcome, Err(ServeError::Inference(_))), "failed probe: {outcome:?}");
     let metrics = pool.health().metrics;
     assert_eq!(metrics.transitions("open", "half_open"), 1);
@@ -304,7 +304,7 @@ fn pool_transition_counters_agree_with_observed_breaker_behavior() {
     // the ledger must record exactly one open→half_open + half_open→open
     // pair per elapsed-window probe and no recovery edge.
     std::thread::sleep(Duration::from_millis(100));
-    let outcome = pool.submit(Request::new("bank", "probe2")).expect("admitted").wait();
+    let outcome = pool.submit(InferenceRequest::new("bank", "probe2")).expect("admitted").wait();
     assert!(matches!(outcome, Err(ServeError::Inference(_))), "second probe: {outcome:?}");
     let health = pool.shutdown();
     let metrics = &health.metrics;
@@ -333,12 +333,12 @@ fn pool_counts_recovery_transition_when_probe_succeeds() {
     let pool = Pool::start_with_registry(backend, pool_config(), Arc::clone(&registry));
 
     for i in 0..3 {
-        let outcome = pool.submit(Request::new("bank", format!("q{i}"))).expect("admitted").wait();
+        let outcome = pool.submit(InferenceRequest::new("bank", format!("q{i}"))).expect("admitted").wait();
         assert!(outcome.is_err(), "failure {i} expected");
     }
     healthy.store(true, Ordering::SeqCst);
     std::thread::sleep(Duration::from_millis(60));
-    let outcome = pool.submit(Request::new("bank", "probe")).expect("admitted").wait();
+    let outcome = pool.submit(InferenceRequest::new("bank", "probe")).expect("admitted").wait();
     assert!(outcome.is_ok(), "healed probe should succeed: {outcome:?}");
 
     let health = pool.shutdown();

@@ -8,8 +8,8 @@ use std::sync::{Arc, Once};
 use std::time::{Duration, Instant};
 
 use codes_serve::{
-    Backend, BackendReply, BreakerConfig, FaultPlan, FaultyBackend, Pool, Request, ServeConfig,
-    ServeError, Ticket,
+    Backend, BackendReply, BreakerConfig, FaultPlan, FaultyBackend, InferenceRequest, Pool,
+    ServeConfig, ServeError, Ticket,
 };
 use sqlengine::Backoff;
 
@@ -42,7 +42,7 @@ struct EchoBackend {
 impl Backend for EchoBackend {
     fn infer(
         &self,
-        request: &Request,
+        request: &InferenceRequest,
         _id: u64,
         _config: &codes::Config,
     ) -> Result<BackendReply, sqlengine::Error> {
@@ -65,7 +65,7 @@ struct EpochBackend {
 impl Backend for EpochBackend {
     fn infer(
         &self,
-        _request: &Request,
+        _request: &InferenceRequest,
         _id: u64,
         _config: &codes::Config,
     ) -> Result<BackendReply, sqlengine::Error> {
@@ -157,7 +157,7 @@ fn storm_of_200_requests_fully_drains_with_every_request_resolved() {
     for i in 0..200 {
         // Ten databases so breaker trips stay local to a shard of the
         // traffic instead of shedding the entire run.
-        let request = Request::new(format!("db{}", i % 10), format!("question {i}"));
+        let request = InferenceRequest::new(format!("db{}", i % 10), format!("question {i}"));
         match pool.submit(request) {
             Ok(ticket) => tickets.push(ticket),
             Err(e) => {
@@ -214,7 +214,7 @@ fn immediate_shutdown_resolves_every_admitted_request() {
     let mut tickets = Vec::new();
     let mut shed = 0;
     for i in 0..60 {
-        match pool.submit(Request::new(format!("db{}", i % 10), format!("q{i}"))) {
+        match pool.submit(InferenceRequest::new(format!("db{}", i % 10), format!("q{i}"))) {
             Ok(t) => tickets.push(t),
             Err(_) => shed += 1,
         }
@@ -251,7 +251,7 @@ fn generation_bump_mid_storm_prevents_stale_cached_results() {
         for i in 0..120 {
             // Sixteen distinct questions over one database, repeated — the
             // repeats hit T3 once a clean first computation has admitted.
-            match pool.submit(Request::new("bank", format!("question {}", i % 16))) {
+            match pool.submit(InferenceRequest::new("bank", format!("question {}", i % 16))) {
                 Ok(ticket) => tickets.push(ticket),
                 Err(e) => assert!(e.is_load_shed(), "unexpected rejection: {e}"),
             }
@@ -332,7 +332,7 @@ fn fault_plan_outcomes_are_reproducible_for_admitted_ids() {
         let outcomes: Vec<&'static str> = (0..40)
             .map(|i| {
                 let ticket = pool
-                    .submit(Request::new(format!("db{}", i % 10), format!("q{i}")))
+                    .submit(InferenceRequest::new(format!("db{}", i % 10), format!("q{i}")))
                     .expect("sequential submission never overflows");
                 match ticket.wait() {
                     Ok(_) => "ok",
@@ -348,4 +348,83 @@ fn fault_plan_outcomes_are_reproducible_for_admitted_ids() {
     assert_eq!(first, second, "same seed, same ids, same outcomes");
     assert!(first.iter().any(|k| *k == "worker_panic"), "plan injects panics: {first:?}");
     assert!(first.iter().any(|k| *k == "ok"), "healthy ids still serve: {first:?}");
+}
+
+/// Echoes normally except for one poison question, which panics the
+/// worker mid-dispatch.
+struct PoisonBackend;
+
+impl Backend for PoisonBackend {
+    fn infer(
+        &self,
+        request: &InferenceRequest,
+        _id: u64,
+        _config: &codes::Config,
+    ) -> Result<BackendReply, sqlengine::Error> {
+        if request.question == "boom" {
+            panic!("injected fault: poisoned batch member");
+        }
+        Ok(BackendReply {
+            sql: format!("SELECT '{}'", request.question),
+            degradations: vec![],
+            latency_seconds: 0.0,
+            prompt_tokens: 1,
+        })
+    }
+}
+
+#[test]
+fn mid_batch_panic_resolves_every_member_exactly_once() {
+    silence_injected_panics();
+    // One worker with a generous linger so the four submissions below
+    // coalesce into a single dispatch; the poison member panics the whole
+    // batch out from under the other three.
+    let config = ServeConfig {
+        workers: 1,
+        queue_capacity: 16,
+        max_batch: 4,
+        batch_linger: Duration::from_millis(300),
+        default_deadline: Duration::from_secs(30),
+        heartbeat_interval: Duration::from_millis(5),
+        ..ServeConfig::default()
+    };
+    let pool = Pool::start(PoisonBackend, config);
+    let tickets: Vec<Ticket> = ["q0", "boom", "q2", "q3"]
+        .into_iter()
+        .map(|q| pool.submit(InferenceRequest::new("db", q)).expect("admitted"))
+        .collect();
+
+    // Every member resolves — none hang — and each resolves exactly once
+    // (a second resolution would leave a stray message in the ticket's
+    // single-slot channel, which `wait` consuming the ticket rules out).
+    let mut panics = 0;
+    let mut served = 0;
+    for ticket in tickets {
+        match ticket
+            .wait_timeout(Duration::from_secs(10))
+            .expect("every batch member resolves despite the mid-batch panic")
+        {
+            Ok(_) => served += 1,
+            Err(ServeError::WorkerPanic(msg)) => {
+                assert!(msg.contains("injected fault"), "panic message surfaces: {msg}");
+                panics += 1;
+            }
+            Err(other) => panic!("unexpected outcome: {other}"),
+        }
+    }
+    assert_eq!(panics + served, 4);
+    assert!(panics >= 1, "the poison member itself must resolve as a worker panic");
+
+    // The supervisor replaced the worker; the pool still serves.
+    let after = pool
+        .submit(InferenceRequest::new("db", "after"))
+        .expect("admitted")
+        .wait_timeout(Duration::from_secs(10))
+        .expect("post-replacement request resolves")
+        .expect("healthy request succeeds");
+    assert_eq!(after.sql, "SELECT 'after'");
+    let health = pool.shutdown();
+    assert!(health.stats.replaced_panic >= 1, "worker was replaced: {:?}", health.stats);
+    assert_eq!(health.queue_depth, 0);
+    assert_eq!(health.in_flight, 0);
 }

@@ -8,8 +8,8 @@
 use std::sync::Arc;
 
 use codes::{
-    pretrain, table4_models, CodesModel, CodesSystem, FewShot, PretrainConfig, PromptOptions,
-    SketchCatalog,
+    pretrain, table4_models, CodesModel, CodesSystem, FewShot, InferenceRequest, PretrainConfig,
+    PromptOptions, SketchCatalog,
 };
 use codes_datasets::academic;
 use codes_retrieval::DemoStrategy;
@@ -29,7 +29,7 @@ fn main() {
     let catalog = Arc::new(SketchCatalog::build());
     let spec = table4_models().into_iter().find(|m| m.name == "CodeS-7B").unwrap();
     let lm = pretrain(&catalog, &spec, &PretrainConfig { scale: 12, seed: 3 });
-    let mut system = CodesSystem::new(CodesModel::new(lm, catalog), PromptOptions::few_shot())
+    let system = CodesSystem::new(CodesModel::new(lm, catalog), PromptOptions::few_shot())
         .with_demonstrations(seeds, FewShot { k: 3, strategy: DemoStrategy::PatternAware });
     system.prepare_database(&db);
 
@@ -41,7 +41,7 @@ fn main() {
         "What is the average citation count of papers in the databases field?",
     ];
     for q in questions {
-        let out = system.infer(&db, q, None);
+        let out = system.infer(&db, &InferenceRequest::new(&db.name, q));
         println!("Q: {q}");
         println!("   SQL : {}", out.sql);
         match sqlengine::execute_query(&db, &out.sql) {

@@ -7,7 +7,8 @@
 use std::sync::Arc;
 
 use codes::{
-    pretrain, table4_models, CodesModel, CodesSystem, PretrainConfig, PromptOptions, SketchCatalog,
+    pretrain, table4_models, CodesModel, CodesSystem, InferenceRequest, PretrainConfig,
+    PromptOptions, SketchCatalog,
 };
 use codes_augment::bi_directional;
 use codes_datasets::finance;
@@ -45,9 +46,9 @@ fn main() {
     // crowd the other tables out of the prompt (see §6.1 of the paper and
     // the table10 harness for the filtered pathway).
     let options = PromptOptions { max_prompt_tokens: usize::MAX, ..PromptOptions::sft() };
-    let mut system = CodesSystem::new(CodesModel::new(lm, catalog), options);
+    let system = CodesSystem::new(CodesModel::new(lm, catalog), options)
+        .finetune_pairs(augmented.iter().map(|s| (s, &db)));
     system.prepare_database(&db);
-    system.finetune_pairs(augmented.iter().map(|s| (s, &db)));
 
     // Serve finance questions, including the paper's running example.
     let questions = [
@@ -59,7 +60,7 @@ fn main() {
     ];
     println!();
     for q in questions {
-        let out = system.infer(&db, q, None);
+        let out = system.infer(&db, &InferenceRequest::new(&db.name, q));
         println!("Q: {q}");
         println!("   SQL : {}", out.sql);
         match sqlengine::execute_query(&db, &out.sql) {

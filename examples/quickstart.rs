@@ -6,7 +6,8 @@
 use std::sync::Arc;
 
 use codes::{
-    pretrain, table4_models, CodesModel, CodesSystem, PretrainConfig, PromptOptions, SketchCatalog,
+    pretrain, table4_models, CodesModel, CodesSystem, InferenceRequest, PretrainConfig,
+    PromptOptions, SketchCatalog,
 };
 use codes_linker::SchemaClassifier;
 
@@ -42,16 +43,16 @@ fn main() {
     //    indexes (coarse-to-fine retriever), then fine-tune.
     println!("training schema classifier + fine-tuning ...");
     let classifier = SchemaClassifier::train(&bench, false, 7);
-    let mut system = CodesSystem::new(CodesModel::new(lm, catalog), PromptOptions::sft())
-        .with_classifier(classifier);
+    let system = CodesSystem::new(CodesModel::new(lm, catalog), PromptOptions::sft())
+        .with_classifier(classifier)
+        .finetune_on(&bench);
     system.prepare_databases(bench.databases.iter());
-    system.finetune_on(&bench);
 
     // 4. Ask questions.
     let db = bench.database(&bench.dev[0].db_id).unwrap();
     println!("\ndatabase: {}\n", db.name);
     for sample in bench.dev.iter().filter(|s| s.db_id == db.name).take(5) {
-        let out = system.infer(db, &sample.question, None);
+        let out = system.infer(db, &InferenceRequest::new(&sample.db_id, &sample.question));
         let result = sqlengine::execute_query(db, &out.sql);
         println!("Q: {}", sample.question);
         println!("   SQL : {}", out.sql);

@@ -7,7 +7,8 @@
 use std::sync::Arc;
 
 use codes::{
-    pretrain, table4_models, CodesModel, CodesSystem, PretrainConfig, PromptOptions, SketchCatalog,
+    pretrain, table4_models, CodesModel, CodesSystem, InferenceRequest, PretrainConfig,
+    PromptOptions, SketchCatalog,
 };
 use codes_datasets::{build_drspider_set, DrSpiderSet};
 use codes_eval::execution_match;
@@ -25,20 +26,20 @@ fn main() {
     let classifier = SchemaClassifier::train(&bench, false, 9);
 
     // Baseline accuracy on the unperturbed dev set.
-    let mut base_sys = CodesSystem::new(
+    let base_sys = CodesSystem::new(
         CodesModel::new(Arc::clone(&lm), Arc::clone(&catalog)),
         PromptOptions::sft(),
     )
-    .with_classifier(classifier.clone());
+    .with_classifier(classifier.clone())
+    .finetune_on(&bench);
     base_sys.prepare_databases(bench.databases.iter());
-    base_sys.finetune_on(&bench);
     let finetuned_state = base_sys.model.finetuned.clone();
 
     let accuracy = |sys: &CodesSystem, samples: &[codes_datasets::Sample], dbs: &[sqlengine::Database]| {
         let mut correct = 0usize;
         for s in samples {
             let db = dbs.iter().find(|d| d.name == s.db_id).unwrap();
-            let out = sys.infer(db, &s.question, None);
+            let out = sys.infer(db, &InferenceRequest::new(&s.db_id, &s.question));
             if execution_match(db, &out.sql, &s.sql) {
                 correct += 1;
             }

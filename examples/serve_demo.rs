@@ -15,7 +15,7 @@ use codes::{
 };
 use codes_linker::SchemaClassifier;
 use codes_serve::{
-    FaultPlan, FaultyBackend, Pool, Request, ServeConfig, ServeError, SystemBackend,
+    FaultPlan, FaultyBackend, InferenceRequest, Pool, ServeConfig, ServeError, SystemBackend,
 };
 
 fn main() {
@@ -40,11 +40,11 @@ fn main() {
         &codes_obs::global(),
         CacheSettings::default(),
     ));
-    let mut system = CodesSystem::new(CodesModel::new(lm, catalog), PromptOptions::sft())
+    let system = CodesSystem::new(CodesModel::new(lm, catalog), PromptOptions::sft())
         .with_classifier(classifier)
-        .with_cache(Arc::clone(&cache));
+        .with_cache(Arc::clone(&cache))
+        .finetune_on(&bench);
     system.prepare_databases(bench.databases.iter());
-    system.finetune_on(&bench);
 
     // 2. Stand the pool up over the system: 4 workers, a bounded queue
     //    (backpressure is explicit), per-database circuit breakers,
@@ -59,7 +59,7 @@ fn main() {
         .dev
         .iter()
         .take(10)
-        .map(|s| pool.submit(Request::new(s.db_id.clone(), s.question.clone())))
+        .map(|s| pool.submit(InferenceRequest::new(&s.db_id, &s.question)))
         .collect();
     for ticket in tickets {
         match ticket.expect("queue has headroom for ten requests").wait() {
@@ -81,7 +81,7 @@ fn main() {
         .dev
         .iter()
         .take(10)
-        .map(|s| pool.submit(Request::new(s.db_id.clone(), s.question.clone())))
+        .map(|s| pool.submit(InferenceRequest::new(&s.db_id, &s.question)))
         .collect();
     for ticket in tickets {
         match ticket.expect("queue has headroom for ten requests").wait() {
@@ -165,7 +165,7 @@ fn main() {
     let tickets: Vec<_> = (0..30)
         .filter_map(|i| {
             let s = &bench.dev[i % bench.dev.len()];
-            match pool.submit(Request::new(s.db_id.clone(), s.question.clone())) {
+            match pool.submit(InferenceRequest::new(&s.db_id, &s.question)) {
                 Ok(t) => Some(t),
                 Err(e) => {
                     outcomes.push((u64::MAX, format!("shed at admission: {}", e.kind())));

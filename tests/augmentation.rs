@@ -4,7 +4,8 @@
 use std::sync::Arc;
 
 use codes::{
-    pretrain, table4_models, CodesModel, CodesSystem, PretrainConfig, PromptOptions, SketchCatalog,
+    pretrain, table4_models, CodesModel, CodesSystem, InferenceRequest, PretrainConfig,
+    PromptOptions, SketchCatalog,
 };
 use codes_augment::{bi_directional, question_to_sql, sql_to_question};
 use codes_datasets::finance;
@@ -31,7 +32,7 @@ fn augmented_finetuning_beats_zero_shot_on_new_domain() {
         let correct = test
             .iter()
             .filter(|s| {
-                let out = sys.infer(&db, &s.question, None);
+                let out = sys.infer(&db, &InferenceRequest::new(&db.name, &s.question));
                 execution_match(&db, &out.sql, &s.sql)
             })
             .count();
@@ -39,16 +40,16 @@ fn augmented_finetuning_beats_zero_shot_on_new_domain() {
     };
 
     // Zero-shot (no adaptation at all).
-    let mut zero = CodesSystem::new(model(&catalog), options);
+    let zero = CodesSystem::new(model(&catalog), options);
     zero.prepare_database(&db);
     let zero_acc = accuracy(&zero);
 
     // Fine-tuned on bi-directionally augmented pairs.
     let augmented = bi_directional(&db, &seeds, 200, 303);
     assert!(augmented.len() >= 150, "augmentation too small: {}", augmented.len());
-    let mut adapted = CodesSystem::new(model(&catalog), options);
+    let adapted = CodesSystem::new(model(&catalog), options)
+        .finetune_pairs(augmented.iter().map(|s| (s, &db)));
     adapted.prepare_database(&db);
-    adapted.finetune_pairs(augmented.iter().map(|s| (s, &db)));
     let adapted_acc = accuracy(&adapted);
 
     assert!(

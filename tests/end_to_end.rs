@@ -3,8 +3,8 @@
 use std::sync::Arc;
 
 use codes::{
-    pretrain, table4_models, CodesModel, CodesSystem, FewShot, PretrainConfig, PromptOptions,
-    SketchCatalog,
+    pretrain, table4_models, CodesModel, CodesSystem, FewShot, InferenceRequest, PretrainConfig,
+    PromptOptions, SketchCatalog,
 };
 use codes_datasets::{Benchmark, BenchmarkConfig};
 use codes_eval::{evaluate, EvalConfig};
@@ -27,10 +27,10 @@ fn lm(name: &str, catalog: &Arc<SketchCatalog>) -> Arc<codes::PretrainedLm> {
 fn sft_pipeline_reaches_reasonable_accuracy() {
     let bench = mini_bench(101, false);
     let catalog = Arc::new(SketchCatalog::build());
-    let mut sys = CodesSystem::new(CodesModel::new(lm("CodeS-7B", &catalog), catalog.clone()), PromptOptions::sft())
-        .with_classifier(SchemaClassifier::train(&bench, false, 1));
+    let sys = CodesSystem::new(CodesModel::new(lm("CodeS-7B", &catalog), catalog.clone()), PromptOptions::sft())
+        .with_classifier(SchemaClassifier::train(&bench, false, 1))
+        .finetune_on(&bench);
     sys.prepare_databases(bench.databases.iter());
-    sys.finetune_on(&bench);
     let cfg = EvalConfig { limit: Some(40), ts_variants: 2, ..Default::default() };
     let (out, results) = evaluate(&sys, &bench.dev, &bench.databases, &cfg);
     assert!(out.ex > 0.6, "SFT CodeS-7B EX too low: {:.2}", out.ex);
@@ -49,7 +49,7 @@ fn sft_pipeline_reaches_reasonable_accuracy() {
 fn icl_pipeline_runs_without_finetuning() {
     let bench = mini_bench(102, false);
     let catalog = Arc::new(SketchCatalog::build());
-    let mut sys = CodesSystem::new(
+    let sys = CodesSystem::new(
         CodesModel::new(lm("CodeS-7B", &catalog), catalog.clone()),
         PromptOptions::few_shot(),
     )
@@ -67,13 +67,13 @@ fn external_knowledge_helps_on_bird() {
     let catalog = Arc::new(SketchCatalog::build());
     let model = lm("CodeS-7B", &catalog);
     let build = |use_ek: bool| {
-        let mut sys = CodesSystem::new(
+        let sys = CodesSystem::new(
             CodesModel::new(Arc::clone(&model), catalog.clone()),
             PromptOptions::sft(),
         )
-        .with_classifier(SchemaClassifier::train(&bench, use_ek, 1));
+        .with_classifier(SchemaClassifier::train(&bench, use_ek, 1))
+        .finetune_on(&bench);
         sys.prepare_databases(bench.databases.iter());
-        sys.finetune_on(&bench);
         sys
     };
     let with_ek = build(true);
@@ -102,15 +102,15 @@ fn external_knowledge_helps_on_bird() {
 fn generated_sql_is_almost_always_executable() {
     let bench = mini_bench(104, true);
     let catalog = Arc::new(SketchCatalog::build());
-    let mut sys = CodesSystem::new(CodesModel::new(lm("CodeS-3B", &catalog), catalog.clone()), PromptOptions::sft())
-        .with_classifier(SchemaClassifier::train(&bench, false, 1));
+    let sys = CodesSystem::new(CodesModel::new(lm("CodeS-3B", &catalog), catalog.clone()), PromptOptions::sft())
+        .with_classifier(SchemaClassifier::train(&bench, false, 1))
+        .finetune_on(&bench);
     sys.prepare_databases(bench.databases.iter());
-    sys.finetune_on(&bench);
     let mut executable = 0usize;
     let n = bench.dev.len().min(30);
     for s in bench.dev.iter().take(n) {
         let db = bench.database(&s.db_id).unwrap();
-        let out = sys.infer(db, &s.question, None);
+        let out = sys.infer(db, &InferenceRequest::new(&s.db_id, &s.question));
         if sqlengine::execute_query(db, &out.sql).is_ok() {
             executable += 1;
         }

@@ -31,7 +31,7 @@ fn fixture(seed: u64) -> Fixture {
 fn icl_ex(f: &Fixture, model_name: &str, k: usize) -> f64 {
     let spec = table4_models().into_iter().find(|m| m.name == model_name).unwrap();
     let lm = pretrain(&f.catalog, &spec, &PretrainConfig { scale: 10, seed: 5 });
-    let mut sys = CodesSystem::new(CodesModel::new(lm, f.catalog.clone()), PromptOptions::few_shot())
+    let sys = CodesSystem::new(CodesModel::new(lm, f.catalog.clone()), PromptOptions::few_shot())
         .with_classifier(f.classifier.clone())
         .with_demonstrations(f.bench.train.clone(), FewShot { k, strategy: DemoStrategy::PatternAware });
     sys.prepare_databases(f.bench.databases.iter());
@@ -92,10 +92,10 @@ fn sft_is_at_least_as_good_as_icl() {
     let icl = icl_ex(&f, "CodeS-7B", 3);
     let spec = table4_models().into_iter().find(|m| m.name == "CodeS-7B").unwrap();
     let lm = pretrain(&f.catalog, &spec, &PretrainConfig { scale: 10, seed: 5 });
-    let mut sft = CodesSystem::new(CodesModel::new(lm, f.catalog.clone()), PromptOptions::sft())
-        .with_classifier(f.classifier.clone());
+    let sft = CodesSystem::new(CodesModel::new(lm, f.catalog.clone()), PromptOptions::sft())
+        .with_classifier(f.classifier.clone())
+        .finetune_on(&f.bench);
     sft.prepare_databases(f.bench.databases.iter());
-    sft.finetune_on(&f.bench);
     let cfg = EvalConfig { compute_ts: false, compute_ves: false, limit: Some(50), ..Default::default() };
     let sft_ex = evaluate(&sft, &f.bench.dev, &f.bench.databases, &cfg).0.ex;
     // At table scale SFT wins clearly (see results/table5.json); on this
@@ -112,10 +112,10 @@ fn robustness_perturbations_reduce_accuracy() {
     let f = fixture(206);
     let spec = table4_models().into_iter().find(|m| m.name == "CodeS-7B").unwrap();
     let lm = pretrain(&f.catalog, &spec, &PretrainConfig { scale: 10, seed: 5 });
-    let mut sys = CodesSystem::new(CodesModel::new(lm, f.catalog.clone()), PromptOptions::sft())
-        .with_classifier(f.classifier.clone());
+    let sys = CodesSystem::new(CodesModel::new(lm, f.catalog.clone()), PromptOptions::sft())
+        .with_classifier(f.classifier.clone())
+        .finetune_on(&f.bench);
     sys.prepare_databases(f.bench.databases.iter());
-    sys.finetune_on(&f.bench);
     let cfg = EvalConfig { compute_ts: false, compute_ves: false, limit: Some(60), ..Default::default() };
     let clean = evaluate(&sys, &f.bench.dev, &f.bench.databases, &cfg).0.ex;
 
