@@ -78,9 +78,12 @@ fn main() {
         &codes_obs::global(),
         CacheSettings::default(),
     ));
-    let sys = Arc::new(
-        workbench::sft_system("CodeS-7B", spider, false).with_cache(Arc::clone(&cache)),
-    );
+    // The workbench hands systems back shared; this bin attaches its own
+    // cache first, and the freshly built Arc is still uniquely owned.
+    let sys = Arc::try_unwrap(workbench::sft_system("CodeS-7B", spider, false))
+        .unwrap_or_else(|_| panic!("freshly built system is uniquely owned"))
+        .with_cache(Arc::clone(&cache));
+    let sys = Arc::new(sys);
 
     let n = spider.dev.len().min(workbench::eval_limit().unwrap_or(100));
     let work: Vec<(String, String)> =

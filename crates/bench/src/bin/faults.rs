@@ -19,7 +19,6 @@
 //!    budget exhaustion: every request resolves to a typed outcome, dead
 //!    workers are replaced, and the final health snapshot is clean.
 
-use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 use codes::{CodesModel, CodesSystem, Config, InferenceRequest, PromptOptions};
@@ -205,7 +204,7 @@ fn degradation(spider: &codes_datasets::Benchmark) {
 /// queue drains clean on shutdown.
 fn pool_chaos(spider: &codes_datasets::Benchmark) {
     let sys = workbench::sft_system("CodeS-1B", spider, false);
-    let backend = SystemBackend::new(Arc::new(sys), spider.databases.clone());
+    let backend = SystemBackend::new(sys, spider.databases.clone());
     let plan = FaultPlan {
         seed: 0xFA0175,
         panic_prob: 0.15,

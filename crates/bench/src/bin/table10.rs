@@ -3,6 +3,8 @@
 //! usage pathways of §9.6 (direct transfer, few-shot, augmented-data SFT,
 //! merged-data SFT).
 
+use std::sync::Arc;
+
 use codes::{CodesModel, CodesSystem, FewShot, PromptOptions};
 use codes_augment::bi_directional;
 use codes_bench::workbench;
@@ -16,7 +18,7 @@ fn domain_benchmark(name: &str, db: &Database, train: Vec<Sample>, dev: Vec<Samp
     Benchmark { name: name.to_string(), databases: vec![db.clone()], train, dev }
 }
 
-fn eval_he(sys: &CodesSystem, bench: &Benchmark) -> (f64, f64, usize) {
+fn eval_he(sys: &Arc<CodesSystem>, bench: &Benchmark) -> (f64, f64, usize) {
     let cfg = EvalConfig {
         compute_ts: false,
         compute_ves: false,
@@ -58,7 +60,7 @@ fn main() {
         "Aminer HE%",
     ]);
     let mut records = Vec::new();
-    let run = |label: &str, sys_bank: &CodesSystem, sys_aminer: &CodesSystem, t: &mut TextTable, records: &mut Vec<codes_eval::ExperimentRecord>| {
+    let run = |label: &str, sys_bank: &Arc<CodesSystem>, sys_aminer: &Arc<CodesSystem>, t: &mut TextTable, records: &mut Vec<codes_eval::ExperimentRecord>| {
         let (bex, bhe, bn) = eval_he(sys_bank, &bank);
         let (aex, ahe, an) = eval_he(sys_aminer, &aminer);
         t.row(vec![label.to_string(), pct(bex), pct(bhe), pct(aex), pct(ahe)]);
@@ -87,8 +89,8 @@ fn main() {
         };
         run(
             &format!("3-shot {frontier_name}"),
-            &mk(&bank),
-            &mk(&aminer),
+            &Arc::new(mk(&bank)),
+            &Arc::new(mk(&aminer)),
             &mut t,
             &mut records,
         );
@@ -105,7 +107,7 @@ fn main() {
             let _ = use_ek;
             fresh(workbench::pretrained("CodeS-7B"), PromptOptions::sft(), bench).finetune_on(source)
         };
-        run(label, &mk(&bank), &mk(&aminer), &mut t, &mut records);
+        run(label, &Arc::new(mk(&bank)), &Arc::new(mk(&aminer)), &mut t, &mut records);
     }
 
     // 3-shot CodeS-7B over the seed pool.
@@ -117,7 +119,7 @@ fn main() {
                 FewShot { k: 3, strategy: DemoStrategy::PatternAware },
             )
         };
-        run("3-shot CodeS-7B", &mk(&bank), &mk(&aminer), &mut t, &mut records);
+        run("3-shot CodeS-7B", &Arc::new(mk(&bank)), &Arc::new(mk(&aminer)), &mut t, &mut records);
     }
     t.separator();
 
@@ -129,8 +131,8 @@ fn main() {
         };
         run(
             "SFT CodeS-7B using aug. data",
-            &mk(&bank, &bank_db, &bank_aug),
-            &mk(&aminer, &aminer_db, &aminer_aug),
+            &Arc::new(mk(&bank, &bank_db, &bank_aug)),
+            &Arc::new(mk(&aminer, &aminer_db, &aminer_aug)),
             &mut t,
             &mut records,
         );
@@ -145,6 +147,7 @@ fn main() {
             .finetune_pairs(aminer_aug.iter().map(|s| (s, &aminer_db)));
         sys.prepare_databases(aminer.databases.iter());
         sys.install_value_indexes(&workbench::value_indexes(spider));
+        let sys = Arc::new(sys);
         run("SFT CodeS-7B using merged data", &sys, &sys, &mut t, &mut records);
     }
 

@@ -53,6 +53,7 @@ fn main() {
                 .with_classifier(workbench::classifier(spider, false));
             sys_for_set.model.finetuned = sys.model.finetuned.clone();
             sys_for_set.prepare_databases(built.databases.iter());
+            let sys_for_set = std::sync::Arc::new(sys_for_set);
             let out = workbench::run_eval(&sys_for_set, &built.samples, &built.databases, false);
             row.push(pct(out.ex));
             per_category

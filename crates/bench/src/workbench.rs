@@ -180,13 +180,17 @@ pub fn classifier(benchmark: &Benchmark, use_ek: bool) -> SchemaClassifier {
 }
 
 /// Build a supervised fine-tuned system for `model_name` on `benchmark`.
-pub fn sft_system(model_name: &str, benchmark: &Benchmark, use_ek: bool) -> CodesSystem {
+///
+/// Returned shared so it can sit behind the serving stack: evaluation now
+/// submits through a single-shard router whose backend holds a reference
+/// to the system.
+pub fn sft_system(model_name: &str, benchmark: &Benchmark, use_ek: bool) -> Arc<CodesSystem> {
     let model = CodesModel::new(pretrained(model_name), catalog());
     let sys = CodesSystem::new(model, PromptOptions::sft())
         .with_classifier(classifier(benchmark, use_ek))
         .finetune_on(benchmark);
     sys.install_value_indexes(&value_indexes(benchmark));
-    sys
+    Arc::new(sys)
 }
 
 /// Build a few-shot in-context-learning system (no fine-tuning).
@@ -197,19 +201,24 @@ pub fn icl_system(
     strategy: DemoStrategy,
     options: PromptOptions,
     use_ek: bool,
-) -> CodesSystem {
+) -> Arc<CodesSystem> {
     let (pool, retriever) = demo_retriever(&lm, benchmark);
     let model = CodesModel::new(lm, catalog());
     let sys = CodesSystem::new(model, options)
         .with_classifier(classifier(benchmark, use_ek))
         .with_shared_demonstrations(pool, retriever, FewShot { k, strategy });
     sys.install_value_indexes(&value_indexes(benchmark));
-    sys
+    Arc::new(sys)
 }
 
 /// Evaluate a system on arbitrary samples/databases with the scale-aware
 /// default configuration.
-pub fn run_eval(system: &CodesSystem, samples: &[Sample], dbs: &[Database], ts: bool) -> EvalOutcome {
+pub fn run_eval(
+    system: &Arc<CodesSystem>,
+    samples: &[Sample],
+    dbs: &[Database],
+    ts: bool,
+) -> EvalOutcome {
     let cfg = EvalConfig {
         compute_ts: ts,
         ts_variants: 3,

@@ -50,6 +50,12 @@ pub enum Error {
     },
     /// The serving runtime is shutting down.
     ShuttingDown,
+    /// The request addressed a database the serving runtime does not know
+    /// (e.g. a cache invalidation routed to the wrong pool).
+    UnknownDatabase {
+        /// The database id nobody serves.
+        db_id: String,
+    },
 }
 
 impl Error {
@@ -63,6 +69,7 @@ impl Error {
             Error::WorkerPanic(_) => "worker_panic",
             Error::WorkerWedged { .. } => "worker_wedged",
             Error::ShuttingDown => "shutting_down",
+            Error::UnknownDatabase { .. } => "unknown_database",
         }
     }
 
@@ -79,7 +86,7 @@ impl Error {
             | Error::DeadlineExceeded { .. }
             | Error::WorkerPanic(_)
             | Error::WorkerWedged { .. } => true,
-            Error::ShuttingDown => false,
+            Error::ShuttingDown | Error::UnknownDatabase { .. } => false,
         }
     }
 
@@ -113,6 +120,9 @@ impl fmt::Display for Error {
                 write!(f, "worker wedged (no heartbeat for {stalled:?})")
             }
             Error::ShuttingDown => write!(f, "pool shutting down"),
+            Error::UnknownDatabase { db_id } => {
+                write!(f, "unknown database '{db_id}': not served by this pool")
+            }
         }
     }
 }
@@ -156,5 +166,9 @@ mod tests {
         let parse = Error::Engine(sqlengine::Error::Parse("bad".into()));
         assert!(!parse.is_transient() && !parse.is_overload());
         assert!(!Error::ShuttingDown.is_transient());
+        // A misaddressed database is a caller bug, not a passing storm.
+        let unknown = Error::UnknownDatabase { db_id: "nowhere".into() };
+        assert!(!unknown.is_transient() && !unknown.is_overload());
+        assert_eq!(unknown.kind(), "unknown_database");
     }
 }

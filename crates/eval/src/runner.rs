@@ -14,11 +14,14 @@
 use std::collections::HashMap;
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::path::Path;
-use std::sync::Mutex;
+use std::sync::{Arc, Mutex};
+use std::time::Duration;
 
 use codes::{CacheHits, CodesSystem, InferenceRequest};
 use codes_datasets::{Hardness, Sample};
 use codes_obs::StageTimings;
+use codes_router::{Router, RouterConfig, ShardSpec};
+use codes_serve::{BreakerConfig, ServeConfig, SystemBackend};
 use sqlengine::{Database, ExecLimits};
 
 use crate::journal::{sample_fingerprint, EvalError, Journal};
@@ -153,8 +156,13 @@ pub struct SampleResult {
 }
 
 /// Evaluate `system` on `samples` over the databases in `dbs`.
+///
+/// Inference is submitted through a single-shard [`Router`] over the
+/// serving stack (see [`eval_router`]), so evaluation exercises exactly
+/// the admission/dispatch path production traffic takes; scoring stays in
+/// the harness threads.
 pub fn evaluate(
-    system: &CodesSystem,
+    system: &Arc<CodesSystem>,
     samples: &[Sample],
     dbs: &[Database],
     cfg: &EvalConfig,
@@ -164,10 +172,39 @@ pub fn evaluate(
     let samples = &samples[..limit];
     let variants = build_variants(&by_name, cfg);
     let work: Vec<(usize, &Sample)> = samples.iter().enumerate().collect();
-    let mut results = run_indexed(system, &work, &by_name, &variants, cfg, &|_, _| {});
+    let router = eval_router(system, dbs, cfg);
+    let mut results = run_indexed(&router, &work, &by_name, &variants, cfg, &|_, _| {});
+    router.shutdown();
     results.sort_by_key(|(index, _)| *index);
     let results: Vec<SampleResult> = results.into_iter().map(|(_, r)| r).collect();
     (summarize(&results), results)
+}
+
+/// The single-shard [`Router`] every evaluation run submits through.
+///
+/// Configured so the serving machinery is exercised without being able to
+/// change a verdict: `base_config` is the system's own config and the
+/// deadline is effectively unbounded, so the deadline clamp never degrades
+/// an answer; batching is off (each sample infers exactly as it would via
+/// a direct [`CodesSystem::infer`] call); the circuit breaker never opens
+/// (an evaluation must score every sample, not shed the tail of a failure
+/// run); and no result cache is attached, so repeated questions re-infer
+/// just as they did before the router existed.
+fn eval_router(system: &Arc<CodesSystem>, dbs: &[Database], cfg: &EvalConfig) -> Router {
+    let threads = cfg.threads.max(1);
+    let serve = ServeConfig {
+        workers: threads,
+        queue_capacity: threads * 2 + 8,
+        default_deadline: Duration::from_secs(3600),
+        base_config: system.config,
+        max_batch: 1,
+        breaker: BreakerConfig { failure_threshold: u32::MAX, ..BreakerConfig::default() },
+        wedged_after: Duration::from_secs(3600),
+        cache: None,
+        ..ServeConfig::default()
+    };
+    let backend = SystemBackend::new(Arc::clone(system), dbs.to_vec());
+    Router::start(vec![ShardSpec::new(Arc::new(backend), serve)], RouterConfig::default())
 }
 
 /// Outcome of a crash-resumable evaluation run (see [`evaluate_resumable`]).
@@ -189,7 +226,7 @@ pub struct ResumedEvaluation {
 /// fingerprint-match the sample set is rejected with
 /// [`EvalError::JournalMismatch`] rather than silently mixing runs.
 pub fn evaluate_resumable(
-    system: &CodesSystem,
+    system: &Arc<CodesSystem>,
     samples: &[Sample],
     dbs: &[Database],
     cfg: &EvalConfig,
@@ -239,7 +276,9 @@ pub fn evaluate_resumable(
             }
         }
     };
-    let fresh = run_indexed(system, &work, &by_name, &variants, cfg, &sink);
+    let router = eval_router(system, dbs, cfg);
+    let fresh = run_indexed(&router, &work, &by_name, &variants, cfg, &sink);
+    router.shutdown();
     let executed = fresh.len();
     let (_, sink_error) = sink_state.into_inner().unwrap_or_else(|poisoned| poisoned.into_inner());
     if let Some(e) = sink_error {
@@ -272,7 +311,7 @@ fn build_variants<'a>(
 /// that produced it. Samples referencing an unknown database are skipped,
 /// matching the non-indexed path. Returned pairs are unordered.
 fn run_indexed(
-    system: &CodesSystem,
+    router: &Router,
     work: &[(usize, &Sample)],
     by_name: &HashMap<&str, &Database>,
     variants: &HashMap<&str, Vec<Database>>,
@@ -290,7 +329,7 @@ fn run_indexed(
                     .filter_map(|&(index, s)| {
                         let db = by_name.get(s.db_id.as_str())?;
                         let result =
-                            eval_one_isolated(system, s, db, variants.get(s.db_id.as_str()), cfg);
+                            eval_one_isolated(router, s, db, variants.get(s.db_id.as_str()), cfg);
                         sink(index, &result);
                         Some((index, result))
                     })
@@ -315,13 +354,13 @@ fn run_indexed(
 /// [`SampleResult`] (all metrics 0, [`SampleResult::failure`] set), so a
 /// single poisoned sample never aborts the evaluation run.
 fn eval_one_isolated(
-    system: &CodesSystem,
+    router: &Router,
     sample: &Sample,
     db: &Database,
     variants: Option<&Vec<Database>>,
     cfg: &EvalConfig,
 ) -> SampleResult {
-    catch_unwind(AssertUnwindSafe(|| eval_one(system, sample, db, variants, cfg)))
+    catch_unwind(AssertUnwindSafe(|| eval_one(router, sample, db, variants, cfg)))
         .unwrap_or_else(|payload| {
             let message = if let Some(s) = payload.downcast_ref::<&str>() {
                 (*s).to_string()
@@ -330,26 +369,33 @@ fn eval_one_isolated(
             } else {
                 "non-string panic payload".to_string()
             };
-            SampleResult {
-                question: sample.question.clone(),
-                gold: sample.sql.clone(),
-                predicted: String::new(),
-                hardness: sample.hardness,
-                ex: false,
-                ts: false,
-                ves: 0.0,
-                he: false,
-                latency_seconds: 0.0,
-                stages: StageTimings::zero(),
-                prompt_tokens: 0,
-                cache_hits: CacheHits::default(),
-                failure: Some(format!("caught panic: {message}")),
-            }
+            failed_sample(sample, format!("caught panic: {message}"))
         })
 }
 
+/// A zero-scored [`SampleResult`] for a sample whose inference or scoring
+/// could not complete: every metric is 0 and `failure` records why, but
+/// the run carries on.
+fn failed_sample(sample: &Sample, failure: String) -> SampleResult {
+    SampleResult {
+        question: sample.question.clone(),
+        gold: sample.sql.clone(),
+        predicted: String::new(),
+        hardness: sample.hardness,
+        ex: false,
+        ts: false,
+        ves: 0.0,
+        he: false,
+        latency_seconds: 0.0,
+        stages: StageTimings::zero(),
+        prompt_tokens: 0,
+        cache_hits: CacheHits::default(),
+        failure: Some(failure),
+    }
+}
+
 fn eval_one(
-    system: &CodesSystem,
+    router: &Router,
     sample: &Sample,
     db: &Database,
     variants: Option<&Vec<Database>>,
@@ -358,7 +404,13 @@ fn eval_one(
     let limits = &cfg.exec_limits;
     let mut request = InferenceRequest::new(&sample.db_id, &sample.question);
     request.external_knowledge = sample.external_knowledge.clone();
-    let inference = system.infer(db, &request);
+    // Inference goes through the serving stack (router → pool worker →
+    // backend); a typed serving error is contained exactly like a caught
+    // panic — this sample scores nothing, the run continues.
+    let inference = match router.submit(request).and_then(|ticket| ticket.wait()) {
+        Ok(served) => served,
+        Err(e) => return failed_sample(sample, format!("serving error: {e}")),
+    };
     let ex = execution_match_governed(db, &inference.sql, &sample.sql, limits);
     let ts = match (cfg.compute_ts, variants) {
         (true, Some(vs)) => {
@@ -435,20 +487,35 @@ mod tests {
     use codes::{pretrain, CodesModel, PretrainConfig, PromptOptions, SketchCatalog};
     use std::sync::Arc;
 
-    fn mini_system_and_bench() -> (CodesSystem, codes_datasets::Benchmark) {
+    fn mini_bench() -> codes_datasets::Benchmark {
         let mut cfg = codes_datasets::BenchmarkConfig::spider(61);
         cfg.train_samples_per_db = 10;
         cfg.dev_samples_per_db = 4;
-        let bench = codes_datasets::build_benchmark("mini", &cfg);
+        codes_datasets::build_benchmark("mini", &cfg)
+    }
+
+    fn mini_system(
+        bench: &codes_datasets::Benchmark,
+        cache: Option<Arc<codes::SystemCache>>,
+    ) -> Arc<CodesSystem> {
         let catalog = Arc::new(SketchCatalog::build());
         let spec = codes::table4_models()
             .into_iter()
             .find(|m| m.name == "CodeS-7B")
             .expect("CodeS-7B is a fixed Table 4 row");
         let lm = pretrain(&catalog, &spec, &PretrainConfig { scale: 10, seed: 3 });
-        let sys = CodesSystem::new(CodesModel::new(lm, catalog), PromptOptions::sft())
-            .finetune_on(&bench);
+        let mut sys = CodesSystem::new(CodesModel::new(lm, catalog), PromptOptions::sft())
+            .finetune_on(bench);
+        if let Some(cache) = cache {
+            sys = sys.with_cache(cache);
+        }
         sys.prepare_databases(bench.databases.iter());
+        Arc::new(sys)
+    }
+
+    fn mini_system_and_bench() -> (Arc<CodesSystem>, codes_datasets::Benchmark) {
+        let bench = mini_bench();
+        let sys = mini_system(&bench, None);
         (sys, bench)
     }
 
@@ -573,13 +640,11 @@ mod tests {
 
     #[test]
     fn cache_hit_rates_surface_in_the_outcome() {
-        let (sys, bench) = mini_system_and_bench();
+        let bench = mini_bench();
         let registry = codes_obs::Registry::new();
         let cache =
             Arc::new(codes::SystemCache::with_registry(&registry, codes::CacheSettings::default()));
-        let sys = sys.with_cache(cache);
-        // Re-prepare so the shared value indexes are revision-current.
-        sys.prepare_databases(bench.databases.iter());
+        let sys = mini_system(&bench, Some(cache));
         let cfg = EvalConfig { limit: Some(8), compute_ts: false, ..Default::default() };
 
         let (cold, _) = evaluate(&sys, &bench.dev, &bench.databases, &cfg);

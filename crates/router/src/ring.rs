@@ -1,0 +1,139 @@
+//! Consistent hashing of database ids onto shards.
+//!
+//! Each shard contributes a fixed number of virtual nodes to a sorted
+//! ring of hash points. A database's owner is the first point clockwise
+//! from the database's own hash whose shard is currently **active** —
+//! failing a shard over therefore only remaps the databases that shard
+//! owned (plus nothing else), and reviving it brings exactly those
+//! databases back. The ring itself is immutable after construction; all
+//! liveness lives in the caller-supplied active mask, which is what makes
+//! ownership queries cheap and race-free under failover.
+
+/// FNV-1a, the same construction the cache crate uses for config
+/// fingerprints — deterministic across runs and platforms.
+fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut hash: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        hash ^= u64::from(b);
+        hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    hash
+}
+
+/// Final avalanche (splitmix64 tail) so nearby vnode indexes land far
+/// apart on the ring.
+fn mix(mut x: u64) -> u64 {
+    x = (x ^ (x >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    x ^ (x >> 31)
+}
+
+/// An immutable consistent-hash ring over `shards` shards.
+#[derive(Debug, Clone)]
+pub struct HashRing {
+    /// `(point, shard)` sorted by point.
+    points: Vec<(u64, usize)>,
+    shards: usize,
+}
+
+impl HashRing {
+    /// Build a ring with `vnodes` virtual nodes per shard. More vnodes
+    /// spread each shard's keyspace more evenly (64 is plenty for ≤16
+    /// shards).
+    pub fn new(shards: usize, vnodes: usize) -> HashRing {
+        assert!(shards > 0, "ring needs at least one shard");
+        assert!(vnodes > 0, "ring needs at least one vnode per shard");
+        let mut points = Vec::with_capacity(shards * vnodes);
+        for shard in 0..shards {
+            for vnode in 0..vnodes {
+                let key = fnv1a(format!("shard{shard}/vnode{vnode}").as_bytes());
+                points.push((mix(key), shard));
+            }
+        }
+        points.sort_unstable();
+        points.dedup_by_key(|(p, _)| *p);
+        HashRing { points, shards }
+    }
+
+    /// Number of shards this ring was built for.
+    pub fn shards(&self) -> usize {
+        self.shards
+    }
+
+    /// The shard owning `db_id` given the current liveness mask
+    /// (`active[shard]`); `None` when no shard is active. Walks clockwise
+    /// from the database's hash point, skipping points of inactive shards.
+    pub fn owner(&self, db_id: &str, active: &[bool]) -> Option<usize> {
+        if !active.iter().any(|&a| a) {
+            return None;
+        }
+        let point = mix(fnv1a(db_id.as_bytes()));
+        let start = self.points.partition_point(|&(p, _)| p < point);
+        let n = self.points.len();
+        for step in 0..n {
+            let (_, shard) = self.points[(start + step) % n];
+            if active.get(shard).copied().unwrap_or(false) {
+                return Some(shard);
+            }
+        }
+        None
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ownership_is_deterministic_and_total() {
+        let ring = HashRing::new(4, 64);
+        let active = vec![true; 4];
+        for i in 0..200 {
+            let db = format!("db{i}");
+            let a = ring.owner(&db, &active);
+            let b = ring.owner(&db, &active);
+            assert_eq!(a, b);
+            assert!(a.is_some());
+        }
+    }
+
+    #[test]
+    fn failing_a_shard_only_remaps_its_own_databases() {
+        let ring = HashRing::new(4, 64);
+        let all = vec![true; 4];
+        let mut without_2 = all.clone();
+        without_2[2] = false;
+        for i in 0..500 {
+            let db = format!("db{i}");
+            let before = ring.owner(&db, &all).expect("active ring");
+            let after = ring.owner(&db, &without_2).expect("three shards remain");
+            if before != 2 {
+                assert_eq!(before, after, "{db}: unaffected databases must not move");
+            } else {
+                assert_ne!(after, 2, "{db}: shard 2 is down");
+            }
+        }
+    }
+
+    #[test]
+    fn vnodes_spread_load_roughly_evenly() {
+        let ring = HashRing::new(4, 64);
+        let active = vec![true; 4];
+        let mut counts = [0usize; 4];
+        for i in 0..2000 {
+            counts[ring.owner(&format!("db{i}"), &active).expect("active")] += 1;
+        }
+        for (shard, &c) in counts.iter().enumerate() {
+            assert!(
+                (200..=900).contains(&c),
+                "shard {shard} owns {c}/2000 — vnode spread is badly skewed: {counts:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn no_active_shard_means_no_owner() {
+        let ring = HashRing::new(2, 8);
+        assert_eq!(ring.owner("db", &[false, false]), None);
+    }
+}

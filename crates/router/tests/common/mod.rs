@@ -1,0 +1,132 @@
+//! Shared helpers for the router integration suites.
+// Each test binary uses a different subset of these helpers.
+#![allow(dead_code)]
+
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Arc, Once};
+use std::time::Duration;
+
+use codes::{CacheSettings, InferenceRequest, SystemCache};
+use codes_router::ShardSpec;
+use codes_serve::pool::Backend;
+use codes_serve::{BackendReply, BreakerConfig, ServeConfig};
+use parking_lot::Mutex;
+use sqlengine::Backoff;
+
+/// Keep injected panics out of test output without hiding real ones.
+pub fn silence_injected_panics() {
+    static HOOK: Once = Once::new();
+    HOOK.call_once(|| {
+        let default_hook = std::panic::take_hook();
+        std::panic::set_hook(Box::new(move |info| {
+            let injected = info
+                .payload()
+                .downcast_ref::<String>()
+                .is_some_and(|s| s.contains("injected fault"))
+                || info
+                    .payload()
+                    .downcast_ref::<&str>()
+                    .is_some_and(|s| s.contains("injected fault"));
+            if !injected {
+                default_hook(info);
+            }
+        }));
+    });
+}
+
+/// Answers `SELECT <epoch>` — a stale cache entry served after the data
+/// "changed" (epoch bump) is immediately visible as the wrong epoch in
+/// the SQL. Also counts real (non-cached) invocations.
+pub struct EpochBackend {
+    pub epoch: Arc<AtomicU64>,
+    pub calls: Arc<AtomicUsize>,
+    pub delay: Duration,
+}
+
+impl EpochBackend {
+    pub fn new(epoch: Arc<AtomicU64>, delay: Duration) -> EpochBackend {
+        EpochBackend { epoch, calls: Arc::new(AtomicUsize::new(0)), delay }
+    }
+}
+
+impl Backend for EpochBackend {
+    fn infer(
+        &self,
+        _request: &InferenceRequest,
+        _id: u64,
+        _config: &codes::Config,
+    ) -> Result<BackendReply, sqlengine::Error> {
+        self.calls.fetch_add(1, Ordering::Relaxed);
+        if !self.delay.is_zero() {
+            std::thread::sleep(self.delay);
+        }
+        Ok(BackendReply {
+            sql: format!("SELECT {}", self.epoch.load(Ordering::SeqCst)),
+            prompt_tokens: 1,
+            ..BackendReply::default()
+        })
+    }
+}
+
+/// Blocks every inference until `open` flips, then records the question
+/// in arrival order — lets fairness tests build a backlog and observe the
+/// exact dispatch sequence.
+pub struct GateBackend {
+    pub open: Arc<AtomicBool>,
+    pub order: Arc<Mutex<Vec<String>>>,
+}
+
+impl Backend for GateBackend {
+    fn infer(
+        &self,
+        request: &InferenceRequest,
+        _id: u64,
+        _config: &codes::Config,
+    ) -> Result<BackendReply, sqlengine::Error> {
+        while !self.open.load(Ordering::SeqCst) {
+            std::thread::sleep(Duration::from_micros(100));
+        }
+        self.order.lock().push(request.question.clone());
+        Ok(BackendReply { sql: format!("SELECT '{}'", request.question), ..BackendReply::default() })
+    }
+}
+
+/// A serve config tuned for chaos: fast wedge detection, breaker that
+/// recovers quickly, generous deadline.
+pub fn chaos_serve_config() -> ServeConfig {
+    ServeConfig {
+        workers: 3,
+        queue_capacity: 32,
+        default_deadline: Duration::from_secs(10),
+        heartbeat_interval: Duration::from_millis(10),
+        wedged_after: Duration::from_millis(100),
+        max_batch: 2,
+        breaker: BreakerConfig {
+            failure_threshold: 10,
+            backoff: Backoff::new(Duration::from_millis(10), Duration::from_millis(80), 0xB0B),
+        },
+        ..ServeConfig::default()
+    }
+}
+
+/// A shard spec over `backend`, optionally with its own shard-local cache
+/// registered into `registry`.
+pub fn shard_spec(
+    backend: Arc<dyn Backend>,
+    mut serve: ServeConfig,
+    with_cache: bool,
+    registry: &Arc<codes_obs::Registry>,
+) -> ShardSpec {
+    serve.cache = with_cache
+        .then(|| Arc::new(SystemCache::with_registry(registry, CacheSettings::default())));
+    ShardSpec::new(backend, serve)
+}
+
+/// p95 of `latencies` (seconds), or 0.0 when empty.
+pub fn p95(latencies: &mut [f64]) -> f64 {
+    if latencies.is_empty() {
+        return 0.0;
+    }
+    latencies.sort_by(|a, b| a.partial_cmp(b).expect("finite latencies"));
+    latencies[((latencies.len() * 95) / 100).min(latencies.len() - 1)]
+}

@@ -51,6 +51,15 @@ pub enum ServeError {
     /// The pool is shutting down (or the reply channel was lost), so the
     /// request can no longer be served.
     ShuttingDown,
+    /// The request (or a cache-invalidation call) addressed a database this
+    /// pool's backend does not serve. Surfacing this as a typed error —
+    /// instead of the old silent no-op — is what makes misrouted
+    /// invalidations visible: the *right* pool's stale entries stay live
+    /// until the caller re-addresses the bump.
+    UnknownDatabase {
+        /// The database id nobody here serves.
+        db_id: String,
+    },
 }
 
 impl ServeError {
@@ -80,6 +89,7 @@ impl ServeError {
             ServeError::WorkerPanic(_) => "worker_panic",
             ServeError::WorkerWedged { .. } => "worker_wedged",
             ServeError::ShuttingDown => "shutting_down",
+            ServeError::UnknownDatabase { .. } => "unknown_database",
         }
     }
 
@@ -114,6 +124,9 @@ impl fmt::Display for ServeError {
                 write!(f, "worker wedged (no heartbeat for {stalled:?})")
             }
             ServeError::ShuttingDown => write!(f, "pool shutting down"),
+            ServeError::UnknownDatabase { db_id } => {
+                write!(f, "unknown database '{db_id}': not served by this pool")
+            }
         }
     }
 }
@@ -146,6 +159,7 @@ impl From<ServeError> for codes::Error {
             ServeError::WorkerPanic(msg) => codes::Error::WorkerPanic(msg),
             ServeError::WorkerWedged { stalled } => codes::Error::WorkerWedged { stalled },
             ServeError::ShuttingDown => codes::Error::ShuttingDown,
+            ServeError::UnknownDatabase { db_id } => codes::Error::UnknownDatabase { db_id },
         }
     }
 }
@@ -167,11 +181,12 @@ mod tests {
             ServeError::WorkerPanic("boom".into()),
             ServeError::WorkerWedged { stalled: Duration::from_secs(1) },
             ServeError::ShuttingDown,
+            ServeError::UnknownDatabase { db_id: "nowhere".into() },
         ];
         let kinds: std::collections::HashSet<_> = all.iter().map(|e| e.kind()).collect();
         assert_eq!(kinds.len(), all.len());
         let shed: Vec<bool> = all.iter().map(|e| e.is_load_shed()).collect();
-        assert_eq!(shed, vec![true, true, true, false, false, false, false]);
+        assert_eq!(shed, vec![true, true, true, false, false, false, false, false]);
         for e in &all {
             assert!(!e.to_string().is_empty());
         }
@@ -190,6 +205,7 @@ mod tests {
             ServeError::WorkerPanic("boom".into()),
             ServeError::WorkerWedged { stalled: Duration::from_secs(1) },
             ServeError::ShuttingDown,
+            ServeError::UnknownDatabase { db_id: "nowhere".into() },
         ];
         for e in &all {
             let unified = codes::Error::from(e.clone());
@@ -206,5 +222,7 @@ mod tests {
         assert!(ServeError::WorkerPanic("x".into()).is_transient());
         assert!(!ServeError::Inference(sqlengine::Error::Parse("bad".into())).is_transient());
         assert!(!ServeError::ShuttingDown.is_transient());
+        // Misaddressed requests can never be fixed by retrying here.
+        assert!(!ServeError::UnknownDatabase { db_id: "x".into() }.is_transient());
     }
 }

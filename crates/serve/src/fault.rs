@@ -120,6 +120,10 @@ impl<B: Backend> Backend for FaultyBackend<B> {
             }
         }
     }
+
+    fn has_database(&self, db_id: &str) -> Option<bool> {
+        self.inner.has_database(db_id)
+    }
 }
 
 #[cfg(test)]

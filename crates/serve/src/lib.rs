@@ -60,6 +60,6 @@ pub use metrics::MetricsSnapshot;
 #[allow(deprecated)]
 pub use pool::Request;
 pub use pool::{
-    Backend, BackendReply, HealthSnapshot, Pool, ServeConfig, ServedInference, StatsSnapshot,
-    SystemBackend, Ticket, WorkerHealth,
+    Backend, BackendReply, HealthSnapshot, Outcome, Pool, ServeConfig, ServedInference,
+    StatsSnapshot, SystemBackend, Ticket, WorkerHealth,
 };

@@ -78,10 +78,20 @@ pub trait Backend: Send + Sync {
     ) -> Vec<Result<BackendReply, Error>> {
         requests.iter().map(|(request, id)| self.infer(request, *id, config)).collect()
     }
+
+    /// Whether this backend can serve `db_id`. `None` (the default) means
+    /// the backend doesn't track a database universe — synthetic test
+    /// backends accept anything. [`SystemBackend`] answers definitively,
+    /// which lets [`Pool::invalidate_database`] reject invalidations
+    /// addressed to the wrong pool with a typed
+    /// [`ServeError::UnknownDatabase`] instead of silently no-opping.
+    fn has_database(&self, _db_id: &str) -> Option<bool> {
+        None
+    }
 }
 
 /// A successful backend outcome.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, Default)]
 pub struct BackendReply {
     /// The generated SQL.
     pub sql: String,
@@ -91,6 +101,11 @@ pub struct BackendReply {
     pub latency_seconds: f64,
     /// Prompt length in whitespace tokens.
     pub prompt_tokens: usize,
+    /// Per-stage wall-clock breakdown (zero for backends that don't
+    /// measure stages).
+    pub stages: codes_obs::StageTimings,
+    /// Which pipeline stages were served from the system cache.
+    pub cache_hits: codes::CacheHits,
 }
 
 /// [`Backend`] over a real [`CodesSystem`] and a set of databases.
@@ -138,6 +153,8 @@ impl Backend for SystemBackend {
             degradations: out.degradations,
             latency_seconds: out.latency_seconds,
             prompt_tokens: out.prompt_tokens,
+            stages: out.stages,
+            cache_hits: out.cache_hits,
         })
     }
 
@@ -166,9 +183,15 @@ impl Backend for SystemBackend {
                     degradations: out.degradations,
                     latency_seconds: out.latency_seconds,
                     prompt_tokens: out.prompt_tokens,
+                    stages: out.stages,
+                    cache_hits: out.cache_hits,
                 })
             })
             .collect()
+    }
+
+    fn has_database(&self, db_id: &str) -> Option<bool> {
+        Some(self.dbs.contains_key(db_id))
     }
 }
 
@@ -264,9 +287,16 @@ pub struct ServedInference {
     /// True when the answer came from the full-result cache tier at
     /// admission, bypassing the queue and workers entirely.
     pub cached: bool,
+    /// Per-stage wall-clock breakdown reported by the backend (zero for
+    /// cached answers and backends that don't measure stages).
+    pub stages: codes_obs::StageTimings,
+    /// Which pipeline stages were served from the system cache inside the
+    /// backend (all-false for cached answers — no stage ran at all).
+    pub cache_hits: codes::CacheHits,
 }
 
-type Outcome = Result<ServedInference, ServeError>;
+/// What a [`Ticket`] resolves to: exactly one of these per submission.
+pub type Outcome = Result<ServedInference, ServeError>;
 
 /// Write-once reply cell. The worker, the supervisor (panic/wedge path)
 /// and shutdown cleanup may all try to resolve the same request; the first
@@ -302,6 +332,17 @@ pub struct Ticket {
 }
 
 impl Ticket {
+    /// A ticket resolved through an externally held sender. Routing layers
+    /// (e.g. `codes-router`) assign their own request ids before any pool
+    /// admission happens; the returned sender feeds the ticket exactly the
+    /// way a pool-internal reply channel would — the channel is bounded at
+    /// one outcome, so duplicate resolution attempts are structurally
+    /// harmless and the caller still observes exactly one outcome.
+    pub fn detached(id: u64) -> (Ticket, Sender<Outcome>) {
+        let (tx, rx) = channel::bounded::<Outcome>(1);
+        (Ticket { id, rx }, tx)
+    }
+
     /// Block until the request resolves.
     pub fn wait(self) -> Outcome {
         self.rx.recv().unwrap_or(Err(ServeError::ShuttingDown))
@@ -580,6 +621,8 @@ impl Inner {
                     prompt_tokens: reply.prompt_tokens,
                     worker: slot,
                     cached: false,
+                    stages: reply.stages,
+                    cache_hits: reply.cache_hits,
                 })
             }
             Err(e) => {
@@ -781,6 +824,8 @@ impl Inner {
                         prompt_tokens: reply.prompt_tokens,
                         worker: slot,
                         cached: false,
+                        stages: reply.stages,
+                        cache_hits: reply.cache_hits,
                     })
                 }
                 Err(e) => {
@@ -987,8 +1032,8 @@ fn supervisor_loop(inner: Arc<Inner>, mut workers: Vec<Option<JoinHandle<()>>>) 
 /// [`Pool::shutdown`] (drains the queue before returning).
 pub struct Pool {
     inner: Arc<Inner>,
-    queue_tx: Option<Sender<Job>>,
-    supervisor: Option<JoinHandle<()>>,
+    queue_tx: Mutex<Option<Sender<Job>>>,
+    supervisor: Mutex<Option<JoinHandle<()>>>,
 }
 
 impl Pool {
@@ -1006,6 +1051,18 @@ impl Pool {
         config: ServeConfig,
         registry: Arc<codes_obs::Registry>,
     ) -> Pool {
+        Pool::start_shared(Arc::new(backend), config, registry)
+    }
+
+    /// Like [`Pool::start_with_registry`], but over an already-shared
+    /// backend. Routing layers keep the `Arc` and can respawn a fresh pool
+    /// over the same backend (and the same shard-local cache in `config`)
+    /// after a failover drain.
+    pub fn start_shared(
+        backend: Arc<dyn Backend>,
+        config: ServeConfig,
+        registry: Arc<codes_obs::Registry>,
+    ) -> Pool {
         assert!(config.workers > 0, "pool needs at least one worker");
         assert!(config.queue_capacity > 0, "admission queue needs capacity");
         let (queue_tx, queue_rx) = channel::bounded::<Job>(config.queue_capacity);
@@ -1014,7 +1071,7 @@ impl Pool {
             .collect();
         let inner = Arc::new(Inner {
             config,
-            backend: Arc::new(backend),
+            backend,
             queue_rx,
             breakers: Mutex::new(HashMap::new()),
             in_flight: Mutex::new(HashMap::new()),
@@ -1034,20 +1091,44 @@ impl Pool {
                 .spawn(move || supervisor_loop(inner, workers))
                 .expect("spawn serve supervisor thread")
         };
-        Pool { inner, queue_tx: Some(queue_tx), supervisor: Some(supervisor) }
+        Pool { inner, queue_tx: Mutex::new(Some(queue_tx)), supervisor: Mutex::new(Some(supervisor)) }
     }
 
     /// Submit a request. Returns a [`Ticket`] on admission, or an immediate
     /// typed rejection when the queue is full or the pool is stopping.
     pub fn submit(&self, request: InferenceRequest) -> Result<Ticket, ServeError> {
-        let Some(queue_tx) = &self.queue_tx else {
+        let (reply_tx, reply_rx) = channel::bounded::<Outcome>(1);
+        let id = self.enqueue(request, reply_tx)?;
+        Ok(Ticket { id, rx: reply_rx })
+    }
+
+    /// Submit a request whose outcome resolves through an externally held
+    /// sender (see [`Ticket::detached`]). On `Ok` the pool owns resolution:
+    /// exactly one outcome will be sent — from the cache fast path, a
+    /// worker, the supervisor (panic/wedge), or shutdown cleanup. On `Err`
+    /// the pool has sent nothing and the caller keeps responsibility for
+    /// the ticket. Returns the pool-assigned request id.
+    pub fn submit_routed(
+        &self,
+        request: InferenceRequest,
+        reply_tx: Sender<Outcome>,
+    ) -> Result<u64, ServeError> {
+        self.enqueue(request, reply_tx)
+    }
+
+    fn enqueue(
+        &self,
+        request: InferenceRequest,
+        reply_tx: Sender<Outcome>,
+    ) -> Result<u64, ServeError> {
+        let queue_guard = self.queue_tx.lock();
+        let Some(queue_tx) = queue_guard.as_ref() else {
             return Err(ServeError::ShuttingDown);
         };
         if self.inner.shutdown.load(Ordering::SeqCst) {
             return Err(ServeError::ShuttingDown);
         }
         let id = self.inner.next_id.fetch_add(1, Ordering::SeqCst);
-        let (reply_tx, reply_rx) = channel::bounded::<Outcome>(1);
 
         // T3 check at admission: a cached answer resolves the ticket right
         // here, spending no queue slot and no worker time. The generation,
@@ -1083,8 +1164,10 @@ impl Pool {
                     prompt_tokens: answer.prompt_tokens,
                     worker: 0,
                     cached: true,
+                    stages: codes_obs::StageTimings::zero(),
+                    cache_hits: codes::CacheHits::default(),
                 }));
-                return Ok(Ticket { id, rx: reply_rx });
+                return Ok(id);
             }
         }
 
@@ -1099,7 +1182,7 @@ impl Pool {
             Ok(()) => {
                 self.inner.stats.submitted.fetch_add(1, Ordering::Relaxed);
                 self.inner.metrics.submitted.inc();
-                Ok(Ticket { id, rx: reply_rx })
+                Ok(id)
             }
             Err(TrySendError::Full(_)) => {
                 self.inner.stats.shed_overloaded.fetch_add(1, Ordering::Relaxed);
@@ -1159,36 +1242,90 @@ impl Pool {
 
     /// Invalidate every cached entry for `db_id` (all tiers) by bumping its
     /// generation; call this after mutating the database out-of-band.
-    /// Returns the new generation, or `None` when the pool has no cache.
-    /// In-flight requests that started before the bump will still admit
-    /// their results — under the old generation, where no future lookup can
-    /// reach them.
-    pub fn invalidate_database(&self, db_id: &str) -> Option<u64> {
-        self.inner.config.cache.as_ref().map(|c| c.invalidate_database(db_id))
+    /// Returns `Ok(Some(generation))` on a bump, `Ok(None)` when the pool
+    /// has no cache attached, and [`ServeError::UnknownDatabase`] when the
+    /// backend tracks a database universe and `db_id` is not in it —
+    /// invalidating a database on the wrong pool used to silently no-op,
+    /// leaving the *right* pool's stale entries live. In-flight requests
+    /// that started before the bump will still admit their results — under
+    /// the old generation, where no future lookup can reach them.
+    pub fn invalidate_database(&self, db_id: &str) -> Result<Option<u64>, ServeError> {
+        if self.inner.backend.has_database(db_id) == Some(false) {
+            return Err(ServeError::UnknownDatabase { db_id: db_id.to_string() });
+        }
+        Ok(self.inner.config.cache.as_ref().map(|c| c.invalidate_database(db_id)))
+    }
+
+    /// The pool's shard-local result cache, when one is attached
+    /// ([`ServeConfig::cache`]).
+    pub fn cache(&self) -> Option<&Arc<SystemCache>> {
+        self.inner.config.cache.as_ref()
+    }
+
+    /// Whether the backend serves `db_id` (`None` when the backend doesn't
+    /// track a database universe — see [`Backend::has_database`]).
+    pub fn has_database(&self, db_id: &str) -> Option<bool> {
+        self.inner.backend.has_database(db_id)
+    }
+
+    /// Requests currently waiting in the admission queue (cheap; no metric
+    /// snapshotting — routing layers poll this on the submit path).
+    pub fn queue_depth(&self) -> usize {
+        self.inner.queue_rx.len()
+    }
+
+    /// Configured admission-queue capacity.
+    pub fn queue_capacity(&self) -> usize {
+        self.inner.config.queue_capacity
+    }
+
+    /// Non-mutating peek at `db_id`'s circuit breaker: `Some(retry_after)`
+    /// while the breaker is open, `None` when it is closed, half-open, or
+    /// has never seen the database. Unlike admission this never transitions
+    /// the state machine, so routing layers can consult it without stealing
+    /// the half-open probe slot.
+    pub fn breaker_retry_after(&self, db_id: &str) -> Option<Duration> {
+        let map = self.inner.breakers.lock();
+        match map.get(db_id).map(CircuitBreaker::state) {
+            Some(BreakerState::Open { until, .. }) => {
+                Some(until.saturating_duration_since(Instant::now()))
+            }
+            _ => None,
+        }
+    }
+
+    /// Stop accepting requests, drain everything already queued or in
+    /// flight, and stop the workers and supervisor. Safe to call from any
+    /// thread holding only `&Pool` (failover holds an `Arc<Pool>` and
+    /// drains from a background thread); concurrent calls are idempotent —
+    /// the first one joins the supervisor, later ones return immediately.
+    /// Every ticket still resolves exactly once: queued work is served (or
+    /// shed on deadline/breaker) and in-flight work runs to completion,
+    /// with the supervisor replacing panicked/wedged workers until the
+    /// drain is clean.
+    pub fn drain(&self) {
+        self.inner.shutdown.store(true, Ordering::SeqCst);
+        // Dropping the only sender lets workers drain the queue and then
+        // see Disconnected.
+        drop(self.queue_tx.lock().take());
+        let supervisor = self.supervisor.lock().take();
+        if let Some(supervisor) = supervisor {
+            let _ = supervisor.join();
+        }
     }
 
     /// Stop accepting requests, drain everything already queued or in
     /// flight, stop the workers and supervisor, and return the final
     /// health snapshot.
-    pub fn shutdown(mut self) -> HealthSnapshot {
-        self.stop();
+    pub fn shutdown(self) -> HealthSnapshot {
+        self.drain();
         self.health()
-    }
-
-    fn stop(&mut self) {
-        self.inner.shutdown.store(true, Ordering::SeqCst);
-        // Dropping the only sender lets workers drain the queue and then
-        // see Disconnected.
-        drop(self.queue_tx.take());
-        if let Some(supervisor) = self.supervisor.take() {
-            let _ = supervisor.join();
-        }
     }
 }
 
 impl Drop for Pool {
     fn drop(&mut self) {
-        self.stop();
+        self.drain();
     }
 }
 
@@ -1216,6 +1353,7 @@ mod tests {
                 degradations: vec![],
                 latency_seconds: self.delay.as_secs_f64(),
                 prompt_tokens: request.question.split_whitespace().count(),
+                ..BackendReply::default()
             })
         }
     }
@@ -1238,6 +1376,7 @@ mod tests {
                     degradations: vec![],
                     latency_seconds: 0.0,
                     prompt_tokens: request.question.len(),
+                    ..BackendReply::default()
                 })
             } else {
                 Err(Error::Exec("database offline".to_string()))
@@ -1262,6 +1401,7 @@ mod tests {
                 degradations: self.degradations.clone(),
                 latency_seconds: 0.0,
                 prompt_tokens: request.question.split_whitespace().count(),
+                ..BackendReply::default()
             })
         }
     }
@@ -1313,6 +1453,7 @@ mod tests {
                 degradations: vec![],
                 latency_seconds: 0.0,
                 prompt_tokens: 1,
+                ..BackendReply::default()
             })
         }
 
@@ -1486,7 +1627,7 @@ mod tests {
         assert_eq!(warm.prompt_tokens, cold.prompt_tokens);
 
         // Invalidation: the generation bump makes the entry unreachable.
-        assert_eq!(pool.invalidate_database("db"), Some(1));
+        assert_eq!(pool.invalidate_database("db").expect("echo backend accepts any db"), Some(1));
         let fresh = pool.submit(InferenceRequest::new("db", "how many clients?")).expect("admitted");
         assert!(!fresh.wait().expect("recomputed").cached);
 

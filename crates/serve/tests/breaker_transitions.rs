@@ -232,6 +232,7 @@ impl Backend for SwitchBackend {
                 degradations: vec![],
                 latency_seconds: 0.0,
                 prompt_tokens: request.question.len(),
+                ..BackendReply::default()
             })
         } else {
             Err(Error::Exec("database offline".to_string()))

@@ -1,5 +1,6 @@
-//! Serving quickstart: put a trained CodeS system behind the resilient
-//! serving pool, submit concurrent questions, inspect pool health and the
+//! Serving quickstart: put a trained CodeS system behind the sharded
+//! router (single-shard default) and its supervised serving pool, submit
+//! concurrent questions, inspect router/pool health and the
 //! metrics registry (Prometheus dump + per-stage latency quantiles), then
 //! turn on deterministic fault injection and watch the runtime absorb
 //! worker panics and stalls without losing a single request.
@@ -14,8 +15,9 @@ use codes::{
     PromptOptions, SketchCatalog, SystemCache,
 };
 use codes_linker::SchemaClassifier;
+use codes_router::{Router, RouterConfig, ShardSpec};
 use codes_serve::{
-    FaultPlan, FaultyBackend, InferenceRequest, Pool, ServeConfig, ServeError, SystemBackend,
+    FaultPlan, FaultyBackend, InferenceRequest, ServeConfig, ServeError, SystemBackend,
 };
 
 fn main() {
@@ -46,20 +48,23 @@ fn main() {
         .finetune_on(&bench);
     system.prepare_databases(bench.databases.iter());
 
-    // 2. Stand the pool up over the system: 4 workers, a bounded queue
-    //    (backpressure is explicit), per-database circuit breakers,
-    //    deadline propagation into each inference, and the shared cache.
+    // 2. Stand the serving stack up over the system: the sharded router
+    //    in its single-shard default — one supervised pool (4 workers, a
+    //    bounded queue, per-database circuit breakers, deadline
+    //    propagation) behind consistent-hash routing and tenant-fair
+    //    admission. Adding shards later is a config change, not a code
+    //    change.
     let system = Arc::new(system);
     let backend = SystemBackend::new(Arc::clone(&system), bench.databases.clone());
     let config = ServeConfig { cache: Some(Arc::clone(&cache)), ..ServeConfig::default() };
-    let pool = Pool::start(backend, config);
+    let router = Router::start(vec![ShardSpec::new(Arc::new(backend), config)], RouterConfig::default());
 
     println!("\nserving {} dev questions concurrently ...", bench.dev.len().min(10));
     let tickets: Vec<_> = bench
         .dev
         .iter()
         .take(10)
-        .map(|s| pool.submit(InferenceRequest::new(&s.db_id, &s.question)))
+        .map(|s| router.submit(InferenceRequest::new(&s.db_id, &s.question)))
         .collect();
     for ticket in tickets {
         match ticket.expect("queue has headroom for ten requests").wait() {
@@ -81,7 +86,7 @@ fn main() {
         .dev
         .iter()
         .take(10)
-        .map(|s| pool.submit(InferenceRequest::new(&s.db_id, &s.question)))
+        .map(|s| router.submit(InferenceRequest::new(&s.db_id, &s.question)))
         .collect();
     for ticket in tickets {
         match ticket.expect("queue has headroom for ten requests").wait() {
@@ -96,25 +101,27 @@ fn main() {
     }
 
     // 4. Health/readiness snapshot: what a load balancer would scrape —
+    //    per-shard pool detail plus counters aggregated across shards,
     //    now including the per-tier cache counters.
-    let health = pool.health();
+    let health = router.health();
+    let shard = &health.shards[0];
     println!(
-        "\nhealth: ready={} queue={}/{} in_flight={} served={} failed={} from_cache={}",
+        "\nhealth: ready={} shard0 queue={}/{} in_flight={} served={} failed={} from_cache={}",
         health.ready,
-        health.queue_depth,
-        health.queue_capacity,
-        health.in_flight,
-        health.stats.completed,
-        health.stats.failed,
-        health.stats.served_from_cache
+        shard.pool.queue_depth,
+        shard.pool.queue_capacity,
+        shard.pool.in_flight,
+        health.aggregated.completed,
+        health.aggregated.failed,
+        health.aggregated.served_from_cache
     );
-    if let Some(stats) = &health.cache {
+    if let Some(stats) = &shard.pool.cache {
         println!("cache tiers (hits/misses):");
         println!("  T1 schema_filter    {:>3} / {:<3}", stats.schema.hits, stats.schema.misses);
         println!("  T2 value_retrieval  {:>3} / {:<3}", stats.values.hits, stats.values.misses);
         println!("  T3 full_result      {:>3} / {:<3}", stats.full.hits, stats.full.misses);
     }
-    pool.shutdown();
+    router.shutdown();
 
     // 5. The observability layer: every inference recorded one span per
     //    Algorithm-1 stage and the pool recorded queue/shed/breaker
@@ -156,7 +163,8 @@ fn main() {
         wedged_after: Duration::from_millis(120),
         ..ServeConfig::default()
     };
-    let pool = Pool::start(backend, config);
+    let router =
+        Router::start(vec![ShardSpec::new(Arc::new(backend), config)], RouterConfig::default());
     // Injected panics are typed outcomes at the pool boundary; keep their
     // backtraces out of the demo output.
     std::panic::set_hook(Box::new(|_| {}));
@@ -165,7 +173,7 @@ fn main() {
     let tickets: Vec<_> = (0..30)
         .filter_map(|i| {
             let s = &bench.dev[i % bench.dev.len()];
-            match pool.submit(InferenceRequest::new(&s.db_id, &s.question)) {
+            match router.submit(InferenceRequest::new(&s.db_id, &s.question)) {
                 Ok(t) => Some(t),
                 Err(e) => {
                     outcomes.push((u64::MAX, format!("shed at admission: {}", e.kind())));
@@ -192,12 +200,12 @@ fn main() {
             println!("  [{id:>2}] {line}");
         }
     }
-    let health = pool.shutdown();
+    let health = router.shutdown();
     println!(
         "\nafter the storm: {} served, {} replaced after panic, {} replaced after wedge, queue drained to {}",
-        health.stats.completed,
-        health.stats.replaced_panic,
-        health.stats.replaced_wedged,
-        health.queue_depth
+        health.aggregated.completed,
+        health.aggregated.replaced_panic,
+        health.aggregated.replaced_wedged,
+        health.shards[0].pool.queue_depth
     );
 }

@@ -31,6 +31,7 @@ fn sft_pipeline_reaches_reasonable_accuracy() {
         .with_classifier(SchemaClassifier::train(&bench, false, 1))
         .finetune_on(&bench);
     sys.prepare_databases(bench.databases.iter());
+    let sys = Arc::new(sys);
     let cfg = EvalConfig { limit: Some(40), ts_variants: 2, ..Default::default() };
     let (out, results) = evaluate(&sys, &bench.dev, &bench.databases, &cfg);
     assert!(out.ex > 0.6, "SFT CodeS-7B EX too low: {:.2}", out.ex);
@@ -56,6 +57,7 @@ fn icl_pipeline_runs_without_finetuning() {
     .with_classifier(SchemaClassifier::train(&bench, false, 1))
     .with_demonstrations(bench.train.clone(), FewShot { k: 3, strategy: DemoStrategy::PatternAware });
     sys.prepare_databases(bench.databases.iter());
+    let sys = Arc::new(sys);
     let cfg = EvalConfig { limit: Some(30), compute_ts: false, ..Default::default() };
     let (out, _) = evaluate(&sys, &bench.dev, &bench.databases, &cfg);
     assert!(out.ex > 0.4, "3-shot CodeS-7B EX too low: {:.2}", out.ex);
@@ -74,7 +76,7 @@ fn external_knowledge_helps_on_bird() {
         .with_classifier(SchemaClassifier::train(&bench, use_ek, 1))
         .finetune_on(&bench);
         sys.prepare_databases(bench.databases.iter());
-        sys
+        Arc::new(sys)
     };
     let with_ek = build(true);
     let without_ek = build(false);

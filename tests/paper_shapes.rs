@@ -35,6 +35,7 @@ fn icl_ex(f: &Fixture, model_name: &str, k: usize) -> f64 {
         .with_classifier(f.classifier.clone())
         .with_demonstrations(f.bench.train.clone(), FewShot { k, strategy: DemoStrategy::PatternAware });
     sys.prepare_databases(f.bench.databases.iter());
+    let sys = Arc::new(sys);
     let cfg = EvalConfig { compute_ts: false, compute_ves: false, limit: Some(50), ..Default::default() };
     evaluate(&sys, &f.bench.dev, &f.bench.databases, &cfg).0.ex
 }
@@ -96,6 +97,7 @@ fn sft_is_at_least_as_good_as_icl() {
         .with_classifier(f.classifier.clone())
         .finetune_on(&f.bench);
     sft.prepare_databases(f.bench.databases.iter());
+    let sft = Arc::new(sft);
     let cfg = EvalConfig { compute_ts: false, compute_ves: false, limit: Some(50), ..Default::default() };
     let sft_ex = evaluate(&sft, &f.bench.dev, &f.bench.databases, &cfg).0.ex;
     // At table scale SFT wins clearly (see results/table5.json); on this
@@ -116,6 +118,7 @@ fn robustness_perturbations_reduce_accuracy() {
         .with_classifier(f.classifier.clone())
         .finetune_on(&f.bench);
     sys.prepare_databases(f.bench.databases.iter());
+    let sys = Arc::new(sys);
     let cfg = EvalConfig { compute_ts: false, compute_ves: false, limit: Some(60), ..Default::default() };
     let clean = evaluate(&sys, &f.bench.dev, &f.bench.databases, &cfg).0.ex;
 
