@@ -1,0 +1,226 @@
+//! Multi-tenant API-key authentication, rate limits, and spend budgets.
+//!
+//! Each tenant is configured with an API key, a token-bucket rate limit,
+//! and an optional lifetime spend budget measured in milliseconds of
+//! backend compute. The gateway authenticates every `/v1/infer` and
+//! `/v1/invalidate` request (via `Authorization: Bearer <key>` or
+//! `X-Api-Key: <key>`), then runs the tenant's admission checks **before**
+//! anything reaches the router — so an abusive tenant is shed at the edge
+//! and the router's weighted-fair DRR queues only ever see traffic that
+//! is inside its quota.
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+use parking_lot::Mutex;
+
+use crate::error::Reject;
+use crate::http::RequestHead;
+use crate::limiter::TokenBucket;
+
+/// One tenant's edge configuration.
+#[derive(Debug, Clone)]
+pub struct TenantSpec {
+    /// Tenant name; should match a router [`codes_router::TenantConfig`]
+    /// row so edge quotas and DRR fairness describe the same tenant.
+    pub name: String,
+    /// The bearer key presented by this tenant's clients.
+    pub api_key: String,
+    /// Sustained request admission rate (token-bucket refill).
+    pub rate_per_sec: f64,
+    /// Burst headroom (token-bucket capacity).
+    pub burst: f64,
+    /// Lifetime spend budget in milliseconds of backend compute; `None`
+    /// is unmetered. Cached answers cost no compute and charge nothing.
+    pub spend_budget_ms: Option<u64>,
+}
+
+impl TenantSpec {
+    /// A tenant with the given key and a generous default quota
+    /// (50 req/s sustained, burst of 100, unmetered).
+    pub fn new(name: impl Into<String>, api_key: impl Into<String>) -> TenantSpec {
+        TenantSpec {
+            name: name.into(),
+            api_key: api_key.into(),
+            rate_per_sec: 50.0,
+            burst: 100.0,
+            spend_budget_ms: None,
+        }
+    }
+
+    /// Set the token-bucket rate and burst.
+    pub fn with_rate(mut self, rate_per_sec: f64, burst: f64) -> TenantSpec {
+        self.rate_per_sec = rate_per_sec;
+        self.burst = burst;
+        self
+    }
+
+    /// Set the lifetime spend budget in compute milliseconds.
+    pub fn with_spend_budget_ms(mut self, budget_ms: u64) -> TenantSpec {
+        self.spend_budget_ms = Some(budget_ms);
+        self
+    }
+}
+
+/// One tenant's live admission state.
+pub struct TenantAccount {
+    /// Tenant name (forwarded to [`codes_router::Router::submit_as`]).
+    pub name: String,
+    bucket: Mutex<TokenBucket>,
+    spent_ms: AtomicU64,
+    budget_ms: Option<u64>,
+}
+
+impl std::fmt::Debug for TenantAccount {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("TenantAccount")
+            .field("name", &self.name)
+            .field("spent_ms", &self.spent_ms.load(Ordering::Relaxed))
+            .field("budget_ms", &self.budget_ms)
+            .finish()
+    }
+}
+
+impl TenantAccount {
+    fn new(spec: &TenantSpec) -> TenantAccount {
+        TenantAccount {
+            name: spec.name.clone(),
+            bucket: Mutex::new(TokenBucket::new(spec.rate_per_sec, spec.burst)),
+            spent_ms: AtomicU64::new(0),
+            budget_ms: spec.spend_budget_ms,
+        }
+    }
+
+    /// Run the tenant's admission checks at time `now_ns` (nanoseconds on
+    /// the gateway's monotonic clock): spend budget first — a tenant that
+    /// burned its budget gets `budget_exhausted` even when its bucket has
+    /// tokens — then the rate limit.
+    pub fn admit(&self, now_ns: u64) -> Result<(), Reject> {
+        if let Some(budget_ms) = self.budget_ms {
+            let spent_ms = self.spent_ms.load(Ordering::Relaxed);
+            if spent_ms >= budget_ms {
+                return Err(Reject::BudgetExhausted { spent_ms, budget_ms });
+            }
+        }
+        self.bucket
+            .lock()
+            .try_acquire(now_ns)
+            .map_err(|retry_after| Reject::RateLimited { retry_after })
+    }
+
+    /// Charge `ms` of backend compute against the spend budget.
+    pub fn charge_ms(&self, ms: u64) {
+        if self.budget_ms.is_some() {
+            self.spent_ms.fetch_add(ms, Ordering::Relaxed);
+        }
+    }
+
+    /// Compute milliseconds consumed so far.
+    pub fn spent_ms(&self) -> u64 {
+        self.spent_ms.load(Ordering::Relaxed)
+    }
+
+    /// The configured budget, when metered.
+    pub fn budget_ms(&self) -> Option<u64> {
+        self.budget_ms
+    }
+}
+
+/// The key→tenant table.
+pub struct AuthTable {
+    by_key: HashMap<String, Arc<TenantAccount>>,
+    accounts: Vec<Arc<TenantAccount>>,
+}
+
+impl AuthTable {
+    /// Build the table. Later duplicates of the same key shadow earlier
+    /// ones (configuration bugs surface in tests, not at runtime).
+    pub fn new(specs: &[TenantSpec]) -> AuthTable {
+        let mut by_key = HashMap::new();
+        let mut accounts = Vec::new();
+        for spec in specs {
+            let account = Arc::new(TenantAccount::new(spec));
+            by_key.insert(spec.api_key.clone(), Arc::clone(&account));
+            accounts.push(account);
+        }
+        AuthTable { by_key, accounts }
+    }
+
+    /// Extract and resolve the API key from a request head. Accepts
+    /// `Authorization: Bearer <key>` (preferred) and `X-Api-Key: <key>`.
+    pub fn authenticate(&self, head: &RequestHead) -> Result<&Arc<TenantAccount>, Reject> {
+        let key = head
+            .header("authorization")
+            .and_then(|v| v.strip_prefix("Bearer ").or_else(|| v.strip_prefix("bearer ")))
+            .or_else(|| head.header("x-api-key"))
+            .map(str::trim)
+            .filter(|k| !k.is_empty())
+            .ok_or(Reject::Unauthorized)?;
+        self.by_key.get(key).ok_or(Reject::Unauthorized)
+    }
+
+    /// Every configured account, in configuration order.
+    pub fn accounts(&self) -> &[Arc<TenantAccount>] {
+        &self.accounts
+    }
+
+    /// True when no tenants are configured (the gateway then runs open,
+    /// attributing all traffic to an implicit `"default"` tenant).
+    pub fn is_empty(&self) -> bool {
+        self.accounts.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::http::{ParseLimits, RequestParser};
+
+    fn head_with(header: &str) -> RequestHead {
+        let raw = format!("GET / HTTP/1.1\r\n{header}\r\n\r\n");
+        RequestParser::new(ParseLimits::default())
+            .feed(raw.as_bytes())
+            .expect("parse")
+            .expect("complete")
+            .head
+    }
+
+    #[test]
+    fn bearer_and_x_api_key_both_resolve() {
+        let table = AuthTable::new(&[TenantSpec::new("acme", "sk-acme")]);
+        let via_bearer = head_with("Authorization: Bearer sk-acme");
+        assert_eq!(table.authenticate(&via_bearer).expect("auth").name, "acme");
+        let via_header = head_with("X-Api-Key: sk-acme");
+        assert_eq!(table.authenticate(&via_header).expect("auth").name, "acme");
+        let wrong = head_with("Authorization: Bearer nope");
+        assert_eq!(table.authenticate(&wrong).unwrap_err(), Reject::Unauthorized);
+        let missing = head_with("Host: x");
+        assert_eq!(table.authenticate(&missing).unwrap_err(), Reject::Unauthorized);
+    }
+
+    #[test]
+    fn budget_exhaustion_outranks_rate_tokens() {
+        let spec = TenantSpec::new("t", "k").with_rate(100.0, 100.0).with_spend_budget_ms(10);
+        let table = AuthTable::new(&[spec]);
+        let account = &table.accounts()[0];
+        assert!(account.admit(0).is_ok());
+        account.charge_ms(10);
+        match account.admit(1) {
+            Err(Reject::BudgetExhausted { spent_ms: 10, budget_ms: 10 }) => {}
+            other => panic!("expected budget exhaustion, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn rate_limit_returns_retry_after() {
+        let spec = TenantSpec::new("t", "k").with_rate(1.0, 1.0);
+        let table = AuthTable::new(&[spec]);
+        let account = &table.accounts()[0];
+        assert!(account.admit(0).is_ok());
+        match account.admit(0) {
+            Err(Reject::RateLimited { retry_after }) => assert!(retry_after.as_millis() > 0),
+            other => panic!("expected rate limit, got {other:?}"),
+        }
+    }
+}

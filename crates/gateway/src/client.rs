@@ -1,0 +1,186 @@
+//! A minimal blocking HTTP/1.1 client for loopback use — the demo, the
+//! gateway bench, and the chaos/integration suites all speak to the
+//! gateway through this instead of hand-rolling sockets in five places.
+//!
+//! Deliberately small: keep-alive on one connection, `Content-Length`
+//! bodies only, read/write timeouts so a misbehaving *server* can never
+//! hang a test. Not a general-purpose client.
+
+use std::io::{Read, Write};
+use std::net::{SocketAddr, TcpStream};
+use std::time::Duration;
+
+use serde::Json;
+
+/// A parsed response.
+#[derive(Debug, Clone)]
+pub struct ClientResponse {
+    /// HTTP status code.
+    pub status: u16,
+    /// Lower-cased header names with their values, in wire order.
+    pub headers: Vec<(String, String)>,
+    /// The body, exactly `Content-Length` bytes.
+    pub body: Vec<u8>,
+}
+
+impl ClientResponse {
+    /// First header with this (case-insensitive) name.
+    pub fn header(&self, name: &str) -> Option<&str> {
+        let name = name.to_ascii_lowercase();
+        self.headers.iter().find(|(n, _)| *n == name).map(|(_, v)| v.as_str())
+    }
+
+    /// The body as UTF-8 (lossy).
+    pub fn body_str(&self) -> String {
+        String::from_utf8_lossy(&self.body).into_owned()
+    }
+
+    /// The body parsed as JSON, when it is JSON.
+    pub fn json(&self) -> Option<Json> {
+        serde_json::from_str(std::str::from_utf8(&self.body).ok()?).ok()
+    }
+
+    /// `error.code` from the standard gateway error body, when present.
+    pub fn error_code(&self) -> Option<String> {
+        self.json()?
+            .get("error")?
+            .get("code")?
+            .as_str()
+            .map(str::to_string)
+    }
+}
+
+/// One keep-alive connection to a gateway.
+pub struct HttpClient {
+    stream: TcpStream,
+    leftover: Vec<u8>,
+}
+
+impl HttpClient {
+    /// Connect with 5-second read/write timeouts.
+    pub fn connect(addr: SocketAddr) -> std::io::Result<HttpClient> {
+        HttpClient::connect_with_timeout(addr, Duration::from_secs(5))
+    }
+
+    /// Connect with explicit socket timeouts (applied to connect, read,
+    /// and write).
+    pub fn connect_with_timeout(
+        addr: SocketAddr,
+        timeout: Duration,
+    ) -> std::io::Result<HttpClient> {
+        let stream = TcpStream::connect_timeout(&addr, timeout)?;
+        stream.set_read_timeout(Some(timeout))?;
+        stream.set_write_timeout(Some(timeout))?;
+        stream.set_nodelay(true)?;
+        Ok(HttpClient { stream, leftover: Vec::new() })
+    }
+
+    /// The underlying socket (chaos tests use it to half-close, linger,
+    /// or abandon the connection mid-exchange).
+    pub fn stream(&self) -> &TcpStream {
+        &self.stream
+    }
+
+    /// Issue one request and read its response.
+    pub fn request(
+        &mut self,
+        method: &str,
+        path: &str,
+        headers: &[(&str, &str)],
+        body: &[u8],
+    ) -> std::io::Result<ClientResponse> {
+        let mut wire = format!("{method} {path} HTTP/1.1\r\nhost: gateway\r\n");
+        for (name, value) in headers {
+            wire.push_str(&format!("{name}: {value}\r\n"));
+        }
+        wire.push_str(&format!("content-length: {}\r\n\r\n", body.len()));
+        let mut bytes = wire.into_bytes();
+        bytes.extend_from_slice(body);
+        self.stream.write_all(&bytes)?;
+        self.read_response()
+    }
+
+    /// `GET` with optional auth headers.
+    pub fn get(&mut self, path: &str, headers: &[(&str, &str)]) -> std::io::Result<ClientResponse> {
+        self.request("GET", path, headers, b"")
+    }
+
+    /// `POST` a JSON body.
+    pub fn post_json(
+        &mut self,
+        path: &str,
+        headers: &[(&str, &str)],
+        body: &Json,
+    ) -> std::io::Result<ClientResponse> {
+        let mut all = vec![("content-type", "application/json")];
+        all.extend_from_slice(headers);
+        let encoded = serde_json::to_string(body)
+            .map_err(|e| std::io::Error::new(std::io::ErrorKind::InvalidData, e.to_string()))?;
+        self.request("POST", path, &all, encoded.as_bytes())
+    }
+
+    fn read_response(&mut self) -> std::io::Result<ClientResponse> {
+        let too_short =
+            || std::io::Error::new(std::io::ErrorKind::UnexpectedEof, "truncated response");
+        let malformed =
+            |what: &str| std::io::Error::new(std::io::ErrorKind::InvalidData, what.to_string());
+        let mut buf = std::mem::take(&mut self.leftover);
+        let mut chunk = [0u8; 4096];
+        let head_end = loop {
+            if let Some(pos) = find_double_crlf(&buf) {
+                break pos;
+            }
+            let n = self.stream.read(&mut chunk)?;
+            if n == 0 {
+                return Err(too_short());
+            }
+            buf.extend_from_slice(&chunk[..n]);
+        };
+        let head = std::str::from_utf8(&buf[..head_end])
+            .map_err(|_| malformed("non-UTF-8 response head"))?;
+        let mut lines = head.split("\r\n");
+        let status_line = lines.next().ok_or_else(|| malformed("empty response"))?;
+        let status: u16 = status_line
+            .split_whitespace()
+            .nth(1)
+            .and_then(|s| s.parse().ok())
+            .ok_or_else(|| malformed("bad status line"))?;
+        let mut headers = Vec::new();
+        let mut content_len = 0usize;
+        for line in lines {
+            let Some((name, value)) = line.split_once(':') else { continue };
+            let name = name.trim().to_ascii_lowercase();
+            let value = value.trim().to_string();
+            if name == "content-length" {
+                content_len = value.parse().map_err(|_| malformed("bad content-length"))?;
+            }
+            headers.push((name, value));
+        }
+        let body_start = head_end + 4;
+        while buf.len() < body_start + content_len {
+            let n = self.stream.read(&mut chunk)?;
+            if n == 0 {
+                return Err(too_short());
+            }
+            buf.extend_from_slice(&chunk[..n]);
+        }
+        let body = buf[body_start..body_start + content_len].to_vec();
+        self.leftover = buf[body_start + content_len..].to_vec();
+        Ok(ClientResponse { status, headers, body })
+    }
+}
+
+fn find_double_crlf(buf: &[u8]) -> Option<usize> {
+    buf.windows(4).position(|w| w == b"\r\n\r\n")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn finds_head_terminator() {
+        assert_eq!(find_double_crlf(b"HTTP/1.1 200 OK\r\na: b\r\n\r\nbody"), Some(21));
+        assert_eq!(find_double_crlf(b"partial\r\n"), None);
+    }
+}

@@ -1,0 +1,426 @@
+//! Incremental HTTP/1.1 request parsing and response encoding.
+//!
+//! The parser is a byte-budgeted state machine fed arbitrary chunks as
+//! they arrive off a socket: no chunk boundary can break it, and it never
+//! consumes bytes past the end of the request it is parsing (leftover
+//! bytes stay buffered for the next request on a keep-alive connection).
+//! Size limits are enforced *while* reading — a head that exceeds
+//! [`ParseLimits::max_head_bytes`] or a declared body over
+//! [`ParseLimits::max_body_bytes`] fails fast with a typed error instead
+//! of buffering an attacker's bytes — which is half of the slowloris
+//! defense (the other half, the time budget, lives in the connection
+//! loop that owns the socket).
+
+use std::fmt;
+
+/// Byte budgets enforced during parsing.
+#[derive(Debug, Clone, Copy)]
+pub struct ParseLimits {
+    /// Largest accepted request head (request line + headers + CRLFCRLF).
+    pub max_head_bytes: usize,
+    /// Largest accepted `Content-Length`.
+    pub max_body_bytes: usize,
+}
+
+impl Default for ParseLimits {
+    fn default() -> ParseLimits {
+        ParseLimits { max_head_bytes: 8 * 1024, max_body_bytes: 64 * 1024 }
+    }
+}
+
+/// Why a byte stream failed to parse as an HTTP/1.1 request.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ParseError {
+    /// The head grew past [`ParseLimits::max_head_bytes`] without
+    /// terminating — maps to `431`.
+    HeadersTooLarge {
+        /// The configured limit.
+        limit: usize,
+    },
+    /// The declared `Content-Length` exceeds
+    /// [`ParseLimits::max_body_bytes`] — maps to `413`.
+    BodyTooLarge {
+        /// The declared length.
+        declared: usize,
+        /// The configured limit.
+        limit: usize,
+    },
+    /// Structurally invalid request (bad request line, bad header, bad
+    /// `Content-Length` value) — maps to `400`.
+    Malformed(&'static str),
+    /// Valid HTTP the gateway deliberately does not speak (chunked
+    /// uploads, HTTP/2 preface, non-1.x versions) — maps to `501`.
+    Unsupported(&'static str),
+}
+
+impl fmt::Display for ParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ParseError::HeadersTooLarge { limit } => {
+                write!(f, "request head exceeds {limit} bytes")
+            }
+            ParseError::BodyTooLarge { declared, limit } => {
+                write!(f, "declared body of {declared} bytes exceeds {limit}")
+            }
+            ParseError::Malformed(what) => write!(f, "malformed request: {what}"),
+            ParseError::Unsupported(what) => write!(f, "unsupported: {what}"),
+        }
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+/// Parsed request line + headers.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RequestHead {
+    /// `GET`, `POST`, ... (verbatim, case-sensitive per RFC 9110).
+    pub method: String,
+    /// The request target, e.g. `/v1/infer`.
+    pub target: String,
+    /// Header `(name, value)` pairs in arrival order; names lowercased.
+    pub headers: Vec<(String, String)>,
+}
+
+impl RequestHead {
+    /// First value of `name` (ASCII case-insensitive lookup).
+    pub fn header(&self, name: &str) -> Option<&str> {
+        let name = name.to_ascii_lowercase();
+        self.headers.iter().find(|(k, _)| *k == name).map(|(_, v)| v.as_str())
+    }
+
+    /// True when the client asked for the connection to close after this
+    /// request (`Connection: close`; HTTP/1.1 defaults to keep-alive).
+    pub fn wants_close(&self) -> bool {
+        self.header("connection").is_some_and(|v| v.eq_ignore_ascii_case("close"))
+    }
+}
+
+/// One fully received request.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct HttpRequest {
+    /// Request line + headers.
+    pub head: RequestHead,
+    /// The body, exactly `Content-Length` bytes (empty when absent).
+    pub body: Vec<u8>,
+}
+
+enum State {
+    /// Accumulating head bytes, looking for the CRLFCRLF terminator.
+    Head,
+    /// Head parsed; accumulating exactly `remaining` body bytes.
+    Body { head: RequestHead, content_len: usize },
+}
+
+/// Incremental request parser. Feed it whatever chunks the socket
+/// produces; it yields at most one request per [`RequestParser::feed`]
+/// call and buffers any bytes past the request's end for the next one.
+pub struct RequestParser {
+    limits: ParseLimits,
+    buf: Vec<u8>,
+    state: State,
+}
+
+impl RequestParser {
+    /// A parser enforcing `limits`.
+    pub fn new(limits: ParseLimits) -> RequestParser {
+        RequestParser { limits, buf: Vec::new(), state: State::Head }
+    }
+
+    /// Bytes buffered but not yet consumed by a completed request. After
+    /// a request completes this is exactly the pipelined tail — the
+    /// parser never over-reads into the next request.
+    pub fn buffered(&self) -> usize {
+        self.buf.len()
+    }
+
+    /// True once at least one byte of the *current* request has arrived
+    /// (the connection loop uses this to distinguish an idle keep-alive
+    /// close from a mid-request disconnect).
+    pub fn mid_request(&self) -> bool {
+        !self.buf.is_empty() || matches!(self.state, State::Body { .. })
+    }
+
+    /// True once the current request's head is complete and body bytes
+    /// are being accumulated (the connection loop switches from the head
+    /// time budget to the body budget on this edge).
+    pub fn in_body(&self) -> bool {
+        matches!(self.state, State::Body { .. })
+    }
+
+    /// Feed a chunk. Returns `Ok(Some(request))` when a full request is
+    /// now available, `Ok(None)` when more bytes are needed. `advance`
+    /// may also complete a request from already-buffered bytes — call
+    /// [`RequestParser::advance`] with an empty chunk after a completed
+    /// request to drain pipelined input.
+    pub fn feed(&mut self, chunk: &[u8]) -> Result<Option<HttpRequest>, ParseError> {
+        self.buf.extend_from_slice(chunk);
+        self.advance()
+    }
+
+    /// Try to complete a request from the bytes already buffered.
+    pub fn advance(&mut self) -> Result<Option<HttpRequest>, ParseError> {
+        if let State::Head = self.state {
+            let Some(head_end) = find_head_end(&self.buf, self.limits.max_head_bytes) else {
+                if self.buf.len() > self.limits.max_head_bytes {
+                    return Err(ParseError::HeadersTooLarge {
+                        limit: self.limits.max_head_bytes,
+                    });
+                }
+                return Ok(None);
+            };
+            if head_end > self.limits.max_head_bytes {
+                return Err(ParseError::HeadersTooLarge { limit: self.limits.max_head_bytes });
+            }
+            let (head, content_len) = parse_head(&self.buf[..head_end])?;
+            if content_len > self.limits.max_body_bytes {
+                return Err(ParseError::BodyTooLarge {
+                    declared: content_len,
+                    limit: self.limits.max_body_bytes,
+                });
+            }
+            self.buf.drain(..head_end);
+            self.state = State::Body { head, content_len };
+        }
+        if let State::Body { content_len, .. } = &self.state {
+            if self.buf.len() < *content_len {
+                return Ok(None);
+            }
+            let State::Body { head, content_len } =
+                std::mem::replace(&mut self.state, State::Head)
+            else {
+                // Unreachable: the guard above matched `State::Body`.
+                return Ok(None);
+            };
+            let body: Vec<u8> = self.buf.drain(..content_len).collect();
+            return Ok(Some(HttpRequest { head, body }));
+        }
+        Ok(None)
+    }
+}
+
+/// Index one past the head terminator, searching only within the byte
+/// budget (plus terminator slack) so an endless header stream cannot make
+/// the scan itself unbounded.
+fn find_head_end(buf: &[u8], max_head: usize) -> Option<usize> {
+    let window = buf.len().min(max_head + 4);
+    buf[..window].windows(4).position(|w| w == b"\r\n\r\n").map(|p| p + 4)
+}
+
+/// Parse a complete head (everything through CRLFCRLF) into a
+/// [`RequestHead`] plus the declared content length.
+fn parse_head(bytes: &[u8]) -> Result<(RequestHead, usize), ParseError> {
+    let text = std::str::from_utf8(bytes)
+        .map_err(|_| ParseError::Malformed("head is not valid UTF-8"))?;
+    let mut lines = text.split("\r\n");
+    let request_line = lines.next().ok_or(ParseError::Malformed("empty head"))?;
+    let mut parts = request_line.split(' ');
+    let method = parts.next().unwrap_or("").to_string();
+    let target = parts.next().unwrap_or("").to_string();
+    let version = parts.next().unwrap_or("");
+    if method.is_empty() || !method.bytes().all(|b| b.is_ascii_uppercase()) {
+        return Err(ParseError::Malformed("bad method"));
+    }
+    if target.is_empty() || !target.starts_with('/') {
+        return Err(ParseError::Malformed("bad request target"));
+    }
+    if parts.next().is_some() {
+        return Err(ParseError::Malformed("bad request line"));
+    }
+    match version {
+        "HTTP/1.1" | "HTTP/1.0" => {}
+        v if v.starts_with("HTTP/") => return Err(ParseError::Unsupported("http version")),
+        _ => return Err(ParseError::Malformed("bad http version")),
+    }
+    let mut headers = Vec::new();
+    let mut content_len = 0usize;
+    for line in lines {
+        if line.is_empty() {
+            continue; // the blank line before CRLFCRLF
+        }
+        let Some((name, value)) = line.split_once(':') else {
+            return Err(ParseError::Malformed("header without colon"));
+        };
+        if name.is_empty() || name.contains(' ') {
+            return Err(ParseError::Malformed("bad header name"));
+        }
+        let name = name.to_ascii_lowercase();
+        let value = value.trim().to_string();
+        if name == "transfer-encoding" {
+            return Err(ParseError::Unsupported("transfer-encoding"));
+        }
+        if name == "content-length" {
+            content_len = value
+                .parse::<usize>()
+                .map_err(|_| ParseError::Malformed("bad content-length"))?;
+        }
+        headers.push((name, value));
+    }
+    Ok((RequestHead { method, target, headers }, content_len))
+}
+
+/// Canonical reason phrase for the statuses the gateway emits.
+pub fn reason_phrase(status: u16) -> &'static str {
+    match status {
+        200 => "OK",
+        400 => "Bad Request",
+        401 => "Unauthorized",
+        404 => "Not Found",
+        405 => "Method Not Allowed",
+        408 => "Request Timeout",
+        413 => "Content Too Large",
+        422 => "Unprocessable Content",
+        429 => "Too Many Requests",
+        431 => "Request Header Fields Too Large",
+        500 => "Internal Server Error",
+        501 => "Not Implemented",
+        503 => "Service Unavailable",
+        504 => "Gateway Timeout",
+        _ => "Unknown",
+    }
+}
+
+/// An HTTP response under construction.
+#[derive(Debug, Clone)]
+pub struct HttpResponse {
+    /// Status code.
+    pub status: u16,
+    /// Extra headers beyond the automatic `Content-Length`/`Content-Type`.
+    pub headers: Vec<(String, String)>,
+    /// `Content-Type` for the body.
+    pub content_type: &'static str,
+    /// Response body bytes.
+    pub body: Vec<u8>,
+}
+
+impl HttpResponse {
+    /// A JSON response.
+    pub fn json(status: u16, value: &serde::Json) -> HttpResponse {
+        let body = serde_json::to_string(value).unwrap_or_else(|_| "{}".to_string());
+        HttpResponse {
+            status,
+            headers: Vec::new(),
+            content_type: "application/json",
+            body: body.into_bytes(),
+        }
+    }
+
+    /// A plain-text response (used by `/metrics`).
+    pub fn text(status: u16, body: String) -> HttpResponse {
+        HttpResponse {
+            status,
+            headers: Vec::new(),
+            content_type: "text/plain; version=0.0.4",
+            body: body.into_bytes(),
+        }
+    }
+
+    /// Attach a header.
+    pub fn with_header(mut self, name: &str, value: String) -> HttpResponse {
+        self.headers.push((name.to_string(), value));
+        self
+    }
+
+    /// Serialize to wire bytes. `close` controls the `Connection` header.
+    pub fn encode(&self, close: bool) -> Vec<u8> {
+        let mut out = Vec::with_capacity(self.body.len() + 256);
+        out.extend_from_slice(
+            format!("HTTP/1.1 {} {}\r\n", self.status, reason_phrase(self.status)).as_bytes(),
+        );
+        out.extend_from_slice(format!("content-type: {}\r\n", self.content_type).as_bytes());
+        out.extend_from_slice(format!("content-length: {}\r\n", self.body.len()).as_bytes());
+        out.extend_from_slice(
+            if close { b"connection: close\r\n" } else { b"connection: keep-alive\r\n" },
+        );
+        for (name, value) in &self.headers {
+            out.extend_from_slice(format!("{name}: {value}\r\n").as_bytes());
+        }
+        out.extend_from_slice(b"\r\n");
+        out.extend_from_slice(&self.body);
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn parse_all(bytes: &[u8]) -> Result<Option<HttpRequest>, ParseError> {
+        RequestParser::new(ParseLimits::default()).feed(bytes)
+    }
+
+    #[test]
+    fn parses_simple_post() {
+        let raw = b"POST /v1/infer HTTP/1.1\r\nHost: x\r\nContent-Length: 4\r\n\r\nbody";
+        let req = parse_all(raw).expect("parse").expect("complete");
+        assert_eq!(req.head.method, "POST");
+        assert_eq!(req.head.target, "/v1/infer");
+        assert_eq!(req.head.header("host"), Some("x"));
+        assert_eq!(req.body, b"body");
+    }
+
+    #[test]
+    fn does_not_over_read_pipelined_tail() {
+        let raw = b"GET /v1/health HTTP/1.1\r\n\r\nGET /metrics HTTP/1.1\r\n\r\n";
+        let mut parser = RequestParser::new(ParseLimits::default());
+        let first = parser.feed(raw).expect("parse").expect("complete");
+        assert_eq!(first.head.target, "/v1/health");
+        let second = parser.advance().expect("parse").expect("pipelined");
+        assert_eq!(second.head.target, "/metrics");
+        assert_eq!(parser.buffered(), 0);
+    }
+
+    #[test]
+    fn split_anywhere_reassembles() {
+        let raw = b"POST /v1/infer HTTP/1.1\r\ncontent-length: 11\r\n\r\nhello world";
+        for split in 0..raw.len() {
+            let mut parser = RequestParser::new(ParseLimits::default());
+            assert_eq!(parser.feed(&raw[..split]).expect("prefix ok"), None, "split {split}");
+            let req = parser.feed(&raw[split..]).expect("suffix ok").expect("complete");
+            assert_eq!(req.body, b"hello world");
+        }
+    }
+
+    #[test]
+    fn head_and_body_limits_are_typed() {
+        let limits = ParseLimits { max_head_bytes: 64, max_body_bytes: 8 };
+        let mut parser = RequestParser::new(limits);
+        let huge = vec![b'a'; 100];
+        assert_eq!(
+            parser.feed(&huge),
+            Err(ParseError::HeadersTooLarge { limit: 64 }),
+        );
+        let mut parser = RequestParser::new(limits);
+        assert_eq!(
+            parser.feed(b"POST / HTTP/1.1\r\ncontent-length: 9\r\n\r\n"),
+            Err(ParseError::BodyTooLarge { declared: 9, limit: 8 }),
+        );
+    }
+
+    #[test]
+    fn rejects_chunked_and_bad_lines() {
+        assert_eq!(
+            parse_all(b"POST / HTTP/1.1\r\ntransfer-encoding: chunked\r\n\r\n"),
+            Err(ParseError::Unsupported("transfer-encoding")),
+        );
+        assert_eq!(
+            parse_all(b"POST / HTTP/2.0\r\n\r\n"),
+            Err(ParseError::Unsupported("http version")),
+        );
+        assert!(parse_all(b"get / HTTP/1.1\r\n\r\n").is_err());
+        assert!(parse_all(b"GET nothing HTTP/1.1\r\n\r\n").is_err());
+        assert!(parse_all(b"GET / HTTP/1.1\r\nbroken header\r\n\r\n").is_err());
+        assert!(parse_all(b"POST / HTTP/1.1\r\ncontent-length: ten\r\n\r\n").is_err());
+    }
+
+    #[test]
+    fn response_encoding_carries_status_and_length() {
+        let resp = HttpResponse::text(200, "ok".to_string())
+            .with_header("retry-after", "1".to_string());
+        let wire = String::from_utf8(resp.encode(true)).expect("utf8");
+        assert!(wire.starts_with("HTTP/1.1 200 OK\r\n"));
+        assert!(wire.contains("content-length: 2\r\n"));
+        assert!(wire.contains("connection: close\r\n"));
+        assert!(wire.contains("retry-after: 1\r\n"));
+        assert!(wire.ends_with("\r\nok"));
+    }
+}

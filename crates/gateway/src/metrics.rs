@@ -1,0 +1,117 @@
+//! Gateway observability: the `codes_gateway_*` metric family recorded
+//! into the shared [`codes_obs::Registry`] — and therefore served back
+//! out through the gateway's own `/metrics` endpoint.
+//!
+//! Every handle is registered once at gateway start; the per-connection
+//! and per-request hot paths only touch atomics.
+
+use std::sync::Arc;
+
+use codes_obs::{Counter, Gauge, Histogram, Registry};
+
+/// Lifetime accepted-connection counter.
+pub const CONNECTIONS: &str = "codes_gateway_connections_total";
+/// Currently open connections gauge.
+pub const OPEN_CONNECTIONS: &str = "codes_gateway_open_connections";
+/// Requests routed to a handler (`endpoint` label: infer / health /
+/// metrics / invalidate / other).
+pub const REQUESTS: &str = "codes_gateway_requests_total";
+/// Responses written (`status` label: the numeric HTTP status).
+pub const RESPONSES: &str = "codes_gateway_responses_total";
+/// Edge sheds (`reason` label: connection_limit / rate_limited /
+/// budget_exhausted / shutting_down).
+pub const SHED: &str = "codes_gateway_shed_total";
+/// Protocol-level failures (`kind` label: bad_request / timeout_head /
+/// timeout_body / headers_too_large / body_too_large / not_implemented).
+pub const PROTOCOL_ERRORS: &str = "codes_gateway_protocol_errors_total";
+/// Clients that vanished mid-request or mid-response (`phase` label:
+/// request / response).
+pub const CLIENT_GONE: &str = "codes_gateway_client_gone_total";
+/// In-flight `/v1/infer` requests gauge (admitted, not yet resolved).
+pub const IN_FLIGHT: &str = "codes_gateway_in_flight";
+/// End-to-end request latency histogram (`endpoint` label).
+pub const REQUEST_DURATION: &str = "codes_gateway_request_duration_seconds";
+/// Audit journal lines written.
+pub const JOURNAL_LINES: &str = "codes_gateway_journal_lines_total";
+/// Infer outcomes (`code` label: `ok`, or the §4i error code, or
+/// `client_gone`). The chaos suite asserts Σ(outcomes) equals admitted
+/// infer requests — exactly-once resolution, observable from outside.
+pub const INFER_OUTCOMES: &str = "codes_gateway_infer_outcomes_total";
+
+/// Why the edge refused work before the router saw it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum EdgeShed {
+    /// Global connection cap reached.
+    ConnectionLimit,
+    /// Tenant token bucket empty.
+    RateLimited,
+    /// Tenant spend budget exhausted.
+    BudgetExhausted,
+    /// Gateway draining.
+    ShuttingDown,
+}
+
+/// Pre-registered handles into the shared registry.
+pub(crate) struct GatewayMetrics {
+    pub(crate) connections: Arc<Counter>,
+    pub(crate) open_connections: Arc<Gauge>,
+    pub(crate) in_flight: Arc<Gauge>,
+    pub(crate) journal_lines: Arc<Counter>,
+    shed_connection_limit: Arc<Counter>,
+    shed_rate_limited: Arc<Counter>,
+    shed_budget_exhausted: Arc<Counter>,
+    shed_shutting_down: Arc<Counter>,
+    registry: Arc<Registry>,
+}
+
+impl GatewayMetrics {
+    pub(crate) fn new(registry: &Arc<Registry>) -> GatewayMetrics {
+        GatewayMetrics {
+            connections: registry.counter(CONNECTIONS, &[]),
+            open_connections: registry.gauge(OPEN_CONNECTIONS, &[]),
+            in_flight: registry.gauge(IN_FLIGHT, &[]),
+            journal_lines: registry.counter(JOURNAL_LINES, &[]),
+            shed_connection_limit: registry.counter(SHED, &[("reason", "connection_limit")]),
+            shed_rate_limited: registry.counter(SHED, &[("reason", "rate_limited")]),
+            shed_budget_exhausted: registry.counter(SHED, &[("reason", "budget_exhausted")]),
+            shed_shutting_down: registry.counter(SHED, &[("reason", "shutting_down")]),
+            registry: Arc::clone(registry),
+        }
+    }
+
+    pub(crate) fn shed(&self, reason: EdgeShed) -> &Counter {
+        match reason {
+            EdgeShed::ConnectionLimit => &self.shed_connection_limit,
+            EdgeShed::RateLimited => &self.shed_rate_limited,
+            EdgeShed::BudgetExhausted => &self.shed_budget_exhausted,
+            EdgeShed::ShuttingDown => &self.shed_shutting_down,
+        }
+    }
+
+    /// Label-bearing series are registered on demand (status codes and
+    /// outcome codes form an open set); the registry caches handles by
+    /// name+labels, so steady-state traffic still only touches atomics.
+    pub(crate) fn request(&self, endpoint: &str) -> Arc<Counter> {
+        self.registry.counter(REQUESTS, &[("endpoint", endpoint)])
+    }
+
+    pub(crate) fn response(&self, status: u16) -> Arc<Counter> {
+        self.registry.counter(RESPONSES, &[("status", &status.to_string())])
+    }
+
+    pub(crate) fn protocol_error(&self, kind: &str) -> Arc<Counter> {
+        self.registry.counter(PROTOCOL_ERRORS, &[("kind", kind)])
+    }
+
+    pub(crate) fn client_gone(&self, phase: &str) -> Arc<Counter> {
+        self.registry.counter(CLIENT_GONE, &[("phase", phase)])
+    }
+
+    pub(crate) fn duration(&self, endpoint: &str) -> Arc<Histogram> {
+        self.registry.histogram(REQUEST_DURATION, &[("endpoint", endpoint)])
+    }
+
+    pub(crate) fn infer_outcome(&self, code: &str) -> Arc<Counter> {
+        self.registry.counter(INFER_OUTCOMES, &[("code", code)])
+    }
+}

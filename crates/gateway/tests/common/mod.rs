@@ -1,0 +1,157 @@
+//! Shared helpers for the gateway integration suites.
+// Each test binary uses a different subset of these helpers.
+#![allow(dead_code)]
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Arc, Once};
+use std::time::Duration;
+
+use codes::{CacheSettings, InferenceRequest, SystemCache};
+use codes_gateway::{Gateway, GatewayConfig, TenantSpec};
+use codes_router::{Router, RouterConfig, ShardSpec, TenantConfig};
+use codes_serve::pool::Backend;
+use codes_serve::{BackendReply, BreakerConfig, ServeConfig};
+use sqlengine::Backoff;
+
+/// Keep injected panics out of test output without hiding real ones.
+pub fn silence_injected_panics() {
+    static HOOK: Once = Once::new();
+    HOOK.call_once(|| {
+        let default_hook = std::panic::take_hook();
+        std::panic::set_hook(Box::new(move |info| {
+            let injected = info
+                .payload()
+                .downcast_ref::<String>()
+                .is_some_and(|s| s.contains("injected fault"))
+                || info
+                    .payload()
+                    .downcast_ref::<&str>()
+                    .is_some_and(|s| s.contains("injected fault"));
+            if !injected {
+                default_hook(info);
+            }
+        }));
+    });
+}
+
+/// A scriptable backend: the *question* selects the behavior, so tests
+/// drive every failure mode over plain HTTP.
+///
+/// * `"panic: ..."` — panics with an injected-fault marker.
+/// * `"err:<kind>: ..."` — returns the named `sqlengine::Error` kind
+///   (`parse`, `unsupported`, `budget`, `internal`, ...).
+/// * `"sleep:<ms>: ..."` — sleeps before answering (plus the base delay).
+/// * anything else — answers `SELECT '<question>'`.
+pub struct ScriptedBackend {
+    /// Base per-inference delay.
+    pub delay: Duration,
+    /// Real (non-cached) inference invocations.
+    pub calls: Arc<AtomicUsize>,
+}
+
+impl ScriptedBackend {
+    pub fn new(delay: Duration) -> ScriptedBackend {
+        ScriptedBackend { delay, calls: Arc::new(AtomicUsize::new(0)) }
+    }
+}
+
+impl Backend for ScriptedBackend {
+    fn infer(
+        &self,
+        request: &InferenceRequest,
+        _id: u64,
+        _config: &codes::Config,
+    ) -> Result<BackendReply, sqlengine::Error> {
+        self.calls.fetch_add(1, Ordering::Relaxed);
+        if !self.delay.is_zero() {
+            std::thread::sleep(self.delay);
+        }
+        let q = request.question.as_str();
+        if q.starts_with("panic:") {
+            panic!("injected fault: scripted backend panic");
+        }
+        if let Some(rest) = q.strip_prefix("err:") {
+            let kind = rest.split(':').next().unwrap_or("");
+            let msg = "scripted failure".to_string();
+            return Err(match kind {
+                "lex" => sqlengine::Error::Lex(msg),
+                "parse" => sqlengine::Error::Parse(msg),
+                "bind" => sqlengine::Error::Bind(msg),
+                "catalog" => sqlengine::Error::Catalog(msg),
+                "type" => sqlengine::Error::Type(msg),
+                "exec" => sqlengine::Error::Exec(msg),
+                "unsupported" => sqlengine::Error::Unsupported(msg),
+                "unknown_table" => sqlengine::Error::UnknownTable(msg),
+                "budget" => sqlengine::Error::BudgetExceeded {
+                    resource: sqlengine::Resource::Time,
+                    spent: 2,
+                    limit: 1,
+                },
+                _ => sqlengine::Error::Internal(msg),
+            });
+        }
+        if let Some(rest) = q.strip_prefix("sleep:") {
+            let ms: u64 = rest
+                .split(':')
+                .next()
+                .and_then(|s| s.parse().ok())
+                .unwrap_or(0);
+            std::thread::sleep(Duration::from_millis(ms));
+        }
+        Ok(BackendReply {
+            sql: format!("SELECT '{q}'"),
+            prompt_tokens: 1,
+            ..BackendReply::default()
+        })
+    }
+}
+
+/// A small fast router (one shard, shard-local cache) over an isolated
+/// registry, suitable for driving through the gateway.
+pub fn test_router(backend_delay: Duration, tenants: &[&str]) -> Arc<Router> {
+    let registry = Arc::new(codes_obs::Registry::new());
+    let serve = ServeConfig {
+        workers: 3,
+        queue_capacity: 64,
+        default_deadline: Duration::from_secs(10),
+        cache: Some(Arc::new(SystemCache::with_registry(&registry, CacheSettings::default()))),
+        // Tests script failures on purpose; keep the breaker from turning
+        // deliberate engine errors into circuit_open sheds.
+        breaker: BreakerConfig {
+            failure_threshold: 10_000,
+            backoff: Backoff::new(Duration::from_millis(10), Duration::from_millis(80), 0xB0B),
+        },
+        ..ServeConfig::default()
+    };
+    let backend: Arc<dyn Backend> = Arc::new(ScriptedBackend::new(backend_delay));
+    let config = RouterConfig {
+        tenants: tenants.iter().map(|t| TenantConfig::new(*t, 1)).collect(),
+        tenant_queue_capacity: 64,
+        ..RouterConfig::default()
+    };
+    Arc::new(Router::start_with_registry(
+        vec![ShardSpec::new(backend, serve)],
+        config,
+        registry,
+    ))
+}
+
+/// A gateway config with short budgets so fault tests run in milliseconds
+/// rather than the production-sized defaults.
+pub fn fast_config(tenants: Vec<TenantSpec>) -> GatewayConfig {
+    GatewayConfig {
+        read_slice: Duration::from_millis(5),
+        write_timeout: Duration::from_millis(500),
+        head_budget: Duration::from_millis(250),
+        body_budget: Duration::from_millis(250),
+        idle_keep_alive: Duration::from_secs(5),
+        tenants,
+        ..GatewayConfig::default()
+    }
+}
+
+/// Start a gateway over a fresh one-shard router.
+pub fn start_gateway(config: GatewayConfig, tenants: &[&str]) -> Gateway {
+    let router = test_router(Duration::from_millis(1), tenants);
+    Gateway::start(router, config).expect("gateway starts")
+}

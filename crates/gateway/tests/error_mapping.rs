@@ -1,0 +1,161 @@
+//! Exhaustive assertion of the DESIGN.md §4i error→HTTP mapping: every
+//! `codes::Error` variant, every `sqlengine::Error` kind, and every
+//! gateway `Reject` travels as exactly the documented `(status, code,
+//! retry-after)` triple. A new variant that misses the table fails here,
+//! not in production.
+
+use std::time::Duration;
+
+use codes_gateway::{map_serve_error, Reject};
+
+/// Every engine error kind with a constructor, mirrored from
+/// `sqlengine::Error::kind`.
+fn engine_errors() -> Vec<sqlengine::Error> {
+    let msg = || "x".to_string();
+    vec![
+        sqlengine::Error::Lex(msg()),
+        sqlengine::Error::Parse(msg()),
+        sqlengine::Error::Bind(msg()),
+        sqlengine::Error::Catalog(msg()),
+        sqlengine::Error::Type(msg()),
+        sqlengine::Error::Exec(msg()),
+        sqlengine::Error::Unsupported(msg()),
+        sqlengine::Error::UnknownTable(msg()),
+        sqlengine::Error::BudgetExceeded {
+            resource: sqlengine::Resource::Time,
+            spent: 2,
+            limit: 1,
+        },
+        sqlengine::Error::Internal(msg()),
+    ]
+}
+
+/// Every non-engine `codes::Error` variant. Updating the enum without
+/// updating this list trips the exhaustiveness check below.
+fn serve_errors() -> Vec<codes::Error> {
+    vec![
+        codes::Error::Overloaded { queue_depth: 8, capacity: 8 },
+        codes::Error::CircuitOpen {
+            db_id: "bank".to_string(),
+            retry_after: Duration::from_millis(250),
+        },
+        codes::Error::DeadlineExceeded {
+            queued: Duration::from_millis(120),
+            budget: Duration::from_millis(100),
+        },
+        codes::Error::WorkerPanic("boom".to_string()),
+        codes::Error::WorkerWedged { stalled: Duration::from_secs(1) },
+        codes::Error::ShuttingDown,
+        codes::Error::UnknownDatabase { db_id: "nowhere".to_string() },
+    ]
+}
+
+#[test]
+fn serve_error_table_is_total_and_exact() {
+    // (kind, expected status, expected code, has retry-after)
+    let expected: &[(&str, u16, &str, bool)] = &[
+        ("overloaded", 503, "overloaded", true),
+        ("circuit_open", 503, "circuit_open", true),
+        ("deadline", 504, "deadline", false),
+        ("worker_panic", 500, "worker_panic", false),
+        ("worker_wedged", 500, "worker_wedged", false),
+        ("shutting_down", 503, "shutting_down", true),
+        ("unknown_database", 404, "unknown_database", false),
+    ];
+    let errors = serve_errors();
+    assert_eq!(errors.len(), expected.len(), "table and variant list in lockstep");
+    for (err, (kind, status, code, retryable)) in errors.iter().zip(expected) {
+        assert_eq!(err.kind(), *kind, "variant order matches table");
+        let wire = map_serve_error(err);
+        assert_eq!(wire.status, *status, "{kind}");
+        assert_eq!(wire.code, *code, "{kind}");
+        assert_eq!(wire.retry_after.is_some(), *retryable, "{kind}");
+    }
+    // The CircuitOpen hint is the breaker's, not a canned constant.
+    let wire = map_serve_error(&errors[1]);
+    assert_eq!(wire.retry_after, Some(Duration::from_millis(250)));
+}
+
+#[test]
+fn engine_error_table_is_total_and_exact() {
+    let expected: &[(&str, u16, &str)] = &[
+        ("lex", 422, "engine_lex"),
+        ("parse", 422, "engine_parse"),
+        ("bind", 422, "engine_bind"),
+        ("catalog", 422, "engine_catalog"),
+        ("type", 422, "engine_type"),
+        ("exec", 422, "engine_exec"),
+        ("unsupported", 422, "engine_unsupported"),
+        ("unknown_table", 404, "engine_unknown_table"),
+        ("budget", 504, "engine_budget"),
+        ("internal", 500, "engine_internal"),
+    ];
+    let errors = engine_errors();
+    assert_eq!(errors.len(), expected.len(), "every engine kind is in the table");
+    for (engine_err, (kind, status, code)) in errors.into_iter().zip(expected) {
+        assert_eq!(engine_err.kind(), *kind, "variant order matches table");
+        let wire = map_serve_error(&codes::Error::Engine(engine_err));
+        assert_eq!(wire.status, *status, "engine kind {kind}");
+        assert_eq!(wire.code, *code, "engine kind {kind}");
+        assert!(wire.retry_after.is_none(), "engine failures carry no retry hint");
+    }
+}
+
+#[test]
+fn reject_table_is_total_and_exact() {
+    // (reject, status, code, has retry-after)
+    let cases: Vec<(Reject, u16, &str, bool)> = vec![
+        (Reject::BadRequest("x".to_string()), 400, "bad_request", false),
+        (Reject::Unauthorized, 401, "unauthorized", false),
+        (
+            Reject::RateLimited { retry_after: Duration::from_millis(300) },
+            429,
+            "rate_limited",
+            true,
+        ),
+        (Reject::BudgetExhausted { spent_ms: 5, budget_ms: 4 }, 429, "budget_exhausted", false),
+        (Reject::NotFound, 404, "not_found", false),
+        (Reject::MethodNotAllowed, 405, "method_not_allowed", false),
+        (Reject::Timeout { phase: "head" }, 408, "request_timeout", false),
+        (Reject::BodyTooLarge { declared: 10, limit: 5 }, 413, "body_too_large", false),
+        (Reject::HeadersTooLarge { limit: 5 }, 431, "headers_too_large", false),
+        (Reject::Unimplemented("chunked"), 501, "not_implemented", false),
+        (Reject::ConnectionLimit { open: 3, max: 3 }, 503, "connection_limit", true),
+        (Reject::ShuttingDown, 503, "shutting_down", true),
+    ];
+    for (reject, status, code, retryable) in &cases {
+        assert_eq!(reject.status(), *status, "{code}");
+        assert_eq!(reject.code(), *code);
+        assert_eq!(reject.retry_after().is_some(), *retryable, "{code}");
+        // The rendered response matches its own classification and
+        // carries the machine-readable code in the standard body shape.
+        let response = reject.response();
+        assert_eq!(response.status, *status, "{code}");
+        let body = String::from_utf8(response.body.clone()).expect("utf-8 body");
+        let json = serde_json::from_str(&body).expect("json body");
+        assert_eq!(
+            json.get("error").and_then(|e| e.get("code")).and_then(serde::Json::as_str),
+            Some(*code)
+        );
+        let has_header = response.headers.iter().any(|(name, _)| name == "retry-after");
+        assert_eq!(has_header, *retryable, "{code}: Retry-After header presence");
+    }
+    // All codes distinct — no two failures are indistinguishable on the
+    // wire.
+    let codes: std::collections::HashSet<&str> = cases.iter().map(|(r, ..)| r.code()).collect();
+    assert_eq!(codes.len(), cases.len());
+}
+
+#[test]
+fn status_codes_stay_within_documented_families() {
+    // Client-caused failures are 4xx; service-side are 5xx; nothing maps
+    // to a success status.
+    for err in serve_errors() {
+        let wire = map_serve_error(&err);
+        assert!((400..600).contains(&wire.status), "{}: {}", err.kind(), wire.status);
+    }
+    for engine_err in engine_errors() {
+        let wire = map_serve_error(&codes::Error::Engine(engine_err));
+        assert!((400..600).contains(&wire.status), "{}", wire.status);
+    }
+}

@@ -1,0 +1,316 @@
+//! End-to-end gateway behavior over real sockets: the four endpoints,
+//! auth and quota enforcement, error mapping on the wire, keep-alive,
+//! cache warm/invalidate round-trips, the audit journal, and graceful
+//! shutdown draining in-flight work.
+
+mod common;
+
+use std::time::Duration;
+
+use codes_gateway::{Gateway, HttpClient, TenantSpec};
+use common::{fast_config, start_gateway, test_router};
+use serde::Json;
+
+fn infer_body(db: &str, question: &str) -> Json {
+    Json::Obj(vec![
+        ("db_id".to_string(), Json::Str(db.to_string())),
+        ("question".to_string(), Json::Str(question.to_string())),
+    ])
+}
+
+#[test]
+fn infer_health_metrics_and_invalidate_round_trip() {
+    let gateway = start_gateway(fast_config(Vec::new()), &[]);
+    let mut client = HttpClient::connect(gateway.local_addr()).expect("connect");
+
+    // Health first: a fresh gateway is ready.
+    let health = client.get("/v1/health", &[]).expect("health");
+    assert_eq!(health.status, 200);
+    let health_json = health.json().expect("health json");
+    assert_eq!(health_json.get("ready").and_then(Json::as_bool), Some(true));
+    assert_eq!(health_json.get("draining").and_then(Json::as_bool), Some(false));
+
+    // Cold inference.
+    let resp = client
+        .post_json("/v1/infer", &[], &infer_body("bank", "list accounts"))
+        .expect("infer");
+    assert_eq!(resp.status, 200, "body: {}", resp.body_str());
+    let body = resp.json().expect("infer json");
+    assert_eq!(body.get("sql").and_then(Json::as_str), Some("SELECT 'list accounts'"));
+    assert_eq!(body.get("cached").and_then(Json::as_bool), Some(false));
+    assert_eq!(body.get("tenant").and_then(Json::as_str), Some("default"));
+
+    // Same question again: served from the shard-local cache.
+    let warm = client
+        .post_json("/v1/infer", &[], &infer_body("bank", "list accounts"))
+        .expect("warm infer");
+    assert_eq!(warm.status, 200);
+    assert_eq!(warm.json().expect("json").get("cached").and_then(Json::as_bool), Some(true));
+
+    // Invalidate the database: the generation bumps and the next hit is
+    // cold again.
+    let inv = client
+        .post_json(
+            "/v1/invalidate",
+            &[],
+            &Json::Obj(vec![("db_id".to_string(), Json::Str("bank".to_string()))]),
+        )
+        .expect("invalidate");
+    assert_eq!(inv.status, 200, "body: {}", inv.body_str());
+    assert!(inv.json().expect("json").get("generation").and_then(Json::as_i64).is_some());
+    let cold = client
+        .post_json("/v1/infer", &[], &infer_body("bank", "list accounts"))
+        .expect("re-infer");
+    assert_eq!(cold.json().expect("json").get("cached").and_then(Json::as_bool), Some(false));
+
+    // Metrics exposes the gateway family alongside the router's.
+    let metrics = client.get("/metrics", &[]).expect("metrics");
+    assert_eq!(metrics.status, 200);
+    let text = metrics.body_str();
+    assert!(text.contains("codes_gateway_connections_total 1"), "{text}");
+    assert!(text.contains("codes_gateway_requests_total{endpoint=\"infer\"} 3"), "{text}");
+    assert!(text.contains("codes_gateway_infer_outcomes_total{code=\"ok\"} 3"), "{text}");
+    assert!(text.contains("codes_router_submitted_total"), "{text}");
+
+    let stats = gateway.shutdown();
+    assert_eq!(stats.infer_admitted, stats.infer_resolved);
+    assert_eq!(stats.accepted_connections, 1);
+}
+
+#[test]
+fn unknown_routes_and_methods_are_typed() {
+    let gateway = start_gateway(fast_config(Vec::new()), &[]);
+    let mut client = HttpClient::connect(gateway.local_addr()).expect("connect");
+    let missing = client.get("/nope", &[]).expect("404");
+    assert_eq!(missing.status, 404);
+    assert_eq!(missing.error_code().as_deref(), Some("not_found"));
+    let wrong_method = client.get("/v1/infer", &[]).expect("405");
+    assert_eq!(wrong_method.status, 405);
+    assert_eq!(wrong_method.error_code().as_deref(), Some("method_not_allowed"));
+    let bad_json = client
+        .request("POST", "/v1/infer", &[], b"{not json")
+        .expect("400");
+    assert_eq!(bad_json.status, 400);
+    assert_eq!(bad_json.error_code().as_deref(), Some("bad_request"));
+    let no_question = client
+        .request("POST", "/v1/infer", &[], br#"{"db_id":"bank"}"#)
+        .expect("400");
+    assert_eq!(no_question.status, 400);
+}
+
+#[test]
+fn engine_failures_map_onto_the_wire() {
+    let gateway = start_gateway(fast_config(Vec::new()), &[]);
+    let mut client = HttpClient::connect(gateway.local_addr()).expect("connect");
+    for (question, status, code) in [
+        ("err:parse: broken", 422, "engine_parse"),
+        ("err:unsupported: window fns", 422, "engine_unsupported"),
+        ("err:unknown_table: ghosts", 404, "engine_unknown_table"),
+        ("err:budget: slow", 504, "engine_budget"),
+        ("err:internal: bug", 500, "engine_internal"),
+    ] {
+        let resp = client
+            .post_json("/v1/infer", &[], &infer_body("bank", question))
+            .expect("infer");
+        assert_eq!(resp.status, status, "question {question}: {}", resp.body_str());
+        assert_eq!(resp.error_code().as_deref(), Some(code), "question {question}");
+    }
+    let stats = gateway.shutdown();
+    // Failures still resolve their tickets exactly once.
+    assert_eq!(stats.infer_admitted, 5);
+    assert_eq!(stats.infer_resolved, 5);
+}
+
+#[test]
+fn auth_rate_limits_and_budgets_gate_the_router() {
+    let tenants = vec![
+        TenantSpec::new("acme", "sk-acme").with_rate(1000.0, 1000.0),
+        // Negligible refill: only the burst of 2 admits, regardless of
+        // how slowly the test machine issues the three requests.
+        TenantSpec::new("tiny", "sk-tiny").with_rate(0.001, 2.0),
+        TenantSpec::new("broke", "sk-broke").with_spend_budget_ms(1),
+    ];
+    let router = test_router(Duration::from_millis(5), &["acme", "tiny", "broke"]);
+    let gateway = Gateway::start(router, fast_config(tenants)).expect("start");
+    let mut client = HttpClient::connect(gateway.local_addr()).expect("connect");
+
+    // No key → 401; wrong key → 401.
+    let anon = client
+        .post_json("/v1/infer", &[], &infer_body("bank", "q"))
+        .expect("anon");
+    assert_eq!(anon.status, 401);
+    assert_eq!(anon.error_code().as_deref(), Some("unauthorized"));
+    let wrong = client
+        .post_json("/v1/infer", &[("authorization", "Bearer nope")], &infer_body("bank", "q"))
+        .expect("wrong");
+    assert_eq!(wrong.status, 401);
+
+    // Valid key works, via both header styles.
+    let ok = client
+        .post_json("/v1/infer", &[("authorization", "Bearer sk-acme")], &infer_body("bank", "q"))
+        .expect("ok");
+    assert_eq!(ok.status, 200, "{}", ok.body_str());
+    assert_eq!(ok.json().expect("json").get("tenant").and_then(Json::as_str), Some("acme"));
+    let ok2 = client
+        .post_json("/v1/infer", &[("x-api-key", "sk-acme")], &infer_body("bank", "q2"))
+        .expect("ok2");
+    assert_eq!(ok2.status, 200);
+
+    // Burst of 2 exhausts tiny's bucket; the third answer is a typed 429
+    // with a Retry-After hint.
+    let mut limited = 0;
+    for i in 0..3 {
+        let resp = client
+            .post_json(
+                "/v1/infer",
+                &[("x-api-key", "sk-tiny")],
+                &infer_body("bank", &format!("tiny q{i}")),
+            )
+            .expect("tiny");
+        if resp.status == 429 {
+            limited += 1;
+            assert_eq!(resp.error_code().as_deref(), Some("rate_limited"));
+            assert!(resp.header("retry-after").is_some(), "429 carries Retry-After");
+        }
+    }
+    assert_eq!(limited, 1, "exactly the over-burst request is shed");
+
+    // broke's 1ms budget dies after one real (non-cached) inference.
+    let first = client
+        .post_json("/v1/infer", &[("x-api-key", "sk-broke")], &infer_body("bank", "spendy"))
+        .expect("first");
+    assert_eq!(first.status, 200, "{}", first.body_str());
+    let second = client
+        .post_json("/v1/infer", &[("x-api-key", "sk-broke")], &infer_body("bank", "more"))
+        .expect("second");
+    assert_eq!(second.status, 429, "{}", second.body_str());
+    assert_eq!(second.error_code().as_deref(), Some("budget_exhausted"));
+
+    // Cached hits charge nothing: acme re-asking its warm question does
+    // not move the spend needle for broke's separate account, and the
+    // sheds show up in the gateway metrics.
+    let metrics = client.get("/metrics", &[]).expect("metrics").body_str();
+    assert!(metrics.contains("codes_gateway_shed_total{reason=\"rate_limited\"} 1"), "{metrics}");
+    assert!(
+        metrics.contains("codes_gateway_shed_total{reason=\"budget_exhausted\"} 1"),
+        "{metrics}"
+    );
+    drop(gateway);
+}
+
+#[test]
+fn keep_alive_and_pipelining_share_one_socket() {
+    use std::io::{Read, Write};
+    let gateway = start_gateway(fast_config(Vec::new()), &[]);
+    let mut stream = std::net::TcpStream::connect(gateway.local_addr()).expect("connect");
+    stream.set_read_timeout(Some(Duration::from_secs(5))).expect("timeout");
+    // Two back-to-back requests in one write: both must answer, in order,
+    // without the parser over-reading the second during the first.
+    let one = b"GET /v1/health HTTP/1.1\r\nhost: x\r\n\r\n";
+    let two = b"GET /metrics HTTP/1.1\r\nhost: x\r\nconnection: close\r\n\r\n";
+    let mut wire = Vec::new();
+    wire.extend_from_slice(one);
+    wire.extend_from_slice(two);
+    stream.write_all(&wire).expect("write");
+    let mut all = Vec::new();
+    stream.read_to_end(&mut all).expect("read");
+    let text = String::from_utf8_lossy(&all);
+    let responses = text.matches("HTTP/1.1 200").count();
+    assert_eq!(responses, 2, "{text}");
+    assert!(text.contains("codes_gateway_requests_total"), "{text}");
+    drop(gateway);
+}
+
+#[test]
+fn audit_journal_records_every_authenticated_attempt() {
+    let dir = std::env::temp_dir().join("codes-gateway-basic-journal");
+    std::fs::create_dir_all(&dir).expect("mkdir");
+    let path = dir.join(format!("audit-{}.jsonl", std::process::id()));
+    let _ = std::fs::remove_file(&path);
+
+    let mut config = fast_config(vec![TenantSpec::new("acme", "sk-acme")]);
+    config.journal_path = Some(path.clone());
+    let router = test_router(Duration::from_millis(1), &["acme"]);
+    let gateway = Gateway::start(router, config).expect("start");
+    let mut client = HttpClient::connect(gateway.local_addr()).expect("connect");
+
+    let auth = [("x-api-key", "sk-acme")];
+    assert_eq!(
+        client.post_json("/v1/infer", &auth, &infer_body("bank", "q")).expect("ok").status,
+        200
+    );
+    assert_eq!(
+        client
+            .post_json("/v1/infer", &auth, &infer_body("bank", "err:parse: x"))
+            .expect("parse")
+            .status,
+        422
+    );
+    // Unauthenticated attempts never reach the journal.
+    assert_eq!(
+        client.post_json("/v1/infer", &[], &infer_body("bank", "q")).expect("anon").status,
+        401
+    );
+    let stats = gateway.shutdown();
+    assert_eq!(stats.journal_records, 2);
+
+    let (_, records) = codes_gateway::AuditJournal::open(&path).expect("reopen journal");
+    assert_eq!(records.len(), 2);
+    assert_eq!(records[0].code, "ok");
+    assert_eq!(records[0].status, 200);
+    assert_eq!(records[0].tenant, "acme");
+    assert_eq!(records[1].code, "engine_parse");
+    assert_eq!(records[1].status, 422);
+    assert_eq!(records[0].seq + 1, records[1].seq);
+    let _ = std::fs::remove_file(&path);
+}
+
+#[test]
+fn graceful_shutdown_drains_in_flight_and_refuses_new_work() {
+    let router = test_router(Duration::from_millis(1), &[]);
+    let gateway = Gateway::start(router, fast_config(Vec::new())).expect("start");
+    let addr = gateway.local_addr();
+
+    // Park several slow inferences in flight, then shut down while they
+    // run: every one must still resolve with a real answer.
+    let mut workers = Vec::new();
+    for i in 0..4 {
+        workers.push(std::thread::spawn(move || {
+            let mut client = HttpClient::connect(addr).expect("connect");
+            client
+                .post_json(
+                    "/v1/infer",
+                    &[],
+                    &Json::Obj(vec![
+                        ("db_id".to_string(), Json::Str("bank".to_string())),
+                        ("question".to_string(), Json::Str(format!("sleep:300: q{i}"))),
+                    ]),
+                )
+                .expect("in-flight infer answered through drain")
+        }));
+    }
+    // Let the requests land before draining.
+    std::thread::sleep(Duration::from_millis(100));
+    let stats = gateway.shutdown();
+    for worker in workers {
+        let resp = worker.join().expect("client thread");
+        assert_eq!(resp.status, 200, "drained request still answered: {}", resp.body_str());
+    }
+    assert_eq!(stats.infer_admitted, 4);
+    assert_eq!(stats.infer_resolved, 4, "every in-flight ticket resolved before shutdown");
+    assert_eq!(stats.responses, 4);
+
+    // The listener is gone afterwards.
+    assert!(
+        std::net::TcpStream::connect_timeout(&addr, Duration::from_millis(300))
+            .and_then(|mut s| {
+                use std::io::Read;
+                s.set_read_timeout(Some(Duration::from_millis(300)))?;
+                let mut byte = [0u8; 1];
+                let n = s.read(&mut byte)?;
+                Ok(n == 0)
+            })
+            .unwrap_or(true),
+        "post-shutdown connections refuse or close immediately"
+    );
+}

@@ -1,0 +1,135 @@
+//! Property tests for the incremental HTTP/1.1 parser: arbitrary byte
+//! streams never panic it, arbitrary re-chunkings of a valid request
+//! parse identically, and the parser never over-reads past a request's
+//! end (pipelined bytes survive byte-for-byte).
+
+use codes_gateway::{ParseLimits, RequestParser};
+use proptest::prelude::*;
+
+/// Build a valid request from a generated word: method, target, an
+/// optional extra header, and a body whose length is derived from the
+/// word. Returns (wire bytes, expected body).
+fn valid_request(raw: u64) -> (Vec<u8>, Vec<u8>) {
+    let method = ["GET", "POST", "PUT", "DELETE"][(raw % 4) as usize];
+    let target = ["/v1/infer", "/v1/health", "/metrics", "/x/y?q=1"][((raw / 4) % 4) as usize];
+    let body_len = ((raw / 16) % 300) as usize;
+    let body: Vec<u8> = (0..body_len).map(|i| (raw as usize + i) as u8).collect();
+    let mut wire = format!("{method} {target} HTTP/1.1\r\nhost: t\r\n");
+    if raw.is_multiple_of(3) {
+        wire.push_str(&format!("x-extra: v{}\r\n", raw % 97));
+    }
+    wire.push_str(&format!("content-length: {}\r\n\r\n", body.len()));
+    let mut bytes = wire.into_bytes();
+    bytes.extend_from_slice(&body);
+    (bytes, body)
+}
+
+/// Split `data` into chunks at positions decoded from the seed word.
+fn chunked(data: &[u8], seed: u64) -> Vec<Vec<u8>> {
+    let mut chunks = Vec::new();
+    let mut state = seed | 1;
+    let mut at = 0;
+    while at < data.len() {
+        // SplitMix-ish step; chunk sizes 1..=17 including empty feeds.
+        state = (state ^ (state >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        let take = ((state % 17) as usize + 1).min(data.len() - at);
+        chunks.push(data[at..at + take].to_vec());
+        if state.is_multiple_of(11) {
+            chunks.push(Vec::new());
+        }
+        at += take;
+    }
+    chunks
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// Total safety: completely arbitrary bytes, fed in arbitrary chunks,
+    /// never panic the parser and never let it buffer unboundedly past
+    /// its limits.
+    #[test]
+    fn arbitrary_bytes_never_panic_or_overbuffer(
+        raw in prop::collection::vec(0u64..u64::MAX, 1..40),
+        split_seed in 0u64..u64::MAX,
+    ) {
+        let bytes: Vec<u8> = raw.iter().flat_map(|w| w.to_le_bytes()).collect();
+        let limits = ParseLimits { max_head_bytes: 256, max_body_bytes: 512 };
+        let mut parser = RequestParser::new(limits);
+        let mut dead = false;
+        for chunk in chunked(&bytes, split_seed) {
+            if dead {
+                break;
+            }
+            match parser.feed(&chunk) {
+                Ok(_) => {
+                    // The buffered tail may never exceed head limit +
+                    // body limit + one feed's worth of slack.
+                    prop_assert!(
+                        parser.buffered() <= 256 + 512 + chunk.len() + 4,
+                        "parser buffered {} bytes", parser.buffered()
+                    );
+                }
+                Err(_) => dead = true, // typed rejection: connection closes
+            }
+        }
+    }
+
+    /// Chunking invariance: any split of a valid request reassembles to
+    /// the same head and body as feeding it whole.
+    #[test]
+    fn any_split_parses_identically(
+        request_word in 0u64..u64::MAX,
+        split_seed in 0u64..u64::MAX,
+    ) {
+        let (wire, expected_body) = valid_request(request_word);
+        let whole = RequestParser::new(ParseLimits::default())
+            .feed(&wire)
+            .expect("valid request parses")
+            .expect("complete");
+
+        let mut parser = RequestParser::new(ParseLimits::default());
+        let mut result = None;
+        for chunk in chunked(&wire, split_seed) {
+            if let Some(request) = parser.feed(&chunk).expect("valid request parses") {
+                result = Some(request);
+            }
+        }
+        let split = result.expect("request completed across chunks");
+        prop_assert_eq!(&split.head.method, &whole.head.method);
+        prop_assert_eq!(&split.head.target, &whole.head.target);
+        prop_assert_eq!(&split.head.headers, &whole.head.headers);
+        prop_assert_eq!(&split.body, &expected_body);
+        prop_assert_eq!(parser.buffered(), 0);
+    }
+
+    /// No over-read: feed a valid request with a pipelined tail glued on;
+    /// the tail must come back out byte-for-byte, wherever the chunk
+    /// boundaries fall.
+    #[test]
+    fn pipelined_tail_is_never_consumed(
+        first_word in 0u64..u64::MAX,
+        second_word in 0u64..u64::MAX,
+        split_seed in 0u64..u64::MAX,
+    ) {
+        let (first, _) = valid_request(first_word);
+        let (second, second_body) = valid_request(second_word);
+        let mut wire = first.clone();
+        wire.extend_from_slice(&second);
+
+        let mut parser = RequestParser::new(ParseLimits::default());
+        let mut completed = Vec::new();
+        for chunk in chunked(&wire, split_seed) {
+            if let Some(request) = parser.feed(&chunk).expect("valid stream") {
+                completed.push(request);
+                // Drain anything already buffered (pipelining).
+                while let Some(next) = parser.advance().expect("valid stream") {
+                    completed.push(next);
+                }
+            }
+        }
+        prop_assert_eq!(completed.len(), 2);
+        prop_assert_eq!(&completed[1].body, &second_body);
+        prop_assert_eq!(parser.buffered(), 0);
+    }
+}

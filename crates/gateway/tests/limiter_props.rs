@@ -1,0 +1,123 @@
+//! Property tests for the token-bucket limiter: over *any* window of any
+//! generated admission timeline, admissions never exceed `rate * window +
+//! burst`; refill is monotone in time; and a denied acquire's retry hint
+//! is honest (acquiring at `now + hint` succeeds with no interleaved
+//! traffic).
+
+use codes_gateway::TokenBucket;
+use proptest::prelude::*;
+
+/// Decode one generated word into an inter-arrival gap in nanoseconds:
+/// a mix of sub-millisecond bursts and multi-millisecond lulls.
+fn gap_ns(raw: u64) -> u64 {
+    match raw % 4 {
+        0 => raw % 50_000,                       // tight burst: < 50µs
+        1 => raw % 1_000_000,                    // < 1ms
+        2 => 1_000_000 + raw % 20_000_000,       // 1–21ms
+        _ => 20_000_000 + raw % 200_000_000,     // 20–220ms
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// The core guarantee: for every window `[i, j]` of the admission
+    /// timeline, the number of admits inside it is bounded by
+    /// `burst + rate * window_seconds` (+1 for the boundary admit).
+    #[test]
+    fn admissions_never_exceed_rate_plus_burst_over_any_window(
+        raw_gaps in prop::collection::vec(0u64..u64::MAX, 1..120),
+        rate_x10 in 1u64..2_000,     // 0.1 .. 200 tokens/sec
+        burst_x10 in 10u64..500,     // 1 .. 50 tokens
+    ) {
+        let rate = rate_x10 as f64 / 10.0;
+        let burst = burst_x10 as f64 / 10.0;
+        let mut bucket = TokenBucket::new(rate, burst);
+        let mut now_ns = 0u64;
+        let mut admits: Vec<u64> = Vec::new();
+        for &raw in &raw_gaps {
+            now_ns = now_ns.saturating_add(gap_ns(raw));
+            if bucket.try_acquire(now_ns).is_ok() {
+                admits.push(now_ns);
+            }
+        }
+        for i in 0..admits.len() {
+            for j in i..admits.len() {
+                let window_secs = (admits[j] - admits[i]) as f64 / 1e9;
+                let allowed = burst + rate * window_secs;
+                let seen = (j - i + 1) as f64;
+                // +1.001: the admit at the window's left edge plus float
+                // headroom; the *rate* itself is never exceeded.
+                prop_assert!(
+                    seen <= allowed + 1.001,
+                    "window [{i},{j}] ({window_secs}s): {seen} admits > {allowed} allowed \
+                     (rate {rate}, burst {burst})"
+                );
+            }
+        }
+    }
+
+    /// Refill monotonicity: observing `available` at increasing times
+    /// (with no acquires in between) never decreases, never exceeds the
+    /// burst, and a backwards clock step contributes zero refill instead
+    /// of minting tokens.
+    #[test]
+    fn refill_is_monotone_and_burst_capped(
+        raw_gaps in prop::collection::vec(0u64..u64::MAX, 1..60),
+        rate_x10 in 1u64..2_000,
+        burst_x10 in 10u64..500,
+        drain in 0u64..40,
+    ) {
+        let rate = rate_x10 as f64 / 10.0;
+        let burst = burst_x10 as f64 / 10.0;
+        let mut bucket = TokenBucket::new(rate, burst);
+        // Start from a partially drained bucket so refill has room.
+        for _ in 0..drain {
+            let _ = bucket.try_acquire(0);
+        }
+        let mut now_ns = 0u64;
+        let mut last = bucket.available(now_ns);
+        for &raw in &raw_gaps {
+            now_ns = now_ns.saturating_add(gap_ns(raw));
+            let available = bucket.available(now_ns);
+            prop_assert!(
+                available + 1e-9 >= last,
+                "refill went backwards: {last} -> {available}"
+            );
+            prop_assert!(available <= burst + 1e-9, "refill exceeded burst");
+            last = available;
+        }
+        // A clock that jumps backwards must not mint tokens.
+        let before = bucket.available(now_ns);
+        let rewound = bucket.available(now_ns / 2);
+        prop_assert!(rewound <= before + 1e-9, "backwards clock minted tokens");
+    }
+
+    /// A denied acquire's retry hint is sufficient: with no competing
+    /// traffic, retrying at `now + hint` (plus a float-rounding nudge)
+    /// succeeds.
+    #[test]
+    fn retry_hint_is_honest(
+        raw_gaps in prop::collection::vec(0u64..u64::MAX, 1..40),
+        rate_x10 in 1u64..2_000,
+        burst_x10 in 10u64..500,
+    ) {
+        let rate = rate_x10 as f64 / 10.0;
+        let burst = burst_x10 as f64 / 10.0;
+        let mut bucket = TokenBucket::new(rate, burst);
+        let mut now_ns = 0u64;
+        for &raw in &raw_gaps {
+            now_ns = now_ns.saturating_add(gap_ns(raw));
+            if let Err(hint) = bucket.try_acquire(now_ns) {
+                let retry_at = now_ns
+                    .saturating_add(hint.as_nanos() as u64)
+                    .saturating_add(1_000); // 1µs float headroom
+                prop_assert!(
+                    bucket.try_acquire(retry_at).is_ok(),
+                    "hint {hint:?} at t={now_ns} was not enough"
+                );
+                now_ns = retry_at;
+            }
+        }
+    }
+}

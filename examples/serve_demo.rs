@@ -1,24 +1,36 @@
-//! Serving quickstart: put a trained CodeS system behind the sharded
-//! router (single-shard default) and its supervised serving pool, submit
-//! concurrent questions, inspect router/pool health and the
-//! metrics registry (Prometheus dump + per-stage latency quantiles), then
-//! turn on deterministic fault injection and watch the runtime absorb
-//! worker panics and stalls without losing a single request.
+//! Serving quickstart, now over a real socket: put a trained CodeS
+//! system behind the sharded router, stand the hardened HTTP/JSON
+//! gateway in front of it, and drive the whole stack with a plain
+//! HTTP/1.1 client — authenticated inference, a warm-cache round,
+//! tenant rate limiting, cache invalidation, a Prometheus scrape, and a
+//! graceful drain, all through `127.0.0.1`.
 //!
 //! Run with: `cargo run --release --example serve_demo`
 
 use std::sync::Arc;
-use std::time::Duration;
 
 use codes::{
     pretrain, table4_models, CacheSettings, CodesModel, CodesSystem, PretrainConfig,
     PromptOptions, SketchCatalog, SystemCache,
 };
+use codes_gateway::{Gateway, GatewayConfig, HttpClient, TenantSpec};
 use codes_linker::SchemaClassifier;
-use codes_router::{Router, RouterConfig, ShardSpec};
-use codes_serve::{
-    FaultPlan, FaultyBackend, InferenceRequest, ServeConfig, ServeError, SystemBackend,
-};
+use codes_router::{Router, RouterConfig, ShardSpec, TenantConfig};
+use codes_serve::{ServeConfig, SystemBackend};
+use serde::Json;
+
+/// Build the `POST /v1/infer` body.
+fn infer_body(db_id: &str, question: &str) -> Json {
+    Json::Obj(vec![
+        ("db_id".to_string(), Json::Str(db_id.to_string())),
+        ("question".to_string(), Json::Str(question.to_string())),
+    ])
+}
+
+/// Pull a field out of a JSON object for display.
+fn field<'j>(json: &'j Json, name: &str) -> &'j Json {
+    json.get(name).unwrap_or(&Json::Null)
+}
 
 fn main() {
     // 1. Train a small system (same recipe as examples/quickstart.rs).
@@ -34,10 +46,6 @@ fn main() {
         .expect("CodeS-1B is a fixed Table 4 row");
     let lm = pretrain(&catalog, &spec, &PretrainConfig { scale: 10, seed: 1 });
     let classifier = SchemaClassifier::train(&bench, false, 7);
-    // The three-tier result cache, shared between the system (T1 schema
-    // filter + T2 value retrieval inside each inference) and the pool
-    // (T3 full results, checked at admission). Metrics land in the global
-    // registry, so they show up in the Prometheus dump below.
     let cache = Arc::new(SystemCache::with_registry(
         &codes_obs::global(),
         CacheSettings::default(),
@@ -48,164 +56,157 @@ fn main() {
         .finetune_on(&bench);
     system.prepare_databases(bench.databases.iter());
 
-    // 2. Stand the serving stack up over the system: the sharded router
-    //    in its single-shard default — one supervised pool (4 workers, a
-    //    bounded queue, per-database circuit breakers, deadline
-    //    propagation) behind consistent-hash routing and tenant-fair
-    //    admission. Adding shards later is a config change, not a code
-    //    change.
+    // 2. Router behind it, gateway in front: two metered tenants (one
+    //    rate-limited hard enough to demonstrate a 429) plus an audit
+    //    journal under target/. Port 0 picks a free loopback port.
     let system = Arc::new(system);
     let backend = SystemBackend::new(Arc::clone(&system), bench.databases.clone());
     let config = ServeConfig { cache: Some(Arc::clone(&cache)), ..ServeConfig::default() };
-    let router = Router::start(vec![ShardSpec::new(Arc::new(backend), config)], RouterConfig::default());
+    let router_config = RouterConfig {
+        tenants: vec![TenantConfig::new("analytics", 3), TenantConfig::new("throttled", 1)],
+        ..RouterConfig::default()
+    };
+    let router = Arc::new(Router::start(
+        vec![ShardSpec::new(Arc::new(backend), config)],
+        router_config,
+    ));
+    let gateway = Gateway::start(
+        Arc::clone(&router),
+        GatewayConfig {
+            tenants: vec![
+                TenantSpec::new("analytics", "key-analytics").with_rate(100.0, 50.0),
+                TenantSpec::new("throttled", "key-throttled").with_rate(0.001, 1.0),
+            ],
+            journal_path: Some("target/serve_demo_audit.jsonl".into()),
+            ..GatewayConfig::default()
+        },
+    )
+    .expect("loopback bind");
+    let addr = gateway.local_addr();
+    println!("\ngateway listening on http://{addr}");
+    let auth = ("authorization", "Bearer key-analytics");
+    let mut client = HttpClient::connect(addr).expect("connect to gateway");
 
-    println!("\nserving {} dev questions concurrently ...", bench.dev.len().min(10));
-    let tickets: Vec<_> = bench
-        .dev
-        .iter()
-        .take(10)
-        .map(|s| router.submit(InferenceRequest::new(&s.db_id, &s.question)))
-        .collect();
-    for ticket in tickets {
-        match ticket.expect("queue has headroom for ten requests").wait() {
-            Ok(served) => println!(
-                "  [worker {} | {:>5.1}ms | queued {:>4.1}ms] {}",
-                served.worker,
-                served.latency_seconds * 1e3,
-                served.queue_wait_seconds * 1e3,
-                served.sql
-            ),
-            Err(e) => println!("  error: {e}"),
-        }
+    // 3. Readiness, then ten questions over HTTP — every response is the
+    //    typed JSON the wire contract in DESIGN.md §4i promises.
+    let health = client.get("/v1/health", &[]).expect("health request");
+    println!("GET /v1/health -> {} {}", health.status, health.body_str());
+
+    println!("\nserving {} dev questions over HTTP ...", bench.dev.len().min(10));
+    for sample in bench.dev.iter().take(10) {
+        let response = client
+            .post_json("/v1/infer", &[auth], &infer_body(&sample.db_id, &sample.question))
+            .expect("infer request");
+        let json = response.json().expect("json body");
+        println!(
+            "  [{} | worker {} | {:>5.1}ms] {}",
+            response.status,
+            field(&json, "worker").as_i64().unwrap_or(-1),
+            field(&json, "latency_ms").as_f64().unwrap_or(0.0),
+            field(&json, "sql").as_str().unwrap_or("?"),
+        );
     }
 
-    // 3. The same questions again: every one resolves from the full-result
-    //    tier at admission, without touching the queue or a worker.
+    // 4. The same questions again on the same keep-alive connection:
+    //    every one resolves from the full-result cache tier at admission.
     println!("\nsame questions again, now warm ...");
-    let tickets: Vec<_> = bench
-        .dev
-        .iter()
-        .take(10)
-        .map(|s| router.submit(InferenceRequest::new(&s.db_id, &s.question)))
-        .collect();
-    for ticket in tickets {
-        match ticket.expect("queue has headroom for ten requests").wait() {
-            Ok(served) => println!(
-                "  [{} | {:>5.1}ms] {}",
-                if served.cached { "cache " } else { "worker" },
-                served.latency_seconds * 1e3,
-                served.sql
-            ),
-            Err(e) => println!("  error: {e}"),
-        }
+    for sample in bench.dev.iter().take(10) {
+        let response = client
+            .post_json("/v1/infer", &[auth], &infer_body(&sample.db_id, &sample.question))
+            .expect("infer request");
+        let json = response.json().expect("json body");
+        println!(
+            "  [{} | {}] {}",
+            response.status,
+            if field(&json, "cached").as_bool().unwrap_or(false) { "cache " } else { "worker" },
+            field(&json, "sql").as_str().unwrap_or("?"),
+        );
     }
 
-    // 4. Health/readiness snapshot: what a load balancer would scrape —
-    //    per-shard pool detail plus counters aggregated across shards,
-    //    now including the per-tier cache counters.
-    let health = router.health();
-    let shard = &health.shards[0];
+    // 5. Edge rejections are typed, not hangs: a bad key is 401, and the
+    //    throttled tenant's second request exceeds its 0.001/s refill, so
+    //    it gets 429 with an honest Retry-After.
+    let sample = &bench.dev[0];
+    let bad = client
+        .post_json(
+            "/v1/infer",
+            &[("authorization", "Bearer wrong-key")],
+            &infer_body(&sample.db_id, &sample.question),
+        )
+        .expect("bad-key request");
     println!(
-        "\nhealth: ready={} shard0 queue={}/{} in_flight={} served={} failed={} from_cache={}",
-        health.ready,
-        shard.pool.queue_depth,
-        shard.pool.queue_capacity,
-        shard.pool.in_flight,
-        health.aggregated.completed,
-        health.aggregated.failed,
-        health.aggregated.served_from_cache
+        "\nbad key            -> {} code={}",
+        bad.status,
+        bad.error_code().unwrap_or_default()
     );
-    if let Some(stats) = &shard.pool.cache {
-        println!("cache tiers (hits/misses):");
-        println!("  T1 schema_filter    {:>3} / {:<3}", stats.schema.hits, stats.schema.misses);
-        println!("  T2 value_retrieval  {:>3} / {:<3}", stats.values.hits, stats.values.misses);
-        println!("  T3 full_result      {:>3} / {:<3}", stats.full.hits, stats.full.misses);
-    }
-    router.shutdown();
-
-    // 5. The observability layer: every inference recorded one span per
-    //    Algorithm-1 stage and the pool recorded queue/shed/breaker
-    //    counters, all into the global registry. First the per-stage
-    //    latency quantiles ...
-    println!("\nper-stage latency (over everything served so far):");
-    println!("  {:<20} {:>7} {:>10} {:>10} {:>10}", "stage", "count", "p50 ms", "p95 ms", "p99 ms");
-    let histograms =
-        codes_obs::global().histograms_by_label(codes_obs::STAGE_HISTOGRAM, "stage");
-    for stage in codes_obs::PIPELINE_STAGES {
-        if let Some((_, snap)) = histograms.iter().find(|(name, _)| name == stage) {
-            let ms = |q: f64| snap.quantile_seconds(q).map_or(0.0, |s| s * 1000.0);
-            println!(
-                "  {:<20} {:>7} {:>10.3} {:>10.3} {:>10.3}",
-                stage,
-                snap.count,
-                ms(0.50),
-                ms(0.95),
-                ms(0.99)
-            );
+    let throttle = ("x-api-key", "key-throttled");
+    for attempt in 1..=2 {
+        let response = client
+            .post_json("/v1/infer", &[throttle], &infer_body(&sample.db_id, &sample.question))
+            .expect("throttled request");
+        match response.error_code() {
+            None => println!("throttled try {attempt} -> {} admitted", response.status),
+            Some(code) => println!(
+                "throttled try {attempt} -> {} code={code} retry-after={}s",
+                response.status,
+                response.header("retry-after").unwrap_or("?"),
+            ),
         }
     }
-    // ... then the full text-format dump a Prometheus scrape would see.
-    println!("\nmetrics dump (Prometheus text format):");
-    for line in codes_obs::render_prometheus().lines() {
+
+    // 6. Invalidate one database's cache generation over the wire; the
+    //    next identical question misses the cache and re-infers.
+    let invalidate_body =
+        Json::Obj(vec![("db_id".to_string(), Json::Str(sample.db_id.clone()))]);
+    let invalidated = client
+        .post_json("/v1/invalidate", &[auth], &invalidate_body)
+        .expect("invalidate request");
+    println!(
+        "\nPOST /v1/invalidate {{db_id: {}}} -> {} {}",
+        sample.db_id,
+        invalidated.status,
+        invalidated.body_str()
+    );
+    let response = client
+        .post_json("/v1/infer", &[auth], &infer_body(&sample.db_id, &sample.question))
+        .expect("post-invalidate request");
+    let json = response.json().expect("json body");
+    println!(
+        "re-ask after invalidate -> {} cached={} (cold again, as it should be)",
+        response.status,
+        field(&json, "cached").as_bool().unwrap_or(false)
+    );
+
+    // 7. What Prometheus would scrape: the gateway serves the full
+    //    stack's registry; show the gateway's own series here.
+    let metrics = client.get("/metrics", &[]).expect("metrics scrape");
+    println!("\nGET /metrics (codes_gateway_* series, histogram buckets elided):");
+    for line in metrics
+        .body_str()
+        .lines()
+        .filter(|l| l.contains("codes_gateway_") && !l.contains("_bucket{"))
+    {
         println!("  {line}");
     }
 
-    // 6. Chaos mode: the same pool shape, but the backend is wrapped in a
-    //    seeded fault plan that panics or stalls a fifth of all requests.
-    //    Deterministic per request id — rerunning reproduces the storm.
-    println!("\nchaos mode: injecting worker panics/stalls (seed 7) ...");
-    let mut plan = FaultPlan::chaos(7);
-    plan.stall = Duration::from_millis(300);
-    let backend =
-        FaultyBackend::new(SystemBackend::new(system, bench.databases.clone()), plan);
-    let config = ServeConfig {
-        heartbeat_interval: Duration::from_millis(10),
-        wedged_after: Duration::from_millis(120),
-        ..ServeConfig::default()
-    };
-    let router =
-        Router::start(vec![ShardSpec::new(Arc::new(backend), config)], RouterConfig::default());
-    // Injected panics are typed outcomes at the pool boundary; keep their
-    // backtraces out of the demo output.
-    std::panic::set_hook(Box::new(|_| {}));
-
-    let mut outcomes: Vec<(u64, String)> = Vec::new();
-    let tickets: Vec<_> = (0..30)
-        .filter_map(|i| {
-            let s = &bench.dev[i % bench.dev.len()];
-            match router.submit(InferenceRequest::new(&s.db_id, &s.question)) {
-                Ok(t) => Some(t),
-                Err(e) => {
-                    outcomes.push((u64::MAX, format!("shed at admission: {}", e.kind())));
-                    None
-                }
-            }
-        })
-        .collect();
-    for t in tickets {
-        let id = t.id;
-        let line = match t.wait() {
-            Ok(served) => format!("served by worker {}", served.worker),
-            Err(ServeError::WorkerPanic(_)) => "worker panicked — replaced, error typed".into(),
-            Err(ServeError::WorkerWedged { .. }) => "worker wedged — abandoned, error typed".into(),
-            Err(e) => format!("typed error: {}", e.kind()),
-        };
-        outcomes.push((id, line));
-    }
-    let _ = std::panic::take_hook();
-    for (id, line) in &outcomes {
-        if *id == u64::MAX {
-            println!("  [--] {line}");
-        } else {
-            println!("  [{id:>2}] {line}");
-        }
-    }
+    // 8. Graceful drain: stop accepting, finish in-flight work, flush the
+    //    audit journal, then shut the router down behind it.
+    drop(client);
+    let stats = gateway.shutdown();
+    println!(
+        "\ngateway drained: {} requests ({} inferences, {} admitted = {} resolved), {} audit records",
+        stats.requests,
+        stats.infer_requests,
+        stats.infer_admitted,
+        stats.infer_resolved,
+        stats.journal_records
+    );
+    let router = Arc::into_inner(router).expect("gateway released its router handle");
     let health = router.shutdown();
     println!(
-        "\nafter the storm: {} served, {} replaced after panic, {} replaced after wedge, queue drained to {}",
+        "router drained: {} completed, {} from cache, {} failed",
         health.aggregated.completed,
-        health.aggregated.replaced_panic,
-        health.aggregated.replaced_wedged,
-        health.shards[0].pool.queue_depth
+        health.aggregated.served_from_cache,
+        health.aggregated.failed
     );
 }
