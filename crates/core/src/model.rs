@@ -9,7 +9,9 @@ use std::time::Instant;
 use codes_datasets::Sample;
 use codes_obs::{Span, STAGE_EXECUTION_SELECTION, STAGE_GENERATION};
 use codes_retrieval::ValueMatch;
-use sqlengine::{catch_panics, execute_query_governed, with_retry, Database, ExecLimits};
+use sqlengine::{
+    catch_panics, execute_query_governed, preprice_query, with_retry, Database, ExecLimits,
+};
 
 use crate::config::{Capacity, Config};
 use crate::generator::{fill_ranked, Candidate, SlotContext};
@@ -485,6 +487,14 @@ pub fn select_first_executable(
 ) -> Option<usize> {
     let mut first = None;
     for (i, c) in beam.iter_mut().enumerate() {
+        // Pre-price before spending any retry/governor budget: a candidate
+        // whose cheapest plan is estimated far beyond the intermediate-row
+        // budget is shed with a typed transient error instead of being run
+        // (and re-run on retry) to its inevitable budget kill.
+        if preprice_query(db, &c.sql, limits).is_err() {
+            c.executable = false;
+            continue;
+        }
         let outcome = with_retry(limits, retries, |attempt_limits| {
             catch_panics(|| execute_query_governed(db, &c.sql, attempt_limits).map(|_| ()))
         });
@@ -556,10 +566,15 @@ pub fn select_first_executable_batch(
             let verdict = match memos[memo_idx].2.get(&c.sql) {
                 Some(&v) => v,
                 None => {
-                    let ok = with_retry(&limits, retries, |attempt_limits| {
-                        catch_panics(|| execute_query_governed(db, &c.sql, attempt_limits).map(|_| ()))
-                    })
-                    .is_ok();
+                    // Pre-pricing is deterministic, so its shed verdict is
+                    // memoized exactly like an execution verdict.
+                    let ok = preprice_query(db, &c.sql, &limits).is_ok()
+                        && with_retry(&limits, retries, |attempt_limits| {
+                            catch_panics(|| {
+                                execute_query_governed(db, &c.sql, attempt_limits).map(|_| ())
+                            })
+                        })
+                        .is_ok();
                     memos[memo_idx].2.insert(c.sql.clone(), ok);
                     ok
                 }

@@ -236,6 +236,9 @@ pub fn map_serve_error(err: &codes::Error) -> WireError {
             "unsupported" => wire(422, "engine_unsupported"),
             "unknown_table" => wire(404, "engine_unknown_table"),
             "budget" => wire(504, "engine_budget"),
+            // The cost-based planner shed the statement before execution:
+            // same transient class as a budget kill, same status family.
+            "cost_shed" => wire(504, "engine_cost_shed"),
             // `internal` plus any kind a future engine adds: a bug on our
             // side of the wire, never the client's.
             _ => wire(500, "engine_internal"),

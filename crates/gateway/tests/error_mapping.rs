@@ -26,6 +26,7 @@ fn engine_errors() -> Vec<sqlengine::Error> {
             spent: 2,
             limit: 1,
         },
+        sqlengine::Error::CostShed { estimated_rows: 1_000_000, budget_rows: 10_000 },
         sqlengine::Error::Internal(msg()),
     ]
 }
@@ -88,6 +89,7 @@ fn engine_error_table_is_total_and_exact() {
         ("unsupported", 422, "engine_unsupported"),
         ("unknown_table", 404, "engine_unknown_table"),
         ("budget", 504, "engine_budget"),
+        ("cost_shed", 504, "engine_cost_shed"),
         ("internal", 500, "engine_internal"),
     ];
     let errors = engine_errors();

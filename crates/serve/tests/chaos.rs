@@ -364,6 +364,139 @@ fn fault_plan_outcomes_are_reproducible_for_admitted_ids() {
     assert!(first.iter().any(|k| *k == "ok"), "healthy ids still serve: {first:?}");
 }
 
+/// Backend for the optimizer-shedding regression: every inference executes
+/// a tenant-dependent statement under serving budgets. The `heavy` tenant
+/// always asks for a catastrophic triple cross join; other tenants run a
+/// cheap equi join. With `preprice` set the backend prices the statement
+/// first — the cost-based planner's estimate against the intermediate-row
+/// budget — and sheds with the typed transient [`sqlengine::Error::CostShed`]
+/// instead of grinding the governor to its budget kill.
+struct PricedSqlBackend {
+    db: Arc<sqlengine::Database>,
+    preprice: bool,
+}
+
+const HEAVY_SQL: &str = "SELECT b0.id FROM big AS b0, big AS b1, big AS b2";
+const LIGHT_SQL: &str = "SELECT s0.id FROM small AS s0 JOIN small AS s1 ON s0.id = s1.id";
+
+fn tenant_limits() -> sqlengine::ExecLimits {
+    sqlengine::ExecLimits {
+        deadline: None,
+        max_rows: Some(5_000),
+        max_intermediate_rows: Some(10_000),
+        max_memory_bytes: Some(1 << 20),
+        max_recursion_depth: Some(8),
+    }
+}
+
+impl Backend for PricedSqlBackend {
+    fn infer(
+        &self,
+        request: &InferenceRequest,
+        _id: u64,
+        _config: &codes::Config,
+    ) -> Result<BackendReply, sqlengine::Error> {
+        let sql = if request.db_id == "heavy" { HEAVY_SQL } else { LIGHT_SQL };
+        let limits = tenant_limits();
+        if self.preprice {
+            sqlengine::preprice_query(&self.db, sql, &limits)?;
+        }
+        sqlengine::execute_query_governed(&self.db, sql, &limits)?;
+        Ok(BackendReply {
+            sql: sql.to_string(),
+            degradations: vec![],
+            latency_seconds: 0.0,
+            prompt_tokens: 1,
+            ..BackendReply::default()
+        })
+    }
+}
+
+#[test]
+fn preprice_sheds_cross_join_tenant_with_fewer_budget_transients() {
+    silence_injected_panics();
+    // 100-row base table: the triple cross join estimates at 10^6
+    // intermediate rows against a 10^4 budget — far past the shed factor —
+    // while actually executing it burns the whole budget before failing.
+    let mut script = String::from(
+        "CREATE TABLE big (id INTEGER PRIMARY KEY, val INTEGER);\n\
+         CREATE TABLE small (id INTEGER PRIMARY KEY, val INTEGER);\n",
+    );
+    for pk in 1..=100 {
+        script.push_str(&format!("INSERT INTO big VALUES ({pk}, {});\n", pk % 7));
+    }
+    for pk in 1..=5 {
+        script.push_str(&format!("INSERT INTO small VALUES ({pk}, {pk});\n"));
+    }
+    let db = Arc::new(sqlengine::database_from_script("tenant", &script).expect("script loads"));
+
+    let denied = || {
+        codes_obs::global()
+            .counter(sqlengine::BUDGET_DENIED, &[("resource", "intermediate_rows")])
+            .get()
+    };
+    let shed = || codes_obs::global().counter(sqlengine::PLAN_PREPRICE_SHED, &[]).get();
+
+    // One seeded chaos storm per mode: identical request ids, identical
+    // fault rolls, a fresh pool each time. Every fourth request targets the
+    // cross-join-heavy tenant.
+    let run_storm = |preprice: bool| -> (u64, u64, usize) {
+        let denied_before = denied();
+        let shed_before = shed();
+        let backend = FaultyBackend::new(
+            PricedSqlBackend { db: Arc::clone(&db), preprice },
+            chaos_plan(),
+        );
+        let mut config = chaos_config();
+        config.queue_capacity = 128; // storm-sized: no submit-time shedding
+        let pool = Pool::start(backend, config);
+        let mut tickets = Vec::new();
+        for i in 0..80 {
+            let tenant = if i % 4 == 0 { "heavy" } else { "light" };
+            let request = InferenceRequest::new(tenant, format!("q{i}"));
+            tickets.push(pool.submit(request).expect("storm fits the queue"));
+        }
+        let mut served = 0;
+        for ticket in tickets {
+            if ticket
+                .wait_timeout(Duration::from_secs(20))
+                .expect("every storm request resolves")
+                .is_ok()
+            {
+                served += 1;
+            }
+        }
+        pool.shutdown();
+        (denied() - denied_before, shed() - shed_before, served)
+    };
+
+    let (baseline_denied, baseline_shed, baseline_served) = run_storm(false);
+    let (priced_denied, priced_shed, priced_served) = run_storm(true);
+
+    // Baseline: heavy statements run to their governor kill, charging the
+    // intermediate-row budget every time; nothing is pre-priced.
+    assert!(
+        baseline_denied > 0,
+        "baseline heavy tenant must hit the intermediate-row budget (denied {baseline_denied})"
+    );
+    assert_eq!(baseline_shed, 0, "baseline never pre-prices");
+    // Pre-priced: every heavy statement that reaches the backend is shed by
+    // estimate before execution, so the budget counter never moves — i.e.
+    // strictly fewer BudgetExceeded transients than baseline.
+    assert!(
+        priced_shed > 0,
+        "pre-pricing must shed the cross-join tenant (shed {priced_shed})"
+    );
+    assert_eq!(
+        priced_denied, 0,
+        "pre-priced heavy statements never reach the governor's budget kill"
+    );
+    assert!(priced_denied < baseline_denied);
+    // Shedding is tenant-local: the light tenant still gets served through
+    // the same storm.
+    assert!(baseline_served > 0 && priced_served > 0, "light tenant serves in both modes");
+}
+
 /// Echoes normally except for one poison question, which panics the
 /// worker mid-dispatch.
 struct PoisonBackend;

@@ -16,20 +16,18 @@
 
 use std::borrow::Cow;
 use std::collections::HashMap;
+use std::rc::Rc;
 
 use crate::ast::*;
 use crate::catalog::Database;
-use crate::cost::ExecStats;
+use crate::cost::{ExecStats, HASH_JOIN_THRESHOLD};
 use crate::error::{Error, Result};
 use crate::functions::{concat_text, eval_scalar, like_match};
 use crate::governor::{ExecLimits, Governor};
+use crate::plan::{PlanMode, PlanNode, Scope, ScopeCol};
 use crate::result::QueryResult;
 use crate::types::DataType;
 use crate::value::{Row, Value};
-
-/// Threshold above which an inner equi-join switches from nested loops to a
-/// hash join (pairs examined = left*right).
-const HASH_JOIN_THRESHOLD: u64 = 1_000;
 
 /// Executes queries against one database, accumulating [`ExecStats`].
 pub struct Executor<'a> {
@@ -38,50 +36,18 @@ pub struct Executor<'a> {
     pub stats: ExecStats,
     /// Resource budgets, consulted at operator boundaries.
     gov: Governor,
+    /// Which relational plan each SELECT core runs (naive or optimized).
+    mode: PlanMode,
+    /// Plans executed by this executor. Derived-table subqueries inside a
+    /// plan are cloned ASTs whose addresses key the subquery caches below;
+    /// keeping every plan alive for the executor's lifetime keeps those
+    /// keys from being reused by a later allocation.
+    plan_arena: Vec<Rc<PlanNode>>,
     /// Uncorrelated subqueries are evaluated once and memoized (keyed by
     /// AST address, which is stable for the duration of one execution).
     scalar_cache: HashMap<usize, Value>,
     in_cache: HashMap<usize, (std::collections::HashSet<Value>, bool)>,
     exists_cache: HashMap<usize, bool>,
-}
-
-/// One column visible inside a SELECT core.
-#[derive(Debug, Clone)]
-struct ScopeCol {
-    /// Lower-cased binding name (table alias or table name).
-    binding: String,
-    /// Lower-cased column name.
-    name: String,
-    /// Original display name used for `*` expansion and output naming.
-    display: String,
-}
-
-#[derive(Debug, Clone, Default)]
-struct Scope {
-    cols: Vec<ScopeCol>,
-}
-
-impl Scope {
-    fn resolve(&self, table: Option<&str>, name: &str) -> Result<usize> {
-        let lname = name.to_lowercase();
-        match table {
-            Some(t) => {
-                let lt = t.to_lowercase();
-                self.cols
-                    .iter()
-                    .position(|c| c.binding == lt && c.name == lname)
-                    .ok_or_else(|| Error::Bind(format!("no such column: {t}.{name}")))
-            }
-            None => {
-                let mut it = self.cols.iter().enumerate().filter(|(_, c)| c.name == lname);
-                match (it.next(), it.next()) {
-                    (Some((i, _)), None) => Ok(i),
-                    (Some(_), Some(_)) => Err(Error::Bind(format!("ambiguous column: {name}"))),
-                    (None, _) => Err(Error::Bind(format!("no such column: {name}"))),
-                }
-            }
-        }
-    }
 }
 
 /// A working row: borrowed from a base table or owned (join outputs,
@@ -122,12 +88,22 @@ impl<'a> Executor<'a> {
     }
 
     /// An executor whose execution is bounded by `limits`. The deadline
-    /// clock starts here, not at the first `query` call.
+    /// clock starts here, not at the first `query` call. Runs optimized
+    /// plans; use [`Executor::with_mode`] for the naive reference path.
     pub fn with_limits(db: &'a Database, limits: &ExecLimits) -> Executor<'a> {
+        Executor::with_mode(db, limits, PlanMode::Optimized)
+    }
+
+    /// An executor pinned to a specific [`PlanMode`]. `PlanMode::Naive`
+    /// reproduces the syntactic-order reference semantics the differential
+    /// harness compares against.
+    pub fn with_mode(db: &'a Database, limits: &ExecLimits, mode: PlanMode) -> Executor<'a> {
         Executor {
             db,
             stats: ExecStats::default(),
             gov: Governor::new(*limits),
+            mode,
+            plan_arena: Vec::new(),
             scalar_cache: HashMap::new(),
             in_cache: HashMap::new(),
             exists_cache: HashMap::new(),
@@ -278,22 +254,22 @@ impl<'a> Executor<'a> {
         limit: Option<&Expr>,
         offset: Option<&Expr>,
     ) -> Result<QueryResult> {
-        let (scope, rows) = self.build_from(s.from.as_ref())?;
-
-        // WHERE (rows stay borrowed; only survivors flow on)
-        let rows = match &s.selection {
-            Some(pred) => {
-                let mut kept = Vec::new();
-                for row in rows {
-                    self.gov.tick()?;
-                    if self.eval(pred, &scope, &Ctx::Row(row.as_ref()))?.truthiness() == Some(true) {
-                        kept.push(row);
-                    }
-                }
-                kept
-            }
-            None => rows,
-        };
+        // Lower FROM/WHERE into a relational plan (optionally optimized)
+        // and execute it. The plan is parked in the arena so cloned
+        // subquery ASTs inside it stay alive as long as the caches keyed
+        // by their addresses.
+        let plan = Rc::new(match self.mode {
+            PlanMode::Naive => crate::plan::lower_relation(s.from.as_ref(), s.selection.clone()),
+            PlanMode::Optimized => crate::optimizer::optimize_select(
+                self.db,
+                s,
+                order_by,
+                limit,
+                offset,
+            ),
+        });
+        self.plan_arena.push(Rc::clone(&plan));
+        let (scope, rows) = self.exec_plan(&plan, None)?;
 
         let has_aggregate = s
             .projection
@@ -497,94 +473,166 @@ impl<'a> Executor<'a> {
         Ok(out)
     }
 
-    // -- FROM clause ---------------------------------------------------------
+    // -- plan execution ------------------------------------------------------
 
-    fn build_from(&mut self, from: Option<&FromClause>) -> Result<(Scope, Vec<CowRow<'a>>)> {
-        let Some(from) = from else {
+    /// Execute a relational plan node, returning its output scope and rows.
+    ///
+    /// `cap` is the LIMIT-propagation bound: when set, the node may stop
+    /// after producing that many rows. It is only ever set by a `Cap` node
+    /// (optimized plans), so naive plans execute exactly like the historic
+    /// AST walker. It propagates through row-for-row nodes (`Permute`) and
+    /// bounds each producing node's own loop; join and filter *inputs* run
+    /// uncapped because their required input size is unknown.
+    fn exec_plan(&mut self, node: &PlanNode, cap: Option<usize>) -> Result<(Scope, Vec<CowRow<'a>>)> {
+        match node {
             // SELECT without FROM evaluates over a single empty row.
-            return Ok((Scope::default(), vec![Cow::Owned(Vec::new())]));
-        };
-        let (mut scope, mut rows) = self.factor(&from.base)?;
-        for join in &from.joins {
-            let (right_scope, right_rows) = self.factor(&join.factor)?;
-            let left_len = scope.cols.len();
-            let mut combined = scope.clone();
-            combined.cols.extend(right_scope.cols.iter().cloned());
-
-            match join.kind {
-                JoinKind::Cross => {
-                    rows = self.nested_loop(rows, &right_rows, None, &combined, false)?;
-                }
-                JoinKind::Inner => {
-                    if let Some(on) = &join.on {
-                        if let Some((li, ri)) = self.equi_join_cols(on, &scope, &right_scope) {
-                            if (rows.len() as u64) * (right_rows.len() as u64) > HASH_JOIN_THRESHOLD {
-                                rows = self.hash_join(rows, &right_rows, li, ri)?;
-                            } else {
-                                rows = self.nested_loop(rows, &right_rows, Some(on), &combined, false)?;
-                            }
-                        } else {
-                            rows = self.nested_loop(rows, &right_rows, Some(on), &combined, false)?;
-                        }
-                    } else {
-                        rows = self.nested_loop(rows, &right_rows, None, &combined, false)?;
+            PlanNode::Empty => Ok((Scope::default(), vec![Cow::Owned(Vec::new())])),
+            PlanNode::Scan { table, binding } => self.scan_table(table, binding, cap),
+            PlanNode::Derived { query, binding } => self.derived_rows(query, binding, cap),
+            PlanNode::Filter { input, predicate } => {
+                let (scope, rows) = self.exec_plan(input, None)?;
+                let mut kept = Vec::new();
+                for row in rows {
+                    if cap.is_some_and(|c| kept.len() >= c) {
+                        break;
+                    }
+                    self.gov.tick()?;
+                    if self.eval(predicate, &scope, &Ctx::Row(row.as_ref()))?.truthiness()
+                        == Some(true)
+                    {
+                        kept.push(row);
                     }
                 }
-                JoinKind::Left => {
-                    rows = self.nested_loop(rows, &right_rows, join.on.as_ref(), &combined, true)?;
-                }
+                Ok((scope, kept))
             }
-            let _ = left_len;
-            scope = combined;
+            PlanNode::Join { left, right, kind, on, equi } => {
+                let (scope, lrows) = self.exec_plan(left, None)?;
+                let (right_scope, rrows) = self.exec_plan(right, None)?;
+                let mut combined = scope.clone();
+                combined.cols.extend(right_scope.cols.iter().cloned());
+                let rows = match kind {
+                    JoinKind::Cross => self.nested_loop(lrows, &rrows, None, &combined, false, cap)?,
+                    JoinKind::Inner => {
+                        // Prefer optimizer-extracted keys; otherwise detect a
+                        // bare equi ON at runtime exactly like the pre-plan
+                        // executor did.
+                        let keys = match equi {
+                            Some(e) => Some((e.left_key, e.right_key, e.residual.as_ref())),
+                            None => on
+                                .as_ref()
+                                .and_then(|o| self.equi_join_cols(o, &scope, &right_scope))
+                                .map(|(li, ri)| (li, ri, None)),
+                        };
+                        match keys {
+                            Some((li, ri, residual))
+                                if (lrows.len() as u64) * (rrows.len() as u64)
+                                    > HASH_JOIN_THRESHOLD =>
+                            {
+                                self.hash_join(lrows, &rrows, li, ri, residual, &combined, cap)?
+                            }
+                            _ => self.nested_loop(lrows, &rrows, on.as_ref(), &combined, false, cap)?,
+                        }
+                    }
+                    JoinKind::Left => {
+                        self.nested_loop(lrows, &rrows, on.as_ref(), &combined, true, cap)?
+                    }
+                };
+                Ok((combined, rows))
+            }
+            PlanNode::Permute { input, indices } => {
+                let (scope, rows) = self.exec_plan(input, cap)?;
+                let mut cols = Vec::with_capacity(indices.len());
+                for &i in indices {
+                    cols.push(scope.cols.get(i).cloned().ok_or_else(|| {
+                        Error::Internal(format!("permute index {i} out of scope"))
+                    })?);
+                }
+                let mut out: Vec<CowRow<'a>> = Vec::with_capacity(rows.len());
+                for row in rows {
+                    self.gov.tick()?;
+                    let src = row.as_ref();
+                    let mut permuted = Vec::with_capacity(indices.len());
+                    for &i in indices {
+                        permuted.push(src.get(i).cloned().unwrap_or(Value::Null));
+                    }
+                    self.gov.charge_intermediate(1, row_bytes(&permuted))?;
+                    out.push(Cow::Owned(permuted));
+                }
+                Ok((Scope { cols }, out))
+            }
+            PlanNode::Cap { input, cap: n } => {
+                let effective = match cap {
+                    Some(outer) => (*n).min(outer),
+                    None => *n,
+                };
+                self.exec_plan(input, Some(effective))
+            }
+            PlanNode::Project { .. }
+            | PlanNode::Aggregate { .. }
+            | PlanNode::Sort { .. }
+            | PlanNode::Limit { .. } => Err(Error::Internal(
+                "presentation plan node reached the relational executor".into(),
+            )),
         }
-        Ok((scope, rows))
     }
 
-    fn factor(&mut self, f: &TableFactor) -> Result<(Scope, Vec<CowRow<'a>>)> {
-        match f {
-            TableFactor::Table { name, alias } => {
-                let table = self
-                    .db
-                    .table(name)
-                    .ok_or_else(|| Error::Bind(format!("no such table: {name}")))?;
-                let binding = alias.as_deref().unwrap_or(name).to_lowercase();
-                let scope = Scope {
-                    cols: table
-                        .schema
-                        .columns
-                        .iter()
-                        .map(|c| ScopeCol {
-                            binding: binding.clone(),
-                            name: c.name.to_lowercase(),
-                            display: c.name.clone(),
-                        })
-                        .collect(),
-                };
-                self.stats.rows_scanned += table.rows.len() as u64;
-                // Borrowed scan: rows count against the budget, bytes do
-                // not (nothing is copied).
-                self.gov.charge_intermediate(table.rows.len() as u64, 0)?;
-                Ok((scope, table.rows.iter().map(|r| Cow::Borrowed(r.as_slice())).collect()))
-            }
-            TableFactor::Derived { subquery, alias } => {
-                self.stats.subqueries += 1;
-                let result = self.query(subquery)?;
-                self.gov.charge_intermediate(result.rows.len() as u64, rows_bytes(&result.rows))?;
-                let binding = alias.to_lowercase();
-                let scope = Scope {
-                    cols: result
-                        .columns
-                        .iter()
-                        .map(|c| ScopeCol {
-                            binding: binding.clone(),
-                            name: c.to_lowercase(),
-                            display: c.clone(),
-                        })
-                        .collect(),
-                };
-                Ok((scope, result.rows.into_iter().map(Cow::Owned).collect()))
-            }
+    fn scan_table(
+        &mut self,
+        name: &str,
+        binding: &str,
+        cap: Option<usize>,
+    ) -> Result<(Scope, Vec<CowRow<'a>>)> {
+        let table = self
+            .db
+            .table(name)
+            .ok_or_else(|| Error::Bind(format!("no such table: {name}")))?;
+        let scope = Scope {
+            cols: table
+                .schema
+                .columns
+                .iter()
+                .map(|c| ScopeCol {
+                    binding: binding.to_string(),
+                    name: c.name.to_lowercase(),
+                    display: c.name.clone(),
+                })
+                .collect(),
+        };
+        let take = match cap {
+            Some(c) => table.rows.len().min(c),
+            None => table.rows.len(),
+        };
+        self.stats.rows_scanned += take as u64;
+        // Borrowed scan: rows count against the budget, bytes do not
+        // (nothing is copied).
+        self.gov.charge_intermediate(take as u64, 0)?;
+        Ok((scope, table.rows.iter().take(take).map(|r| Cow::Borrowed(r.as_slice())).collect()))
+    }
+
+    fn derived_rows(
+        &mut self,
+        subquery: &Query,
+        binding: &str,
+        cap: Option<usize>,
+    ) -> Result<(Scope, Vec<CowRow<'a>>)> {
+        self.stats.subqueries += 1;
+        let mut result = self.query(subquery)?;
+        if let Some(c) = cap {
+            result.rows.truncate(c);
         }
+        self.gov.charge_intermediate(result.rows.len() as u64, rows_bytes(&result.rows))?;
+        let scope = Scope {
+            cols: result
+                .columns
+                .iter()
+                .map(|c| ScopeCol {
+                    binding: binding.to_string(),
+                    name: c.to_lowercase(),
+                    display: c.clone(),
+                })
+                .collect(),
+        };
+        Ok((scope, result.rows.into_iter().map(Cow::Owned).collect()))
     }
 
     fn nested_loop(
@@ -594,12 +642,16 @@ impl<'a> Executor<'a> {
         on: Option<&Expr>,
         combined: &Scope,
         left_outer: bool,
+        cap: Option<usize>,
     ) -> Result<Vec<CowRow<'a>>> {
         let right_width = combined.cols.len().saturating_sub(left.first().map(|r| r.len()).unwrap_or(0));
         let mut out: Vec<CowRow<'a>> = Vec::new();
-        for lrow in left {
+        'outer: for lrow in left {
             let mut matched = false;
             for rrow in right {
+                if cap.is_some_and(|c| out.len() >= c) {
+                    break 'outer;
+                }
                 self.stats.join_pairs += 1;
                 self.gov.tick()?;
                 let keep = match on {
@@ -616,6 +668,9 @@ impl<'a> Executor<'a> {
                     self.gov.charge_intermediate(1, row_bytes(&candidate))?;
                     out.push(Cow::Owned(candidate));
                 }
+            }
+            if cap.is_some_and(|c| out.len() >= c) {
+                break;
             }
             if left_outer && !matched {
                 let mut padded = lrow.into_owned();
@@ -654,6 +709,9 @@ impl<'a> Executor<'a> {
         right: &[CowRow<'a>],
         li: usize,
         ri: usize,
+        residual: Option<&Expr>,
+        combined: &Scope,
+        cap: Option<usize>,
     ) -> Result<Vec<CowRow<'a>>> {
         let mut index: HashMap<Value, Vec<usize>> = HashMap::with_capacity(right.len());
         for (i, row) in right.iter().enumerate() {
@@ -665,6 +723,9 @@ impl<'a> Executor<'a> {
         }
         let mut out: Vec<CowRow<'a>> = Vec::new();
         for lrow in left {
+            if cap.is_some_and(|c| out.len() >= c) {
+                break;
+            }
             self.stats.join_pairs += 1; // one probe per left row
             self.gov.tick()?;
             let key = &lrow[li];
@@ -674,6 +735,18 @@ impl<'a> Executor<'a> {
             if let Some(matches) = index.get(key) {
                 self.stats.join_pairs += matches.len() as u64;
                 for &i in matches {
+                    if cap.is_some_and(|c| out.len() >= c) {
+                        break;
+                    }
+                    if let Some(pred) = residual {
+                        let keep = self
+                            .eval(pred, combined, &Ctx::Pair(lrow.as_ref(), right[i].as_ref()))?
+                            .truthiness()
+                            == Some(true);
+                        if !keep {
+                            continue;
+                        }
+                    }
                     let mut candidate = lrow.as_ref().to_vec();
                     candidate.extend(right[i].iter().cloned());
                     self.gov.charge_intermediate(1, row_bytes(&candidate))?;
