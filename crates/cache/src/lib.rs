@@ -14,6 +14,10 @@
 //!   tokens. Cache keys embed the generation at lookup time, so bumping a
 //!   database's generation makes every entry cached under the old token
 //!   unreachable; the entries themselves are evicted lazily by LRU pressure.
+//! - [`RevisionMap`] — last-seen catalog revision per database, turning a
+//!   stream of observed `sqlengine` revision tokens (from local catalogs or
+//!   re-introspection of a live backend — indistinguishable here) into
+//!   first/unchanged/changed verdicts that drive generation bumps.
 //! - [`TierMetrics`] / [`CacheStats`] — every cache registers
 //!   `codes_cache_{hits,misses,evictions,expired}_total` counters and a
 //!   `codes_cache_entries` gauge against a [`codes_obs::Registry`], labelled
@@ -30,9 +34,11 @@
 mod generation;
 mod lru;
 mod metrics;
+mod revision;
 mod sharded;
 
 pub use generation::GenerationMap;
+pub use revision::{RevisionChange, RevisionMap};
 pub use metrics::{
     CacheStats, TierMetrics, ENTRIES, EVICTIONS_TOTAL, EXPIRED_TOTAL, HITS_TOTAL,
     INVALIDATIONS_TOTAL, MISSES_TOTAL,

@@ -1,0 +1,102 @@
+//! Catalog-revision tracking for revision-driven invalidation.
+
+use std::collections::HashMap;
+
+use parking_lot::Mutex;
+
+/// What one [`RevisionMap::observe`] call learned about a database.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RevisionChange {
+    /// First sighting of this database id; its revision was recorded.
+    First,
+    /// The revision matches the last one seen — catalog state unchanged.
+    Unchanged,
+    /// The revision moved: the catalog changed since the last observation.
+    Changed {
+        /// The previously recorded revision token.
+        from: u64,
+        /// The newly observed revision token.
+        to: u64,
+    },
+}
+
+impl RevisionChange {
+    /// Whether this observation requires invalidating cached state.
+    pub fn is_changed(&self) -> bool {
+        matches!(self, RevisionChange::Changed { .. })
+    }
+}
+
+/// Last-seen catalog revision per database id.
+///
+/// Revision tokens are the currency of invalidation across the stack: the
+/// `sqlengine` catalog stamps a fresh token on every mutation, and live
+/// backends surface the same token over a connection. A [`RevisionMap`]
+/// turns a stream of observed tokens — from local catalogs or from
+/// re-introspection of a remote backend, the two are indistinguishable
+/// here — into the one bit that matters: *did the catalog change since we
+/// last looked?* Callers pair a `Changed` answer with a
+/// [`GenerationMap::bump`](crate::GenerationMap::bump) so pre-change cache
+/// entries become unreachable.
+#[derive(Default)]
+pub struct RevisionMap {
+    inner: Mutex<HashMap<String, u64>>,
+}
+
+impl RevisionMap {
+    pub fn new() -> RevisionMap {
+        RevisionMap::default()
+    }
+
+    /// Record `revision` as the latest sighting for `id` and report how it
+    /// compares to the previous one.
+    pub fn observe(&self, id: &str, revision: u64) -> RevisionChange {
+        let mut map = self.inner.lock();
+        match map.get_mut(id) {
+            Some(seen) if *seen == revision => RevisionChange::Unchanged,
+            Some(seen) => {
+                let from = *seen;
+                *seen = revision;
+                RevisionChange::Changed { from, to: revision }
+            }
+            None => {
+                map.insert(id.to_string(), revision);
+                RevisionChange::First
+            }
+        }
+    }
+
+    /// The last revision recorded for `id`, if it was ever observed.
+    pub fn last_seen(&self, id: &str) -> Option<u64> {
+        self.inner.lock().get(id).copied()
+    }
+
+    /// Drop the record for `id`; the next observation reports `First`.
+    pub fn forget(&self, id: &str) {
+        self.inner.lock().remove(id);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn first_unchanged_changed_cycle() {
+        let map = RevisionMap::new();
+        assert_eq!(map.observe("db", 7), RevisionChange::First);
+        assert_eq!(map.observe("db", 7), RevisionChange::Unchanged);
+        assert_eq!(map.observe("db", 9), RevisionChange::Changed { from: 7, to: 9 });
+        assert!(map.observe("db", 10).is_changed());
+        assert_eq!(map.last_seen("db"), Some(10));
+        assert_eq!(map.last_seen("other"), None);
+    }
+
+    #[test]
+    fn forget_resets_to_first_sighting() {
+        let map = RevisionMap::new();
+        map.observe("db", 1);
+        map.forget("db");
+        assert_eq!(map.observe("db", 2), RevisionChange::First);
+    }
+}

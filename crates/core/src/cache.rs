@@ -29,16 +29,16 @@
 //! model or classifier weights, so sharing a cache between systems with
 //! different weights would serve one system the other's answers.
 
-use std::collections::HashMap;
 use std::fmt;
 use std::sync::Arc;
 use std::time::Duration;
 
-use codes_cache::{CacheConfig, CacheStats, GenerationMap, ShardedCache, INVALIDATIONS_TOTAL};
+use codes_cache::{
+    CacheConfig, CacheStats, GenerationMap, RevisionMap, ShardedCache, INVALIDATIONS_TOTAL,
+};
 use codes_linker::FilteredSchema;
 use codes_obs::{Counter, Registry};
 use codes_retrieval::ValueMatch;
-use parking_lot::Mutex;
 use sqlengine::Database;
 
 use crate::config::Config;
@@ -145,7 +145,7 @@ pub struct SystemCache {
     generations: GenerationMap,
     /// Last-seen `sqlengine` catalog revision per database, so any mutation
     /// observed at inference time auto-bumps the generation.
-    revisions: Mutex<HashMap<String, u64>>,
+    revisions: RevisionMap,
     schema: ShardedCache<SchemaKey, Arc<FilteredSchema>>,
     values: ShardedCache<ValueKey, Arc<Vec<ValueMatch>>>,
     full: ShardedCache<FullKey, CachedAnswer>,
@@ -176,7 +176,7 @@ impl SystemCache {
         }
         SystemCache {
             generations: GenerationMap::new(),
-            revisions: Mutex::new(HashMap::new()),
+            revisions: RevisionMap::new(),
             schema: tier(&settings, registry, settings.schema_capacity, "schema_filter"),
             values: tier(&settings, registry, settings.value_capacity, "value_retrieval"),
             full: tier(&settings, registry, settings.full_capacity, "full_result"),
@@ -201,20 +201,18 @@ impl SystemCache {
     /// revision; any later revision change (DDL, row mutations) bumps the
     /// generation so pre-mutation entries can no longer be served.
     pub fn observe_revision(&self, db: &Database) -> u64 {
-        let mut revisions = self.revisions.lock();
-        match revisions.get_mut(&db.name) {
-            Some(seen) if *seen == db.revision() => {}
-            Some(seen) => {
-                *seen = db.revision();
-                drop(revisions);
-                return self.invalidate_database(&db.name);
-            }
-            None => {
-                revisions.insert(db.name.clone(), db.revision());
-            }
+        self.observe_revision_token(&db.name, db.revision())
+    }
+
+    /// [`SystemCache::observe_revision`] for callers that hold a revision
+    /// token without the catalog itself — e.g. a storage layer that read
+    /// the token over a live connection.
+    pub fn observe_revision_token(&self, db_id: &str, revision: u64) -> u64 {
+        if self.revisions.observe(db_id, revision).is_changed() {
+            self.invalidate_database(db_id)
+        } else {
+            self.generations.generation(db_id)
         }
-        drop(revisions);
-        self.generations.generation(&db.name)
     }
 
     /// T1 lookup/compute. `computed` distinguishes a hit from a miss for

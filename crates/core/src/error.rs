@@ -56,6 +56,13 @@ pub enum Error {
         /// The database id nobody serves.
         db_id: String,
     },
+    /// The storage layer failed before the request reached the engine:
+    /// the backend refused or dropped a connection, introspection could
+    /// not assemble a catalog, or the connection pool was exhausted.
+    /// Engine/catalog failures surfaced *through* a connection arrive as
+    /// [`Error::Engine`]/[`Error::UnknownDatabase`] instead (see
+    /// `From<codes_storage::StorageError>`).
+    Storage(codes_storage::StorageError),
 }
 
 impl Error {
@@ -70,6 +77,7 @@ impl Error {
             Error::WorkerWedged { .. } => "worker_wedged",
             Error::ShuttingDown => "shutting_down",
             Error::UnknownDatabase { .. } => "unknown_database",
+            Error::Storage(e) => e.kind(),
         }
     }
 
@@ -87,6 +95,7 @@ impl Error {
             | Error::WorkerPanic(_)
             | Error::WorkerWedged { .. } => true,
             Error::ShuttingDown | Error::UnknownDatabase { .. } => false,
+            Error::Storage(e) => e.is_transient(),
         }
     }
 
@@ -97,7 +106,12 @@ impl Error {
     pub fn is_overload(&self) -> bool {
         matches!(
             self,
-            Error::Overloaded { .. } | Error::CircuitOpen { .. } | Error::DeadlineExceeded { .. }
+            Error::Overloaded { .. }
+                | Error::CircuitOpen { .. }
+                | Error::DeadlineExceeded { .. }
+                // Pool exhaustion is load shedding at the storage layer:
+                // every connection was busy for the whole checkout window.
+                | Error::Storage(codes_storage::StorageError::Exhausted { .. })
         )
     }
 }
@@ -123,6 +137,7 @@ impl fmt::Display for Error {
             Error::UnknownDatabase { db_id } => {
                 write!(f, "unknown database '{db_id}': not served by this pool")
             }
+            Error::Storage(e) => write!(f, "storage failed: {e}"),
         }
     }
 }
@@ -132,6 +147,24 @@ impl std::error::Error for Error {}
 impl From<sqlengine::Error> for Error {
     fn from(e: sqlengine::Error) -> Error {
         Error::Engine(e)
+    }
+}
+
+/// Collapse storage failures into the stack's taxonomy. Failures that are
+/// really *engine* or *addressing* failures surfaced through a connection
+/// keep their established variants (and HTTP mappings); only the failure
+/// modes storage introduces — refused connects, introspection faults, pool
+/// exhaustion — ride the new [`Error::Storage`] variant.
+impl From<codes_storage::StorageError> for Error {
+    fn from(e: codes_storage::StorageError) -> Error {
+        match e {
+            codes_storage::StorageError::Engine(inner) => Error::Engine(inner),
+            codes_storage::StorageError::UnknownDatabase(db_id) => {
+                Error::UnknownDatabase { db_id }
+            }
+            codes_storage::StorageError::Closed => Error::ShuttingDown,
+            other => Error::Storage(other),
+        }
     }
 }
 
@@ -170,5 +203,31 @@ mod tests {
         let unknown = Error::UnknownDatabase { db_id: "nowhere".into() };
         assert!(!unknown.is_transient() && !unknown.is_overload());
         assert_eq!(unknown.kind(), "unknown_database");
+    }
+
+    #[test]
+    fn storage_errors_bridge_into_the_stack_taxonomy() {
+        use codes_storage::StorageError;
+
+        // Storage-native failure modes keep their own kinds on the new
+        // variant; connects and exhaustion are retryable, and exhaustion
+        // alone counts as load shedding.
+        let connect = Error::from(StorageError::Connect("refused".into()));
+        assert_eq!(connect.kind(), "storage_connect");
+        assert!(connect.is_transient() && !connect.is_overload());
+        let introspect = Error::from(StorageError::Introspect("no schema".into()));
+        assert_eq!(introspect.kind(), "storage_introspect");
+        let exhausted = Error::from(StorageError::Exhausted { capacity: 4, waited_ms: 100 });
+        assert_eq!(exhausted.kind(), "storage_exhausted");
+        assert!(exhausted.is_transient() && exhausted.is_overload());
+
+        // Failures merely surfaced *through* storage collapse into the
+        // established variants, so existing HTTP mappings keep working.
+        let engine =
+            Error::from(StorageError::Engine(sqlengine::Error::Parse("bad".into())));
+        assert!(matches!(engine, Error::Engine(_)));
+        let unknown = Error::from(StorageError::UnknownDatabase("nowhere".into()));
+        assert!(matches!(unknown, Error::UnknownDatabase { ref db_id } if db_id == "nowhere"));
+        assert!(matches!(Error::from(StorageError::Closed), Error::ShuttingDown));
     }
 }

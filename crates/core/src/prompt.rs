@@ -233,7 +233,7 @@ impl DbPrompt {
 /// Algorithm 1: build the prompt for a question at inference time.
 ///
 /// Convenience wrapper running all four prompt stages back to back;
-/// instrumented callers ([`crate::CodesSystem::infer_with`]) invoke the
+/// instrumented callers ([`crate::CodesSystem::infer`]) invoke the
 /// `stage_*` functions directly so each stage gets its own span.
 pub fn build_prompt(
     db: &Database,

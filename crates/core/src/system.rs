@@ -153,6 +153,19 @@ impl CodesSystem {
         }
     }
 
+    /// Prepare an introspected [`codes_storage::Catalog`]: build (or
+    /// revision-aware reuse) the BM25 value index over its executable
+    /// mirror and reconcile the attached cache with the backend's revision
+    /// stamp. One call makes a freshly attached live database fully
+    /// servable — value retrieval works and the cache generation reflects
+    /// the backend state the catalog was read from.
+    pub fn prepare_catalog(&self, catalog: &codes_storage::Catalog) {
+        self.prepare_database(&catalog.database);
+        if let Some(cache) = self.cache.as_ref() {
+            cache.observe_revision(&catalog.database);
+        }
+    }
+
     /// Install already-built value indexes (shared across systems).
     pub fn install_value_indexes(&self, indexes: &HashMap<String, Arc<ValueIndex>>) {
         let mut mine = self.value_indexes.write();
@@ -233,32 +246,6 @@ impl CodesSystem {
     pub fn infer(&self, db: &Database, request: &InferenceRequest) -> Inference {
         let config = request.resolved_config(&self.config);
         self.infer_one(db, &request.question, request.knowledge(), &config)
-    }
-
-    /// The pre-[`InferenceRequest`] entry point (`infer(db, question, ek)`).
-    #[deprecated(note = "build an `InferenceRequest` and call `infer(db, &request)`")]
-    pub fn infer_question(
-        &self,
-        db: &Database,
-        question: &str,
-        external_knowledge: Option<&str>,
-    ) -> Inference {
-        self.infer_one(db, question, external_knowledge, &self.config)
-    }
-
-    /// [`CodesSystem::infer`] under a caller-supplied [`Config`] instead of
-    /// the system-wide one.
-    #[deprecated(
-        note = "build an `InferenceRequest` with `.with_config(..)` and call `infer(db, &request)`"
-    )]
-    pub fn infer_with(
-        &self,
-        db: &Database,
-        question: &str,
-        external_knowledge: Option<&str>,
-        config: &Config,
-    ) -> Inference {
-        self.infer_one(db, question, external_knowledge, config)
     }
 
     fn infer_one(

@@ -203,7 +203,11 @@ pub struct WireError {
 /// * misaddressed databases (`unknown_database`, engine `unknown_table`)
 ///   are `404`;
 /// * infrastructure faults (`worker_panic`, `worker_wedged`, engine
-///   `internal`) are `500`.
+///   `internal`) are `500`;
+/// * storage faults: refused connects (`storage_connect`) and pool
+///   exhaustion (`storage_exhausted`) are transient `503` + `Retry-After`;
+///   a failed introspection (`storage_introspect`) is a bad-upstream `502`
+///   with no retry hint.
 pub fn map_serve_error(err: &codes::Error) -> WireError {
     let wire = |status: u16, code: &'static str| WireError { status, code, retry_after: None };
     match err {
@@ -226,6 +230,29 @@ pub fn map_serve_error(err: &codes::Error) -> WireError {
             retry_after: Some(Duration::from_secs(1)),
         },
         codes::Error::UnknownDatabase { .. } => wire(404, "unknown_database"),
+        // Storage-layer failures. Connect refusals and pool exhaustion are
+        // transient by construction (the backend may come back, a
+        // connection will free up) — `503` + `Retry-After`. A failed
+        // introspection means the gateway reached the backend but could
+        // not assemble a coherent catalog from it: a bad-upstream `502`,
+        // and retrying immediately won't change the backend's catalog.
+        codes::Error::Storage(e) => match e.kind() {
+            "storage_connect" => WireError {
+                status: 503,
+                code: "storage_connect",
+                retry_after: Some(Duration::from_secs(1)),
+            },
+            "storage_exhausted" => WireError {
+                status: 503,
+                code: "storage_exhausted",
+                retry_after: Some(Duration::from_secs(1)),
+            },
+            "storage_introspect" => wire(502, "storage_introspect"),
+            // Engine/UnknownDatabase/Closed never reach this arm
+            // (`From<StorageError>` collapses them into the established
+            // variants above); anything new is our bug, not the client's.
+            _ => wire(500, "storage_internal"),
+        },
         codes::Error::Engine(e) => match e.kind() {
             "lex" => wire(422, "engine_lex"),
             "parse" => wire(422, "engine_parse"),

@@ -174,6 +174,10 @@ struct StatCells {
 
 struct Inner {
     router: Arc<Router>,
+    /// Storage-backed catalog service for `POST /v1/databases` (live
+    /// attach-by-introspection). `None` when the gateway was started
+    /// without one — the endpoint then answers `501 not_implemented`.
+    catalogs: Option<Arc<codes_storage::CatalogService>>,
     config: GatewayConfig,
     auth: AuthTable,
     metrics: GatewayMetrics,
@@ -200,6 +204,26 @@ impl Gateway {
     /// accepting. Metrics land in the router's registry, so the gateway's
     /// own `/metrics` endpoint serves the full stack's series.
     pub fn start(router: Arc<Router>, config: GatewayConfig) -> Result<Gateway, StartError> {
+        Gateway::start_inner(router, config, None)
+    }
+
+    /// [`Gateway::start`] plus a storage-backed catalog service, enabling
+    /// `POST /v1/databases`: attach a database by id, introspect its
+    /// schema and representative values over a pooled connection, and
+    /// serve it immediately — no redeploy, no hand-registered catalog.
+    pub fn start_with_storage(
+        router: Arc<Router>,
+        config: GatewayConfig,
+        catalogs: Arc<codes_storage::CatalogService>,
+    ) -> Result<Gateway, StartError> {
+        Gateway::start_inner(router, config, Some(catalogs))
+    }
+
+    fn start_inner(
+        router: Arc<Router>,
+        config: GatewayConfig,
+        catalogs: Option<Arc<codes_storage::CatalogService>>,
+    ) -> Result<Gateway, StartError> {
         let listener = TcpListener::bind(&config.bind_addr).map_err(StartError::Bind)?;
         let addr = listener.local_addr().map_err(StartError::Bind)?;
         let journal = match &config.journal_path {
@@ -216,6 +240,7 @@ impl Gateway {
             metrics: GatewayMetrics::new(&registry),
             registry,
             router,
+            catalogs,
             config,
             addr,
             started: Instant::now(),
@@ -527,7 +552,8 @@ fn route(inner: &Arc<Inner>, request: &HttpRequest) -> (&'static str, HttpRespon
         }
         ("POST", "/v1/infer") => ("infer", handle_infer(inner, request)),
         ("POST", "/v1/invalidate") => ("invalidate", handle_invalidate(inner, request)),
-        (_, "/v1/health" | "/metrics" | "/v1/infer" | "/v1/invalidate") => {
+        ("POST", "/v1/databases") => ("databases", handle_attach(inner, request)),
+        (_, "/v1/health" | "/metrics" | "/v1/infer" | "/v1/invalidate" | "/v1/databases") => {
             ("other", Reject::MethodNotAllowed.response())
         }
         _ => ("other", Reject::NotFound.response()),
@@ -762,6 +788,51 @@ fn handle_invalidate(inner: &Arc<Inner>, request: &HttpRequest) -> HttpResponse 
                     "generation".to_string(),
                     generation.map_or(Json::Null, |g| Json::Int(g as i64)),
                 ),
+            ]);
+            HttpResponse::json(200, &body)
+        }
+        Err(e) => serve_error_response(&codes::Error::from(e)),
+    }
+}
+
+/// `POST /v1/databases`: attach (or re-attach) a database by id. The
+/// catalog service checks out a pooled connection, introspects the full
+/// schema plus representative cell values, stamps the mirror with the
+/// backend's revision token, and fires the revision observer — so value
+/// indexes and cache generations are current before the response leaves.
+/// Re-attaching an already-served database refreshes it.
+fn handle_attach(inner: &Arc<Inner>, request: &HttpRequest) -> HttpResponse {
+    if let Err(reject) = authenticate(inner, request) {
+        return reject.response();
+    }
+    if inner.shutdown.load(Ordering::SeqCst) {
+        inner.metrics.shed(EdgeShed::ShuttingDown).inc();
+        return Reject::ShuttingDown.response();
+    }
+    let Some(catalogs) = inner.catalogs.as_ref() else {
+        return Reject::Unimplemented("database attachment (no storage service configured)")
+            .response();
+    };
+    let text = match std::str::from_utf8(&request.body) {
+        Ok(text) => text,
+        Err(_) => return Reject::BadRequest("body is not valid UTF-8".to_string()).response(),
+    };
+    let json = match serde_json::from_str(text) {
+        Ok(json) => json,
+        Err(e) => return Reject::BadRequest(format!("invalid JSON: {e}")).response(),
+    };
+    let Some(db_id) = json.get("db_id").and_then(Json::as_str).filter(|s| !s.is_empty()) else {
+        return Reject::BadRequest("missing required string field 'db_id'".to_string())
+            .response();
+    };
+    match catalogs.attach(db_id) {
+        Ok(catalog) => {
+            let body = Json::Obj(vec![
+                ("db_id".to_string(), Json::Str(catalog.db_id().to_string())),
+                ("revision".to_string(), Json::Int(catalog.revision as i64)),
+                ("tables".to_string(), Json::Int(catalog.table_count() as i64)),
+                ("columns".to_string(), Json::Int(catalog.column_count() as i64)),
+                ("values".to_string(), Json::Int(catalog.value_count() as i64)),
             ]);
             HttpResponse::json(200, &body)
         }

@@ -48,6 +48,14 @@ fn serve_errors() -> Vec<codes::Error> {
         codes::Error::WorkerWedged { stalled: Duration::from_secs(1) },
         codes::Error::ShuttingDown,
         codes::Error::UnknownDatabase { db_id: "nowhere".to_string() },
+        codes::Error::Storage(codes_storage::StorageError::Connect("refused".to_string())),
+        codes::Error::Storage(codes_storage::StorageError::Introspect(
+            "revision kept moving".to_string(),
+        )),
+        codes::Error::Storage(codes_storage::StorageError::Exhausted {
+            capacity: 4,
+            waited_ms: 2_000,
+        }),
     ]
 }
 
@@ -62,6 +70,9 @@ fn serve_error_table_is_total_and_exact() {
         ("worker_wedged", 500, "worker_wedged", false),
         ("shutting_down", 503, "shutting_down", true),
         ("unknown_database", 404, "unknown_database", false),
+        ("storage_connect", 503, "storage_connect", true),
+        ("storage_introspect", 502, "storage_introspect", false),
+        ("storage_exhausted", 503, "storage_exhausted", true),
     ];
     let errors = serve_errors();
     assert_eq!(errors.len(), expected.len(), "table and variant list in lockstep");
@@ -101,6 +112,22 @@ fn engine_error_table_is_total_and_exact() {
         assert_eq!(wire.code, *code, "engine kind {kind}");
         assert!(wire.retry_after.is_none(), "engine failures carry no retry hint");
     }
+}
+
+#[test]
+fn storage_failures_collapse_before_mapping() {
+    // Engine, addressing, and shutdown failures surfaced *through* a
+    // storage connection reuse the established variants (and their rows
+    // above) — only storage-native failure modes get new codes.
+    let engine = codes::Error::from(codes_storage::StorageError::Engine(
+        sqlengine::Error::Parse("x".to_string()),
+    ));
+    assert_eq!(map_serve_error(&engine).code, "engine_parse");
+    let unknown =
+        codes::Error::from(codes_storage::StorageError::UnknownDatabase("n".to_string()));
+    assert_eq!(map_serve_error(&unknown).code, "unknown_database");
+    let closed = codes::Error::from(codes_storage::StorageError::Closed);
+    assert_eq!(map_serve_error(&closed).code, "shutting_down");
 }
 
 #[test]

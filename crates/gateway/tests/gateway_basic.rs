@@ -314,3 +314,127 @@ fn graceful_shutdown_drains_in_flight_and_refuses_new_work() {
         "post-shutdown connections refuse or close immediately"
     );
 }
+
+#[test]
+fn attach_endpoint_introspects_live_databases() {
+    use std::sync::Arc;
+
+    use codes_storage::{
+        CatalogService, ConnectionPool, IntrospectOptions, MemoryBackend, PoolConfig,
+    };
+    use sqlengine::{Column, DataType, Database, TableSchema};
+
+    let mut db = Database::new("shop");
+    let table = db
+        .create_table(TableSchema::new(
+            "items",
+            vec![
+                Column::new("id", DataType::Integer).primary_key(),
+                Column::new("label", DataType::Text),
+            ],
+        ))
+        .expect("fresh table");
+    table.insert(vec![1.into(), "anvil".into()]).expect("row fits");
+    let backend = MemoryBackend::new(vec![db]);
+    let store = backend.store();
+    let pool = ConnectionPool::new(Arc::new(backend), PoolConfig::default());
+    let service = Arc::new(CatalogService::new(pool, IntrospectOptions::default()));
+    let router = test_router(Duration::from_millis(1), &[]);
+    let gateway = Gateway::start_with_storage(router, fast_config(Vec::new()), service)
+        .expect("gateway starts");
+    let mut client = HttpClient::connect(gateway.local_addr()).expect("connect");
+    let attach_body =
+        Json::Obj(vec![("db_id".to_string(), Json::Str("shop".to_string()))]);
+
+    // Attaching a database the backend doesn't expose is a typed 404.
+    let missing = client
+        .post_json(
+            "/v1/databases",
+            &[],
+            &Json::Obj(vec![("db_id".to_string(), Json::Str("nowhere".to_string()))]),
+        )
+        .expect("attach missing");
+    assert_eq!(missing.status, 404, "body: {}", missing.body_str());
+    assert_eq!(missing.error_code().as_deref(), Some("unknown_database"));
+
+    // Attach the live database: full catalog counts plus the revision stamp.
+    let first = client.post_json("/v1/databases", &[], &attach_body).expect("attach");
+    assert_eq!(first.status, 200, "body: {}", first.body_str());
+    let json = first.json().expect("attach json");
+    assert_eq!(json.get("db_id").and_then(Json::as_str), Some("shop"));
+    assert_eq!(json.get("tables").and_then(Json::as_i64), Some(1));
+    assert_eq!(json.get("columns").and_then(Json::as_i64), Some(2));
+    assert_eq!(json.get("values").and_then(Json::as_i64), Some(2));
+    let rev0 = json.get("revision").and_then(Json::as_i64).expect("revision");
+
+    // Mutate the live store; re-attaching observes the new revision.
+    store
+        .write()
+        .get_mut("shop")
+        .expect("shop exists")
+        .table_mut("items")
+        .expect("items exists")
+        .insert(vec![2.into(), "rope".into()])
+        .expect("row fits");
+    let second = client.post_json("/v1/databases", &[], &attach_body).expect("re-attach");
+    assert_eq!(second.status, 200);
+    let rev1 =
+        second.json().expect("json").get("revision").and_then(Json::as_i64).expect("revision");
+    assert_ne!(rev0, rev1, "a live mutation moves the attached revision stamp");
+
+    // Wrong method and missing field are typed.
+    let wrong_method = client.get("/v1/databases", &[]).expect("405");
+    assert_eq!(wrong_method.status, 405);
+    let no_db = client.request("POST", "/v1/databases", &[], b"{}").expect("400");
+    assert_eq!(no_db.status, 400);
+    gateway.shutdown();
+}
+
+#[test]
+fn attach_without_storage_service_is_unimplemented() {
+    let gateway = start_gateway(fast_config(Vec::new()), &[]);
+    let mut client = HttpClient::connect(gateway.local_addr()).expect("connect");
+    let resp = client
+        .post_json(
+            "/v1/databases",
+            &[],
+            &Json::Obj(vec![("db_id".to_string(), Json::Str("bank".to_string()))]),
+        )
+        .expect("attach");
+    assert_eq!(resp.status, 501, "body: {}", resp.body_str());
+    assert_eq!(resp.error_code().as_deref(), Some("not_implemented"));
+    gateway.shutdown();
+}
+
+#[test]
+fn storage_connect_failures_reach_the_wire_typed() {
+    use std::sync::Arc;
+
+    use codes_storage::{
+        CatalogService, ConnectionPool, FaultSpec, FlakyBackend, IntrospectOptions,
+        MemoryBackend, PoolConfig,
+    };
+
+    // Every connect refused: the attach surfaces as a retryable 503.
+    let flaky = FlakyBackend::new(
+        MemoryBackend::new(Vec::new()),
+        FaultSpec { seed: 9, connect_fail: 1.0, ..FaultSpec::default() },
+    );
+    let pool = ConnectionPool::new(Arc::new(flaky), PoolConfig::default());
+    let service = Arc::new(CatalogService::new(pool, IntrospectOptions::default()));
+    let router = test_router(Duration::from_millis(1), &[]);
+    let gateway = Gateway::start_with_storage(router, fast_config(Vec::new()), service)
+        .expect("gateway starts");
+    let mut client = HttpClient::connect(gateway.local_addr()).expect("connect");
+    let resp = client
+        .post_json(
+            "/v1/databases",
+            &[],
+            &Json::Obj(vec![("db_id".to_string(), Json::Str("shop".to_string()))]),
+        )
+        .expect("attach");
+    assert_eq!(resp.status, 503, "body: {}", resp.body_str());
+    assert_eq!(resp.error_code().as_deref(), Some("storage_connect"));
+    assert!(resp.header("retry-after").is_some(), "connect refusals hint a retry");
+    gateway.shutdown();
+}

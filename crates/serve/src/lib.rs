@@ -57,8 +57,6 @@ pub use codes::InferenceRequest;
 pub use error::ServeError;
 pub use fault::{Fault, FaultPlan, FaultyBackend};
 pub use metrics::MetricsSnapshot;
-#[allow(deprecated)]
-pub use pool::Request;
 pub use pool::{
     Backend, BackendReply, HealthSnapshot, Outcome, Pool, ServeConfig, ServedInference,
     StatsSnapshot, SystemBackend, Ticket, WorkerHealth,

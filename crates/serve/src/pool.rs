@@ -36,6 +36,7 @@ use codes::{
     config_fingerprint, normalize_question, CachedAnswer, CodesSystem, Config, InferenceRequest,
     SystemCache, SystemCacheStats,
 };
+use codes_storage::{CatalogService, ConnectionPool, IntrospectOptions, PoolConfig};
 use crossbeam::channel::{self, Receiver, Sender, TrySendError};
 use parking_lot::Mutex;
 use sqlengine::{with_retry_paced, Backoff, Database, Error};
@@ -108,17 +109,75 @@ pub struct BackendReply {
     pub cache_hits: codes::CacheHits,
 }
 
-/// [`Backend`] over a real [`CodesSystem`] and a set of databases.
+/// [`Backend`] over a real [`CodesSystem`] and a storage-backed catalog
+/// service.
+///
+/// The databases served are no longer owned `Database` values: they live
+/// behind a [`codes_storage::Backend`] and are mirrored locally through
+/// introspection. Each dispatch re-syncs the target catalog — a revision
+/// change observed on the live backend refreshes the mirror, rebuilds its
+/// value index, and bumps the system cache's generation exactly like a
+/// local catalog mutation would. A sync *failure* degrades instead of
+/// failing: the last-known catalog serves the request, with the storage
+/// failure recorded as a degradation on the reply.
 pub struct SystemBackend {
     system: Arc<CodesSystem>,
-    dbs: HashMap<String, Database>,
+    service: Arc<CatalogService>,
 }
 
 impl SystemBackend {
-    /// Serve `system` over `dbs` (keyed by database name).
+    /// Serve `system` over `dbs`: the databases move into an in-memory
+    /// storage backend behind a default-sized connection pool, and every
+    /// catalog is attached (introspected) up front. The common path for
+    /// tests and single-node serving; bring-your-own-backend stacks use
+    /// [`SystemBackend::with_catalogs`].
     pub fn new(system: Arc<CodesSystem>, dbs: Vec<Database>) -> SystemBackend {
-        let dbs = dbs.into_iter().map(|d| (d.name.clone(), d)).collect();
-        SystemBackend { system, dbs }
+        let backend = codes_storage::MemoryBackend::new(dbs);
+        let pool = ConnectionPool::new(Arc::new(backend), PoolConfig::default());
+        let service = Arc::new(CatalogService::new(pool, IntrospectOptions::default()));
+        SystemBackend::with_catalogs(system, service)
+    }
+
+    /// Serve `system` over an existing catalog service (any backend/pool
+    /// stack). Wires the service's revision observer to the system — every
+    /// attach or refresh rebuilds the database's value index and reconciles
+    /// the cache generation — then attaches every database the backend
+    /// exposes. Attach failures are not fatal here: the first dispatch
+    /// retries via sync and surfaces a typed error if the database never
+    /// becomes reachable.
+    pub fn with_catalogs(system: Arc<CodesSystem>, service: Arc<CatalogService>) -> SystemBackend {
+        let observer_system = Arc::clone(&system);
+        service.set_revision_observer(Box::new(move |db| {
+            observer_system.prepare_database(db);
+            if let Some(cache) = observer_system.cache() {
+                cache.observe_revision(db);
+            }
+        }));
+        let _ = service.attach_all();
+        SystemBackend { system, service }
+    }
+
+    /// The catalog service this backend serves from (the gateway's attach
+    /// endpoint registers new databases through it).
+    pub fn catalogs(&self) -> &Arc<CatalogService> {
+        &self.service
+    }
+
+    /// Sync and fetch the catalog for one dispatch. A failed sync serves
+    /// the last-known catalog with a degradation note; a database with no
+    /// catalog at all is the caller's addressing error.
+    fn catalog_for(
+        &self,
+        db_id: &str,
+    ) -> Result<(Arc<codes_storage::Catalog>, Option<String>), Error> {
+        let degradation = match self.service.sync(db_id) {
+            Ok(_) => None,
+            Err(e) => Some(format!("storage sync failed ({e}); serving last-known catalog")),
+        };
+        match self.service.catalog(db_id) {
+            Some(catalog) => Ok((catalog, degradation)),
+            None => Err(Error::UnknownTable(db_id.to_string())),
+        }
     }
 }
 
@@ -143,14 +202,14 @@ impl Backend for SystemBackend {
         _id: u64,
         config: &Config,
     ) -> Result<BackendReply, Error> {
-        let db = self
-            .dbs
-            .get(&request.db_id)
-            .ok_or_else(|| Error::UnknownTable(request.db_id.clone()))?;
-        let out = self.system.infer(db, &SystemBackend::resolved(request, config));
+        let (catalog, degradation) = self.catalog_for(&request.db_id)?;
+        let out =
+            self.system.infer(&catalog.database, &SystemBackend::resolved(request, config));
+        let mut degradations = out.degradations;
+        degradations.extend(degradation);
         Ok(BackendReply {
             sql: out.sql,
-            degradations: out.degradations,
+            degradations,
             latency_seconds: out.latency_seconds,
             prompt_tokens: out.prompt_tokens,
             stages: out.stages,
@@ -166,21 +225,26 @@ impl Backend for SystemBackend {
         let Some((first, _)) = requests.first() else {
             return Vec::new();
         };
-        let Some(db) = self.dbs.get(&first.db_id) else {
-            return requests
-                .iter()
-                .map(|(r, _)| Err(Error::UnknownTable(r.db_id.clone())))
-                .collect();
+        let (catalog, degradation) = match self.catalog_for(&first.db_id) {
+            Ok(found) => found,
+            Err(_) => {
+                return requests
+                    .iter()
+                    .map(|(r, _)| Err(Error::UnknownTable(r.db_id.clone())))
+                    .collect();
+            }
         };
         let members: Vec<InferenceRequest> =
             requests.iter().map(|(r, _)| SystemBackend::resolved(r, config)).collect();
         self.system
-            .infer_batch(db, &members)
+            .infer_batch(&catalog.database, &members)
             .into_iter()
             .map(|out| {
+                let mut degradations = out.degradations;
+                degradations.extend(degradation.clone());
                 Ok(BackendReply {
                     sql: out.sql,
-                    degradations: out.degradations,
+                    degradations,
                     latency_seconds: out.latency_seconds,
                     prompt_tokens: out.prompt_tokens,
                     stages: out.stages,
@@ -191,15 +255,9 @@ impl Backend for SystemBackend {
     }
 
     fn has_database(&self, db_id: &str) -> Option<bool> {
-        Some(self.dbs.contains_key(db_id))
+        Some(self.service.contains(db_id))
     }
 }
-
-/// Former pool-specific request type, now unified with the core crate's
-/// builder (the fields line up one-to-one, so existing construction code
-/// keeps compiling).
-#[deprecated(note = "use codes::InferenceRequest (re-exported as serve::InferenceRequest)")]
-pub type Request = InferenceRequest;
 
 /// Pool tuning knobs.
 #[derive(Debug, Clone)]

@@ -266,6 +266,19 @@ impl Database {
         self.revision
     }
 
+    /// Stamp this catalog with an externally observed revision token.
+    ///
+    /// For introspection mirrors: a catalog reconstructed from a live
+    /// connection must carry the *backend's* revision, not the fresh tokens
+    /// its own construction minted — otherwise every re-introspection of an
+    /// unchanged schema would look like a mutation and invalidate caches.
+    /// Callers must only stamp a faithful copy of the catalog state the
+    /// token describes, preserving the "equal revisions imply identical
+    /// catalog state" invariant.
+    pub fn set_revision(&mut self, token: u64) {
+        self.revision = token;
+    }
+
     /// Create a table; errors if the name already exists.
     pub fn create_table(&mut self, schema: TableSchema) -> Result<&mut Table> {
         if self.table(&schema.name).is_some() {

@@ -1,0 +1,110 @@
+//! The `Backend`/`Connection` trait split.
+//!
+//! A [`Backend`] is a factory for connections to a database server; a
+//! [`Connection`] is one live session against it. The split mirrors real
+//! database drivers: backends are cheap, shared, and `Sync`; connections
+//! are stateful, owned by one caller at a time, and can *break* — which is
+//! exactly what the pool's health-checked recycling exists to absorb.
+//!
+//! A connection exposes the three capabilities the CodeS stack needs:
+//!
+//! * **execute** — run SQL against one database and get rows back;
+//! * **catalog introspection** — enumerate databases/tables and fetch each
+//!   table's schema (types, PK/FK edges), the raw facts
+//!   [`crate::introspect`] assembles into a full [`crate::Catalog`];
+//! * **revision stamping** — a token that changes whenever the database's
+//!   catalog state changes, the currency of the existing cache
+//!   generation-invalidation.
+
+use sqlengine::{QueryResult, TableSchema};
+
+use crate::error::StorageError;
+
+/// A storage backend: a shared, thread-safe factory for connections.
+pub trait Backend: Send + Sync {
+    /// Backend label, used in metrics and error messages.
+    fn name(&self) -> &str;
+
+    /// Open a new connection. Remote-ish backends may refuse
+    /// ([`StorageError::Connect`]); the pool re-establishes with backoff.
+    fn connect(&self) -> Result<Box<dyn Connection>, StorageError>;
+}
+
+/// One live session against a backend. `Send` but not `Sync`: a connection
+/// belongs to exactly one caller at a time (the pool enforces this).
+pub trait Connection: Send {
+    /// Execute one SQL statement against `db_id`.
+    fn execute(&mut self, db_id: &str, sql: &str) -> Result<QueryResult, StorageError>;
+
+    /// Liveness probe. A broken connection must fail here so the pool can
+    /// discard it instead of recycling it.
+    fn ping(&mut self) -> Result<(), StorageError>;
+
+    /// The database ids visible over this connection.
+    fn databases(&mut self) -> Result<Vec<String>, StorageError>;
+
+    /// The table names of one database, in creation order.
+    fn tables(&mut self, db_id: &str) -> Result<Vec<String>, StorageError>;
+
+    /// One table's full schema: columns with types/comments/PK flags and
+    /// the outgoing foreign-key edges.
+    fn table_schema(&mut self, db_id: &str, table: &str) -> Result<TableSchema, StorageError>;
+
+    /// The database's current catalog revision token. Two equal tokens
+    /// mean identical catalog state; any mutation yields a fresh,
+    /// never-reused token.
+    fn revision(&mut self, db_id: &str) -> Result<u64, StorageError>;
+}
+
+impl Connection for Box<dyn Connection> {
+    fn execute(&mut self, db_id: &str, sql: &str) -> Result<QueryResult, StorageError> {
+        (**self).execute(db_id, sql)
+    }
+
+    fn ping(&mut self) -> Result<(), StorageError> {
+        (**self).ping()
+    }
+
+    fn databases(&mut self) -> Result<Vec<String>, StorageError> {
+        (**self).databases()
+    }
+
+    fn tables(&mut self, db_id: &str) -> Result<Vec<String>, StorageError> {
+        (**self).tables(db_id)
+    }
+
+    fn table_schema(&mut self, db_id: &str, table: &str) -> Result<TableSchema, StorageError> {
+        (**self).table_schema(db_id, table)
+    }
+
+    fn revision(&mut self, db_id: &str) -> Result<u64, StorageError> {
+        (**self).revision(db_id)
+    }
+}
+
+/// Quote an identifier for embedding in generated SQL (introspection's
+/// paged row harvest). Doubles embedded quotes, so arbitrary table names
+/// round-trip through the engine's lexer.
+pub(crate) fn quote_ident(name: &str) -> String {
+    let mut quoted = String::with_capacity(name.len() + 2);
+    quoted.push('"');
+    for c in name.chars() {
+        if c == '"' {
+            quoted.push('"');
+        }
+        quoted.push(c);
+    }
+    quoted.push('"');
+    quoted
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quoting_escapes_embedded_quotes() {
+        assert_eq!(quote_ident("plain"), "\"plain\"");
+        assert_eq!(quote_ident("we\"ird"), "\"we\"\"ird\"");
+    }
+}

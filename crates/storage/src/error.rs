@@ -1,0 +1,124 @@
+//! The storage layer's failure taxonomy.
+//!
+//! Three kinds are genuinely new to the stack — connection failure,
+//! introspection failure, pool exhaustion — and travel to the gateway as
+//! typed JSON errors (`storage_connect`, `storage_introspect`,
+//! `storage_exhausted`; see the exhaustive mapping test in
+//! `crates/gateway/tests/error_mapping.rs`). Everything else bridges into
+//! taxonomies that already exist: statement failures surface as
+//! [`sqlengine::Error`], a missing database as the serving layer's
+//! `unknown_database`, and a closed pool as `shutting_down`.
+
+use std::fmt;
+
+/// Why a storage operation failed.
+#[derive(Debug, Clone, PartialEq)]
+pub enum StorageError {
+    /// Establishing or using a connection failed: the backend refused the
+    /// connect, or an I/O fault broke the connection mid-operation.
+    Connect(String),
+    /// Introspection could not produce a consistent catalog (e.g. the
+    /// schema kept changing under the reader, or the backend returned
+    /// contradictory facts).
+    Introspect(String),
+    /// The pool is at capacity and no connection freed up within the
+    /// checkout timeout.
+    Exhausted {
+        /// Configured pool capacity.
+        capacity: usize,
+        /// How long the caller waited, in milliseconds.
+        waited_ms: u64,
+    },
+    /// The backend does not serve this database.
+    UnknownDatabase(String),
+    /// The pool has been closed; no further checkouts are possible.
+    Closed,
+    /// The statement itself failed inside the engine — the connection is
+    /// fine, the SQL is not.
+    Engine(sqlengine::Error),
+}
+
+impl StorageError {
+    /// Short machine-readable category, stable across layers. The three
+    /// storage-specific kinds are prefixed `storage_`; bridged kinds reuse
+    /// the category of the taxonomy they bridge into.
+    pub fn kind(&self) -> &'static str {
+        match self {
+            StorageError::Connect(_) => "storage_connect",
+            StorageError::Introspect(_) => "storage_introspect",
+            StorageError::Exhausted { .. } => "storage_exhausted",
+            StorageError::UnknownDatabase(_) => "unknown_database",
+            StorageError::Closed => "shutting_down",
+            StorageError::Engine(e) => e.kind(),
+        }
+    }
+
+    /// True when retrying the same operation later may succeed: connection
+    /// faults pass, introspection races settle, and pool pressure drains.
+    /// A misaddressed database or a closed pool will not get better.
+    pub fn is_transient(&self) -> bool {
+        match self {
+            StorageError::Connect(_)
+            | StorageError::Introspect(_)
+            | StorageError::Exhausted { .. } => true,
+            StorageError::UnknownDatabase(_) | StorageError::Closed => false,
+            StorageError::Engine(e) => e.is_transient(),
+        }
+    }
+}
+
+impl fmt::Display for StorageError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            StorageError::Connect(what) => write!(f, "storage connection failed: {what}"),
+            StorageError::Introspect(what) => write!(f, "introspection failed: {what}"),
+            StorageError::Exhausted { capacity, waited_ms } => write!(
+                f,
+                "connection pool exhausted: all {capacity} connections busy for {waited_ms}ms"
+            ),
+            StorageError::UnknownDatabase(db_id) => {
+                write!(f, "unknown database '{db_id}': not served by this backend")
+            }
+            StorageError::Closed => write!(f, "connection pool is closed"),
+            StorageError::Engine(e) => write!(f, "{e}"),
+        }
+    }
+}
+
+impl std::error::Error for StorageError {}
+
+impl From<sqlengine::Error> for StorageError {
+    fn from(e: sqlengine::Error) -> StorageError {
+        StorageError::Engine(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn kinds_and_transience() {
+        assert_eq!(StorageError::Connect("x".into()).kind(), "storage_connect");
+        assert_eq!(StorageError::Introspect("x".into()).kind(), "storage_introspect");
+        assert_eq!(
+            StorageError::Exhausted { capacity: 4, waited_ms: 100 }.kind(),
+            "storage_exhausted"
+        );
+        assert!(StorageError::Connect("x".into()).is_transient());
+        assert!(StorageError::Exhausted { capacity: 4, waited_ms: 100 }.is_transient());
+        assert!(!StorageError::UnknownDatabase("x".into()).is_transient());
+        assert!(!StorageError::Closed.is_transient());
+        // Engine kinds flow through unchanged.
+        let parse = StorageError::Engine(sqlengine::Error::Parse("bad".into()));
+        assert_eq!(parse.kind(), "parse");
+        assert!(!parse.is_transient());
+    }
+
+    #[test]
+    fn display_is_informative() {
+        let e = StorageError::Exhausted { capacity: 2, waited_ms: 50 };
+        assert!(e.to_string().contains("2 connections"));
+        assert!(StorageError::Connect("refused".into()).to_string().contains("refused"));
+    }
+}

@@ -1,0 +1,206 @@
+//! The in-memory sqlengine as one [`Backend`] implementation.
+//!
+//! What used to be "a `HashMap<String, Database>` handed directly to the
+//! serving layer" is now a shared store behind the trait: connections
+//! execute through [`sqlengine::execute_query_governed`], introspection
+//! reads schemas out of the live catalog, and revision tokens are the
+//! engine's own mutation stamps. The store stays mutable from outside
+//! (tests, chaos suites, live administration) through
+//! [`MemoryBackend::mutate`], which is exactly how a "schema change on the
+//! live backend" is simulated.
+
+use std::collections::HashMap;
+use std::sync::Arc;
+
+use parking_lot::RwLock;
+use sqlengine::{Database, ExecLimits, QueryResult, TableSchema};
+
+use crate::backend::{Backend, Connection};
+use crate::error::StorageError;
+
+/// The shared database store a [`MemoryBackend`] serves. Cloning the
+/// `Arc` shares the live state: mutations through one handle are visible
+/// to every connection.
+pub type SharedStore = Arc<RwLock<HashMap<String, Database>>>;
+
+/// [`Backend`] over in-process [`sqlengine`] databases.
+pub struct MemoryBackend {
+    store: SharedStore,
+    limits: ExecLimits,
+}
+
+impl MemoryBackend {
+    /// A backend serving `dbs`, keyed by database name, with unlimited
+    /// execution budgets (trusted in-process callers).
+    pub fn new(dbs: Vec<Database>) -> MemoryBackend {
+        let store = dbs.into_iter().map(|db| (db.name.clone(), db)).collect();
+        MemoryBackend { store: Arc::new(RwLock::new(store)), limits: ExecLimits::unlimited() }
+    }
+
+    /// A backend over an existing shared store (e.g. one also wrapped by a
+    /// fault-injecting backend).
+    pub fn over(store: SharedStore) -> MemoryBackend {
+        MemoryBackend { store, limits: ExecLimits::unlimited() }
+    }
+
+    /// This backend with every [`Connection::execute`] governed by
+    /// `limits`.
+    pub fn with_limits(mut self, limits: ExecLimits) -> MemoryBackend {
+        self.limits = limits;
+        self
+    }
+
+    /// A handle to the live store.
+    pub fn store(&self) -> SharedStore {
+        Arc::clone(&self.store)
+    }
+
+    /// Mutate one database in place (DDL, row changes). The engine stamps
+    /// a fresh revision through `table_mut`/`create_table`, so the change
+    /// is observable to re-introspection exactly like any local catalog
+    /// mutation.
+    pub fn mutate<R>(
+        &self,
+        db_id: &str,
+        f: impl FnOnce(&mut Database) -> R,
+    ) -> Result<R, StorageError> {
+        let mut store = self.store.write();
+        let db = store
+            .get_mut(db_id)
+            .ok_or_else(|| StorageError::UnknownDatabase(db_id.to_string()))?;
+        Ok(f(db))
+    }
+
+    /// Add (or replace) a database in the live store.
+    pub fn insert_database(&self, db: Database) {
+        self.store.write().insert(db.name.clone(), db);
+    }
+}
+
+impl Backend for MemoryBackend {
+    fn name(&self) -> &str {
+        "memory"
+    }
+
+    fn connect(&self) -> Result<Box<dyn Connection>, StorageError> {
+        Ok(Box::new(MemoryConnection { store: Arc::clone(&self.store), limits: self.limits }))
+    }
+}
+
+/// One session against the shared in-memory store.
+struct MemoryConnection {
+    store: SharedStore,
+    limits: ExecLimits,
+}
+
+impl MemoryConnection {
+    fn with_db<R>(
+        &self,
+        db_id: &str,
+        f: impl FnOnce(&Database) -> Result<R, StorageError>,
+    ) -> Result<R, StorageError> {
+        let store = self.store.read();
+        let db = store
+            .get(db_id)
+            .ok_or_else(|| StorageError::UnknownDatabase(db_id.to_string()))?;
+        f(db)
+    }
+}
+
+impl Connection for MemoryConnection {
+    fn execute(&mut self, db_id: &str, sql: &str) -> Result<QueryResult, StorageError> {
+        self.with_db(db_id, |db| {
+            sqlengine::execute_query_governed(db, sql, &self.limits)
+                .map(|(result, _stats)| result)
+                .map_err(StorageError::Engine)
+        })
+    }
+
+    fn ping(&mut self) -> Result<(), StorageError> {
+        // The process *is* the server: an in-memory connection cannot break.
+        Ok(())
+    }
+
+    fn databases(&mut self) -> Result<Vec<String>, StorageError> {
+        let mut names: Vec<String> = self.store.read().keys().cloned().collect();
+        names.sort();
+        Ok(names)
+    }
+
+    fn tables(&mut self, db_id: &str) -> Result<Vec<String>, StorageError> {
+        self.with_db(db_id, |db| Ok(db.table_names().into_iter().map(String::from).collect()))
+    }
+
+    fn table_schema(&mut self, db_id: &str, table: &str) -> Result<TableSchema, StorageError> {
+        self.with_db(db_id, |db| {
+            db.table(table)
+                .map(|t| t.schema.clone())
+                .ok_or_else(|| StorageError::Introspect(format!("{db_id}: no table '{table}'")))
+        })
+    }
+
+    fn revision(&mut self, db_id: &str) -> Result<u64, StorageError> {
+        self.with_db(db_id, |db| Ok(db.revision()))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sqlengine::{Column, DataType};
+
+    fn fixture() -> Database {
+        let mut db = Database::new("shop");
+        let table = db
+            .create_table(TableSchema::new(
+                "items",
+                vec![
+                    Column::new("id", DataType::Integer).primary_key(),
+                    Column::new("label", DataType::Text),
+                ],
+            ))
+            .expect("fresh table");
+        table.insert(vec![1.into(), "anvil".into()]).expect("row fits");
+        table.insert(vec![2.into(), "rope".into()]).expect("row fits");
+        db
+    }
+
+    #[test]
+    fn execute_and_introspect_against_live_store() {
+        let backend = MemoryBackend::new(vec![fixture()]);
+        let mut conn = backend.connect().expect("in-memory connect");
+        assert_eq!(conn.databases().expect("list"), vec!["shop".to_string()]);
+        assert_eq!(conn.tables("shop").expect("tables"), vec!["items".to_string()]);
+        let schema = conn.table_schema("shop", "items").expect("schema");
+        assert_eq!(schema.columns.len(), 2);
+        assert!(schema.columns[0].primary_key);
+        let result = conn.execute("shop", "SELECT label FROM items").expect("query runs");
+        assert_eq!(result.row_count(), 2);
+        assert!(conn.ping().is_ok());
+    }
+
+    #[test]
+    fn mutation_changes_the_revision_seen_over_connections() {
+        let backend = MemoryBackend::new(vec![fixture()]);
+        let mut conn = backend.connect().expect("connect");
+        let before = conn.revision("shop").expect("revision");
+        backend
+            .mutate("shop", |db| {
+                db.table_mut("items")
+                    .expect("items exists")
+                    .insert(vec![3.into(), "tnt".into()])
+                    .expect("row fits");
+            })
+            .expect("shop exists");
+        let after = conn.revision("shop").expect("revision");
+        assert_ne!(before, after, "mutation must stamp a fresh token");
+    }
+
+    #[test]
+    fn unknown_database_is_typed() {
+        let backend = MemoryBackend::new(vec![]);
+        let mut conn = backend.connect().expect("connect");
+        let err = conn.execute("nowhere", "SELECT 1").expect_err("no such db");
+        assert_eq!(err.kind(), "unknown_database");
+    }
+}

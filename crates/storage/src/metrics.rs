@@ -1,0 +1,96 @@
+//! Pool observability: the `codes_storage_pool_*` metric family.
+
+use std::sync::Arc;
+
+use codes_obs::{Counter, Gauge, Histogram, Registry};
+
+/// Checkout counter name.
+pub const CHECKOUTS: &str = "codes_storage_pool_checkouts_total";
+/// Checkin counter name (recycled connections returned to the free list).
+pub const CHECKINS: &str = "codes_storage_pool_checkins_total";
+/// Established-connection counter name.
+pub const ESTABLISHED: &str = "codes_storage_pool_established_total";
+/// Discarded-connection counter name (`reason` label: broken / ping_failed
+/// / idle / closed).
+pub const DISCARDED: &str = "codes_storage_pool_discarded_total";
+/// Failed connect-attempt counter name (each backoff retry counts once).
+pub const CONNECT_FAILURES: &str = "codes_storage_pool_connect_failures_total";
+/// Exhausted-checkout counter name (waited the full timeout, got nothing).
+pub const EXHAUSTED: &str = "codes_storage_pool_exhausted_total";
+/// In-use gauge name (connections currently checked out).
+pub const IN_USE: &str = "codes_storage_pool_in_use";
+/// Idle gauge name (live connections waiting on the free list).
+pub const IDLE: &str = "codes_storage_pool_idle";
+/// Checkout-wait histogram name, in seconds.
+pub const CHECKOUT_WAIT: &str = "codes_storage_pool_checkout_wait_seconds";
+
+/// Registered handles; hot paths only touch atomics.
+pub(crate) struct PoolMetrics {
+    pub(crate) checkouts: Arc<Counter>,
+    pub(crate) checkins: Arc<Counter>,
+    pub(crate) established: Arc<Counter>,
+    pub(crate) discarded_broken: Arc<Counter>,
+    pub(crate) discarded_ping: Arc<Counter>,
+    pub(crate) discarded_idle: Arc<Counter>,
+    pub(crate) discarded_closed: Arc<Counter>,
+    pub(crate) connect_failures: Arc<Counter>,
+    pub(crate) exhausted: Arc<Counter>,
+    pub(crate) in_use: Arc<Gauge>,
+    pub(crate) idle: Arc<Gauge>,
+    pub(crate) checkout_wait: Arc<Histogram>,
+}
+
+impl PoolMetrics {
+    pub(crate) fn new(registry: &Registry) -> PoolMetrics {
+        PoolMetrics {
+            checkouts: registry.counter(CHECKOUTS, &[]),
+            checkins: registry.counter(CHECKINS, &[]),
+            established: registry.counter(ESTABLISHED, &[]),
+            discarded_broken: registry.counter(DISCARDED, &[("reason", "broken")]),
+            discarded_ping: registry.counter(DISCARDED, &[("reason", "ping_failed")]),
+            discarded_idle: registry.counter(DISCARDED, &[("reason", "idle")]),
+            discarded_closed: registry.counter(DISCARDED, &[("reason", "closed")]),
+            connect_failures: registry.counter(CONNECT_FAILURES, &[]),
+            exhausted: registry.counter(EXHAUSTED, &[]),
+            in_use: registry.gauge(IN_USE, &[]),
+            idle: registry.gauge(IDLE, &[]),
+            checkout_wait: registry.histogram(CHECKOUT_WAIT, &[]),
+        }
+    }
+}
+
+/// Point-in-time pool counters, read back from the registry handles. The
+/// accounting identity `checkouts == checkins + discards_of_checked_out`
+/// plus `in_use + idle <= capacity` is what the property tests assert.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct PoolStats {
+    /// Successful checkouts handed to callers.
+    pub checkouts: u64,
+    /// Connections returned healthy to the free list.
+    pub checkins: u64,
+    /// Connections established against the backend.
+    pub established: u64,
+    /// Discards of connections that reported broken during use.
+    pub discarded_broken: u64,
+    /// Discards of connections that failed the checkin liveness probe.
+    pub discarded_ping: u64,
+    /// Discards of idle connections past the idle timeout.
+    pub discarded_idle: u64,
+    /// Live connections dropped because the pool closed.
+    pub discarded_closed: u64,
+    /// Individual failed connect attempts (before backoff retries).
+    pub connect_failures: u64,
+    /// Checkouts that timed out waiting for a free connection.
+    pub exhausted: u64,
+    /// Connections checked out right now.
+    pub in_use: i64,
+    /// Live connections idle on the free list right now.
+    pub idle: i64,
+}
+
+impl PoolStats {
+    /// Total discarded connections, across every reason.
+    pub fn discarded(&self) -> u64 {
+        self.discarded_broken + self.discarded_ping + self.discarded_idle + self.discarded_closed
+    }
+}

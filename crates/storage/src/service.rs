@@ -1,0 +1,221 @@
+//! The serving-side storage facade: attached catalogs over a pooled
+//! backend, kept fresh by revision checks.
+//!
+//! A [`CatalogService`] owns a [`ConnectionPool`] and a map of attached
+//! [`Catalog`]s. `attach` introspects a database on registration (the
+//! gateway's `POST /v1/databases` endpoint lands here); `sync` is the
+//! cheap per-dispatch check — one pooled revision read — that
+//! re-introspects and swaps the catalog only when the backend's token
+//! moved. Every swap that changes the revision notifies the registered
+//! revision observer, which the serving layer wires to
+//! `SystemCache::observe_revision`, so a schema change on the live
+//! backend bumps cache generations exactly like a local catalog mutation.
+
+use std::collections::HashMap;
+use std::sync::Arc;
+
+use parking_lot::RwLock;
+use sqlengine::Database;
+
+use crate::backend::Connection;
+use crate::error::StorageError;
+use crate::introspect::{introspect, Catalog, IntrospectOptions};
+use crate::pool::ConnectionPool;
+
+/// Callback invoked with the fresh mirror whenever an attach or sync
+/// installs a catalog (first sighting included).
+pub type RevisionObserver = Box<dyn Fn(&Database) + Send + Sync>;
+
+/// What a [`CatalogService::sync`] found.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SyncOutcome {
+    /// The backend's revision matches the attached catalog; nothing moved.
+    Unchanged,
+    /// The revision moved; the catalog was re-introspected and swapped.
+    Refreshed {
+        /// Revision of the replaced catalog.
+        from: u64,
+        /// Revision of the fresh catalog.
+        to: u64,
+    },
+    /// The database was not attached yet; this sync attached it.
+    Attached,
+}
+
+/// Live view of the databases served through one storage backend.
+pub struct CatalogService {
+    pool: ConnectionPool,
+    options: IntrospectOptions,
+    catalogs: RwLock<HashMap<String, Arc<Catalog>>>,
+    observer: RwLock<Option<RevisionObserver>>,
+}
+
+impl CatalogService {
+    /// A service over `pool` with the given introspection options.
+    pub fn new(pool: ConnectionPool, options: IntrospectOptions) -> CatalogService {
+        CatalogService {
+            pool,
+            options,
+            catalogs: RwLock::new(HashMap::new()),
+            observer: RwLock::new(None),
+        }
+    }
+
+    /// The underlying pool (for health/metrics inspection).
+    pub fn pool(&self) -> &ConnectionPool {
+        &self.pool
+    }
+
+    /// Register the revision observer (replacing any previous one). The
+    /// serving layer points this at its cache so generation bumps happen
+    /// at swap time, before any post-change request can consult the cache.
+    pub fn set_revision_observer(&self, observer: RevisionObserver) {
+        *self.observer.write() = Some(observer);
+    }
+
+    fn notify(&self, database: &Database) {
+        if let Some(observer) = self.observer.read().as_ref() {
+            observer(database);
+        }
+    }
+
+    /// Attach (or re-attach) a database: introspect it over a pooled
+    /// connection and install the catalog.
+    pub fn attach(&self, db_id: &str) -> Result<Arc<Catalog>, StorageError> {
+        let mut conn = self.pool.checkout()?;
+        let catalog = Arc::new(introspect(&mut conn, db_id, &self.options)?);
+        drop(conn);
+        self.catalogs.write().insert(db_id.to_string(), Arc::clone(&catalog));
+        self.notify(&catalog.database);
+        Ok(catalog)
+    }
+
+    /// Attach every database the backend reports. Returns the attached
+    /// ids, sorted.
+    pub fn attach_all(&self) -> Result<Vec<String>, StorageError> {
+        let ids = {
+            let mut conn = self.pool.checkout()?;
+            conn.databases()?
+        };
+        for db_id in &ids {
+            self.attach(db_id)?;
+        }
+        Ok(ids)
+    }
+
+    /// Reconcile one attached catalog with the live backend: read the
+    /// revision over a pooled connection and re-introspect only on change.
+    pub fn sync(&self, db_id: &str) -> Result<SyncOutcome, StorageError> {
+        let Some(current) = self.catalog(db_id) else {
+            self.attach(db_id)?;
+            return Ok(SyncOutcome::Attached);
+        };
+        let live = {
+            let mut conn = self.pool.checkout()?;
+            conn.revision(db_id)?
+        };
+        if live == current.revision {
+            return Ok(SyncOutcome::Unchanged);
+        }
+        let fresh = self.attach(db_id)?;
+        Ok(SyncOutcome::Refreshed { from: current.revision, to: fresh.revision })
+    }
+
+    /// The attached catalog for `db_id`, if any.
+    pub fn catalog(&self, db_id: &str) -> Option<Arc<Catalog>> {
+        self.catalogs.read().get(db_id).cloned()
+    }
+
+    /// Whether `db_id` is attached.
+    pub fn contains(&self, db_id: &str) -> bool {
+        self.catalogs.read().contains_key(db_id)
+    }
+
+    /// Attached database ids, sorted.
+    pub fn attached(&self) -> Vec<String> {
+        let mut ids: Vec<String> = self.catalogs.read().keys().cloned().collect();
+        ids.sort();
+        ids
+    }
+
+    /// Detach a database (e.g. after the backend dropped it). Returns
+    /// whether it was attached.
+    pub fn detach(&self, db_id: &str) -> bool {
+        self.catalogs.write().remove(db_id).is_some()
+    }
+}
+
+impl std::fmt::Debug for CatalogService {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("CatalogService")
+            .field("attached", &self.attached())
+            .field("capacity", &self.pool.capacity())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::memory::MemoryBackend;
+    use crate::pool::PoolConfig;
+    use sqlengine::{Column, DataType, TableSchema};
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    fn service() -> (Arc<MemoryBackend>, CatalogService) {
+        let mut db = Database::new("d");
+        db.create_table(TableSchema::new("t", vec![Column::new("c", DataType::Integer)]))
+            .expect("fresh table");
+        let backend = Arc::new(MemoryBackend::new(vec![db]));
+        let registry = codes_obs::Registry::new();
+        let pool = ConnectionPool::with_registry(
+            Arc::clone(&backend) as Arc<dyn crate::Backend>,
+            PoolConfig { capacity: 2, ..PoolConfig::default() },
+            &registry,
+        );
+        (backend, CatalogService::new(pool, IntrospectOptions::default()))
+    }
+
+    #[test]
+    fn sync_refreshes_only_on_revision_change_and_notifies() {
+        let (backend, service) = service();
+        let observed = Arc::new(AtomicUsize::new(0));
+        let counter = Arc::clone(&observed);
+        service.set_revision_observer(Box::new(move |_| {
+            counter.fetch_add(1, Ordering::SeqCst);
+        }));
+
+        assert_eq!(service.sync("d").expect("first sync attaches"), SyncOutcome::Attached);
+        assert_eq!(observed.load(Ordering::SeqCst), 1);
+        assert_eq!(service.sync("d").expect("steady state"), SyncOutcome::Unchanged);
+        assert_eq!(observed.load(Ordering::SeqCst), 1, "no notify without a change");
+
+        let from = service.catalog("d").expect("attached").revision;
+        backend
+            .mutate("d", |db| {
+                db.table_mut("t").expect("t exists").insert(vec![9.into()]).expect("row fits");
+            })
+            .expect("d exists");
+        match service.sync("d").expect("refresh") {
+            SyncOutcome::Refreshed { from: f, to } => {
+                assert_eq!(f, from);
+                assert_ne!(f, to);
+            }
+            other => panic!("expected refresh, got {other:?}"),
+        }
+        assert_eq!(observed.load(Ordering::SeqCst), 2, "swap notifies the observer");
+        let mirrored = service.catalog("d").expect("attached");
+        assert_eq!(mirrored.database.table("t").expect("t").rows.len(), 1, "fresh rows visible");
+    }
+
+    #[test]
+    fn detach_and_contains() {
+        let (_backend, service) = service();
+        assert!(!service.contains("d"));
+        service.attach("d").expect("attach");
+        assert!(service.contains("d"));
+        assert_eq!(service.attached(), vec!["d".to_string()]);
+        assert!(service.detach("d"));
+        assert!(!service.detach("d"));
+    }
+}
