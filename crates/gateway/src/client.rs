@@ -3,14 +3,18 @@
 //! gateway through this instead of hand-rolling sockets in five places.
 //!
 //! Deliberately small: keep-alive on one connection, `Content-Length`
-//! bodies only, read/write timeouts so a misbehaving *server* can never
-//! hang a test. Not a general-purpose client.
+//! responses plus chunked ndjson streams ([`HttpClient::post_stream`],
+//! decoded by the same [`ChunkDecoder`] the server parses uploads with),
+//! read/write timeouts so a misbehaving *server* can never hang a test.
+//! Not a general-purpose client.
 
 use std::io::{Read, Write};
 use std::net::{SocketAddr, TcpStream};
 use std::time::Duration;
 
 use serde::Json;
+
+use crate::http::ChunkDecoder;
 
 /// A parsed response.
 #[derive(Debug, Clone)]
@@ -40,13 +44,19 @@ impl ClientResponse {
         serde_json::from_str(std::str::from_utf8(&self.body).ok()?).ok()
     }
 
-    /// `error.code` from the standard gateway error body, when present.
+    /// `error.code` from the enveloped gateway error body, when present.
     pub fn error_code(&self) -> Option<String> {
         self.json()?
             .get("error")?
             .get("code")?
             .as_str()
             .map(str::to_string)
+    }
+
+    /// The `data` payload of the versioned envelope
+    /// (`{"v":1,"data":...}`), when present.
+    pub fn data(&self) -> Option<Json> {
+        self.json()?.get("data").cloned()
     }
 }
 
@@ -89,6 +99,17 @@ impl HttpClient {
         headers: &[(&str, &str)],
         body: &[u8],
     ) -> std::io::Result<ClientResponse> {
+        self.write_request(method, path, headers, body)?;
+        self.read_response()
+    }
+
+    fn write_request(
+        &mut self,
+        method: &str,
+        path: &str,
+        headers: &[(&str, &str)],
+        body: &[u8],
+    ) -> std::io::Result<()> {
         let mut wire = format!("{method} {path} HTTP/1.1\r\nhost: gateway\r\n");
         for (name, value) in headers {
             wire.push_str(&format!("{name}: {value}\r\n"));
@@ -96,8 +117,7 @@ impl HttpClient {
         wire.push_str(&format!("content-length: {}\r\n\r\n", body.len()));
         let mut bytes = wire.into_bytes();
         bytes.extend_from_slice(body);
-        self.stream.write_all(&bytes)?;
-        self.read_response()
+        self.stream.write_all(&bytes)
     }
 
     /// `GET` with optional auth headers.
@@ -119,7 +139,75 @@ impl HttpClient {
         self.request("POST", path, &all, encoded.as_bytes())
     }
 
+    /// `POST` a JSON body and stream back decoded envelope events; see
+    /// [`EventStream`]. The request asks for `application/x-ndjson`; a
+    /// server answering with a plain `Content-Length` body (e.g. a
+    /// pre-admission rejection) still works — the stream then yields that
+    /// body as its single item.
+    ///
+    /// Dropping the stream before it finishes leaves the connection
+    /// mid-message; subsequent requests on this client will fail. Read
+    /// streams to the end (or drop the client) — chaos tests abandon
+    /// connections on purpose.
+    pub fn post_stream(
+        &mut self,
+        path: &str,
+        headers: &[(&str, &str)],
+        body: &Json,
+    ) -> std::io::Result<EventStream<'_>> {
+        let mut all = vec![
+            ("content-type", "application/json"),
+            ("accept", "application/x-ndjson"),
+        ];
+        all.extend_from_slice(headers);
+        let encoded = serde_json::to_string(body)
+            .map_err(|e| std::io::Error::new(std::io::ErrorKind::InvalidData, e.to_string()))?;
+        self.write_request("POST", path, &all, encoded.as_bytes())?;
+        let RawHead { status, headers, tail } = self.read_head()?;
+        let chunked = headers
+            .iter()
+            .any(|(n, v)| n == "transfer-encoding" && v.eq_ignore_ascii_case("chunked"));
+        let mode = if chunked {
+            StreamMode::Chunked { decoder: ChunkDecoder::new(STREAM_BODY_CAP), pending: Vec::new() }
+        } else {
+            let content_len = headers
+                .iter()
+                .find(|(n, _)| n == "content-length")
+                .and_then(|(_, v)| v.parse().ok())
+                .unwrap_or(0);
+            StreamMode::Fixed { content_len, yielded: false }
+        };
+        Ok(EventStream { client: self, status, headers, raw: tail, mode })
+    }
+
     fn read_response(&mut self) -> std::io::Result<ClientResponse> {
+        let too_short =
+            || std::io::Error::new(std::io::ErrorKind::UnexpectedEof, "truncated response");
+        let malformed =
+            |what: &str| std::io::Error::new(std::io::ErrorKind::InvalidData, what.to_string());
+        let RawHead { status, headers, mut tail } = self.read_head()?;
+        let content_len = headers
+            .iter()
+            .find(|(n, _)| n == "content-length")
+            .map(|(_, v)| v.parse().map_err(|_| malformed("bad content-length")))
+            .transpose()?
+            .unwrap_or(0usize);
+        let mut chunk = [0u8; 4096];
+        while tail.len() < content_len {
+            let n = self.stream.read(&mut chunk)?;
+            if n == 0 {
+                return Err(too_short());
+            }
+            tail.extend_from_slice(&chunk[..n]);
+        }
+        let body = tail[..content_len].to_vec();
+        self.leftover = tail[content_len..].to_vec();
+        Ok(ClientResponse { status, headers, body })
+    }
+
+    /// Read a response head (status line + headers), returning any bytes
+    /// already read past the head terminator.
+    fn read_head(&mut self) -> std::io::Result<RawHead> {
         let too_short =
             || std::io::Error::new(std::io::ErrorKind::UnexpectedEof, "truncated response");
         let malformed =
@@ -146,27 +234,123 @@ impl HttpClient {
             .and_then(|s| s.parse().ok())
             .ok_or_else(|| malformed("bad status line"))?;
         let mut headers = Vec::new();
-        let mut content_len = 0usize;
         for line in lines {
             let Some((name, value)) = line.split_once(':') else { continue };
-            let name = name.trim().to_ascii_lowercase();
-            let value = value.trim().to_string();
-            if name == "content-length" {
-                content_len = value.parse().map_err(|_| malformed("bad content-length"))?;
-            }
-            headers.push((name, value));
+            headers.push((name.trim().to_ascii_lowercase(), value.trim().to_string()));
         }
-        let body_start = head_end + 4;
-        while buf.len() < body_start + content_len {
-            let n = self.stream.read(&mut chunk)?;
-            if n == 0 {
-                return Err(too_short());
+        Ok(RawHead { status, headers, tail: buf[head_end + 4..].to_vec() })
+    }
+}
+
+/// A response head plus whatever body bytes rode in with it.
+struct RawHead {
+    status: u16,
+    headers: Vec<(String, String)>,
+    tail: Vec<u8>,
+}
+
+/// Decoded-payload budget for one streamed response body.
+const STREAM_BODY_CAP: usize = 16 << 20;
+
+enum StreamMode {
+    /// Plain `Content-Length` response: yields the body as one item.
+    Fixed { content_len: usize, yielded: bool },
+    /// Chunked ndjson stream: yields one decoded JSON value per line.
+    Chunked { decoder: ChunkDecoder, pending: Vec<u8> },
+}
+
+/// An in-progress streaming response: an iterator of decoded envelope
+/// events (`{"v":1,"event":...}` JSON values, one per ndjson line),
+/// decoded through the same split-tolerant [`ChunkDecoder`] the server
+/// parses chunked uploads with. After the terminal chunk, any pipelined
+/// bytes are handed back to the client for the next request — the
+/// connection stays usable.
+pub struct EventStream<'a> {
+    client: &'a mut HttpClient,
+    /// HTTP status of the response head (200 for streams; rejections
+    /// arrive as plain responses and yield their enveloped body once).
+    pub status: u16,
+    /// Lower-cased response headers in wire order.
+    pub headers: Vec<(String, String)>,
+    raw: Vec<u8>,
+    mode: StreamMode,
+}
+
+impl EventStream<'_> {
+    fn parse_line(line: &[u8]) -> std::io::Result<Json> {
+        let text = std::str::from_utf8(line).map_err(|_| {
+            std::io::Error::new(std::io::ErrorKind::InvalidData, "non-UTF-8 event line")
+        })?;
+        serde_json::from_str(text.trim_end_matches(['\r', '\n'])).map_err(|e| {
+            std::io::Error::new(std::io::ErrorKind::InvalidData, format!("bad event JSON: {e}"))
+        })
+    }
+}
+
+impl Iterator for EventStream<'_> {
+    type Item = std::io::Result<Json>;
+
+    fn next(&mut self) -> Option<Self::Item> {
+        let mut chunk = [0u8; 4096];
+        match &mut self.mode {
+            StreamMode::Fixed { content_len, yielded } => {
+                if *yielded {
+                    return None;
+                }
+                while self.raw.len() < *content_len {
+                    match self.client.stream.read(&mut chunk) {
+                        Ok(0) => {
+                            return Some(Err(std::io::Error::new(
+                                std::io::ErrorKind::UnexpectedEof,
+                                "truncated response",
+                            )))
+                        }
+                        Ok(n) => self.raw.extend_from_slice(&chunk[..n]),
+                        Err(e) => return Some(Err(e)),
+                    }
+                }
+                *yielded = true;
+                let body = self.raw[..*content_len].to_vec();
+                self.client.leftover = self.raw[*content_len..].to_vec();
+                Some(EventStream::parse_line(&body))
             }
-            buf.extend_from_slice(&chunk[..n]);
+            StreamMode::Chunked { decoder, pending } => loop {
+                if let Some(nl) = pending.iter().position(|&b| b == b'\n') {
+                    let line: Vec<u8> = pending.drain(..=nl).collect();
+                    return Some(EventStream::parse_line(&line));
+                }
+                if decoder.is_done() {
+                    // Terminal chunk consumed: hand pipelined bytes back.
+                    self.client.leftover = std::mem::take(&mut self.raw);
+                    return None;
+                }
+                if !self.raw.is_empty() {
+                    match decoder.feed(&self.raw) {
+                        Ok(consumed) => {
+                            self.raw.drain(..consumed);
+                            pending.extend_from_slice(&decoder.take_body());
+                            continue;
+                        }
+                        Err(e) => {
+                            return Some(Err(std::io::Error::new(
+                                std::io::ErrorKind::InvalidData,
+                                format!("bad chunked framing: {e}"),
+                            )))
+                        }
+                    }
+                }
+                match self.client.stream.read(&mut chunk) {
+                    Ok(0) => {
+                        return Some(Err(std::io::Error::new(
+                            std::io::ErrorKind::UnexpectedEof,
+                            "stream ended before terminal chunk",
+                        )))
+                    }
+                    Ok(n) => self.raw.extend_from_slice(&chunk[..n]),
+                    Err(e) => return Some(Err(e)),
+                }
+            },
         }
-        let body = buf[body_start..body_start + content_len].to_vec();
-        self.leftover = buf[body_start + content_len..].to_vec();
-        Ok(ClientResponse { status, headers, body })
     }
 }
 

@@ -1,0 +1,132 @@
+//! The versioned response envelope every gateway endpoint speaks.
+//!
+//! API version 1 wraps each body in one of three shapes:
+//!
+//! * success — `{"v":1,"data":<payload>}`
+//! * failure — `{"v":1,"error":{"code","message","retryable"[,"retry_after_ms"]}}`
+//! * stream event — one ndjson line per lifecycle transition,
+//!   `{"v":1,"event":"<name>","data":<payload>}\n` (or `"error"` in place
+//!   of `"data"` for the terminal failure event).
+//!
+//! `retryable` is derived, not guessed: a failure is retryable exactly
+//! when the edge attached a retry hint (rate limits, overload sheds,
+//! breaker opens, drains) — the same condition that sets the
+//! `Retry-After` header. Clients can branch on the one boolean instead
+//! of memorising the code table.
+//!
+//! The envelope is produced in exactly one place (this module) so the
+//! streaming terminal event and the non-streaming response cannot drift:
+//! both call [`success`] / [`failure`] and the loopback byte-identity
+//! test in `gateway_basic.rs` holds by construction.
+
+#![deny(clippy::unwrap_used)]
+#![deny(missing_docs)]
+
+use std::time::Duration;
+
+use serde::Json;
+
+/// The API version stamped into every envelope this build produces.
+pub const API_VERSION: i64 = 1;
+
+/// Wrap a success payload: `{"v":1,"data":<payload>}`.
+pub fn success(payload: Json) -> Json {
+    Json::Obj(vec![
+        ("v".to_string(), Json::Int(API_VERSION)),
+        ("data".to_string(), payload),
+    ])
+}
+
+/// Build the inner error object shared by plain responses and stream
+/// events: `{"code","message","retryable"[,"retry_after_ms"]}`.
+pub fn error_body(code: &str, message: &str, retry_after: Option<Duration>) -> Json {
+    let mut fields = vec![
+        ("code".to_string(), Json::Str(code.to_string())),
+        ("message".to_string(), Json::Str(message.to_string())),
+        ("retryable".to_string(), Json::Bool(retry_after.is_some())),
+    ];
+    if let Some(after) = retry_after {
+        fields.push(("retry_after_ms".to_string(), Json::Int(after.as_millis() as i64)));
+    }
+    Json::Obj(fields)
+}
+
+/// Wrap a failure: `{"v":1,"error":{...}}`.
+pub fn failure(code: &str, message: &str, retry_after: Option<Duration>) -> Json {
+    Json::Obj(vec![
+        ("v".to_string(), Json::Int(API_VERSION)),
+        ("error".to_string(), error_body(code, message, retry_after)),
+    ])
+}
+
+/// One ndjson stream event line (newline included):
+/// `{"v":1,"event":"<name>","data":<payload>}\n`.
+pub fn event_line(event: &str, payload: Json) -> Vec<u8> {
+    let line = Json::Obj(vec![
+        ("v".to_string(), Json::Int(API_VERSION)),
+        ("event".to_string(), Json::Str(event.to_string())),
+        ("data".to_string(), payload),
+    ]);
+    let mut bytes =
+        serde_json::to_string(&line).unwrap_or_else(|_| "{}".to_string()).into_bytes();
+    bytes.push(b'\n');
+    bytes
+}
+
+/// The terminal failure event line:
+/// `{"v":1,"event":"error","error":{...}}\n`.
+pub fn error_event_line(code: &str, message: &str, retry_after: Option<Duration>) -> Vec<u8> {
+    let line = Json::Obj(vec![
+        ("v".to_string(), Json::Int(API_VERSION)),
+        ("event".to_string(), Json::Str("error".to_string())),
+        ("error".to_string(), error_body(code, message, retry_after)),
+    ]);
+    let mut bytes =
+        serde_json::to_string(&line).unwrap_or_else(|_| "{}".to_string()).into_bytes();
+    bytes.push(b'\n');
+    bytes
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn envelopes_carry_version_and_shape() {
+        let ok = success(Json::Obj(vec![("sql".to_string(), Json::Str("SELECT 1".into()))]));
+        assert_eq!(ok.get("v").and_then(Json::as_i64), Some(1));
+        assert_eq!(
+            ok.get("data").and_then(|d| d.get("sql")).and_then(Json::as_str),
+            Some("SELECT 1"),
+        );
+
+        let err = failure("rate_limited", "slow down", Some(Duration::from_millis(250)));
+        let inner = err.get("error").expect("error object");
+        assert_eq!(inner.get("code").and_then(Json::as_str), Some("rate_limited"));
+        assert_eq!(inner.get("retryable").and_then(Json::as_bool), Some(true));
+        assert_eq!(inner.get("retry_after_ms").and_then(Json::as_i64), Some(250));
+
+        let terminal = failure("engine_parse", "bad sql", None);
+        let inner = terminal.get("error").expect("error object");
+        assert_eq!(inner.get("retryable").and_then(Json::as_bool), Some(false));
+        assert!(inner.get("retry_after_ms").is_none());
+    }
+
+    #[test]
+    fn event_lines_are_single_ndjson_records() {
+        let line = event_line("queued", Json::Obj(vec![]));
+        assert_eq!(line.last(), Some(&b'\n'));
+        let text = std::str::from_utf8(&line[..line.len() - 1]).expect("utf8");
+        assert!(!text.contains('\n'), "one record per line");
+        let parsed = serde_json::from_str(text).expect("valid json");
+        assert_eq!(parsed.get("event").and_then(Json::as_str), Some("queued"));
+        assert_eq!(parsed.get("v").and_then(Json::as_i64), Some(1));
+
+        let err = error_event_line("client_gone", "gone", None);
+        let parsed =
+            serde_json::from_str(std::str::from_utf8(&err[..err.len() - 1]).expect("utf8"))
+                .expect("valid json");
+        assert_eq!(parsed.get("event").and_then(Json::as_str), Some("error"));
+        assert!(parsed.get("error").is_some());
+    }
+}

@@ -11,15 +11,15 @@
 //! Every failure maps to a stable `(HTTP status, machine-readable code)`
 //! pair; the full table lives in DESIGN.md §4i and is asserted
 //! exhaustively by `crates/gateway/tests/error_mapping.rs`. Responses
-//! carry a JSON body of the shape
-//! `{"error": {"code": ..., "message": ..., "retry_after_ms": ...?}}`,
+//! carry the versioned envelope (see [`crate::envelope`]) of the shape
+//! `{"v": 1, "error": {"code", "message", "retryable"[, "retry_after_ms"]}}`,
 //! and retryable rejections also set a `Retry-After` header (integer
 //! seconds, rounded up).
 
 use std::fmt;
 use std::time::Duration;
 
-use serde::Json;
+
 
 use crate::http::{HttpResponse, ParseError};
 
@@ -273,21 +273,15 @@ pub fn map_serve_error(err: &codes::Error) -> WireError {
     }
 }
 
-/// Build the standard JSON error body.
+/// Build the standard enveloped JSON error body
+/// (`{"v":1,"error":{...}}` — see [`crate::envelope`]).
 pub fn error_response(
     status: u16,
     code: &str,
     message: &str,
     retry_after: Option<Duration>,
 ) -> HttpResponse {
-    let mut fields = vec![
-        ("code".to_string(), Json::Str(code.to_string())),
-        ("message".to_string(), Json::Str(message.to_string())),
-    ];
-    if let Some(after) = retry_after {
-        fields.push(("retry_after_ms".to_string(), Json::Int(after.as_millis() as i64)));
-    }
-    let body = Json::Obj(vec![("error".to_string(), Json::Obj(fields))]);
+    let body = crate::envelope::failure(code, message, retry_after);
     let mut resp = HttpResponse::json(status, &body);
     if let Some(after) = retry_after {
         // Retry-After is whole seconds; round up so "come back in 300ms"

@@ -1,17 +1,26 @@
-//! Incremental HTTP/1.1 request parsing and response encoding.
+//! Incremental HTTP/1.1 request parsing and response encoding, including
+//! chunked transfer coding on both sides.
 //!
 //! The parser is a byte-budgeted state machine fed arbitrary chunks as
 //! they arrive off a socket: no chunk boundary can break it, and it never
 //! consumes bytes past the end of the request it is parsing (leftover
 //! bytes stay buffered for the next request on a keep-alive connection).
 //! Size limits are enforced *while* reading — a head that exceeds
-//! [`ParseLimits::max_head_bytes`] or a declared body over
-//! [`ParseLimits::max_body_bytes`] fails fast with a typed error instead
-//! of buffering an attacker's bytes — which is half of the slowloris
-//! defense (the other half, the time budget, lives in the connection
-//! loop that owns the socket).
+//! [`ParseLimits::max_head_bytes`] or a body over
+//! [`ParseLimits::max_body_bytes`] (declared via `Content-Length` or
+//! accumulated across `Transfer-Encoding: chunked` frames) fails fast
+//! with a typed error instead of buffering an attacker's bytes — which is
+//! half of the slowloris defense (the other half, the time budget, lives
+//! in the connection loop that owns the socket).
+//!
+//! Chunked framing is symmetric: [`ChunkDecoder`] consumes RFC 9112
+//! chunked bodies incrementally (any byte split, pipelined tails
+//! preserved), and [`encode_chunk`] / [`ChunkedWriter`] produce them —
+//! the streaming `/v1/infer` response path and the loopback client's
+//! event reader both ride on the same framing code.
 
 use std::fmt;
+use std::io::Write;
 
 /// Byte budgets enforced during parsing.
 #[derive(Debug, Clone, Copy)]
@@ -104,11 +113,282 @@ pub struct HttpRequest {
     pub body: Vec<u8>,
 }
 
+/// How the body of a request (or response) is delimited on the wire.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum BodyFraming {
+    /// Exactly this many bytes follow the head.
+    Length(usize),
+    /// `Transfer-Encoding: chunked`: a sequence of size-prefixed frames
+    /// ending in a zero-size chunk.
+    Chunked,
+}
+
+/// Longest accepted chunk size line (hex digits plus any extension) —
+/// bounds the scan the same way `max_head_bytes` bounds the head.
+const MAX_CHUNK_SIZE_LINE: usize = 256;
+/// Total trailer bytes tolerated after the terminal chunk.
+const MAX_TRAILER_BYTES: usize = 1024;
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum ChunkPhase {
+    /// Accumulating the hex size line (until CRLF).
+    Size,
+    /// Consuming `remaining` payload bytes of the current chunk.
+    Data { remaining: usize },
+    /// Expecting the CRLF that closes a chunk's payload.
+    DataCr,
+    DataLf,
+    /// After the zero-size chunk: trailer lines until an empty line.
+    Trailer,
+    /// Terminal chunk and trailer fully consumed.
+    Done,
+}
+
+/// Incremental decoder for `Transfer-Encoding: chunked` bodies.
+///
+/// Feed it raw wire bytes in whatever splits the socket produces —
+/// including splits inside a chunk size line — and it accumulates the
+/// decoded payload, reports exactly how many input bytes it consumed
+/// (never past the terminal chunk, so pipelined tails survive), and
+/// enforces a cumulative decoded-byte budget with the same typed
+/// [`ParseError::BodyTooLarge`] the `Content-Length` path uses.
+pub struct ChunkDecoder {
+    max_body_bytes: usize,
+    phase: ChunkPhase,
+    /// Partial size or trailer line carried across feeds.
+    line: Vec<u8>,
+    /// Decoded payload not yet taken by the caller.
+    body: Vec<u8>,
+    /// Cumulative decoded bytes (monotonic — unaffected by `take_body`).
+    decoded_total: usize,
+    trailer_bytes: usize,
+}
+
+impl ChunkDecoder {
+    /// A decoder enforcing a cumulative decoded-payload budget.
+    pub fn new(max_body_bytes: usize) -> ChunkDecoder {
+        ChunkDecoder {
+            max_body_bytes,
+            phase: ChunkPhase::Size,
+            line: Vec::new(),
+            body: Vec::new(),
+            decoded_total: 0,
+            trailer_bytes: 0,
+        }
+    }
+
+    /// True once the terminal chunk and its trailer have been consumed.
+    pub fn is_done(&self) -> bool {
+        self.phase == ChunkPhase::Done
+    }
+
+    /// Decoded payload bytes accumulated so far (drained by
+    /// [`ChunkDecoder::take_body`]).
+    pub fn body(&self) -> &[u8] {
+        &self.body
+    }
+
+    /// Total decoded payload bytes over the decoder's lifetime.
+    pub fn decoded_total(&self) -> usize {
+        self.decoded_total
+    }
+
+    /// Drain the decoded payload accumulated since the last take. The
+    /// cumulative budget keeps counting — taking does not reset it.
+    pub fn take_body(&mut self) -> Vec<u8> {
+        std::mem::take(&mut self.body)
+    }
+
+    /// Consume as much of `input` as the framing allows; returns how many
+    /// bytes were eaten. Once [`ChunkDecoder::is_done`] the decoder stops
+    /// consuming, leaving pipelined bytes to the caller.
+    pub fn feed(&mut self, input: &[u8]) -> Result<usize, ParseError> {
+        let mut at = 0;
+        while at < input.len() {
+            match self.phase {
+                ChunkPhase::Done => break,
+                ChunkPhase::Size => {
+                    let Some(nl) = input[at..].iter().position(|&b| b == b'\n') else {
+                        let take = input.len() - at;
+                        if self.line.len() + take > MAX_CHUNK_SIZE_LINE {
+                            return Err(ParseError::Malformed("chunk size line too long"));
+                        }
+                        self.line.extend_from_slice(&input[at..]);
+                        at = input.len();
+                        break;
+                    };
+                    if self.line.len() + nl + 1 > MAX_CHUNK_SIZE_LINE {
+                        return Err(ParseError::Malformed("chunk size line too long"));
+                    }
+                    self.line.extend_from_slice(&input[at..at + nl + 1]);
+                    at += nl + 1;
+                    let size = parse_chunk_size(&self.line)?;
+                    self.line.clear();
+                    if size == 0 {
+                        self.phase = ChunkPhase::Trailer;
+                    } else {
+                        let total = self.decoded_total.saturating_add(size);
+                        if total > self.max_body_bytes {
+                            return Err(ParseError::BodyTooLarge {
+                                declared: total,
+                                limit: self.max_body_bytes,
+                            });
+                        }
+                        self.phase = ChunkPhase::Data { remaining: size };
+                    }
+                }
+                ChunkPhase::Data { remaining } => {
+                    let take = remaining.min(input.len() - at);
+                    self.body.extend_from_slice(&input[at..at + take]);
+                    self.decoded_total += take;
+                    at += take;
+                    self.phase = if remaining == take {
+                        ChunkPhase::DataCr
+                    } else {
+                        ChunkPhase::Data { remaining: remaining - take }
+                    };
+                }
+                ChunkPhase::DataCr => {
+                    if input[at] != b'\r' {
+                        return Err(ParseError::Malformed("chunk payload not CRLF-terminated"));
+                    }
+                    at += 1;
+                    self.phase = ChunkPhase::DataLf;
+                }
+                ChunkPhase::DataLf => {
+                    if input[at] != b'\n' {
+                        return Err(ParseError::Malformed("chunk payload not CRLF-terminated"));
+                    }
+                    at += 1;
+                    self.phase = ChunkPhase::Size;
+                }
+                ChunkPhase::Trailer => {
+                    let Some(nl) = input[at..].iter().position(|&b| b == b'\n') else {
+                        let take = input.len() - at;
+                        self.trailer_bytes += take;
+                        if self.trailer_bytes > MAX_TRAILER_BYTES {
+                            return Err(ParseError::Malformed("chunk trailer too long"));
+                        }
+                        self.line.extend_from_slice(&input[at..]);
+                        at = input.len();
+                        break;
+                    };
+                    self.trailer_bytes += nl + 1;
+                    if self.trailer_bytes > MAX_TRAILER_BYTES {
+                        return Err(ParseError::Malformed("chunk trailer too long"));
+                    }
+                    self.line.extend_from_slice(&input[at..at + nl + 1]);
+                    at += nl + 1;
+                    // An empty line (bare CRLF) ends the message; any other
+                    // trailer field is consumed and ignored.
+                    let line = std::mem::take(&mut self.line);
+                    if line == b"\r\n" {
+                        self.phase = ChunkPhase::Done;
+                    } else if !line.ends_with(b"\r\n") {
+                        return Err(ParseError::Malformed("bare LF in chunk trailer"));
+                    }
+                }
+            }
+        }
+        Ok(at)
+    }
+}
+
+/// Parse one size line (`<hex>[;ext]\r\n`) into the chunk payload length.
+fn parse_chunk_size(line: &[u8]) -> Result<usize, ParseError> {
+    if !line.ends_with(b"\r\n") {
+        return Err(ParseError::Malformed("bare LF in chunk size line"));
+    }
+    let line = &line[..line.len() - 2];
+    // Chunk extensions (";name=value") are tolerated and ignored.
+    let hex = line.split(|&b| b == b';').next().unwrap_or(b"");
+    if hex.is_empty() || hex.len() > 16 || !hex.iter().all(u8::is_ascii_hexdigit) {
+        return Err(ParseError::Malformed("bad chunk size"));
+    }
+    let mut size = 0usize;
+    for &b in hex {
+        let digit = (b as char).to_digit(16).unwrap_or(0) as usize;
+        size = size
+            .checked_mul(16)
+            .and_then(|s| s.checked_add(digit))
+            .ok_or(ParseError::Malformed("bad chunk size"))?;
+    }
+    Ok(size)
+}
+
+/// Encode one payload as a single chunk frame (`<hex>\r\n<payload>\r\n`).
+/// An empty payload encodes the *terminal* chunk (`0\r\n\r\n`), which also
+/// carries the empty trailer.
+pub fn encode_chunk(payload: &[u8]) -> Vec<u8> {
+    if payload.is_empty() {
+        return b"0\r\n\r\n".to_vec();
+    }
+    let mut out = Vec::with_capacity(payload.len() + 20);
+    out.extend_from_slice(format!("{:x}\r\n", payload.len()).as_bytes());
+    out.extend_from_slice(payload);
+    out.extend_from_slice(b"\r\n");
+    out
+}
+
+/// A chunked-transfer response in progress: the head goes out on
+/// construction (no `Content-Length` — `Transfer-Encoding: chunked`
+/// instead), every [`ChunkedWriter::write_chunk`] flushes one frame
+/// immediately (so events reach the client as they happen, under whatever
+/// write timeout the underlying socket carries), and
+/// [`ChunkedWriter::finish`] closes the message with the terminal chunk.
+pub struct ChunkedWriter<W: Write> {
+    sink: W,
+}
+
+impl<W: Write> ChunkedWriter<W> {
+    /// Write the response head and return the writer. `extra_headers` land
+    /// after the automatic ones.
+    pub fn start(
+        mut sink: W,
+        status: u16,
+        content_type: &str,
+        close: bool,
+        extra_headers: &[(String, String)],
+    ) -> std::io::Result<ChunkedWriter<W>> {
+        let mut head = format!(
+            "HTTP/1.1 {} {}\r\ncontent-type: {content_type}\r\ntransfer-encoding: chunked\r\n",
+            status,
+            reason_phrase(status),
+        );
+        head.push_str(if close { "connection: close\r\n" } else { "connection: keep-alive\r\n" });
+        for (name, value) in extra_headers {
+            head.push_str(&format!("{name}: {value}\r\n"));
+        }
+        head.push_str("\r\n");
+        sink.write_all(head.as_bytes())?;
+        sink.flush()?;
+        Ok(ChunkedWriter { sink })
+    }
+
+    /// Write one non-empty payload as a chunk and flush it. Empty payloads
+    /// are skipped — an empty chunk would terminate the message.
+    pub fn write_chunk(&mut self, payload: &[u8]) -> std::io::Result<()> {
+        if payload.is_empty() {
+            return Ok(());
+        }
+        self.sink.write_all(&encode_chunk(payload))?;
+        self.sink.flush()
+    }
+
+    /// Terminate the message (zero-size chunk + empty trailer).
+    pub fn finish(mut self) -> std::io::Result<()> {
+        self.sink.write_all(b"0\r\n\r\n")?;
+        self.sink.flush()
+    }
+}
+
 enum State {
     /// Accumulating head bytes, looking for the CRLFCRLF terminator.
     Head,
     /// Head parsed; accumulating exactly `remaining` body bytes.
     Body { head: RequestHead, content_len: usize },
+    /// Head parsed with `Transfer-Encoding: chunked`; decoding frames.
+    Chunked { head: RequestHead, decoder: ChunkDecoder },
 }
 
 /// Incremental request parser. Feed it whatever chunks the socket
@@ -137,14 +417,15 @@ impl RequestParser {
     /// (the connection loop uses this to distinguish an idle keep-alive
     /// close from a mid-request disconnect).
     pub fn mid_request(&self) -> bool {
-        !self.buf.is_empty() || matches!(self.state, State::Body { .. })
+        !self.buf.is_empty()
+            || matches!(self.state, State::Body { .. } | State::Chunked { .. })
     }
 
     /// True once the current request's head is complete and body bytes
     /// are being accumulated (the connection loop switches from the head
     /// time budget to the body budget on this edge).
     pub fn in_body(&self) -> bool {
-        matches!(self.state, State::Body { .. })
+        matches!(self.state, State::Body { .. } | State::Chunked { .. })
     }
 
     /// Feed a chunk. Returns `Ok(Some(request))` when a full request is
@@ -171,15 +452,25 @@ impl RequestParser {
             if head_end > self.limits.max_head_bytes {
                 return Err(ParseError::HeadersTooLarge { limit: self.limits.max_head_bytes });
             }
-            let (head, content_len) = parse_head(&self.buf[..head_end])?;
-            if content_len > self.limits.max_body_bytes {
-                return Err(ParseError::BodyTooLarge {
-                    declared: content_len,
-                    limit: self.limits.max_body_bytes,
-                });
-            }
+            let (head, framing) = parse_head(&self.buf[..head_end])?;
             self.buf.drain(..head_end);
-            self.state = State::Body { head, content_len };
+            match framing {
+                BodyFraming::Length(content_len) => {
+                    if content_len > self.limits.max_body_bytes {
+                        return Err(ParseError::BodyTooLarge {
+                            declared: content_len,
+                            limit: self.limits.max_body_bytes,
+                        });
+                    }
+                    self.state = State::Body { head, content_len };
+                }
+                BodyFraming::Chunked => {
+                    self.state = State::Chunked {
+                        head,
+                        decoder: ChunkDecoder::new(self.limits.max_body_bytes),
+                    };
+                }
+            }
         }
         if let State::Body { content_len, .. } = &self.state {
             if self.buf.len() < *content_len {
@@ -194,6 +485,20 @@ impl RequestParser {
             let body: Vec<u8> = self.buf.drain(..content_len).collect();
             return Ok(Some(HttpRequest { head, body }));
         }
+        if let State::Chunked { decoder, .. } = &mut self.state {
+            let consumed = decoder.feed(&self.buf)?;
+            self.buf.drain(..consumed);
+            if !decoder.is_done() {
+                return Ok(None);
+            }
+            let State::Chunked { head, mut decoder } =
+                std::mem::replace(&mut self.state, State::Head)
+            else {
+                // Unreachable: the guard above matched `State::Chunked`.
+                return Ok(None);
+            };
+            return Ok(Some(HttpRequest { head, body: decoder.take_body() }));
+        }
         Ok(None)
     }
 }
@@ -207,8 +512,8 @@ fn find_head_end(buf: &[u8], max_head: usize) -> Option<usize> {
 }
 
 /// Parse a complete head (everything through CRLFCRLF) into a
-/// [`RequestHead`] plus the declared content length.
-fn parse_head(bytes: &[u8]) -> Result<(RequestHead, usize), ParseError> {
+/// [`RequestHead`] plus how its body is framed on the wire.
+fn parse_head(bytes: &[u8]) -> Result<(RequestHead, BodyFraming), ParseError> {
     let text = std::str::from_utf8(bytes)
         .map_err(|_| ParseError::Malformed("head is not valid UTF-8"))?;
     let mut lines = text.split("\r\n");
@@ -232,7 +537,8 @@ fn parse_head(bytes: &[u8]) -> Result<(RequestHead, usize), ParseError> {
         _ => return Err(ParseError::Malformed("bad http version")),
     }
     let mut headers = Vec::new();
-    let mut content_len = 0usize;
+    let mut content_len: Option<usize> = None;
+    let mut chunked = false;
     for line in lines {
         if line.is_empty() {
             continue; // the blank line before CRLFCRLF
@@ -246,16 +552,33 @@ fn parse_head(bytes: &[u8]) -> Result<(RequestHead, usize), ParseError> {
         let name = name.to_ascii_lowercase();
         let value = value.trim().to_string();
         if name == "transfer-encoding" {
-            return Err(ParseError::Unsupported("transfer-encoding"));
+            // Only the plain `chunked` coding is implemented; stacked or
+            // compressed codings stay typed 501s.
+            if value.eq_ignore_ascii_case("chunked") {
+                chunked = true;
+            } else {
+                return Err(ParseError::Unsupported("transfer-encoding"));
+            }
         }
         if name == "content-length" {
-            content_len = value
-                .parse::<usize>()
-                .map_err(|_| ParseError::Malformed("bad content-length"))?;
+            content_len = Some(
+                value
+                    .parse::<usize>()
+                    .map_err(|_| ParseError::Malformed("bad content-length"))?,
+            );
         }
         headers.push((name, value));
     }
-    Ok((RequestHead { method, target, headers }, content_len))
+    // RFC 9112 §6.1: a message with both framings is a smuggling vector —
+    // reject rather than pick one.
+    let framing = match (chunked, content_len) {
+        (true, Some(_)) => {
+            return Err(ParseError::Malformed("both transfer-encoding and content-length"))
+        }
+        (true, None) => BodyFraming::Chunked,
+        (false, len) => BodyFraming::Length(len.unwrap_or(0)),
+    };
+    Ok((RequestHead { method, target, headers }, framing))
 }
 
 /// Canonical reason phrase for the statuses the gateway emits.
@@ -397,10 +720,16 @@ mod tests {
     }
 
     #[test]
-    fn rejects_chunked_and_bad_lines() {
+    fn rejects_exotic_codings_and_bad_lines() {
         assert_eq!(
-            parse_all(b"POST / HTTP/1.1\r\ntransfer-encoding: chunked\r\n\r\n"),
+            parse_all(b"POST / HTTP/1.1\r\ntransfer-encoding: gzip, chunked\r\n\r\n"),
             Err(ParseError::Unsupported("transfer-encoding")),
+        );
+        assert_eq!(
+            parse_all(
+                b"POST / HTTP/1.1\r\ntransfer-encoding: chunked\r\ncontent-length: 4\r\n\r\n",
+            ),
+            Err(ParseError::Malformed("both transfer-encoding and content-length")),
         );
         assert_eq!(
             parse_all(b"POST / HTTP/2.0\r\n\r\n"),
@@ -410,6 +739,94 @@ mod tests {
         assert!(parse_all(b"GET nothing HTTP/1.1\r\n\r\n").is_err());
         assert!(parse_all(b"GET / HTTP/1.1\r\nbroken header\r\n\r\n").is_err());
         assert!(parse_all(b"POST / HTTP/1.1\r\ncontent-length: ten\r\n\r\n").is_err());
+    }
+
+    #[test]
+    fn chunked_request_reassembles_under_any_split() {
+        let raw = b"POST /v1/infer HTTP/1.1\r\ntransfer-encoding: chunked\r\n\r\n\
+                    6;note=ext\r\nhello \r\n5\r\nworld\r\n0\r\nx-trailer: ok\r\n\r\nGET";
+        for split in 0..raw.len() {
+            let mut parser = RequestParser::new(ParseLimits::default());
+            let first = parser.feed(&raw[..split]).unwrap_or_else(|e| {
+                panic!("prefix at split {split}: {e:?}");
+            });
+            let req = match first {
+                Some(req) => {
+                    // Whole request fit in the prefix; the suffix is tail-only.
+                    assert_eq!(parser.feed(&raw[split..]).expect("tail ok"), None);
+                    req
+                }
+                None => parser
+                    .feed(&raw[split..])
+                    .expect("suffix ok")
+                    .expect("complete"),
+            };
+            assert_eq!(req.body, b"hello world", "split {split}");
+            assert_eq!(req.head.header("transfer-encoding"), Some("chunked"));
+            // The pipelined tail ("GET") is never consumed by the body.
+            assert_eq!(parser.buffered(), 3, "split {split}");
+        }
+    }
+
+    #[test]
+    fn chunked_body_budget_is_cumulative_and_typed() {
+        let limits = ParseLimits { max_head_bytes: 256, max_body_bytes: 8 };
+        let mut parser = RequestParser::new(limits);
+        // Two 5-byte chunks: neither alone exceeds the budget, together they do.
+        let raw = b"POST / HTTP/1.1\r\ntransfer-encoding: chunked\r\n\r\n\
+                    5\r\naaaaa\r\n5\r\nbbbbb\r\n0\r\n\r\n";
+        assert_eq!(
+            parser.feed(raw),
+            Err(ParseError::BodyTooLarge { declared: 10, limit: 8 }),
+        );
+    }
+
+    #[test]
+    fn chunk_decoder_rejects_malformed_framing() {
+        let mut d = ChunkDecoder::new(1024);
+        assert!(d.feed(b"zz\r\n").is_err(), "non-hex size");
+        let mut d = ChunkDecoder::new(1024);
+        assert!(d.feed(b"3\nabc\r\n").is_err(), "bare LF size line");
+        let mut d = ChunkDecoder::new(1024);
+        assert!(d.feed(b"3\r\nabcXX").is_err(), "payload not CRLF-terminated");
+        let mut d = ChunkDecoder::new(1024);
+        let long = vec![b'1'; MAX_CHUNK_SIZE_LINE + 8];
+        assert!(d.feed(&long).is_err(), "unbounded size line");
+        let mut d = ChunkDecoder::new(1024);
+        d.feed(b"0\r\n").expect("terminal size");
+        let trailer = format!("x: {}\r\n", "y".repeat(MAX_TRAILER_BYTES + 8));
+        assert!(d.feed(trailer.as_bytes()).is_err(), "unbounded trailer");
+    }
+
+    #[test]
+    fn chunked_writer_round_trips_through_the_decoder() {
+        let mut wire = Vec::new();
+        {
+            let mut writer = ChunkedWriter::start(
+                &mut wire,
+                200,
+                "application/x-ndjson",
+                false,
+                &[("x-extra".to_string(), "1".to_string())],
+            )
+            .expect("start");
+            writer.write_chunk(b"{\"v\":1}\n").expect("chunk 1");
+            writer.write_chunk(b"").expect("empty chunk skipped");
+            writer.write_chunk(b"{\"v\":2}\n").expect("chunk 2");
+            writer.finish().expect("finish");
+        }
+        let text = String::from_utf8(wire.clone()).expect("utf8");
+        assert!(text.starts_with("HTTP/1.1 200 OK\r\n"));
+        assert!(text.contains("transfer-encoding: chunked\r\n"));
+        assert!(text.contains("connection: keep-alive\r\n"));
+        assert!(text.contains("x-extra: 1\r\n"));
+        assert!(!text.contains("content-length"));
+        let body_at = text.find("\r\n\r\n").expect("head end") + 4;
+        let mut decoder = ChunkDecoder::new(1024);
+        let consumed = decoder.feed(&wire[body_at..]).expect("decode");
+        assert!(decoder.is_done());
+        assert_eq!(consumed, wire.len() - body_at);
+        assert_eq!(decoder.take_body(), b"{\"v\":1}\n{\"v\":2}\n");
     }
 
     #[test]

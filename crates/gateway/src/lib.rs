@@ -8,9 +8,13 @@
 //! | Endpoint | Method | Purpose |
 //! |---|---|---|
 //! | `/v1/infer` | POST | Text-to-SQL inference (`db_id`, `question`, optional `external_knowledge`, `deadline_ms`) |
+//! | `/v1/infer?stream=1` | POST | Same request, but progress events stream back as ndjson over chunked transfer (`queued` → `dispatched` → `generated` → `result`); also selected by `Accept: application/x-ndjson` |
 //! | `/v1/invalidate` | POST | Bump a database's cache generation |
 //! | `/v1/health` | GET | Readiness + per-shard / per-tenant health JSON |
 //! | `/metrics` | GET | Prometheus exposition of the whole stack's registry |
+//!
+//! Every body — success, failure, or stream event — travels in the
+//! versioned [`envelope`] (`{"v":1,...}`).
 //!
 //! The interesting part is not the routing, it is the hostile-network
 //! posture, layered front to back:
@@ -34,6 +38,7 @@
 
 pub mod auth;
 pub mod client;
+pub mod envelope;
 pub mod error;
 pub mod http;
 pub mod journal;
@@ -42,9 +47,12 @@ pub mod metrics;
 pub mod server;
 
 pub use auth::{AuthTable, TenantAccount, TenantSpec};
-pub use client::{ClientResponse, HttpClient};
+pub use client::{ClientResponse, EventStream, HttpClient};
 pub use error::{error_response, map_serve_error, serve_error_response, Reject, WireError};
-pub use http::{HttpRequest, HttpResponse, ParseError, ParseLimits, RequestHead, RequestParser};
+pub use http::{
+    encode_chunk, ChunkDecoder, ChunkedWriter, HttpRequest, HttpResponse, ParseError,
+    ParseLimits, RequestHead, RequestParser,
+};
 pub use journal::{AuditError, AuditJournal, AuditRecord};
 pub use limiter::TokenBucket;
 pub use server::{Gateway, GatewayConfig, GatewayStats, StartError};

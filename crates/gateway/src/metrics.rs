@@ -37,6 +37,14 @@ pub const JOURNAL_LINES: &str = "codes_gateway_journal_lines_total";
 /// `client_gone`). The chaos suite asserts Σ(outcomes) equals admitted
 /// infer requests — exactly-once resolution, observable from outside.
 pub const INFER_OUTCOMES: &str = "codes_gateway_infer_outcomes_total";
+/// Streaming events flushed to clients (`event` label: queued /
+/// dispatched / generated / result / error).
+pub const STREAM_EVENTS: &str = "codes_gateway_stream_events_total";
+/// Streams that ended without delivering their final event (`reason`
+/// label: client_gone).
+pub const STREAM_ABORTS: &str = "codes_gateway_stream_aborts_total";
+/// Wall-clock latency of one chunk write+flush on a streaming response.
+pub const STREAM_FLUSH: &str = "codes_gateway_stream_flush_seconds";
 
 /// Why the edge refused work before the router saw it.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -57,6 +65,7 @@ pub(crate) struct GatewayMetrics {
     pub(crate) open_connections: Arc<Gauge>,
     pub(crate) in_flight: Arc<Gauge>,
     pub(crate) journal_lines: Arc<Counter>,
+    pub(crate) stream_flush: Arc<Histogram>,
     shed_connection_limit: Arc<Counter>,
     shed_rate_limited: Arc<Counter>,
     shed_budget_exhausted: Arc<Counter>,
@@ -71,6 +80,7 @@ impl GatewayMetrics {
             open_connections: registry.gauge(OPEN_CONNECTIONS, &[]),
             in_flight: registry.gauge(IN_FLIGHT, &[]),
             journal_lines: registry.counter(JOURNAL_LINES, &[]),
+            stream_flush: registry.histogram(STREAM_FLUSH, &[]),
             shed_connection_limit: registry.counter(SHED, &[("reason", "connection_limit")]),
             shed_rate_limited: registry.counter(SHED, &[("reason", "rate_limited")]),
             shed_budget_exhausted: registry.counter(SHED, &[("reason", "budget_exhausted")]),
@@ -113,5 +123,13 @@ impl GatewayMetrics {
 
     pub(crate) fn infer_outcome(&self, code: &str) -> Arc<Counter> {
         self.registry.counter(INFER_OUTCOMES, &[("code", code)])
+    }
+
+    pub(crate) fn stream_event(&self, event: &str) -> Arc<Counter> {
+        self.registry.counter(STREAM_EVENTS, &[("event", event)])
+    }
+
+    pub(crate) fn stream_abort(&self, reason: &str) -> Arc<Counter> {
+        self.registry.counter(STREAM_ABORTS, &[("reason", reason)])
     }
 }

@@ -51,12 +51,16 @@ use std::time::{Duration, Instant};
 
 use codes::InferenceRequest;
 use codes_router::Router;
+use codes_serve::pool::{Outcome, Ticket};
+use codes_serve::progress::{Progress, ProgressSink};
+use codes_serve::ServedInference;
 use parking_lot::Mutex;
 use serde::Json;
 
 use crate::auth::{AuthTable, TenantAccount, TenantSpec};
-use crate::error::{error_response, serve_error_response, Reject};
-use crate::http::{HttpRequest, HttpResponse, ParseLimits, RequestParser};
+use crate::envelope;
+use crate::error::{error_response, map_serve_error, serve_error_response, Reject, WireError};
+use crate::http::{ChunkedWriter, HttpRequest, HttpResponse, ParseLimits, RequestParser};
 use crate::journal::{AuditError, AuditJournal, AuditRecord};
 use crate::metrics::{EdgeShed, GatewayMetrics};
 
@@ -422,6 +426,19 @@ fn handle_connection(inner: &Arc<Inner>, stream: TcpStream) {
                 let close = request.head.wants_close()
                     || served >= inner.config.max_requests_per_connection
                     || inner.shutdown.load(Ordering::SeqCst);
+                if wants_stream(&request.head) {
+                    // Streaming bypasses the buffered-response path: the
+                    // handler owns the socket until the final event.
+                    inner.stats.requests.fetch_add(1, Ordering::Relaxed);
+                    inner.metrics.request("infer_stream").inc();
+                    let started = Instant::now();
+                    let keep = handle_infer_stream(inner, &stream, &request, close);
+                    inner.metrics.duration("infer_stream").record(started.elapsed());
+                    if !keep || close {
+                        return;
+                    }
+                    continue;
+                }
                 let (endpoint, response) = route(inner, &request);
                 inner.stats.requests.fetch_add(1, Ordering::Relaxed);
                 inner.metrics.request(endpoint).inc();
@@ -540,12 +557,43 @@ fn write_response(
     }
 }
 
+/// Split a request target into `(path, query)`; the query is empty when
+/// absent.
+fn split_target(target: &str) -> (&str, &str) {
+    match target.split_once('?') {
+        Some((path, query)) => (path, query),
+        None => (target, ""),
+    }
+}
+
+/// True when the query carries `name` as a truthy flag (`name=1`,
+/// `name=true`, or bare `name`).
+fn query_flag(query: &str, name: &str) -> bool {
+    query.split('&').any(|pair| {
+        let (key, value) = match pair.split_once('=') {
+            Some((key, value)) => (key, value),
+            None => (pair, "1"),
+        };
+        key == name && matches!(value, "1" | "true")
+    })
+}
+
+/// True when this request selects the streaming infer path: `POST
+/// /v1/infer` with `?stream=1` or `Accept: application/x-ndjson`.
+fn wants_stream(head: &crate::http::RequestHead) -> bool {
+    let (path, query) = split_target(&head.target);
+    head.method == "POST"
+        && path == "/v1/infer"
+        && (query_flag(query, "stream")
+            || head.header("accept").is_some_and(|a| a.contains("application/x-ndjson")))
+}
+
 /// Dispatch one parsed request to its handler. Returns the endpoint
 /// label (for metrics) and the response.
 fn route(inner: &Arc<Inner>, request: &HttpRequest) -> (&'static str, HttpResponse) {
     let started = Instant::now();
-    let (endpoint, response) = match (request.head.method.as_str(), request.head.target.as_str())
-    {
+    let (path, _query) = split_target(&request.head.target);
+    let (endpoint, response) = match (request.head.method.as_str(), path) {
         ("GET", "/v1/health") => ("health", health_response(inner)),
         ("GET", "/metrics") => {
             ("metrics", HttpResponse::text(200, inner.registry.render_prometheus()))
@@ -609,7 +657,7 @@ fn health_response(inner: &Arc<Inner>) -> HttpResponse {
         ),
         ("infer_in_flight".to_string(), Json::Int(inner.metrics.in_flight.get())),
     ]);
-    HttpResponse::json(if ready { 200 } else { 503 }, &body)
+    HttpResponse::json(if ready { 200 } else { 503 }, &envelope::success(body))
 }
 
 /// The authenticated tenant for a request, or the implicit open-mode
@@ -662,69 +710,128 @@ fn parse_infer_body(body: &[u8], max_deadline: Duration) -> Result<InferenceRequ
     Ok(request)
 }
 
-fn handle_infer(inner: &Arc<Inner>, request: &HttpRequest) -> HttpResponse {
+/// An infer attempt past admission: everything `settle_infer` needs to
+/// resolve it exactly once (audit + outcome counter + spend charge).
+struct InferCtx {
+    ticket: Ticket,
+    db_id: String,
+    tenant: String,
+    account: Option<Arc<TenantAccount>>,
+    seq: u64,
+    started: Instant,
+}
+
+/// What the admission pipeline produced for one infer attempt.
+enum InferAdmission {
+    /// Rejected (or failed) before a ticket existed; the response is
+    /// final and already audited where attributable.
+    Immediate(HttpResponse),
+    /// Admitted to the router; the caller owns the wait and must call
+    /// `settle_infer` with the outcome.
+    Admitted(Box<InferCtx>),
+}
+
+/// The shared front half of `/v1/infer`: auth, quota, body parse, and
+/// router submission — identical for the buffered and streaming paths,
+/// so the two cannot drift. `progress` (streaming only) is threaded to
+/// the router/pool for lifecycle notifications.
+fn admit_infer(
+    inner: &Arc<Inner>,
+    request: &HttpRequest,
+    progress: Option<Arc<dyn ProgressSink>>,
+) -> InferAdmission {
     let account = match authenticate(inner, request) {
-        Ok(account) => account,
-        Err(reject) => return reject.response(),
+        Ok(account) => account.cloned(),
+        Err(reject) => return InferAdmission::Immediate(reject.response()),
     };
-    let tenant = account.map_or("default", |a| a.name.as_str()).to_string();
+    let tenant = account.as_ref().map_or("default", |a| a.name.as_str()).to_string();
     // From here the attempt is attributable to a tenant: every path below
     // records exactly one audit record and one outcome counter.
     inner.stats.infer_requests.fetch_add(1, Ordering::Relaxed);
     let seq = inner.infer_seq.fetch_add(1, Ordering::SeqCst);
     let started = Instant::now();
-    let finish = |db_id: &str, status: u16, code: &str, cached: bool| {
+    let finish = |db_id: &str, status: u16, code: &str| {
         inner.metrics.infer_outcome(code).inc();
-        audit(inner, seq, &tenant, db_id, status, code, started.elapsed(), cached);
+        audit(inner, seq, &tenant, db_id, status, code, started.elapsed(), false);
     };
 
     if inner.shutdown.load(Ordering::SeqCst) {
         let reject = Reject::ShuttingDown;
         inner.metrics.shed(EdgeShed::ShuttingDown).inc();
-        finish("", reject.status(), reject.code(), false);
-        return reject.response();
+        finish("", reject.status(), reject.code());
+        return InferAdmission::Immediate(reject.response());
     }
     // Quota checks before anything reaches the router: the DRR queues
     // only ever see in-quota traffic.
-    if let Some(account) = account {
+    if let Some(account) = &account {
         let now_ns = inner.started.elapsed().as_nanos() as u64;
         if let Err(reject) = account.admit(now_ns) {
             match &reject {
                 Reject::RateLimited { .. } => inner.metrics.shed(EdgeShed::RateLimited).inc(),
                 _ => inner.metrics.shed(EdgeShed::BudgetExhausted).inc(),
             }
-            finish("", reject.status(), reject.code(), false);
-            return reject.response();
+            finish("", reject.status(), reject.code());
+            return InferAdmission::Immediate(reject.response());
         }
     }
     let infer_request = match parse_infer_body(&request.body, inner.config.max_deadline) {
         Ok(parsed) => parsed,
         Err(reject) => {
-            finish("", reject.status(), reject.code(), false);
-            return reject.response();
+            finish("", reject.status(), reject.code());
+            return InferAdmission::Immediate(reject.response());
         }
     };
     let db_id = infer_request.db_id.clone();
-    let ticket = match inner.router.submit_as(&tenant, infer_request) {
+    let ticket = match inner.router.submit_as_with_progress(&tenant, infer_request, progress) {
         Ok(ticket) => ticket,
         Err(e) => {
             let unified = codes::Error::from(e);
-            let mapped = crate::error::map_serve_error(&unified);
-            finish(&db_id, mapped.status, mapped.code, false);
-            return serve_error_response(&unified);
+            let mapped = map_serve_error(&unified);
+            finish(&db_id, mapped.status, mapped.code);
+            return InferAdmission::Immediate(serve_error_response(&unified));
         }
     };
     inner.stats.infer_admitted.fetch_add(1, Ordering::Relaxed);
     inner.metrics.in_flight.add(1);
-    // The router/pool guarantee exactly-once resolution for every
-    // accepted ticket (through drain, failover, and worker death), so
-    // this wait cannot hang.
-    let outcome = ticket.wait();
+    InferAdmission::Admitted(Box::new(InferCtx { ticket, db_id, tenant, account, seq, started }))
+}
+
+/// The success payload for one served inference — the *one* place it is
+/// built, so the streaming `result` event's `data` and the buffered
+/// response's `data` are byte-identical by construction.
+fn served_payload(served: &ServedInference, tenant: &str) -> Json {
+    let degradations = served.degradations.iter().map(|d| Json::Str(d.clone())).collect();
+    Json::Obj(vec![
+        ("sql".to_string(), Json::Str(served.sql.clone())),
+        ("request_id".to_string(), Json::Int(served.request_id as i64)),
+        ("tenant".to_string(), Json::Str(tenant.to_string())),
+        ("cached".to_string(), Json::Bool(served.cached)),
+        ("worker".to_string(), Json::Int(served.worker as i64)),
+        ("latency_ms".to_string(), Json::Num(served.latency_seconds * 1e3)),
+        ("queue_wait_ms".to_string(), Json::Num(served.queue_wait_seconds * 1e3)),
+        ("prompt_tokens".to_string(), Json::Int(served.prompt_tokens as i64)),
+        ("degradations".to_string(), Json::Arr(degradations)),
+    ])
+}
+
+/// The shared back half of `/v1/infer`: exactly one call per admitted
+/// ticket. Books the resolution (in-flight gauge, outcome counter,
+/// audit, spend charge) and returns either the success payload or the
+/// mapped wire error plus its message.
+fn settle_infer(
+    inner: &Arc<Inner>,
+    ctx: &InferCtx,
+    outcome: Outcome,
+) -> Result<Json, (WireError, String)> {
     inner.metrics.in_flight.add(-1);
     inner.stats.infer_resolved.fetch_add(1, Ordering::Relaxed);
+    let finish = |status: u16, code: &str, cached: bool| {
+        inner.metrics.infer_outcome(code).inc();
+        audit(inner, ctx.seq, &ctx.tenant, &ctx.db_id, status, code, ctx.started.elapsed(), cached);
+    };
     match outcome {
         Ok(served) => {
-            if let Some(account) = account {
+            if let Some(account) = &ctx.account {
                 // Spend budgets meter backend compute; cached answers
                 // consumed none, and any real inference costs at least
                 // 1ms so a backend that reports zero latency still spends.
@@ -732,31 +839,178 @@ fn handle_infer(inner: &Arc<Inner>, request: &HttpRequest) -> HttpResponse {
                     account.charge_ms(((served.latency_seconds * 1e3).ceil() as u64).max(1));
                 }
             }
-            finish(&db_id, 200, "ok", served.cached);
-            let degradations =
-                served.degradations.iter().map(|d| Json::Str(d.clone())).collect();
-            let body = Json::Obj(vec![
-                ("sql".to_string(), Json::Str(served.sql.clone())),
-                ("request_id".to_string(), Json::Int(served.request_id as i64)),
-                ("tenant".to_string(), Json::Str(tenant.clone())),
-                ("cached".to_string(), Json::Bool(served.cached)),
-                ("worker".to_string(), Json::Int(served.worker as i64)),
-                ("latency_ms".to_string(), Json::Num(served.latency_seconds * 1e3)),
-                (
-                    "queue_wait_ms".to_string(),
-                    Json::Num(served.queue_wait_seconds * 1e3),
-                ),
-                ("prompt_tokens".to_string(), Json::Int(served.prompt_tokens as i64)),
-                ("degradations".to_string(), Json::Arr(degradations)),
-            ]);
-            HttpResponse::json(200, &body)
+            finish(200, "ok", served.cached);
+            Ok(served_payload(&served, &ctx.tenant))
         }
         Err(e) => {
             let unified = codes::Error::from(e);
-            let mapped = crate::error::map_serve_error(&unified);
-            finish(&db_id, mapped.status, mapped.code, false);
-            serve_error_response(&unified)
+            let mapped = map_serve_error(&unified);
+            finish(mapped.status, mapped.code, false);
+            Err((mapped, unified.to_string()))
         }
+    }
+}
+
+fn handle_infer(inner: &Arc<Inner>, request: &HttpRequest) -> HttpResponse {
+    let ctx = match admit_infer(inner, request, None) {
+        InferAdmission::Immediate(response) => return response,
+        InferAdmission::Admitted(ctx) => ctx,
+    };
+    // The router/pool guarantee exactly-once resolution for every
+    // accepted ticket (through drain, failover, and worker death), so
+    // this wait cannot hang; the slice size only bounds each poll.
+    let outcome = loop {
+        if let Some(outcome) = ctx.ticket.wait_timeout(Duration::from_secs(3600)) {
+            break outcome;
+        }
+    };
+    match settle_infer(inner, &ctx, outcome) {
+        Ok(payload) => HttpResponse::json(200, &envelope::success(payload)),
+        Err((wire, message)) => error_response(wire.status, wire.code, &message, wire.retry_after),
+    }
+}
+
+/// The `data` payload of one progress event.
+fn progress_payload(progress: &Progress) -> Json {
+    match progress {
+        Progress::Queued => Json::Obj(vec![]),
+        Progress::Dispatched { worker, batch_size } => Json::Obj(vec![
+            ("worker".to_string(), Json::Int(*worker as i64)),
+            ("batch_size".to_string(), Json::Int(*batch_size as i64)),
+        ]),
+        Progress::Generated { latency_seconds } => Json::Obj(vec![(
+            "latency_ms".to_string(),
+            Json::Num(latency_seconds * 1e3),
+        )]),
+    }
+}
+
+/// `POST /v1/infer?stream=1` (or `Accept: application/x-ndjson`): emit
+/// lifecycle events as ndjson over chunked transfer, then the final
+/// result as a `result` (or `error`) event whose `data` is byte-identical
+/// to the buffered response's. Returns whether the connection may be
+/// kept alive.
+///
+/// Invariants, in order:
+/// * the ticket is **always** waited to resolution and settled exactly
+///   once — a vanished client never leaks an audit record or an
+///   in-flight gauge increment;
+/// * progress events are deduped by rank (queued < dispatched <
+///   generated), since admission is legitimately reported by both the
+///   router and pool queues;
+/// * every chunk write observes the socket's write timeout, and a drain
+///   flag observed mid-stream closes the connection after the final
+///   event.
+fn handle_infer_stream(
+    inner: &Arc<Inner>,
+    stream: &TcpStream,
+    request: &HttpRequest,
+    close: bool,
+) -> bool {
+    let (tx, rx) = crossbeam::channel::unbounded::<Progress>();
+    let sink: Arc<dyn ProgressSink> = Arc::new(tx);
+    let ctx = match admit_infer(inner, request, Some(sink)) {
+        InferAdmission::Immediate(response) => {
+            // Pre-admission rejections stay plain responses: there is no
+            // lifecycle to narrate and clients keep one error shape.
+            return write_response(inner, stream, &response, close) && !close;
+        }
+        InferAdmission::Admitted(ctx) => ctx,
+    };
+
+    let mut writer = match ChunkedWriter::start(stream, 200, "application/x-ndjson", close, &[])
+    {
+        Ok(writer) => Some(writer),
+        Err(_) => {
+            inner.metrics.client_gone("response").inc();
+            inner.stats.client_gone.fetch_add(1, Ordering::Relaxed);
+            inner.metrics.stream_abort("client_gone").inc();
+            None
+        }
+    };
+    let mut last_rank: i16 = -1;
+    let mut drained_mid_stream = false;
+
+    // One closure per event write keeps the abort bookkeeping in one
+    // place: a failed flush drops the writer (the client is gone) but the
+    // wait below still runs to settlement.
+    let emit = |writer: &mut Option<ChunkedWriter<&TcpStream>>,
+                    event: &str,
+                    line: Vec<u8>| {
+        let Some(w) = writer.as_mut() else { return };
+        let flush_started = Instant::now();
+        if w.write_chunk(&line).is_ok() {
+            inner.metrics.stream_flush.record(flush_started.elapsed());
+            inner.metrics.stream_event(event).inc();
+        } else {
+            inner.metrics.client_gone("response").inc();
+            inner.stats.client_gone.fetch_add(1, Ordering::Relaxed);
+            inner.metrics.stream_abort("client_gone").inc();
+            *writer = None;
+        }
+    };
+
+    let outcome = loop {
+        // Drain pending lifecycle notifications, monotonic by rank.
+        while let Ok(progress) = rx.try_recv() {
+            if i16::from(progress.rank()) <= last_rank {
+                continue;
+            }
+            last_rank = i16::from(progress.rank());
+            emit(&mut writer, progress.name(), envelope::event_line(
+                progress.name(),
+                progress_payload(&progress),
+            ));
+        }
+        if inner.shutdown.load(Ordering::SeqCst) {
+            // Drain observed mid-stream: keep streaming (the pool drains
+            // in-flight work) but close the connection afterwards.
+            drained_mid_stream = true;
+        }
+        match ctx.ticket.wait_timeout(inner.config.read_slice) {
+            Some(outcome) => break outcome,
+            None => continue,
+        }
+    };
+    // Late notifications raced the outcome (e.g. `generated` sent just
+    // before resolution): flush them before the terminal event.
+    while let Ok(progress) = rx.try_recv() {
+        if i16::from(progress.rank()) <= last_rank {
+            continue;
+        }
+        last_rank = i16::from(progress.rank());
+        emit(&mut writer, progress.name(), envelope::event_line(
+            progress.name(),
+            progress_payload(&progress),
+        ));
+    }
+
+    match settle_infer(inner, &ctx, outcome) {
+        Ok(payload) => {
+            emit(&mut writer, "result", envelope::event_line("result", payload));
+        }
+        Err((wire, message)) => {
+            emit(
+                &mut writer,
+                "error",
+                envelope::error_event_line(wire.code, &message, wire.retry_after),
+            );
+        }
+    }
+    match writer {
+        Some(w) => {
+            if w.finish().is_ok() {
+                inner.metrics.response(200).inc();
+                inner.stats.responses.fetch_add(1, Ordering::Relaxed);
+                !close && !drained_mid_stream
+            } else {
+                inner.metrics.client_gone("response").inc();
+                inner.stats.client_gone.fetch_add(1, Ordering::Relaxed);
+                inner.metrics.stream_abort("client_gone").inc();
+                false
+            }
+        }
+        None => false,
     }
 }
 
@@ -789,7 +1043,7 @@ fn handle_invalidate(inner: &Arc<Inner>, request: &HttpRequest) -> HttpResponse 
                     generation.map_or(Json::Null, |g| Json::Int(g as i64)),
                 ),
             ]);
-            HttpResponse::json(200, &body)
+            HttpResponse::json(200, &envelope::success(body))
         }
         Err(e) => serve_error_response(&codes::Error::from(e)),
     }
@@ -834,7 +1088,7 @@ fn handle_attach(inner: &Arc<Inner>, request: &HttpRequest) -> HttpResponse {
                 ("columns".to_string(), Json::Int(catalog.column_count() as i64)),
                 ("values".to_string(), Json::Int(catalog.value_count() as i64)),
             ]);
-            HttpResponse::json(200, &body)
+            HttpResponse::json(200, &envelope::success(body))
         }
         Err(e) => serve_error_response(&codes::Error::from(e)),
     }

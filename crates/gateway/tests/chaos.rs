@@ -15,7 +15,7 @@ use std::sync::Arc;
 use std::time::Duration;
 
 use codes_gateway::{Gateway, HttpClient, TenantSpec};
-use common::{fast_config, silence_injected_panics, test_router};
+use common::{fast_config, silence_injected_panics, start_gateway, test_router};
 use rand::rngs::StdRng;
 use rand::{RngExt, SeedableRng};
 use serde::Json;
@@ -38,6 +38,7 @@ struct RunReport {
     oversize_head_resp: u16,
     oversize_body_resp: u16,
     client_gone_requests: u64,
+    stream_aborts: u64,
     journal_seqs: Vec<u64>,
 }
 
@@ -125,6 +126,43 @@ fn mid_body_disconnect(addr: SocketAddr) {
     // Drop: RST/FIN mid-body. The gateway must not forward anything.
 }
 
+/// Start a chunked upload and vanish mid-frame. Even seeds tear the
+/// connection between two chunks; odd seeds tear *inside* a chunk size
+/// line, leaving the decoder holding a partial frame. Either way the
+/// truncated request must never reach the router.
+fn torn_chunked_upload(addr: SocketAddr, seed: u64) {
+    let Ok(mut stream) = TcpStream::connect(addr) else { return };
+    let _ = stream.write_all(
+        b"POST /v1/infer HTTP/1.1\r\nhost: x\r\ntransfer-encoding: chunked\r\n\r\n5\r\nhello\r\n",
+    );
+    if seed.is_multiple_of(2) {
+        // Torn between chunks: a clean frame boundary, then silence.
+        std::thread::sleep(Duration::from_millis(30));
+    } else {
+        // Torn inside the next chunk's size line.
+        let _ = stream.write_all(b"1");
+        std::thread::sleep(Duration::from_millis(30));
+    }
+    // Drop without ever sending the terminal chunk.
+}
+
+/// Open a streaming inference, read at most one event, then abandon the
+/// connection while the backend is still generating. The server must
+/// finish the ticket (exactly-once journaling) even though nobody is
+/// listening, and count the torn stream rather than hanging on it.
+fn stream_reader_vanishes(addr: SocketAddr) {
+    let Ok(mut client) = HttpClient::connect(addr) else { return };
+    let Ok(mut stream) = client.post_stream(
+        "/v1/infer",
+        &[("x-api-key", "sk-acme")],
+        &infer_json("sleep:60: reader vanishes"),
+    ) else {
+        return;
+    };
+    let _ = stream.next();
+    // Drop mid-stream: the remaining events have no transport.
+}
+
 /// A request head far past the byte budget must come back as a typed 431.
 fn oversized_head(addr: SocketAddr) -> u16 {
     let Ok(mut stream) = TcpStream::connect(addr) else { return 0 };
@@ -185,6 +223,8 @@ fn run_one(seed: u64, probe: &Probe) -> RunReport {
         drop(stream);
     });
     let torn = std::thread::spawn(move || mid_body_disconnect(addr));
+    let torn_chunk = std::thread::spawn(move || torn_chunked_upload(addr, seed));
+    let vanisher = std::thread::spawn(move || stream_reader_vanishes(addr));
     let big_head = std::thread::spawn(move || oversized_head(addr));
     let big_body = std::thread::spawn(move || oversized_body(addr));
 
@@ -235,6 +275,8 @@ fn run_one(seed: u64, probe: &Probe) -> RunReport {
     assert!(slow_got_timeout, "slow writer neither got 408 nor a close");
     half_open.join().expect("half-open");
     torn.join().expect("mid-body");
+    torn_chunk.join().expect("torn chunked upload");
+    vanisher.join().expect("stream vanisher");
     let oversize_head_resp = big_head.join().expect("big head");
     let oversize_body_resp = big_body.join().expect("big body");
     let flood_refusals = flood
@@ -256,6 +298,8 @@ fn run_one(seed: u64, probe: &Probe) -> RunReport {
         .get();
     let client_gone_requests =
         registry.counter("codes_gateway_client_gone_total", &[("phase", "request")]).get();
+    let stream_aborts =
+        registry.counter("codes_gateway_stream_aborts_total", &[("reason", "client_gone")]).get();
 
     let stats = gateway.shutdown();
     let (_, records) = codes_gateway::AuditJournal::open(&journal_path).expect("journal reopens");
@@ -271,6 +315,7 @@ fn run_one(seed: u64, probe: &Probe) -> RunReport {
         oversize_head_resp,
         oversize_body_resp,
         client_gone_requests,
+        stream_aborts,
         journal_seqs,
     }
 }
@@ -278,6 +323,7 @@ fn run_one(seed: u64, probe: &Probe) -> RunReport {
 #[test]
 fn chaos_storm_30_seeded_runs() {
     silence_injected_panics();
+    let mut stream_aborts_total = 0;
     for seed in 0..RUNS {
         let (tx, rx) = mpsc::channel();
         let probe: Probe = Arc::new(parking_lot::Mutex::new(None));
@@ -349,5 +395,51 @@ fn chaos_storm_30_seeded_runs() {
             report.client_gone_requests >= 1,
             "seed {seed}: mid-body disconnect went unnoticed"
         );
+        stream_aborts_total += report.stream_aborts;
     }
+    // Whether a given run's vanishing reader tears the stream before or
+    // after the final flush is a kernel-timing race, but across 30 runs
+    // the abort path must have fired.
+    assert!(
+        stream_aborts_total >= 1,
+        "no run ever recorded a torn stream ({stream_aborts_total} aborts in {RUNS} runs)"
+    );
+}
+
+/// Graceful drain with a stream in flight: shutdown must let the
+/// dispatched request finish, deliver its terminal `result` event, and
+/// resolve every admitted ticket — then close the connection rather than
+/// accept more work on it.
+#[test]
+fn drain_mid_stream_finishes_the_in_flight_stream() {
+    let gateway = start_gateway(fast_config(Vec::new()), &[]);
+    let addr = gateway.local_addr();
+    let streamer = std::thread::spawn(move || {
+        let mut client = HttpClient::connect(addr).expect("connect");
+        let events: Vec<Json> = client
+            .post_stream("/v1/infer", &[], &infer_json("sleep:300: drain me"))
+            .expect("stream starts")
+            .collect::<Result<_, _>>()
+            .expect("every event decodes");
+        events
+    });
+    // Let the request get admitted and dispatched before draining.
+    std::thread::sleep(Duration::from_millis(100));
+    let stats = gateway.shutdown();
+    let events = streamer.join().expect("streamer thread");
+
+    let names: Vec<&str> = events
+        .iter()
+        .map(|e| e.get("event").and_then(Json::as_str).expect("event name"))
+        .collect();
+    assert_eq!(names.last(), Some(&"result"), "{events:?}");
+    let result = events.last().and_then(|e| e.get("data")).expect("result data");
+    assert_eq!(
+        result.get("sql").and_then(Json::as_str),
+        Some("SELECT 'sleep:300: drain me'"),
+    );
+    assert_eq!(
+        stats.infer_admitted, stats.infer_resolved,
+        "drain resolved every admitted ticket: {stats:?}"
+    );
 }

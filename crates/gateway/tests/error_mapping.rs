@@ -162,9 +162,21 @@ fn reject_table_is_total_and_exact() {
         assert_eq!(response.status, *status, "{code}");
         let body = String::from_utf8(response.body.clone()).expect("utf-8 body");
         let json = serde_json::from_str(&body).expect("json body");
+        assert_eq!(json.get("v").and_then(serde::Json::as_i64), Some(1), "{code}: envelope v");
+        let error = json.get("error").expect("error object");
+        assert_eq!(error.get("code").and_then(serde::Json::as_str), Some(*code));
+        assert!(error.get("message").and_then(serde::Json::as_str).is_some(), "{code}");
+        // `retryable` in the body tracks the Retry-After hint exactly,
+        // and retry_after_ms appears iff the hint does.
         assert_eq!(
-            json.get("error").and_then(|e| e.get("code")).and_then(serde::Json::as_str),
-            Some(*code)
+            error.get("retryable").and_then(serde::Json::as_bool),
+            Some(*retryable),
+            "{code}: envelope retryable flag"
+        );
+        assert_eq!(
+            error.get("retry_after_ms").is_some(),
+            *retryable,
+            "{code}: retry_after_ms presence"
         );
         let has_header = response.headers.iter().any(|(name, _)| name == "retry-after");
         assert_eq!(has_header, *retryable, "{code}: Retry-After header presence");
@@ -173,6 +185,36 @@ fn reject_table_is_total_and_exact() {
     // wire.
     let codes: std::collections::HashSet<&str> = cases.iter().map(|(r, ..)| r.code()).collect();
     assert_eq!(codes.len(), cases.len());
+}
+
+#[test]
+fn every_rendered_error_body_is_enveloped() {
+    // The v1 envelope holds for serve-side and engine failures too, not
+    // just edge rejects: `{"v":1,"error":{code,message,retryable}}` with
+    // retryable mirroring the Retry-After hint.
+    let mut all: Vec<codes::Error> = serve_errors();
+    all.extend(engine_errors().into_iter().map(codes::Error::Engine));
+    for err in &all {
+        let wire = codes_gateway::map_serve_error(err);
+        let response = codes_gateway::serve_error_response(err);
+        let body = String::from_utf8(response.body.clone()).expect("utf-8 body");
+        let json = serde_json::from_str(&body).expect("json body");
+        assert_eq!(json.get("v").and_then(serde::Json::as_i64), Some(1), "{}", err.kind());
+        let error = json.get("error").expect("error object");
+        assert_eq!(error.get("code").and_then(serde::Json::as_str), Some(wire.code));
+        assert_eq!(
+            error.get("retryable").and_then(serde::Json::as_bool),
+            Some(wire.retry_after.is_some()),
+            "{}",
+            err.kind()
+        );
+        assert_eq!(
+            error.get("retry_after_ms").is_some(),
+            wire.retry_after.is_some(),
+            "{}",
+            err.kind()
+        );
+    }
 }
 
 #[test]

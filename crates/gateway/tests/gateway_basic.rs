@@ -26,7 +26,7 @@ fn infer_health_metrics_and_invalidate_round_trip() {
     // Health first: a fresh gateway is ready.
     let health = client.get("/v1/health", &[]).expect("health");
     assert_eq!(health.status, 200);
-    let health_json = health.json().expect("health json");
+    let health_json = health.data().expect("health data");
     assert_eq!(health_json.get("ready").and_then(Json::as_bool), Some(true));
     assert_eq!(health_json.get("draining").and_then(Json::as_bool), Some(false));
 
@@ -35,7 +35,7 @@ fn infer_health_metrics_and_invalidate_round_trip() {
         .post_json("/v1/infer", &[], &infer_body("bank", "list accounts"))
         .expect("infer");
     assert_eq!(resp.status, 200, "body: {}", resp.body_str());
-    let body = resp.json().expect("infer json");
+    let body = resp.data().expect("infer data");
     assert_eq!(body.get("sql").and_then(Json::as_str), Some("SELECT 'list accounts'"));
     assert_eq!(body.get("cached").and_then(Json::as_bool), Some(false));
     assert_eq!(body.get("tenant").and_then(Json::as_str), Some("default"));
@@ -45,7 +45,7 @@ fn infer_health_metrics_and_invalidate_round_trip() {
         .post_json("/v1/infer", &[], &infer_body("bank", "list accounts"))
         .expect("warm infer");
     assert_eq!(warm.status, 200);
-    assert_eq!(warm.json().expect("json").get("cached").and_then(Json::as_bool), Some(true));
+    assert_eq!(warm.data().expect("data").get("cached").and_then(Json::as_bool), Some(true));
 
     // Invalidate the database: the generation bumps and the next hit is
     // cold again.
@@ -57,11 +57,11 @@ fn infer_health_metrics_and_invalidate_round_trip() {
         )
         .expect("invalidate");
     assert_eq!(inv.status, 200, "body: {}", inv.body_str());
-    assert!(inv.json().expect("json").get("generation").and_then(Json::as_i64).is_some());
+    assert!(inv.data().expect("data").get("generation").and_then(Json::as_i64).is_some());
     let cold = client
         .post_json("/v1/infer", &[], &infer_body("bank", "list accounts"))
         .expect("re-infer");
-    assert_eq!(cold.json().expect("json").get("cached").and_then(Json::as_bool), Some(false));
+    assert_eq!(cold.data().expect("data").get("cached").and_then(Json::as_bool), Some(false));
 
     // Metrics exposes the gateway family alongside the router's.
     let metrics = client.get("/metrics", &[]).expect("metrics");
@@ -150,7 +150,7 @@ fn auth_rate_limits_and_budgets_gate_the_router() {
         .post_json("/v1/infer", &[("authorization", "Bearer sk-acme")], &infer_body("bank", "q"))
         .expect("ok");
     assert_eq!(ok.status, 200, "{}", ok.body_str());
-    assert_eq!(ok.json().expect("json").get("tenant").and_then(Json::as_str), Some("acme"));
+    assert_eq!(ok.data().expect("data").get("tenant").and_then(Json::as_str), Some("acme"));
     let ok2 = client
         .post_json("/v1/infer", &[("x-api-key", "sk-acme")], &infer_body("bank", "q2"))
         .expect("ok2");
@@ -360,7 +360,7 @@ fn attach_endpoint_introspects_live_databases() {
     // Attach the live database: full catalog counts plus the revision stamp.
     let first = client.post_json("/v1/databases", &[], &attach_body).expect("attach");
     assert_eq!(first.status, 200, "body: {}", first.body_str());
-    let json = first.json().expect("attach json");
+    let json = first.data().expect("attach data");
     assert_eq!(json.get("db_id").and_then(Json::as_str), Some("shop"));
     assert_eq!(json.get("tables").and_then(Json::as_i64), Some(1));
     assert_eq!(json.get("columns").and_then(Json::as_i64), Some(2));
@@ -379,7 +379,7 @@ fn attach_endpoint_introspects_live_databases() {
     let second = client.post_json("/v1/databases", &[], &attach_body).expect("re-attach");
     assert_eq!(second.status, 200);
     let rev1 =
-        second.json().expect("json").get("revision").and_then(Json::as_i64).expect("revision");
+        second.data().expect("data").get("revision").and_then(Json::as_i64).expect("revision");
     assert_ne!(rev0, rev1, "a live mutation moves the attached revision stamp");
 
     // Wrong method and missing field are typed.
@@ -436,5 +436,164 @@ fn storage_connect_failures_reach_the_wire_typed() {
     assert_eq!(resp.status, 503, "body: {}", resp.body_str());
     assert_eq!(resp.error_code().as_deref(), Some("storage_connect"));
     assert!(resp.header("retry-after").is_some(), "connect refusals hint a retry");
+    gateway.shutdown();
+}
+
+#[test]
+fn streaming_infer_emits_lifecycle_events_in_order() {
+    let gateway = start_gateway(fast_config(Vec::new()), &[]);
+    let mut client = HttpClient::connect(gateway.local_addr()).expect("connect");
+
+    let events: Vec<Json> = client
+        .post_stream("/v1/infer?stream=1", &[], &infer_body("bank", "sleep:20: stream me"))
+        .expect("stream starts")
+        .collect::<Result<_, _>>()
+        .expect("every event line decodes");
+    let names: Vec<&str> = events
+        .iter()
+        .map(|e| e.get("event").and_then(Json::as_str).expect("event name"))
+        .collect();
+    assert_eq!(names, ["queued", "dispatched", "generated", "result"], "{events:?}");
+    for event in &events {
+        assert_eq!(event.get("v").and_then(Json::as_i64), Some(1));
+    }
+    let result = events.last().and_then(|e| e.get("data")).expect("result data");
+    assert_eq!(
+        result.get("sql").and_then(Json::as_str),
+        Some("SELECT 'sleep:20: stream me'"),
+    );
+    assert_eq!(result.get("cached").and_then(Json::as_bool), Some(false));
+
+    // The connection survives a fully-read stream: keep-alive holds.
+    let health = client.get("/v1/health", &[]).expect("keep-alive after stream");
+    assert_eq!(health.status, 200);
+
+    // Stream counters landed.
+    let metrics = client.get("/metrics", &[]).expect("metrics");
+    let text = metrics.body_str();
+    assert!(
+        text.contains("codes_gateway_stream_events_total{event=\"result\"} 1"),
+        "{text}"
+    );
+    assert!(text.contains("codes_gateway_stream_flush_seconds"), "{text}");
+    gateway.shutdown();
+}
+
+#[test]
+fn streaming_result_event_matches_buffered_response_byte_for_byte() {
+    let gateway = start_gateway(fast_config(Vec::new()), &[]);
+    let mut client = HttpClient::connect(gateway.local_addr()).expect("connect");
+
+    // Warm the cache so both reads below resolve from it with identical
+    // latency/queue fields; only the request id should differ.
+    let cold = client
+        .post_json("/v1/infer", &[], &infer_body("bank", "byte identity"))
+        .expect("cold infer");
+    assert_eq!(cold.status, 200, "body: {}", cold.body_str());
+
+    let buffered = client
+        .post_json("/v1/infer", &[], &infer_body("bank", "byte identity"))
+        .expect("buffered warm infer");
+    assert_eq!(buffered.data().expect("data").get("cached").and_then(Json::as_bool), Some(true));
+
+    let events: Vec<Json> = client
+        .post_stream("/v1/infer", &[], &infer_body("bank", "byte identity"))
+        .expect("stream starts")
+        .collect::<Result<_, _>>()
+        .expect("stream decodes");
+    // Cache fast path: the router still queued the request, but no
+    // dispatch/generate ever fires — straight to the terminal result.
+    let names: Vec<&str> = events
+        .iter()
+        .map(|e| e.get("event").and_then(Json::as_str).expect("event name"))
+        .collect();
+    assert_eq!(names, ["queued", "result"], "{events:?}");
+
+    // Serialize both payloads through the one shared serializer and
+    // normalize the per-request id: the bytes must match exactly.
+    let normalize = |payload: &Json| -> String {
+        let text = serde_json::to_string(payload).expect("serialize");
+        let start = text.find("\"request_id\":").expect("request_id present");
+        let digits_from = start + "\"request_id\":".len();
+        let digits_len = text[digits_from..]
+            .bytes()
+            .take_while(|b| b.is_ascii_digit())
+            .count();
+        assert!(digits_len > 0, "numeric request id in {text}");
+        format!("{}#{}", &text[..digits_from], &text[digits_from + digits_len..])
+    };
+    let buffered_data = buffered.data().expect("buffered data");
+    let streamed_data = events.last().and_then(|e| e.get("data")).expect("streamed data").clone();
+    assert_eq!(normalize(&buffered_data), normalize(&streamed_data));
+    gateway.shutdown();
+}
+
+#[test]
+fn streaming_failures_end_with_a_terminal_error_event() {
+    let gateway = start_gateway(fast_config(Vec::new()), &[]);
+    let mut client = HttpClient::connect(gateway.local_addr()).expect("connect");
+
+    let events: Vec<Json> = client
+        .post_stream("/v1/infer", &[], &infer_body("bank", "err:parse: boom"))
+        .expect("stream starts")
+        .collect::<Result<_, _>>()
+        .expect("stream decodes");
+    let names: Vec<&str> = events
+        .iter()
+        .map(|e| e.get("event").and_then(Json::as_str).expect("event name"))
+        .collect();
+    assert_eq!(names, ["queued", "dispatched", "error"], "{events:?}");
+    let error = events.last().and_then(|e| e.get("error")).expect("error object");
+    assert_eq!(error.get("code").and_then(Json::as_str), Some("engine_parse"));
+    assert_eq!(error.get("retryable").and_then(Json::as_bool), Some(false));
+
+    // Pre-admission rejections never start a stream: they come back as a
+    // plain enveloped response the iterator yields once.
+    let mut rejected = client
+        .post_stream("/v1/infer", &[], &Json::Obj(vec![]))
+        .expect("rejection head");
+    assert_eq!(rejected.status, 400);
+    let body = rejected.next().expect("one body").expect("decodes");
+    assert!(rejected.next().is_none());
+    assert_eq!(
+        body.get("error").and_then(|e| e.get("code")).and_then(Json::as_str),
+        Some("bad_request"),
+    );
+    gateway.shutdown();
+}
+
+#[test]
+fn chunked_request_bodies_are_decoded_end_to_end() {
+    use std::io::{Read, Write};
+    use std::net::TcpStream;
+
+    use codes_gateway::encode_chunk;
+
+    let gateway = start_gateway(fast_config(Vec::new()), &[]);
+    let mut sock = TcpStream::connect(gateway.local_addr()).expect("connect");
+    sock.set_read_timeout(Some(Duration::from_secs(5))).expect("timeout");
+    sock.set_nodelay(true).expect("nodelay");
+
+    let body = serde_json::to_string(&infer_body("bank", "chunked upload")).expect("encode");
+    let bytes = body.as_bytes();
+    let mid = bytes.len() / 2;
+    let mut wire = b"POST /v1/infer HTTP/1.1\r\nhost: t\r\ncontent-type: application/json\r\n\
+                     transfer-encoding: chunked\r\nconnection: close\r\n\r\n"
+        .to_vec();
+    wire.extend_from_slice(&encode_chunk(&bytes[..mid]));
+    sock.write_all(&wire).expect("first half");
+    sock.flush().expect("flush");
+    // Let the gateway observe a genuinely split chunk stream.
+    std::thread::sleep(Duration::from_millis(20));
+    let mut rest = encode_chunk(&bytes[mid..]);
+    rest.extend_from_slice(b"0\r\n\r\n");
+    sock.write_all(&rest).expect("second half");
+
+    let mut raw = Vec::new();
+    sock.read_to_end(&mut raw).expect("connection: close drains the response");
+    let text = String::from_utf8_lossy(&raw);
+    assert!(text.starts_with("HTTP/1.1 200"), "{text}");
+    assert!(text.contains("SELECT 'chunked upload'"), "{text}");
+    assert!(text.contains("\"v\":1"), "{text}");
     gateway.shutdown();
 }

@@ -3,7 +3,7 @@
 //! parse identically, and the parser never over-reads past a request's
 //! end (pipelined bytes survive byte-for-byte).
 
-use codes_gateway::{ParseLimits, RequestParser};
+use codes_gateway::{encode_chunk, ChunkDecoder, ParseLimits, RequestParser};
 use proptest::prelude::*;
 
 /// Build a valid request from a generated word: method, target, an
@@ -40,6 +40,31 @@ fn chunked(data: &[u8], seed: u64) -> Vec<Vec<u8>> {
         at += take;
     }
     chunks
+}
+
+/// Build a valid *chunked* request from a generated word: the same head
+/// shapes as [`valid_request`], but the body travels as 0..6 chunks of
+/// seed-derived sizes with a terminal chunk (and sometimes a trailer).
+/// Returns (wire bytes, expected reassembled body).
+fn chunked_request(raw: u64) -> (Vec<u8>, Vec<u8>) {
+    let target = ["/v1/infer", "/v1/health", "/metrics", "/x/y?q=1"][(raw % 4) as usize];
+    let mut wire = format!("POST {target} HTTP/1.1\r\nhost: t\r\ntransfer-encoding: chunked\r\n")
+        .into_bytes();
+    wire.extend_from_slice(b"\r\n");
+    let mut body = Vec::new();
+    let mut state = raw | 1;
+    for _ in 0..(raw % 6) {
+        state = (state ^ (state >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        let piece: Vec<u8> = (0..(state % 90) as usize + 1).map(|i| (state as usize + i) as u8).collect();
+        wire.extend_from_slice(&encode_chunk(&piece));
+        body.extend_from_slice(&piece);
+    }
+    if raw.is_multiple_of(3) {
+        wire.extend_from_slice(b"0\r\nx-checksum: ok\r\n\r\n");
+    } else {
+        wire.extend_from_slice(b"0\r\n\r\n");
+    }
+    (wire, body)
 }
 
 proptest! {
@@ -129,6 +154,98 @@ proptest! {
             }
         }
         prop_assert_eq!(completed.len(), 2);
+        prop_assert_eq!(&completed[1].body, &second_body);
+        prop_assert_eq!(parser.buffered(), 0);
+    }
+
+    /// Encoder/decoder round trip: arbitrary payload pieces encoded with
+    /// [`encode_chunk`] and fed to a [`ChunkDecoder`] under arbitrary
+    /// splits reassemble exactly, consuming every framing byte.
+    #[test]
+    fn chunk_coding_round_trips_under_any_split(
+        pieces in prop::collection::vec(prop::collection::vec(any::<u8>(), 0..200), 0..8),
+        split_seed in 0u64..u64::MAX,
+    ) {
+        let mut wire = Vec::new();
+        let mut expected = Vec::new();
+        for piece in &pieces {
+            if piece.is_empty() {
+                // An empty payload encodes as the terminal chunk; the
+                // writer skips it mid-stream, so the coding does too.
+                continue;
+            }
+            wire.extend_from_slice(&encode_chunk(piece));
+            expected.extend_from_slice(piece);
+        }
+        wire.extend_from_slice(b"0\r\n\r\n");
+
+        let mut decoder = ChunkDecoder::new(1 << 20);
+        let mut consumed_total = 0;
+        for chunk in chunked(&wire, split_seed) {
+            if decoder.is_done() {
+                break;
+            }
+            consumed_total += decoder.feed(&chunk).expect("valid coding decodes");
+        }
+        prop_assert!(decoder.is_done());
+        // Every framing byte is consumed — nothing left dangling.
+        prop_assert_eq!(consumed_total, wire.len());
+        prop_assert_eq!(decoder.body(), &expected[..]);
+        prop_assert_eq!(decoder.decoded_total(), expected.len());
+    }
+
+    /// Chunked requests are split-invariant end to end through the full
+    /// request parser, exactly like content-length requests.
+    #[test]
+    fn chunked_request_any_split_parses_identically(
+        request_word in 0u64..u64::MAX,
+        split_seed in 0u64..u64::MAX,
+    ) {
+        let (wire, expected_body) = chunked_request(request_word);
+        let whole = RequestParser::new(ParseLimits::default())
+            .feed(&wire)
+            .expect("valid chunked request parses")
+            .expect("complete");
+        prop_assert_eq!(&whole.body, &expected_body);
+
+        let mut parser = RequestParser::new(ParseLimits::default());
+        let mut result = None;
+        for chunk in chunked(&wire, split_seed) {
+            if let Some(request) = parser.feed(&chunk).expect("valid chunked request parses") {
+                result = Some(request);
+            }
+        }
+        let split = result.expect("request completed across chunks");
+        prop_assert_eq!(&split.head.target, &whole.head.target);
+        prop_assert_eq!(&split.body, &expected_body);
+        prop_assert_eq!(parser.buffered(), 0);
+    }
+
+    /// A pipelined request glued after a chunked one is never consumed by
+    /// the chunked body: both come back intact under any split.
+    #[test]
+    fn pipelined_tail_survives_a_chunked_request(
+        first_word in 0u64..u64::MAX,
+        second_word in 0u64..u64::MAX,
+        split_seed in 0u64..u64::MAX,
+    ) {
+        let (first, first_body) = chunked_request(first_word);
+        let (second, second_body) = valid_request(second_word);
+        let mut wire = first;
+        wire.extend_from_slice(&second);
+
+        let mut parser = RequestParser::new(ParseLimits::default());
+        let mut completed = Vec::new();
+        for chunk in chunked(&wire, split_seed) {
+            if let Some(request) = parser.feed(&chunk).expect("valid stream") {
+                completed.push(request);
+                while let Some(next) = parser.advance().expect("valid stream") {
+                    completed.push(next);
+                }
+            }
+        }
+        prop_assert_eq!(completed.len(), 2);
+        prop_assert_eq!(&completed[0].body, &first_body);
         prop_assert_eq!(&completed[1].body, &second_body);
         prop_assert_eq!(parser.buffered(), 0);
     }

@@ -47,6 +47,7 @@ use std::time::{Duration, Instant};
 
 use codes::InferenceRequest;
 use codes_serve::pool::{Backend, Outcome, Ticket};
+use codes_serve::progress::{Progress, ProgressSink};
 use codes_serve::{HealthSnapshot, Pool, ServeConfig, ServeError, StatsSnapshot};
 use crossbeam::channel::{self, Receiver, Sender};
 use parking_lot::{Mutex, RwLock};
@@ -249,6 +250,9 @@ struct RJob {
     request: InferenceRequest,
     submitted: Instant,
     reply: Sender<Outcome>,
+    /// Optional lifecycle observer forwarded to the pool (see
+    /// `codes_serve::progress`); rides reroutes with the job.
+    progress: Option<Arc<dyn ProgressSink>>,
 }
 
 struct Shard {
@@ -390,6 +394,22 @@ impl Router {
         tenant: &str,
         request: InferenceRequest,
     ) -> Result<Ticket, ServeError> {
+        self.submit_as_with_progress(tenant, request, None)
+    }
+
+    /// [`Router::submit_as`] plus a lifecycle observer: `progress` gets a
+    /// `Queued` notification once the job lands in the owning shard's
+    /// tenant queue, then travels with the job into the pool (through
+    /// reroutes) for `dispatched`/`generated` transitions. Observers must
+    /// dedupe by rank — admission can legitimately be reported by both
+    /// the router queue and the pool queue (see
+    /// [`codes_serve::progress`]).
+    pub fn submit_as_with_progress(
+        &self,
+        tenant: &str,
+        request: InferenceRequest,
+        progress: Option<Arc<dyn ProgressSink>>,
+    ) -> Result<Ticket, ServeError> {
         let inner = &self.inner;
         if inner.shutdown.load(Ordering::SeqCst) {
             return Err(ServeError::ShuttingDown);
@@ -415,7 +435,13 @@ impl Router {
         }
         let id = inner.next_id.fetch_add(1, Ordering::SeqCst);
         let (ticket, reply_tx) = Ticket::detached(id);
-        let job = RJob { tenant: tenant_idx, request, submitted: Instant::now(), reply: reply_tx };
+        let job = RJob {
+            tenant: tenant_idx,
+            request,
+            submitted: Instant::now(),
+            reply: reply_tx,
+            progress: progress.clone(),
+        };
         let depth = {
             let mut queues = shard.queues.lock();
             match queues.push(tenant_idx, job) {
@@ -433,6 +459,9 @@ impl Router {
         };
         inner.metrics.shards[owner].depth.set(depth as i64);
         inner.metrics.tenants[tenant_idx].inc();
+        if let Some(sink) = &progress {
+            sink.notify(Progress::Queued);
+        }
         let _ = shard.wake_tx.try_send(());
         Ok(ticket)
     }
@@ -662,7 +691,11 @@ impl RouterInner {
             // pool queue + inference.
             job.request.deadline = Some(remaining);
             let pool = Arc::clone(&shard.pool.read());
-            match pool.submit_routed(job.request.clone(), job.reply.clone()) {
+            match pool.submit_routed_with_progress(
+                job.request.clone(),
+                job.reply.clone(),
+                job.progress.clone(),
+            ) {
                 Ok(_) => {
                     self.metrics.shards[shard_idx].dispatched.inc();
                     return;

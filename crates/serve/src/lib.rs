@@ -49,6 +49,7 @@ pub mod error;
 pub mod fault;
 pub mod metrics;
 pub mod pool;
+pub mod progress;
 
 pub use batch::{deadline_class, BatchPolicy, BypassReason, CompatKey, Formation, MemberInfo, Verdict};
 pub use breaker::{Admission, BreakerConfig, BreakerState, CircuitBreaker};
@@ -61,3 +62,4 @@ pub use pool::{
     Backend, BackendReply, HealthSnapshot, Outcome, Pool, ServeConfig, ServedInference,
     StatsSnapshot, SystemBackend, Ticket, WorkerHealth,
 };
+pub use progress::{Progress, ProgressSink};

@@ -45,6 +45,7 @@ use crate::batch::{BatchPolicy, BypassReason, Formation, MemberInfo, Verdict};
 use crate::breaker::{Admission, BreakerConfig, BreakerState, CircuitBreaker};
 use crate::error::ServeError;
 use crate::metrics::{MetricsSnapshot, ServeMetrics};
+use crate::progress::{Progress, ProgressSink};
 
 /// What the pool runs for each admitted request. Implemented by
 /// [`SystemBackend`] for real inference and by test/chaos backends
@@ -429,6 +430,17 @@ struct Job {
     /// config override when present, so per-request configs never share
     /// cache entries with the pool default.
     cache_slot: Option<(u64, String, u64)>,
+    /// Optional lifecycle observer (see [`crate::progress`]); advisory
+    /// only — notifications never gate resolution.
+    progress: Option<Arc<dyn ProgressSink>>,
+}
+
+impl Job {
+    fn observe(&self, progress: Progress) {
+        if let Some(sink) = &self.progress {
+            sink.notify(progress);
+        }
+    }
 }
 
 /// A dispatch currently running on a worker (one solo request or one
@@ -648,6 +660,7 @@ impl Inner {
             );
             self.sync_in_flight_gauge(&in_flight);
         }
+        job.observe(Progress::Dispatched { worker: slot, batch_size: 1 });
 
         let config = self.effective_config(&job.request).clamped_to_deadline(budget - queued);
         // Decorrelate retry pacing across requests while keeping each
@@ -699,6 +712,9 @@ impl Inner {
                 in_flight.remove(&slot);
             }
             self.sync_in_flight_gauge(&in_flight);
+        }
+        if let Ok(served) = &outcome {
+            job.observe(Progress::Generated { latency_seconds: served.latency_seconds });
         }
         job.reply.complete(outcome);
     }
@@ -825,6 +841,9 @@ impl Inner {
             );
             self.sync_in_flight_gauge(&in_flight);
         }
+        for (job, _, _) in &live {
+            job.observe(Progress::Dispatched { worker: slot, batch_size: live.len() });
+        }
 
         // One config for the whole dispatch: the members' shared effective
         // config (formation guarantees one fingerprint) clamped to the
@@ -905,6 +924,9 @@ impl Inner {
             self.sync_in_flight_gauge(&in_flight);
         }
         for ((job, _, _), outcome) in live.iter().zip(outcomes) {
+            if let Ok(served) = &outcome {
+                job.observe(Progress::Generated { latency_seconds: served.latency_seconds });
+            }
             job.reply.complete(outcome);
         }
     }
@@ -1156,7 +1178,7 @@ impl Pool {
     /// typed rejection when the queue is full or the pool is stopping.
     pub fn submit(&self, request: InferenceRequest) -> Result<Ticket, ServeError> {
         let (reply_tx, reply_rx) = channel::bounded::<Outcome>(1);
-        let id = self.enqueue(request, reply_tx)?;
+        let id = self.enqueue(request, reply_tx, None)?;
         Ok(Ticket { id, rx: reply_rx })
     }
 
@@ -1171,13 +1193,27 @@ impl Pool {
         request: InferenceRequest,
         reply_tx: Sender<Outcome>,
     ) -> Result<u64, ServeError> {
-        self.enqueue(request, reply_tx)
+        self.enqueue(request, reply_tx, None)
+    }
+
+    /// [`Pool::submit_routed`] plus a lifecycle observer: `progress`
+    /// receives a `Queued` notification on successful admission (not on
+    /// the cache fast path — a cached answer was never queued) and rides
+    /// the job through dispatch and decode (see [`crate::progress`]).
+    pub fn submit_routed_with_progress(
+        &self,
+        request: InferenceRequest,
+        reply_tx: Sender<Outcome>,
+        progress: Option<Arc<dyn ProgressSink>>,
+    ) -> Result<u64, ServeError> {
+        self.enqueue(request, reply_tx, progress)
     }
 
     fn enqueue(
         &self,
         request: InferenceRequest,
         reply_tx: Sender<Outcome>,
+        progress: Option<Arc<dyn ProgressSink>>,
     ) -> Result<u64, ServeError> {
         let queue_guard = self.queue_tx.lock();
         let Some(queue_tx) = queue_guard.as_ref() else {
@@ -1235,11 +1271,15 @@ impl Pool {
             submitted: Instant::now(),
             reply: Arc::new(ReplySlot::new(reply_tx)),
             cache_slot,
+            progress: progress.clone(),
         };
         match queue_tx.try_send(job) {
             Ok(()) => {
                 self.inner.stats.submitted.fetch_add(1, Ordering::Relaxed);
                 self.inner.metrics.submitted.inc();
+                if let Some(sink) = &progress {
+                    sink.notify(Progress::Queued);
+                }
                 Ok(id)
             }
             Err(TrySendError::Full(_)) => {

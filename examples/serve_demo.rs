@@ -1,9 +1,11 @@
 //! Serving quickstart, now over a real socket: put a trained CodeS
 //! system behind the sharded router, stand the hardened HTTP/JSON
 //! gateway in front of it, and drive the whole stack with a plain
-//! HTTP/1.1 client — authenticated inference, a warm-cache round,
-//! tenant rate limiting, cache invalidation, a Prometheus scrape, and a
-//! graceful drain, all through `127.0.0.1`.
+//! HTTP/1.1 client — authenticated inference, a streamed inference with
+//! live lifecycle events, a warm-cache round, tenant rate limiting,
+//! cache invalidation, a Prometheus scrape, and a graceful drain, all
+//! through `127.0.0.1`. Every body rides the v1 response envelope
+//! (`{"v":1,"data":...}` / `{"v":1,"error":{...}}`).
 //!
 //! Run with: `cargo run --release --example serve_demo`
 
@@ -88,7 +90,8 @@ fn main() {
     let mut client = HttpClient::connect(addr).expect("connect to gateway");
 
     // 3. Readiness, then ten questions over HTTP — every response is the
-    //    typed JSON the wire contract in DESIGN.md §4i promises.
+    //    enveloped JSON the wire contract in DESIGN.md §4i promises;
+    //    `ClientResponse::data()` unwraps the `{"v":1,"data":...}` layer.
     let health = client.get("/v1/health", &[]).expect("health request");
     println!("GET /v1/health -> {} {}", health.status, health.body_str());
 
@@ -97,7 +100,7 @@ fn main() {
         let response = client
             .post_json("/v1/infer", &[auth], &infer_body(&sample.db_id, &sample.question))
             .expect("infer request");
-        let json = response.json().expect("json body");
+        let json = response.data().expect("enveloped data");
         println!(
             "  [{} | worker {} | {:>5.1}ms] {}",
             response.status,
@@ -114,7 +117,7 @@ fn main() {
         let response = client
             .post_json("/v1/infer", &[auth], &infer_body(&sample.db_id, &sample.question))
             .expect("infer request");
-        let json = response.json().expect("json body");
+        let json = response.data().expect("enveloped data");
         println!(
             "  [{} | {}] {}",
             response.status,
@@ -123,7 +126,33 @@ fn main() {
         );
     }
 
-    // 5. Edge rejections are typed, not hangs: a bad key is 401, and the
+    // 5. The same endpoint as a stream: `Accept: application/x-ndjson`
+    //    turns the response into chunked lifecycle events — the caller
+    //    sees `queued` the moment the router takes the request, then
+    //    `dispatched`, `generated`, and a terminal `result` whose data is
+    //    byte-identical to the buffered response above.
+    let fresh = &bench.dev[bench.dev.len() - 1];
+    println!("\nstreaming POST /v1/infer ({}) ...", fresh.db_id);
+    let events = client
+        .post_stream("/v1/infer", &[auth], &infer_body(&fresh.db_id, &fresh.question))
+        .expect("stream starts");
+    for event in events {
+        let event = event.expect("event line decodes");
+        let name = field(&event, "event").as_str().unwrap_or("?").to_string();
+        match name.as_str() {
+            "result" => {
+                let data = field(&event, "data");
+                println!(
+                    "  event={name:<10} sql={}",
+                    field(data, "sql").as_str().unwrap_or("?")
+                );
+            }
+            "error" => println!("  event={name:<10} {event:?}"),
+            _ => println!("  event={name}"),
+        }
+    }
+
+    // 6. Edge rejections are typed, not hangs: a bad key is 401, and the
     //    throttled tenant's second request exceeds its 0.001/s refill, so
     //    it gets 429 with an honest Retry-After.
     let sample = &bench.dev[0];
@@ -154,7 +183,7 @@ fn main() {
         }
     }
 
-    // 6. Invalidate one database's cache generation over the wire; the
+    // 7. Invalidate one database's cache generation over the wire; the
     //    next identical question misses the cache and re-infers.
     let invalidate_body =
         Json::Obj(vec![("db_id".to_string(), Json::Str(sample.db_id.clone()))]);
@@ -170,14 +199,14 @@ fn main() {
     let response = client
         .post_json("/v1/infer", &[auth], &infer_body(&sample.db_id, &sample.question))
         .expect("post-invalidate request");
-    let json = response.json().expect("json body");
+    let json = response.data().expect("enveloped data");
     println!(
         "re-ask after invalidate -> {} cached={} (cold again, as it should be)",
         response.status,
         field(&json, "cached").as_bool().unwrap_or(false)
     );
 
-    // 7. What Prometheus would scrape: the gateway serves the full
+    // 8. What Prometheus would scrape: the gateway serves the full
     //    stack's registry; show the gateway's own series here.
     let metrics = client.get("/metrics", &[]).expect("metrics scrape");
     println!("\nGET /metrics (codes_gateway_* series, histogram buckets elided):");
@@ -189,7 +218,7 @@ fn main() {
         println!("  {line}");
     }
 
-    // 8. Graceful drain: stop accepting, finish in-flight work, flush the
+    // 9. Graceful drain: stop accepting, finish in-flight work, flush the
     //    audit journal, then shut the router down behind it.
     drop(client);
     let stats = gateway.shutdown();

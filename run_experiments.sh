@@ -2,7 +2,7 @@
 # Regenerate every table/figure of the paper at the current CODES_SCALE.
 set -u
 cd "$(dirname "$0")"
-BINS="table1 table2 table3 table4 table5 table6 table7 table8 table9 table10 figure1 figure4 latency stages faults cache batching shards gateway optimizer storage"
+BINS="table1 table2 table3 table4 table5 table6 table7 table8 table9 table10 figure1 figure4 latency stages faults cache batching shards gateway streaming optimizer storage"
 for b in $BINS; do
   echo "=== running $b ($(date +%H:%M:%S)) ==="
   cargo run --release -q -p codes-bench --bin "$b" >"results/logs/$b.txt" 2>"results/logs/$b.err" \
